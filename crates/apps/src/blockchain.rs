@@ -1,0 +1,195 @@
+//! blockchain — the multithreaded proof-of-work miner.
+//!
+//! "A multithreaded program for mining blocks" (§3), used in Figure 10 to
+//! demonstrate multicore scaling: worker threads created with
+//! `clone(CLONE_VM)` search disjoint nonce ranges and blocks/second grows
+//! with the number of cores. The hash is a small mixing function
+//! ([`ulib::compute::mix_hash`]), with difficulty chosen so a single Pi 3
+//! core finds roughly one block per second.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kernel::usercall::{StepResult, UserCtx, UserProgram};
+use ulib::compute::mix_hash;
+
+/// Hashes evaluated per scheduler step by each worker (one step = one batch).
+pub const BATCH: u64 = 20_000;
+/// Default difficulty: expected hashes per block ≈ 2^20 ≈ 1.05 M, roughly one
+/// block per core-second at ~1 µs per hash.
+pub const DEFAULT_DIFFICULTY_BITS: u32 = 20;
+
+/// Shared mining state (lives in the shared address space of the threads).
+#[derive(Debug)]
+pub struct MiningState {
+    /// Blocks found so far.
+    pub blocks_found: AtomicU64,
+    /// Total hashes evaluated.
+    pub hashes: AtomicU64,
+    /// The current block's data (changes whenever a block is found).
+    pub block_data: AtomicU64,
+    /// Difficulty in leading zero bits.
+    pub difficulty_bits: u32,
+}
+
+impl MiningState {
+    fn target_mask(&self) -> u64 {
+        !0u64 << (64 - self.difficulty_bits)
+    }
+}
+
+/// One mining worker thread.
+#[derive(Debug)]
+pub struct MinerThread {
+    state: Arc<MiningState>,
+    next_nonce: u64,
+    stride: u64,
+    /// Stop once the shared state holds this many blocks (0 = run forever).
+    pub stop_after_blocks: u64,
+}
+
+impl UserProgram for MinerThread {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        let cost = ctx.cost();
+        let data = self.state.block_data.load(Ordering::Relaxed);
+        let mask = self.state.target_mask();
+        let mut found = 0u64;
+        for i in 0..BATCH {
+            let nonce = self.next_nonce + i * self.stride;
+            let h = mix_hash(data, nonce);
+            if h & mask == 0 {
+                found += 1;
+                self.state.block_data.store(h, Ordering::Relaxed);
+            }
+        }
+        self.next_nonce += BATCH * self.stride;
+        self.state.hashes.fetch_add(BATCH, Ordering::Relaxed);
+        if found > 0 {
+            self.state.blocks_found.fetch_add(found, Ordering::Relaxed);
+        }
+        ctx.charge_user(cost.per_byte(cost.hash_per_round_milli, BATCH));
+        if self.stop_after_blocks > 0
+            && self.state.blocks_found.load(Ordering::Relaxed) >= self.stop_after_blocks
+        {
+            return StepResult::Exited(0);
+        }
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "blockchain-worker"
+    }
+}
+
+/// The miner's main task: spawns worker threads and reports progress.
+#[derive(Debug)]
+pub struct Blockchain {
+    state: Arc<MiningState>,
+    workers: usize,
+    spawned: bool,
+    reports: u64,
+    /// Stop after this many blocks have been mined (0 = run forever).
+    pub stop_after_blocks: u64,
+}
+
+impl Blockchain {
+    /// Creates the miner from exec arguments: `[workers] [blocks] [difficulty-bits]`.
+    pub fn from_args(args: &[String]) -> Self {
+        let workers = args.first().and_then(|a| a.parse().ok()).unwrap_or(4);
+        let stop_after_blocks = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0);
+        let difficulty_bits = args
+            .get(2)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(DEFAULT_DIFFICULTY_BITS);
+        Blockchain {
+            state: Arc::new(MiningState {
+                blocks_found: AtomicU64::new(0),
+                hashes: AtomicU64::new(0),
+                block_data: AtomicU64::new(0x50524F544F), // "PROTO"
+                difficulty_bits,
+            }),
+            workers,
+            spawned: false,
+            reports: 0,
+            stop_after_blocks,
+        }
+    }
+
+    /// Blocks mined so far.
+    pub fn blocks_found(&self) -> u64 {
+        self.state.blocks_found.load(Ordering::Relaxed)
+    }
+
+    /// Hashes evaluated so far.
+    pub fn hashes(&self) -> u64 {
+        self.state.hashes.load(Ordering::Relaxed)
+    }
+}
+
+impl UserProgram for Blockchain {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if !self.spawned {
+            for w in 0..self.workers {
+                let thread = MinerThread {
+                    state: Arc::clone(&self.state),
+                    next_nonce: w as u64 + 1,
+                    stride: self.workers as u64,
+                    stop_after_blocks: self.stop_after_blocks,
+                };
+                if ctx.clone_thread(Box::new(thread)).is_err() {
+                    return StepResult::Exited(1);
+                }
+            }
+            self.spawned = true;
+            return StepResult::Continue;
+        }
+        let blocks = self.blocks_found();
+        ctx.print(&format!(
+            "blockchain: {blocks} blocks, {} Mhashes",
+            self.hashes() / 1_000_000
+        ));
+        self.reports += 1;
+        if self.stop_after_blocks > 0 && blocks >= self.stop_after_blocks {
+            return StepResult::Exited(0);
+        }
+        let _ = ctx.sleep_ms(200);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "blockchain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difficulty_mask_and_args_parse() {
+        let b = Blockchain::from_args(&["2".into(), "3".into(), "8".into()]);
+        assert_eq!(b.workers, 2);
+        assert_eq!(b.stop_after_blocks, 3);
+        assert_eq!(b.state.difficulty_bits, 8);
+        assert_eq!(b.state.target_mask().leading_ones(), 8);
+        let default = Blockchain::from_args(&[]);
+        assert_eq!(default.workers, 4);
+    }
+
+    #[test]
+    fn low_difficulty_finds_blocks_quickly_in_plain_code() {
+        let state = MiningState {
+            blocks_found: AtomicU64::new(0),
+            hashes: AtomicU64::new(0),
+            block_data: AtomicU64::new(1),
+            difficulty_bits: 8,
+        };
+        let mask = state.target_mask();
+        let mut found = 0;
+        for nonce in 0..100_000u64 {
+            if mix_hash(1, nonce) & mask == 0 {
+                found += 1;
+            }
+        }
+        // Expected about 100000 / 256 ≈ 390 hits.
+        assert!(found > 100, "found only {found} blocks at 8-bit difficulty");
+    }
+}

@@ -1,0 +1,310 @@
+//! DOOM — the software raycaster.
+//!
+//! The paper ports doomgeneric, "a famous 3D game ported to virtually
+//! anything with a screen", and reports ~60 FPS on the Pi 3 with direct
+//! rendering and non-blocking key polling (§4.5, §7.3). Shipping id's engine
+//! and WAD assets is not possible here, so the substitute is a classic
+//! grid-map raycaster with the same interaction profile: load multi-megabyte
+//! assets from the FAT volume at startup (the large-file path that motivated
+//! FAT32), render a full 640x480 frame per iteration of a busy main loop,
+//! and poll `/dev/events` with the non-blocking flag each frame. Sound is
+//! deliberately absent, as in the paper ("we chose not to implement sound
+//! mixing due to its complexity").
+
+use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use kernel::vfs::OpenFlags;
+use protousb::KeyCode;
+
+/// Map edge length (cells).
+pub const MAP_SIZE: usize = 24;
+
+/// A simple grid map: 0 = empty, >0 = wall texture id.
+#[derive(Debug, Clone)]
+pub struct WorldMap {
+    cells: Vec<u8>,
+}
+
+impl WorldMap {
+    /// Builds the map from asset bytes (the "WAD"): walls are derived from
+    /// the asset contents so a different file is a different level.
+    pub fn from_assets(assets: &[u8]) -> Self {
+        let mut cells = vec![0u8; MAP_SIZE * MAP_SIZE];
+        for y in 0..MAP_SIZE {
+            for x in 0..MAP_SIZE {
+                let border = x == 0 || y == 0 || x == MAP_SIZE - 1 || y == MAP_SIZE - 1;
+                let seed = assets
+                    .get((y * MAP_SIZE + x) % assets.len().max(1))
+                    .copied()
+                    .unwrap_or(0);
+                cells[y * MAP_SIZE + x] = if border {
+                    1
+                } else if seed != 0 && seed % 11 == 0 && (x > 4 || y > 4) {
+                    1 + seed % 4
+                } else {
+                    0
+                };
+            }
+        }
+        WorldMap { cells }
+    }
+
+    /// Returns the wall id at a cell (out of range counts as wall).
+    pub fn at(&self, x: i64, y: i64) -> u8 {
+        if x < 0 || y < 0 || x >= MAP_SIZE as i64 || y >= MAP_SIZE as i64 {
+            return 1;
+        }
+        self.cells[y as usize * MAP_SIZE + x as usize]
+    }
+}
+
+/// Player state.
+#[derive(Debug, Clone, Copy)]
+pub struct Player {
+    /// Position.
+    pub x: f64,
+    /// Position.
+    pub y: f64,
+    /// View direction in radians.
+    pub angle: f64,
+}
+
+/// Casts one ray and returns (distance, wall id).
+pub fn cast_ray(map: &WorldMap, player: &Player, angle: f64) -> (f64, u8) {
+    let (sin, cos) = angle.sin_cos();
+    let step = 0.02f64;
+    let mut dist = 0.0;
+    while dist < 30.0 {
+        dist += step;
+        let x = player.x + cos * dist;
+        let y = player.y + sin * dist;
+        let wall = map.at(x as i64, y as i64);
+        if wall != 0 {
+            return (dist, wall);
+        }
+    }
+    (30.0, 1)
+}
+
+/// The DOOM-like game.
+#[derive(Debug)]
+pub struct Doom {
+    map: Option<WorldMap>,
+    player: Player,
+    asset_path: String,
+    asset_bytes: usize,
+    event_fd: Option<i32>,
+    mapped: bool,
+    frames: u64,
+    turning: f64,
+    moving: f64,
+    /// Stop after this many frames (0 = run forever).
+    pub max_frames: u64,
+    /// Render width (defaults to the framebuffer width).
+    width: usize,
+    /// Render height.
+    height: usize,
+}
+
+impl Doom {
+    /// Creates the game from exec arguments: `[wad-path] [frames]`.
+    pub fn from_args(args: &[String]) -> Self {
+        Doom {
+            map: None,
+            player: Player {
+                x: 3.5,
+                y: 3.5,
+                angle: 0.3,
+            },
+            asset_path: args.first().cloned().unwrap_or_else(|| "/d/doom.wad".into()),
+            asset_bytes: 0,
+            event_fd: None,
+            mapped: false,
+            frames: 0,
+            turning: 0.02,
+            moving: 0.0,
+            max_frames: args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0),
+            width: 640,
+            height: 480,
+        }
+    }
+
+    /// Bytes of game assets loaded at startup.
+    pub fn asset_bytes(&self) -> usize {
+        self.asset_bytes
+    }
+
+    fn load_assets(&mut self, ctx: &mut UserCtx<'_>) {
+        let mut assets = Vec::new();
+        if let Ok(fd) = ctx.open(&self.asset_path, OpenFlags::rdonly()) {
+            loop {
+                match ctx.read(fd, 256 * 1024) {
+                    Ok(chunk) if chunk.is_empty() => break,
+                    Ok(chunk) => assets.extend_from_slice(&chunk),
+                    Err(_) => break,
+                }
+            }
+            let _ = ctx.close(fd);
+        }
+        if assets.is_empty() {
+            // No WAD on the card: fall back to a built-in level (shareware!).
+            assets = (0..4096u32).map(|i| (i * 2654435761 % 251) as u8).collect();
+        }
+        self.asset_bytes = assets.len();
+        self.map = Some(WorldMap::from_assets(&assets));
+    }
+
+    fn poll_input(&mut self, ctx: &mut UserCtx<'_>) {
+        if self.event_fd.is_none() {
+            self.event_fd = ctx.open("/dev/events", OpenFlags::rdonly_nonblock()).ok();
+        }
+        let Some(fd) = self.event_fd else { return };
+        // Non-blocking poll: DOOM's main loop peeks for keys every frame.
+        while let Ok(Some(ev)) = ctx.read_key_event(fd) {
+            match (ev.code, ev.pressed) {
+                (KeyCode::Left, p) | (KeyCode::Char('A'), p) => {
+                    self.turning = if p { -0.05 } else { 0.02 }
+                }
+                (KeyCode::Right, p) | (KeyCode::Char('D'), p) => {
+                    self.turning = if p { 0.05 } else { 0.02 }
+                }
+                (KeyCode::Up, p) | (KeyCode::Char('W'), p) => {
+                    self.moving = if p { 0.08 } else { 0.0 }
+                }
+                (KeyCode::Down, p) | (KeyCode::Char('S'), p) => {
+                    self.moving = if p { -0.08 } else { 0.0 }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn render(&self, map: &WorldMap) -> Vec<u32> {
+        let w = self.width;
+        let h = self.height;
+        let mut fb = vec![0u32; w * h];
+        // Ceiling and floor.
+        for y in 0..h / 2 {
+            fb[y * w..(y + 1) * w].fill(0xFF303038);
+        }
+        for y in h / 2..h {
+            fb[y * w..(y + 1) * w].fill(0xFF50483C);
+        }
+        let fov = 1.05f64;
+        for col in 0..w {
+            let ray_angle = self.player.angle + fov * (col as f64 / w as f64 - 0.5);
+            let (dist, wall) = cast_ray(map, &self.player, ray_angle);
+            let corrected = dist * (ray_angle - self.player.angle).cos();
+            let wall_h = ((h as f64 / corrected.max(0.05)) as usize).min(h);
+            let top = (h - wall_h) / 2;
+            let shade = (255.0 / (1.0 + corrected * corrected * 0.08)) as u32;
+            let base = match wall {
+                1 => (shade, shade / 2, shade / 3),
+                2 => (shade / 3, shade, shade / 2),
+                3 => (shade / 2, shade / 3, shade),
+                _ => (shade, shade, shade / 4),
+            };
+            let colour = 0xFF00_0000 | (base.0 << 16) | (base.1 << 8) | base.2;
+            for y in top..top + wall_h {
+                fb[y * w + col] = colour;
+            }
+        }
+        fb
+    }
+}
+
+impl UserProgram for Doom {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        let cost = ctx.cost();
+        if !self.mapped {
+            if ctx.fb_map().is_err() {
+                return StepResult::Exited(1);
+            }
+            if let Ok((w, h)) = ctx.fb_info() {
+                self.width = w as usize;
+                self.height = h as usize;
+            }
+            self.mapped = true;
+            self.load_assets(ctx);
+            return StepResult::Continue;
+        }
+        let logic_start = ctx.now_us();
+        self.poll_input(ctx);
+        // Game logic: movement, collision against the map.
+        let map = self.map.clone().expect("assets loaded");
+        self.player.angle += self.turning;
+        let (sin, cos) = self.player.angle.sin_cos();
+        let nx = self.player.x + cos * self.moving;
+        let ny = self.player.y + sin * self.moving;
+        if map.at(nx as i64, ny as i64) == 0 {
+            self.player.x = nx;
+            self.player.y = ny;
+        }
+        // Raycast and draw.
+        let frame = self.render(&map);
+        let logic = cost.per_byte(cost.doom_logic_per_unit_milli, 400)
+            + cost.per_byte(cost.doom_ray_per_column_milli, self.width as u64);
+        ctx.charge_user(logic);
+        let logic_elapsed = (ctx.now_us() - logic_start) * 1_000;
+        let draw_start = ctx.now_us();
+        for y in 0..self.height {
+            if ctx
+                .fb_write(y * self.width, &frame[y * self.width..(y + 1) * self.width])
+                .is_err()
+            {
+                return StepResult::Exited(1);
+            }
+        }
+        let _ = ctx.fb_flush();
+        let present = (ctx.now_us() - draw_start) * 1_000;
+        self.frames += 1;
+        ctx.record_frame(FramePhases {
+            app_logic_cycles: logic_elapsed.max(logic),
+            draw_cycles: present / 3,
+            present_cycles: present - present / 3,
+        });
+        if self.max_frames > 0 && self.frames >= self.max_frames {
+            return StepResult::Exited(0);
+        }
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "doom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_hit_the_border_walls() {
+        let map = WorldMap::from_assets(&[0u8; 64]);
+        let player = Player {
+            x: 12.0,
+            y: 12.0,
+            angle: 0.0,
+        };
+        let (dist, wall) = cast_ray(&map, &player, 0.0);
+        assert!(dist > 1.0 && dist < 13.0, "hit the east border at {dist}");
+        assert_eq!(wall, 1);
+    }
+
+    #[test]
+    fn different_assets_give_different_maps() {
+        let a = WorldMap::from_assets(&(0..255u8).collect::<Vec<_>>());
+        let b = WorldMap::from_assets(&[7u8; 255]);
+        assert_ne!(a.cells, b.cells);
+        // The border is always solid in both.
+        for i in 0..MAP_SIZE as i64 {
+            assert_ne!(a.at(i, 0), 0);
+            assert_ne!(b.at(0, i), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_cells_are_solid() {
+        let map = WorldMap::from_assets(&[0u8; 16]);
+        assert_eq!(map.at(-1, 5), 1);
+        assert_eq!(map.at(5, MAP_SIZE as i64), 1);
+    }
+}

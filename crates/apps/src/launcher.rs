@@ -1,0 +1,166 @@
+//! launcher — the GUI frontend.
+//!
+//! "A GUI frontend for launching programs with an animated background" (§3).
+//! It draws a menu of registered programs into a window-manager surface,
+//! animates the background, and spawns the selected program when Enter is
+//! pressed (arrow keys move the selection).
+
+use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use kernel::vfs::OpenFlags;
+use kernel::wm::Rect;
+use protousb::KeyCode;
+use ulib::minisdl::SdlSurface;
+
+/// Launcher window width.
+pub const LAUNCHER_W: u32 = 280;
+/// Launcher window height.
+pub const LAUNCHER_H: u32 = 200;
+
+/// Menu entries the launcher offers (program name, binary path).
+pub const MENU: [(&str, &str); 6] = [
+    ("DOOM", "/bin/doom"),
+    ("Mario", "/bin/mario-sdl"),
+    ("Music", "/bin/musicplayer"),
+    ("Video", "/bin/videoplayer"),
+    ("Slides", "/bin/slider"),
+    ("Miner", "/bin/blockchain"),
+];
+
+/// The launcher app.
+#[derive(Debug)]
+pub struct Launcher {
+    surface_fd: Option<i32>,
+    event_fd: Option<i32>,
+    surface: SdlSurface,
+    selection: usize,
+    tick: u64,
+    /// Programs launched (for tests).
+    pub launched: u64,
+    /// Exit after this many frames (0 = run forever).
+    pub max_frames: u64,
+}
+
+impl Launcher {
+    /// Creates the launcher.
+    pub fn new() -> Self {
+        Launcher {
+            surface_fd: None,
+            event_fd: None,
+            surface: SdlSurface::new(LAUNCHER_W, LAUNCHER_H),
+            selection: 0,
+            tick: 0,
+            launched: 0,
+            max_frames: 0,
+        }
+    }
+}
+
+impl Default for Launcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserProgram for Launcher {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if self.surface_fd.is_none() {
+            let fd = match ctx.surface_create("launcher") {
+                Ok(fd) => fd,
+                Err(_) => return StepResult::Exited(1),
+            };
+            if ctx
+                .surface_configure(
+                    fd,
+                    Rect {
+                        x: 180,
+                        y: 120,
+                        w: LAUNCHER_W,
+                        h: LAUNCHER_H,
+                    },
+                    false,
+                )
+                .is_err()
+            {
+                return StepResult::Exited(1);
+            }
+            self.surface_fd = Some(fd);
+            self.event_fd = ctx.open("/dev/event1", OpenFlags::rdonly_nonblock()).ok();
+        }
+        // Input: arrows move the selection, Enter launches.
+        if let Some(fd) = self.event_fd {
+            while let Ok(Some(ev)) = ctx.read_key_event(fd) {
+                if !ev.pressed {
+                    continue;
+                }
+                match ev.code {
+                    KeyCode::Down => self.selection = (self.selection + 1) % MENU.len(),
+                    KeyCode::Up => {
+                        self.selection = (self.selection + MENU.len() - 1) % MENU.len()
+                    }
+                    KeyCode::Enter => {
+                        let (_, path) = MENU[self.selection];
+                        if ctx.spawn(path, &[]).is_ok() {
+                            self.launched += 1;
+                        }
+                    }
+                    KeyCode::Escape => return StepResult::Exited(0),
+                    _ => {}
+                }
+            }
+        }
+        // Animated background plus the menu rows.
+        self.tick += 1;
+        let phase = (self.tick % 64) as u32;
+        for y in 0..LAUNCHER_H {
+            for x in 0..LAUNCHER_W {
+                let v = ((x + y + phase * 4) % 64) + 20;
+                self.surface
+                    .put(x as i32, y as i32, 0xFF00_0000 | (v << 16) | (v / 2 << 8) | 60);
+            }
+        }
+        for (i, (name, _)) in MENU.iter().enumerate() {
+            let selected = i == self.selection;
+            let colour = if selected { 0xFFFFD040 } else { 0xFFB0B0C0 };
+            self.surface
+                .fill_rect(16, 16 + i as i32 * 28, LAUNCHER_W - 32, 22, 0xFF202028);
+            // A simple bar whose length encodes the entry name (no font
+            // rendering in the kernel's console tradition of simplicity).
+            self.surface
+                .fill_rect(22, 22 + i as i32 * 28, 10 + name.len() as u32 * 12, 10, colour);
+        }
+        let cost = ctx.cost();
+        let logic = cost.per_byte(cost.memset_per_byte_milli, (LAUNCHER_W * LAUNCHER_H) as u64);
+        ctx.charge_user(logic);
+        if let Some(fd) = self.surface_fd {
+            if ctx.surface_present(fd, &self.surface.pixels).is_err() {
+                return StepResult::Exited(1);
+            }
+        }
+        ctx.record_frame(FramePhases {
+            app_logic_cycles: logic,
+            draw_cycles: logic,
+            present_cycles: logic / 4,
+        });
+        if self.max_frames > 0 && self.tick >= self.max_frames {
+            return StepResult::Exited(0);
+        }
+        let _ = ctx.sleep_ms(33);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "launcher"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menu_covers_the_headline_apps() {
+        let names: Vec<&str> = MENU.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"DOOM"));
+        assert!(names.contains(&"Music"));
+        assert!(MENU.iter().all(|(_, p)| p.starts_with("/bin/")));
+    }
+}

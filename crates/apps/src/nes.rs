@@ -1,0 +1,687 @@
+//! The NES-style game engine and the three `mario` variants.
+//!
+//! The paper builds on LiteNES to run Mario Bros. and friends; shipping a
+//! 6502 emulator plus copyrighted ROMs is outside this reproduction's scope,
+//! so the substitute is a tile-and-sprite platformer engine with the same
+//! workload shape: a 256x240 frame rendered from a tile map and sprites
+//! every frame, physics/logic updates, and (optionally) input. What matters
+//! for the evaluation is the three *variants* of §7.3, which differ only in
+//! how they touch the OS:
+//!
+//! * [`MarioNoInput`] — Prototype 3: one task, direct framebuffer rendering,
+//!   no input (the game autoplays, as the paper describes).
+//! * [`MarioProc`] — Prototype 4: the main loop forks a timer process and a
+//!   keyboard-reader process; both write into a shared pipe the main loop
+//!   reads (the IPC event-loop pattern of §4.4).
+//! * [`MarioSdl`] — Prototype 5: threads instead of processes, minisdl, and
+//!   indirect rendering through the window manager.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use kernel::kbd::{decode_event, EVENT_RECORD_SIZE};
+use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use kernel::vfs::OpenFlags;
+use kernel::KernelError;
+use protousb::{KeyCode, KeyEvent};
+use ulib::minisdl::MiniSdl;
+
+/// NES screen width.
+pub const NES_W: usize = 256;
+/// NES screen height.
+pub const NES_H: usize = 240;
+/// Tile edge in pixels.
+const TILE: usize = 16;
+
+/// Player input for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NesInput {
+    /// Move left.
+    pub left: bool,
+    /// Move right.
+    pub right: bool,
+    /// Jump.
+    pub jump: bool,
+}
+
+impl NesInput {
+    /// Derives input from a key event (WASD / arrows / space).
+    pub fn from_key(ev: &KeyEvent) -> NesInput {
+        let mut i = NesInput::default();
+        if !ev.pressed {
+            return i;
+        }
+        match ev.code {
+            KeyCode::Left | KeyCode::Char('A') => i.left = true,
+            KeyCode::Right | KeyCode::Char('D') => i.right = true,
+            KeyCode::Up | KeyCode::Space | KeyCode::Char('W') => i.jump = true,
+            _ => {}
+        }
+        i
+    }
+}
+
+/// The platformer engine state.
+#[derive(Debug, Clone)]
+pub struct NesEngine {
+    /// Level layout seed (derived from the "ROM" file contents).
+    seed: u64,
+    /// Player position (fixed-point, 8 fractional bits).
+    px: i64,
+    py: i64,
+    vx: i64,
+    vy: i64,
+    on_ground: bool,
+    /// Frames simulated.
+    pub frames: u64,
+    /// Coins collected (the title-screen coin flash the paper mentions shows
+    /// up as coin state changes even in autoplay).
+    pub coins: u32,
+    /// Camera scroll in pixels.
+    pub scroll: i64,
+}
+
+impl NesEngine {
+    /// Creates an engine from ROM bytes (used only as a level seed, so any
+    /// file — including the synthetic ones the image builder installs —
+    /// produces a playable level).
+    pub fn new(rom: &[u8]) -> Self {
+        let seed = rom
+            .iter()
+            .take(1024)
+            .fold(0xcbf29ce484222325u64, |h, b| (h ^ *b as u64).wrapping_mul(0x100000001b3));
+        NesEngine {
+            seed: if seed == 0 { 1 } else { seed },
+            px: (32 << 8),
+            py: ((NES_H as i64 - 3 * TILE as i64) << 8),
+            vx: 0,
+            vy: 0,
+            on_ground: true,
+            frames: 0,
+            coins: 0,
+            scroll: 0,
+        }
+    }
+
+    fn ground_height(&self, tile_x: i64) -> i64 {
+        // Deterministic terrain from the seed: mostly flat with gaps/steps.
+        let h = (self.seed.rotate_left((tile_x % 63) as u32) >> 59) as i64;
+        (NES_H as i64 / TILE as i64) - 2 - (h % 3)
+    }
+
+    fn is_solid(&self, tile_x: i64, tile_y: i64) -> bool {
+        tile_y >= self.ground_height(tile_x)
+    }
+
+    /// Advances the game by one frame. With no input the game autoplays:
+    /// run right and hop over obstacles, as the input-less Prototype 3 mario
+    /// does on its title screen.
+    pub fn step(&mut self, input: NesInput) {
+        self.frames += 1;
+        let auto = input == NesInput::default();
+        let (left, right, jump) = if auto {
+            (false, true, self.frames % 48 == 0)
+        } else {
+            (input.left, input.right, input.jump)
+        };
+        if right {
+            self.vx = (self.vx + 12).min(300);
+        } else if left {
+            self.vx = (self.vx - 12).max(-300);
+        } else {
+            self.vx -= self.vx.signum() * 8;
+        }
+        if jump && self.on_ground {
+            self.vy = -850;
+            self.on_ground = false;
+        }
+        self.vy = (self.vy + 40).min(900);
+        self.px += self.vx;
+        self.py += self.vy;
+        let tile_x = (self.px >> 8) / TILE as i64;
+        let foot_tile = ((self.py >> 8) + TILE as i64) / TILE as i64;
+        if self.is_solid(tile_x, foot_tile) && self.vy >= 0 {
+            self.py = ((self.ground_height(tile_x) * TILE as i64 - TILE as i64) << 8).min(self.py);
+            self.vy = 0;
+            self.on_ground = true;
+        }
+        // Collect a "coin" every 64 pixels of progress.
+        if (self.px >> 8) / 64 > (self.coins as i64) {
+            self.coins += 1;
+        }
+        self.scroll = ((self.px >> 8) - 96).max(0);
+    }
+
+    /// Renders the current frame as ARGB pixels.
+    pub fn render(&self) -> Vec<u32> {
+        let mut fb = vec![0xFF5C94FCu32; NES_W * NES_H]; // NES sky blue
+        // Tiles.
+        for ty in 0..(NES_H / TILE) as i64 {
+            for tx in 0..(NES_W / TILE) as i64 + 1 {
+                let world_tx = tx + self.scroll / TILE as i64;
+                if self.is_solid(world_tx, ty) {
+                    let colour = if ty == self.ground_height(world_tx) {
+                        0xFF00A800 // grass
+                    } else {
+                        0xFFAC7C00 // dirt
+                    };
+                    let x0 = tx * TILE as i64 - self.scroll % TILE as i64;
+                    for dy in 0..TILE {
+                        for dx in 0..TILE {
+                            let x = x0 + dx as i64;
+                            let y = ty * TILE as i64 + dy as i64;
+                            if x >= 0 && x < NES_W as i64 && y < NES_H as i64 {
+                                fb[y as usize * NES_W + x as usize] = colour;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Coins (flashing, every 4th frame brighter).
+        let coin_colour = if self.frames % 8 < 4 { 0xFFFFD700 } else { 0xFFB8860B };
+        for c in 0..4 {
+            let cx = ((c * 80 + 40) as i64 - self.scroll % 320).rem_euclid(NES_W as i64);
+            for dy in 0..6i64 {
+                for dx in 0..6i64 {
+                    let y = 80 + dy;
+                    let x = cx + dx;
+                    if x >= 0 && x < NES_W as i64 {
+                        fb[y as usize * NES_W + x as usize] = coin_colour;
+                    }
+                }
+            }
+        }
+        // The player sprite (a red 12x16 rectangle with a cap).
+        let sx = ((self.px >> 8) - self.scroll).clamp(0, NES_W as i64 - 12);
+        let sy = (self.py >> 8).clamp(0, NES_H as i64 - 16);
+        for dy in 0..16i64 {
+            for dx in 0..12i64 {
+                let colour = if dy < 4 { 0xFFD03030 } else { 0xFF3030D0 };
+                fb[(sy + dy) as usize * NES_W + (sx + dx) as usize] = colour;
+            }
+        }
+        fb
+    }
+}
+
+fn load_rom(ctx: &mut UserCtx<'_>, path: &str) -> Vec<u8> {
+    let mut rom = Vec::new();
+    if let Ok(fd) = ctx.open(path, OpenFlags::rdonly()) {
+        while let Ok(chunk) = ctx.read(fd, 32 * 1024) {
+            if chunk.is_empty() {
+                break;
+            }
+            rom.extend_from_slice(&chunk);
+        }
+        let _ = ctx.close(fd);
+    }
+    if rom.is_empty() {
+        rom = b"builtin mario level".to_vec();
+    }
+    rom
+}
+
+fn charge_frame_logic(ctx: &mut UserCtx<'_>, units: u64) -> u64 {
+    let cost = ctx.cost();
+    let cycles = cost.per_byte(cost.nes_logic_per_unit_milli, units);
+    ctx.charge_user(cycles);
+    cycles
+}
+
+fn blit_to_fb(ctx: &mut UserCtx<'_>, frame: &[u32]) -> Result<u64, KernelError> {
+    // Scale the 256x240 frame 2x and write it to the framebuffer.
+    let (fb_w, fb_h) = ctx.fb_info()?;
+    let draw_start = ctx.now_us();
+    let scale = 2usize;
+    let mut row = vec![0u32; (NES_W * scale).min(fb_w as usize)];
+    for y in 0..NES_H {
+        for (x, px) in row.iter_mut().enumerate() {
+            *px = frame[y * NES_W + (x / scale).min(NES_W - 1)];
+        }
+        for dy in 0..scale {
+            let fy = y * scale + dy;
+            if fy >= fb_h as usize {
+                break;
+            }
+            ctx.fb_write(fy * fb_w as usize, &row)?;
+        }
+    }
+    ctx.fb_flush()?;
+    Ok((ctx.now_us() - draw_start) * 1_000)
+}
+
+// =====================================================================================
+// mario-noinput (Prototype 3)
+// =====================================================================================
+
+/// Prototype 3's mario: one task, direct rendering, no input (autoplay).
+#[derive(Debug)]
+pub struct MarioNoInput {
+    engine: Option<NesEngine>,
+    rom_path: String,
+    mapped: bool,
+    /// Stop after this many frames (0 = run forever).
+    pub max_frames: u64,
+}
+
+impl MarioNoInput {
+    /// Creates the app from exec arguments: `[rom-path] [frames]`.
+    pub fn from_args(args: &[String]) -> Self {
+        MarioNoInput {
+            engine: None,
+            rom_path: args.first().cloned().unwrap_or_else(|| "/mario.nes".into()),
+            mapped: false,
+            max_frames: args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0),
+        }
+    }
+}
+
+impl UserProgram for MarioNoInput {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if !self.mapped {
+            if ctx.fb_map().is_err() {
+                return StepResult::Exited(1);
+            }
+            self.mapped = true;
+        }
+        if self.engine.is_none() {
+            let rom = load_rom(ctx, &self.rom_path);
+            self.engine = Some(NesEngine::new(&rom));
+        }
+        let engine = self.engine.as_mut().expect("initialised above");
+        engine.step(NesInput::default());
+        let frame = engine.render();
+        let frames = engine.frames;
+        let logic = charge_frame_logic(ctx, 256);
+        let present = match blit_to_fb(ctx, &frame) {
+            Ok(c) => c,
+            Err(_) => return StepResult::Exited(1),
+        };
+        ctx.record_frame(FramePhases {
+            app_logic_cycles: logic,
+            draw_cycles: present / 2,
+            present_cycles: present / 2,
+        });
+        if self.max_frames > 0 && frames >= self.max_frames {
+            return StepResult::Exited(0);
+        }
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "mario"
+    }
+}
+
+// =====================================================================================
+// mario-proc (Prototype 4)
+// =====================================================================================
+
+/// The timer child: writes a tick byte into the shared pipe every few
+/// milliseconds (the `msleep()` process of §4.4).
+#[derive(Debug)]
+pub struct TimerProc {
+    pipe_w: i32,
+    period_ms: u64,
+}
+
+impl UserProgram for TimerProc {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        match ctx.write(self.pipe_w, b"T") {
+            Ok(_) | Err(KernelError::WouldBlock) => {}
+            Err(_) => return StepResult::Exited(0),
+        }
+        let _ = ctx.sleep_ms(self.period_ms);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "mario-timer"
+    }
+}
+
+/// The input child: blocks reading `/dev/events` and forwards each encoded
+/// event into the shared pipe.
+#[derive(Debug)]
+pub struct InputProc {
+    pipe_w: i32,
+    event_fd: Option<i32>,
+}
+
+impl UserProgram for InputProc {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if self.event_fd.is_none() {
+            match ctx.open("/dev/events", OpenFlags::rdonly()) {
+                Ok(fd) => self.event_fd = Some(fd),
+                Err(_) => return StepResult::Exited(1),
+            }
+        }
+        match ctx.read(self.event_fd.expect("opened above"), EVENT_RECORD_SIZE) {
+            Ok(bytes) if !bytes.is_empty() => {
+                let mut msg = vec![b'K'];
+                msg.extend_from_slice(&bytes);
+                let _ = ctx.write(self.pipe_w, &msg);
+                StepResult::Continue
+            }
+            Ok(_) => StepResult::Continue,
+            Err(KernelError::WouldBlock) => StepResult::Continue, // blocked; retried when woken
+            Err(_) => StepResult::Exited(1),
+        }
+    }
+    fn program_name(&self) -> &str {
+        "mario-input"
+    }
+}
+
+/// Prototype 4's mario: multiple processes connected by a pipe, direct
+/// rendering.
+#[derive(Debug)]
+pub struct MarioProc {
+    engine: Option<NesEngine>,
+    rom_path: String,
+    state: ProcState,
+    pipe_r: i32,
+    pipe_w: i32,
+    pending_input: NesInput,
+    /// Stop after this many frames (0 = run forever).
+    pub max_frames: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ProcState {
+    Setup,
+    Running,
+}
+
+impl MarioProc {
+    /// Creates the app from exec arguments: `[rom-path] [frames]`.
+    pub fn from_args(args: &[String]) -> Self {
+        MarioProc {
+            engine: None,
+            rom_path: args.first().cloned().unwrap_or_else(|| "/mario.nes".into()),
+            state: ProcState::Setup,
+            pipe_r: -1,
+            pipe_w: -1,
+            pending_input: NesInput::default(),
+            max_frames: args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0),
+        }
+    }
+}
+
+impl UserProgram for MarioProc {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if self.state == ProcState::Setup {
+            if ctx.fb_map().is_err() {
+                return StepResult::Exited(1);
+            }
+            let rom = load_rom(ctx, &self.rom_path);
+            self.engine = Some(NesEngine::new(&rom));
+            let (r, w) = match ctx.pipe() {
+                Ok(p) => p,
+                Err(_) => return StepResult::Exited(1),
+            };
+            self.pipe_r = r;
+            self.pipe_w = w;
+            // Fork the two helper processes of §4.4. They inherit the fd
+            // table, so the pipe write end has the same descriptor number.
+            if ctx
+                .fork(Box::new(TimerProc {
+                    pipe_w: w,
+                    period_ms: 8,
+                }))
+                .is_err()
+            {
+                return StepResult::Exited(1);
+            }
+            let _ = ctx.fork(Box::new(InputProc {
+                pipe_w: w,
+                event_fd: None,
+            }));
+            self.state = ProcState::Running;
+            return StepResult::Continue;
+        }
+
+        // Main loop: read whatever the children produced.
+        let msg = match ctx.read(self.pipe_r, 64) {
+            Ok(m) => m,
+            Err(KernelError::WouldBlock) => return StepResult::Continue,
+            Err(_) => return StepResult::Exited(1),
+        };
+        let cost = ctx.cost();
+        // Parse messages: 'T' = render a frame, 'K' + record = key event.
+        let mut render = false;
+        let mut i = 0usize;
+        while i < msg.len() {
+            match msg[i] {
+                b'T' => {
+                    render = true;
+                    i += 1;
+                }
+                b'K' if i + 1 + EVENT_RECORD_SIZE <= msg.len() => {
+                    if let Some(ev) = decode_event(&msg[i + 1..i + 1 + EVENT_RECORD_SIZE]) {
+                        self.pending_input = NesInput::from_key(&ev);
+                    }
+                    i += 1 + EVENT_RECORD_SIZE;
+                }
+                _ => i += 1,
+            }
+        }
+        if render {
+            let engine = self.engine.as_mut().expect("set up");
+            engine.step(self.pending_input);
+            self.pending_input = NesInput::default();
+            let frame = engine.render();
+            let frames = engine.frames;
+            let logic = cost.per_byte(cost.nes_logic_per_unit_milli, 256);
+            ctx.charge_user(logic);
+            let present = match blit_to_fb(ctx, &frame) {
+                Ok(c) => c,
+                Err(_) => return StepResult::Exited(1),
+            };
+            ctx.record_frame(FramePhases {
+                app_logic_cycles: logic,
+                draw_cycles: present / 2,
+                present_cycles: present / 2,
+            });
+            if self.max_frames > 0 && frames >= self.max_frames {
+                return StepResult::Exited(0);
+            }
+        }
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "mario-proc"
+    }
+}
+
+// =====================================================================================
+// mario-sdl (Prototype 5)
+// =====================================================================================
+
+/// The event thread of mario-sdl: blocks on `/dev/event1` and pushes decoded
+/// events into a queue shared with the render thread (threads share an
+/// address space, so sharing a queue is exactly what `clone(CLONE_VM)`
+/// enables).
+#[derive(Debug)]
+pub struct SdlEventThread {
+    shared: Arc<Mutex<VecDeque<KeyEvent>>>,
+    event_fd: Option<i32>,
+}
+
+impl UserProgram for SdlEventThread {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if self.event_fd.is_none() {
+            match ctx.open("/dev/event1", OpenFlags::rdonly()) {
+                Ok(fd) => self.event_fd = Some(fd),
+                Err(_) => return StepResult::Exited(1),
+            }
+        }
+        match ctx.read(self.event_fd.expect("opened above"), EVENT_RECORD_SIZE * 4) {
+            Ok(bytes) => {
+                let mut q = self.shared.lock().expect("event queue lock");
+                for chunk in bytes.chunks_exact(EVENT_RECORD_SIZE) {
+                    if let Some(ev) = decode_event(chunk) {
+                        q.push_back(ev);
+                    }
+                }
+                StepResult::Continue
+            }
+            Err(KernelError::WouldBlock) => StepResult::Continue,
+            Err(_) => StepResult::Exited(1),
+        }
+    }
+    fn program_name(&self) -> &str {
+        "mario-sdl-events"
+    }
+}
+
+/// Prototype 5's mario: threads, minisdl and indirect rendering through the
+/// window manager.
+#[derive(Debug)]
+pub struct MarioSdl {
+    engine: Option<NesEngine>,
+    rom_path: String,
+    sdl: Option<MiniSdl>,
+    shared_events: Arc<Mutex<VecDeque<KeyEvent>>>,
+    thread_spawned: bool,
+    /// Window position (lets several instances tile the desktop).
+    pub window_x: u32,
+    /// Window position.
+    pub window_y: u32,
+    /// Stop after this many frames (0 = run forever).
+    pub max_frames: u64,
+}
+
+impl MarioSdl {
+    /// Creates the app from exec arguments: `[rom-path] [frames] [x] [y]`.
+    pub fn from_args(args: &[String]) -> Self {
+        MarioSdl {
+            engine: None,
+            rom_path: args.first().cloned().unwrap_or_else(|| "/mario.nes".into()),
+            sdl: None,
+            shared_events: Arc::new(Mutex::new(VecDeque::new())),
+            thread_spawned: false,
+            window_x: args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8),
+            window_y: args.get(3).and_then(|a| a.parse().ok()).unwrap_or(8),
+            max_frames: args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0),
+        }
+    }
+}
+
+impl UserProgram for MarioSdl {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        let cost = ctx.cost();
+        if self.sdl.is_none() {
+            let rom = load_rom(ctx, &self.rom_path);
+            self.engine = Some(NesEngine::new(&rom));
+            match MiniSdl::init_windowed(
+                ctx,
+                "mario",
+                self.window_x,
+                self.window_y,
+                NES_W as u32,
+                NES_H as u32,
+                false,
+            ) {
+                Ok(sdl) => self.sdl = Some(sdl),
+                Err(_) => return StepResult::Exited(1),
+            }
+        }
+        if !self.thread_spawned {
+            let thread = SdlEventThread {
+                shared: Arc::clone(&self.shared_events),
+                event_fd: None,
+            };
+            if ctx.clone_thread(Box::new(thread)).is_err() {
+                // Threading unavailable (earlier prototype): poll instead.
+            }
+            self.thread_spawned = true;
+        }
+        // Drain events collected by the event thread.
+        let mut input = NesInput::default();
+        {
+            let mut q = self.shared_events.lock().expect("event queue lock");
+            while let Some(ev) = q.pop_front() {
+                let i = NesInput::from_key(&ev);
+                input.left |= i.left;
+                input.right |= i.right;
+                input.jump |= i.jump;
+            }
+        }
+        let engine = self.engine.as_mut().expect("initialised above");
+        engine.step(input);
+        let frame = engine.render();
+        let frames = engine.frames;
+        // App logic plus the full newlib + SDL layering overhead of §7.3.
+        let logic = cost.per_byte(cost.nes_logic_per_unit_milli, 256) + cost.sdl_layer_per_frame;
+        ctx.charge_user(logic);
+        let sdl = self.sdl.as_mut().expect("initialised above");
+        let draw_start = ctx.now_us();
+        sdl.surface.pixels.copy_from_slice(&frame);
+        let present = match sdl.present(ctx) {
+            Ok(c) => c,
+            Err(_) => return StepResult::Exited(1),
+        };
+        let draw = (ctx.now_us() - draw_start) * 1_000 - present.min((ctx.now_us()) * 1_000);
+        ctx.record_frame(FramePhases {
+            app_logic_cycles: logic,
+            draw_cycles: draw.min(present),
+            present_cycles: present,
+        });
+        if self.max_frames > 0 && frames >= self.max_frames {
+            return StepResult::Exited(0);
+        }
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "mario-sdl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_autoplays_and_makes_progress() {
+        let mut e = NesEngine::new(b"test rom");
+        let start_x = e.px;
+        for _ in 0..300 {
+            e.step(NesInput::default());
+        }
+        assert!(e.px > start_x, "autoplay moves right");
+        assert!(e.coins > 0, "coins get collected");
+        assert_eq!(e.frames, 300);
+    }
+
+    #[test]
+    fn rendering_produces_a_full_frame_with_sky_ground_and_sprite() {
+        let e = NesEngine::new(b"rom");
+        let frame = e.render();
+        assert_eq!(frame.len(), NES_W * NES_H);
+        assert!(frame.contains(&0xFF5C94FC), "sky visible");
+        assert!(frame.contains(&0xFF00A800), "grass visible");
+        assert!(frame.contains(&0xFF3030D0), "player sprite visible");
+    }
+
+    #[test]
+    fn input_derivation_maps_game_keys() {
+        let ev = |code, pressed| KeyEvent {
+            code,
+            modifiers: Default::default(),
+            pressed,
+            timestamp_us: 0,
+        };
+        assert!(NesInput::from_key(&ev(KeyCode::Right, true)).right);
+        assert!(NesInput::from_key(&ev(KeyCode::Space, true)).jump);
+        assert!(!NesInput::from_key(&ev(KeyCode::Right, false)).right, "release is ignored");
+    }
+
+    #[test]
+    fn different_roms_give_different_levels() {
+        let a = NesEngine::new(b"rom A");
+        let b = NesEngine::new(b"rom B completely different");
+        let heights_a: Vec<i64> = (0..32).map(|x| a.ground_height(x)).collect();
+        let heights_b: Vec<i64> = (0..32).map(|x| b.ground_height(x)).collect();
+        assert_ne!(heights_a, heights_b);
+    }
+}

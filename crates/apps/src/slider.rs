@@ -1,0 +1,164 @@
+//! slider — the slide viewer.
+//!
+//! "A slide viewer for BMP, PNG, and GIF formats, intended for the OS
+//! builders to present their design" (§3) — and indeed Figure 1(f) shows
+//! Proto projecting its own slides in a classroom. The reproduction decodes
+//! BMP slides from the filesystem (PNG/GIF assets are substituted by BMP
+//! test cards) and pages through them with the keyboard.
+
+use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use kernel::vfs::OpenFlags;
+use protousb::KeyCode;
+use ulib::image::{decode_bmp, Image};
+
+/// The slide-viewer app.
+#[derive(Debug)]
+pub struct Slider {
+    slide_dir: String,
+    slides: Vec<String>,
+    current: usize,
+    loaded: bool,
+    mapped: bool,
+    event_fd: Option<i32>,
+    shown: u64,
+    needs_redraw: bool,
+    /// Exit after showing this many slides (0 = run forever).
+    pub max_shown: u64,
+}
+
+impl Slider {
+    /// Creates the viewer from exec arguments: `[slide-dir] [count]`.
+    pub fn from_args(args: &[String]) -> Self {
+        Slider {
+            slide_dir: args.first().cloned().unwrap_or_else(|| "/d/slides".into()),
+            slides: Vec::new(),
+            current: 0,
+            loaded: false,
+            mapped: false,
+            event_fd: None,
+            shown: 0,
+            needs_redraw: true,
+            max_shown: args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0),
+        }
+    }
+
+    /// Number of slides discovered.
+    pub fn slide_count(&self) -> usize {
+        self.slides.len()
+    }
+
+    fn load_slide(&self, ctx: &mut UserCtx<'_>, name: &str) -> Image {
+        let path = format!("{}/{}", self.slide_dir, name);
+        if let Ok(fd) = ctx.open(&path, OpenFlags::rdonly()) {
+            let mut data = Vec::new();
+            while let Ok(chunk) = ctx.read(fd, 128 * 1024) {
+                if chunk.is_empty() {
+                    break;
+                }
+                data.extend_from_slice(&chunk);
+            }
+            let _ = ctx.close(fd);
+            if let Ok(img) = decode_bmp(&data) {
+                return img;
+            }
+        }
+        // Missing or undecodable slide: show an obvious placeholder card.
+        Image::solid(320, 240, 0xFF802020)
+    }
+}
+
+impl UserProgram for Slider {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if !self.mapped {
+            if ctx.fb_map().is_err() {
+                return StepResult::Exited(1);
+            }
+            self.mapped = true;
+        }
+        if !self.loaded {
+            self.slides = ctx
+                .list_dir(&self.slide_dir)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|n| n.to_ascii_lowercase().ends_with(".bmp"))
+                .collect();
+            self.slides.sort();
+            self.loaded = true;
+            if self.slides.is_empty() {
+                ctx.print("slider: no slides found");
+                return StepResult::Exited(1);
+            }
+            self.event_fd = ctx.open("/dev/events", OpenFlags::rdonly_nonblock()).ok();
+        }
+        // Keyboard: right/space = next slide, left = previous, escape = quit.
+        if let Some(fd) = self.event_fd {
+            while let Ok(Some(ev)) = ctx.read_key_event(fd) {
+                if !ev.pressed {
+                    continue;
+                }
+                match ev.code {
+                    KeyCode::Right | KeyCode::Space => {
+                        self.current = (self.current + 1) % self.slides.len();
+                        self.needs_redraw = true;
+                    }
+                    KeyCode::Left => {
+                        self.current = (self.current + self.slides.len() - 1) % self.slides.len();
+                        self.needs_redraw = true;
+                    }
+                    KeyCode::Escape => return StepResult::Exited(0),
+                    _ => {}
+                }
+            }
+        }
+        if self.needs_redraw {
+            let name = self.slides[self.current].clone();
+            let img = self.load_slide(ctx, &name);
+            let (fb_w, fb_h) = match ctx.fb_info() {
+                Ok(g) => g,
+                Err(_) => return StepResult::Exited(1),
+            };
+            let scaled = img.scale_to(fb_w, fb_h);
+            let cost = ctx.cost();
+            let logic = cost.per_byte(cost.pixel_convert_simd_per_px_milli, (fb_w * fb_h) as u64);
+            ctx.charge_user(logic);
+            let draw_start = ctx.now_us();
+            for y in 0..fb_h {
+                let row = &scaled.pixels[(y * fb_w) as usize..((y + 1) * fb_w) as usize];
+                if ctx.fb_write((y * fb_w) as usize, row).is_err() {
+                    return StepResult::Exited(1);
+                }
+            }
+            let _ = ctx.fb_flush();
+            let present = (ctx.now_us() - draw_start) * 1_000;
+            ctx.record_frame(FramePhases {
+                app_logic_cycles: logic,
+                draw_cycles: present / 2,
+                present_cycles: present / 2,
+            });
+            self.shown += 1;
+            self.needs_redraw = false;
+            if self.max_shown > 0 && self.shown >= self.max_shown {
+                return StepResult::Exited(0);
+            }
+        }
+        // Idle until the next keypress check.
+        let _ = ctx.sleep_ms(30);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "slider"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_select_directory_and_count() {
+        let s = Slider::from_args(&["/d/deck".into(), "3".into()]);
+        assert_eq!(s.slide_dir, "/d/deck");
+        assert_eq!(s.max_shown, 3);
+        assert_eq!(Slider::from_args(&[]).slide_dir, "/d/slides");
+    }
+}

@@ -1,0 +1,152 @@
+//! sysmon — the floating, transparent CPU/memory monitor.
+//!
+//! "A floating, transparent window that visualizes real-time CPU and memory
+//! usage" (§3). It reads `/proc/meminfo` and `/proc/tasks`, renders bar
+//! charts into a small window-manager surface marked floating, and the WM
+//! blends it at 50% on top of whatever is running (Figure 1(m)).
+
+use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use kernel::vfs::OpenFlags;
+use kernel::wm::Rect;
+use ulib::minisdl::SdlSurface;
+
+/// Window width.
+pub const SYSMON_W: u32 = 160;
+/// Window height.
+pub const SYSMON_H: u32 = 96;
+
+/// The sysmon overlay app.
+#[derive(Debug)]
+pub struct Sysmon {
+    surface_fd: Option<i32>,
+    surface: SdlSurface,
+    updates: u64,
+    /// Stop after this many refreshes (0 = run forever).
+    pub max_updates: u64,
+    /// The last memory-usage fraction observed (for tests).
+    pub last_mem_fraction: f64,
+}
+
+impl Sysmon {
+    /// Creates the overlay.
+    pub fn new() -> Self {
+        Sysmon {
+            surface_fd: None,
+            surface: SdlSurface::new(SYSMON_W, SYSMON_H),
+            updates: 0,
+            max_updates: 0,
+            last_mem_fraction: 0.0,
+        }
+    }
+
+    fn read_proc(ctx: &mut UserCtx<'_>, path: &str) -> String {
+        let Ok(fd) = ctx.open(path, OpenFlags::rdonly()) else {
+            return String::new();
+        };
+        let mut out = Vec::new();
+        while let Ok(chunk) = ctx.read(fd, 4096) {
+            if chunk.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&chunk);
+        }
+        let _ = ctx.close(fd);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    fn parse_kb(line: &str) -> Option<u64> {
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+}
+
+impl Default for Sysmon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserProgram for Sysmon {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        if self.surface_fd.is_none() {
+            let fd = match ctx.surface_create("sysmon") {
+                Ok(fd) => fd,
+                Err(_) => return StepResult::Exited(1),
+            };
+            if ctx
+                .surface_configure(
+                    fd,
+                    Rect {
+                        x: 640 - SYSMON_W - 8,
+                        y: 8,
+                        w: SYSMON_W,
+                        h: SYSMON_H,
+                    },
+                    true, // floating + semi-transparent
+                )
+                .is_err()
+            {
+                return StepResult::Exited(1);
+            }
+            self.surface_fd = Some(fd);
+        }
+        // Gather statistics from procfs.
+        let meminfo = Self::read_proc(ctx, "/proc/meminfo");
+        let tasks = Self::read_proc(ctx, "/proc/tasks");
+        let total_kb = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemTotal"))
+            .and_then(Self::parse_kb)
+            .unwrap_or(1);
+        let used_kb = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemUsed"))
+            .and_then(Self::parse_kb)
+            .unwrap_or(0);
+        let task_count = tasks.lines().count().saturating_sub(1);
+        self.last_mem_fraction = used_kb as f64 / total_kb as f64;
+
+        // Render: background, memory bar, one small bar per task.
+        self.surface.clear(0xC0101018);
+        let mem_px = ((SYSMON_W - 16) as f64 * self.last_mem_fraction.min(1.0)) as u32;
+        self.surface.fill_rect(8, 8, SYSMON_W - 16, 12, 0xFF303040);
+        self.surface.fill_rect(8, 8, mem_px.max(1), 12, 0xFF40C040);
+        for (i, _) in (0..task_count.min(16)).enumerate() {
+            self.surface
+                .fill_rect(8 + (i as i32 * 9), 32, 7, 40, 0xFFC08030);
+        }
+        let cost = ctx.cost();
+        let logic = cost.per_byte(cost.memset_per_byte_milli, (SYSMON_W * SYSMON_H) as u64);
+        ctx.charge_user(logic);
+        if let Some(fd) = self.surface_fd {
+            if ctx.surface_present(fd, &self.surface.pixels).is_err() {
+                return StepResult::Exited(1);
+            }
+        }
+        ctx.record_frame(FramePhases {
+            app_logic_cycles: logic,
+            draw_cycles: logic / 2,
+            present_cycles: logic / 2,
+        });
+        self.updates += 1;
+        if self.max_updates > 0 && self.updates >= self.max_updates {
+            return StepResult::Exited(0);
+        }
+        // Refresh twice a second.
+        let _ = ctx.sleep_ms(500);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "sysmon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meminfo_lines_parse() {
+        assert_eq!(Sysmon::parse_kb("MemTotal: 1048576 kB"), Some(1_048_576));
+        assert_eq!(Sysmon::parse_kb("garbage"), None);
+    }
+}

@@ -1,0 +1,16 @@
+//! Criterion bench: cost of simulating one DOOM frame end to end.
+use bench::appbench::{measure_fps, AppRun};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hal::cost::Platform;
+
+fn bench_apps(c: &mut Criterion) {
+    c.bench_function("doom_one_virtual_second", |b| {
+        b.iter(|| measure_fps(AppRun::Doom, Platform::Pi3, 50, 500))
+    });
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_apps
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the storage stack: xv6fs and FAT32 read paths.
+use criterion::{criterion_group, criterion_main, Criterion};
+use protofs::bufcache::BufCache;
+use protofs::fat32::Fat32;
+use protofs::xv6fs::Xv6Fs;
+use protofs::MemDisk;
+
+fn bench_fs(c: &mut Criterion) {
+    c.bench_function("xv6fs_write_read_64k", |b| {
+        b.iter(|| {
+            let mut dev = MemDisk::new(4096);
+            let mut bc = BufCache::default();
+            let fs = Xv6Fs::mkfs(&mut dev, &mut bc, 2048, 64).unwrap();
+            let data = vec![7u8; 64 * 1024];
+            fs.write_file(&mut dev, &mut bc, "/f", &data).unwrap();
+            fs.read_file(&mut dev, &mut bc, "/f").unwrap()
+        })
+    });
+    c.bench_function("fat32_write_read_256k", |b| {
+        b.iter(|| {
+            let mut dev = MemDisk::new(8192);
+            let mut bc = BufCache::default();
+            let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+            let data = vec![9u8; 256 * 1024];
+            fs.write_file(&mut dev, &mut bc, "/f.bin", &data).unwrap();
+            fs.read_file(&mut dev, &mut bc, "/f.bin").unwrap()
+        })
+    });
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fs
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper over the kernel microbenchmarks (wall-clock cost of
+//! simulating each syscall path; the virtual-cycle results are what the
+//! fig8/fig9 binaries report).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hal::cost::Platform;
+use kernel::KernelVariant;
+
+fn bench_micro(c: &mut Criterion) {
+    c.bench_function("microbenchmark_suite_pi3", |b| {
+        b.iter(|| bench::micro::run_microbenchmarks(Platform::Pi3, KernelVariant::Proto, 10))
+    });
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_micro
+}
+criterion_main!(benches);

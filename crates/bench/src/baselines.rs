@@ -1,0 +1,133 @@
+//! Reference baselines for Linux, FreeBSD and xv6-armv8.
+//!
+//! The paper compares against xv6-armv8, Ubuntu 22.04 and FreeBSD 14.2 *on
+//! the physical Pi 3*. The xv6 baseline is executable in this reproduction
+//! (the `Xv6Baseline` kernel variant); Linux and FreeBSD are not — we have
+//! neither their source trees in scope nor the hardware — so they are
+//! represented as calibrated reference factors transcribed from the paper's
+//! published bars (Figure 9) and Table 5 columns. The harness multiplies our
+//! measured values by these factors, which preserves who wins and by how
+//! much while making the provenance explicit in every output.
+
+use serde::{Deserialize, Serialize};
+
+/// A comparison OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineOs {
+    /// Ubuntu 22.04 (glibc, SDL2, X without a window manager).
+    Linux,
+    /// FreeBSD 14.2.
+    FreeBsd,
+}
+
+impl BaselineOs {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineOs::Linux => "Linux",
+            BaselineOs::FreeBsd => "FreeBSD",
+        }
+    }
+}
+
+/// Relative latency of a baseline OS on one microbenchmark, expressed as a
+/// multiple of Proto's latency (Figure 9 normalises to ours = 1.0; a value
+/// below 1.0 means the baseline is faster).
+pub fn micro_factor(os: BaselineOs, benchmark: &str) -> Option<f64> {
+    use BaselineOs::*;
+    // Transcribed from Figure 9; `None` marks the bars the paper crosses out
+    // ("could not be run due to missing OS features" does not apply to
+    // Linux/FreeBSD, but a few bars are effectively at parity).
+    let v = match (os, benchmark) {
+        (Linux, "getpid") => 0.9,
+        (Linux, "fork") => 1.0 / 17.0, // the "x17" annotation
+        (Linux, "sbrk") => 0.8,
+        (Linux, "ipc") => 0.9,
+        (Linux, "malloc") => 0.8,
+        (Linux, "memset") => 0.95,
+        (Linux, "md5sum") => 0.9,
+        (Linux, "qsort") => 0.9,
+        (Linux, "ramfs/r") => 0.7,
+        (Linux, "ramfs/w") => 0.7,
+        (Linux, "diskfs/r") => 0.35,
+        (Linux, "diskfs/w") => 0.4,
+        (FreeBsd, "getpid") => 1.1,
+        (FreeBsd, "fork") => 1.0 / 10.0, // the "x10" annotation
+        (FreeBsd, "sbrk") => 0.9,
+        (FreeBsd, "ipc") => 1.1,
+        (FreeBsd, "malloc") => 0.9,
+        (FreeBsd, "memset") => 1.0,
+        (FreeBsd, "md5sum") => 0.95,
+        (FreeBsd, "qsort") => 0.95,
+        (FreeBsd, "ramfs/r") => 0.8,
+        (FreeBsd, "ramfs/w") => 0.85,
+        (FreeBsd, "diskfs/r") => 0.45,
+        (FreeBsd, "diskfs/w") => 0.5,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Table 5's Linux/FreeBSD FPS columns on the Pi 3, as the paper reports
+/// them. `None` marks the dashes (mario-noinput/proc depend on Proto-specific
+/// devfs/procfs interfaces and do not run elsewhere).
+pub fn table5_reported_fps(os: BaselineOs, app: &str) -> Option<f64> {
+    use BaselineOs::*;
+    match (os, app) {
+        (Linux, "DOOM") => Some(31.88),
+        (Linux, "video (480p)") => Some(19.00),
+        (Linux, "video (720p)") => Some(10.05),
+        (Linux, "mario-sdl") => Some(87.28),
+        (FreeBsd, "DOOM") => Some(51.24),
+        (FreeBsd, "video (480p)") => Some(24.40),
+        (FreeBsd, "video (720p)") => Some(14.60),
+        (FreeBsd, "mario-sdl") => Some(56.38),
+        _ => None,
+    }
+}
+
+/// The paper's own reported values for Table 5's "Ours" columns, used by
+/// EXPERIMENTS.md to show paper-vs-measured side by side.
+pub fn table5_paper_ours(platform: &str, app: &str) -> Option<f64> {
+    match (platform, app) {
+        ("Pi3", "DOOM") => Some(61.80),
+        ("Pi3", "video (480p)") => Some(26.68),
+        ("Pi3", "video (720p)") => Some(11.57),
+        ("Pi3", "mario-noinput") => Some(108.11),
+        ("Pi3", "mario-proc") => Some(114.72),
+        ("Pi3", "mario-sdl") => Some(72.20),
+        ("qemu-wsl", "DOOM") => Some(99.86),
+        ("qemu-wsl", "video (480p)") => Some(30.26),
+        ("qemu-wsl", "video (720p)") => Some(18.37),
+        ("qemu-wsl", "mario-noinput") => Some(137.55),
+        ("qemu-wsl", "mario-proc") => Some(143.37),
+        ("qemu-wsl", "mario-sdl") => Some(121.55),
+        ("qemu-vm", "DOOM") => Some(92.13),
+        ("qemu-vm", "video (480p)") => Some(28.18),
+        ("qemu-vm", "video (720p)") => Some(15.91),
+        ("qemu-vm", "mario-noinput") => Some(106.16),
+        ("qemu-vm", "mario-proc") => Some(185.69),
+        ("qemu-vm", "mario-sdl") => Some(192.98),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_factors_encode_the_x17_and_x10_annotations() {
+        assert!((1.0 / micro_factor(BaselineOs::Linux, "fork").unwrap() - 17.0).abs() < 1e-9);
+        assert!((1.0 / micro_factor(BaselineOs::FreeBsd, "fork").unwrap() - 10.0).abs() < 1e-9);
+        assert!(micro_factor(BaselineOs::Linux, "nonexistent").is_none());
+    }
+
+    #[test]
+    fn table5_reference_data_matches_the_paper() {
+        assert_eq!(table5_reported_fps(BaselineOs::Linux, "DOOM"), Some(31.88));
+        assert_eq!(table5_reported_fps(BaselineOs::Linux, "mario-proc"), None);
+        assert_eq!(table5_paper_ours("Pi3", "DOOM"), Some(61.80));
+        assert_eq!(table5_paper_ours("qemu-vm", "mario-sdl"), Some(192.98));
+    }
+}

@@ -1,0 +1,5 @@
+//! Table 1: the prototype feature matrix.
+fn main() {
+    println!("Table 1 — feature matrix of all prototypes\n");
+    println!("{}", proto::feature_matrix::render());
+}

@@ -1,0 +1,33 @@
+//! Table 5: application throughput (FPS) across platforms.
+use bench::appbench::{measure_fps, AppRun};
+use bench::baselines::{table5_paper_ours, table5_reported_fps, BaselineOs};
+use bench::report;
+use hal::cost::Platform;
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warm, measure) = if quick { (200, 1000) } else { (1000, 4000) };
+    println!("Table 5 — throughput (FPS) of benchmark apps");
+    println!("(measured on the simulated platforms; Linux/FreeBSD columns are the paper's reported values)\n");
+    let mut rows = Vec::new();
+    let mut dump = Vec::new();
+    for app in AppRun::ALL {
+        let mut cells = vec![app.name().to_string()];
+        for platform in [Platform::Pi3, Platform::QemuWsl, Platform::QemuVm] {
+            let r = measure_fps(app, platform, warm, measure);
+            let paper = table5_paper_ours(platform.name(), app.name());
+            cells.push(format!("{:.1} (paper {:.1})", r.fps, paper.unwrap_or(f64::NAN)));
+            dump.push(r);
+        }
+        for os in [BaselineOs::Linux, BaselineOs::FreeBsd] {
+            cells.push(match table5_reported_fps(os, app.name()) {
+                Some(v) => format!("{v:.1}"),
+                None => "-".to_string(),
+            });
+        }
+        rows.push(cells);
+    }
+    println!("{}", report::table(&["app", "Pi3 (ours)", "qemu-wsl (ours)", "qemu-vm (ours)", "Linux@Pi3", "FreeBSD@Pi3"], &rows));
+    println!("\nOS memory while running single apps: {}",
+        dump.iter().map(|r| format!("{} {:.0}MB", r.app, r.os_memory_mb)).collect::<Vec<_>>().join(", "));
+    report::write_json("table5_throughput", &dump);
+}

@@ -1,0 +1,17 @@
+//! The benchmark harness.
+//!
+//! One module per experiment class, plus a binary per table/figure under
+//! `src/bin/` that prints the rows the paper reports and writes a JSON dump
+//! next to them (under `target/experiments/`). See DESIGN.md's
+//! per-experiment index for the mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appbench;
+pub mod baselines;
+pub mod micro;
+pub mod report;
+
+pub use appbench::{measure_fps, AppRun, FpsResult};
+pub use micro::{run_microbenchmarks, MicroResults};

@@ -1,0 +1,308 @@
+//! Kernel and user-level microbenchmarks (Figures 8 and 9).
+//!
+//! Each benchmark drives the real kernel path through a bench task's syscall
+//! context and measures elapsed virtual cycles (1 cycle = 1 ns on the Pi 3
+//! model), averaging over many iterations exactly as the paper averages over
+//! 5 000 runs. User-level compute benchmarks (malloc, memset, md5sum, qsort)
+//! execute the real kernels from `ulib` and charge the platform's per-unit
+//! costs, with the musl penalty applied for the xv6-baseline variant.
+
+use hal::cost::Platform;
+use kernel::vfs::OpenFlags;
+use kernel::{KernelConfig, KernelVariant, TaskId};
+use proto::prototype::{ProtoSystem, SystemOptions};
+use serde::{Deserialize, Serialize};
+
+/// Latencies in microseconds (or throughput in KB/s for the file rows) for
+/// the microbenchmark suite.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MicroResults {
+    /// Which variant produced these numbers.
+    pub variant: String,
+    /// `getpid` latency, µs.
+    pub getpid_us: f64,
+    /// `fork` latency, µs.
+    pub fork_us: f64,
+    /// `sbrk` (one page) latency, µs.
+    pub sbrk_us: f64,
+    /// One-byte pipe round trip (write + read), µs.
+    pub ipc_us: f64,
+    /// malloc/free pair, µs.
+    pub malloc_us: f64,
+    /// 64 KB memset, µs.
+    pub memset_us: f64,
+    /// md5sum of 64 KB, µs.
+    pub md5sum_us: f64,
+    /// qsort of 4096 elements, µs.
+    pub qsort_us: f64,
+    /// ramfs (xv6fs-on-ramdisk) sequential read throughput, KB/s.
+    pub ramfs_read_kbs: f64,
+    /// ramfs write throughput, KB/s.
+    pub ramfs_write_kbs: f64,
+    /// diskfs (FAT32-on-SD) sequential read throughput, KB/s.
+    pub diskfs_read_kbs: f64,
+    /// diskfs write throughput, KB/s.
+    pub diskfs_write_kbs: f64,
+}
+
+/// FAT32 file-system throughput at one transfer size (Figure 8 left).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FsThroughputRow {
+    /// Transfer/file size in bytes.
+    pub size: usize,
+    /// Read throughput, KB/s.
+    pub read_kbs: f64,
+    /// Write throughput, KB/s.
+    pub write_kbs: f64,
+}
+
+/// The Figure 8 bundle: FAT32 throughput, syscall/IPC latency, boot times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure8 {
+    /// FAT32 throughput at 4 KB / 128 KB / 512 KB.
+    pub fs_throughput: Vec<FsThroughputRow>,
+    /// `getpid` latency, µs.
+    pub syscall_us: f64,
+    /// One-byte pipe IPC latency, µs.
+    pub ipc_us: f64,
+    /// Firmware kernel-load time, ms.
+    pub kernel_load_ms: u64,
+    /// Power-on to shell prompt, ms.
+    pub boot_to_prompt_ms: u64,
+}
+
+fn total_cycles(sys: &ProtoSystem) -> u64 {
+    (0..hal::NUM_CORES).map(|c| sys.kernel.board.clock.cycles(c)).sum()
+}
+
+fn elapsed_us<R>(sys: &mut ProtoSystem, f: impl FnOnce(&mut ProtoSystem) -> R) -> (f64, R) {
+    let before = total_cycles(sys);
+    let r = f(sys);
+    let after = total_cycles(sys);
+    (sys.kernel.board.clock.cycles_to_ns(after - before) as f64 / 1_000.0, r)
+}
+
+fn bench_system(platform: Platform, variant: KernelVariant) -> (ProtoSystem, TaskId) {
+    let mut options = SystemOptions::benchmark(platform);
+    options.small_assets = true;
+    options.variant = variant;
+    let mut sys = ProtoSystem::build(options).expect("bench system builds");
+    let tid = sys.kernel.spawn_bench_task("bench").expect("bench task");
+    (sys, tid)
+}
+
+/// Runs the full microbenchmark suite on a platform/variant.
+pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u32) -> MicroResults {
+    let (mut sys, tid) = bench_system(platform, variant);
+    let iters = iters.max(1);
+    let mut r = MicroResults {
+        variant: format!("{variant:?}"),
+        ..Default::default()
+    };
+    let penalty = if variant == KernelVariant::Xv6Baseline {
+        sys.kernel.board.cost.musl_compute_penalty
+    } else {
+        1.0
+    };
+
+    // getpid.
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..iters {
+            s.kernel.with_task_ctx(tid, |ctx| ctx.getpid());
+        }
+    });
+    r.getpid_us = us / iters as f64;
+
+    // sbrk (grow by one page each time).
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..iters.min(200) {
+            s.kernel.with_task_ctx(tid, |ctx| ctx.sbrk(4096)).expect("sbrk");
+        }
+    });
+    r.sbrk_us = us / iters.min(200) as f64;
+
+    // fork: fork a trivial child, measured per call (children exit on their
+    // first step once the scheduler runs them; we reap lazily).
+    struct ExitNow;
+    impl kernel::UserProgram for ExitNow {
+        fn step(&mut self, _ctx: &mut kernel::UserCtx<'_>) -> kernel::StepResult {
+            kernel::StepResult::Exited(0)
+        }
+    }
+    let fork_iters = iters.min(50).max(1);
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..fork_iters {
+            s.kernel
+                .with_task_ctx(tid, |ctx| ctx.fork(Box::new(ExitNow)))
+                .expect("fork");
+        }
+    });
+    r.fork_us = us / fork_iters as f64;
+    sys.run_ms(50); // let the children run and exit
+
+    // ipc: one byte over a pipe (write syscall + read syscall).
+    let (read_fd, write_fd) = sys.kernel.with_task_ctx(tid, |ctx| ctx.pipe()).expect("pipe");
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..iters {
+            s.kernel
+                .with_task_ctx(tid, |ctx| {
+                    ctx.write(write_fd, b"x")?;
+                    ctx.read(read_fd, 1)
+                })
+                .expect("pipe transfer");
+        }
+    });
+    r.ipc_us = us / iters as f64;
+
+    // malloc/free pair through the user allocator plus its per-op charge.
+    let cost = sys.kernel.cost_model();
+    let mut alloc = ulib::UserAllocator::new(0x40_0000);
+    alloc.grow(1 << 20);
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for i in 0..iters {
+            let addr = alloc.malloc(64 + (i % 32) as u64 * 8).expect("malloc");
+            alloc.free(addr).expect("free");
+            s.kernel
+                .with_task_ctx(tid, |ctx| ctx.charge_user((cost.umalloc_op as f64 * penalty) as u64));
+        }
+    });
+    r.malloc_us = us / iters as f64;
+
+    // memset 64 KB.
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..iters.min(200) {
+            let buf = ulib::compute::memset_benchmark(64 * 1024, 0xA5);
+            std::hint::black_box(&buf);
+            s.kernel.with_task_ctx(tid, |ctx| {
+                let c = ctx.cost();
+                ctx.charge_user((c.per_byte(c.memset_per_byte_milli, 64 * 1024) as f64 * penalty) as u64)
+            });
+        }
+    });
+    r.memset_us = us / iters.min(200) as f64;
+
+    // md5sum of 64 KB.
+    let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for _ in 0..iters.min(50).max(1) {
+            let digest = ulib::compute::md5(&payload);
+            std::hint::black_box(digest);
+            s.kernel.with_task_ctx(tid, |ctx| {
+                let c = ctx.cost();
+                ctx.charge_user((c.per_byte(c.md5_per_byte_milli, 64 * 1024) as f64 * penalty) as u64)
+            });
+        }
+    });
+    r.md5sum_us = us / iters.min(50).max(1) as f64;
+
+    // qsort of 4096 elements.
+    let (us, _) = elapsed_us(&mut sys, |s| {
+        for i in 0..iters.min(50).max(1) {
+            let (_, cmps) = ulib::compute::qsort_benchmark(4096, 42 + i as u64);
+            s.kernel.with_task_ctx(tid, |ctx| {
+                let c = ctx.cost();
+                ctx.charge_user((c.per_byte(c.qsort_per_cmp_milli, cmps) as f64 * penalty) as u64)
+            });
+        }
+    });
+    r.qsort_us = us / iters.min(50).max(1) as f64;
+
+    // ramfs (xv6fs) read/write throughput, 128 KB files.
+    let (w_kbs, r_kbs) = file_throughput(&mut sys, tid, "/bench.bin", 128 * 1024);
+    r.ramfs_write_kbs = w_kbs;
+    r.ramfs_read_kbs = r_kbs;
+    // diskfs (FAT32) read/write throughput, 128 KB files.
+    let (w_kbs, r_kbs) = file_throughput(&mut sys, tid, "/d/bench.bin", 128 * 1024);
+    r.diskfs_write_kbs = w_kbs;
+    r.diskfs_read_kbs = r_kbs;
+    r
+}
+
+fn file_throughput(sys: &mut ProtoSystem, tid: TaskId, path: &str, size: usize) -> (f64, f64) {
+    let data = vec![0x5Au8; size];
+    let (write_us, _) = elapsed_us(sys, |s| {
+        s.kernel
+            .with_task_ctx(tid, |ctx| {
+                let fd = ctx.open(path, OpenFlags::wronly_create())?;
+                ctx.write(fd, &data)?;
+                ctx.close(fd)
+            })
+            .expect("file write");
+    });
+    let (read_us, _) = elapsed_us(sys, |s| {
+        s.kernel
+            .with_task_ctx(tid, |ctx| {
+                let fd = ctx.open(path, OpenFlags::rdonly())?;
+                let mut total = 0;
+                loop {
+                    let chunk = ctx.read(fd, 64 * 1024)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    total += chunk.len();
+                }
+                ctx.close(fd)?;
+                Ok::<usize, kernel::KernelError>(total)
+            })
+            .expect("file read");
+    });
+    let kb = size as f64 / 1024.0;
+    (kb / (write_us / 1e6), kb / (read_us / 1e6))
+}
+
+/// Figure 8: FAT32 throughput at the paper's three sizes plus the latency and
+/// boot numbers.
+pub fn figure8(platform: Platform) -> Figure8 {
+    let (mut sys, tid) = bench_system(platform, KernelVariant::Proto);
+    let mut fs_throughput = Vec::new();
+    for size in [4 * 1024usize, 128 * 1024, 512 * 1024] {
+        let (write_kbs, read_kbs) =
+            file_throughput(&mut sys, tid, &format!("/d/tp{}.bin", size / 1024), size);
+        fs_throughput.push(FsThroughputRow {
+            size,
+            read_kbs,
+            write_kbs,
+        });
+    }
+    let micro = run_microbenchmarks(platform, KernelVariant::Proto, 200);
+    let boot = sys.kernel.boot_stats();
+    Figure8 {
+        fs_throughput,
+        syscall_us: micro.getpid_us,
+        ipc_us: micro.ipc_us,
+        kernel_load_ms: boot.firmware_load_ms,
+        boot_to_prompt_ms: boot.to_prompt_ms,
+    }
+}
+
+/// Convenience used by Figure 9: microbenchmarks for our kernel and the
+/// xv6-baseline variant.
+pub fn ours_and_xv6(platform: Platform, iters: u32) -> (MicroResults, MicroResults) {
+    (
+        run_microbenchmarks(platform, KernelVariant::Proto, iters),
+        run_microbenchmarks(platform, KernelVariant::Xv6Baseline, iters),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbenchmarks_land_in_the_papers_ballpark() {
+        let r = run_microbenchmarks(Platform::Pi3, KernelVariant::Proto, 50);
+        assert!(r.getpid_us > 2.0 && r.getpid_us < 6.0, "getpid {} µs", r.getpid_us);
+        assert!(r.ipc_us > 10.0 && r.ipc_us < 40.0, "ipc {} µs", r.ipc_us);
+        assert!(r.fork_us > r.getpid_us * 5.0, "fork should dwarf getpid");
+        assert!(r.ramfs_read_kbs > r.diskfs_read_kbs, "ramdisk faster than SD");
+        assert!(r.diskfs_read_kbs > 100.0, "FAT32 reads at least 100 KB/s");
+    }
+
+    #[test]
+    fn xv6_baseline_is_slower_on_compute_and_disk() {
+        let (ours, xv6) = ours_and_xv6(Platform::Pi3, 20);
+        assert!(xv6.md5sum_us > ours.md5sum_us * 1.2);
+        assert!(xv6.qsort_us > ours.qsort_us * 1.2);
+        assert!(xv6.diskfs_read_kbs < ours.diskfs_read_kbs);
+    }
+}

@@ -1,0 +1,82 @@
+//! Output helpers shared by the harness binaries: aligned text tables plus a
+//! JSON dump under `target/experiments/` so results are machine-readable.
+
+use std::path::PathBuf;
+
+/// Renders a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where experiment JSON dumps are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a serialisable result as JSON under `target/experiments/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_align_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["getpid".into(), "3.40".into()],
+                vec!["a-much-longer-name".into(), "1".into()],
+            ],
+        );
+        assert!(t.contains("getpid"));
+        assert!(t.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,318 @@
+//! Block devices.
+//!
+//! Everything above this layer (buffer cache, xv6fs, FAT32) reads and writes
+//! 512-byte sectors through the [`BlockDevice`] trait. Two device classes
+//! exist in Proto: the ramdisk linked into the kernel image (Prototype 4) and
+//! the SD card (Prototype 5). The trait mirrors the two access shapes the SD
+//! driver offers — single blocks and contiguous ranges — plus a statistics
+//! hook so the kernel can charge the right virtual-cycle costs for each.
+
+use crate::{FsError, FsResult};
+
+/// Sector size in bytes, matching [`hal::sdhost::BLOCK_SIZE`].
+pub const BLOCK_SIZE: usize = 512;
+
+/// Access statistics a device keeps so the caller can account for I/O cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockIoStats {
+    /// Single-block commands issued.
+    pub single_cmds: u64,
+    /// Multi-block range commands issued.
+    pub range_cmds: u64,
+    /// Total blocks transferred (both shapes).
+    pub blocks: u64,
+}
+
+/// A 512-byte-sector block device.
+pub trait BlockDevice {
+    /// Total number of blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads one block into `out`.
+    fn read_block(&mut self, lba: u64, out: &mut [u8]) -> FsResult<()>;
+
+    /// Writes one block from `data`.
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> FsResult<()>;
+
+    /// Reads `count` contiguous blocks into `out` (which must be
+    /// `count * BLOCK_SIZE` bytes). The default implementation loops over
+    /// single blocks; devices that support real range commands (the SD card)
+    /// override it.
+    fn read_range(&mut self, lba: u64, count: u64, out: &mut [u8]) -> FsResult<()> {
+        if out.len() != count as usize * BLOCK_SIZE {
+            return Err(FsError::Invalid("read_range buffer size mismatch".into()));
+        }
+        for i in 0..count {
+            let s = i as usize * BLOCK_SIZE;
+            self.read_block(lba + i, &mut out[s..s + BLOCK_SIZE])?;
+        }
+        Ok(())
+    }
+
+    /// Writes `count` contiguous blocks from `data`.
+    fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> FsResult<()> {
+        if data.len() != count as usize * BLOCK_SIZE {
+            return Err(FsError::Invalid("write_range buffer size mismatch".into()));
+        }
+        for i in 0..count {
+            let s = i as usize * BLOCK_SIZE;
+            self.write_block(lba + i, &data[s..s + BLOCK_SIZE])?;
+        }
+        Ok(())
+    }
+
+    /// Returns accumulated I/O statistics.
+    fn stats(&self) -> BlockIoStats;
+}
+
+/// A memory-backed block device: Proto's ramdisk, and the disk image tests
+/// format filesystems onto.
+#[derive(Debug, Clone)]
+pub struct MemDisk {
+    data: Vec<u8>,
+    stats: BlockIoStats,
+    /// Optional: block numbers that fail on access, for fault injection.
+    faulty: Vec<u64>,
+}
+
+impl MemDisk {
+    /// Creates an all-zero disk with `num_blocks` sectors.
+    pub fn new(num_blocks: u64) -> Self {
+        MemDisk {
+            data: vec![0u8; num_blocks as usize * BLOCK_SIZE],
+            stats: BlockIoStats::default(),
+            faulty: Vec::new(),
+        }
+    }
+
+    /// Creates a disk from an existing image, padding to a whole block.
+    pub fn from_image(mut image: Vec<u8>) -> Self {
+        let rem = image.len() % BLOCK_SIZE;
+        if rem != 0 {
+            image.resize(image.len() + BLOCK_SIZE - rem, 0);
+        }
+        MemDisk {
+            data: image,
+            stats: BlockIoStats::default(),
+            faulty: Vec::new(),
+        }
+    }
+
+    /// The raw image bytes (what gets packed into the kernel image as the
+    /// opaque ramdisk dump).
+    pub fn image(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Marks `lba` as faulty so accesses to it fail.
+    pub fn inject_fault(&mut self, lba: u64) {
+        self.faulty.push(lba);
+    }
+
+    fn check(&self, lba: u64, count: u64) -> FsResult<()> {
+        if lba + count > self.num_blocks() {
+            return Err(FsError::Io(format!(
+                "block {lba}+{count} beyond device of {} blocks",
+                self.num_blocks()
+            )));
+        }
+        for b in lba..lba + count {
+            if self.faulty.contains(&b) {
+                return Err(FsError::Io(format!("injected fault at block {b}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn num_blocks(&self) -> u64 {
+        (self.data.len() / BLOCK_SIZE) as u64
+    }
+
+    fn read_block(&mut self, lba: u64, out: &mut [u8]) -> FsResult<()> {
+        if out.len() != BLOCK_SIZE {
+            return Err(FsError::Invalid("read_block buffer must be 512 bytes".into()));
+        }
+        self.check(lba, 1)?;
+        let s = lba as usize * BLOCK_SIZE;
+        out.copy_from_slice(&self.data[s..s + BLOCK_SIZE]);
+        self.stats.single_cmds += 1;
+        self.stats.blocks += 1;
+        Ok(())
+    }
+
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> FsResult<()> {
+        if data.len() != BLOCK_SIZE {
+            return Err(FsError::Invalid("write_block buffer must be 512 bytes".into()));
+        }
+        self.check(lba, 1)?;
+        let s = lba as usize * BLOCK_SIZE;
+        self.data[s..s + BLOCK_SIZE].copy_from_slice(data);
+        self.stats.single_cmds += 1;
+        self.stats.blocks += 1;
+        Ok(())
+    }
+
+    fn read_range(&mut self, lba: u64, count: u64, out: &mut [u8]) -> FsResult<()> {
+        if out.len() != count as usize * BLOCK_SIZE {
+            return Err(FsError::Invalid("read_range buffer size mismatch".into()));
+        }
+        self.check(lba, count)?;
+        let s = lba as usize * BLOCK_SIZE;
+        out.copy_from_slice(&self.data[s..s + count as usize * BLOCK_SIZE]);
+        self.stats.range_cmds += 1;
+        self.stats.blocks += count;
+        Ok(())
+    }
+
+    fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> FsResult<()> {
+        if data.len() != count as usize * BLOCK_SIZE {
+            return Err(FsError::Invalid("write_range buffer size mismatch".into()));
+        }
+        self.check(lba, count)?;
+        let s = lba as usize * BLOCK_SIZE;
+        self.data[s..s + count as usize * BLOCK_SIZE].copy_from_slice(data);
+        self.stats.range_cmds += 1;
+        self.stats.blocks += count;
+        Ok(())
+    }
+
+    fn stats(&self) -> BlockIoStats {
+        self.stats
+    }
+}
+
+/// Adapter exposing the simulated SD card ([`hal::sdhost::SdHost`]) as a
+/// [`BlockDevice`], so FAT32 can be mounted on partition 2 of the card.
+#[derive(Debug)]
+pub struct SdBlockDevice<'a> {
+    sd: &'a mut hal::sdhost::SdHost,
+    /// First LBA of the partition this device exposes.
+    partition_start: u64,
+    /// Number of blocks in the partition.
+    partition_blocks: u64,
+}
+
+impl<'a> SdBlockDevice<'a> {
+    /// Wraps a partition of the SD card.
+    pub fn new(sd: &'a mut hal::sdhost::SdHost, partition_start: u64, partition_blocks: u64) -> Self {
+        SdBlockDevice {
+            sd,
+            partition_start,
+            partition_blocks,
+        }
+    }
+}
+
+impl BlockDevice for SdBlockDevice<'_> {
+    fn num_blocks(&self) -> u64 {
+        self.partition_blocks
+    }
+
+    fn read_block(&mut self, lba: u64, out: &mut [u8]) -> FsResult<()> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        self.sd
+            .read_block(self.partition_start + lba, &mut buf)
+            .map_err(FsError::from)?;
+        out.copy_from_slice(&buf);
+        Ok(())
+    }
+
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> FsResult<()> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        buf.copy_from_slice(data);
+        self.sd
+            .write_block(self.partition_start + lba, &buf)
+            .map_err(FsError::from)
+    }
+
+    fn read_range(&mut self, lba: u64, count: u64, out: &mut [u8]) -> FsResult<()> {
+        self.sd
+            .read_range(self.partition_start + lba, count, out)
+            .map_err(FsError::from)
+    }
+
+    fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> FsResult<()> {
+        self.sd
+            .write_range(self.partition_start + lba, count, data)
+            .map_err(FsError::from)
+    }
+
+    fn stats(&self) -> BlockIoStats {
+        BlockIoStats {
+            single_cmds: self.sd.single_block_cmds(),
+            range_cmds: self.sd.range_cmds(),
+            blocks: self.sd.blocks_transferred(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdisk_round_trips_blocks() {
+        let mut d = MemDisk::new(16);
+        let block = [7u8; BLOCK_SIZE];
+        d.write_block(3, &block).unwrap();
+        let mut back = [0u8; BLOCK_SIZE];
+        d.read_block(3, &mut back).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(d.stats().single_cmds, 2);
+    }
+
+    #[test]
+    fn memdisk_range_ops_round_trip_and_count_separately() {
+        let mut d = MemDisk::new(32);
+        let data: Vec<u8> = (0..BLOCK_SIZE * 4).map(|i| (i % 256) as u8).collect();
+        d.write_range(8, 4, &data).unwrap();
+        let mut back = vec![0u8; BLOCK_SIZE * 4];
+        d.read_range(8, 4, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(d.stats().range_cmds, 2);
+        assert_eq!(d.stats().blocks, 8);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_buffers_error() {
+        let mut d = MemDisk::new(4);
+        let block = [0u8; BLOCK_SIZE];
+        assert!(d.write_block(4, &block).is_err());
+        assert!(d.write_block(0, &[0u8; 10]).is_err());
+        let mut small = [0u8; 10];
+        assert!(d.read_block(0, &mut small).is_err());
+    }
+
+    #[test]
+    fn injected_faults_fail_access() {
+        let mut d = MemDisk::new(8);
+        d.inject_fault(5);
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert!(d.read_block(5, &mut buf).is_err());
+        assert!(d.read_block(4, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn from_image_pads_to_block_multiple() {
+        let d = MemDisk::from_image(vec![1u8; 700]);
+        assert_eq!(d.num_blocks(), 2);
+        assert_eq!(d.image().len(), 1024);
+    }
+
+    #[test]
+    fn sd_adapter_offsets_by_partition_start() {
+        let mut sd = hal::sdhost::SdHost::new(1024);
+        sd.init().unwrap();
+        {
+            let mut dev = SdBlockDevice::new(&mut sd, 100, 200);
+            let block = [9u8; BLOCK_SIZE];
+            dev.write_block(0, &block).unwrap();
+            assert_eq!(dev.num_blocks(), 200);
+        }
+        let mut raw = [0u8; BLOCK_SIZE];
+        sd.read_block(100, &mut raw).unwrap();
+        assert_eq!(raw[0], 9);
+    }
+}

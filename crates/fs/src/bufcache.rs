@@ -1,0 +1,251 @@
+//! xv6-style buffer cache.
+//!
+//! Proto inherits xv6's buffer cache: a small pool of single-block buffers
+//! with LRU replacement and write-through to the device. The paper is
+//! explicit that this design "suffices for xv6's simple filesystem but
+//! bottlenecks FAT32's multi-block access" (§5.2) — large FAT32 reads issue
+//! one buffer-cache transaction per 512-byte block, each costing a full SD
+//! command. The FAT32 range path therefore *bypasses* this cache and talks to
+//! the device directly; [`BufCache::bypass_range_read`] models that, and the
+//! ablation bench flips it off to measure the 2–3x difference.
+
+use std::collections::VecDeque;
+
+use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::FsResult;
+
+/// Default number of cached buffers (xv6 uses 30; Proto keeps it similar).
+pub const DEFAULT_NBUF: usize = 32;
+
+#[derive(Debug, Clone)]
+struct Buf {
+    lba: u64,
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// Statistics the cache keeps for benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufCacheStats {
+    /// Lookups that found the block cached.
+    pub hits: u64,
+    /// Lookups that had to read the device.
+    pub misses: u64,
+    /// Blocks written back to the device.
+    pub writebacks: u64,
+    /// Range operations that bypassed the cache entirely.
+    pub bypassed_ranges: u64,
+}
+
+/// The single-block LRU buffer cache.
+#[derive(Debug)]
+pub struct BufCache {
+    bufs: VecDeque<Buf>,
+    capacity: usize,
+    stats: BufCacheStats,
+}
+
+impl Default for BufCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_NBUF)
+    }
+}
+
+impl BufCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BufCache {
+            bufs: VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: BufCacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BufCacheStats {
+        self.stats
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if let Some(buf) = self.bufs.remove(idx) {
+            self.bufs.push_front(buf);
+        }
+    }
+
+    fn evict_if_needed(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        while self.bufs.len() > self.capacity {
+            if let Some(victim) = self.bufs.pop_back() {
+                if victim.dirty {
+                    dev.write_block(victim.lba, &victim.data)?;
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads block `lba` through the cache into `out`.
+    pub fn read(&mut self, dev: &mut dyn BlockDevice, lba: u64, out: &mut [u8]) -> FsResult<()> {
+        if let Some(idx) = self.bufs.iter().position(|b| b.lba == lba) {
+            self.stats.hits += 1;
+            out.copy_from_slice(&self.bufs[idx].data);
+            self.touch(idx);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let mut data = vec![0u8; BLOCK_SIZE];
+        dev.read_block(lba, &mut data)?;
+        out.copy_from_slice(&data);
+        self.bufs.push_front(Buf {
+            lba,
+            data,
+            dirty: false,
+        });
+        self.evict_if_needed(dev)
+    }
+
+    /// Writes block `lba` through the cache (write-through, as xv6 does
+    /// without its logging layer — Proto drops the log entirely, §5.4).
+    pub fn write(&mut self, dev: &mut dyn BlockDevice, lba: u64, data: &[u8]) -> FsResult<()> {
+        dev.write_block(lba, data)?;
+        self.stats.writebacks += 1;
+        if let Some(idx) = self.bufs.iter().position(|b| b.lba == lba) {
+            self.bufs[idx].data.copy_from_slice(data);
+            self.bufs[idx].dirty = false;
+            self.touch(idx);
+        } else {
+            self.bufs.push_front(Buf {
+                lba,
+                data: data.to_vec(),
+                dirty: false,
+            });
+            self.evict_if_needed(dev)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a block range *around* the cache: the device's native range
+    /// command is used and cached copies of the covered blocks are dropped so
+    /// the cache never serves stale data. This is the §5.2 optimisation.
+    pub fn bypass_range_read(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        lba: u64,
+        count: u64,
+        out: &mut [u8],
+    ) -> FsResult<()> {
+        dev.read_range(lba, count, out)?;
+        self.stats.bypassed_ranges += 1;
+        self.bufs.retain(|b| b.lba < lba || b.lba >= lba + count);
+        Ok(())
+    }
+
+    /// Writes a block range directly with the device's range command,
+    /// invalidating covered cache entries.
+    pub fn bypass_range_write(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        lba: u64,
+        count: u64,
+        data: &[u8],
+    ) -> FsResult<()> {
+        dev.write_range(lba, count, data)?;
+        self.stats.bypassed_ranges += 1;
+        self.bufs.retain(|b| b.lba < lba || b.lba >= lba + count);
+        Ok(())
+    }
+
+    /// Drops every cached buffer (used on unmount).
+    pub fn invalidate_all(&mut self) {
+        self.bufs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+
+    #[test]
+    fn second_read_hits_the_cache() {
+        let mut dev = MemDisk::new(16);
+        let mut bc = BufCache::new(4);
+        let block = [0x42u8; BLOCK_SIZE];
+        dev.write_block(1, &block).unwrap();
+        let mut out = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 1, &mut out).unwrap();
+        bc.read(&mut dev, 1, &mut out).unwrap();
+        assert_eq!(out, block);
+        assert_eq!(bc.stats().hits, 1);
+        assert_eq!(bc.stats().misses, 1);
+        // Only the miss touched the device.
+        assert_eq!(dev.stats().single_cmds, 2); // 1 priming write + 1 miss read
+    }
+
+    #[test]
+    fn writes_are_write_through_and_visible_to_later_reads() {
+        let mut dev = MemDisk::new(16);
+        let mut bc = BufCache::new(4);
+        let block = [7u8; BLOCK_SIZE];
+        bc.write(&mut dev, 3, &block).unwrap();
+        // Device sees it immediately.
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut raw).unwrap();
+        assert_eq!(raw, block);
+        // And the cache serves it without another device read.
+        let reads_before = dev.stats().single_cmds;
+        let mut out = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 3, &mut out).unwrap();
+        assert_eq!(out, block);
+        assert_eq!(dev.stats().single_cmds, reads_before);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_capacity_bounded() {
+        let mut dev = MemDisk::new(64);
+        let mut bc = BufCache::new(2);
+        let mut out = [0u8; BLOCK_SIZE];
+        for lba in 0..5 {
+            bc.read(&mut dev, lba, &mut out).unwrap();
+        }
+        assert!(bc.len() <= 2);
+        assert_eq!(bc.stats().misses, 5);
+    }
+
+    #[test]
+    fn bypass_range_invalidates_covered_blocks() {
+        let mut dev = MemDisk::new(32);
+        let mut bc = BufCache::new(8);
+        let mut out = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 10, &mut out).unwrap();
+        assert_eq!(bc.len(), 1);
+        // Write new contents around the cache...
+        let fresh = vec![9u8; BLOCK_SIZE * 4];
+        bc.bypass_range_write(&mut dev, 8, 4, &fresh).unwrap();
+        assert_eq!(bc.len(), 0, "covered cached block was invalidated");
+        // ...and a cached read now sees the new data.
+        bc.read(&mut dev, 10, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+        assert_eq!(bc.stats().bypassed_ranges, 1);
+    }
+
+    #[test]
+    fn range_read_via_bypass_uses_one_device_command() {
+        let mut dev = MemDisk::new(64);
+        let mut bc = BufCache::new(8);
+        let mut big = vec![0u8; BLOCK_SIZE * 16];
+        bc.bypass_range_read(&mut dev, 0, 16, &mut big).unwrap();
+        assert_eq!(dev.stats().range_cmds, 1);
+        assert_eq!(dev.stats().single_cmds, 0);
+    }
+}

@@ -1,0 +1,783 @@
+//! FAT32.
+//!
+//! Prototype 5 needs files far larger than xv6fs's 268 KB limit (DOOM's
+//! assets, videos, high-resolution slides), faster-than-single-block loading,
+//! and interoperability so users can drop media onto the SD card from any
+//! commodity OS (§4.5). Proto ports ChaN's FatFS; this module implements the
+//! equivalent functionality natively: a FAT32 volume with a BIOS parameter
+//! block, a single FAT, 4 KB clusters and 8.3 directory entries.
+//!
+//! Two properties of the paper's port are preserved deliberately:
+//!
+//! * **Range I/O.** File data is read/written per *contiguous cluster run*
+//!   using the device's multi-block range commands, bypassing the
+//!   single-block buffer cache (§5.2). Metadata (BPB, FAT, directories) still
+//!   goes through the cache.
+//! * **No inodes.** FAT has no inode concept; the kernel VFS layers
+//!   pseudo-inodes on top (see the kernel crate), exactly as Proto bridges
+//!   FatFS into its xv6-style file table.
+
+use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::bufcache::BufCache;
+use crate::path;
+use crate::{FsError, FsResult};
+
+/// Sectors per cluster (4 KB clusters).
+pub const SECTORS_PER_CLUSTER: u32 = 8;
+/// Bytes per cluster.
+pub const CLUSTER_SIZE: usize = SECTORS_PER_CLUSTER as usize * BLOCK_SIZE;
+/// End-of-chain marker.
+pub const FAT_EOC: u32 = 0x0FFF_FFFF;
+/// Free-cluster marker.
+pub const FAT_FREE: u32 = 0;
+/// First allocatable cluster number (0 and 1 are reserved).
+pub const FIRST_CLUSTER: u32 = 2;
+/// Directory entry size.
+pub const DIRENT_SIZE: usize = 32;
+/// Attribute flag: directory.
+pub const ATTR_DIRECTORY: u8 = 0x10;
+/// Attribute flag: archive (ordinary file).
+pub const ATTR_ARCHIVE: u8 = 0x20;
+
+/// Metadata for a file or directory inside the FAT volume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatEntry {
+    /// Name in its original `NAME.EXT` form (upper-cased).
+    pub name: String,
+    /// True if this is a directory.
+    pub is_dir: bool,
+    /// Size in bytes (0 for directories).
+    pub size: u32,
+    /// First cluster of the data chain (0 if empty).
+    pub first_cluster: u32,
+}
+
+/// The BIOS parameter block fields we need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bpb {
+    /// Total sectors in the volume.
+    pub total_sectors: u32,
+    /// Sectors per FAT.
+    pub sectors_per_fat: u32,
+    /// First sector of the FAT.
+    pub fat_start: u32,
+    /// First sector of the data area.
+    pub data_start: u32,
+    /// Cluster number of the root directory.
+    pub root_cluster: u32,
+    /// Number of data clusters.
+    pub cluster_count: u32,
+}
+
+/// A mounted FAT32 volume.
+#[derive(Debug, Clone)]
+pub struct Fat32 {
+    bpb: Bpb,
+    /// When false, file-data range accesses go block-by-block through the
+    /// buffer cache instead of using range commands — the ablation switch for
+    /// the §5.2 optimisation.
+    bypass_bufcache: bool,
+}
+
+fn encode_83(name: &str) -> FsResult<[u8; 11]> {
+    if !path::valid_name(name) {
+        return Err(FsError::Invalid(format!("bad FAT name '{name}'")));
+    }
+    let upper = name.to_ascii_uppercase();
+    let (base, ext) = match upper.rsplit_once('.') {
+        Some((b, e)) => (b, e),
+        None => (upper.as_str(), ""),
+    };
+    if base.is_empty() || base.len() > 8 || ext.len() > 3 {
+        return Err(FsError::Invalid(format!("'{name}' does not fit 8.3")));
+    }
+    let mut out = [b' '; 11];
+    out[..base.len()].copy_from_slice(base.as_bytes());
+    out[8..8 + ext.len()].copy_from_slice(ext.as_bytes());
+    Ok(out)
+}
+
+fn decode_83(raw: &[u8; 11]) -> String {
+    let base: String = String::from_utf8_lossy(&raw[..8]).trim_end().to_string();
+    let ext: String = String::from_utf8_lossy(&raw[8..]).trim_end().to_string();
+    if ext.is_empty() {
+        base
+    } else {
+        format!("{base}.{ext}")
+    }
+}
+
+impl Fat32 {
+    // ---- formatting / mounting -------------------------------------------------------------
+
+    /// Formats the device as FAT32 and returns the mounted volume.
+    pub fn mkfs(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Fat32> {
+        let total_sectors = dev.num_blocks() as u32;
+        if total_sectors < 128 {
+            return Err(FsError::Invalid("device too small for FAT32".into()));
+        }
+        // Size the FAT: each data cluster needs one 4-byte FAT entry.
+        // Solve approximately: clusters ~= (total - fat) / spc.
+        let approx_clusters = total_sectors / SECTORS_PER_CLUSTER;
+        let sectors_per_fat = (approx_clusters * 4).div_ceil(BLOCK_SIZE as u32).max(1);
+        let fat_start = 32; // reserved region
+        let data_start = fat_start + sectors_per_fat;
+        let cluster_count = (total_sectors - data_start) / SECTORS_PER_CLUSTER;
+        if cluster_count < 8 {
+            return Err(FsError::Invalid("device too small for FAT32 data area".into()));
+        }
+        let bpb = Bpb {
+            total_sectors,
+            sectors_per_fat,
+            fat_start,
+            data_start,
+            root_cluster: FIRST_CLUSTER,
+            cluster_count,
+        };
+        // Write the boot sector.
+        let mut boot = vec![0u8; BLOCK_SIZE];
+        boot[0] = 0xEB; // jump
+        boot[3..11].copy_from_slice(b"PROTO5  ");
+        boot[11..13].copy_from_slice(&(BLOCK_SIZE as u16).to_le_bytes());
+        boot[13] = SECTORS_PER_CLUSTER as u8;
+        boot[14..16].copy_from_slice(&(fat_start as u16).to_le_bytes());
+        boot[16] = 1; // number of FATs
+        boot[32..36].copy_from_slice(&total_sectors.to_le_bytes());
+        boot[36..40].copy_from_slice(&sectors_per_fat.to_le_bytes());
+        boot[44..48].copy_from_slice(&bpb.root_cluster.to_le_bytes());
+        boot[82..90].copy_from_slice(b"FAT32   ");
+        boot[510] = 0x55;
+        boot[511] = 0xAA;
+        bc.write(dev, 0, &boot)?;
+        // Zero the FAT.
+        let zero = vec![0u8; BLOCK_SIZE];
+        for s in 0..sectors_per_fat {
+            bc.write(dev, (fat_start + s) as u64, &zero)?;
+        }
+        let fs = Fat32 {
+            bpb,
+            bypass_bufcache: true,
+        };
+        // Reserve clusters 0 and 1, allocate the root directory cluster.
+        fs.fat_set(dev, bc, 0, 0x0FFF_FFF8)?;
+        fs.fat_set(dev, bc, 1, FAT_EOC)?;
+        fs.fat_set(dev, bc, bpb.root_cluster, FAT_EOC)?;
+        fs.zero_cluster(dev, bc, bpb.root_cluster)?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing FAT32 volume by parsing its boot sector.
+    pub fn mount(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Fat32> {
+        let mut boot = vec![0u8; BLOCK_SIZE];
+        bc.read(dev, 0, &mut boot)?;
+        if boot[510] != 0x55 || boot[511] != 0xAA {
+            return Err(FsError::Corrupt("missing FAT32 boot signature".into()));
+        }
+        if &boot[82..87] != b"FAT32" {
+            return Err(FsError::Corrupt("not a FAT32 volume".into()));
+        }
+        let total_sectors = u32::from_le_bytes([boot[32], boot[33], boot[34], boot[35]]);
+        let sectors_per_fat = u32::from_le_bytes([boot[36], boot[37], boot[38], boot[39]]);
+        let fat_start = u16::from_le_bytes([boot[14], boot[15]]) as u32;
+        let root_cluster = u32::from_le_bytes([boot[44], boot[45], boot[46], boot[47]]);
+        let data_start = fat_start + sectors_per_fat;
+        let cluster_count = (total_sectors - data_start) / SECTORS_PER_CLUSTER;
+        Ok(Fat32 {
+            bpb: Bpb {
+                total_sectors,
+                sectors_per_fat,
+                fat_start,
+                data_start,
+                root_cluster,
+                cluster_count,
+            },
+            bypass_bufcache: true,
+        })
+    }
+
+    /// The parsed BPB.
+    pub fn bpb(&self) -> Bpb {
+        self.bpb
+    }
+
+    /// Enables or disables the buffer-cache bypass for file-data range I/O
+    /// (the §5.2 optimisation; on by default). The ablation bench turns it
+    /// off to quantify the 2–3x difference.
+    pub fn set_bypass_bufcache(&mut self, bypass: bool) {
+        self.bypass_bufcache = bypass;
+    }
+
+    // ---- FAT access ---------------------------------------------------------------------------
+
+    fn fat_sector_of(&self, cluster: u32) -> (u64, usize) {
+        let byte = cluster as u64 * 4;
+        (
+            self.bpb.fat_start as u64 + byte / BLOCK_SIZE as u64,
+            (byte % BLOCK_SIZE as u64) as usize,
+        )
+    }
+
+    fn fat_get(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, cluster: u32) -> FsResult<u32> {
+        let (sector, off) = self.fat_sector_of(cluster);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        bc.read(dev, sector, &mut buf)?;
+        Ok(u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]) & 0x0FFF_FFFF)
+    }
+
+    fn fat_set(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        cluster: u32,
+        value: u32,
+    ) -> FsResult<()> {
+        let (sector, off) = self.fat_sector_of(cluster);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        bc.read(dev, sector, &mut buf)?;
+        buf[off..off + 4].copy_from_slice(&(value & 0x0FFF_FFFF).to_le_bytes());
+        bc.write(dev, sector, &buf)
+    }
+
+    fn alloc_cluster(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+        for c in FIRST_CLUSTER..FIRST_CLUSTER + self.bpb.cluster_count {
+            if self.fat_get(dev, bc, c)? == FAT_FREE {
+                self.fat_set(dev, bc, c, FAT_EOC)?;
+                self.zero_cluster(dev, bc, c)?;
+                return Ok(c);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, first: u32) -> FsResult<()> {
+        let mut c = first;
+        while c >= FIRST_CLUSTER && c < FAT_EOC {
+            let next = self.fat_get(dev, bc, c)?;
+            self.fat_set(dev, bc, c, FAT_FREE)?;
+            if next == c {
+                return Err(FsError::Corrupt(format!("self-referential FAT chain at {c}")));
+            }
+            c = next;
+        }
+        Ok(())
+    }
+
+    /// Collects the cluster chain starting at `first`.
+    fn chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, first: u32) -> FsResult<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut c = first;
+        let limit = self.bpb.cluster_count as usize + 2;
+        while c >= FIRST_CLUSTER && c < 0x0FFF_FFF8 {
+            out.push(c);
+            if out.len() > limit {
+                return Err(FsError::Corrupt("FAT chain cycle".into()));
+            }
+            c = self.fat_get(dev, bc, c)?;
+        }
+        Ok(out)
+    }
+
+    fn cluster_to_sector(&self, cluster: u32) -> u64 {
+        self.bpb.data_start as u64 + (cluster as u64 - 2) * SECTORS_PER_CLUSTER as u64
+    }
+
+    fn zero_cluster(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, cluster: u32) -> FsResult<()> {
+        let zero = vec![0u8; CLUSTER_SIZE];
+        let sector = self.cluster_to_sector(cluster);
+        bc.bypass_range_write(dev, sector, SECTORS_PER_CLUSTER as u64, &zero)
+    }
+
+    /// Number of free clusters remaining.
+    pub fn free_clusters(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+        let mut free = 0;
+        for c in FIRST_CLUSTER..FIRST_CLUSTER + self.bpb.cluster_count {
+            if self.fat_get(dev, bc, c)? == FAT_FREE {
+                free += 1;
+            }
+        }
+        Ok(free)
+    }
+
+    // ---- cluster data I/O ------------------------------------------------------------------------
+
+    fn read_cluster(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        cluster: u32,
+        out: &mut [u8],
+    ) -> FsResult<()> {
+        debug_assert_eq!(out.len(), CLUSTER_SIZE);
+        let sector = self.cluster_to_sector(cluster);
+        if self.bypass_bufcache {
+            bc.bypass_range_read(dev, sector, SECTORS_PER_CLUSTER as u64, out)
+        } else {
+            for s in 0..SECTORS_PER_CLUSTER as usize {
+                bc.read(dev, sector + s as u64, &mut out[s * BLOCK_SIZE..(s + 1) * BLOCK_SIZE])?;
+            }
+            Ok(())
+        }
+    }
+
+    fn write_cluster(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        cluster: u32,
+        data: &[u8],
+    ) -> FsResult<()> {
+        debug_assert_eq!(data.len(), CLUSTER_SIZE);
+        let sector = self.cluster_to_sector(cluster);
+        if self.bypass_bufcache {
+            bc.bypass_range_write(dev, sector, SECTORS_PER_CLUSTER as u64, data)
+        } else {
+            for s in 0..SECTORS_PER_CLUSTER as usize {
+                bc.write(dev, sector + s as u64, &data[s * BLOCK_SIZE..(s + 1) * BLOCK_SIZE])?;
+            }
+            Ok(())
+        }
+    }
+
+    // ---- directories --------------------------------------------------------------------------------
+
+    fn read_dir_cluster_entries(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_first_cluster: u32,
+    ) -> FsResult<Vec<(u32, usize, FatEntry)>> {
+        // Returns (cluster, offset-within-cluster, entry).
+        let mut out = Vec::new();
+        for cluster in self.chain(dev, bc, dir_first_cluster)? {
+            let mut buf = vec![0u8; CLUSTER_SIZE];
+            self.read_cluster(dev, bc, cluster, &mut buf)?;
+            for (i, raw) in buf.chunks_exact(DIRENT_SIZE).enumerate() {
+                if raw[0] == 0x00 || raw[0] == 0xE5 {
+                    continue; // end-of-dir sentinel / deleted; we scan everything
+                }
+                let mut name = [0u8; 11];
+                name.copy_from_slice(&raw[..11]);
+                let attr = raw[11];
+                let first_cluster = u32::from_le_bytes([raw[26], raw[27], 0, 0])
+                    | (u32::from_le_bytes([raw[20], raw[21], 0, 0]) << 16);
+                let size = u32::from_le_bytes([raw[28], raw[29], raw[30], raw[31]]);
+                out.push((
+                    cluster,
+                    i * DIRENT_SIZE,
+                    FatEntry {
+                        name: decode_83(&name),
+                        is_dir: attr & ATTR_DIRECTORY != 0,
+                        size,
+                        first_cluster,
+                    },
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn write_dirent(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        cluster: u32,
+        offset: usize,
+        raw: &[u8; DIRENT_SIZE],
+    ) -> FsResult<()> {
+        let mut buf = vec![0u8; CLUSTER_SIZE];
+        self.read_cluster(dev, bc, cluster, &mut buf)?;
+        buf[offset..offset + DIRENT_SIZE].copy_from_slice(raw);
+        self.write_cluster(dev, bc, cluster, &buf)
+    }
+
+    fn dir_add_entry(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_cluster: u32,
+        entry: &FatEntry,
+    ) -> FsResult<()> {
+        let name83 = encode_83(&entry.name)?;
+        let mut raw = [0u8; DIRENT_SIZE];
+        raw[..11].copy_from_slice(&name83);
+        raw[11] = if entry.is_dir { ATTR_DIRECTORY } else { ATTR_ARCHIVE };
+        raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
+        raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
+        raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
+        // Find a free slot in the existing chain.
+        for cluster in self.chain(dev, bc, dir_cluster)? {
+            let mut buf = vec![0u8; CLUSTER_SIZE];
+            self.read_cluster(dev, bc, cluster, &mut buf)?;
+            for i in 0..CLUSTER_SIZE / DIRENT_SIZE {
+                let off = i * DIRENT_SIZE;
+                if buf[off] == 0x00 || buf[off] == 0xE5 {
+                    return self.write_dirent(dev, bc, cluster, off, &raw);
+                }
+            }
+        }
+        // No free slot: extend the directory with a new cluster.
+        let chain = self.chain(dev, bc, dir_cluster)?;
+        let last = *chain.last().ok_or_else(|| FsError::Corrupt("empty dir chain".into()))?;
+        let newc = self.alloc_cluster(dev, bc)?;
+        self.fat_set(dev, bc, last, newc)?;
+        self.write_dirent(dev, bc, newc, 0, &raw)
+    }
+
+    fn dir_find(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_cluster: u32,
+        name: &str,
+    ) -> FsResult<(u32, usize, FatEntry)> {
+        let upper = name.to_ascii_uppercase();
+        self.read_dir_cluster_entries(dev, bc, dir_cluster)?
+            .into_iter()
+            .find(|(_, _, e)| e.name == upper)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))
+    }
+
+    /// Resolves `p` (a path inside the FAT volume) to its entry. The root
+    /// resolves to a synthetic directory entry.
+    pub fn lookup(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<FatEntry> {
+        let mut cur = FatEntry {
+            name: String::new(),
+            is_dir: true,
+            size: 0,
+            first_cluster: self.bpb.root_cluster,
+        };
+        for comp in path::components(p) {
+            if !cur.is_dir {
+                return Err(FsError::NotADirectory(comp));
+            }
+            let (_, _, entry) = self.dir_find(dev, bc, cur.first_cluster, &comp)?;
+            cur = entry;
+        }
+        Ok(cur)
+    }
+
+    /// Lists the directory at `p`.
+    pub fn list_dir(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+    ) -> FsResult<Vec<FatEntry>> {
+        let dir = self.lookup(dev, bc, p)?;
+        if !dir.is_dir {
+            return Err(FsError::NotADirectory(p.to_string()));
+        }
+        Ok(self
+            .read_dir_cluster_entries(dev, bc, dir.first_cluster)?
+            .into_iter()
+            .map(|(_, _, e)| e)
+            .collect())
+    }
+
+    /// Creates an empty file or directory at `p`.
+    pub fn create(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        is_dir: bool,
+    ) -> FsResult<FatEntry> {
+        let (parent, name) = path::split_parent(p)
+            .ok_or_else(|| FsError::Invalid("cannot create FAT root".into()))?;
+        let parent_entry = self.lookup(dev, bc, &parent)?;
+        if !parent_entry.is_dir {
+            return Err(FsError::NotADirectory(parent));
+        }
+        if self.dir_find(dev, bc, parent_entry.first_cluster, &name).is_ok() {
+            return Err(FsError::AlreadyExists(p.to_string()));
+        }
+        let first_cluster = if is_dir { self.alloc_cluster(dev, bc)? } else { 0 };
+        let entry = FatEntry {
+            name: name.to_ascii_uppercase(),
+            is_dir,
+            size: 0,
+            first_cluster,
+        };
+        self.dir_add_entry(dev, bc, parent_entry.first_cluster, &entry)?;
+        Ok(entry)
+    }
+
+    fn update_dirent_for(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        new_first_cluster: u32,
+        new_size: u32,
+    ) -> FsResult<()> {
+        let (parent, name) = path::split_parent(p)
+            .ok_or_else(|| FsError::Invalid("root has no dirent".into()))?;
+        let parent_entry = self.lookup(dev, bc, &parent)?;
+        let (cluster, offset, mut entry) = self.dir_find(dev, bc, parent_entry.first_cluster, &name)?;
+        entry.first_cluster = new_first_cluster;
+        entry.size = new_size;
+        let name83 = encode_83(&entry.name)?;
+        let mut raw = [0u8; DIRENT_SIZE];
+        raw[..11].copy_from_slice(&name83);
+        raw[11] = if entry.is_dir { ATTR_DIRECTORY } else { ATTR_ARCHIVE };
+        raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
+        raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
+        raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
+        self.write_dirent(dev, bc, cluster, offset, &raw)
+    }
+
+    // ---- whole-file I/O -----------------------------------------------------------------------------
+
+    /// Writes `data` as the complete contents of the file at `p`, creating it
+    /// if necessary (existing contents are replaced).
+    pub fn write_file(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let entry = match self.lookup(dev, bc, p) {
+            Ok(e) if e.is_dir => return Err(FsError::IsADirectory(p.to_string())),
+            Ok(e) => e,
+            Err(FsError::NotFound(_)) => self.create(dev, bc, p, false)?,
+            Err(e) => return Err(e),
+        };
+        // Free the old chain and build a new one.
+        if entry.first_cluster != 0 {
+            self.free_chain(dev, bc, entry.first_cluster)?;
+        }
+        if data.is_empty() {
+            return self.update_dirent_for(dev, bc, p, 0, 0);
+        }
+        let nclusters = data.len().div_ceil(CLUSTER_SIZE);
+        let mut clusters = Vec::with_capacity(nclusters);
+        for _ in 0..nclusters {
+            clusters.push(self.alloc_cluster(dev, bc)?);
+        }
+        for w in clusters.windows(2) {
+            self.fat_set(dev, bc, w[0], w[1])?;
+        }
+        self.fat_set(dev, bc, *clusters.last().expect("non-empty"), FAT_EOC)?;
+        for (i, &cluster) in clusters.iter().enumerate() {
+            let mut buf = vec![0u8; CLUSTER_SIZE];
+            let start = i * CLUSTER_SIZE;
+            let end = (start + CLUSTER_SIZE).min(data.len());
+            buf[..end - start].copy_from_slice(&data[start..end]);
+            self.write_cluster(dev, bc, cluster, &buf)?;
+        }
+        self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
+    }
+
+    /// Reads `len` bytes of the file at `p` starting at `offset`.
+    pub fn read_at(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        offset: u32,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        let entry = self.lookup(dev, bc, p)?;
+        if entry.is_dir {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        if offset >= entry.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((entry.size - offset) as usize);
+        let chain = self.chain(dev, bc, entry.first_cluster)?;
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let pos = offset as usize + done;
+            let ci = pos / CLUSTER_SIZE;
+            let in_cluster = pos % CLUSTER_SIZE;
+            let chunk = (CLUSTER_SIZE - in_cluster).min(len - done);
+            let cluster = *chain
+                .get(ci)
+                .ok_or_else(|| FsError::Corrupt(format!("chain too short for {p}")))?;
+            let mut buf = vec![0u8; CLUSTER_SIZE];
+            self.read_cluster(dev, bc, cluster, &mut buf)?;
+            out[done..done + chunk].copy_from_slice(&buf[in_cluster..in_cluster + chunk]);
+            done += chunk;
+        }
+        Ok(out)
+    }
+
+    /// Reads the whole file at `p`.
+    pub fn read_file(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<Vec<u8>> {
+        let entry = self.lookup(dev, bc, p)?;
+        self.read_at(dev, bc, p, 0, entry.size as usize)
+    }
+
+    /// Removes the file (or empty directory) at `p`, freeing its clusters.
+    pub fn remove(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<()> {
+        let (parent, name) = path::split_parent(p)
+            .ok_or_else(|| FsError::Invalid("cannot remove FAT root".into()))?;
+        let parent_entry = self.lookup(dev, bc, &parent)?;
+        let (cluster, offset, entry) = self.dir_find(dev, bc, parent_entry.first_cluster, &name)?;
+        if entry.is_dir {
+            let children = self.read_dir_cluster_entries(dev, bc, entry.first_cluster)?;
+            if !children.is_empty() {
+                return Err(FsError::NotEmpty(p.to_string()));
+            }
+        }
+        if entry.first_cluster != 0 {
+            self.free_chain(dev, bc, entry.first_cluster)?;
+        }
+        let mut raw = [0u8; DIRENT_SIZE];
+        raw[0] = 0xE5;
+        self.write_dirent(dev, bc, cluster, offset, &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+
+    fn fresh_volume() -> (MemDisk, BufCache, Fat32) {
+        // 16 MB volume.
+        let mut dev = MemDisk::new(32 * 1024);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+        (dev, bc, fs)
+    }
+
+    #[test]
+    fn mkfs_then_mount_round_trips_the_bpb() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        let mounted = Fat32::mount(&mut dev, &mut bc).unwrap();
+        assert_eq!(mounted.bpb(), fs.bpb());
+    }
+
+    #[test]
+    fn small_file_round_trips() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.write_file(&mut dev, &mut bc, "/hello.txt", b"hi fat32").unwrap();
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/hello.txt").unwrap(), b"hi fat32");
+        let entry = fs.lookup(&mut dev, &mut bc, "/hello.txt").unwrap();
+        assert_eq!(entry.size, 8);
+        assert!(!entry.is_dir);
+    }
+
+    #[test]
+    fn multi_megabyte_file_round_trips() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        // 3 MB: far beyond xv6fs's 268 KB limit — the reason FAT32 exists in
+        // Prototype 5.
+        let data: Vec<u8> = (0..3 * 1024 * 1024u32).map(|i| (i % 253) as u8).collect();
+        fs.write_file(&mut dev, &mut bc, "/doom.wad", &data).unwrap();
+        let back = fs.read_file(&mut dev, &mut bc, "/doom.wad").unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn directories_nest_and_list() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.create(&mut dev, &mut bc, "/games", true).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/games/mario.nes", &[1u8; 4000]).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/games/kungfu.nes", &[2u8; 5000]).unwrap();
+        let listing = fs.list_dir(&mut dev, &mut bc, "/games").unwrap();
+        let names: Vec<_> = listing.iter().map(|e| e.name.clone()).collect();
+        assert!(names.contains(&"MARIO.NES".to_string()));
+        assert!(names.contains(&"KUNGFU.NES".to_string()));
+        assert_eq!(listing.len(), 2);
+    }
+
+    #[test]
+    fn partial_reads_honour_offset_and_length() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file(&mut dev, &mut bc, "/track1.ogg", &data).unwrap();
+        let mid = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 5000, 300).unwrap();
+        assert_eq!(&mid[..], &data[5000..5300]);
+        let tail = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 19_900, 500).unwrap();
+        assert_eq!(tail.len(), 100);
+        let past = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 50_000, 10).unwrap();
+        assert!(past.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_contents_and_frees_old_clusters() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        let free0 = fs.free_clusters(&mut dev, &mut bc).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/video.mpg", &vec![7u8; 200 * 1024]).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/video.mpg", b"small now").unwrap();
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/video.mpg").unwrap(), b"small now");
+        let free1 = fs.free_clusters(&mut dev, &mut bc).unwrap();
+        assert_eq!(free1, free0 - 1, "only one cluster remains allocated");
+    }
+
+    #[test]
+    fn remove_frees_clusters_and_hides_the_file() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        let free0 = fs.free_clusters(&mut dev, &mut bc).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 64 * 1024]).unwrap();
+        fs.remove(&mut dev, &mut bc, "/tmp.bin").unwrap();
+        assert_eq!(fs.free_clusters(&mut dev, &mut bc).unwrap(), free0);
+        assert!(matches!(
+            fs.lookup(&mut dev, &mut bc, "/tmp.bin"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn eight_three_names_are_enforced() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        assert!(fs.write_file(&mut dev, &mut bc, "/averylongfilename.data", b"x").is_err());
+        assert!(fs.write_file(&mut dev, &mut bc, "/ok.txt", b"x").is_ok());
+        // Lookup is case-insensitive (names are stored upper-case).
+        assert!(fs.lookup(&mut dev, &mut bc, "/OK.TXT").is_ok());
+        assert!(fs.lookup(&mut dev, &mut bc, "/ok.txt").is_ok());
+    }
+
+    #[test]
+    fn volume_fills_up_with_no_space() {
+        // Small volume: 1 MB.
+        let mut dev = MemDisk::new(2048);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+        let mut i = 0;
+        let result = loop {
+            let r = fs.write_file(&mut dev, &mut bc, &format!("/f{i}.bin"), &vec![0u8; 64 * 1024]);
+            if r.is_err() {
+                break r;
+            }
+            i += 1;
+            if i > 64 {
+                panic!("volume never filled");
+            }
+        };
+        assert!(matches!(result, Err(FsError::NoSpace)));
+    }
+
+    #[test]
+    fn range_path_uses_range_commands_and_cached_path_does_not() {
+        let (mut dev, mut bc, mut fs) = fresh_volume();
+        let data = vec![9u8; 256 * 1024];
+        fs.write_file(&mut dev, &mut bc, "/big.bin", &data).unwrap();
+        let ranges_before = dev.stats().range_cmds;
+        fs.read_file(&mut dev, &mut bc, "/big.bin").unwrap();
+        assert!(dev.stats().range_cmds > ranges_before, "bypass path uses range I/O");
+
+        fs.set_bypass_bufcache(false);
+        let singles_before = dev.stats().single_cmds;
+        let ranges_before = dev.stats().range_cmds;
+        fs.read_file(&mut dev, &mut bc, "/big.bin").unwrap();
+        assert_eq!(dev.stats().range_cmds, ranges_before, "cached path avoids range commands");
+        assert!(dev.stats().single_cmds > singles_before);
+    }
+
+    #[test]
+    fn deep_paths_resolve() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.create(&mut dev, &mut bc, "/a", true).unwrap();
+        fs.create(&mut dev, &mut bc, "/a/b", true).unwrap();
+        fs.create(&mut dev, &mut bc, "/a/b/c", true).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/a/b/c/deep.txt", b"deep").unwrap();
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/a/b/c/deep.txt").unwrap(), b"deep");
+    }
+}

@@ -1,0 +1,135 @@
+//! Path handling shared by the filesystems and the kernel VFS.
+//!
+//! Proto mounts its xv6fs root at `/` and the FAT32 partition at `/d`
+//! (§4.5); the VFS interposes on file syscalls and dispatches by path prefix.
+//! These helpers normalise paths, split them into components and decide which
+//! mount a path belongs to.
+
+/// Splits a path into its non-empty components, resolving `.` and `..`
+/// lexically (Proto has no symlinks, so lexical resolution is exact).
+pub fn components(path: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            other => out.push(other.to_string()),
+        }
+    }
+    out
+}
+
+/// Normalises a path to an absolute, canonical form starting with `/`.
+pub fn normalize(path: &str) -> String {
+    let comps = components(path);
+    if comps.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", comps.join("/"))
+    }
+}
+
+/// Splits a path into `(parent, name)`. The root has no parent.
+pub fn split_parent(path: &str) -> Option<(String, String)> {
+    let comps = components(path);
+    let name = comps.last()?.clone();
+    let parent = if comps.len() == 1 {
+        "/".to_string()
+    } else {
+        format!("/{}", comps[..comps.len() - 1].join("/"))
+    };
+    Some((parent, name))
+}
+
+/// Returns the final component of a path, if any.
+pub fn file_name(path: &str) -> Option<String> {
+    components(path).last().cloned()
+}
+
+/// True if `path` lies under `prefix` (both treated as normalised absolute
+/// paths). `/d/games` is under `/d`, but `/data` is not.
+pub fn is_under(path: &str, prefix: &str) -> bool {
+    let p = components(path);
+    let pre = components(prefix);
+    if pre.len() > p.len() {
+        return false;
+    }
+    p.iter().zip(pre.iter()).all(|(a, b)| a == b)
+}
+
+/// Strips `prefix` from `path`, returning the remainder as an absolute path
+/// within the mounted filesystem (or `/` if they are equal).
+pub fn strip_prefix(path: &str, prefix: &str) -> Option<String> {
+    if !is_under(path, prefix) {
+        return None;
+    }
+    let p = components(path);
+    let pre = components(prefix);
+    let rest = &p[pre.len()..];
+    if rest.is_empty() {
+        Some("/".to_string())
+    } else {
+        Some(format!("/{}", rest.join("/")))
+    }
+}
+
+/// Validates a single file name: non-empty, no `/`, and short enough for
+/// both xv6fs (14 bytes) and FAT 8.3-with-extension names we store verbatim.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 27
+        && !name.contains('/')
+        && name != "."
+        && name != ".."
+        && name.bytes().all(|b| (0x20..0x7f).contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_dots_and_slashes() {
+        assert_eq!(normalize("/usr//bin/./ls"), "/usr/bin/ls");
+        assert_eq!(normalize("/a/b/../c"), "/a/c");
+        assert_eq!(normalize("///"), "/");
+        assert_eq!(normalize("/.."), "/");
+        assert_eq!(normalize("relative/x"), "/relative/x");
+    }
+
+    #[test]
+    fn split_parent_handles_root_children_and_nested() {
+        assert_eq!(split_parent("/etc/rc"), Some(("/etc".into(), "rc".into())));
+        assert_eq!(split_parent("/init"), Some(("/".into(), "init".into())));
+        assert_eq!(split_parent("/"), None);
+    }
+
+    #[test]
+    fn is_under_and_strip_prefix_respect_component_boundaries() {
+        assert!(is_under("/d/games/doom.wad", "/d"));
+        assert!(!is_under("/data/x", "/d"));
+        assert_eq!(strip_prefix("/d/games/doom.wad", "/d"), Some("/games/doom.wad".into()));
+        assert_eq!(strip_prefix("/d", "/d"), Some("/".into()));
+        assert_eq!(strip_prefix("/proc/meminfo", "/d"), None);
+    }
+
+    #[test]
+    fn valid_name_rejects_bad_names() {
+        assert!(valid_name("mario.nes"));
+        assert!(valid_name("a"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("."));
+        assert!(!valid_name(".."));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("this-name-is-far-too-long-for-proto.txt"));
+        assert!(!valid_name("bad\nname"));
+    }
+
+    #[test]
+    fn file_name_returns_last_component() {
+        assert_eq!(file_name("/d/music/track1.ogg"), Some("track1.ogg".into()));
+        assert_eq!(file_name("/"), None);
+    }
+}

@@ -1,0 +1,903 @@
+//! The xv6-like filesystem ("xv6fs").
+//!
+//! Prototype 4 ports xv6's simple inode-based filesystem and runs it on the
+//! ramdisk packed into the kernel image (§4.4). The design is deliberately
+//! minimal: a superblock, a fixed array of on-disk inodes, a block bitmap and
+//! data blocks; 1 KB filesystem blocks; 12 direct block pointers plus one
+//! singly-indirect block, giving the 268 KB maximum file size the paper
+//! quotes ("xv6fs only supports files up to 270KB"). All I/O goes through the
+//! single-block buffer cache, one block at a time — the performance property
+//! that later motivates FAT32 for multi-megabyte game assets and videos.
+//!
+//! Proto drops xv6's journalling/log layer entirely: the paper excludes crash
+//! consistency as a non-goal (§5.4), so writes go straight through.
+
+use crate::block::{BlockDevice, BLOCK_SIZE as SECTOR_SIZE};
+use crate::bufcache::BufCache;
+use crate::path;
+use crate::{FsError, FsResult};
+
+/// Filesystem block size (two 512-byte device sectors, as in modern xv6).
+pub const BSIZE: usize = 1024;
+/// Number of direct block pointers per inode.
+pub const NDIRECT: usize = 12;
+/// Number of block pointers in the indirect block.
+pub const NINDIRECT: usize = BSIZE / 4;
+/// Maximum file size in blocks.
+pub const MAXFILE_BLOCKS: usize = NDIRECT + NINDIRECT;
+/// Maximum file size in bytes (the "270 KB" limit of the paper).
+pub const MAXFILE_BYTES: usize = MAXFILE_BLOCKS * BSIZE;
+/// Maximum length of a directory-entry name.
+pub const DIRSIZ: usize = 27;
+/// Bytes per on-disk inode.
+pub const INODE_SIZE: usize = 64;
+/// Inodes per filesystem block.
+pub const IPB: usize = BSIZE / INODE_SIZE;
+/// Bytes per directory entry.
+pub const DIRENT_SIZE: usize = 32;
+/// Magic number in the superblock.
+pub const FSMAGIC: u32 = 0x10203040;
+/// Root directory inode number.
+pub const ROOT_INUM: u32 = 1;
+
+/// On-disk inode types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeType {
+    /// Unallocated.
+    Free,
+    /// Directory.
+    Dir,
+    /// Regular file.
+    File,
+}
+
+impl InodeType {
+    fn to_u16(self) -> u16 {
+        match self {
+            InodeType::Free => 0,
+            InodeType::Dir => 1,
+            InodeType::File => 2,
+        }
+    }
+    fn from_u16(v: u16) -> FsResult<Self> {
+        match v {
+            0 => Ok(InodeType::Free),
+            1 => Ok(InodeType::Dir),
+            2 => Ok(InodeType::File),
+            _ => Err(FsError::Corrupt(format!("bad inode type {v}"))),
+        }
+    }
+}
+
+/// File metadata returned by [`Xv6Fs::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub inum: u32,
+    /// File or directory.
+    pub itype: InodeType,
+    /// Link count.
+    pub nlink: u16,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// A directory entry as returned by [`Xv6Fs::list_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Inode number.
+    pub inum: u32,
+    /// Entry name.
+    pub name: String,
+}
+
+/// The on-disk superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperBlock {
+    /// Magic number ([`FSMAGIC`]).
+    pub magic: u32,
+    /// Total filesystem size in blocks.
+    pub size: u32,
+    /// Number of inodes.
+    pub ninodes: u32,
+    /// First block of the inode area.
+    pub inodestart: u32,
+    /// First block of the free bitmap.
+    pub bmapstart: u32,
+    /// First data block.
+    pub datastart: u32,
+}
+
+impl SuperBlock {
+    fn encode(&self) -> [u8; 24] {
+        let mut b = [0u8; 24];
+        b[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        b[4..8].copy_from_slice(&self.size.to_le_bytes());
+        b[8..12].copy_from_slice(&self.ninodes.to_le_bytes());
+        b[12..16].copy_from_slice(&self.inodestart.to_le_bytes());
+        b[16..20].copy_from_slice(&self.bmapstart.to_le_bytes());
+        b[20..24].copy_from_slice(&self.datastart.to_le_bytes());
+        b
+    }
+    fn decode(b: &[u8]) -> FsResult<Self> {
+        let rd = |o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+        let sb = SuperBlock {
+            magic: rd(0),
+            size: rd(4),
+            ninodes: rd(8),
+            inodestart: rd(12),
+            bmapstart: rd(16),
+            datastart: rd(20),
+        };
+        if sb.magic != FSMAGIC {
+            return Err(FsError::Corrupt("bad xv6fs magic".into()));
+        }
+        Ok(sb)
+    }
+}
+
+/// An in-memory copy of an on-disk inode.
+#[derive(Debug, Clone)]
+struct DiskInode {
+    itype: InodeType,
+    nlink: u16,
+    size: u32,
+    addrs: [u32; NDIRECT + 1],
+}
+
+impl DiskInode {
+    fn empty() -> Self {
+        DiskInode {
+            itype: InodeType::Free,
+            nlink: 0,
+            size: 0,
+            addrs: [0; NDIRECT + 1],
+        }
+    }
+    fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut b = [0u8; INODE_SIZE];
+        b[0..2].copy_from_slice(&self.itype.to_u16().to_le_bytes());
+        b[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        b[4..8].copy_from_slice(&self.size.to_le_bytes());
+        for (i, a) in self.addrs.iter().enumerate() {
+            let o = 8 + i * 4;
+            b[o..o + 4].copy_from_slice(&a.to_le_bytes());
+        }
+        b
+    }
+    fn decode(b: &[u8]) -> FsResult<Self> {
+        let itype = InodeType::from_u16(u16::from_le_bytes([b[0], b[1]]))?;
+        let nlink = u16::from_le_bytes([b[2], b[3]]);
+        let size = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+        let mut addrs = [0u32; NDIRECT + 1];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            let o = 8 + i * 4;
+            *a = u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+        }
+        Ok(DiskInode {
+            itype,
+            nlink,
+            size,
+            addrs,
+        })
+    }
+}
+
+/// The mounted filesystem handle. Methods take the backing device and buffer
+/// cache explicitly, since both are owned by the kernel.
+#[derive(Debug, Clone)]
+pub struct Xv6Fs {
+    sb: SuperBlock,
+}
+
+impl Xv6Fs {
+    // ---- block-level helpers --------------------------------------------------------
+
+    fn read_fs_block(dev: &mut dyn BlockDevice, bc: &mut BufCache, blockno: u32) -> FsResult<Vec<u8>> {
+        let mut out = vec![0u8; BSIZE];
+        let sectors_per_block = BSIZE / SECTOR_SIZE;
+        for s in 0..sectors_per_block {
+            let lba = blockno as u64 * sectors_per_block as u64 + s as u64;
+            bc.read(dev, lba, &mut out[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE])?;
+        }
+        Ok(out)
+    }
+
+    fn write_fs_block(
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        blockno: u32,
+        data: &[u8],
+    ) -> FsResult<()> {
+        debug_assert_eq!(data.len(), BSIZE);
+        let sectors_per_block = BSIZE / SECTOR_SIZE;
+        for s in 0..sectors_per_block {
+            let lba = blockno as u64 * sectors_per_block as u64 + s as u64;
+            bc.write(dev, lba, &data[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE])?;
+        }
+        Ok(())
+    }
+
+    // ---- formatting and mounting -----------------------------------------------------
+
+    /// Formats a fresh filesystem with `total_blocks` 1 KB blocks and
+    /// `ninodes` inodes, creating an empty root directory.
+    pub fn mkfs(
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        total_blocks: u32,
+        ninodes: u32,
+    ) -> FsResult<Xv6Fs> {
+        let device_fs_blocks = (dev.num_blocks() as usize * SECTOR_SIZE / BSIZE) as u32;
+        if total_blocks > device_fs_blocks {
+            return Err(FsError::Invalid(format!(
+                "requested {total_blocks} blocks but device holds {device_fs_blocks}"
+            )));
+        }
+        let ninodeblocks = ninodes.div_ceil(IPB as u32);
+        let nbitmap = total_blocks.div_ceil((BSIZE * 8) as u32);
+        let inodestart = 1;
+        let bmapstart = inodestart + ninodeblocks;
+        let datastart = bmapstart + nbitmap;
+        if datastart >= total_blocks {
+            return Err(FsError::Invalid("filesystem too small for metadata".into()));
+        }
+        let sb = SuperBlock {
+            magic: FSMAGIC,
+            size: total_blocks,
+            ninodes,
+            inodestart,
+            bmapstart,
+            datastart,
+        };
+        // Zero metadata blocks.
+        let zero = vec![0u8; BSIZE];
+        for b in 0..datastart {
+            Self::write_fs_block(dev, bc, b, &zero)?;
+        }
+        // Write superblock.
+        let mut sb_block = vec![0u8; BSIZE];
+        sb_block[..24].copy_from_slice(&sb.encode());
+        Self::write_fs_block(dev, bc, 0, &sb_block)?;
+        // Mark metadata blocks as allocated in the bitmap.
+        let fs = Xv6Fs { sb };
+        for b in 0..datastart {
+            fs.bitmap_set(dev, bc, b, true)?;
+        }
+        // Create the root directory (inode 1; inode 0 is reserved/unused).
+        let mut root = DiskInode::empty();
+        root.itype = InodeType::Dir;
+        root.nlink = 1;
+        fs.write_inode(dev, bc, ROOT_INUM, &root)?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing filesystem by reading its superblock.
+    pub fn mount(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Xv6Fs> {
+        let block = Self::read_fs_block(dev, bc, 0)?;
+        let sb = SuperBlock::decode(&block[..24])?;
+        Ok(Xv6Fs { sb })
+    }
+
+    /// The superblock of the mounted filesystem.
+    pub fn superblock(&self) -> SuperBlock {
+        self.sb
+    }
+
+    // ---- bitmap ------------------------------------------------------------------------
+
+    fn bitmap_set(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        blockno: u32,
+        used: bool,
+    ) -> FsResult<()> {
+        let bits_per_block = (BSIZE * 8) as u32;
+        let bmap_block = self.sb.bmapstart + blockno / bits_per_block;
+        let mut data = Self::read_fs_block(dev, bc, bmap_block)?;
+        let bit = (blockno % bits_per_block) as usize;
+        let byte = bit / 8;
+        let mask = 1u8 << (bit % 8);
+        if used {
+            data[byte] |= mask;
+        } else {
+            data[byte] &= !mask;
+        }
+        Self::write_fs_block(dev, bc, bmap_block, &data)
+    }
+
+    fn bitmap_get(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        blockno: u32,
+    ) -> FsResult<bool> {
+        let bits_per_block = (BSIZE * 8) as u32;
+        let bmap_block = self.sb.bmapstart + blockno / bits_per_block;
+        let data = Self::read_fs_block(dev, bc, bmap_block)?;
+        let bit = (blockno % bits_per_block) as usize;
+        Ok(data[bit / 8] & (1u8 << (bit % 8)) != 0)
+    }
+
+    fn balloc(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+        for b in self.sb.datastart..self.sb.size {
+            if !self.bitmap_get(dev, bc, b)? {
+                self.bitmap_set(dev, bc, b, true)?;
+                // Zero freshly allocated blocks, as xv6 does.
+                Self::write_fs_block(dev, bc, b, &vec![0u8; BSIZE])?;
+                return Ok(b);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn bfree(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, blockno: u32) -> FsResult<()> {
+        self.bitmap_set(dev, bc, blockno, false)
+    }
+
+    /// Number of free data blocks remaining (used by `/proc` style reporting
+    /// and the no-space tests).
+    pub fn free_blocks(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+        let mut free = 0;
+        for b in self.sb.datastart..self.sb.size {
+            if !self.bitmap_get(dev, bc, b)? {
+                free += 1;
+            }
+        }
+        Ok(free)
+    }
+
+    // ---- inodes ------------------------------------------------------------------------
+
+    fn read_inode(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        inum: u32,
+    ) -> FsResult<DiskInode> {
+        if inum == 0 || inum >= self.sb.ninodes {
+            return Err(FsError::Invalid(format!("bad inode number {inum}")));
+        }
+        let block = self.sb.inodestart + inum / IPB as u32;
+        let data = Self::read_fs_block(dev, bc, block)?;
+        let off = (inum as usize % IPB) * INODE_SIZE;
+        DiskInode::decode(&data[off..off + INODE_SIZE])
+    }
+
+    fn write_inode(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        inum: u32,
+        ino: &DiskInode,
+    ) -> FsResult<()> {
+        if inum == 0 || inum >= self.sb.ninodes {
+            return Err(FsError::Invalid(format!("bad inode number {inum}")));
+        }
+        let block = self.sb.inodestart + inum / IPB as u32;
+        let mut data = Self::read_fs_block(dev, bc, block)?;
+        let off = (inum as usize % IPB) * INODE_SIZE;
+        data[off..off + INODE_SIZE].copy_from_slice(&ino.encode());
+        Self::write_fs_block(dev, bc, block, &data)
+    }
+
+    fn ialloc(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        itype: InodeType,
+    ) -> FsResult<u32> {
+        for inum in 1..self.sb.ninodes {
+            let ino = self.read_inode(dev, bc, inum)?;
+            if ino.itype == InodeType::Free {
+                let mut fresh = DiskInode::empty();
+                fresh.itype = itype;
+                fresh.nlink = 1;
+                self.write_inode(dev, bc, inum, &fresh)?;
+                return Ok(inum);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Maps a file block index to a disk block, allocating it if `alloc`.
+    fn bmap(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        ino: &mut DiskInode,
+        file_block: usize,
+        alloc: bool,
+    ) -> FsResult<u32> {
+        if file_block < NDIRECT {
+            if ino.addrs[file_block] == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                ino.addrs[file_block] = self.balloc(dev, bc)?;
+            }
+            return Ok(ino.addrs[file_block]);
+        }
+        let idx = file_block - NDIRECT;
+        if idx >= NINDIRECT {
+            return Err(FsError::TooLarge(format!(
+                "file block {file_block} exceeds xv6fs maximum of {MAXFILE_BLOCKS} blocks"
+            )));
+        }
+        if ino.addrs[NDIRECT] == 0 {
+            if !alloc {
+                return Ok(0);
+            }
+            ino.addrs[NDIRECT] = self.balloc(dev, bc)?;
+        }
+        let ind_block = ino.addrs[NDIRECT];
+        let mut ind = Self::read_fs_block(dev, bc, ind_block)?;
+        let off = idx * 4;
+        let mut ptr = u32::from_le_bytes([ind[off], ind[off + 1], ind[off + 2], ind[off + 3]]);
+        if ptr == 0 {
+            if !alloc {
+                return Ok(0);
+            }
+            ptr = self.balloc(dev, bc)?;
+            ind[off..off + 4].copy_from_slice(&ptr.to_le_bytes());
+            Self::write_fs_block(dev, bc, ind_block, &ind)?;
+        }
+        Ok(ptr)
+    }
+
+    // ---- file read / write --------------------------------------------------------------
+
+    /// Reads up to `buf.len()` bytes from inode `inum` starting at `offset`.
+    /// Returns the number of bytes read (0 at or past end of file).
+    pub fn read(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        inum: u32,
+        offset: u32,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        let mut ino = self.read_inode(dev, bc, inum)?;
+        if ino.itype == InodeType::Free {
+            return Err(FsError::NotFound(format!("inode {inum} is free")));
+        }
+        if offset >= ino.size {
+            return Ok(0);
+        }
+        let to_read = buf.len().min((ino.size - offset) as usize);
+        let mut done = 0usize;
+        while done < to_read {
+            let pos = offset as usize + done;
+            let fb = pos / BSIZE;
+            let in_block = pos % BSIZE;
+            let chunk = (BSIZE - in_block).min(to_read - done);
+            let disk_block = self.bmap(dev, bc, &mut ino, fb, false)?;
+            if disk_block == 0 {
+                // Hole: reads as zero.
+                buf[done..done + chunk].fill(0);
+            } else {
+                let data = Self::read_fs_block(dev, bc, disk_block)?;
+                buf[done..done + chunk].copy_from_slice(&data[in_block..in_block + chunk]);
+            }
+            done += chunk;
+        }
+        Ok(done)
+    }
+
+    /// Writes `data` to inode `inum` starting at `offset`, growing the file
+    /// as needed (up to [`MAXFILE_BYTES`]). Returns bytes written.
+    pub fn write(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        inum: u32,
+        offset: u32,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        let mut ino = self.read_inode(dev, bc, inum)?;
+        if ino.itype == InodeType::Free {
+            return Err(FsError::NotFound(format!("inode {inum} is free")));
+        }
+        let end = offset as usize + data.len();
+        if end > MAXFILE_BYTES {
+            return Err(FsError::TooLarge(format!(
+                "write to {end} bytes exceeds xv6fs limit of {MAXFILE_BYTES}"
+            )));
+        }
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset as usize + done;
+            let fb = pos / BSIZE;
+            let in_block = pos % BSIZE;
+            let chunk = (BSIZE - in_block).min(data.len() - done);
+            let disk_block = self.bmap(dev, bc, &mut ino, fb, true)?;
+            let mut block = Self::read_fs_block(dev, bc, disk_block)?;
+            block[in_block..in_block + chunk].copy_from_slice(&data[done..done + chunk]);
+            Self::write_fs_block(dev, bc, disk_block, &block)?;
+            done += chunk;
+        }
+        if end as u32 > ino.size {
+            ino.size = end as u32;
+        }
+        self.write_inode(dev, bc, inum, &ino)?;
+        Ok(done)
+    }
+
+    /// Returns metadata for inode `inum`.
+    pub fn stat(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, inum: u32) -> FsResult<Stat> {
+        let ino = self.read_inode(dev, bc, inum)?;
+        Ok(Stat {
+            inum,
+            itype: ino.itype,
+            nlink: ino.nlink,
+            size: ino.size,
+        })
+    }
+
+    // ---- directories -----------------------------------------------------------------------
+
+    fn dir_entries(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_inum: u32,
+    ) -> FsResult<Vec<DirEntry>> {
+        let ino = self.read_inode(dev, bc, dir_inum)?;
+        if ino.itype != InodeType::Dir {
+            return Err(FsError::NotADirectory(format!("inode {dir_inum}")));
+        }
+        let mut raw = vec![0u8; ino.size as usize];
+        self.read(dev, bc, dir_inum, 0, &mut raw)?;
+        let mut out = Vec::new();
+        for chunk in raw.chunks_exact(DIRENT_SIZE) {
+            let inum = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if inum == 0 {
+                continue;
+            }
+            let name_bytes: Vec<u8> = chunk[4..4 + DIRSIZ]
+                .iter()
+                .copied()
+                .take_while(|b| *b != 0)
+                .collect();
+            out.push(DirEntry {
+                inum,
+                name: String::from_utf8_lossy(&name_bytes).into_owned(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn dir_add(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_inum: u32,
+        name: &str,
+        child_inum: u32,
+    ) -> FsResult<()> {
+        if !path::valid_name(name) || name.len() > DIRSIZ {
+            return Err(FsError::Invalid(format!("bad file name '{name}'")));
+        }
+        let ino = self.read_inode(dev, bc, dir_inum)?;
+        // Find a free slot (inum == 0) or append.
+        let mut raw = vec![0u8; ino.size as usize];
+        self.read(dev, bc, dir_inum, 0, &mut raw)?;
+        let mut slot_offset = ino.size;
+        for (i, chunk) in raw.chunks_exact(DIRENT_SIZE).enumerate() {
+            let inum = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if inum == 0 {
+                slot_offset = (i * DIRENT_SIZE) as u32;
+                break;
+            }
+        }
+        let mut ent = [0u8; DIRENT_SIZE];
+        ent[0..4].copy_from_slice(&child_inum.to_le_bytes());
+        ent[4..4 + name.len()].copy_from_slice(name.as_bytes());
+        self.write(dev, bc, dir_inum, slot_offset, &ent)?;
+        Ok(())
+    }
+
+    fn dir_lookup(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_inum: u32,
+        name: &str,
+    ) -> FsResult<u32> {
+        let entries = self.dir_entries(dev, bc, dir_inum)?;
+        entries
+            .into_iter()
+            .find(|e| e.name == name)
+            .map(|e| e.inum)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))
+    }
+
+    fn dir_remove(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_inum: u32,
+        name: &str,
+    ) -> FsResult<u32> {
+        let ino = self.read_inode(dev, bc, dir_inum)?;
+        let mut raw = vec![0u8; ino.size as usize];
+        self.read(dev, bc, dir_inum, 0, &mut raw)?;
+        for (i, chunk) in raw.chunks_exact(DIRENT_SIZE).enumerate() {
+            let inum = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if inum == 0 {
+                continue;
+            }
+            let ent_name: Vec<u8> = chunk[4..4 + DIRSIZ]
+                .iter()
+                .copied()
+                .take_while(|b| *b != 0)
+                .collect();
+            if ent_name == name.as_bytes() {
+                let zero = [0u8; DIRENT_SIZE];
+                self.write(dev, bc, dir_inum, (i * DIRENT_SIZE) as u32, &zero)?;
+                return Ok(inum);
+            }
+        }
+        Err(FsError::NotFound(name.to_string()))
+    }
+
+    // ---- path-level API ----------------------------------------------------------------------
+
+    /// Resolves a path to an inode number.
+    pub fn lookup(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<u32> {
+        let mut cur = ROOT_INUM;
+        for comp in path::components(p) {
+            cur = self.dir_lookup(dev, bc, cur, &comp)?;
+        }
+        Ok(cur)
+    }
+
+    /// Creates a file or directory at `p`, returning its inode number.
+    pub fn create(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        itype: InodeType,
+    ) -> FsResult<u32> {
+        let (parent, name) = path::split_parent(p)
+            .ok_or_else(|| FsError::Invalid("cannot create root".into()))?;
+        let parent_inum = self.lookup(dev, bc, &parent)?;
+        let parent_ino = self.read_inode(dev, bc, parent_inum)?;
+        if parent_ino.itype != InodeType::Dir {
+            return Err(FsError::NotADirectory(parent));
+        }
+        if self.dir_lookup(dev, bc, parent_inum, &name).is_ok() {
+            return Err(FsError::AlreadyExists(p.to_string()));
+        }
+        let inum = self.ialloc(dev, bc, itype)?;
+        self.dir_add(dev, bc, parent_inum, &name, inum)?;
+        Ok(inum)
+    }
+
+    /// Lists the entries of the directory at `p`.
+    pub fn list_dir(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+    ) -> FsResult<Vec<DirEntry>> {
+        let inum = self.lookup(dev, bc, p)?;
+        self.dir_entries(dev, bc, inum)
+    }
+
+    /// Removes the file at `p`, freeing its data blocks. Directories must be
+    /// empty.
+    pub fn unlink(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<()> {
+        let (parent, name) = path::split_parent(p)
+            .ok_or_else(|| FsError::Invalid("cannot unlink root".into()))?;
+        let parent_inum = self.lookup(dev, bc, &parent)?;
+        let inum = self.dir_lookup(dev, bc, parent_inum, &name)?;
+        let mut ino = self.read_inode(dev, bc, inum)?;
+        if ino.itype == InodeType::Dir && !self.dir_entries(dev, bc, inum)?.is_empty() {
+            return Err(FsError::NotEmpty(p.to_string()));
+        }
+        self.dir_remove(dev, bc, parent_inum, &name)?;
+        // Free data blocks.
+        for i in 0..NDIRECT {
+            if ino.addrs[i] != 0 {
+                self.bfree(dev, bc, ino.addrs[i])?;
+            }
+        }
+        if ino.addrs[NDIRECT] != 0 {
+            let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
+            for chunk in ind.chunks_exact(4) {
+                let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                if ptr != 0 {
+                    self.bfree(dev, bc, ptr)?;
+                }
+            }
+            self.bfree(dev, bc, ino.addrs[NDIRECT])?;
+        }
+        ino = DiskInode::empty();
+        self.write_inode(dev, bc, inum, &ino)?;
+        Ok(())
+    }
+
+    /// Convenience: creates (or truncates) a file at `p` and writes `data`.
+    pub fn write_file(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        data: &[u8],
+    ) -> FsResult<u32> {
+        let inum = match self.lookup(dev, bc, p) {
+            Ok(i) => i,
+            Err(FsError::NotFound(_)) => self.create(dev, bc, p, InodeType::File)?,
+            Err(e) => return Err(e),
+        };
+        self.write(dev, bc, inum, 0, data)?;
+        Ok(inum)
+    }
+
+    /// Convenience: reads the whole file at `p`.
+    pub fn read_file(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+    ) -> FsResult<Vec<u8>> {
+        let inum = self.lookup(dev, bc, p)?;
+        let st = self.stat(dev, bc, inum)?;
+        if st.itype == InodeType::Dir {
+            return Err(FsError::IsADirectory(p.to_string()));
+        }
+        let mut buf = vec![0u8; st.size as usize];
+        self.read(dev, bc, inum, 0, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+
+    fn fresh_fs() -> (MemDisk, BufCache, Xv6Fs) {
+        // 2 MB ramdisk: 4096 sectors -> 2048 fs blocks.
+        let mut dev = MemDisk::new(4096);
+        let mut bc = BufCache::default();
+        let fs = Xv6Fs::mkfs(&mut dev, &mut bc, 2048, 256).unwrap();
+        (dev, bc, fs)
+    }
+
+    #[test]
+    fn mkfs_then_mount_round_trips_the_superblock() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        let mounted = Xv6Fs::mount(&mut dev, &mut bc).unwrap();
+        assert_eq!(mounted.superblock(), fs.superblock());
+        assert_eq!(mounted.superblock().magic, FSMAGIC);
+    }
+
+    #[test]
+    fn create_write_read_round_trips() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        let data = b"hello from prototype 4".to_vec();
+        fs.write_file(&mut dev, &mut bc, "/hello.txt", &data).unwrap();
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/hello.txt").unwrap(), data);
+    }
+
+    #[test]
+    fn nested_directories_work() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        fs.create(&mut dev, &mut bc, "/etc", InodeType::Dir).unwrap();
+        fs.create(&mut dev, &mut bc, "/etc/conf", InodeType::Dir).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/etc/conf/rc", b"init").unwrap();
+        let listing = fs.list_dir(&mut dev, &mut bc, "/etc/conf").unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].name, "rc");
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/etc/conf/rc").unwrap(), b"init");
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks_and_reads_back() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        // 100 KB crosses the 12 KB direct limit into the indirect block.
+        let data: Vec<u8> = (0..100 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file(&mut dev, &mut bc, "/big.bin", &data).unwrap();
+        assert_eq!(fs.read_file(&mut dev, &mut bc, "/big.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn file_size_limit_is_enforced_at_268kb() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        let inum = fs.create(&mut dev, &mut bc, "/huge", InodeType::File).unwrap();
+        let ok = vec![0u8; MAXFILE_BYTES];
+        assert!(fs.write(&mut dev, &mut bc, inum, 0, &ok).is_ok());
+        assert!(matches!(
+            fs.write(&mut dev, &mut bc, inum, MAXFILE_BYTES as u32, &[0u8]),
+            Err(FsError::TooLarge(_))
+        ));
+        assert_eq!(MAXFILE_BYTES, 274_432, "the paper's ~270 KB limit");
+    }
+
+    #[test]
+    fn unlink_frees_blocks_for_reuse() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        // Touch the root directory first so its own data block is already
+        // allocated and does not perturb the free-block accounting below.
+        fs.write_file(&mut dev, &mut bc, "/anchor", b"x").unwrap();
+        let free_before = fs.free_blocks(&mut dev, &mut bc).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 50 * 1024]).unwrap();
+        let free_mid = fs.free_blocks(&mut dev, &mut bc).unwrap();
+        assert!(free_mid < free_before);
+        fs.unlink(&mut dev, &mut bc, "/tmp.bin").unwrap();
+        let free_after = fs.free_blocks(&mut dev, &mut bc).unwrap();
+        assert_eq!(free_after, free_before);
+        assert!(matches!(
+            fs.read_file(&mut dev, &mut bc, "/tmp.bin"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn creating_a_duplicate_fails() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        fs.write_file(&mut dev, &mut bc, "/a", b"1").unwrap();
+        assert!(matches!(
+            fs.create(&mut dev, &mut bc, "/a", InodeType::File),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn lookups_of_missing_paths_fail_cleanly() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        assert!(matches!(
+            fs.lookup(&mut dev, &mut bc, "/no/such/file"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn filesystem_fills_up_and_reports_no_space() {
+        // Tiny filesystem: 128 fs blocks (64 data-ish blocks after metadata).
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        let fs = Xv6Fs::mkfs(&mut dev, &mut bc, 128, 32).unwrap();
+        let mut i = 0;
+        let result = loop {
+            let r = fs.write_file(&mut dev, &mut bc, &format!("/f{i}"), &vec![0u8; 8 * 1024]);
+            if r.is_err() {
+                break r;
+            }
+            i += 1;
+            if i > 100 {
+                panic!("filesystem never filled up");
+            }
+        };
+        assert!(matches!(result, Err(FsError::NoSpace)));
+    }
+
+    #[test]
+    fn data_persists_across_remount() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        fs.write_file(&mut dev, &mut bc, "/persist.txt", b"survive remount").unwrap();
+        drop(fs);
+        let mut bc2 = BufCache::default();
+        let fs2 = Xv6Fs::mount(&mut dev, &mut bc2).unwrap();
+        assert_eq!(
+            fs2.read_file(&mut dev, &mut bc2, "/persist.txt").unwrap(),
+            b"survive remount"
+        );
+    }
+
+    #[test]
+    fn overwrite_in_the_middle_of_a_file() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        let inum = fs.write_file(&mut dev, &mut bc, "/f", &vec![b'a'; 3000]).unwrap();
+        fs.write(&mut dev, &mut bc, inum, 1500, b"XYZ").unwrap();
+        let back = fs.read_file(&mut dev, &mut bc, "/f").unwrap();
+        assert_eq!(back.len(), 3000);
+        assert_eq!(&back[1500..1503], b"XYZ");
+        assert_eq!(back[1499], b'a');
+        assert_eq!(back[1503], b'a');
+    }
+}

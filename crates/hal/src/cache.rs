@@ -1,0 +1,178 @@
+//! CPU data-cache model for device-backed memory.
+//!
+//! §4.3 of the paper describes a subtle lesson Prototype 3 teaches: the
+//! framebuffer must be mapped *cacheable* for acceptable FPS, but then the
+//! CPU cache must be cleaned for the framebuffer region on every frame —
+//! otherwise stale lines linger and produce non-deterministic visual
+//! artifacts that only fade as lines are evicted naturally. Emulators hide
+//! this entirely; the real board does not. This module models exactly enough
+//! of a write-back data cache to make that behaviour observable: writes to a
+//! cacheable device region land in a staging copy and only reach the device
+//! ("memory") when the corresponding lines are cleaned, or when capacity
+//! pressure evicts them.
+
+use std::collections::BTreeSet;
+
+/// Cache line size in bytes (Cortex-A53 L1D uses 64-byte lines).
+pub const CACHE_LINE_SIZE: usize = 64;
+
+/// Tracks which cache lines of a device-backed region are dirty and models
+/// capacity evictions.
+#[derive(Debug, Clone)]
+pub struct DirtyLineTracker {
+    /// Dirty line indices (offset / CACHE_LINE_SIZE), kept sorted so eviction
+    /// order is deterministic.
+    dirty: BTreeSet<usize>,
+    /// Maximum number of dirty lines held before the oldest are evicted
+    /// (written back) implicitly — this is what makes artifacts "gradually
+    /// disappear as cache lines hit the memory".
+    capacity_lines: usize,
+    /// Lines written back by explicit clean operations.
+    cleaned_lines: u64,
+    /// Lines written back by capacity evictions.
+    evicted_lines: u64,
+}
+
+impl DirtyLineTracker {
+    /// Creates a tracker with the given capacity in lines. The A53's 32 KB
+    /// L1D corresponds to 512 lines; sharing with other data means only a
+    /// fraction is realistically available for the framebuffer.
+    pub fn new(capacity_lines: usize) -> Self {
+        DirtyLineTracker {
+            dirty: BTreeSet::new(),
+            capacity_lines: capacity_lines.max(1),
+            cleaned_lines: 0,
+            evicted_lines: 0,
+        }
+    }
+
+    /// Marks the byte range `[offset, offset+len)` dirty. Returns the line
+    /// indices that were evicted (written back) to make room.
+    pub fn mark_dirty(&mut self, offset: usize, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        for line in first..=last {
+            self.dirty.insert(line);
+        }
+        let mut evicted = Vec::new();
+        while self.dirty.len() > self.capacity_lines {
+            // Evict the lowest-numbered line: deterministic and roughly
+            // corresponds to the oldest rows of a frame being flushed first.
+            if let Some(&line) = self.dirty.iter().next() {
+                self.dirty.remove(&line);
+                self.evicted_lines += 1;
+                evicted.push(line);
+            }
+        }
+        evicted
+    }
+
+    /// Cleans (writes back) every dirty line intersecting `[offset,
+    /// offset+len)`, returning the cleaned line indices.
+    pub fn clean_range(&mut self, offset: usize, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        let lines: Vec<usize> = self
+            .dirty
+            .range(first..=last)
+            .copied()
+            .collect();
+        for line in &lines {
+            self.dirty.remove(line);
+        }
+        self.cleaned_lines += lines.len() as u64;
+        lines
+    }
+
+    /// Cleans every dirty line, returning them.
+    pub fn clean_all(&mut self) -> Vec<usize> {
+        let lines: Vec<usize> = self.dirty.iter().copied().collect();
+        self.dirty.clear();
+        self.cleaned_lines += lines.len() as u64;
+        lines
+    }
+
+    /// Whether any line in `[offset, offset+len)` is dirty (i.e. the device
+    /// would still see stale data there).
+    pub fn is_dirty(&self, offset: usize, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        self.dirty.range(first..=last).next().is_some()
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Lines written back by explicit cleans since creation.
+    pub fn cleaned_lines(&self) -> u64 {
+        self.cleaned_lines
+    }
+
+    /// Lines written back by capacity evictions since creation.
+    pub fn evicted_lines(&self) -> u64 {
+        self.evicted_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marking_and_cleaning_round_trip() {
+        let mut t = DirtyLineTracker::new(1024);
+        t.mark_dirty(0, 256);
+        assert_eq!(t.dirty_lines(), 4);
+        assert!(t.is_dirty(100, 4));
+        let cleaned = t.clean_range(0, 256);
+        assert_eq!(cleaned.len(), 4);
+        assert!(!t.is_dirty(0, 256));
+    }
+
+    #[test]
+    fn partial_clean_leaves_other_lines_dirty() {
+        let mut t = DirtyLineTracker::new(1024);
+        t.mark_dirty(0, 512);
+        t.clean_range(0, 128);
+        assert!(!t.is_dirty(0, 128));
+        assert!(t.is_dirty(128, 384));
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_oldest_lines() {
+        let mut t = DirtyLineTracker::new(4);
+        let evicted = t.mark_dirty(0, 6 * CACHE_LINE_SIZE);
+        assert_eq!(t.dirty_lines(), 4);
+        assert_eq!(evicted, vec![0, 1]);
+        assert_eq!(t.evicted_lines(), 2);
+    }
+
+    #[test]
+    fn zero_length_operations_are_noops() {
+        let mut t = DirtyLineTracker::new(8);
+        assert!(t.mark_dirty(10, 0).is_empty());
+        assert!(t.clean_range(10, 0).is_empty());
+        assert!(!t.is_dirty(10, 0));
+    }
+
+    #[test]
+    fn clean_all_flushes_everything() {
+        let mut t = DirtyLineTracker::new(128);
+        t.mark_dirty(1000, 300);
+        let lines = t.clean_all();
+        assert!(!lines.is_empty());
+        assert_eq!(t.dirty_lines(), 0);
+        assert_eq!(t.cleaned_lines(), lines.len() as u64);
+    }
+}

@@ -1,0 +1,274 @@
+//! DMA controller.
+//!
+//! The BCM2837 has 16 DMA channels; Proto uses channel 0 to stream audio
+//! samples from a memory ring buffer into the PWM FIFO, paced by the PWM
+//! data-request signal (§4.4). The model provides timed memory-to-memory and
+//! memory-to-device transfers: a transfer programmed now completes after a
+//! duration derived from the cost model, at which point the channel raises
+//! [`Interrupt::Dma0`].
+
+use crate::clock::Cycles;
+use crate::intc::{Interrupt, IrqController};
+use crate::mem::{PhysAddr, PhysMem};
+use crate::{HalError, HalResult};
+
+/// Number of DMA channels modelled (the audio path only needs one, but the
+/// engine supports several so tests can exercise contention).
+pub const NUM_CHANNELS: usize = 4;
+
+/// Where a DMA transfer delivers its data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaDest {
+    /// Copy into physical memory at the given address.
+    Memory(PhysAddr),
+    /// Deliver to a peripheral FIFO (the PWM audio FIFO); the data is handed
+    /// to the caller on completion so the board can push it into the device.
+    PeripheralFifo,
+}
+
+/// A programmed DMA control block.
+#[derive(Debug, Clone)]
+pub struct DmaTransfer {
+    /// Source address in physical memory.
+    pub src: PhysAddr,
+    /// Destination.
+    pub dest: DmaDest,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// A completed transfer, reported when the completion interrupt fires.
+#[derive(Debug, Clone)]
+pub struct DmaCompletion {
+    /// Which channel completed.
+    pub channel: usize,
+    /// The transfer that completed.
+    pub transfer: DmaTransfer,
+    /// Data read from the source (only populated for peripheral-FIFO
+    /// destinations, where the board must forward it to the device).
+    pub fifo_data: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct Channel {
+    active: Option<(DmaTransfer, u64)>, // (transfer, completion time in cycles)
+    completions: u64,
+}
+
+/// The DMA engine model.
+#[derive(Debug)]
+pub struct DmaEngine {
+    channels: Vec<Channel>,
+    finished: Vec<DmaCompletion>,
+}
+
+impl Default for DmaEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DmaEngine {
+    /// Creates the engine with all channels idle.
+    pub fn new() -> Self {
+        DmaEngine {
+            channels: (0..NUM_CHANNELS)
+                .map(|_| Channel {
+                    active: None,
+                    completions: 0,
+                })
+                .collect(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Whether `channel` is currently busy.
+    pub fn is_busy(&self, channel: usize) -> bool {
+        self.channels
+            .get(channel)
+            .map(|c| c.active.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Number of completed transfers on `channel`.
+    pub fn completions(&self, channel: usize) -> u64 {
+        self.channels.get(channel).map(|c| c.completions).unwrap_or(0)
+    }
+
+    /// Programs `channel` with `transfer`, starting at global time `now`
+    /// (cycles) and taking `duration` cycles of device time.
+    pub fn start(
+        &mut self,
+        channel: usize,
+        transfer: DmaTransfer,
+        now: Cycles,
+        duration: Cycles,
+    ) -> HalResult<()> {
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or_else(|| HalError::OutOfRange(format!("dma channel {channel}")))?;
+        if ch.active.is_some() {
+            return Err(HalError::InvalidState(format!(
+                "dma channel {channel} already active"
+            )));
+        }
+        if transfer.len == 0 {
+            return Err(HalError::OutOfRange("zero-length DMA transfer".into()));
+        }
+        ch.active = Some((transfer, now.saturating_add(duration)));
+        Ok(())
+    }
+
+    /// Advances the engine to global time `now`, performing any transfers
+    /// whose completion time has passed and raising [`Interrupt::Dma0`] for
+    /// channel 0 completions (the only channel Proto enables interrupts for).
+    pub fn tick(&mut self, now: Cycles, mem: &mut PhysMem, intc: &mut IrqController) -> HalResult<()> {
+        for (idx, ch) in self.channels.iter_mut().enumerate() {
+            let due = match &ch.active {
+                Some((_, done_at)) if *done_at <= now => true,
+                _ => false,
+            };
+            if !due {
+                continue;
+            }
+            let (transfer, _) = ch.active.take().expect("checked above");
+            let mut data = vec![0u8; transfer.len];
+            mem.read(transfer.src, &mut data)?;
+            let fifo_data = match &transfer.dest {
+                DmaDest::Memory(dst) => {
+                    mem.write(*dst, &data)?;
+                    None
+                }
+                DmaDest::PeripheralFifo => Some(data),
+            };
+            ch.completions += 1;
+            self.finished.push(DmaCompletion {
+                channel: idx,
+                transfer,
+                fifo_data,
+            });
+            if idx == 0 {
+                intc.raise(Interrupt::Dma0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the completion queue (the driver reads this in its IRQ handler).
+    pub fn take_completions(&mut self) -> Vec<DmaCompletion> {
+        std::mem::take(&mut self.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intc0() -> IrqController {
+        let mut ic = IrqController::new(1);
+        ic.enable(Interrupt::Dma0);
+        ic.set_core_masked(0, false);
+        ic
+    }
+
+    #[test]
+    fn mem_to_mem_transfer_copies_after_duration() {
+        let mut dma = DmaEngine::new();
+        let mut mem = PhysMem::new();
+        let mut ic = intc0();
+        mem.write(0x1000, b"audio samples").unwrap();
+        dma.start(
+            0,
+            DmaTransfer {
+                src: 0x1000,
+                dest: DmaDest::Memory(0x2000),
+                len: 13,
+            },
+            0,
+            500,
+        )
+        .unwrap();
+        dma.tick(499, &mut mem, &mut ic).unwrap();
+        assert!(dma.is_busy(0));
+        dma.tick(500, &mut mem, &mut ic).unwrap();
+        assert!(!dma.is_busy(0));
+        let mut back = [0u8; 13];
+        mem.read(0x2000, &mut back).unwrap();
+        assert_eq!(&back, b"audio samples");
+        assert_eq!(ic.take_pending(0), Some(Interrupt::Dma0));
+    }
+
+    #[test]
+    fn fifo_transfers_hand_data_back_on_completion() {
+        let mut dma = DmaEngine::new();
+        let mut mem = PhysMem::new();
+        let mut ic = intc0();
+        mem.write(0x4000, &[1, 2, 3, 4]).unwrap();
+        dma.start(
+            0,
+            DmaTransfer {
+                src: 0x4000,
+                dest: DmaDest::PeripheralFifo,
+                len: 4,
+            },
+            0,
+            10,
+        )
+        .unwrap();
+        dma.tick(10, &mut mem, &mut ic).unwrap();
+        let done = dma.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].fifo_data.as_deref(), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(dma.completions(0), 1);
+    }
+
+    #[test]
+    fn busy_channel_rejects_new_programs() {
+        let mut dma = DmaEngine::new();
+        let t = DmaTransfer {
+            src: 0,
+            dest: DmaDest::PeripheralFifo,
+            len: 8,
+        };
+        dma.start(1, t.clone(), 0, 100).unwrap();
+        assert!(matches!(
+            dma.start(1, t, 0, 100),
+            Err(HalError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_and_bad_channel_are_rejected() {
+        let mut dma = DmaEngine::new();
+        let t = DmaTransfer {
+            src: 0,
+            dest: DmaDest::PeripheralFifo,
+            len: 0,
+        };
+        assert!(dma.start(0, t.clone(), 0, 10).is_err());
+        let t2 = DmaTransfer { len: 4, ..t };
+        assert!(dma.start(99, t2, 0, 10).is_err());
+    }
+
+    #[test]
+    fn only_channel0_raises_interrupts() {
+        let mut dma = DmaEngine::new();
+        let mut mem = PhysMem::new();
+        let mut ic = intc0();
+        dma.start(
+            2,
+            DmaTransfer {
+                src: 0,
+                dest: DmaDest::Memory(0x100),
+                len: 4,
+            },
+            0,
+            1,
+        )
+        .unwrap();
+        dma.tick(10, &mut mem, &mut ic).unwrap();
+        assert!(!ic.has_pending(0));
+        assert_eq!(dma.take_completions().len(), 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Framebuffer device.
+//!
+//! Proto treats the framebuffer as a *first-class* peripheral from Prototype
+//! 1 onward (principle P1: appealing apps need pixels, not just a UART). On
+//! the Pi 3 the framebuffer is requested from the VideoCore firmware through
+//! the mailbox property interface, which returns the geometry, pitch and the
+//! bus address of the allocation. This model reproduces that flow:
+//! [`crate::mailbox::Mailbox`] performs the allocation and hands back a
+//! [`FramebufferInfo`]; the pixels live in this device.
+//!
+//! The device keeps two pixel planes: a *staged* plane that cacheable CPU
+//! writes land in, and the *scanout* plane the display engine reads. Cache
+//! cleans (or capacity evictions) move lines from staged to scanout — exactly
+//! the behaviour that produces the stale-pixel artifacts of §4.3 when the
+//! per-frame flush is forgotten.
+
+use crate::cache::{DirtyLineTracker, CACHE_LINE_SIZE};
+use crate::{HalError, HalResult};
+
+/// Default display width used by the paper's demos (the Game HAT panel and
+/// HDMI mode are both driven at 640x480).
+pub const DEFAULT_WIDTH: u32 = 640;
+/// Default display height.
+pub const DEFAULT_HEIGHT: u32 = 480;
+/// Bytes per pixel (32-bit ARGB).
+pub const BYTES_PER_PIXEL: u32 = 4;
+
+/// Geometry and placement of an allocated framebuffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramebufferInfo {
+    /// Visible width in pixels.
+    pub width: u32,
+    /// Visible height in pixels.
+    pub height: u32,
+    /// Bytes per scanline.
+    pub pitch: u32,
+    /// Bus/physical address the GPU placed the framebuffer at. On real
+    /// hardware this is an arbitrary high address — one of the reasons the
+    /// paper insists on testing on hardware rather than QEMU.
+    pub phys_addr: u64,
+    /// Size of the allocation in bytes.
+    pub size: u32,
+}
+
+impl FramebufferInfo {
+    /// Total number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+}
+
+/// The framebuffer device (GPU memory + scanout).
+#[derive(Debug)]
+pub struct Framebuffer {
+    info: Option<FramebufferInfo>,
+    /// What cacheable CPU writes have produced (may be ahead of scanout).
+    staged: Vec<u32>,
+    /// What the display engine scans out.
+    scanout: Vec<u32>,
+    dirty: DirtyLineTracker,
+    /// Count of pixels written by the CPU since allocation.
+    pixels_written: u64,
+    /// Count of explicit cache-clean operations covering this framebuffer.
+    flushes: u64,
+}
+
+impl Default for Framebuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Framebuffer {
+    /// Creates an unallocated framebuffer device.
+    pub fn new() -> Self {
+        Framebuffer {
+            info: None,
+            staged: Vec::new(),
+            scanout: Vec::new(),
+            dirty: DirtyLineTracker::new(2048),
+            pixels_written: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Performs the allocation the mailbox property call requests. Normally
+    /// reached through [`crate::mailbox::Mailbox::allocate_framebuffer`];
+    /// exposed for tests that need a framebuffer without a firmware model.
+    pub fn allocate(&mut self, width: u32, height: u32, phys_addr: u64) -> FramebufferInfo {
+        let pitch = width * BYTES_PER_PIXEL;
+        let size = pitch * height;
+        let info = FramebufferInfo {
+            width,
+            height,
+            pitch,
+            phys_addr,
+            size,
+        };
+        self.info = Some(info);
+        self.staged = vec![0u32; (width * height) as usize];
+        self.scanout = vec![0u32; (width * height) as usize];
+        self.dirty = DirtyLineTracker::new(2048);
+        self.pixels_written = 0;
+        self.flushes = 0;
+        info
+    }
+
+    /// The allocation info, if the framebuffer has been set up.
+    pub fn info(&self) -> Option<FramebufferInfo> {
+        self.info
+    }
+
+    /// True once the mailbox call has allocated the framebuffer.
+    pub fn is_allocated(&self) -> bool {
+        self.info.is_some()
+    }
+
+    fn require_info(&self) -> HalResult<FramebufferInfo> {
+        self.info
+            .ok_or_else(|| HalError::InvalidState("framebuffer not allocated".into()))
+    }
+
+    /// Writes `pixels` starting at pixel index `offset_px`.
+    ///
+    /// With `cached == true` the write lands in the staged plane and will not
+    /// be visible on the display until the covering lines are cleaned; the
+    /// returned evicted lines are committed immediately (modelling capacity
+    /// write-back). With `cached == false` (a device/non-cacheable mapping)
+    /// the write goes straight to scanout.
+    pub fn write_pixels(&mut self, offset_px: usize, pixels: &[u32], cached: bool) -> HalResult<()> {
+        let info = self.require_info()?;
+        if offset_px + pixels.len() > info.pixel_count() {
+            return Err(HalError::OutOfRange(format!(
+                "framebuffer write of {} px at {} exceeds {} px",
+                pixels.len(),
+                offset_px,
+                info.pixel_count()
+            )));
+        }
+        self.staged[offset_px..offset_px + pixels.len()].copy_from_slice(pixels);
+        self.pixels_written += pixels.len() as u64;
+        if cached {
+            let byte_off = offset_px * BYTES_PER_PIXEL as usize;
+            let byte_len = pixels.len() * BYTES_PER_PIXEL as usize;
+            let evicted = self.dirty.mark_dirty(byte_off, byte_len);
+            for line in evicted {
+                self.commit_line(line);
+            }
+        } else {
+            self.scanout[offset_px..offset_px + pixels.len()].copy_from_slice(pixels);
+        }
+        Ok(())
+    }
+
+    /// Fills the whole framebuffer with one colour (used by clears and the
+    /// boot logo background).
+    pub fn clear(&mut self, colour: u32, cached: bool) -> HalResult<()> {
+        let info = self.require_info()?;
+        let row = vec![colour; info.width as usize];
+        for y in 0..info.height as usize {
+            self.write_pixels(y * info.width as usize, &row, cached)?;
+        }
+        Ok(())
+    }
+
+    fn commit_line(&mut self, line: usize) {
+        let start_byte = line * CACHE_LINE_SIZE;
+        let start_px = start_byte / BYTES_PER_PIXEL as usize;
+        let end_px = ((start_byte + CACHE_LINE_SIZE) / BYTES_PER_PIXEL as usize).min(self.staged.len());
+        if start_px >= self.staged.len() {
+            return;
+        }
+        self.scanout[start_px..end_px].copy_from_slice(&self.staged[start_px..end_px]);
+    }
+
+    /// Cleans the CPU cache for the byte range `[offset, offset+len)` of the
+    /// framebuffer (the `dc civac` loop a Proto syscall performs each frame).
+    /// Returns the number of lines written back, so callers can charge the
+    /// per-line maintenance cost.
+    pub fn flush_range(&mut self, offset: usize, len: usize) -> usize {
+        let lines = self.dirty.clean_range(offset, len);
+        for line in &lines {
+            self.commit_line(*line);
+        }
+        self.flushes += 1;
+        lines.len()
+    }
+
+    /// Cleans the entire framebuffer. Returns the number of lines written back.
+    pub fn flush_all(&mut self) -> usize {
+        let lines = self.dirty.clean_all();
+        for line in &lines {
+            self.commit_line(*line);
+        }
+        self.flushes += 1;
+        lines.len()
+    }
+
+    /// Reads back what the display is scanning out (what a camera pointed at
+    /// the screen — or a grading TA watching a demo video — would see).
+    pub fn scanout_pixels(&self) -> &[u32] {
+        &self.scanout
+    }
+
+    /// Reads back what the CPU believes it wrote (staged plane).
+    pub fn staged_pixels(&self) -> &[u32] {
+        &self.staged
+    }
+
+    /// Reads a single scanout pixel by coordinates.
+    pub fn scanout_at(&self, x: u32, y: u32) -> HalResult<u32> {
+        let info = self.require_info()?;
+        if x >= info.width || y >= info.height {
+            return Err(HalError::OutOfRange(format!("pixel ({x},{y})")));
+        }
+        Ok(self.scanout[(y * info.width + x) as usize])
+    }
+
+    /// Number of pixels the display currently shows that differ from what the
+    /// CPU wrote — i.e. visible staleness caused by missing cache cleans.
+    pub fn stale_pixels(&self) -> usize {
+        self.staged
+            .iter()
+            .zip(self.scanout.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Total pixels written by the CPU since allocation.
+    pub fn pixels_written(&self) -> u64 {
+        self.pixels_written
+    }
+
+    /// Number of explicit flush operations performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allocated_fb() -> Framebuffer {
+        let mut fb = Framebuffer::new();
+        fb.allocate(64, 32, 0x3C10_0000);
+        fb
+    }
+
+    #[test]
+    fn unallocated_framebuffer_rejects_writes() {
+        let mut fb = Framebuffer::new();
+        assert!(matches!(
+            fb.write_pixels(0, &[1, 2, 3], true),
+            Err(HalError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn uncached_writes_are_immediately_visible() {
+        let mut fb = allocated_fb();
+        fb.write_pixels(10, &[0xFF00FF], false).unwrap();
+        assert_eq!(fb.scanout_at(10, 0).unwrap(), 0xFF00FF);
+        assert_eq!(fb.stale_pixels(), 0);
+    }
+
+    #[test]
+    fn cached_writes_are_stale_until_flushed() {
+        let mut fb = allocated_fb();
+        fb.write_pixels(0, &[0xAAAAAA; 16], true).unwrap();
+        assert_eq!(fb.scanout_at(0, 0).unwrap(), 0, "not flushed yet");
+        assert_eq!(fb.stale_pixels(), 16);
+        let flushed = fb.flush_all();
+        assert!(flushed > 0);
+        assert_eq!(fb.scanout_at(0, 0).unwrap(), 0xAAAAAA);
+        assert_eq!(fb.stale_pixels(), 0);
+    }
+
+    #[test]
+    fn partial_flush_commits_only_the_requested_range() {
+        let mut fb = allocated_fb();
+        // Two cache lines worth of pixels (16 px per 64-byte line).
+        fb.write_pixels(0, &[0x111111; 32], true).unwrap();
+        fb.flush_range(0, 64);
+        assert_eq!(fb.scanout_at(0, 0).unwrap(), 0x111111);
+        assert_eq!(fb.scanout_at(16, 0).unwrap(), 0, "second line still stale");
+        assert!(fb.stale_pixels() > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_rejected() {
+        let mut fb = allocated_fb();
+        let too_many = vec![0u32; 64 * 32 + 1];
+        assert!(fb.write_pixels(0, &too_many, false).is_err());
+        assert!(fb.write_pixels(64 * 32 - 1, &[0, 0], false).is_err());
+    }
+
+    #[test]
+    fn geometry_reported_matches_allocation() {
+        let mut fb = Framebuffer::new();
+        let info = fb.allocate(DEFAULT_WIDTH, DEFAULT_HEIGHT, 0x3C10_0000);
+        assert_eq!(info.pitch, DEFAULT_WIDTH * BYTES_PER_PIXEL);
+        assert_eq!(info.size, DEFAULT_WIDTH * BYTES_PER_PIXEL * DEFAULT_HEIGHT);
+        assert_eq!(info.pixel_count(), (DEFAULT_WIDTH * DEFAULT_HEIGHT) as usize);
+    }
+}

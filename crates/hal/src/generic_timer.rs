@@ -1,0 +1,169 @@
+//! ARM generic timers (CNTP), one per core.
+//!
+//! Once Prototype 5 scales to all four cores, scheduler ticks must reach
+//! every core; the SoC system timer only interrupts core 0, so the kernel
+//! switches to the per-core ARM generic timers (§4.5). Each core's timer is a
+//! down-counter programmed with a timer value (`CNTP_TVAL`) and an enable bit
+//! (`CNTP_CTL`); reaching zero raises that core's [`Interrupt::GenericTimer`].
+
+use crate::clock::CoreId;
+use crate::intc::{Interrupt, IrqController};
+use crate::NUM_CORES;
+
+/// Frequency of the generic timer counter (19.2 MHz crystal on the Pi 3).
+pub const GENERIC_TIMER_FREQ_HZ: u64 = 19_200_000;
+
+/// One core's generic timer state.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreTimer {
+    enabled: bool,
+    /// Absolute deadline in board microseconds, if armed.
+    deadline_us: Option<u64>,
+    /// Interval used for periodic re-arm.
+    interval_us: u64,
+    /// Number of times this core's timer has fired.
+    fired: u64,
+}
+
+/// The per-core generic timer bank.
+#[derive(Debug, Clone)]
+pub struct GenericTimers {
+    timers: [CoreTimer; NUM_CORES],
+    num_cores: usize,
+}
+
+impl Default for GenericTimers {
+    fn default() -> Self {
+        Self::new(NUM_CORES)
+    }
+}
+
+impl GenericTimers {
+    /// Creates the bank with every core's timer disabled.
+    pub fn new(num_cores: usize) -> Self {
+        GenericTimers {
+            timers: [CoreTimer::default(); NUM_CORES],
+            num_cores: num_cores.min(NUM_CORES),
+        }
+    }
+
+    /// Enables `core`'s timer to fire every `interval_us` microseconds,
+    /// starting one interval after `now_us`.
+    pub fn enable_periodic(&mut self, core: CoreId, now_us: u64, interval_us: u64) {
+        let t = &mut self.timers[core];
+        t.enabled = true;
+        t.interval_us = interval_us.max(1);
+        t.deadline_us = Some(now_us + t.interval_us);
+    }
+
+    /// Disables `core`'s timer.
+    pub fn disable(&mut self, core: CoreId) {
+        self.timers[core] = CoreTimer::default();
+    }
+
+    /// Whether `core`'s timer is enabled.
+    pub fn is_enabled(&self, core: CoreId) -> bool {
+        self.timers[core].enabled
+    }
+
+    /// Number of times `core`'s timer has fired since boot.
+    pub fn fire_count(&self, core: CoreId) -> u64 {
+        self.timers[core].fired
+    }
+
+    /// The earliest deadline across all enabled cores, if any.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.timers[..self.num_cores]
+            .iter()
+            .filter(|t| t.enabled)
+            .filter_map(|t| t.deadline_us)
+            .min()
+    }
+
+    /// Advances the bank to `now_us`, raising a [`Interrupt::GenericTimer`]
+    /// for every core whose deadline passed and re-arming it periodically.
+    pub fn tick(&mut self, now_us: u64, intc: &mut IrqController) {
+        for core in 0..self.num_cores {
+            let t = &mut self.timers[core];
+            if !t.enabled {
+                continue;
+            }
+            if let Some(deadline) = t.deadline_us {
+                if now_us >= deadline {
+                    t.fired += 1;
+                    // Periodic re-arm relative to the missed deadline so the
+                    // tick rate does not drift under load.
+                    let mut next = deadline + t.interval_us;
+                    if next <= now_us {
+                        next = now_us + t.interval_us;
+                    }
+                    t.deadline_us = Some(next);
+                    intc.raise(Interrupt::GenericTimer(core));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intc_all_unmasked(cores: usize) -> IrqController {
+        let mut ic = IrqController::new(cores);
+        for c in 0..cores {
+            ic.enable(Interrupt::GenericTimer(c));
+            ic.set_core_masked(c, false);
+        }
+        ic
+    }
+
+    #[test]
+    fn each_core_gets_its_own_tick() {
+        let mut gt = GenericTimers::new(4);
+        let mut ic = intc_all_unmasked(4);
+        for core in 0..4 {
+            gt.enable_periodic(core, 0, 1000);
+        }
+        gt.tick(1000, &mut ic);
+        for core in 0..4 {
+            assert_eq!(
+                ic.take_pending(core),
+                Some(Interrupt::GenericTimer(core)),
+                "core {core} should have its own timer IRQ"
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_rearm_does_not_drift() {
+        let mut gt = GenericTimers::new(1);
+        let mut ic = intc_all_unmasked(1);
+        gt.enable_periodic(0, 0, 100);
+        gt.tick(100, &mut ic);
+        assert_eq!(gt.next_deadline_us(), Some(200));
+        // Late tick: deadline re-arms ahead of "now".
+        gt.tick(350, &mut ic);
+        assert!(gt.next_deadline_us().unwrap() > 350);
+        assert_eq!(gt.fire_count(0), 2);
+    }
+
+    #[test]
+    fn disabled_timer_never_fires() {
+        let mut gt = GenericTimers::new(2);
+        let mut ic = intc_all_unmasked(2);
+        gt.enable_periodic(1, 0, 50);
+        gt.disable(1);
+        gt.tick(1_000_000, &mut ic);
+        assert!(!ic.has_pending(1));
+        assert_eq!(gt.fire_count(1), 0);
+    }
+
+    #[test]
+    fn next_deadline_spans_cores() {
+        let mut gt = GenericTimers::new(4);
+        gt.enable_periodic(0, 0, 500);
+        gt.enable_periodic(3, 0, 200);
+        assert_eq!(gt.next_deadline_us(), Some(200));
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulated physical memory.
+//!
+//! The Pi 3 exposes 1 GB of DRAM starting at physical address 0, with
+//! memory-mapped peripherals at [`crate::PERIPHERAL_BASE`]. Allocating a real
+//! gigabyte per simulated board would make the test suite unusable, so DRAM
+//! is stored sparsely at 4 KB frame granularity: frames materialise on first
+//! write and read back as zero until then. (Note this intentionally differs
+//! from real hardware, where uninitialised DRAM holds arbitrary values — one
+//! of the paper's motivations for debugging on hardware. The
+//! [`PhysMem::poison_fresh_frames`] switch restores that behaviour for tests
+//! that want it.)
+
+use std::collections::HashMap;
+
+use crate::{HalError, HalResult, DRAM_SIZE};
+
+/// Size of a physical frame / smallest page, in bytes.
+pub const FRAME_SIZE: usize = 4096;
+
+/// A physical address on the simulated board.
+pub type PhysAddr = u64;
+
+/// Byte pattern used to fill freshly materialised frames when poisoning is
+/// enabled, mimicking the arbitrary contents of real DRAM after power-on.
+pub const POISON_BYTE: u8 = 0xC5;
+
+/// Sparse simulated DRAM.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8]>>,
+    poison: bool,
+    dram_size: u64,
+}
+
+impl PhysMem {
+    /// Creates an empty (all-zero) physical memory of [`DRAM_SIZE`] bytes.
+    pub fn new() -> Self {
+        PhysMem {
+            frames: HashMap::new(),
+            poison: false,
+            dram_size: DRAM_SIZE,
+        }
+    }
+
+    /// Creates a physical memory with a custom DRAM size (tests use small
+    /// memories to exercise out-of-memory paths cheaply).
+    pub fn with_size(dram_size: u64) -> Self {
+        PhysMem {
+            frames: HashMap::new(),
+            poison: false,
+            dram_size,
+        }
+    }
+
+    /// Total DRAM size in bytes.
+    pub fn dram_size(&self) -> u64 {
+        self.dram_size
+    }
+
+    /// When enabled, frames that have never been written read back as
+    /// [`POISON_BYTE`] instead of zero, mimicking real uninitialised DRAM.
+    pub fn poison_fresh_frames(&mut self, enable: bool) {
+        self.poison = enable;
+    }
+
+    /// Number of frames that have been materialised so far (resident set).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Resident memory in bytes (used for the paper's §7.3 memory numbers).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.frames.len() * FRAME_SIZE) as u64
+    }
+
+    fn check_range(&self, addr: PhysAddr, len: usize) -> HalResult<()> {
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(HalError::BadAddress(addr))?;
+        if end > self.dram_size {
+            return Err(HalError::BadAddress(addr));
+        }
+        Ok(())
+    }
+
+    fn frame_mut(&mut self, frame_idx: u64) -> &mut [u8] {
+        let poison = self.poison;
+        self.frames
+            .entry(frame_idx)
+            .or_insert_with(|| {
+                let fill = if poison { POISON_BYTE } else { 0 };
+                vec![fill; FRAME_SIZE].into_boxed_slice()
+            })
+            .as_mut()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) -> HalResult<()> {
+        self.check_range(addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let frame_idx = cur / FRAME_SIZE as u64;
+            let in_frame = (cur % FRAME_SIZE as u64) as usize;
+            let chunk = (FRAME_SIZE - in_frame).min(buf.len() - off);
+            match self.frames.get(&frame_idx) {
+                Some(frame) => buf[off..off + chunk].copy_from_slice(&frame[in_frame..in_frame + chunk]),
+                None => {
+                    let fill = if self.poison { POISON_BYTE } else { 0 };
+                    buf[off..off + chunk].fill(fill);
+                }
+            }
+            off += chunk;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) -> HalResult<()> {
+        self.check_range(addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let frame_idx = cur / FRAME_SIZE as u64;
+            let in_frame = (cur % FRAME_SIZE as u64) as usize;
+            let chunk = (FRAME_SIZE - in_frame).min(buf.len() - off);
+            let frame = self.frame_mut(frame_idx);
+            frame[in_frame..in_frame + chunk].copy_from_slice(&buf[off..off + chunk]);
+            off += chunk;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`.
+    pub fn fill(&mut self, addr: PhysAddr, len: usize, value: u8) -> HalResult<()> {
+        self.check_range(addr, len)?;
+        let buf = vec![value; len.min(FRAME_SIZE)];
+        let mut remaining = len;
+        let mut cur = addr;
+        while remaining > 0 {
+            let chunk = remaining.min(buf.len());
+            self.write(cur, &buf[..chunk])?;
+            cur += chunk as u64;
+            remaining -= chunk;
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within physical memory.
+    pub fn copy_within(&mut self, src: PhysAddr, dst: PhysAddr, len: usize) -> HalResult<()> {
+        let mut buf = vec![0u8; len];
+        self.read(src, &mut buf)?;
+        self.write(dst, &buf)
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: PhysAddr) -> HalResult<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: PhysAddr, value: u32) -> HalResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: PhysAddr) -> HalResult<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> HalResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: PhysAddr) -> HalResult<u8> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: PhysAddr, value: u8) -> HalResult<()> {
+        self.write(addr, &[value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mem = PhysMem::new();
+        let mut buf = [0xFFu8; 16];
+        mem.read(0x1000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn poisoned_memory_reads_pattern() {
+        let mut mem = PhysMem::new();
+        mem.poison_fresh_frames(true);
+        assert_eq!(mem.read_u8(0x2000).unwrap(), POISON_BYTE);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_across_frame_boundary() {
+        let mut mem = PhysMem::new();
+        let data: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        // Straddles the boundary between frame 0 and frame 1.
+        mem.write(FRAME_SIZE as u64 - 100, &data).unwrap();
+        let mut back = vec![0u8; 200];
+        mem.read(FRAME_SIZE as u64 - 100, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn word_accessors_round_trip() {
+        let mut mem = PhysMem::new();
+        mem.write_u32(0x100, 0xDEAD_BEEF).unwrap();
+        mem.write_u64(0x200, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(mem.read_u32(0x100).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(mem.read_u64(0x200).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn out_of_range_access_is_rejected() {
+        let mut mem = PhysMem::with_size(1 << 20);
+        assert!(matches!(
+            mem.write_u8(1 << 20, 0),
+            Err(HalError::BadAddress(_))
+        ));
+        let mut buf = [0u8; 8];
+        assert!(mem.read((1 << 20) - 4, &mut buf).is_err());
+    }
+
+    #[test]
+    fn fill_and_copy_within() {
+        let mut mem = PhysMem::new();
+        mem.fill(0x3000, 8192, 0xAB).unwrap();
+        assert_eq!(mem.read_u8(0x3000 + 8191).unwrap(), 0xAB);
+        mem.copy_within(0x3000, 0x10000, 4096).unwrap();
+        assert_eq!(mem.read_u8(0x10000 + 4095).unwrap(), 0xAB);
+    }
+}

@@ -1,0 +1,158 @@
+//! Board power accounting.
+//!
+//! Figure 12 of the paper reports measured device power (split between the
+//! Pi 3 itself and the Game HAT expansion board) and the battery life that
+//! follows from a single 18650 cell. We have no power meter, so power is
+//! modelled from activity: a base board draw, an incremental per-core draw
+//! proportional to how busy each core is, and fixed draws for the display
+//! HAT, SD activity and the USB subsystem. The constants are calibrated so
+//! that an idle shell sits near 3 W and DOOM/video playback near 4 W, as the
+//! paper measures.
+
+use serde::{Deserialize, Serialize};
+
+/// Power-model constants (all in watts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Pi 3 board draw with all cores idle (regulators, SoC idle, RAM refresh).
+    pub board_idle_w: f64,
+    /// Additional draw of one fully busy Cortex-A53 core.
+    pub core_active_w: f64,
+    /// Game HAT draw: 3.5" IPS display backlight, audio amplifier, power IC.
+    pub hat_w: f64,
+    /// Additional draw while the SD card is actively transferring.
+    pub sd_active_w: f64,
+    /// Additional draw of the powered USB subsystem (keyboard attached).
+    pub usb_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Calibrated against Figure 12: idle shell ~3.0 W total (board + HAT),
+        // DOOM / mario-sdl ~4.0 W.
+        PowerModel {
+            board_idle_w: 1.45,
+            core_active_w: 0.55,
+            hat_w: 1.30,
+            sd_active_w: 0.18,
+            usb_w: 0.12,
+        }
+    }
+}
+
+/// A snapshot of board activity used to evaluate the power model.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ActivitySnapshot {
+    /// Per-core utilisation in `[0, 1]`; unused cores contribute nothing.
+    pub core_utilisation: [f64; crate::NUM_CORES],
+    /// Fraction of time the SD card was transferring.
+    pub sd_active_fraction: f64,
+    /// Whether the USB subsystem is powered.
+    pub usb_powered: bool,
+    /// Whether the Game HAT (display + amp) is attached and lit.
+    pub hat_attached: bool,
+}
+
+/// A power estimate split the way Figure 12 splits it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Watts drawn by the Pi 3 board itself.
+    pub pi3_w: f64,
+    /// Watts drawn by the HAT.
+    pub hat_w: f64,
+}
+
+impl PowerEstimate {
+    /// Total system draw in watts.
+    pub fn total_w(&self) -> f64 {
+        self.pi3_w + self.hat_w
+    }
+}
+
+impl PowerModel {
+    /// Evaluates the model for an activity snapshot.
+    pub fn estimate(&self, activity: &ActivitySnapshot) -> PowerEstimate {
+        let mut pi3 = self.board_idle_w;
+        for u in activity.core_utilisation {
+            pi3 += self.core_active_w * u.clamp(0.0, 1.0);
+        }
+        pi3 += self.sd_active_w * activity.sd_active_fraction.clamp(0.0, 1.0);
+        if activity.usb_powered {
+            pi3 += self.usb_w;
+        }
+        let hat = if activity.hat_attached { self.hat_w } else { 0.0 };
+        PowerEstimate { pi3_w: pi3, hat_w: hat }
+    }
+
+    /// Battery life in hours for a given draw, using the paper's 18650 cell
+    /// (3000 mAh at a nominal 3.7 V ≈ 11.1 Wh).
+    pub fn battery_life_hours(&self, total_w: f64) -> f64 {
+        const BATTERY_WH: f64 = 3.0 * 3.7;
+        if total_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        BATTERY_WH / total_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_with_hat() -> ActivitySnapshot {
+        ActivitySnapshot {
+            core_utilisation: [0.05, 0.0, 0.0, 0.0],
+            sd_active_fraction: 0.0,
+            usb_powered: true,
+            hat_attached: true,
+        }
+    }
+
+    #[test]
+    fn idle_shell_draws_about_three_watts() {
+        let m = PowerModel::default();
+        let p = m.estimate(&idle_with_hat());
+        let total = p.total_w();
+        assert!(total > 2.6 && total < 3.3, "idle total {total} W");
+    }
+
+    #[test]
+    fn a_busy_game_draws_about_four_watts() {
+        let m = PowerModel::default();
+        let p = m.estimate(&ActivitySnapshot {
+            core_utilisation: [0.95, 0.45, 0.2, 0.1],
+            sd_active_fraction: 0.1,
+            usb_powered: true,
+            hat_attached: true,
+        });
+        let total = p.total_w();
+        assert!(total > 3.6 && total < 4.4, "loaded total {total} W");
+    }
+
+    #[test]
+    fn battery_life_matches_figure12_range() {
+        let m = PowerModel::default();
+        let idle = m.battery_life_hours(3.0);
+        let loaded = m.battery_life_hours(4.1);
+        assert!(idle > 3.4 && idle < 4.0, "idle battery {idle} h");
+        assert!(loaded > 2.3 && loaded < 3.0, "loaded battery {loaded} h");
+    }
+
+    #[test]
+    fn utilisation_is_clamped() {
+        let m = PowerModel::default();
+        let p = m.estimate(&ActivitySnapshot {
+            core_utilisation: [5.0, -1.0, 0.0, 0.0],
+            sd_active_fraction: 2.0,
+            usb_powered: false,
+            hat_attached: false,
+        });
+        assert!(p.total_w() < m.board_idle_w + m.core_active_w + m.sd_active_w + 0.01);
+    }
+
+    #[test]
+    fn zero_draw_means_infinite_battery() {
+        let m = PowerModel::default();
+        assert!(m.battery_life_hours(0.0).is_infinite());
+    }
+}

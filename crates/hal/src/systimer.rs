@@ -1,0 +1,162 @@
+//! BCM2837 SoC system timer.
+//!
+//! A free-running 1 MHz counter with four compare channels. The Pi 3
+//! firmware claims channels 0 and 2, so Proto uses channel 1 for the
+//! scheduler tick (Prototypes 1–4) and channel 3 for virtual timers. The
+//! kernel programs an absolute microsecond compare value; when the counter
+//! passes it the channel's match bit sets and an interrupt is raised.
+
+use crate::intc::{Interrupt, IrqController};
+
+/// Number of compare channels on the device.
+pub const NUM_CHANNELS: usize = 4;
+
+/// The SoC system timer model.
+#[derive(Debug, Clone)]
+pub struct SystemTimer {
+    /// Absolute compare values, in microseconds since boot.
+    compare: [Option<u64>; NUM_CHANNELS],
+    /// Match status bits (CS register).
+    matched: [bool; NUM_CHANNELS],
+    /// Interval last programmed per channel (for convenient re-arm).
+    interval_us: [u64; NUM_CHANNELS],
+}
+
+impl Default for SystemTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemTimer {
+    /// Creates the timer with all channels disarmed.
+    pub fn new() -> Self {
+        SystemTimer {
+            compare: [None; NUM_CHANNELS],
+            matched: [false; NUM_CHANNELS],
+            interval_us: [0; NUM_CHANNELS],
+        }
+    }
+
+    /// Arms `channel` to fire `interval_us` microseconds after `now_us`.
+    pub fn arm(&mut self, channel: usize, now_us: u64, interval_us: u64) {
+        assert!(channel < NUM_CHANNELS);
+        self.compare[channel] = Some(now_us + interval_us);
+        self.interval_us[channel] = interval_us;
+        self.matched[channel] = false;
+    }
+
+    /// Disarms `channel`.
+    pub fn disarm(&mut self, channel: usize) {
+        self.compare[channel] = None;
+        self.matched[channel] = false;
+    }
+
+    /// The absolute compare value currently programmed on `channel`.
+    pub fn compare(&self, channel: usize) -> Option<u64> {
+        self.compare[channel]
+    }
+
+    /// The next absolute deadline across all armed channels, if any.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.compare.iter().flatten().copied().min()
+    }
+
+    /// Clears the match bit for `channel` (the CS write-1-to-clear register).
+    pub fn clear_match(&mut self, channel: usize) {
+        self.matched[channel] = false;
+    }
+
+    /// Whether `channel`'s match bit is set.
+    pub fn matched(&self, channel: usize) -> bool {
+        self.matched[channel]
+    }
+
+    /// Re-arms `channel` one interval after its previous deadline, the way a
+    /// periodic tick handler does.
+    pub fn rearm_periodic(&mut self, channel: usize, now_us: u64) {
+        let interval = self.interval_us[channel];
+        if interval > 0 {
+            self.arm(channel, now_us, interval);
+        }
+    }
+
+    /// Advances the device to `now_us`, raising interrupts for any channel
+    /// whose compare value has been reached.
+    pub fn tick(&mut self, now_us: u64, intc: &mut IrqController) {
+        for channel in 0..NUM_CHANNELS {
+            if let Some(cmp) = self.compare[channel] {
+                if now_us >= cmp && !self.matched[channel] {
+                    self.matched[channel] = true;
+                    self.compare[channel] = None;
+                    let irq = match channel {
+                        1 => Some(Interrupt::SystemTimer1),
+                        3 => Some(Interrupt::SystemTimer3),
+                        _ => None,
+                    };
+                    if let Some(irq) = irq {
+                        intc.raise(irq);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unmasked_intc() -> IrqController {
+        let mut ic = IrqController::new(1);
+        ic.enable(Interrupt::SystemTimer1);
+        ic.enable(Interrupt::SystemTimer3);
+        ic.set_core_masked(0, false);
+        ic
+    }
+
+    #[test]
+    fn channel1_fires_after_interval() {
+        let mut t = SystemTimer::new();
+        let mut ic = unmasked_intc();
+        t.arm(1, 0, 1000);
+        t.tick(999, &mut ic);
+        assert!(!ic.has_pending(0));
+        t.tick(1000, &mut ic);
+        assert_eq!(ic.take_pending(0), Some(Interrupt::SystemTimer1));
+        assert!(t.matched(1));
+    }
+
+    #[test]
+    fn fired_channel_does_not_refire_until_rearmed() {
+        let mut t = SystemTimer::new();
+        let mut ic = unmasked_intc();
+        t.arm(1, 0, 10);
+        t.tick(10, &mut ic);
+        ic.take_pending(0);
+        t.tick(100, &mut ic);
+        assert!(!ic.has_pending(0));
+        t.rearm_periodic(1, 100);
+        t.tick(110, &mut ic);
+        assert!(ic.has_pending(0));
+    }
+
+    #[test]
+    fn next_deadline_is_minimum_of_armed_channels() {
+        let mut t = SystemTimer::new();
+        t.arm(1, 0, 500);
+        t.arm(3, 0, 200);
+        assert_eq!(t.next_deadline_us(), Some(200));
+        t.disarm(3);
+        assert_eq!(t.next_deadline_us(), Some(500));
+    }
+
+    #[test]
+    fn channel3_raises_its_own_interrupt() {
+        let mut t = SystemTimer::new();
+        let mut ic = unmasked_intc();
+        t.arm(3, 0, 5);
+        t.tick(6, &mut ic);
+        assert_eq!(ic.take_pending(0), Some(Interrupt::SystemTimer3));
+    }
+}

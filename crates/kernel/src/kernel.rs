@@ -1,0 +1,1319 @@
+//! The Proto kernel object: boot, scheduling loop, interrupt handling.
+//!
+//! This is the monolithic kernel of §3: it owns the simulated board, the
+//! memory manager, the scheduler, the VFS and every driver, and runs user
+//! programs in cooperative steps. The file-level split mirrors the paper's
+//! own structure — this module covers boot and the core loop, `syscalls.rs`
+//! the user/kernel interface.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use hal::board::SimBoard;
+use hal::cost::{CostModel, Platform};
+use hal::intc::Interrupt;
+use hal::mem::FRAME_SIZE;
+use hal::usb_hw::{UsbHwDevice, UsbSetupPacket};
+use protofs::bufcache::BufCache;
+use protofs::fat32::Fat32;
+use protofs::xv6fs::Xv6Fs;
+use protofs::MemDisk;
+use protousb::{KeyCode, KeyEvent, Modifiers, SimUsbKeyboard, UsbStack};
+
+use crate::config::{KernelConfig, KernelVariant};
+use crate::debug::DebugMonitor;
+use crate::error::{KResult, KernelError};
+use crate::exec::{ProgramImage, ProgramRegistry};
+use crate::kbd::KeyboardDriver;
+use crate::mm::addrspace::{AddressSpace, RegionKind};
+use crate::mm::pagetable::MapFlags;
+use crate::mm::MemoryManager;
+use crate::pipe::PipeTable;
+use crate::sched::Scheduler;
+use crate::sound::SoundDriver;
+use crate::sync::SemTable;
+use crate::task::{MmRef, Task, TaskId, TaskState, WaitChannel};
+use crate::trace::{TraceBuffer, TraceKind};
+use crate::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
+use crate::vfs::{FdTable, MountTable, OpenFile};
+use crate::wm::WindowManager;
+
+/// Size of the ramdisk baked into the kernel image (8 MB, plenty for the
+/// program images and `/etc` files).
+pub const RAMDISK_BYTES: u64 = 8 * 1024 * 1024;
+/// Where the FAT32 partition (partition 2) starts on the SD card, in blocks.
+pub const FAT_PARTITION_START: u64 = 8192;
+/// Scheduler tick period in microseconds.
+pub const TICK_US: u64 = 10_000;
+/// Nominal size of the kernel image + packed ramdisk, for memory accounting
+/// (the paper's Prototype 5 kernel is ~33 kSLoC plus an 8 MB ramdisk dump).
+pub const KERNEL_IMAGE_BYTES: u64 = 2 * 1024 * 1024 + RAMDISK_BYTES;
+
+/// Boot-time measurements (Figure 8's right-hand table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BootStats {
+    /// Time the firmware spent loading the kernel image, in ms.
+    pub firmware_load_ms: u64,
+    /// Time from power-on to the shell prompt (kernel fully booted), in ms.
+    pub to_prompt_ms: u64,
+}
+
+/// Per-task runtime metrics (frames, phase breakdown) used by Table 5 and
+/// Figure 11.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskMetrics {
+    /// Frames presented.
+    pub frames: u64,
+    /// Board time of the first recorded frame (µs).
+    pub first_frame_us: u64,
+    /// Board time of the latest recorded frame (µs).
+    pub last_frame_us: u64,
+    /// Accumulated app-logic cycles across frames.
+    pub app_logic_cycles: u64,
+    /// Accumulated draw cycles across frames.
+    pub draw_cycles: u64,
+    /// Accumulated present cycles across frames.
+    pub present_cycles: u64,
+}
+
+impl TaskMetrics {
+    /// Frames per second over the recorded window, optionally skipping a
+    /// warm-up period (the paper uses 20 s of warm-up).
+    pub fn fps(&self) -> f64 {
+        if self.frames < 2 || self.last_frame_us <= self.first_frame_us {
+            return 0.0;
+        }
+        let secs = (self.last_frame_us - self.first_frame_us) as f64 / 1e6;
+        (self.frames - 1) as f64 / secs
+    }
+
+    /// Mean per-frame latency contribution of each phase, in milliseconds:
+    /// (app logic, draw, present).
+    pub fn mean_phase_ms(&self) -> (f64, f64, f64) {
+        if self.frames == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let f = self.frames as f64 * 1e6; // cycles -> ms at 1 GHz
+        (
+            self.app_logic_cycles as f64 / f,
+            self.draw_cycles as f64 / f,
+            self.present_cycles as f64 / f,
+        )
+    }
+}
+
+/// A keyboard device shared between the USB port and the kernel's
+/// key-injection helper (tests and benches press keys through this).
+#[derive(Clone)]
+pub struct SharedKeyboard(Arc<Mutex<SimUsbKeyboard>>);
+
+impl SharedKeyboard {
+    /// Creates a new shared keyboard.
+    pub fn new() -> Self {
+        SharedKeyboard(Arc::new(Mutex::new(SimUsbKeyboard::new())))
+    }
+
+    /// Presses and releases a key.
+    pub fn tap(&self, code: KeyCode, modifiers: Modifiers) {
+        self.0.lock().expect("keyboard lock").tap(code, modifiers);
+    }
+
+    /// Presses a key.
+    pub fn press(&self, code: KeyCode, modifiers: Modifiers) {
+        self.0.lock().expect("keyboard lock").press(code, modifiers);
+    }
+
+    /// Releases a key.
+    pub fn release(&self, code: KeyCode) {
+        self.0.lock().expect("keyboard lock").release(code);
+    }
+
+    /// Types a string of printable characters.
+    pub fn type_str(&self, s: &str) {
+        self.0.lock().expect("keyboard lock").type_str(s);
+    }
+}
+
+impl Default for SharedKeyboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UsbHwDevice for SharedKeyboard {
+    fn control(&mut self, setup: &UsbSetupPacket, data_out: &[u8]) -> hal::HalResult<Vec<u8>> {
+        self.0.lock().expect("keyboard lock").control(setup, data_out)
+    }
+    fn interrupt_in(&mut self, endpoint: u8) -> Option<Vec<u8>> {
+        self.0.lock().expect("keyboard lock").interrupt_in(endpoint)
+    }
+    fn has_pending_input(&self) -> bool {
+        self.0.lock().expect("keyboard lock").has_pending_input()
+    }
+    fn name(&self) -> &str {
+        "shared-hid-keyboard"
+    }
+}
+
+/// The window-manager kernel thread body: services input dispatch and
+/// composition at ~60 Hz.
+struct WmThread;
+
+impl UserProgram for WmThread {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        let core = ctx.core;
+        ctx.kernel.wm_service(core);
+        let _ = ctx.sleep_ms(16);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "kwm"
+    }
+}
+
+/// The Proto kernel.
+pub struct Kernel {
+    /// The simulated board.
+    pub board: SimBoard,
+    /// Kernel configuration (prototype stage + variant).
+    pub config: KernelConfig,
+    /// Memory manager.
+    pub mm: MemoryManager,
+    /// Scheduler.
+    pub sched: Scheduler,
+    /// Trace ring buffer.
+    pub trace: TraceBuffer,
+    /// Debug monitor.
+    pub debugmon: DebugMonitor,
+    /// Window manager.
+    pub wm: WindowManager,
+    /// Program registry consulted by exec/spawn.
+    pub registry: ProgramRegistry,
+
+    tasks: HashMap<TaskId, Task>,
+    programs: HashMap<TaskId, Box<dyn UserProgram>>,
+    address_spaces: HashMap<u64, AddressSpace>,
+    next_asid: u64,
+    next_task_id: TaskId,
+
+    pipes: PipeTable,
+    sems: SemTable,
+    pub(crate) mounts: MountTable,
+
+    // Root filesystem (xv6fs on the ramdisk).
+    pub(crate) ramdisk: Option<MemDisk>,
+    pub(crate) root_bufcache: BufCache,
+    pub(crate) rootfs: Option<Xv6Fs>,
+    // FAT32 on the SD card.
+    pub(crate) fat_bufcache: BufCache,
+    pub(crate) fatfs: Option<Fat32>,
+    pub(crate) pseudo_inums: HashMap<String, u32>,
+    pub(crate) next_pseudo_inum: u32,
+
+    // Drivers.
+    pub(crate) kbd: KeyboardDriver,
+    pub(crate) sound: SoundDriver,
+    usb_stack: UsbStack,
+    shared_keyboard: Option<SharedKeyboard>,
+
+    // Per-task framebuffer mapping (user VA of the mapping).
+    pub(crate) fb_mappings: HashMap<TaskId, u64>,
+    metrics: HashMap<TaskId, TaskMetrics>,
+
+    boot_stats: BootStats,
+    booted: bool,
+    /// Tracks the last task run per core, to charge context switches only on
+    /// actual switches.
+    last_on_core: Vec<Option<TaskId>>,
+    /// Console output accumulated through `print` (mirrors the UART log).
+    console_lines: Vec<String>,
+    /// Init task id (parent of orphans).
+    init_task: TaskId,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("stage", &self.config.stage)
+            .field("platform", &self.board.platform())
+            .field("tasks", &self.tasks.len())
+            .field("booted", &self.booted)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel for `config` on `platform`. Call [`Kernel::boot`]
+    /// before running anything.
+    pub fn new(config: KernelConfig, platform: Platform) -> Self {
+        let mut board = SimBoard::new(platform);
+        board.set_active_cores(config.cores);
+        Kernel {
+            board,
+            config,
+            mm: MemoryManager::new(KERNEL_IMAGE_BYTES),
+            sched: Scheduler::new(config.cores),
+            trace: TraceBuffer::default(),
+            debugmon: DebugMonitor::new(),
+            wm: WindowManager::new(),
+            registry: ProgramRegistry::new(),
+            tasks: HashMap::new(),
+            programs: HashMap::new(),
+            address_spaces: HashMap::new(),
+            next_asid: 1,
+            next_task_id: 1,
+            pipes: PipeTable::new(),
+            sems: SemTable::new(),
+            mounts: MountTable::default(),
+            ramdisk: None,
+            root_bufcache: BufCache::default(),
+            rootfs: None,
+            fat_bufcache: BufCache::default(),
+            fatfs: None,
+            pseudo_inums: HashMap::new(),
+            next_pseudo_inum: 1,
+            kbd: KeyboardDriver::new(),
+            sound: SoundDriver::new(),
+            usb_stack: UsbStack::new(),
+            shared_keyboard: None,
+            fb_mappings: HashMap::new(),
+            metrics: HashMap::new(),
+            boot_stats: BootStats::default(),
+            booted: false,
+            last_on_core: vec![None; hal::NUM_CORES],
+            console_lines: Vec::new(),
+            init_task: 0,
+        }
+    }
+
+    /// Convenience: a fully featured Prototype 5 kernel on the Pi 3.
+    pub fn desktop_pi3() -> Self {
+        Self::new(KernelConfig::desktop(), Platform::Pi3)
+    }
+
+    // ---- accessors ----------------------------------------------------------------------
+
+    /// Current board time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.board.now_us()
+    }
+
+    /// The platform cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.board.cost.clone()
+    }
+
+    /// Whether [`Kernel::boot`] has completed.
+    pub fn is_booted(&self) -> bool {
+        self.booted
+    }
+
+    /// Boot-time measurements.
+    pub fn boot_stats(&self) -> BootStats {
+        self.boot_stats
+    }
+
+    /// Looks up a task.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(&id)
+    }
+
+    /// Number of live (non-reaped) tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// All live task ids.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        let mut v: Vec<_> = self.tasks.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Runtime metrics for a task.
+    pub fn task_metrics(&self, id: TaskId) -> Option<TaskMetrics> {
+        self.metrics.get(&id).copied()
+    }
+
+    /// The UART console log so far.
+    pub fn console_log(&self) -> String {
+        self.board.uart.tx_log_string()
+    }
+
+    /// Lines printed through the in-kernel console helper.
+    pub fn console_lines(&self) -> &[String] {
+        &self.console_lines
+    }
+
+    /// The keyboard injection handle, if a keyboard is attached.
+    pub fn keyboard(&self) -> Option<SharedKeyboard> {
+        self.shared_keyboard.clone()
+    }
+
+    /// Registers a program factory under `name` (delegates to the registry).
+    pub fn register_program<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn(&[String]) -> Box<dyn UserProgram> + Send + Sync + 'static,
+    {
+        self.registry.register(name, factory);
+    }
+
+    // ---- boot -----------------------------------------------------------------------------
+
+    /// Attaches a USB keyboard to port 0 (before or after boot; enumeration
+    /// happens at boot or on the next re-enumeration).
+    pub fn attach_keyboard(&mut self) -> KResult<SharedKeyboard> {
+        let kb = SharedKeyboard::new();
+        self.board.usb.attach(0, Box::new(kb.clone()))?;
+        self.shared_keyboard = Some(kb.clone());
+        if self.booted && self.config.usb_keyboard {
+            self.usb_stack.enumerate(&mut self.board.usb)?;
+        }
+        Ok(kb)
+    }
+
+    /// Boots the kernel: firmware load, device bring-up, filesystem mounts,
+    /// and (in Prototype 5) the window-manager kernel thread. Returns the
+    /// boot statistics.
+    pub fn boot(&mut self) -> KResult<BootStats> {
+        if self.booted {
+            return Ok(self.boot_stats);
+        }
+        let cost = self.board.cost.clone();
+        // Firmware loads the kernel image from the SD card before the ARM
+        // cores even start.
+        self.board.charge(0, cost.boot_firmware_load);
+        let firmware_ms = self.board.clock.cycles_to_ms(self.board.clock.cycles(0));
+
+        self.printk("proto: booting");
+        // UART mode per stage (Table 1 footnotes 7-9).
+        let mode = match self.config.stage.number() {
+            1 => hal::uart::UartMode::PollingTxOnly,
+            2 | 3 => hal::uart::UartMode::IrqRx,
+            _ => hal::uart::UartMode::IrqRxTx,
+        };
+        self.board.uart.set_mode(mode);
+        self.board.intc.enable(Interrupt::UartRx);
+
+        // Framebuffer via the mailbox property interface.
+        if self.config.framebuffer {
+            let mut fb = std::mem::take(&mut self.board.framebuffer);
+            self.board
+                .mailbox
+                .allocate_framebuffer(&mut fb, hal::framebuffer::DEFAULT_WIDTH, hal::framebuffer::DEFAULT_HEIGHT)?;
+            self.board.framebuffer = fb;
+        }
+
+        // Virtual memory: kernel block maps.
+        if self.config.virtual_memory {
+            self.mm.init_kernel_space(&mut self.board.mem)?;
+        }
+
+        // Timers and interrupts.
+        self.board.intc.enable(Interrupt::SystemTimer1);
+        self.board.intc.enable(Interrupt::SystemTimer3);
+        for core in 0..self.config.cores {
+            self.board.intc.set_core_masked(core, false);
+        }
+        let now = self.board.now_us();
+        if self.config.multicore {
+            for core in 0..self.config.cores {
+                self.board.intc.enable(Interrupt::GenericTimer(core));
+                self.board.generic_timers.enable_periodic(core, now, TICK_US);
+            }
+        } else {
+            self.board.systimer.arm(1, now, TICK_US);
+        }
+        self.board.charge(0, cost.boot_kernel_misc);
+
+        // Root filesystem on the ramdisk.
+        if self.config.xv6fs {
+            let mut ramdisk = MemDisk::new(RAMDISK_BYTES / protofs::BLOCK_SIZE as u64);
+            let mut bc = BufCache::default();
+            let fs = Xv6Fs::mkfs(
+                &mut ramdisk,
+                &mut bc,
+                (RAMDISK_BYTES / protofs::xv6fs::BSIZE as u64) as u32,
+                512,
+            )?;
+            self.ramdisk = Some(ramdisk);
+            self.root_bufcache = bc;
+            self.rootfs = Some(fs);
+        }
+
+        // USB: power the controller, enumerate whatever is plugged in.
+        if self.config.usb_keyboard {
+            self.board.mailbox.set_power_state(3, true);
+            self.board.usb.power_on();
+            self.board.intc.enable(Interrupt::UsbHc);
+            self.board.charge(0, cost.boot_usb_init);
+            self.usb_stack.enumerate(&mut self.board.usb)?;
+        }
+
+        // Sound path.
+        if self.config.sound {
+            self.board.intc.enable(Interrupt::Dma0);
+            self.board.intc.enable(Interrupt::GpioBank0);
+        }
+
+        // SD card + FAT32 on partition 2, mounted at /d.
+        if self.config.sd_card && self.config.fat32 {
+            self.board.sdhost.init()?;
+            self.board.charge(0, cost.boot_sd_init);
+            let total = self.board.sdhost.total_blocks();
+            let mut bc = BufCache::default();
+            let fat = {
+                let mut dev = protofs::block::SdBlockDevice::new(
+                    &mut self.board.sdhost,
+                    FAT_PARTITION_START,
+                    total - FAT_PARTITION_START,
+                );
+                match Fat32::mount(&mut dev, &mut bc) {
+                    Ok(f) => f,
+                    Err(_) => Fat32::mkfs(&mut dev, &mut bc)?,
+                }
+            };
+            self.fat_bufcache = bc;
+            self.fatfs = Some(fat);
+            self.mounts = MountTable::with_fat();
+        }
+
+        // The xv6-baseline variant never bypasses the buffer cache.
+        if self.config.variant == KernelVariant::Xv6Baseline {
+            if let Some(fat) = self.fatfs.as_mut() {
+                fat.set_bypass_bufcache(false);
+            }
+        }
+
+        // The window-manager kernel thread.
+        if self.config.window_manager {
+            let wm_tid = self.spawn_kernel_thread("kwm", Box::new(WmThread))?;
+            // The WM runs frequently but briefly; give it a modest priority.
+            if let Some(t) = self.tasks.get_mut(&wm_tid) {
+                t.priority = 5;
+            }
+        }
+
+        self.printk("proto: boot complete, starting shell");
+        let to_prompt_ms = self.board.clock.cycles_to_ms(self.board.clock.global_cycles());
+        self.boot_stats = BootStats {
+            firmware_load_ms: firmware_ms,
+            to_prompt_ms,
+        };
+        self.booted = true;
+        Ok(self.boot_stats)
+    }
+
+    /// Writes a kernel log line over the UART (synchronous, as in all five
+    /// prototypes).
+    pub fn printk(&mut self, msg: &str) {
+        let cost = self.board.cost.uart_tx_per_byte * (msg.len() as u64 + 1);
+        self.board.charge(0, cost);
+        self.board.uart.write_bytes(msg.as_bytes());
+        self.board.uart.write_byte(b'\n');
+    }
+
+    // ---- filesystem population helpers (used by the image builder) -------------------------
+
+    /// Writes a file into the root (xv6fs) filesystem.
+    pub fn install_root_file(&mut self, path: &str, data: &[u8]) -> KResult<()> {
+        let fs = self.rootfs.as_ref().ok_or_else(|| {
+            KernelError::NotSupported("root filesystem not available".into())
+        })?;
+        let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+        fs.write_file(dev, &mut self.root_bufcache, path, data)?;
+        Ok(())
+    }
+
+    /// Creates a directory on the root filesystem.
+    pub fn install_root_dir(&mut self, path: &str) -> KResult<()> {
+        let fs = self.rootfs.as_ref().ok_or_else(|| {
+            KernelError::NotSupported("root filesystem not available".into())
+        })?;
+        let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+        match fs.create(dev, &mut self.root_bufcache, path, protofs::xv6fs::InodeType::Dir) {
+            Ok(_) => Ok(()),
+            Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes a file onto the FAT32 volume (path relative to the volume, e.g.
+    /// `/doom.wad` which apps see as `/d/doom.wad`).
+    pub fn install_fat_file(&mut self, volume_path: &str, data: &[u8]) -> KResult<()> {
+        let fat = self
+            .fatfs
+            .as_ref()
+            .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))?
+            .clone();
+        let total = self.board.sdhost.total_blocks();
+        let mut dev = protofs::block::SdBlockDevice::new(
+            &mut self.board.sdhost,
+            FAT_PARTITION_START,
+            total - FAT_PARTITION_START,
+        );
+        fat.write_file(&mut dev, &mut self.fat_bufcache, volume_path, data)?;
+        Ok(())
+    }
+
+    /// Creates a directory on the FAT32 volume.
+    pub fn install_fat_dir(&mut self, volume_path: &str) -> KResult<()> {
+        let fat = self
+            .fatfs
+            .as_ref()
+            .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))?
+            .clone();
+        let total = self.board.sdhost.total_blocks();
+        let mut dev = protofs::block::SdBlockDevice::new(
+            &mut self.board.sdhost,
+            FAT_PARTITION_START,
+            total - FAT_PARTITION_START,
+        );
+        match fat.create(&mut dev, &mut self.fat_bufcache, volume_path, true) {
+            Ok(_) => Ok(()),
+            Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Installs a program image on the root filesystem under `/bin/<name>`.
+    pub fn install_program_image(&mut self, image: &ProgramImage) -> KResult<()> {
+        self.install_root_dir("/bin")?;
+        let path = format!("/bin/{}", image.name);
+        self.install_root_file(&path, &image.encode())
+    }
+
+    // ---- task creation ----------------------------------------------------------------------
+
+    fn alloc_task_id(&mut self) -> TaskId {
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        id
+    }
+
+    pub(crate) fn alloc_asid(&mut self) -> u64 {
+        let id = self.next_asid;
+        self.next_asid += 1;
+        id
+    }
+
+    /// Spawns a kernel thread running `program`.
+    pub fn spawn_kernel_thread(
+        &mut self,
+        name: &str,
+        program: Box<dyn UserProgram>,
+    ) -> KResult<TaskId> {
+        let id = self.alloc_task_id();
+        let mut task = Task::new(id, 0, name, true);
+        task.mm = MmRef::KernelOnly;
+        let core = self.sched.choose_core();
+        task.core = core;
+        self.tasks.insert(id, task);
+        self.programs.insert(id, program);
+        self.metrics.insert(id, TaskMetrics::default());
+        self.sched.enqueue(id, core);
+        Ok(id)
+    }
+
+    /// Spawns a user task from an in-memory program image and an already
+    /// instantiated program (the file-less exec of Prototype 3; also the
+    /// entry point benches use to avoid filesystem dependence).
+    pub fn spawn_user_program(
+        &mut self,
+        image: &ProgramImage,
+        program: Box<dyn UserProgram>,
+        parent: TaskId,
+    ) -> KResult<TaskId> {
+        // Prototype 1 is "a baremetal appliance for a single application":
+        // without multitasking exactly one user task may exist.
+        if !self.config.multitasking {
+            let user_tasks = self.tasks.values().filter(|t| !t.kernel_thread).count();
+            self.config.require(user_tasks == 0, "multitasking (a second task)")?;
+        }
+        let id = self.alloc_task_id();
+        let mut task = Task::new(id, parent, image.name.clone(), false);
+
+        if self.config.virtual_memory {
+            let cost = self.board.cost.clone();
+            let mut space = AddressSpace::new(&mut self.mm.frames, &mut self.board.mem)?;
+            // Code at 0, data after it, heap after that, stack demand-paged.
+            let code_len = image.code_size.max(1) as u64;
+            let data_start = (code_len.div_ceil(FRAME_SIZE as u64) + 1) * FRAME_SIZE as u64;
+            let data_len = image.data_size.max(1) as u64;
+            let heap_start =
+                data_start + (data_len.div_ceil(FRAME_SIZE as u64) + 1) * FRAME_SIZE as u64;
+            let heap_len = image.heap_size.max(FRAME_SIZE as u32) as u64;
+            space.add_region(
+                &mut self.mm.frames,
+                &mut self.board.mem,
+                RegionKind::Code,
+                0,
+                code_len,
+                MapFlags::user_code(),
+                false,
+            )?;
+            space.add_region(
+                &mut self.mm.frames,
+                &mut self.board.mem,
+                RegionKind::Data,
+                data_start,
+                data_len,
+                MapFlags::user_data(),
+                false,
+            )?;
+            space.add_region(
+                &mut self.mm.frames,
+                &mut self.board.mem,
+                RegionKind::Heap,
+                heap_start,
+                heap_len,
+                MapFlags::user_data(),
+                false,
+            )?;
+            space.add_stack(&mut self.mm.frames, &mut self.board.mem)?;
+            // Charge the exec work: one PTE write per mapped page plus the
+            // copy of the code/data payload.
+            let pages = space.stats().mapped_pages as u64;
+            let exec_cycles = pages * (cost.pte_write + cost.frame_alloc)
+                + cost.per_byte(cost.memmove_fast_per_byte_milli, code_len + data_len);
+            self.board.charge_kernel(0, exec_cycles);
+            let asid = self.alloc_asid();
+            self.address_spaces.insert(asid, space);
+            task.mm = MmRef::Owns(asid);
+        }
+
+        // Standard descriptors 0/1/2 -> console.
+        if self.config.file_abstraction {
+            let mut fds = FdTable::new();
+            for _ in 0..3 {
+                fds.install(OpenFile::new(
+                    crate::vfs::FileKind::Device(crate::vfs::DeviceFile::Console),
+                    crate::vfs::OpenFlags::rdwr(),
+                ))?;
+            }
+            task.fds = fds;
+        }
+
+        let core = self.sched.choose_core();
+        task.core = core;
+        self.tasks.insert(id, task);
+        self.programs.insert(id, program);
+        self.metrics.insert(id, TaskMetrics::default());
+        self.sched.enqueue(id, core);
+        if self.init_task == 0 {
+            self.init_task = id;
+        }
+        Ok(id)
+    }
+
+    /// Spawns a registered program by name using a default image (no
+    /// filesystem access). Convenient for tests and benches.
+    pub fn spawn_registered(&mut self, name: &str, args: &[String]) -> KResult<TaskId> {
+        let program = self.registry.instantiate(name, args)?;
+        let image = ProgramImage::small(name);
+        self.spawn_user_program(&image, program, 0)
+    }
+
+    // ---- exit/kill --------------------------------------------------------------------------
+
+    pub(crate) fn handle_exit(&mut self, id: TaskId, code: i32) {
+        let now = self.now_us();
+        self.trace
+            .record(now, 0, TraceKind::Marker, Some(id), format!("exit {code}"));
+        // Close every fd (dropping pipe references).
+        let open_files = match self.tasks.get_mut(&id) {
+            Some(t) => t.fds.drain_all(),
+            None => return,
+        };
+        for f in open_files {
+            self.drop_open_file(f);
+        }
+        // Destroy WM surfaces and release the address space.
+        self.wm.destroy_owned_by(id);
+        self.fb_mappings.remove(&id);
+        self.sems.forget_task(id);
+        if let Some(task) = self.tasks.get(&id) {
+            if let MmRef::Owns(asid) = task.mm {
+                // Only release when no thread still shares it.
+                let shared = self
+                    .tasks
+                    .iter()
+                    .any(|(tid, t)| *tid != id && t.mm == MmRef::Shares(asid));
+                if !shared {
+                    if let Some(mut space) = self.address_spaces.remove(&asid) {
+                        let _ = space.release(&mut self.mm.frames);
+                    }
+                }
+            }
+        }
+        self.programs.remove(&id);
+        self.sched.remove(id);
+        let parent = if let Some(task) = self.tasks.get_mut(&id) {
+            task.state = TaskState::Zombie(code);
+            task.exit_code = Some(code);
+            task.parent
+        } else {
+            return
+        };
+        // Notify the parent.
+        if let Some(p) = self.tasks.get_mut(&parent) {
+            p.pending_children.push((id, code));
+            if p.wake_if_waiting_on(WaitChannel::ChildExit) {
+                let core = p.core;
+                self.sched.enqueue(parent, core);
+            }
+        }
+    }
+
+    pub(crate) fn drop_open_file(&mut self, f: OpenFile) {
+        match f.kind {
+            crate::vfs::FileKind::Pipe { id, write_end } => {
+                let _ = self.pipes.close_end(id, write_end);
+                // Whoever is blocked on the other side should re-evaluate.
+                self.wake_all(WaitChannel::PipeRead(id));
+                self.wake_all(WaitChannel::PipeWrite(id));
+            }
+            crate::vfs::FileKind::SurfaceHandle { surface_id } => {
+                self.wm.destroy_surface(surface_id);
+            }
+            _ => {}
+        }
+    }
+
+    // ---- wait queues ----------------------------------------------------------------------------
+
+    pub(crate) fn block_current(&mut self, task: TaskId, channel: WaitChannel) {
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.block_on(channel);
+        }
+        self.sched.remove(task);
+    }
+
+    pub(crate) fn wake_all(&mut self, channel: WaitChannel) -> usize {
+        let mut woken = 0;
+        let ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        for id in ids {
+            let mut wake_core = None;
+            if let Some(t) = self.tasks.get_mut(&id) {
+                if t.wake_if_waiting_on(channel) {
+                    wake_core = Some(t.core);
+                }
+            }
+            if let Some(core) = wake_core {
+                let cost = self.board.cost.wait_wakeup;
+                self.board.charge_kernel(core, cost);
+                self.sched.enqueue(id, core);
+                self.trace
+                    .record(self.board.now_us(), core, TraceKind::Wakeup, Some(id), "");
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    pub(crate) fn wake_task(&mut self, id: TaskId) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            if !matches!(t.state, TaskState::Zombie(_)) {
+                t.state = TaskState::Ready;
+                let core = t.core;
+                self.sched.enqueue(id, core);
+            }
+        }
+    }
+
+    // ---- interrupts -------------------------------------------------------------------------------
+
+    fn handle_irq(&mut self, core: usize, irq: Interrupt) {
+        let now = self.now_us();
+        let cost = self.board.cost.irq_entry + self.board.cost.irq_delivery;
+        self.board.charge_kernel(core, cost);
+        self.trace
+            .record(now, core, TraceKind::Irq, None, format!("{irq:?}"));
+        match irq {
+            Interrupt::SystemTimer1 => {
+                self.sched.account_tick(core);
+                self.board.systimer.clear_match(1);
+                self.board.systimer.rearm_periodic(1, now);
+            }
+            Interrupt::GenericTimer(c) => {
+                self.sched.account_tick(c);
+            }
+            Interrupt::UsbHc => {
+                let events = self
+                    .usb_stack
+                    .poll_keyboards(&mut self.board.usb, now)
+                    .unwrap_or_default();
+                if !events.is_empty() {
+                    let parse_cost =
+                        self.board.cost.hid_report_parse * events.len() as u64;
+                    self.board.charge_kernel(core, parse_cost);
+                    for e in &events {
+                        self.trace.record(
+                            now,
+                            core,
+                            TraceKind::KeyEventDriver,
+                            None,
+                            format!("{}", e.timestamp_us),
+                        );
+                    }
+                    self.kbd.push_events(events);
+                    self.wake_all(WaitChannel::KeyEvent);
+                }
+            }
+            Interrupt::Dma0 => {
+                let _ = self.board.dma.take_completions();
+                self.sound.refill(&mut self.board.pwm);
+                self.wake_all(WaitChannel::SoundSpace);
+            }
+            Interrupt::UartRx => {
+                // Console input: drain into the raw key queue as synthetic
+                // key events so shells work over serial too.
+                while let Some(b) = self.board.uart.read_byte() {
+                    let code = match b {
+                        b'\r' | b'\n' => KeyCode::Enter,
+                        b' ' => KeyCode::Space,
+                        c if c.is_ascii_alphabetic() => KeyCode::Char((c as char).to_ascii_uppercase()),
+                        c if c.is_ascii_digit() => KeyCode::Digit(c as char),
+                        other => KeyCode::Unknown(other),
+                    };
+                    self.kbd.push_events([KeyEvent {
+                        code,
+                        modifiers: Modifiers::default(),
+                        pressed: true,
+                        timestamp_us: now,
+                    }]);
+                }
+                self.wake_all(WaitChannel::KeyEvent);
+            }
+            Interrupt::GpioBank0 => {
+                let _ = self.board.gpio.take_pending_events();
+            }
+            Interrupt::SdHost | Interrupt::UartTx | Interrupt::SystemTimer3 => {}
+            Interrupt::PanicButtonFiq => {
+                self.debugmon.panic_button(core, now);
+                self.printk("proto: panic button pressed, dumping all cores");
+            }
+        }
+    }
+
+    fn wake_sleepers(&mut self) {
+        let now = self.now_us();
+        let due: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter_map(|(id, t)| match t.state {
+                TaskState::Sleeping(when) if when <= now => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in due {
+            self.wake_task(id);
+        }
+    }
+
+    // ---- window-manager service (called from the WM kernel thread) ----------------------------------
+
+    pub(crate) fn wm_service(&mut self, core: usize) {
+        let now = self.now_us();
+        // Dispatch raw input to the focused app.
+        while let Some(event) = self.kbd.raw_queue.pop() {
+            if let Some(passed) = self.wm.filter_input(event) {
+                self.trace.record(
+                    now,
+                    core,
+                    TraceKind::KeyEventDispatch,
+                    self.wm.focused_owner(),
+                    format!("{}", passed.timestamp_us),
+                );
+                self.kbd.dispatched_queue.push(passed);
+            }
+        }
+        if self.kbd.dispatched_queue.len() > 0 {
+            self.wake_all(WaitChannel::KeyEvent);
+        }
+        // Composite dirty surfaces.
+        let mut fb = std::mem::take(&mut self.board.framebuffer);
+        let written = self.wm.compose(&mut fb).unwrap_or(0);
+        self.board.framebuffer = fb;
+        if written > 0 {
+            let cost = self.board.cost.clone();
+            let compose_cycles = cost.per_byte(cost.compose_per_px_milli, written)
+                + cost.cache_flush_per_line * (written * 4 / 64);
+            self.board.charge_kernel(core, compose_cycles);
+            self.trace
+                .record(now, core, TraceKind::Compose, None, format!("{written}px"));
+        }
+    }
+
+    // ---- metrics ------------------------------------------------------------------------------------
+
+    pub(crate) fn record_frame(&mut self, task: TaskId, phases: FramePhases) {
+        let now = self.now_us();
+        let m = self.metrics.entry(task).or_default();
+        if m.frames == 0 {
+            m.first_frame_us = now;
+        }
+        m.frames += 1;
+        m.last_frame_us = now;
+        m.app_logic_cycles += phases.app_logic_cycles;
+        m.draw_cycles += phases.draw_cycles;
+        m.present_cycles += phases.present_cycles;
+        self.trace
+            .record(now, 0, TraceKind::FramePresent, Some(task), "");
+    }
+
+    pub(crate) fn trace_marker(&mut self, task: TaskId, core: usize, detail: &str) {
+        self.trace
+            .record(self.board.now_us(), core, TraceKind::Marker, Some(task), detail);
+    }
+
+    pub(crate) fn console_print(&mut self, core: usize, text: &str) {
+        let cost = self.board.cost.uart_tx_per_byte * (text.len() as u64 + 1);
+        self.board.charge(core, cost);
+        self.board.uart.write_bytes(text.as_bytes());
+        self.board.uart.write_byte(b'\n');
+        self.console_lines.push(text.to_string());
+    }
+
+    pub(crate) fn charge_user_cycles(&mut self, task: TaskId, core: usize, cycles: u64) {
+        let scaled = self.board.cost.user_cost(cycles);
+        self.board.charge(core, scaled);
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.cpu_cycles += scaled;
+        }
+    }
+
+    // ---- the scheduling loop ---------------------------------------------------------------------------
+
+    /// Runs one scheduling iteration on the least-advanced active core.
+    /// Returns `true` if a task was stepped (false means the core idled).
+    pub fn run_slice(&mut self) -> bool {
+        let _ = self.board.tick_devices();
+        // Deliver pending interrupts on every active core.
+        for core in 0..self.board.active_cores() {
+            while let Some(irq) = self.board.intc.take_pending(core) {
+                self.handle_irq(core, irq);
+            }
+        }
+        self.wake_sleepers();
+
+        // Pick the laggard active core so the cores advance together.
+        let core = (0..self.board.active_cores())
+            .min_by_key(|c| self.board.clock.cycles(*c))
+            .unwrap_or(0);
+
+        let next = self.sched.pick_next(core);
+        let tid = match next {
+            Some(t) => t,
+            None => {
+                let before = self.board.clock.cycles(core);
+                self.board.wait_for_interrupt(core);
+                let after = self.board.clock.cycles(core);
+                self.sched.account_idle(core, after - before);
+                return false;
+            }
+        };
+        if !self.tasks.contains_key(&tid) {
+            self.sched.clear_current(core);
+            return false;
+        }
+        // Charge scheduling overhead; a full context switch only when the
+        // core is actually switching tasks.
+        let cost = self.board.cost.clone();
+        self.board.charge_kernel(core, cost.sched_pick);
+        if self.last_on_core[core] != Some(tid) {
+            self.board.charge_kernel(core, cost.context_switch);
+            self.trace.record(
+                self.board.now_us(),
+                core,
+                TraceKind::ContextSwitch,
+                Some(tid),
+                "",
+            );
+        }
+        self.last_on_core[core] = Some(tid);
+        {
+            let t = self.tasks.get_mut(&tid).expect("checked above");
+            t.state = TaskState::Running;
+            t.core = core;
+            t.schedules += 1;
+        }
+
+        let before = self.board.clock.cycles(core);
+        let mut program = match self.programs.remove(&tid) {
+            Some(p) => p,
+            None => {
+                // Task without a program (already exiting).
+                self.sched.clear_current(core);
+                return false;
+            }
+        };
+        let result = {
+            let mut ctx = UserCtx::new(self, tid, core);
+            program.step(&mut ctx)
+        };
+        let after = self.board.clock.cycles(core);
+        self.sched.account_busy(core, after - before);
+        if let Some(t) = self.tasks.get_mut(&tid) {
+            t.cpu_cycles += after - before;
+        }
+
+        match result {
+            StepResult::Exited(code) => {
+                self.programs.insert(tid, program);
+                self.programs.remove(&tid);
+                self.handle_exit(tid, code);
+                self.sched.clear_current(core);
+            }
+            StepResult::Continue => {
+                self.programs.insert(tid, program);
+                // If the step blocked or slept, take it off the runqueue.
+                let state = self.tasks.get(&tid).map(|t| t.state);
+                match state {
+                    Some(TaskState::Running) => {
+                        if let Some(t) = self.tasks.get_mut(&tid) {
+                            t.state = TaskState::Ready;
+                        }
+                    }
+                    Some(TaskState::Sleeping(_)) | Some(TaskState::Blocked(_)) => {
+                        self.sched.clear_current(core);
+                    }
+                    _ => {
+                        self.sched.clear_current(core);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs the kernel until the board clock has advanced by `us`
+    /// microseconds (across all cores).
+    pub fn run_for_us(&mut self, us: u64) {
+        let start = self.now_us();
+        let mut guard = 0u64;
+        while self.now_us() < start + us {
+            self.run_slice();
+            guard += 1;
+            if guard > 50_000_000 {
+                panic!("run_for_us: too many iterations without time advancing");
+            }
+        }
+    }
+
+    /// Runs until `pred` returns true or `max_us` of board time has elapsed.
+    /// Returns whether the predicate was satisfied.
+    pub fn run_until<F: FnMut(&Kernel) -> bool>(&mut self, mut pred: F, max_us: u64) -> bool {
+        let start = self.now_us();
+        while self.now_us() < start + max_us {
+            if pred(self) {
+                return true;
+            }
+            self.run_slice();
+        }
+        pred(self)
+    }
+
+    /// Runs until every user task has exited (kernel threads excluded), or
+    /// `max_us` elapses. Returns true if all user tasks finished.
+    pub fn run_until_idle(&mut self, max_us: u64) -> bool {
+        self.run_until(
+            |k| {
+                k.tasks
+                    .values()
+                    .filter(|t| !t.kernel_thread)
+                    .all(|t| t.is_zombie())
+            },
+            max_us,
+        )
+    }
+
+    /// CPU utilisation per core over the run so far.
+    pub fn core_utilisations(&self) -> Vec<f64> {
+        (0..self.board.active_cores())
+            .map(|c| self.sched.core_stats(c).utilisation())
+            .collect()
+    }
+
+    /// A memory-usage snapshot (the §7.3 measurement).
+    pub fn memory_snapshot(&self) -> crate::mm::MemSnapshot {
+        self.mm.snapshot(&self.board.mem)
+    }
+}
+
+// ---- internal helpers shared with the syscall layer ------------------------------------------
+
+impl Kernel {
+    pub(crate) fn tasks_mut(&mut self, id: TaskId) -> Option<&mut Task> {
+        self.tasks.get_mut(&id)
+    }
+
+    pub(crate) fn task_asid(&self, task: TaskId) -> KResult<u64> {
+        match self.task(task).map(|t| t.mm) {
+            Some(MmRef::Owns(asid)) | Some(MmRef::Shares(asid)) => Ok(asid),
+            _ => Err(KernelError::NotSupported(
+                "task has no user address space".into(),
+            )),
+        }
+    }
+
+    pub(crate) fn address_space_mut(&mut self, asid: u64) -> Option<&mut AddressSpace> {
+        self.address_spaces.get_mut(&asid)
+    }
+
+    /// Read access to a task's address space (tests and benches use this to
+    /// check translations).
+    pub fn address_space_of(&self, task: TaskId) -> Option<&AddressSpace> {
+        match self.task(task).map(|t| t.mm) {
+            Some(MmRef::Owns(asid)) | Some(MmRef::Shares(asid)) => self.address_spaces.get(&asid),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn take_address_space(&mut self, asid: u64) -> Option<AddressSpace> {
+        self.address_spaces.remove(&asid)
+    }
+
+    pub(crate) fn put_address_space(&mut self, asid: u64, space: AddressSpace) {
+        self.address_spaces.insert(asid, space);
+    }
+
+    pub(crate) fn spawn_forked_child(
+        &mut self,
+        parent: TaskId,
+        name: &str,
+        program: Box<dyn UserProgram>,
+        mm: MmRef,
+    ) -> KResult<TaskId> {
+        let id = self.alloc_task_id();
+        let mut task = Task::new(id, parent, name, false);
+        task.mm = mm;
+        if let Some(p) = self.task(parent) {
+            task.priority = p.priority;
+            task.cwd = p.cwd.clone();
+        }
+        let core = self.sched.choose_core();
+        task.core = core;
+        self.tasks.insert(id, task);
+        self.programs.insert(id, program);
+        self.metrics.insert(id, TaskMetrics::default());
+        self.sched.enqueue(id, core);
+        Ok(id)
+    }
+
+    pub(crate) fn remove_task(&mut self, id: TaskId) {
+        self.tasks.remove(&id);
+        self.programs.remove(&id);
+        self.sched.remove(id);
+    }
+
+    pub(crate) fn any_child_of(&self, parent: TaskId) -> bool {
+        self.tasks.values().any(|t| t.parent == parent && t.id != parent)
+    }
+
+    pub(crate) fn pipes_create(&mut self) -> u64 {
+        self.pipes.create()
+    }
+
+    pub(crate) fn pipes_read(&mut self, id: u64, max: usize) -> KResult<crate::pipe::PipeReadResult> {
+        self.pipes.read(id, max)
+    }
+
+    pub(crate) fn pipes_write(&mut self, id: u64, data: &[u8]) -> KResult<crate::pipe::PipeWriteResult> {
+        self.pipes.write(id, data)
+    }
+
+    pub(crate) fn pipes_add_ref(&mut self, id: u64, write_end: bool) -> KResult<()> {
+        self.pipes.add_ref(id, write_end)
+    }
+
+    pub(crate) fn sems_create(&mut self, value: i64) -> u64 {
+        self.sems.create(value)
+    }
+
+    pub(crate) fn sems_wait(&mut self, id: u64, task: TaskId) -> KResult<crate::sync::SemWaitResult> {
+        self.sems.wait(id, task)
+    }
+
+    pub(crate) fn sems_post(&mut self, id: u64) -> KResult<Option<TaskId>> {
+        self.sems.post(id)
+    }
+
+    pub(crate) fn rootfs_clone(&self) -> KResult<Xv6Fs> {
+        self.rootfs
+            .clone()
+            .ok_or_else(|| KernelError::NotSupported("root filesystem not mounted".into()))
+    }
+
+    pub(crate) fn fatfs_clone(&self) -> KResult<Fat32> {
+        self.fatfs
+            .clone()
+            .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))
+    }
+
+    pub(crate) fn sd_stats(&self) -> (u64, u64, u64) {
+        (
+            self.board.sdhost.single_block_cmds(),
+            self.board.sdhost.range_cmds(),
+            self.board.sdhost.blocks_transferred(),
+        )
+    }
+
+    pub(crate) fn pseudo_inum_for(&mut self, volume_path: &str) -> u32 {
+        if let Some(i) = self.pseudo_inums.get(volume_path) {
+            return *i;
+        }
+        let i = self.next_pseudo_inum;
+        self.next_pseudo_inum += 1;
+        self.pseudo_inums.insert(volume_path.to_string(), i);
+        i
+    }
+
+    /// Number of pseudo-inodes currently tracked for FAT files.
+    pub fn pseudo_inode_count(&self) -> usize {
+        self.pseudo_inums.len()
+    }
+}
+
+impl Kernel {
+    /// Runs `f` with a syscall context for `task`, as if that task had
+    /// trapped into the kernel on core 0. Benchmarks and integration tests
+    /// use this to drive individual syscalls and measure their cost without
+    /// writing a full [`UserProgram`].
+    pub fn with_task_ctx<R>(&mut self, task: TaskId, f: impl FnOnce(&mut UserCtx<'_>) -> R) -> R {
+        let core = self.task(task).map(|t| t.core).unwrap_or(0);
+        let mut ctx = UserCtx::new(self, task, core);
+        f(&mut ctx)
+    }
+
+    /// Spawns an inert user task (it never runs on its own) that benches and
+    /// tests can issue syscalls from via [`Kernel::with_task_ctx`].
+    pub fn spawn_bench_task(&mut self, name: &str) -> KResult<TaskId> {
+        struct Inert;
+        impl UserProgram for Inert {
+            fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+                let _ = ctx.sleep_ms(1000);
+                StepResult::Continue
+            }
+        }
+        let image = ProgramImage::small(name);
+        self.spawn_user_program(&image, Box::new(Inert), 0)
+    }
+}
+
+impl Kernel {
+    /// Enables or disables the FAT32 buffer-cache bypass (the §5.2
+    /// optimisation); used by the ablation benchmark.
+    pub fn set_fat_bypass(&mut self, bypass: bool) {
+        if let Some(fat) = self.fatfs.as_mut() {
+            fat.set_bypass_bufcache(bypass);
+        }
+    }
+}
+
+impl Kernel {
+    /// Total key events the keyboard driver has received from the USB stack.
+    pub fn kbd_events_received(&self) -> u64 {
+        self.kbd.events_received
+    }
+}

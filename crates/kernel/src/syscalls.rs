@@ -1,0 +1,1130 @@
+//! The syscall surface (28 syscalls across task, file and threading groups).
+//!
+//! Every entry point charges the platform's syscall entry/exit cost, checks
+//! the prototype stage it belongs to (Table 1), performs the operation, and
+//! — when the operation cannot complete — parks the calling task on the
+//! right wait queue and returns [`KernelError::WouldBlock`]. Device I/O
+//! charges additional cycles derived from the device statistics so that the
+//! microbenchmarks (Figure 8/9) and the app benchmarks (Table 5) come out of
+//! the same accounting.
+
+use hal::framebuffer::BYTES_PER_PIXEL;
+
+use crate::error::{KResult, KernelError};
+use crate::exec::ProgramImage;
+use crate::kernel::{Kernel, FAT_PARTITION_START};
+use crate::mm::addrspace::RegionKind;
+use crate::mm::pagetable::MapFlags;
+use crate::sync::SemWaitResult;
+use crate::task::{MmRef, TaskId, TaskState, WaitChannel};
+use crate::trace::TraceKind;
+use crate::usercall::{FileStat, UserProgram};
+use crate::vfs::{DeviceFile, FileKind, MountTarget, OpenFile, OpenFlags};
+use crate::wm::Rect;
+
+/// Names of the 28 syscalls Proto implements, grouped as the paper groups
+/// them (task management, file system, threading/synchronisation).
+pub const SYSCALL_NAMES: [&str; 28] = [
+    // task management & time
+    "getpid", "fork", "exec", "exit", "wait", "kill", "sleep", "yield", "sbrk", "priority",
+    "uptime",
+    // file system
+    "open", "close", "read", "write", "lseek", "stat", "mkdir", "unlink", "readdir", "pipe",
+    "dup", "mmap_fb", "fb_flush",
+    // threading & synchronisation
+    "clone", "sem_create", "sem_wait", "sem_post",
+];
+
+impl Kernel {
+    pub(crate) fn charge_syscall(&mut self, core: usize, task: TaskId) {
+        let c = self.board.cost.trivial_syscall();
+        self.board.charge(core, c);
+        self.trace
+            .record(self.board.now_us(), core, TraceKind::SyscallEnter, Some(task), "");
+    }
+
+    fn charge_sd_delta(&mut self, core: usize, before: (u64, u64, u64)) {
+        let after = (
+            self.board.sdhost.single_block_cmds(),
+            self.board.sdhost.range_cmds(),
+            self.board.sdhost.blocks_transferred(),
+        );
+        let singles = after.0 - before.0;
+        let ranges = after.1 - before.1;
+        let blocks = after.2 - before.2;
+        let cost = &self.board.cost;
+        let mut cycles = (singles + ranges) * cost.sd_cmd_latency
+            + singles * cost.sd_block_poll_transfer
+            + blocks.saturating_sub(singles) * cost.sd_range_block_transfer;
+        if self.config.variant == crate::config::KernelVariant::Xv6Baseline {
+            // The baseline's simpler SD driver is measurably slower (§7.2).
+            cycles = cycles * 8 / 5;
+        }
+        self.board.charge(core, cycles);
+    }
+
+    // =====================================================================================
+    // Task management & time
+    // =====================================================================================
+
+    pub(crate) fn sys_getpid(&mut self, task: TaskId, core: usize) -> TaskId {
+        self.charge_syscall(core, task);
+        task
+    }
+
+    pub(crate) fn sys_sleep_us(&mut self, task: TaskId, core: usize, us: u64) -> KResult<()> {
+        self.charge_syscall(core, task);
+        let wake_at = self.now_us() + us.max(1);
+        if let Some(t) = self.tasks_mut(task) {
+            t.state = TaskState::Sleeping(wake_at);
+        }
+        self.sched.remove(task);
+        Ok(())
+    }
+
+    pub(crate) fn sys_yield(&mut self, task: TaskId, core: usize) -> KResult<()> {
+        self.charge_syscall(core, task);
+        Ok(())
+    }
+
+    pub(crate) fn sys_sbrk(&mut self, task: TaskId, core: usize, delta: i64) -> KResult<u64> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.virtual_memory, "sbrk")?;
+        let asid = self.task_asid(task)?;
+        let cost = self.board.cost.clone();
+        let space = self
+            .address_space_mut(asid)
+            .ok_or_else(|| KernelError::NotFound(format!("address space {asid}")))?;
+        let pages_before = space.stats().mapped_pages;
+        // Split borrows: sbrk needs frames + mem, both on self but disjoint
+        // from address_spaces; do it with a temporary remove/insert.
+        let mut space = self
+            .take_address_space(asid)
+            .ok_or_else(|| KernelError::NotFound(format!("address space {asid}")))?;
+        let result = space.sbrk(&mut self.mm.frames, &mut self.board.mem, delta);
+        let pages_after = space.stats().mapped_pages;
+        self.put_address_space(asid, space);
+        let new_pages = pages_after.saturating_sub(pages_before) as u64;
+        self.board
+            .charge_kernel(core, new_pages * (cost.frame_alloc + cost.pte_write));
+        result.map(|addr| addr)
+    }
+
+    pub(crate) fn sys_fork(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        child_program: Box<dyn UserProgram>,
+    ) -> KResult<TaskId> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_tasks, "fork")?;
+        let cost = self.board.cost.clone();
+        self.board.charge_kernel(core, cost.fork_base);
+        // Copy the address space if the parent owns one.
+        let parent_mm = self.task(task).map(|t| t.mm).unwrap_or(MmRef::KernelOnly);
+        let child_mm = match parent_mm {
+            MmRef::Owns(asid) => {
+                let mut parent_space = self
+                    .take_address_space(asid)
+                    .ok_or_else(|| KernelError::NotFound(format!("address space {asid}")))?;
+                let forked = parent_space.fork_copy(&mut self.mm.frames, &mut self.board.mem);
+                self.put_address_space(asid, parent_space);
+                let (child_space, copied) = forked?;
+                self.board
+                    .charge_kernel(core, copied * cost.fork_copy_per_page);
+                let child_asid = self.alloc_asid();
+                self.put_address_space(child_asid, child_space);
+                MmRef::Owns(child_asid)
+            }
+            other => other,
+        };
+        // Child task: inherits fds (bumping pipe refs), cwd and priority.
+        let child_name = self
+            .task(task)
+            .map(|t| format!("{}-child", t.name))
+            .unwrap_or_else(|| "child".into());
+        let image = ProgramImage {
+            name: child_name,
+            code_size: 0,
+            data_size: 0,
+            heap_size: 0,
+            args: Vec::new(),
+        };
+        // Spawn without building a new address space (we already copied one).
+        let child = self.spawn_forked_child(task, &image.name, child_program, child_mm)?;
+        // Duplicate descriptor table.
+        let fds = self.task(task).map(|t| t.fds.clone_for_fork());
+        if let Some(fds) = fds {
+            // Bump pipe reference counts for inherited pipe fds.
+            for fd in 0..crate::vfs::MAX_FDS as i32 {
+                if let Ok(f) = fds.get(fd) {
+                    if let FileKind::Pipe { id, write_end } = f.kind {
+                        let _ = self.pipes_add_ref(id, write_end);
+                    }
+                }
+            }
+            if let Some(t) = self.tasks_mut(child) {
+                t.fds = fds;
+            }
+        }
+        Ok(child)
+    }
+
+    pub(crate) fn sys_spawn(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        path: &str,
+        args: &[String],
+    ) -> KResult<TaskId> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "exec from a file")?;
+        // Read the image through the normal file path so exec pays real I/O.
+        let fd = self.sys_open(task, core, path, OpenFlags::rdonly())?;
+        let mut image_bytes = Vec::new();
+        loop {
+            match self.sys_read(task, core, fd, 64 * 1024) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => image_bytes.extend_from_slice(&chunk),
+                Err(e) => {
+                    let _ = self.sys_close(task, core, fd);
+                    return Err(e);
+                }
+            }
+        }
+        self.sys_close(task, core, fd)?;
+        let image = ProgramImage::parse(&image_bytes)?;
+        let mut full_args = image.args.clone();
+        full_args.extend_from_slice(args);
+        let program = self.registry.instantiate(&image.name, &full_args)?;
+        self.spawn_user_program(&image, program, task)
+    }
+
+    pub(crate) fn sys_wait(
+        &mut self,
+        task: TaskId,
+        core: usize,
+    ) -> KResult<Option<(TaskId, i32)>> {
+        self.charge_syscall(core, task);
+        // Reap a pending child if any.
+        let pending = self
+            .tasks_mut(task)
+            .and_then(|t| (!t.pending_children.is_empty()).then(|| t.pending_children.remove(0)));
+        if let Some((child, code)) = pending {
+            self.remove_task(child);
+            return Ok(Some((child, code)));
+        }
+        // Any children still running?
+        let has_children = self.any_child_of(task);
+        if has_children {
+            self.block_current(task, WaitChannel::ChildExit);
+            Ok(None)
+        } else {
+            Err(KernelError::NotFound("no children".into()))
+        }
+    }
+
+    pub(crate) fn sys_kill(&mut self, task: TaskId, core: usize, pid: TaskId) -> KResult<()> {
+        self.charge_syscall(core, task);
+        if self.task(pid).is_none() {
+            return Err(KernelError::NotFound(format!("task {pid}")));
+        }
+        self.handle_exit(pid, -9);
+        Ok(())
+    }
+
+    pub(crate) fn sys_set_priority(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        priority: u8,
+    ) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
+            .set_priority(priority)
+    }
+
+    // =====================================================================================
+    // Threading & synchronisation
+    // =====================================================================================
+
+    pub(crate) fn sys_clone_thread(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        thread_program: Box<dyn UserProgram>,
+    ) -> KResult<TaskId> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.syscalls_threading, "clone(CLONE_VM)")?;
+        let mm = match self.task(task).map(|t| t.mm) {
+            Some(MmRef::Owns(asid)) | Some(MmRef::Shares(asid)) => MmRef::Shares(asid),
+            _ => MmRef::KernelOnly,
+        };
+        let name = self
+            .task(task)
+            .map(|t| format!("{}-thr", t.name))
+            .unwrap_or_else(|| "thread".into());
+        let tid = self.spawn_forked_child(task, &name, thread_program, mm)?;
+        // Threads share the file table conceptually; we copy it (offsets are
+        // private), bumping pipe references.
+        let fds = self.task(task).map(|t| t.fds.clone_for_fork());
+        if let Some(fds) = fds {
+            for fd in 0..crate::vfs::MAX_FDS as i32 {
+                if let Ok(f) = fds.get(fd) {
+                    if let FileKind::Pipe { id, write_end } = f.kind {
+                        let _ = self.pipes_add_ref(id, write_end);
+                    }
+                }
+            }
+            if let Some(t) = self.tasks_mut(tid) {
+                t.fds = fds;
+            }
+        }
+        Ok(tid)
+    }
+
+    pub(crate) fn sys_sem_create(&mut self, task: TaskId, core: usize, value: i64) -> KResult<u64> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.syscalls_threading, "semaphores")?;
+        Ok(self.sems_create(value))
+    }
+
+    pub(crate) fn sys_sem_wait(&mut self, task: TaskId, core: usize, sem: u64) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.syscalls_threading, "semaphores")?;
+        match self.sems_wait(sem, task)? {
+            SemWaitResult::Acquired => Ok(()),
+            SemWaitResult::MustBlock => {
+                self.block_current(task, WaitChannel::Semaphore(sem));
+                Err(KernelError::WouldBlock)
+            }
+        }
+    }
+
+    pub(crate) fn sys_sem_post(&mut self, task: TaskId, core: usize, sem: u64) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.syscalls_threading, "semaphores")?;
+        if let Some(waiter) = self.sems_post(sem)? {
+            self.wake_task(waiter);
+        }
+        Ok(())
+    }
+
+    // =====================================================================================
+    // Files
+    // =====================================================================================
+
+    pub(crate) fn sys_open(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        path: &str,
+        flags: OpenFlags,
+    ) -> KResult<i32> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.syscalls_files, "file syscalls")?;
+        let (target, inner) = self.mounts.resolve(path);
+        let kind = match target {
+            MountTarget::Dev => {
+                let dev = DeviceFile::from_path(&inner)
+                    .ok_or_else(|| KernelError::NotFound(inner.clone()))?;
+                if dev == DeviceFile::Surface {
+                    self.config
+                        .require(self.config.window_manager, "window manager surfaces")?;
+                    let title = self
+                        .task(task)
+                        .map(|t| t.name.clone())
+                        .unwrap_or_else(|| "app".into());
+                    let surface_id = self.wm.create_surface(task, title);
+                    FileKind::SurfaceHandle { surface_id }
+                } else {
+                    FileKind::Device(dev)
+                }
+            }
+            MountTarget::Proc => FileKind::Proc { name: inner },
+            MountTarget::Root => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let inum = match fs.lookup(dev, bc, &inner) {
+                    Ok(i) => i,
+                    Err(protofs::FsError::NotFound(_)) if flags.create => {
+                        fs.create(dev, bc, &inner, protofs::xv6fs::InodeType::File)?
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                FileKind::Xv6 { inum }
+            }
+            MountTarget::Fat => {
+                let fat = self.fatfs_clone()?;
+                let before = self.sd_stats();
+                {
+                    let total = self.board.sdhost.total_blocks();
+                    let mut dev = protofs::block::SdBlockDevice::new(
+                        &mut self.board.sdhost,
+                        FAT_PARTITION_START,
+                        total - FAT_PARTITION_START,
+                    );
+                    match fat.lookup(&mut dev, &mut self.fat_bufcache, &inner) {
+                        Ok(_) => {}
+                        Err(protofs::FsError::NotFound(_)) if flags.create => {
+                            fat.create(&mut dev, &mut self.fat_bufcache, &inner, false)?;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                self.charge_sd_delta(core, before);
+                let pseudo_inum = self.pseudo_inum_for(&inner);
+                FileKind::Fat {
+                    volume_path: inner,
+                    pseudo_inum,
+                }
+            }
+        };
+        let file = OpenFile::new(kind, flags);
+        self.tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
+            .fds
+            .install(file)
+    }
+
+    pub(crate) fn sys_close(&mut self, task: TaskId, core: usize, fd: i32) -> KResult<()> {
+        self.charge_syscall(core, task);
+        let file = self
+            .tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
+            .fds
+            .remove(fd)?;
+        self.drop_open_file(file);
+        Ok(())
+    }
+
+    pub(crate) fn sys_dup(&mut self, task: TaskId, core: usize, fd: i32) -> KResult<i32> {
+        self.charge_syscall(core, task);
+        let t = self
+            .tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+        let new_fd = t.fds.dup(fd)?;
+        let kind = t.fds.get(new_fd)?.kind.clone();
+        if let FileKind::Pipe { id, write_end } = kind {
+            self.pipes_add_ref(id, write_end)?;
+        }
+        Ok(new_fd)
+    }
+
+    pub(crate) fn sys_pipe(&mut self, task: TaskId, core: usize) -> KResult<(i32, i32)> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "pipes")?;
+        let id = self.pipes_create();
+        let t = self
+            .tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+        let r = t.fds.install(OpenFile::new(
+            FileKind::Pipe { id, write_end: false },
+            OpenFlags::rdonly(),
+        ))?;
+        let w = t.fds.install(OpenFile::new(
+            FileKind::Pipe { id, write_end: true },
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        ))?;
+        Ok((r, w))
+    }
+
+    pub(crate) fn sys_lseek(&mut self, task: TaskId, core: usize, fd: i32, offset: u64) -> KResult<u64> {
+        self.charge_syscall(core, task);
+        let t = self
+            .tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+        let f = t.fds.get_mut(fd)?;
+        match f.kind {
+            FileKind::Xv6 { .. } | FileKind::Fat { .. } => {
+                f.offset = offset;
+                Ok(offset)
+            }
+            _ => Err(KernelError::Invalid("lseek on an unseekable file".into())),
+        }
+    }
+
+    pub(crate) fn sys_stat(&mut self, task: TaskId, core: usize, path: &str) -> KResult<FileStat> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "stat")?;
+        let (target, inner) = self.mounts.resolve(path);
+        match target {
+            MountTarget::Root => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let inum = fs.lookup(dev, bc, &inner)?;
+                let st = fs.stat(dev, bc, inum)?;
+                Ok(FileStat {
+                    size: st.size as u64,
+                    is_dir: st.itype == protofs::xv6fs::InodeType::Dir,
+                })
+            }
+            MountTarget::Fat => {
+                let fat = self.fatfs_clone()?;
+                let before = self.sd_stats();
+                let entry = {
+                    let total = self.board.sdhost.total_blocks();
+                    let mut dev = protofs::block::SdBlockDevice::new(
+                        &mut self.board.sdhost,
+                        FAT_PARTITION_START,
+                        total - FAT_PARTITION_START,
+                    );
+                    fat.lookup(&mut dev, &mut self.fat_bufcache, &inner)?
+                };
+                self.charge_sd_delta(core, before);
+                Ok(FileStat {
+                    size: entry.size as u64,
+                    is_dir: entry.is_dir,
+                })
+            }
+            MountTarget::Dev => Ok(FileStat { size: 0, is_dir: inner == "/dev" }),
+            MountTarget::Proc => Ok(FileStat { size: 0, is_dir: inner == "/proc" }),
+        }
+    }
+
+    pub(crate) fn sys_mkdir(&mut self, task: TaskId, core: usize, path: &str) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "mkdir")?;
+        let (target, inner) = self.mounts.resolve(path);
+        match target {
+            MountTarget::Root => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                fs.create(dev, bc, &inner, protofs::xv6fs::InodeType::Dir)?;
+                Ok(())
+            }
+            MountTarget::Fat => {
+                let fat = self.fatfs_clone()?;
+                let total = self.board.sdhost.total_blocks();
+                let mut dev = protofs::block::SdBlockDevice::new(
+                    &mut self.board.sdhost,
+                    FAT_PARTITION_START,
+                    total - FAT_PARTITION_START,
+                );
+                fat.create(&mut dev, &mut self.fat_bufcache, &inner, true)?;
+                Ok(())
+            }
+            _ => Err(KernelError::Permission("cannot mkdir in /dev or /proc".into())),
+        }
+    }
+
+    pub(crate) fn sys_unlink(&mut self, task: TaskId, core: usize, path: &str) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "unlink")?;
+        let (target, inner) = self.mounts.resolve(path);
+        match target {
+            MountTarget::Root => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                fs.unlink(dev, bc, &inner)?;
+                Ok(())
+            }
+            MountTarget::Fat => {
+                let fat = self.fatfs_clone()?;
+                let total = self.board.sdhost.total_blocks();
+                let mut dev = protofs::block::SdBlockDevice::new(
+                    &mut self.board.sdhost,
+                    FAT_PARTITION_START,
+                    total - FAT_PARTITION_START,
+                );
+                fat.remove(&mut dev, &mut self.fat_bufcache, &inner)?;
+                Ok(())
+            }
+            _ => Err(KernelError::Permission("cannot unlink in /dev or /proc".into())),
+        }
+    }
+
+    pub(crate) fn sys_list_dir(&mut self, task: TaskId, core: usize, path: &str) -> KResult<Vec<String>> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.syscalls_files, "readdir")?;
+        let (target, inner) = self.mounts.resolve(path);
+        match target {
+            MountTarget::Root => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                Ok(fs
+                    .list_dir(dev, bc, &inner)?
+                    .into_iter()
+                    .map(|e| e.name)
+                    .collect())
+            }
+            MountTarget::Fat => {
+                let fat = self.fatfs_clone()?;
+                let total = self.board.sdhost.total_blocks();
+                let mut dev = protofs::block::SdBlockDevice::new(
+                    &mut self.board.sdhost,
+                    FAT_PARTITION_START,
+                    total - FAT_PARTITION_START,
+                );
+                Ok(fat
+                    .list_dir(&mut dev, &mut self.fat_bufcache, &inner)?
+                    .into_iter()
+                    .map(|e| e.name)
+                    .collect())
+            }
+            MountTarget::Dev => Ok(DeviceFile::ALL.iter().map(|d| d.path().trim_start_matches("/dev/").to_string()).collect()),
+            MountTarget::Proc => Ok(vec![
+                "cpuinfo".into(),
+                "meminfo".into(),
+                "uptime".into(),
+                "tasks".into(),
+            ]),
+        }
+    }
+
+    pub(crate) fn sys_read(&mut self, task: TaskId, core: usize, fd: i32, max: usize) -> KResult<Vec<u8>> {
+        self.charge_syscall(core, task);
+        let (kind, offset, flags) = {
+            let t = self
+                .tasks_mut(task)
+                .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+            let f = t.fds.get(fd)?;
+            (f.kind.clone(), f.offset, f.flags)
+        };
+        match kind {
+            FileKind::Xv6 { inum } => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let mut buf = vec![0u8; max];
+                let n = fs.read(dev, bc, inum, offset as u32, &mut buf)?;
+                buf.truncate(n);
+                let cost = self.board.cost.clone();
+                self.board.charge(
+                    core,
+                    cost.per_byte(cost.ramdisk_per_byte_milli, n as u64)
+                        + cost.bufcache_op * (n as u64 / 512 + 1),
+                );
+                self.advance_offset(task, fd, n as u64)?;
+                Ok(buf)
+            }
+            FileKind::Fat { volume_path, .. } => {
+                let fat = self.fatfs_clone()?;
+                let before = self.sd_stats();
+                let data = {
+                    let total = self.board.sdhost.total_blocks();
+                    let mut dev = protofs::block::SdBlockDevice::new(
+                        &mut self.board.sdhost,
+                        FAT_PARTITION_START,
+                        total - FAT_PARTITION_START,
+                    );
+                    fat.read_at(&mut dev, &mut self.fat_bufcache, &volume_path, offset as u32, max)?
+                };
+                self.charge_sd_delta(core, before);
+                let cost = self.board.cost.clone();
+                self.board
+                    .charge(core, cost.per_byte(cost.bufcache_copy_per_byte_milli, data.len() as u64));
+                self.advance_offset(task, fd, data.len() as u64)?;
+                Ok(data)
+            }
+            FileKind::Device(dev) => self.read_device(task, core, dev, max, flags),
+            FileKind::Proc { name } => {
+                // Generate (and cache) the snapshot, then serve from offset.
+                let content = {
+                    let t = self
+                        .tasks_mut(task)
+                        .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+                    let f = t.fds.get_mut(fd)?;
+                    if f.proc_snapshot.is_none() {
+                        f.proc_snapshot = Some(Vec::new()); // placeholder, filled below
+                    }
+                    f.proc_snapshot.clone().unwrap_or_default()
+                };
+                let content = if content.is_empty() {
+                    let generated = self.procfs_content(&name)?;
+                    let t = self
+                        .tasks_mut(task)
+                        .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+                    let f = t.fds.get_mut(fd)?;
+                    f.proc_snapshot = Some(generated.clone());
+                    generated
+                } else {
+                    content
+                };
+                let start = (offset as usize).min(content.len());
+                let end = (start + max).min(content.len());
+                let out = content[start..end].to_vec();
+                self.advance_offset(task, fd, out.len() as u64)?;
+                Ok(out)
+            }
+            FileKind::Pipe { id, write_end } => {
+                if write_end {
+                    return Err(KernelError::Invalid("read from a pipe write end".into()));
+                }
+                let cost = self.board.cost.clone();
+                self.board.charge_kernel(core, cost.pipe_op);
+                match self.pipes_read(id, max)? {
+                    crate::pipe::PipeReadResult::Data(d) => {
+                        self.board
+                            .charge_kernel(core, cost.per_byte(cost.pipe_copy_per_byte_milli, d.len() as u64));
+                        self.wake_all(WaitChannel::PipeWrite(id));
+                        Ok(d)
+                    }
+                    crate::pipe::PipeReadResult::Eof => Ok(Vec::new()),
+                    crate::pipe::PipeReadResult::WouldBlock => {
+                        if flags.nonblock {
+                            Err(KernelError::WouldBlock)
+                        } else {
+                            self.block_current(task, WaitChannel::PipeRead(id));
+                            Err(KernelError::WouldBlock)
+                        }
+                    }
+                }
+            }
+            FileKind::SurfaceHandle { .. } => Err(KernelError::Invalid(
+                "surfaces are write-only; read events from /dev/event1".into(),
+            )),
+        }
+    }
+
+    fn read_device(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        dev: DeviceFile,
+        max: usize,
+        flags: OpenFlags,
+    ) -> KResult<Vec<u8>> {
+        match dev {
+            DeviceFile::Events | DeviceFile::WmEvents => {
+                let use_dispatched = dev == DeviceFile::WmEvents;
+                let mut out = Vec::new();
+                let now = self.now_us();
+                loop {
+                    if out.len() + crate::kbd::EVENT_RECORD_SIZE > max {
+                        break;
+                    }
+                    let ev = if use_dispatched {
+                        self.kbd.dispatched_queue.pop()
+                    } else {
+                        self.kbd.raw_queue.pop()
+                    };
+                    match ev {
+                        Some(e) => {
+                            self.trace.record(
+                                now,
+                                core,
+                                TraceKind::KeyEventApp,
+                                Some(task),
+                                format!("{}", e.timestamp_us),
+                            );
+                            out.extend_from_slice(&crate::kbd::encode_event(&e));
+                        }
+                        None => break,
+                    }
+                }
+                if out.is_empty() {
+                    if flags.nonblock {
+                        return Err(KernelError::WouldBlock);
+                    }
+                    self.block_current(task, WaitChannel::KeyEvent);
+                    return Err(KernelError::WouldBlock);
+                }
+                Ok(out)
+            }
+            DeviceFile::Null => Ok(Vec::new()),
+            DeviceFile::Console => {
+                if self.board.uart.rx_ready() {
+                    let mut out = Vec::new();
+                    while out.len() < max {
+                        match self.board.uart.read_byte() {
+                            Some(b) => out.push(b),
+                            None => break,
+                        }
+                    }
+                    Ok(out)
+                } else if flags.nonblock {
+                    Err(KernelError::WouldBlock)
+                } else {
+                    self.block_current(task, WaitChannel::KeyEvent);
+                    Err(KernelError::WouldBlock)
+                }
+            }
+            DeviceFile::Framebuffer | DeviceFile::SoundBuffer | DeviceFile::Surface => Err(
+                KernelError::Invalid(format!("{} is not readable", dev.path())),
+            ),
+        }
+    }
+
+    pub(crate) fn sys_write(&mut self, task: TaskId, core: usize, fd: i32, data: &[u8]) -> KResult<usize> {
+        self.charge_syscall(core, task);
+        let (kind, offset, flags) = {
+            let t = self
+                .tasks_mut(task)
+                .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+            let f = t.fds.get(fd)?;
+            (f.kind.clone(), f.offset, f.flags)
+        };
+        match kind {
+            FileKind::Device(DeviceFile::Console) | FileKind::Device(DeviceFile::Null) => {
+                if matches!(kind, FileKind::Device(DeviceFile::Console)) {
+                    let cost = self.board.cost.uart_tx_per_byte * data.len() as u64;
+                    self.board.charge(core, cost);
+                    self.board.uart.write_bytes(data);
+                }
+                Ok(data.len())
+            }
+            FileKind::Device(DeviceFile::Framebuffer) => {
+                // Raw byte writes to /dev/fb at the descriptor offset.
+                let px_off = (offset / BYTES_PER_PIXEL as u64) as usize;
+                let pixels: Vec<u32> = data
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                self.sys_fb_write(task, core, px_off, &pixels)?;
+                self.advance_offset(task, fd, (pixels.len() * 4) as u64)?;
+                Ok(pixels.len() * 4)
+            }
+            FileKind::Device(DeviceFile::SoundBuffer) => {
+                self.config.require(self.config.sound, "sound output")?;
+                let now = self.now_us();
+                let cost = self.board.cost.clone();
+                let outcome = self
+                    .sound
+                    .write_samples(&mut self.board.pwm, now, data)?;
+                match outcome {
+                    crate::sound::SoundWriteOutcome::Accepted(n) => {
+                        self.board.charge(
+                            core,
+                            cost.dma_setup + cost.per_byte(cost.memmove_fast_per_byte_milli, n as u64),
+                        );
+                        Ok(n)
+                    }
+                    crate::sound::SoundWriteOutcome::WouldBlock => {
+                        if flags.nonblock {
+                            Err(KernelError::WouldBlock)
+                        } else {
+                            self.block_current(task, WaitChannel::SoundSpace);
+                            Err(KernelError::WouldBlock)
+                        }
+                    }
+                }
+            }
+            FileKind::Device(DeviceFile::Events)
+            | FileKind::Device(DeviceFile::WmEvents)
+            | FileKind::Device(DeviceFile::Surface) => Err(KernelError::Invalid(format!(
+                "{:?} is not writable via write()",
+                kind
+            ))),
+            FileKind::Xv6 { inum } => {
+                let fs = self.rootfs_clone()?;
+                let bc = &mut self.root_bufcache;
+                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let n = fs.write(dev, bc, inum, offset as u32, data)?;
+                let cost = self.board.cost.clone();
+                self.board.charge(
+                    core,
+                    cost.per_byte(cost.ramdisk_per_byte_milli, n as u64)
+                        + cost.bufcache_op * (n as u64 / 512 + 1),
+                );
+                self.advance_offset(task, fd, n as u64)?;
+                Ok(n)
+            }
+            FileKind::Fat { volume_path, .. } => {
+                let fat = self.fatfs_clone()?;
+                let before = self.sd_stats();
+                {
+                    let total = self.board.sdhost.total_blocks();
+                    let mut dev = protofs::block::SdBlockDevice::new(
+                        &mut self.board.sdhost,
+                        FAT_PARTITION_START,
+                        total - FAT_PARTITION_START,
+                    );
+                    if offset == 0 {
+                        fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, data)?;
+                    } else {
+                        // Read-modify-write for writes at an offset.
+                        let mut whole =
+                            fat.read_file(&mut dev, &mut self.fat_bufcache, &volume_path)?;
+                        let end = offset as usize + data.len();
+                        if whole.len() < end {
+                            whole.resize(end, 0);
+                        }
+                        whole[offset as usize..end].copy_from_slice(data);
+                        fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, &whole)?;
+                    }
+                }
+                self.charge_sd_delta(core, before);
+                self.advance_offset(task, fd, data.len() as u64)?;
+                Ok(data.len())
+            }
+            FileKind::Proc { .. } => Err(KernelError::Permission("proc files are read-only".into())),
+            FileKind::Pipe { id, write_end } => {
+                if !write_end {
+                    return Err(KernelError::Invalid("write to a pipe read end".into()));
+                }
+                let cost = self.board.cost.clone();
+                self.board.charge_kernel(core, cost.pipe_op);
+                match self.pipes_write(id, data)? {
+                    crate::pipe::PipeWriteResult::Wrote(n) => {
+                        self.board
+                            .charge_kernel(core, cost.per_byte(cost.pipe_copy_per_byte_milli, n as u64));
+                        self.wake_all(WaitChannel::PipeRead(id));
+                        Ok(n)
+                    }
+                    crate::pipe::PipeWriteResult::Broken => Err(KernelError::BrokenPipe),
+                    crate::pipe::PipeWriteResult::WouldBlock => {
+                        if flags.nonblock {
+                            Err(KernelError::WouldBlock)
+                        } else {
+                            self.block_current(task, WaitChannel::PipeWrite(id));
+                            Err(KernelError::WouldBlock)
+                        }
+                    }
+                }
+            }
+            FileKind::SurfaceHandle { surface_id } => {
+                // Raw pixel writes: a full ARGB frame per write().
+                let pixels: Vec<u32> = data
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                let cost = self.board.cost.clone();
+                self.board
+                    .charge(core, cost.per_byte(cost.memmove_fast_per_byte_milli, data.len() as u64));
+                self.wm.submit_frame(surface_id, &pixels)?;
+                Ok(data.len())
+            }
+        }
+    }
+
+    pub(crate) fn sys_read_key_event(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+    ) -> KResult<Option<protousb::KeyEvent>> {
+        match self.sys_read(task, core, fd, crate::kbd::EVENT_RECORD_SIZE) {
+            Ok(bytes) if bytes.len() >= crate::kbd::EVENT_RECORD_SIZE => {
+                Ok(crate::kbd::decode_event(&bytes))
+            }
+            Ok(_) => Ok(None),
+            Err(KernelError::WouldBlock) => {
+                // Non-blocking descriptors simply report "no event yet".
+                let nonblock = self
+                    .task(task)
+                    .and_then(|t| t.fds.get(fd).ok().map(|f| f.flags.nonblock))
+                    .unwrap_or(false);
+                if nonblock {
+                    Ok(None)
+                } else {
+                    Err(KernelError::WouldBlock)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // =====================================================================================
+    // Graphics
+    // =====================================================================================
+
+    pub(crate) fn sys_fb_info(&mut self, task: TaskId, core: usize) -> KResult<(u32, u32)> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.framebuffer, "framebuffer")?;
+        let info = self
+            .board
+            .framebuffer
+            .info()
+            .ok_or_else(|| KernelError::Device("framebuffer not allocated".into()))?;
+        Ok((info.width, info.height))
+    }
+
+    pub(crate) fn sys_fb_map(&mut self, task: TaskId, core: usize) -> KResult<u64> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.framebuffer, "framebuffer")?;
+        let info = self
+            .board
+            .framebuffer
+            .info()
+            .ok_or_else(|| KernelError::Device("framebuffer not allocated".into()))?;
+        if let Some(va) = self.fb_mappings.get(&task) {
+            return Ok(*va);
+        }
+        let va = info.phys_addr; // identity mapping, as §4.3 prefers
+        if self.config.virtual_memory {
+            if let Ok(asid) = self.task_asid(task) {
+                let cost = self.board.cost.clone();
+                let mut space = self
+                    .take_address_space(asid)
+                    .ok_or_else(|| KernelError::NotFound(format!("address space {asid}")))?;
+                let result = space.map_physical_range(
+                    &mut self.mm.frames,
+                    &mut self.board.mem,
+                    RegionKind::Framebuffer,
+                    va,
+                    info.phys_addr,
+                    info.size as u64,
+                    MapFlags::user_framebuffer(),
+                );
+                self.put_address_space(asid, space);
+                result?;
+                let pages = (info.size as u64).div_ceil(4096);
+                self.board.charge_kernel(core, pages * cost.pte_write);
+            }
+        }
+        self.fb_mappings.insert(task, va);
+        Ok(va)
+    }
+
+    pub(crate) fn sys_fb_write(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        offset_px: usize,
+        pixels: &[u32],
+    ) -> KResult<()> {
+        // Note: deliberately *no* syscall charge — this is a store through the
+        // user's framebuffer mapping, not a trap. Only the pixel cost applies.
+        self.config.require(self.config.framebuffer, "framebuffer")?;
+        if self.config.virtual_memory && !self.fb_mappings.contains_key(&task) {
+            // Touching an unmapped framebuffer is a fault.
+            return Err(KernelError::Fault(
+                "framebuffer not mapped; call fb_map() first".into(),
+            ));
+        }
+        let cost = self.board.cost.clone();
+        self.board
+            .charge_user(core, cost.per_byte(cost.pixel_draw_per_px_milli, pixels.len() as u64));
+        self.board
+            .framebuffer
+            .write_pixels(offset_px, pixels, true)?;
+        Ok(())
+    }
+
+    pub(crate) fn sys_fb_flush(&mut self, task: TaskId, core: usize) -> KResult<()> {
+        self.charge_syscall(core, task);
+        self.config.require(self.config.framebuffer, "framebuffer")?;
+        let lines = self.board.framebuffer.flush_all();
+        let cost = self.board.cost.cache_flush_per_line * lines as u64;
+        self.board.charge_kernel(core, cost);
+        self.trace
+            .record(self.board.now_us(), core, TraceKind::FramePresent, Some(task), "flush");
+        Ok(())
+    }
+
+    pub(crate) fn sys_surface_create(&mut self, task: TaskId, core: usize, title: &str) -> KResult<i32> {
+        self.charge_syscall(core, task);
+        self.config
+            .require(self.config.window_manager, "window manager")?;
+        let surface_id = self.wm.create_surface(task, title);
+        let file = OpenFile::new(FileKind::SurfaceHandle { surface_id }, OpenFlags::rdwr());
+        self.tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
+            .fds
+            .install(file)
+    }
+
+    pub(crate) fn sys_surface_configure(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+        rect: Rect,
+        floating: bool,
+    ) -> KResult<()> {
+        self.charge_syscall(core, task);
+        let surface_id = self.surface_id_for(task, fd)?;
+        self.wm.configure(surface_id, rect, floating)
+    }
+
+    pub(crate) fn sys_surface_present(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+        pixels: &[u32],
+    ) -> KResult<()> {
+        // Like fb_write, the copy itself is the cost; no trap charge.
+        let surface_id = self.surface_id_for(task, fd)?;
+        let cost = self.board.cost.clone();
+        self.board.charge_user(
+            core,
+            cost.per_byte(cost.memmove_fast_per_byte_milli, (pixels.len() * 4) as u64),
+        );
+        self.wm.submit_frame(surface_id, pixels)
+    }
+
+    // =====================================================================================
+    // Small internal helpers
+    // =====================================================================================
+
+    fn surface_id_for(&self, task: TaskId, fd: i32) -> KResult<u64> {
+        let t = self
+            .task(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+        match t.fds.get(fd)?.kind {
+            FileKind::SurfaceHandle { surface_id } => Ok(surface_id),
+            _ => Err(KernelError::Invalid("fd is not a surface".into())),
+        }
+    }
+
+    fn advance_offset(&mut self, task: TaskId, fd: i32, by: u64) -> KResult<()> {
+        let t = self
+            .tasks_mut(task)
+            .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+        if let Ok(f) = t.fds.get_mut(fd) {
+            f.offset += by;
+        }
+        Ok(())
+    }
+
+    /// Generates the contents of a `/proc` file.
+    pub(crate) fn procfs_content(&mut self, name: &str) -> KResult<Vec<u8>> {
+        let text = match name {
+            "/proc/cpuinfo" | "cpuinfo" => {
+                let mut s = String::new();
+                for core in 0..self.config.cores {
+                    s.push_str(&format!(
+                        "processor\t: {core}\nmodel name\t: ARM Cortex-A53 @ 1000 MHz\nfeatures\t: fp asimd\n\n"
+                    ));
+                }
+                s
+            }
+            "/proc/meminfo" | "meminfo" => {
+                let snap = self.memory_snapshot();
+                format!(
+                    "MemTotal: {} kB\nMemUsed: {} kB\nKernelImage: {} kB\nKmalloc: {} kB\nFrames: {} kB\n",
+                    snap.total_bytes / 1024,
+                    snap.used_bytes() / 1024,
+                    snap.kernel_image_bytes / 1024,
+                    snap.kmalloc_bytes / 1024,
+                    snap.frames_bytes / 1024,
+                )
+            }
+            "/proc/uptime" | "uptime" => {
+                format!("{:.3}\n", self.now_us() as f64 / 1e6)
+            }
+            "/proc/tasks" | "tasks" => {
+                let mut s = String::from("pid\tstate\tprio\tcpu_cycles\tname\n");
+                for id in self.task_ids() {
+                    if let Some(t) = self.task(id) {
+                        s.push_str(&format!(
+                            "{}\t{:?}\t{}\t{}\t{}\n",
+                            id, t.state, t.priority, t.cpu_cycles, t.name
+                        ));
+                    }
+                }
+                s
+            }
+            other => {
+                return Err(KernelError::NotFound(format!("/proc entry '{other}'")));
+            }
+        };
+        Ok(text.into_bytes())
+    }
+}

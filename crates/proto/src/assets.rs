@@ -1,0 +1,106 @@
+//! Synthetic media assets.
+//!
+//! The paper's OS image carries NES ROMs, DOOM's WAD, OGG tracks, MPEG-1
+//! clips and BMP/PNG slides on the SD card's FAT32 partition (§3, §4.5). We
+//! cannot redistribute those, so the image builder generates synthetic
+//! stand-ins with the same sizes, formats (for the codecs this repository
+//! implements) and placement: small files on the xv6fs ramdisk, multi-
+//! megabyte media on the FAT volume — which is exactly the split that makes
+//! FAT32 necessary in Prototype 5.
+
+use kernel::kernel::Kernel;
+use kernel::KResult;
+use ulib::image::{encode_bmp, Image};
+use ulib::media::{encode_audio, encode_video, generate_test_video, synthesize_tone};
+
+/// Sizes (in bytes) of the generated assets, so benches can reason about I/O.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssetSizes {
+    /// The DOOM asset file on the FAT volume.
+    pub doom_wad: usize,
+    /// The 480p video.
+    pub video_480p: usize,
+    /// The 720p video.
+    pub video_720p: usize,
+    /// The audio track.
+    pub track: usize,
+}
+
+/// Generates the synthetic "WAD": pseudo-random texture/level data of the
+/// requested size (DOOM1.WAD is ~4 MB; the default mirrors that).
+pub fn synthetic_wad(bytes: usize) -> Vec<u8> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    (0..bytes)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+/// Installs the small files every prototype-4+ system expects on the root
+/// (ramdisk) filesystem: `/etc/rc`, the NES "ROM" and the program images.
+pub fn install_root_assets(kernel: &mut Kernel) -> KResult<()> {
+    kernel.install_root_dir("/etc")?;
+    kernel.install_root_file("/etc/rc", b"# proto rc script\necho boot complete\nls /\n")?;
+    kernel.install_root_file("/etc/motd", b"welcome to proto\n")?;
+    // The mario ROM lives on the ramdisk so Prototype 4 can load it as a file
+    // ("the NES game engine can load additional ROMs as files").
+    kernel.install_root_file("/mario.nes", &synthetic_wad(40 * 1024))?;
+    kernel.install_root_file("/kungfu.nes", &synthetic_wad(48 * 1024))?;
+    for image in apps::default_images() {
+        kernel.install_program_image(&image)?;
+    }
+    Ok(())
+}
+
+/// Installs the media assets on the FAT32 partition (`/d/...` as apps see
+/// them). `small` scales everything down for fast tests.
+pub fn install_fat_assets(kernel: &mut Kernel, small: bool) -> KResult<AssetSizes> {
+    let mut sizes = AssetSizes::default();
+
+    // DOOM assets: a multi-megabyte file, far beyond xv6fs's 268 KB limit.
+    let wad = synthetic_wad(if small { 512 * 1024 } else { 4 * 1024 * 1024 });
+    sizes.doom_wad = wad.len();
+    kernel.install_fat_file("/doom.wad", &wad)?;
+
+    // Videos. Full 480p/720p streams are large; tests use small geometry.
+    let (w480, h480, frames) = if small { (160, 120, 24) } else { (640, 480, 60) };
+    let video480 = encode_video(&generate_test_video(w480, h480, frames));
+    sizes.video_480p = video480.len();
+    kernel.install_fat_file("/video480.mpg", &video480)?;
+    let (w720, h720) = if small { (320, 240) } else { (1280, 720) };
+    let video720 = encode_video(&generate_test_video(w720, h720, frames.min(24)));
+    sizes.video_720p = video720.len();
+    kernel.install_fat_file("/video720.mpg", &video720)?;
+
+    // Music.
+    let seconds = if small { 2.0 } else { 30.0 };
+    let track = encode_audio(&synthesize_tone(440.0, seconds, 44_100), 44_100);
+    sizes.track = track.len();
+    kernel.install_fat_file("/track1.ogg", &track)?;
+
+    // Slides.
+    kernel.install_fat_dir("/slides")?;
+    for i in 0..4u32 {
+        let slide = Image::gradient(if small { 160 } else { 640 }, if small { 120 } else { 480 });
+        kernel.install_fat_file(&format!("/slides/s{i}.bmp"), &encode_bmp(&slide))?;
+    }
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_wad_is_deterministic_and_sized() {
+        let a = synthetic_wad(1000);
+        let b = synthetic_wad(1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Table 1: the prototype feature matrix.
+//!
+//! The table the paper uses to communicate the decomposition: which apps,
+//! user-library pieces, kernel-core features, file layers and IO devices each
+//! prototype includes. The data here is derived from [`kernel::KernelConfig`]
+//! (so it cannot drift from what the kernel actually enforces) plus the app
+//! rows, and the renderer prints the same check-mark layout.
+
+use kernel::{KernelConfig, PrototypeStage};
+
+/// One row of the feature matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureRow {
+    /// Section of the table ("Apps", "User lib", "Kernel core", "Files", "IO").
+    pub section: &'static str,
+    /// Feature name.
+    pub name: &'static str,
+    /// Presence in prototypes 1..=5.
+    pub present: [bool; 5],
+}
+
+fn configs() -> Vec<KernelConfig> {
+    PrototypeStage::ALL.iter().map(|s| KernelConfig::for_stage(*s)).collect()
+}
+
+fn row(section: &'static str, name: &'static str, f: impl Fn(&KernelConfig) -> bool) -> FeatureRow {
+    let cfgs = configs();
+    let mut present = [false; 5];
+    for (i, c) in cfgs.iter().enumerate() {
+        present[i] = f(c);
+    }
+    FeatureRow {
+        section,
+        name,
+        present,
+    }
+}
+
+fn app_row(name: &'static str, first_stage: u8) -> FeatureRow {
+    let mut present = [false; 5];
+    for (i, p) in present.iter_mut().enumerate() {
+        *p = (i as u8 + 1) >= first_stage;
+    }
+    FeatureRow {
+        section: "Apps",
+        name,
+        present,
+    }
+}
+
+/// Builds the full feature matrix (Table 1).
+pub fn feature_matrix() -> Vec<FeatureRow> {
+    let mut rows = vec![
+        // Apps (first prototype in which each app runs).
+        app_row("helloworld", 1),
+        app_row("donut", 1),
+        app_row("mario", 3),
+        app_row("sysmon", 4),
+        app_row("shell & utilities", 4),
+        app_row("slider", 4),
+        app_row("buzzer", 4),
+        app_row("MusicPlayer", 5),
+        app_row("DOOM", 5),
+        app_row("launcher", 5),
+        app_row("blockchain", 5),
+        app_row("VideoPlayer", 5),
+        // User library.
+        app_row("malloc, syscalls, strings", 3),
+        app_row("proc/devfs wrappers", 4),
+        app_row("libc, minisdl & more", 5),
+    ];
+    // Kernel core, files and IO come straight from the kernel config.
+    rows.extend([
+        row("Kernel core", "debug msg", |c| c.debug_msg),
+        row("Kernel core", "timer, timekeeping", |c| c.timers),
+        row("Kernel core", "irq", |c| c.irq),
+        row("Kernel core", "multitasking", |c| c.multitasking),
+        row("Kernel core", "memory allocator", |c| c.memory_allocator),
+        row("Kernel core", "privileges (EL0/1)", |c| c.privileges),
+        row("Kernel core", "virtual memory", |c| c.virtual_memory),
+        row("Kernel core", "syscalls: tasks & time", |c| c.syscalls_tasks),
+        row("Kernel core", "syscalls: files", |c| c.syscalls_files),
+        row("Kernel core", "syscalls: threading", |c| c.syscalls_threading),
+        row("Kernel core", "multicore", |c| c.multicore),
+        row("Kernel core", "window manager", |c| c.window_manager),
+        row("Files", "file abstraction", |c| c.file_abstraction),
+        row("Files", "procfs/devfs", |c| c.procfs_devfs),
+        row("Files", "ramdisk", |c| c.ramdisk),
+        row("Files", "xv6 filesystem", |c| c.xv6fs),
+        row("Files", "FAT32", |c| c.fat32),
+        row("IO", "UART", |c| c.uart),
+        row("IO", "timers (sys, generic)", |c| c.timers),
+        row("IO", "framebuffer", |c| c.framebuffer),
+        row("IO", "USB keyboard", |c| c.usb_keyboard),
+        row("IO", "sound (PWM)", |c| c.sound),
+        row("IO", "SD card", |c| c.sd_card),
+    ]);
+    rows
+}
+
+/// Renders the matrix as a text table, one column per prototype.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28} {:>3} {:>3} {:>3} {:>3} {:>3}\n", "Feature", "P1", "P2", "P3", "P4", "P5"));
+    let mut last_section = "";
+    for row in feature_matrix() {
+        if row.section != last_section {
+            out.push_str(&format!("-- {} --\n", row.section));
+            last_section = row.section;
+        }
+        out.push_str(&format!("{:<28}", row.name));
+        for p in row.present {
+            out.push_str(&format!(" {:>3}", if p { "x" } else { "" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_monotone_across_prototypes() {
+        // Once a feature appears it never disappears in a later prototype.
+        for row in feature_matrix() {
+            for i in 1..5 {
+                assert!(
+                    !row.present[i - 1] || row.present[i],
+                    "{} regressed at prototype {}",
+                    row.name,
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_milestones_match_table1() {
+        let rows = feature_matrix();
+        let find = |name: &str| rows.iter().find(|r| r.name == name).unwrap().present;
+        assert_eq!(find("virtual memory"), [false, false, true, true, true]);
+        assert_eq!(find("FAT32"), [false, false, false, false, true]);
+        assert_eq!(find("DOOM"), [false, false, false, false, true]);
+        assert_eq!(find("mario"), [false, false, true, true, true]);
+        assert_eq!(find("USB keyboard"), [false, false, false, true, true]);
+        assert_eq!(find("multicore"), [false, false, false, false, true]);
+    }
+
+    #[test]
+    fn rendering_contains_all_sections() {
+        let text = render();
+        for section in ["Apps", "Kernel core", "Files", "IO"] {
+            assert!(text.contains(section));
+        }
+    }
+}

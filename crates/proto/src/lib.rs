@@ -1,0 +1,27 @@
+//! The Proto facade: incremental prototypes, OS-image building, and the
+//! analysis modules behind the paper's non-performance figures.
+//!
+//! * [`prototype`] — builders that assemble a bootable simulated system for
+//!   each of the five prototypes (kernel + registered apps + filesystem
+//!   assets + USB keyboard), the way §5.5 describes the staged snapshots.
+//! * [`assets`] — synthetic media assets (game "ROMs", DOOM "WAD", POGG
+//!   tracks, PMPG videos, BMP slides) installed onto the ramdisk and the
+//!   FAT32 partition, substituting for the paper's copyrighted media.
+//! * [`feature_matrix`] — Table 1.
+//! * [`sloc`] — the source-line analysis behind Figure 7.
+//! * [`power`] — the power/battery model behind Figure 12.
+//! * [`pedagogy`] — labs, task graphs and the survey (Table 2, Figures 13–14).
+//! * [`platforms`] — the platform and OS configuration tables (Tables 3–4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assets;
+pub mod feature_matrix;
+pub mod pedagogy;
+pub mod platforms;
+pub mod power;
+pub mod prototype;
+pub mod sloc;
+
+pub use prototype::{ProtoSystem, SystemOptions};

@@ -1,0 +1,291 @@
+//! The pedagogy artifacts: labs (Table 2, Figure 14) and the survey
+//! (Figure 13).
+//!
+//! A human-subject study cannot be re-run computationally; what *can* be
+//! reproduced is the structure it evaluates and the analysis that renders
+//! the figures. This module encodes the five labs' task graphs exactly as
+//! Figure 14 draws them (tasks, dependencies, which tasks require video
+//! evidence), the per-lab workload numbers of Table 2, and the survey
+//! instrument of Figure 13 with the paper's reported mean scores embedded as
+//! reference data plus a synthetic-respondent sampler for the harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A single lab task (one box of Figure 14).
+#[derive(Debug, Clone, Serialize)]
+pub struct LabTask {
+    /// Task number within the lab.
+    pub id: u32,
+    /// Short name.
+    pub name: &'static str,
+    /// The OS concepts the task exercises (the parenthetical in Figure 14).
+    pub concepts: &'static [&'static str],
+    /// Tasks (by id, same lab) that must be completed first.
+    pub depends_on: &'static [u32],
+    /// Whether students must submit video evidence for this task.
+    pub video_evidence: bool,
+}
+
+/// One lab (one prototype's assignment).
+#[derive(Debug, Clone, Serialize)]
+pub struct Lab {
+    /// Lab number (1–5).
+    pub number: u8,
+    /// The tasks.
+    pub tasks: Vec<LabTask>,
+    /// Approximate source files students modify (Table 2).
+    pub files_modified: u32,
+    /// Approximate lines of code students write (Table 2).
+    pub sloc: u32,
+}
+
+macro_rules! task {
+    ($id:expr, $name:expr, [$($c:expr),*], [$($d:expr),*], $video:expr) => {
+        LabTask { id: $id, name: $name, concepts: &[$($c),*], depends_on: &[$($d),*], video_evidence: $video }
+    };
+}
+
+/// The five labs with their task graphs (Figure 14) and workloads (Table 2).
+pub fn labs() -> Vec<Lab> {
+    vec![
+        Lab {
+            number: 1,
+            files_modified: 10,
+            sloc: 100,
+            tasks: vec![
+                task!(1, "Setup", ["Compilation", "Linking"], [], false),
+                task!(2, "KernelImage", ["elf", "binary files"], [1], false),
+                task!(3, "Boot", ["HW/SW interactions"], [2], false),
+                task!(4, "UART", ["IO"], [3], false),
+                task!(5, "TextualDonut", ["IO"], [4], true),
+                task!(6, "OSLogo", ["Graphics"], [4], false),
+                task!(7, "DebugLevel", ["Debug"], [4], false),
+                task!(8, "FramebufferOffsets", ["Graphics"], [6], false),
+                task!(9, "SysTimerIRQ", ["IRQ"], [4], false),
+                task!(10, "PixelDonut", ["IRQ", "Graphics"], [8, 9], true),
+                task!(11, "VirtualTimers", ["Virtualization"], [9], false),
+                task!(12, "UARTRXIRQ", ["IO", "IRQ"], [9], false),
+                task!(13, "Rpi3", ["HW/SW interactions"], [10], true),
+            ],
+        },
+        Lab {
+            number: 2,
+            files_modified: 10,
+            sloc: 100,
+            tasks: vec![
+                task!(1, "boot", ["Stack"], [], false),
+                task!(2, "two cooperative printers", ["Virtualization", "Scheduling"], [1], false),
+                task!(3, "two preemptive printers", ["Virtualization", "Scheduling"], [2], false),
+                task!(4, "two donuts", ["Scheduling", "IO"], [3], true),
+                task!(5, "N donuts", ["Scheduling", "Concurrency", "IO"], [4], true),
+                task!(6, "fast/slow donuts", ["Scheduling"], [5], false),
+                task!(7, "donuts in sync", ["Scheduling", "Concurrency"], [5], false),
+                task!(8, "kill a donut", ["Process"], [5], false),
+                task!(9, "donuts on Rpi3", ["HW/SW interactions"], [5], true),
+                task!(10, "wordsmith", ["Concurrency"], [3], false),
+            ],
+        },
+        Lab {
+            number: 3,
+            files_modified: 18,
+            sloc: 150,
+            tasks: vec![
+                task!(1, "kernel virt addr", ["Virtual memory"], [], false),
+                task!(2, "user helloworld", ["User/kernel separation", "Syscalls"], [1], false),
+                task!(3, "two user printers", ["Scheduling", "Process"], [2], false),
+                task!(4, "user donut", ["User/kernel separation", "mmap", "IO"], [2], true),
+                task!(5, "user donut on rpi3", ["HW/SW interactions", "CPU cache"], [4], true),
+                task!(6, "mario", ["Process", "memory management"], [4], true),
+                task!(7, "mario on rpi3", ["Process", "HW/SW interactions"], [6], true),
+            ],
+        },
+        Lab {
+            number: 4,
+            files_modified: 21,
+            sloc: 300,
+            tasks: vec![
+                task!(1, "shell", ["Shell", "process"], [], false),
+                task!(2, "kungfu", ["Graphics", "files", "procfs"], [1], true),
+                task!(3, "initrc", ["User-level system programming"], [1], false),
+                task!(4, "mario with inputs", ["Device driver", "IPC", "procfs"], [2], true),
+                task!(5, "mario on rpi3", ["HW/SW interactions"], [4], true),
+                task!(6, "slider", ["User-level IO", "Graphics"], [2], false),
+                task!(7, "large files", ["Filesystem", "Block devices"], [2], false),
+                task!(8, "sound", ["Device driver", "IO", "DMA", "procfs"], [1], true),
+            ],
+        },
+        Lab {
+            number: 5,
+            files_modified: 28,
+            sloc: 300,
+            tasks: vec![
+                task!(1, "Build", ["Complex software projects", "Libraries"], [], false),
+                task!(2, "MusicPlayer", ["Threading", "Concurrency", "Graphics", "IO"], [1], true),
+                task!(3, "FAT on SD card", ["Filesystems", "Device Driver", "HW/SW interactions"], [1], true),
+                task!(4, "DOOM", ["Libraries", "Graphics", "IO"], [3], true),
+                task!(5, "Desktop", ["IPC", "Synchronization", "IO", "Graphics"], [4], true),
+                task!(6, "Multicore", ["Multicore", "Concurrency"], [5], true),
+            ],
+        },
+    ]
+}
+
+/// One row of Table 2 derived from the labs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadRow {
+    /// Lab number.
+    pub lab: u8,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Source files students modify.
+    pub files: u32,
+    /// Lines of code written.
+    pub sloc: u32,
+    /// Number of video deliverables.
+    pub videos: usize,
+}
+
+/// Table 2: student workload per lab.
+pub fn table2() -> Vec<WorkloadRow> {
+    labs()
+        .iter()
+        .map(|lab| WorkloadRow {
+            lab: lab.number,
+            tasks: lab.tasks.len(),
+            files: lab.files_modified,
+            sloc: lab.sloc,
+            videos: lab.tasks.iter().filter(|t| t.video_evidence).count(),
+        })
+        .collect()
+}
+
+/// Checks that a lab's dependency graph is acyclic and returns a valid
+/// topological order of task ids.
+pub fn topological_order(lab: &Lab) -> Result<Vec<u32>, String> {
+    let mut order = Vec::new();
+    let mut done: Vec<u32> = Vec::new();
+    let mut remaining: Vec<&LabTask> = lab.tasks.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|t| {
+            if t.depends_on.iter().all(|d| done.contains(d)) {
+                done.push(t.id);
+                order.push(t.id);
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            return Err(format!("cycle involving tasks {:?}", remaining.iter().map(|t| t.id).collect::<Vec<_>>()));
+        }
+    }
+    Ok(order)
+}
+
+// ---- survey (Figure 13) ----------------------------------------------------------------
+
+/// One survey question.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurveyQuestion {
+    /// Question id (Q1–Q9).
+    pub id: &'static str,
+    /// The design principle it probes (P1–P4).
+    pub principle: &'static str,
+    /// Question text.
+    pub text: &'static str,
+    /// Mean score (1–5) reported by the paper's N=48 survey. These are
+    /// reference data transcribed from Figure 13, not re-measured.
+    pub reported_mean: f64,
+}
+
+/// The survey instrument with the paper's reported means.
+pub fn survey() -> Vec<SurveyQuestion> {
+    vec![
+        SurveyQuestion { id: "Q1", principle: "P1", text: "Apps interesting?", reported_mean: 4.5 },
+        SurveyQuestion { id: "Q2", principle: "P1", text: "Apps motivate learning?", reported_mean: 4.3 },
+        SurveyQuestion { id: "Q3", principle: "P2", text: "Hardware motivate learning?", reported_mean: 4.0 },
+        SurveyQuestion { id: "Q4", principle: "P2", text: "Will demonstrate to others?", reported_mean: 3.9 },
+        SurveyQuestion { id: "Q5", principle: "P3", text: "Incremental prototyping helpful?", reported_mean: 4.4 },
+        SurveyQuestion { id: "Q6", principle: "P3", text: "Early prototypes help later ones?", reported_mean: 4.3 },
+        SurveyQuestion { id: "Q7", principle: "P4", text: "Understand quests/apps relations?", reported_mean: 4.2 },
+        SurveyQuestion { id: "Q8", principle: "P4", text: "Quests tied to apps?", reported_mean: 4.2 },
+        SurveyQuestion { id: "Q9", principle: "P4", text: "Can manage code complexity?", reported_mean: 3.8 },
+    ]
+}
+
+/// Number of respondents in the paper's survey.
+pub const SURVEY_N: usize = 48;
+
+/// Draws `n` synthetic respondents whose per-question scores are distributed
+/// around the reported means (clamped to the 1–5 Likert scale), so the
+/// harness can regenerate a Figure 13-shaped plot with error bars. Uses a
+/// deterministic seed for reproducibility.
+pub fn synthesize_responses(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let questions = survey();
+    let mut state = seed.max(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            questions
+                .iter()
+                .map(|q| {
+                    // Triangular-ish noise of +/- 1 around the mean.
+                    let noise = (next() % 200) as f64 / 100.0 - 1.0;
+                    (q.reported_mean + noise).round().clamp(1.0, 5.0) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_papers_counts() {
+        let rows = table2();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].tasks, 13);
+        assert_eq!(rows[1].tasks, 10);
+        assert_eq!(rows[2].tasks, 7);
+        assert_eq!(rows[4].tasks, 6);
+        assert_eq!(rows[4].files, 28);
+        assert!(rows.iter().all(|r| r.videos > 0));
+    }
+
+    #[test]
+    fn every_lab_graph_is_acyclic_with_valid_dependencies() {
+        for lab in labs() {
+            let ids: Vec<u32> = lab.tasks.iter().map(|t| t.id).collect();
+            for t in &lab.tasks {
+                for d in t.depends_on {
+                    assert!(ids.contains(d), "lab {} task {} depends on missing {d}", lab.number, t.id);
+                }
+            }
+            let order = topological_order(&lab).expect("acyclic");
+            assert_eq!(order.len(), lab.tasks.len());
+        }
+    }
+
+    #[test]
+    fn survey_scores_sit_in_the_agree_range() {
+        let qs = survey();
+        assert_eq!(qs.len(), 9);
+        assert!(qs.iter().all(|q| q.reported_mean >= 3.5 && q.reported_mean <= 5.0));
+        let responses = synthesize_responses(SURVEY_N, 7);
+        assert_eq!(responses.len(), SURVEY_N);
+        // Synthetic means track the reported means within half a point.
+        for (qi, q) in qs.iter().enumerate() {
+            let mean: f64 =
+                responses.iter().map(|r| r[qi] as f64).sum::<f64>() / responses.len() as f64;
+            assert!((mean - q.reported_mean).abs() < 0.6, "{}: {mean} vs {}", q.id, q.reported_mean);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 12: device power and battery life.
+//!
+//! The paper meters the Pi 3 + Game HAT while running each headline app and
+//! estimates battery life from a single 18650 cell. The reproduction derives
+//! the same table from the activity-based power model in [`hal::power`],
+//! using per-scenario core-utilisation profiles measured from (or matching)
+//! the scheduler statistics of the corresponding benchmark run.
+
+use hal::power::{ActivitySnapshot, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// The workload scenarios of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerScenario {
+    /// Shell sitting at the prompt (idle).
+    ShellIdle,
+    /// mario-sdl running under the window manager.
+    MarioSdl,
+    /// MusicPlayer streaming audio.
+    MusicPlayer,
+    /// DOOM rendering flat out.
+    Doom,
+    /// 480p video playback.
+    Video480p,
+}
+
+impl PowerScenario {
+    /// All scenarios, in the figure's order.
+    pub const ALL: [PowerScenario; 5] = [
+        PowerScenario::ShellIdle,
+        PowerScenario::MarioSdl,
+        PowerScenario::MusicPlayer,
+        PowerScenario::Doom,
+        PowerScenario::Video480p,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PowerScenario::ShellIdle => "shell (idle)",
+            PowerScenario::MarioSdl => "mario-sdl",
+            PowerScenario::MusicPlayer => "MusicPlayer",
+            PowerScenario::Doom => "DOOM",
+            PowerScenario::Video480p => "video 480p",
+        }
+    }
+
+    /// The activity profile of the scenario (core utilisations, SD activity,
+    /// peripherals), matching what the corresponding benchmark observes.
+    pub fn activity(&self) -> ActivitySnapshot {
+        match self {
+            PowerScenario::ShellIdle => ActivitySnapshot {
+                core_utilisation: [0.03, 0.0, 0.0, 0.0],
+                sd_active_fraction: 0.0,
+                usb_powered: true,
+                hat_attached: true,
+            },
+            PowerScenario::MarioSdl => ActivitySnapshot {
+                core_utilisation: [0.95, 0.35, 0.1, 0.05],
+                sd_active_fraction: 0.02,
+                usb_powered: true,
+                hat_attached: true,
+            },
+            PowerScenario::MusicPlayer => ActivitySnapshot {
+                core_utilisation: [0.35, 0.15, 0.0, 0.0],
+                sd_active_fraction: 0.05,
+                usb_powered: true,
+                hat_attached: true,
+            },
+            PowerScenario::Doom => ActivitySnapshot {
+                core_utilisation: [0.98, 0.2, 0.05, 0.05],
+                sd_active_fraction: 0.03,
+                usb_powered: true,
+                hat_attached: true,
+            },
+            PowerScenario::Video480p => ActivitySnapshot {
+                core_utilisation: [0.9, 0.25, 0.05, 0.0],
+                sd_active_fraction: 0.1,
+                usb_powered: true,
+                hat_attached: true,
+            },
+        }
+    }
+}
+
+/// One row of the Figure 12 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Pi 3 board draw in watts.
+    pub pi3_w: f64,
+    /// HAT draw in watts.
+    pub hat_w: f64,
+    /// Total draw in watts.
+    pub total_w: f64,
+    /// Estimated battery life in hours (3000 mAh, 3.7 V).
+    pub battery_hours: f64,
+}
+
+/// Evaluates the power model for every scenario.
+pub fn figure12() -> Vec<PowerRow> {
+    let model = PowerModel::default();
+    PowerScenario::ALL
+        .iter()
+        .map(|s| {
+            let est = model.estimate(&s.activity());
+            PowerRow {
+                scenario: s.name().to_string(),
+                pi3_w: est.pi3_w,
+                hat_w: est.hat_w,
+                total_w: est.total_w(),
+                battery_hours: model.battery_life_hours(est.total_w()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_matches_the_papers_envelope() {
+        let rows = figure12();
+        assert_eq!(rows.len(), 5);
+        let idle = &rows[0];
+        assert!(idle.total_w > 2.6 && idle.total_w < 3.3, "idle {} W", idle.total_w);
+        assert!(idle.battery_hours > 3.2 && idle.battery_hours < 4.2);
+        let doom = rows.iter().find(|r| r.scenario == "DOOM").unwrap();
+        assert!(doom.total_w > 3.5 && doom.total_w < 4.5, "DOOM {} W", doom.total_w);
+        assert!(doom.battery_hours > 2.2 && doom.battery_hours < 3.2);
+        // Loaded scenarios always draw more than idle.
+        assert!(rows.iter().all(|r| r.total_w >= idle.total_w - 1e-9));
+    }
+}

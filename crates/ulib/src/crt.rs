@@ -1,0 +1,99 @@
+//! Minimal C++-style runtime (§5.3).
+//!
+//! Proto's userspace implements a <100 SLoC runtime conforming to ARM's
+//! BPABI: `crt0` wraps `main()`, and `crti`/`crtn` run the global
+//! constructors and destructors that C++ apps (the blockchain miner) rely
+//! on. The Rust equivalent is a small registry of init/fini hooks run around
+//! a program body, in registration order and reverse order respectively.
+
+/// A registered constructor or destructor.
+type Hook = Box<dyn FnMut(&mut Vec<String>) + Send>;
+
+/// The runtime: global constructors, destructors, and the log they write to
+/// (standing in for global-object side effects).
+pub struct CrtRuntime {
+    constructors: Vec<Hook>,
+    destructors: Vec<Hook>,
+    /// Side-effect log, visible to tests.
+    pub log: Vec<String>,
+}
+
+impl Default for CrtRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CrtRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrtRuntime")
+            .field("constructors", &self.constructors.len())
+            .field("destructors", &self.destructors.len())
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+impl CrtRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        CrtRuntime {
+            constructors: Vec::new(),
+            destructors: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Registers a global constructor (runs before `main`).
+    pub fn add_constructor<F: FnMut(&mut Vec<String>) + Send + 'static>(&mut self, f: F) {
+        self.constructors.push(Box::new(f));
+    }
+
+    /// Registers a global destructor (runs after `main`, in reverse order).
+    pub fn add_destructor<F: FnMut(&mut Vec<String>) + Send + 'static>(&mut self, f: F) {
+        self.destructors.push(Box::new(f));
+    }
+
+    /// Runs constructors, the program body, then destructors — `crt0`'s job.
+    /// Returns the body's exit code.
+    pub fn run<F: FnOnce(&mut Vec<String>) -> i32>(&mut self, body: F) -> i32 {
+        for c in &mut self.constructors {
+            c(&mut self.log);
+        }
+        let code = body(&mut self.log);
+        for d in self.destructors.iter_mut().rev() {
+            d(&mut self.log);
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_run_before_main_and_destructors_after_in_reverse() {
+        let mut crt = CrtRuntime::new();
+        crt.add_constructor(|log| log.push("ctor-a".into()));
+        crt.add_constructor(|log| log.push("ctor-b".into()));
+        crt.add_destructor(|log| log.push("dtor-a".into()));
+        crt.add_destructor(|log| log.push("dtor-b".into()));
+        let code = crt.run(|log| {
+            log.push("main".into());
+            7
+        });
+        assert_eq!(code, 7);
+        assert_eq!(
+            crt.log,
+            vec!["ctor-a", "ctor-b", "main", "dtor-b", "dtor-a"]
+        );
+    }
+
+    #[test]
+    fn empty_runtime_just_runs_main() {
+        let mut crt = CrtRuntime::new();
+        assert_eq!(crt.run(|_| 0), 0);
+        assert!(crt.log.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Image handling: BMP encode/decode and procedural test images.
+//!
+//! The slider app shows BMP/PNG/GIF slides and MusicPlayer shows album
+//! covers (§3). BMP is implemented fully (24-bit uncompressed, the format
+//! the course's starter assets use); PNG/GIF assets are substituted by
+//! procedurally generated images so the same code paths (file load → decode
+//! → blit) are exercised without shipping binary assets.
+
+/// A decoded RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// ARGB pixels, row-major, top-left origin.
+    pub pixels: Vec<u32>,
+}
+
+impl Image {
+    /// Creates a solid-colour image.
+    pub fn solid(width: u32, height: u32, colour: u32) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![colour; (width * height) as usize],
+        }
+    }
+
+    /// Creates a gradient test card (used as synthetic slides and album art).
+    pub fn gradient(width: u32, height: u32) -> Self {
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let r = (x * 255 / width.max(1)) as u32;
+                let g = (y * 255 / height.max(1)) as u32;
+                let b = ((x + y) * 255 / (width + height).max(1)) as u32;
+                pixels.push(0xFF00_0000 | (r << 16) | (g << 8) | b);
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Pixel accessor.
+    pub fn at(&self, x: u32, y: u32) -> u32 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Nearest-neighbour scale to a new size (the slider fits slides to the
+    /// screen with this).
+    pub fn scale_to(&self, width: u32, height: u32) -> Image {
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let sx = (x as u64 * self.width as u64 / width.max(1) as u64) as u32;
+                let sy = (y as u64 * self.height as u64 / height.max(1) as u64) as u32;
+                pixels.push(self.at(sx.min(self.width - 1), sy.min(self.height - 1)));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+}
+
+/// Encodes an image as a 24-bit uncompressed BMP file.
+pub fn encode_bmp(img: &Image) -> Vec<u8> {
+    let row_size = ((img.width * 3 + 3) / 4) * 4;
+    let pixel_bytes = row_size * img.height;
+    let file_size = 54 + pixel_bytes;
+    let mut out = Vec::with_capacity(file_size as usize);
+    // File header.
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&file_size.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&54u32.to_le_bytes());
+    // Info header (BITMAPINFOHEADER).
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(img.width as i32).to_le_bytes());
+    out.extend_from_slice(&(img.height as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&24u16.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&pixel_bytes.to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    // Pixel data: bottom-up rows, BGR, padded to 4 bytes.
+    for y in (0..img.height).rev() {
+        let mut row_len = 0;
+        for x in 0..img.width {
+            let p = img.at(x, y);
+            out.push((p & 0xFF) as u8);
+            out.push(((p >> 8) & 0xFF) as u8);
+            out.push(((p >> 16) & 0xFF) as u8);
+            row_len += 3;
+        }
+        while row_len % 4 != 0 {
+            out.push(0);
+            row_len += 1;
+        }
+    }
+    out
+}
+
+/// Decodes a 24-bit uncompressed BMP file.
+pub fn decode_bmp(data: &[u8]) -> Result<Image, String> {
+    if data.len() < 54 || &data[0..2] != b"BM" {
+        return Err("not a BMP file".into());
+    }
+    let offset = u32::from_le_bytes([data[10], data[11], data[12], data[13]]) as usize;
+    let width = i32::from_le_bytes([data[18], data[19], data[20], data[21]]);
+    let height = i32::from_le_bytes([data[22], data[23], data[24], data[25]]);
+    let bpp = u16::from_le_bytes([data[28], data[29]]);
+    if bpp != 24 {
+        return Err(format!("unsupported BMP depth {bpp}"));
+    }
+    if width <= 0 || height <= 0 || width > 8192 || height > 8192 {
+        return Err("unreasonable BMP dimensions".into());
+    }
+    let (width, height) = (width as u32, height as u32);
+    let row_size = ((width * 3 + 3) / 4) * 4;
+    let mut pixels = vec![0u32; (width * height) as usize];
+    for y in 0..height {
+        let src_row = offset + ((height - 1 - y) * row_size) as usize;
+        for x in 0..width {
+            let i = src_row + (x * 3) as usize;
+            if i + 2 >= data.len() {
+                return Err("truncated BMP pixel data".into());
+            }
+            let b = data[i] as u32;
+            let g = data[i + 1] as u32;
+            let r = data[i + 2] as u32;
+            pixels[(y * width + x) as usize] = 0xFF00_0000 | (r << 16) | (g << 8) | b;
+        }
+    }
+    Ok(Image {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmp_round_trips_pixels() {
+        let img = Image::gradient(31, 17); // odd width exercises row padding
+        let encoded = encode_bmp(&img);
+        let back = decode_bmp(&encoded).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(decode_bmp(b"PNG....").is_err());
+        assert!(decode_bmp(&[]).is_err());
+        let mut bad = encode_bmp(&Image::solid(4, 4, 0xFF123456));
+        bad[28] = 32; // claim 32bpp
+        assert!(decode_bmp(&bad).is_err());
+    }
+
+    #[test]
+    fn scaling_preserves_corners_approximately() {
+        let img = Image::gradient(100, 100);
+        let small = img.scale_to(10, 10);
+        assert_eq!(small.width, 10);
+        assert_eq!(small.at(0, 0), img.at(0, 0));
+    }
+}

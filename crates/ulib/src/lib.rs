@@ -1,0 +1,67 @@
+//! Proto's userspace library.
+//!
+//! Underneath the target apps sits "a small set of libraries we ported,
+//! including libc (newlib), SDL, libvorbis (for OGG playback), LODE (for
+//! png), among others" (§3), plus the minimal C++ runtime of §5.3 and the
+//! SIMD pixel-conversion fast paths of §5.2. This crate provides the
+//! equivalents the Rust apps build on:
+//!
+//! * [`umalloc`] — the user-level allocator exercised by the `malloc`
+//!   microbenchmark of Figure 9.
+//! * [`minisdl`] — the trimmed-down SDL layer of Prototype 5 (surfaces,
+//!   event polling, an audio queue), sitting on top of the syscall surface.
+//! * [`image`] — BMP encode/decode (the slider's slide format) and simple
+//!   procedural image generation for test assets.
+//! * [`media`] — the OGG-substitute audio codec, the MPEG-1-substitute video
+//!   codec and the YUV→RGB conversion paths (scalar and "SIMD").
+//! * [`crt`] — the tiny C++-style runtime (global constructors/destructors)
+//!   of §5.3.
+//! * [`compute`] — md5sum / qsort style compute kernels used by the
+//!   microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod crt;
+pub mod image;
+pub mod media;
+pub mod minisdl;
+pub mod umalloc;
+
+pub use minisdl::{MiniSdl, SdlSurface};
+pub use umalloc::UserAllocator;
+
+/// Converts a slice of ARGB pixels into the little-endian byte stream device
+/// files expect.
+pub fn pixels_to_bytes(pixels: &[u32]) -> Vec<u8> {
+    pixels.iter().flat_map(|p| p.to_le_bytes()).collect()
+}
+
+/// Converts a byte stream back into ARGB pixels.
+pub fn bytes_to_pixels(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Packs signed 16-bit samples into the byte stream `/dev/sb` expects.
+pub fn samples_to_bytes(samples: &[i16]) -> Vec<u8> {
+    samples.iter().flat_map(|s| s.to_le_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_and_sample_packing_round_trips() {
+        let px = vec![0xFF112233u32, 0x00ABCDEF];
+        assert_eq!(bytes_to_pixels(&pixels_to_bytes(&px)), px);
+        let s = vec![-32768i16, 0, 42, 32767];
+        let b = samples_to_bytes(&s);
+        assert_eq!(b.len(), 8);
+        assert_eq!(i16::from_le_bytes([b[0], b[1]]), -32768);
+    }
+}

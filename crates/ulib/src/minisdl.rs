@@ -1,0 +1,215 @@
+//! minisdl: the trimmed-down SDL layer of Prototype 5.
+//!
+//! The paper ports a reduced SDL so that DOOM and the media players keep
+//! their upstream structure: a drawing surface, an event-polling loop and an
+//! audio queue. minisdl supports two back ends, matching the benchmark
+//! configurations of §7.3:
+//!
+//! * **direct rendering** — the surface is the hardware framebuffer mapped
+//!   into the app (`/dev/fb` + the per-frame cache flush), used by DOOM,
+//!   VideoPlayer and mario-noinput/proc;
+//! * **windowed rendering** — the surface is a window-manager surface
+//!   (`/dev/surface`), used by mario-sdl and the desktop apps, with input
+//!   arriving via the WM-dispatched `/dev/event1`.
+
+use kernel::usercall::UserCtx;
+use kernel::vfs::OpenFlags;
+use kernel::wm::Rect;
+use kernel::{KResult, KernelError};
+use protousb::KeyEvent;
+
+/// How the surface reaches the screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Direct rendering to the mapped framebuffer.
+    Direct,
+    /// Indirect rendering through a window-manager surface.
+    Windowed,
+}
+
+/// An application-side drawing surface (the app's back buffer).
+#[derive(Debug, Clone)]
+pub struct SdlSurface {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// ARGB pixels.
+    pub pixels: Vec<u32>,
+}
+
+impl SdlSurface {
+    /// Creates a black surface.
+    pub fn new(width: u32, height: u32) -> Self {
+        SdlSurface {
+            width,
+            height,
+            pixels: vec![0xFF00_0000; (width * height) as usize],
+        }
+    }
+
+    /// Fills the surface with a colour.
+    pub fn clear(&mut self, colour: u32) {
+        self.pixels.fill(colour);
+    }
+
+    /// Sets one pixel (no-op outside the surface).
+    pub fn put(&mut self, x: i32, y: i32, colour: u32) {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            self.pixels[(y as u32 * self.width + x as u32) as usize] = colour;
+        }
+    }
+
+    /// Fills an axis-aligned rectangle, clipped to the surface.
+    pub fn fill_rect(&mut self, x: i32, y: i32, w: u32, h: u32, colour: u32) {
+        for dy in 0..h as i32 {
+            for dx in 0..w as i32 {
+                self.put(x + dx, y + dy, colour);
+            }
+        }
+    }
+
+    /// Copies another image buffer onto the surface at (x, y).
+    pub fn blit(&mut self, x: i32, y: i32, w: u32, src: &[u32]) {
+        let h = (src.len() as u32) / w.max(1);
+        for dy in 0..h {
+            for dx in 0..w {
+                self.put(x + dx as i32, y + dy as i32, src[(dy * w + dx) as usize]);
+            }
+        }
+    }
+}
+
+/// The minisdl context owned by an app.
+#[derive(Debug)]
+pub struct MiniSdl {
+    backend: Backend,
+    /// The app's back buffer.
+    pub surface: SdlSurface,
+    event_fd: Option<i32>,
+    surface_fd: Option<i32>,
+    audio_fd: Option<i32>,
+    /// Frames presented through this context.
+    pub frames_presented: u64,
+}
+
+impl MiniSdl {
+    /// Initialises direct rendering: maps the framebuffer and opens
+    /// `/dev/events` non-blocking (the polling pattern DOOM needs).
+    pub fn init_direct(ctx: &mut UserCtx<'_>) -> KResult<Self> {
+        let (w, h) = ctx.fb_info()?;
+        ctx.fb_map()?;
+        let event_fd = ctx.open("/dev/events", OpenFlags::rdonly_nonblock()).ok();
+        Ok(MiniSdl {
+            backend: Backend::Direct,
+            surface: SdlSurface::new(w, h),
+            event_fd,
+            surface_fd: None,
+            audio_fd: None,
+            frames_presented: 0,
+        })
+    }
+
+    /// Initialises windowed rendering: creates a WM surface of `w` x `h` at
+    /// (x, y) and opens the dispatched event stream.
+    pub fn init_windowed(
+        ctx: &mut UserCtx<'_>,
+        title: &str,
+        x: u32,
+        y: u32,
+        w: u32,
+        h: u32,
+        floating: bool,
+    ) -> KResult<Self> {
+        let surface_fd = ctx.surface_create(title)?;
+        ctx.surface_configure(surface_fd, Rect { x, y, w, h }, floating)?;
+        let event_fd = ctx.open("/dev/event1", OpenFlags::rdonly_nonblock()).ok();
+        Ok(MiniSdl {
+            backend: Backend::Windowed,
+            surface: SdlSurface::new(w, h),
+            event_fd,
+            surface_fd: Some(surface_fd),
+            audio_fd: None,
+            frames_presented: 0,
+        })
+    }
+
+    /// Which backend this context uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Polls for one key event without blocking.
+    pub fn poll_event(&mut self, ctx: &mut UserCtx<'_>) -> Option<KeyEvent> {
+        let fd = self.event_fd?;
+        match ctx.read_key_event(fd) {
+            Ok(ev) => ev,
+            Err(_) => None,
+        }
+    }
+
+    /// Opens the audio queue (`/dev/sb`).
+    pub fn open_audio(&mut self, ctx: &mut UserCtx<'_>) -> KResult<()> {
+        if self.audio_fd.is_none() {
+            self.audio_fd = Some(ctx.open("/dev/sb", OpenFlags::wronly_create())?);
+        }
+        Ok(())
+    }
+
+    /// Queues PCM samples for playback. Returns `Ok(true)` if accepted,
+    /// `Ok(false)` if the device ring is full (the caller should retry after
+    /// yielding — minisdl's audio thread blocks here).
+    pub fn queue_audio(&mut self, ctx: &mut UserCtx<'_>, samples: &[i16]) -> KResult<bool> {
+        let fd = self
+            .audio_fd
+            .ok_or_else(|| KernelError::Invalid("audio not opened".into()))?;
+        match ctx.write(fd, &crate::samples_to_bytes(samples)) {
+            Ok(_) => Ok(true),
+            Err(KernelError::WouldBlock) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Presents the back buffer: direct mode writes it to the framebuffer and
+    /// flushes the cache; windowed mode submits it to the window manager.
+    /// Returns the cycles attributable to the present phase (for the
+    /// Figure 11a breakdown).
+    pub fn present(&mut self, ctx: &mut UserCtx<'_>) -> KResult<u64> {
+        let before = ctx.now_us();
+        match self.backend {
+            Backend::Direct => {
+                ctx.fb_write(0, &self.surface.pixels)?;
+                ctx.fb_flush()?;
+            }
+            Backend::Windowed => {
+                let fd = self
+                    .surface_fd
+                    .ok_or_else(|| KernelError::Invalid("no surface".into()))?;
+                ctx.surface_present(fd, &self.surface.pixels)?;
+            }
+        }
+        self.frames_presented += 1;
+        let after = ctx.now_us();
+        Ok((after - before) * 1_000) // µs -> cycles at 1 GHz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_drawing_primitives_clip() {
+        let mut s = SdlSurface::new(10, 10);
+        s.clear(0xFF000000);
+        s.fill_rect(8, 8, 5, 5, 0xFFFF0000);
+        assert_eq!(s.pixels[9 * 10 + 9], 0xFFFF0000);
+        s.put(-1, -1, 0xFFFFFFFF);
+        s.put(100, 100, 0xFFFFFFFF);
+        assert_eq!(s.pixels[0], 0xFF000000, "out-of-bounds writes ignored");
+        let sprite = vec![0xFF00FF00u32; 4];
+        s.blit(0, 0, 2, &sprite);
+        assert_eq!(s.pixels[0], 0xFF00FF00);
+        assert_eq!(s.pixels[11], 0xFF00FF00);
+    }
+}

@@ -1,0 +1,212 @@
+//! User-level memory allocator.
+//!
+//! Prototype 3's user library starts with `malloc`, syscalls and string
+//! helpers (Table 1). The allocator is a classic first-fit free list over a
+//! heap grown with `sbrk` — the design newlib and xv6's umalloc share — and
+//! it is the code path behind the `malloc` bar of Figure 9. It does not hold
+//! real payload memory (apps are Rust); it manages the *address arithmetic*
+//! over the simulated heap so fragmentation, growth via `sbrk`, and
+//! allocation failure behave like the real library.
+
+/// Alignment of every returned block.
+pub const ALIGN: u64 = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    addr: u64,
+    size: u64,
+}
+
+/// Statistics for the allocator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated.
+    pub in_use: u64,
+    /// Total bytes obtained from `sbrk`.
+    pub heap_size: u64,
+    /// malloc calls.
+    pub mallocs: u64,
+    /// free calls.
+    pub frees: u64,
+    /// Times the allocator had to grow the heap.
+    pub sbrk_growths: u64,
+}
+
+/// A first-fit free-list allocator over a user heap.
+#[derive(Debug)]
+pub struct UserAllocator {
+    heap_base: u64,
+    heap_end: u64,
+    free_list: Vec<FreeBlock>,
+    allocated: std::collections::HashMap<u64, u64>,
+    stats: AllocStats,
+}
+
+impl UserAllocator {
+    /// Creates an allocator over an (initially empty) heap starting at
+    /// `heap_base`.
+    pub fn new(heap_base: u64) -> Self {
+        UserAllocator {
+            heap_base,
+            heap_end: heap_base,
+            free_list: Vec::new(),
+            allocated: std::collections::HashMap::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// How many bytes of additional heap the allocator wants for a request of
+    /// `size` bytes, or 0 if it can satisfy it from the free list. The caller
+    /// performs the actual `sbrk` syscall and then calls [`Self::grow`].
+    pub fn needs_sbrk(&self, size: u64) -> u64 {
+        let size = Self::round(size);
+        if self
+            .free_list
+            .iter()
+            .any(|b| b.size >= size)
+        {
+            0
+        } else {
+            // Grow at least 16 KB at a time, like the real library.
+            size.max(16 * 1024)
+        }
+    }
+
+    /// Notes that the heap grew by `bytes` (after a successful `sbrk`).
+    pub fn grow(&mut self, bytes: u64) {
+        let block = FreeBlock {
+            addr: self.heap_end,
+            size: bytes,
+        };
+        self.heap_end += bytes;
+        self.stats.heap_size += bytes;
+        self.stats.sbrk_growths += 1;
+        self.free_list.push(block);
+        self.coalesce();
+    }
+
+    fn round(size: u64) -> u64 {
+        size.max(1).div_ceil(ALIGN) * ALIGN
+    }
+
+    fn coalesce(&mut self) {
+        self.free_list.sort_by_key(|b| b.addr);
+        let mut merged: Vec<FreeBlock> = Vec::with_capacity(self.free_list.len());
+        for b in self.free_list.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.addr + last.size == b.addr => last.size += b.size,
+                _ => merged.push(b),
+            }
+        }
+        self.free_list = merged;
+    }
+
+    /// Allocates `size` bytes, returning the block's address, or `None` if
+    /// the heap must grow first (see [`Self::needs_sbrk`]).
+    pub fn malloc(&mut self, size: u64) -> Option<u64> {
+        let size = Self::round(size);
+        let idx = self.free_list.iter().position(|b| b.size >= size)?;
+        let block = self.free_list[idx];
+        if block.size == size {
+            self.free_list.remove(idx);
+        } else {
+            self.free_list[idx] = FreeBlock {
+                addr: block.addr + size,
+                size: block.size - size,
+            };
+        }
+        self.allocated.insert(block.addr, size);
+        self.stats.in_use += size;
+        self.stats.mallocs += 1;
+        Some(block.addr)
+    }
+
+    /// Frees a previously allocated block.
+    pub fn free(&mut self, addr: u64) -> Result<(), String> {
+        let size = self
+            .allocated
+            .remove(&addr)
+            .ok_or_else(|| format!("free of unallocated address {addr:#x}"))?;
+        self.free_list.push(FreeBlock { addr, size });
+        self.stats.in_use -= size;
+        self.stats.frees += 1;
+        self.coalesce();
+        Ok(())
+    }
+
+    /// Base address of the heap.
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    /// Current end of the heap.
+    pub fn heap_end(&self) -> u64 {
+        self.heap_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grown(bytes: u64) -> UserAllocator {
+        let mut a = UserAllocator::new(0x10_0000);
+        a.grow(bytes);
+        a
+    }
+
+    #[test]
+    fn malloc_free_cycle_reuses_memory() {
+        let mut a = grown(4096);
+        let x = a.malloc(100).unwrap();
+        let y = a.malloc(200).unwrap();
+        assert_ne!(x, y);
+        a.free(x).unwrap();
+        a.free(y).unwrap();
+        // After coalescing the whole heap is one block again.
+        let big = a.malloc(4000).unwrap();
+        assert_eq!(big, 0x10_0000);
+        assert_eq!(a.stats().mallocs, 3);
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = grown(65536);
+        let mut blocks = Vec::new();
+        for i in 1..64u64 {
+            let addr = a.malloc(i * 7).unwrap();
+            assert_eq!(addr % ALIGN, 0);
+            blocks.push((addr, UserAllocator::round(i * 7)));
+        }
+        for (i, (a1, s1)) in blocks.iter().enumerate() {
+            for (a2, s2) in blocks.iter().skip(i + 1) {
+                assert!(a1 + s1 <= *a2 || a2 + s2 <= *a1, "blocks overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_asks_for_sbrk() {
+        let mut a = grown(1024);
+        assert_eq!(a.needs_sbrk(100), 0);
+        assert!(a.malloc(2048).is_none());
+        let want = a.needs_sbrk(2048);
+        assert!(want >= 2048);
+        a.grow(want);
+        assert!(a.malloc(2048).is_some());
+        assert_eq!(a.stats().sbrk_growths, 2);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut a = grown(4096);
+        let x = a.malloc(64).unwrap();
+        a.free(x).unwrap();
+        assert!(a.free(x).is_err());
+    }
+}

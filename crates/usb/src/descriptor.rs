@@ -1,0 +1,299 @@
+//! USB standard descriptors.
+//!
+//! Enumeration is, at its core, an exercise in parsing byte blobs the device
+//! hands back: an 18-byte device descriptor, then a configuration descriptor
+//! with interface and endpoint descriptors concatenated behind it. The stack
+//! here encodes/decodes exactly the fields the USPi-style keyboard path
+//! needs.
+
+use crate::{UsbError, UsbResult};
+
+/// Standard request: GET_DESCRIPTOR.
+pub const REQ_GET_DESCRIPTOR: u8 = 6;
+/// Standard request: SET_ADDRESS.
+pub const REQ_SET_ADDRESS: u8 = 5;
+/// Standard request: SET_CONFIGURATION.
+pub const REQ_SET_CONFIGURATION: u8 = 9;
+/// HID class request: SET_PROTOCOL.
+pub const REQ_HID_SET_PROTOCOL: u8 = 0x0B;
+/// HID class request: SET_IDLE.
+pub const REQ_HID_SET_IDLE: u8 = 0x0A;
+
+/// Descriptor type codes.
+pub mod desc_type {
+    /// Device descriptor.
+    pub const DEVICE: u8 = 1;
+    /// Configuration descriptor.
+    pub const CONFIGURATION: u8 = 2;
+    /// Interface descriptor.
+    pub const INTERFACE: u8 = 4;
+    /// Endpoint descriptor.
+    pub const ENDPOINT: u8 = 5;
+    /// HID descriptor.
+    pub const HID: u8 = 0x21;
+}
+
+/// USB class codes we care about.
+pub mod class {
+    /// Human Interface Device.
+    pub const HID: u8 = 3;
+    /// Hub.
+    pub const HUB: u8 = 9;
+}
+
+/// HID protocol codes (interface protocol field).
+pub mod hid_protocol {
+    /// Boot keyboard.
+    pub const KEYBOARD: u8 = 1;
+    /// Boot mouse.
+    pub const MOUSE: u8 = 2;
+}
+
+/// The 18-byte device descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceDescriptor {
+    /// USB specification release (BCD).
+    pub usb_version: u16,
+    /// Device class (0 = per-interface).
+    pub device_class: u8,
+    /// Vendor ID.
+    pub vendor_id: u16,
+    /// Product ID.
+    pub product_id: u16,
+    /// Number of configurations.
+    pub num_configurations: u8,
+}
+
+impl DeviceDescriptor {
+    /// Serialises to the 18-byte wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; 18];
+        b[0] = 18;
+        b[1] = desc_type::DEVICE;
+        b[2..4].copy_from_slice(&self.usb_version.to_le_bytes());
+        b[4] = self.device_class;
+        b[7] = 64; // max packet size for EP0
+        b[8..10].copy_from_slice(&self.vendor_id.to_le_bytes());
+        b[10..12].copy_from_slice(&self.product_id.to_le_bytes());
+        b[17] = self.num_configurations;
+        b
+    }
+
+    /// Parses the 18-byte wire format.
+    pub fn decode(b: &[u8]) -> UsbResult<Self> {
+        if b.len() < 18 || b[1] != desc_type::DEVICE {
+            return Err(UsbError::BadDescriptor("device descriptor".into()));
+        }
+        Ok(DeviceDescriptor {
+            usb_version: u16::from_le_bytes([b[2], b[3]]),
+            device_class: b[4],
+            vendor_id: u16::from_le_bytes([b[8], b[9]]),
+            product_id: u16::from_le_bytes([b[10], b[11]]),
+            num_configurations: b[17],
+        })
+    }
+}
+
+/// One interface inside a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterfaceDescriptor {
+    /// Interface number.
+    pub interface_number: u8,
+    /// Class code (3 = HID).
+    pub interface_class: u8,
+    /// Subclass (1 = boot interface).
+    pub interface_subclass: u8,
+    /// Protocol (1 = keyboard).
+    pub interface_protocol: u8,
+    /// Interrupt IN endpoint address used by this interface.
+    pub endpoint_address: u8,
+    /// Polling interval in milliseconds.
+    pub poll_interval_ms: u8,
+}
+
+/// A parsed configuration: the configuration value plus its interfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurationDescriptor {
+    /// Value passed to SET_CONFIGURATION.
+    pub configuration_value: u8,
+    /// The interfaces in this configuration.
+    pub interfaces: Vec<InterfaceDescriptor>,
+}
+
+impl ConfigurationDescriptor {
+    /// Serialises the configuration, interface, HID and endpoint descriptors
+    /// into one blob, as returned by GET_DESCRIPTOR(CONFIGURATION).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for itf in &self.interfaces {
+            // Interface descriptor (9 bytes).
+            body.extend_from_slice(&[
+                9,
+                desc_type::INTERFACE,
+                itf.interface_number,
+                0,
+                1,
+                itf.interface_class,
+                itf.interface_subclass,
+                itf.interface_protocol,
+                0,
+            ]);
+            // HID descriptor (9 bytes, contents unimportant to the stack).
+            body.extend_from_slice(&[9, desc_type::HID, 0x11, 0x01, 0, 1, 0x22, 0x3F, 0]);
+            // Endpoint descriptor (7 bytes).
+            body.extend_from_slice(&[
+                7,
+                desc_type::ENDPOINT,
+                itf.endpoint_address,
+                0x03, // interrupt
+                8,
+                0,
+                itf.poll_interval_ms,
+            ]);
+        }
+        let total_len = (9 + body.len()) as u16;
+        let mut out = vec![
+            9,
+            desc_type::CONFIGURATION,
+            0,
+            0,
+            self.interfaces.len() as u8,
+            self.configuration_value,
+            0,
+            0x80,
+            50,
+        ];
+        out[2..4].copy_from_slice(&total_len.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses a configuration blob.
+    pub fn decode(b: &[u8]) -> UsbResult<Self> {
+        if b.len() < 9 || b[1] != desc_type::CONFIGURATION {
+            return Err(UsbError::BadDescriptor("configuration descriptor".into()));
+        }
+        let total_len = u16::from_le_bytes([b[2], b[3]]) as usize;
+        if b.len() < total_len {
+            return Err(UsbError::BadDescriptor("truncated configuration".into()));
+        }
+        let configuration_value = b[5];
+        let mut interfaces = Vec::new();
+        let mut pos = 9;
+        let mut current: Option<InterfaceDescriptor> = None;
+        while pos + 2 <= total_len {
+            let len = b[pos] as usize;
+            if len == 0 || pos + len > total_len {
+                return Err(UsbError::BadDescriptor("descriptor length".into()));
+            }
+            match b[pos + 1] {
+                t if t == desc_type::INTERFACE => {
+                    if let Some(done) = current.take() {
+                        interfaces.push(done);
+                    }
+                    current = Some(InterfaceDescriptor {
+                        interface_number: b[pos + 2],
+                        interface_class: b[pos + 5],
+                        interface_subclass: b[pos + 6],
+                        interface_protocol: b[pos + 7],
+                        endpoint_address: 0,
+                        poll_interval_ms: 10,
+                    });
+                }
+                t if t == desc_type::ENDPOINT => {
+                    if let Some(cur) = current.as_mut() {
+                        cur.endpoint_address = b[pos + 2];
+                        cur.poll_interval_ms = b[pos + 6];
+                    }
+                }
+                _ => {}
+            }
+            pos += len;
+        }
+        if let Some(done) = current.take() {
+            interfaces.push(done);
+        }
+        Ok(ConfigurationDescriptor {
+            configuration_value,
+            interfaces,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_descriptor_round_trips() {
+        let d = DeviceDescriptor {
+            usb_version: 0x0200,
+            device_class: 0,
+            vendor_id: 0x046D,
+            product_id: 0xC31C,
+            num_configurations: 1,
+        };
+        let encoded = d.encode();
+        assert_eq!(encoded.len(), 18);
+        assert_eq!(DeviceDescriptor::decode(&encoded).unwrap(), d);
+    }
+
+    #[test]
+    fn configuration_with_keyboard_interface_round_trips() {
+        let c = ConfigurationDescriptor {
+            configuration_value: 1,
+            interfaces: vec![InterfaceDescriptor {
+                interface_number: 0,
+                interface_class: class::HID,
+                interface_subclass: 1,
+                interface_protocol: hid_protocol::KEYBOARD,
+                endpoint_address: 0x81,
+                poll_interval_ms: 8,
+            }],
+        };
+        let parsed = ConfigurationDescriptor::decode(&c.encode()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn truncated_or_mislabelled_blobs_are_rejected() {
+        assert!(DeviceDescriptor::decode(&[0u8; 10]).is_err());
+        let c = ConfigurationDescriptor {
+            configuration_value: 1,
+            interfaces: vec![],
+        };
+        let mut blob = c.encode();
+        blob[1] = desc_type::DEVICE;
+        assert!(ConfigurationDescriptor::decode(&blob).is_err());
+        let short = &c.encode()[..4];
+        assert!(ConfigurationDescriptor::decode(short).is_err());
+    }
+
+    #[test]
+    fn multi_interface_configurations_parse_all_interfaces() {
+        let c = ConfigurationDescriptor {
+            configuration_value: 1,
+            interfaces: vec![
+                InterfaceDescriptor {
+                    interface_number: 0,
+                    interface_class: class::HID,
+                    interface_subclass: 1,
+                    interface_protocol: hid_protocol::KEYBOARD,
+                    endpoint_address: 0x81,
+                    poll_interval_ms: 8,
+                },
+                InterfaceDescriptor {
+                    interface_number: 1,
+                    interface_class: class::HID,
+                    interface_subclass: 1,
+                    interface_protocol: hid_protocol::MOUSE,
+                    endpoint_address: 0x82,
+                    poll_interval_ms: 4,
+                },
+            ],
+        };
+        let parsed = ConfigurationDescriptor::decode(&c.encode()).unwrap();
+        assert_eq!(parsed.interfaces.len(), 2);
+        assert_eq!(parsed.interfaces[1].interface_protocol, hid_protocol::MOUSE);
+    }
+}

@@ -1,0 +1,65 @@
+//! The USB stack ("USPi-equivalent").
+//!
+//! Prototype 4 chooses USB keyboards over simple I2C/SPI keypads as a
+//! deliberate trade-off (§4.4): a $10 USB keyboard makes live demos practical
+//! and supports key modifiers, multi-key chords and release events that games
+//! need — at the cost of carrying a USB stack. Proto ports Circle/USPi; this
+//! crate implements the equivalent host-side stack against the simulated host
+//! controller in [`hal::usb_hw`]:
+//!
+//! * [`descriptor`] — standard descriptor encoding/parsing.
+//! * [`keyboard`] — the *device-side* model of a HID boot keyboard that tests
+//!   and the board plug into a port.
+//! * [`stack`] — enumeration: reset, descriptor fetch, address assignment,
+//!   configuration, HID boot-protocol selection.
+//! * [`hid`] — boot-report parsing into key press/release events.
+//! * [`events`] — the key-event type and the ring buffer that ultimately
+//!   backs `/dev/events`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod events;
+pub mod hid;
+pub mod keyboard;
+pub mod stack;
+
+pub use events::{KeyCode, KeyEvent, KeyEventQueue, Modifiers};
+pub use keyboard::SimUsbKeyboard;
+pub use stack::{UsbDeviceInfo, UsbStack};
+
+/// Errors surfaced by the USB stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UsbError {
+    /// The controller or device reported a hardware-level failure.
+    Hardware(String),
+    /// A descriptor could not be parsed.
+    BadDescriptor(String),
+    /// The addressed device is not present or not of the expected class.
+    NoDevice(String),
+    /// The stack is in the wrong state (e.g. not enumerated yet).
+    InvalidState(String),
+}
+
+impl std::fmt::Display for UsbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UsbError::Hardware(s) => write!(f, "usb hardware error: {s}"),
+            UsbError::BadDescriptor(s) => write!(f, "bad descriptor: {s}"),
+            UsbError::NoDevice(s) => write!(f, "no device: {s}"),
+            UsbError::InvalidState(s) => write!(f, "invalid state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for UsbError {}
+
+impl From<hal::HalError> for UsbError {
+    fn from(e: hal::HalError) -> Self {
+        UsbError::Hardware(e.to_string())
+    }
+}
+
+/// Result alias for USB operations.
+pub type UsbResult<T> = Result<T, UsbError>;

@@ -1,0 +1,26 @@
+//! A DOOM session with keyboard input: the §7.3 benchmark configuration
+//! (direct rendering, non-blocking event polling) plus a few key presses.
+use proto_repro::prelude::*;
+
+fn main() {
+    let mut options = SystemOptions::benchmark(Platform::Pi3);
+    options.small_assets = true;
+    let mut sys = ProtoSystem::build(options).expect("system");
+    let doom = sys.spawn("doom", &["/d/doom.wad".into()]).expect("doom");
+    sys.run_ms(500);
+
+    let kb = sys.keyboard.clone().expect("keyboard");
+    for key in [KeyCode::Up, KeyCode::Up, KeyCode::Left, KeyCode::Up, KeyCode::Right] {
+        kb.press(key, Modifiers::default());
+        sys.run_ms(150);
+        kb.release(key);
+        sys.run_ms(50);
+    }
+    sys.run_ms(1000);
+
+    let m = sys.kernel.task_metrics(doom).unwrap_or_default();
+    let (logic, draw, present) = m.mean_phase_ms();
+    println!("DOOM: {} frames, {:.1} FPS", m.frames, m.fps());
+    println!("per-frame breakdown: app logic {logic:.1} ms, draw {draw:.1} ms, present {present:.1} ms");
+    println!("input events observed by the driver: {}", sys.kernel.kbd_events_received());
+}
