@@ -99,7 +99,10 @@ impl UserProgram for TextDonut {
         self.frames += 1;
         let cost = ctx.cost();
         // The torus math is the app logic; printing is the "draw".
-        let logic = cost.per_byte(cost.memset_per_byte_milli, (TEXT_COLS * TEXT_ROWS * 40) as u64);
+        let logic = cost.per_byte(
+            cost.memset_per_byte_milli,
+            (TEXT_COLS * TEXT_ROWS * 40) as u64,
+        );
         ctx.charge_user(logic);
         // Print one line every 30 frames so the console log stays readable.
         if self.frames % 30 == 1 {

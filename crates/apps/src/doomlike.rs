@@ -115,7 +115,10 @@ impl Doom {
                 y: 3.5,
                 angle: 0.3,
             },
-            asset_path: args.first().cloned().unwrap_or_else(|| "/d/doom.wad".into()),
+            asset_path: args
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "/d/doom.wad".into()),
             asset_bytes: 0,
             event_fd: None,
             mapped: false,

@@ -94,9 +94,7 @@ impl UserProgram for Launcher {
                 }
                 match ev.code {
                     KeyCode::Down => self.selection = (self.selection + 1) % MENU.len(),
-                    KeyCode::Up => {
-                        self.selection = (self.selection + MENU.len() - 1) % MENU.len()
-                    }
+                    KeyCode::Up => self.selection = (self.selection + MENU.len() - 1) % MENU.len(),
                     KeyCode::Enter => {
                         let (_, path) = MENU[self.selection];
                         if ctx.spawn(path, &[]).is_ok() {
@@ -114,8 +112,11 @@ impl UserProgram for Launcher {
         for y in 0..LAUNCHER_H {
             for x in 0..LAUNCHER_W {
                 let v = ((x + y + phase * 4) % 64) + 20;
-                self.surface
-                    .put(x as i32, y as i32, 0xFF00_0000 | (v << 16) | (v / 2 << 8) | 60);
+                self.surface.put(
+                    x as i32,
+                    y as i32,
+                    0xFF00_0000 | (v << 16) | ((v / 2) << 8) | 60,
+                );
             }
         }
         for (i, (name, _)) in MENU.iter().enumerate() {
@@ -125,8 +126,13 @@ impl UserProgram for Launcher {
                 .fill_rect(16, 16 + i as i32 * 28, LAUNCHER_W - 32, 22, 0xFF202028);
             // A simple bar whose length encodes the entry name (no font
             // rendering in the kernel's console tradition of simplicity).
-            self.surface
-                .fill_rect(22, 22 + i as i32 * 28, 10 + name.len() as u32 * 12, 10, colour);
+            self.surface.fill_rect(
+                22,
+                22 + i as i32 * 28,
+                10 + name.len() as u32 * 12,
+                10,
+                colour,
+            );
         }
         let cost = ctx.cost();
         let logic = cost.per_byte(cost.memset_per_byte_milli, (LAUNCHER_W * LAUNCHER_H) as u64);

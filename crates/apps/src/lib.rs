@@ -77,7 +77,9 @@ impl UserProgram for Buzzer {
             Ok(_) => {
                 self.bursts_sent += 1;
                 let cost = ctx.cost();
-                ctx.charge_user(cost.per_byte(cost.audio_sample_decode_milli, samples.len() as u64));
+                ctx.charge_user(
+                    cost.per_byte(cost.audio_sample_decode_milli, samples.len() as u64),
+                );
                 StepResult::Continue
             }
             Err(kernel::KernelError::WouldBlock) => StepResult::Continue,
@@ -98,7 +100,9 @@ pub fn register_all(kernel: &mut Kernel) {
     kernel.register_program("donut", |args| Box::new(donut::PixelDonut::from_args(args)));
     kernel.register_program("donut-text", |_| Box::new(donut::TextDonut::new()));
     kernel.register_program("mario", |args| Box::new(nes::MarioNoInput::from_args(args)));
-    kernel.register_program("mario-proc", |args| Box::new(nes::MarioProc::from_args(args)));
+    kernel.register_program("mario-proc", |args| {
+        Box::new(nes::MarioProc::from_args(args))
+    });
     kernel.register_program("mario-sdl", |args| Box::new(nes::MarioSdl::from_args(args)));
     kernel.register_program("doom", |args| Box::new(doomlike::Doom::from_args(args)));
     kernel.register_program("musicplayer", |args| {
@@ -159,12 +163,30 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::desktop(), Platform::Pi3);
         register_all(&mut k);
         for name in [
-            "helloworld", "donut", "mario", "mario-proc", "mario-sdl", "doom", "musicplayer",
-            "videoplayer", "sysmon", "slider", "launcher", "blockchain", "sh", "ls", "cat",
-            "echo", "wc", "buzzer",
+            "helloworld",
+            "donut",
+            "mario",
+            "mario-proc",
+            "mario-sdl",
+            "doom",
+            "musicplayer",
+            "videoplayer",
+            "sysmon",
+            "slider",
+            "launcher",
+            "blockchain",
+            "sh",
+            "ls",
+            "cat",
+            "echo",
+            "wc",
+            "buzzer",
         ] {
             assert!(k.registry.contains(name), "{name} not registered");
-            assert!(k.registry.instantiate(name, &[]).is_ok(), "{name} fails to build");
+            assert!(
+                k.registry.instantiate(name, &[]).is_ok(),
+                "{name} fails to build"
+            );
         }
     }
 
@@ -172,6 +194,8 @@ mod tests {
     fn default_images_cover_all_main_apps() {
         let images = default_images();
         assert!(images.len() >= 15);
-        assert!(images.iter().any(|i| i.name == "doom" && i.code_size > 100_000));
+        assert!(images
+            .iter()
+            .any(|i| i.name == "doom" && i.code_size > 100_000));
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! MusicPlayer (Prototype 4/5) decodes audio and streams samples to
 //! `/dev/sb` while showing album art; in Prototype 5 the streaming moves to
-//! a dedicated thread created with `clone(CLONE_VM)` (§4.5), turning the app
-//! + driver + DMA chain into the producer/consumer pipeline of §4.4.
+//! a dedicated thread created with `clone(CLONE_VM)` (§4.5), turning the
+//! app/driver/DMA chain into the producer/consumer pipeline of §4.4.
 //! VideoPlayer decodes the MPEG-1-substitute stream, converts YUV→RGB with
 //! the SIMD path of §5.2 and renders directly to the framebuffer, targeting
 //! the video's native frame rate.
@@ -15,7 +15,7 @@ use kernel::usercall::{FramePhases, StepResult, UserCtx, UserProgram};
 use kernel::vfs::OpenFlags;
 use kernel::KernelError;
 use ulib::image::Image;
-use ulib::media::{AudioDecoder, VideoDecoder, yuv_to_rgb_scalar, yuv_to_rgb_simd};
+use ulib::media::{yuv_to_rgb_scalar, yuv_to_rgb_simd, AudioDecoder, VideoDecoder};
 
 fn read_whole_file(ctx: &mut UserCtx<'_>, path: &str) -> Option<Vec<u8>> {
     let fd = ctx.open(path, OpenFlags::rdonly()).ok()?;
@@ -77,7 +77,10 @@ impl UserProgram for AudioStreamThread {
             let _ = ctx.sleep_ms(5);
             return StepResult::Continue;
         };
-        match ctx.write(self.sb_fd.expect("opened above"), &ulib::samples_to_bytes(&buffer)) {
+        match ctx.write(
+            self.sb_fd.expect("opened above"),
+            &ulib::samples_to_bytes(&buffer),
+        ) {
             Ok(_) => StepResult::Continue,
             Err(KernelError::WouldBlock) => {
                 // Ring full: keep the buffer and retry once the DMA drains.
@@ -111,7 +114,10 @@ impl MusicPlayer {
     /// Creates the player from exec arguments: `[track-path] [frames]`.
     pub fn from_args(args: &[String]) -> Self {
         MusicPlayer {
-            track_path: args.first().cloned().unwrap_or_else(|| "/d/track1.ogg".into()),
+            track_path: args
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "/d/track1.ogg".into()),
             decoder: None,
             shared: Arc::new(Mutex::new(VecDeque::new())),
             finished: Arc::new(Mutex::new(false)),
@@ -180,13 +186,19 @@ impl UserProgram for MusicPlayer {
             match decoder.next_frame() {
                 Some(samples) => {
                     self.frames_decoded += 1;
-                    ctx.charge_user(cost.per_byte(cost.audio_sample_decode_milli, samples.len() as u64));
+                    ctx.charge_user(
+                        cost.per_byte(cost.audio_sample_decode_milli, samples.len() as u64),
+                    );
                     ctx.record_frame(FramePhases {
-                        app_logic_cycles: cost.per_byte(cost.audio_sample_decode_milli, samples.len() as u64),
+                        app_logic_cycles: cost
+                            .per_byte(cost.audio_sample_decode_milli, samples.len() as u64),
                         draw_cycles: 0,
                         present_cycles: 0,
                     });
-                    self.shared.lock().expect("audio queue lock").push_back(samples);
+                    self.shared
+                        .lock()
+                        .expect("audio queue lock")
+                        .push_back(samples);
                 }
                 None => {
                     *self.finished.lock().expect("finished flag") = true;
@@ -232,7 +244,10 @@ impl VideoPlayer {
     /// Creates the player from exec arguments: `[video-path] [frames] [scalar]`.
     pub fn from_args(args: &[String]) -> Self {
         VideoPlayer {
-            video_path: args.first().cloned().unwrap_or_else(|| "/d/video480.mpg".into()),
+            video_path: args
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "/d/video480.mpg".into()),
             decoder: None,
             mapped: false,
             frames_shown: 0,

@@ -86,10 +86,9 @@ impl NesEngine {
     /// file — including the synthetic ones the image builder installs —
     /// produces a playable level).
     pub fn new(rom: &[u8]) -> Self {
-        let seed = rom
-            .iter()
-            .take(1024)
-            .fold(0xcbf29ce484222325u64, |h, b| (h ^ *b as u64).wrapping_mul(0x100000001b3));
+        let seed = rom.iter().take(1024).fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ *b as u64).wrapping_mul(0x100000001b3)
+        });
         NesEngine {
             seed: if seed == 0 { 1 } else { seed },
             px: (32 << 8),
@@ -120,7 +119,7 @@ impl NesEngine {
         self.frames += 1;
         let auto = input == NesInput::default();
         let (left, right, jump) = if auto {
-            (false, true, self.frames % 48 == 0)
+            (false, true, self.frames.is_multiple_of(48))
         } else {
             (input.left, input.right, input.jump)
         };
@@ -155,7 +154,7 @@ impl NesEngine {
     /// Renders the current frame as ARGB pixels.
     pub fn render(&self) -> Vec<u32> {
         let mut fb = vec![0xFF5C94FCu32; NES_W * NES_H]; // NES sky blue
-        // Tiles.
+                                                         // Tiles.
         for ty in 0..(NES_H / TILE) as i64 {
             for tx in 0..(NES_W / TILE) as i64 + 1 {
                 let world_tx = tx + self.scroll / TILE as i64;
@@ -179,7 +178,11 @@ impl NesEngine {
             }
         }
         // Coins (flashing, every 4th frame brighter).
-        let coin_colour = if self.frames % 8 < 4 { 0xFFFFD700 } else { 0xFFB8860B };
+        let coin_colour = if self.frames % 8 < 4 {
+            0xFFFFD700
+        } else {
+            0xFFB8860B
+        };
         for c in 0..4 {
             let cx = ((c * 80 + 40) as i64 - self.scroll % 320).rem_euclid(NES_W as i64);
             for dy in 0..6i64 {
@@ -673,7 +676,10 @@ mod tests {
         };
         assert!(NesInput::from_key(&ev(KeyCode::Right, true)).right);
         assert!(NesInput::from_key(&ev(KeyCode::Space, true)).jump);
-        assert!(!NesInput::from_key(&ev(KeyCode::Right, false)).right, "release is ignored");
+        assert!(
+            !NesInput::from_key(&ev(KeyCode::Right, false)).right,
+            "release is ignored"
+        );
     }
 
     #[test]

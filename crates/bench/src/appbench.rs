@@ -93,7 +93,12 @@ pub fn measure_fps(app: AppRun, platform: Platform, warmup_ms: u64, measure_ms: 
 
 /// Like [`measure_fps`] but with explicit system options (tests use small
 /// assets to stay fast; the harness uses the full-size configuration).
-pub fn measure_fps_with(app: AppRun, mut options: SystemOptions, warmup_ms: u64, measure_ms: u64) -> FpsResult {
+pub fn measure_fps_with(
+    app: AppRun,
+    mut options: SystemOptions,
+    warmup_ms: u64,
+    measure_ms: u64,
+) -> FpsResult {
     let platform = options.platform;
     options.window_manager = app.needs_window_manager();
     let mut sys = ProtoSystem::build(options).expect("bench system");
@@ -166,8 +171,7 @@ pub fn multicore_scaling(measure_ms: u64) -> Vec<ScalabilityPoint> {
         }
         sys.run_ms(measure_ms);
         let fps: f64 = tids.iter().map(|t| sys.fps_of(*t)).sum::<f64>() / tids.len() as f64;
-        let util =
-            sys.kernel.core_utilisations().iter().sum::<f64>() / cores as f64;
+        let util = sys.kernel.core_utilisations().iter().sum::<f64>() / cores as f64;
 
         // Blockchain miner with four worker threads.
         let mut options = SystemOptions::benchmark(Platform::Pi3);
@@ -277,6 +281,11 @@ mod tests {
     fn mario_noinput_outpaces_mario_sdl() {
         let plain = quick(AppRun::MarioNoInput, 200, 1000);
         let sdl = quick(AppRun::MarioSdl, 200, 1000);
-        assert!(plain.fps > sdl.fps, "noinput {} vs sdl {}", plain.fps, sdl.fps);
+        assert!(
+            plain.fps > sdl.fps,
+            "noinput {} vs sdl {}",
+            plain.fps,
+            sdl.fps
+        );
     }
 }

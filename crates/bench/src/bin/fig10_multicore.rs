@@ -5,12 +5,28 @@ fn main() {
     let ms = if quick { 1200 } else { 4000 };
     let points = bench::appbench::multicore_scaling(ms);
     println!("Figure 10 — FPS per app instance and miner throughput vs number of cores\n");
-    let rows: Vec<Vec<String>> = points.iter().map(|p| vec![
-        p.cores.to_string(),
-        report::f2(p.mario_fps_per_instance),
-        report::f2(p.blockchain_blocks_per_sec),
-        format!("{:.0}%", p.mean_utilisation * 100.0),
-    ]).collect();
-    println!("{}", report::table(&["cores", "FPS/instance (8x mario)", "blocks/sec", "utilisation"], &rows));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.cores.to_string(),
+                report::f2(p.mario_fps_per_instance),
+                report::f2(p.blockchain_blocks_per_sec),
+                format!("{:.0}%", p.mean_utilisation * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "cores",
+                "FPS/instance (8x mario)",
+                "blocks/sec",
+                "utilisation"
+            ],
+            &rows
+        )
+    );
     report::write_json("fig10_multicore", &points);
 }

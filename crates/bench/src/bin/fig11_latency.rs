@@ -6,7 +6,13 @@ fn main() {
     println!("Figure 11a — rendering latency breakdown (ms per frame)\n");
     let mut rows = Vec::new();
     let mut dump = Vec::new();
-    for app in [AppRun::Doom, AppRun::Video480p, AppRun::MarioNoInput, AppRun::MarioProc, AppRun::MarioSdl] {
+    for app in [
+        AppRun::Doom,
+        AppRun::Video480p,
+        AppRun::MarioNoInput,
+        AppRun::MarioProc,
+        AppRun::MarioSdl,
+    ] {
         let r = measure_fps(app, Platform::Pi3, 300, 1500);
         rows.push(vec![
             app.name().to_string(),
@@ -17,13 +23,30 @@ fn main() {
         ]);
         dump.push(r);
     }
-    println!("{}", report::table(&["app", "draw (L)", "present (K)", "app logic (U)", "total"], &rows));
+    println!(
+        "{}",
+        report::table(
+            &["app", "draw (L)", "present (K)", "app logic (U)", "total"],
+            &rows
+        )
+    );
     println!("\nFigure 11b — input latency breakdown (ms from USB driver to app)\n");
     let mut rows = Vec::new();
     for app in [AppRun::Doom, AppRun::MarioProc, AppRun::MarioSdl] {
         let (to_dispatch, to_app, total) = input_latency(app, 6);
-        rows.push(vec![app.name().to_string(), report::f2(to_dispatch), report::f2(to_app), report::f2(total)]);
+        rows.push(vec![
+            app.name().to_string(),
+            report::f2(to_dispatch),
+            report::f2(to_app),
+            report::f2(total),
+        ]);
     }
-    println!("{}", report::table(&["app", "driver->dispatch", "dispatch->app", "total"], &rows));
+    println!(
+        "{}",
+        report::table(
+            &["app", "driver->dispatch", "dispatch->app", "total"],
+            &rows
+        )
+    );
     report::write_json("fig11_latency", &dump);
 }

@@ -3,9 +3,21 @@ use bench::report;
 fn main() {
     let rows = proto::power::figure12();
     println!("Figure 12 — measured (modelled) device power and estimated battery life\n");
-    let t: Vec<Vec<String>> = rows.iter().map(|r| vec![
-        r.scenario.clone(), report::f2(r.pi3_w), report::f2(r.hat_w), report::f2(r.total_w), report::f2(r.battery_hours),
-    ]).collect();
-    println!("{}", report::table(&["scenario", "Pi3 W", "HAT W", "total W", "battery h"], &t));
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                report::f2(r.pi3_w),
+                report::f2(r.hat_w),
+                report::f2(r.total_w),
+                report::f2(r.battery_hours),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["scenario", "Pi3 W", "HAT W", "total W", "battery h"], &t)
+    );
     report::write_json("fig12_power", &rows);
 }

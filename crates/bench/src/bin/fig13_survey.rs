@@ -3,15 +3,41 @@ use bench::report;
 fn main() {
     let questions = proto::pedagogy::survey();
     let responses = proto::pedagogy::synthesize_responses(proto::pedagogy::SURVEY_N, 2025);
-    println!("Figure 13 — pedagogical survey, N = {} (reported means are reference data from the paper;", proto::pedagogy::SURVEY_N);
+    println!(
+        "Figure 13 — pedagogical survey, N = {} (reported means are reference data from the paper;",
+        proto::pedagogy::SURVEY_N
+    );
     println!("synthetic respondents regenerate the distribution for plotting only)\n");
-    let rows: Vec<Vec<String>> = questions.iter().enumerate().map(|(i, q)| {
-        let scores: Vec<f64> = responses.iter().map(|r| r[i] as f64).collect();
-        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-        let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
-        vec![q.id.to_string(), q.principle.to_string(), q.text.to_string(),
-             report::f2(q.reported_mean), report::f2(mean), report::f2(var.sqrt())]
-    }).collect();
-    println!("{}", report::table(&["Q", "principle", "question", "paper mean", "synthetic mean", "stddev"], &rows));
+    let rows: Vec<Vec<String>> = questions
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let scores: Vec<f64> = responses.iter().map(|r| r[i] as f64).collect();
+            let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+            let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
+            vec![
+                q.id.to_string(),
+                q.principle.to_string(),
+                q.text.to_string(),
+                report::f2(q.reported_mean),
+                report::f2(mean),
+                report::f2(var.sqrt()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "Q",
+                "principle",
+                "question",
+                "paper mean",
+                "synthetic mean",
+                "stddev"
+            ],
+            &rows
+        )
+    );
     report::write_json("fig13_survey", &questions);
 }

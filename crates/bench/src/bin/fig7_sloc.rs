@@ -19,13 +19,35 @@ fn main() {
             total.to_string(),
         ]);
     }
-    println!("{}", report::table(&["Prototype", "core", "drivers", "file", "FAT32", "usb", "total"], &rows));
+    println!(
+        "{}",
+        report::table(
+            &[
+                "Prototype",
+                "core",
+                "drivers",
+                "file",
+                "FAT32",
+                "usb",
+                "total"
+            ],
+            &rows
+        )
+    );
     println!("\nFigure 7 (right) — app and user-library SLoC per prototype\n");
-    let rows: Vec<Vec<String>> = apps.iter()
-        .map(|(p, (a, u))| vec![format!("proto{p}"), a.to_string(), u.to_string()]).collect();
-    println!("{}", report::table(&["Prototype", "apps", "userlib"], &rows));
+    let rows: Vec<Vec<String>> = apps
+        .iter()
+        .map(|(p, (a, u))| vec![format!("proto{p}"), a.to_string(), u.to_string()])
+        .collect();
+    println!(
+        "{}",
+        report::table(&["Prototype", "apps", "userlib"], &rows)
+    );
     println!("\nNote: absolute numbers are for this Rust reproduction; the paper reports ~2.5K (P1) to ~33K (P5) kernel SLoC for the C artifact.");
     let dump: Vec<&proto::sloc::SourceFile> = files.iter().collect();
-    let summary: Vec<(String, u8, usize)> = dump.iter().map(|f| (f.path.clone(), f.prototype, f.sloc)).collect();
+    let summary: Vec<(String, u8, usize)> = dump
+        .iter()
+        .map(|f| (f.path.clone(), f.prototype, f.sloc))
+        .collect();
     report::write_json("fig7_sloc", &summary);
 }

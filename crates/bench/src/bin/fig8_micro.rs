@@ -4,13 +4,36 @@ use hal::cost::Platform;
 fn main() {
     let f8 = bench::micro::figure8(Platform::Pi3);
     println!("Figure 8 — kernel microbenchmarks (Pi3 cost model)\n");
-    let rows: Vec<Vec<String>> = f8.fs_throughput.iter().map(|r| vec![
-        format!("{}KB", r.size / 1024), report::f2(r.read_kbs), report::f2(r.write_kbs),
-    ]).collect();
-    println!("{}", report::table(&["File size", "read KB/s", "write KB/s"], &rows));
-    println!("\nSyscall (getpid)      {:>8.1} us   (paper: 3.4 +/- 0.04 us)", f8.syscall_us);
-    println!("IPC latency (pipe)    {:>8.1} us   (paper: 21.0 us)", f8.ipc_us);
-    println!("kernel load by fw     {:>8} ms   (paper: 2753 ms)", f8.kernel_load_ms);
-    println!("boot to prompt        {:>8} ms   (paper: 3186 ms)", f8.boot_to_prompt_ms);
+    let rows: Vec<Vec<String>> = f8
+        .fs_throughput
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}KB", r.size / 1024),
+                report::f2(r.read_kbs),
+                report::f2(r.write_kbs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["File size", "read KB/s", "write KB/s"], &rows)
+    );
+    println!(
+        "\nSyscall (getpid)      {:>8.1} us   (paper: 3.4 +/- 0.04 us)",
+        f8.syscall_us
+    );
+    println!(
+        "IPC latency (pipe)    {:>8.1} us   (paper: 21.0 us)",
+        f8.ipc_us
+    );
+    println!(
+        "kernel load by fw     {:>8} ms   (paper: 2753 ms)",
+        f8.kernel_load_ms
+    );
+    println!(
+        "boot to prompt        {:>8} ms   (paper: 3186 ms)",
+        f8.boot_to_prompt_ms
+    );
     report::write_json("fig8_micro", &f8);
 }

@@ -3,7 +3,10 @@ use bench::baselines::{micro_factor, BaselineOs};
 use bench::report;
 use hal::cost::Platform;
 fn main() {
-    let iters: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300);
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
     let (ours, xv6) = bench::micro::ours_and_xv6(Platform::Pi3, iters);
     // Normalised latency (ours = 1.0). For throughput rows lower KB/s means
     // higher latency, so the ratio is inverted.
@@ -16,10 +19,26 @@ fn main() {
         ("memset", ours.memset_us, xv6.memset_us),
         ("md5sum", ours.md5sum_us, xv6.md5sum_us),
         ("qsort", ours.qsort_us, xv6.qsort_us),
-        ("ramfs/r", 1.0 / ours.ramfs_read_kbs, 1.0 / xv6.ramfs_read_kbs),
-        ("ramfs/w", 1.0 / ours.ramfs_write_kbs, 1.0 / xv6.ramfs_write_kbs),
-        ("diskfs/r", 1.0 / ours.diskfs_read_kbs, 1.0 / xv6.diskfs_read_kbs),
-        ("diskfs/w", 1.0 / ours.diskfs_write_kbs, 1.0 / xv6.diskfs_write_kbs),
+        (
+            "ramfs/r",
+            1.0 / ours.ramfs_read_kbs,
+            1.0 / xv6.ramfs_read_kbs,
+        ),
+        (
+            "ramfs/w",
+            1.0 / ours.ramfs_write_kbs,
+            1.0 / xv6.ramfs_write_kbs,
+        ),
+        (
+            "diskfs/r",
+            1.0 / ours.diskfs_read_kbs,
+            1.0 / xv6.diskfs_read_kbs,
+        ),
+        (
+            "diskfs/w",
+            1.0 / ours.diskfs_write_kbs,
+            1.0 / xv6.diskfs_write_kbs,
+        ),
     ];
     println!("Figure 9 — normalised latency (ours = 1.0, lower is better)\n");
     println!("xv6 column is measured from the executable baseline variant;");
@@ -30,9 +49,18 @@ fn main() {
         let xv6_norm = xv6_v / ours_v;
         let linux = micro_factor(BaselineOs::Linux, name).unwrap_or(f64::NAN);
         let freebsd = micro_factor(BaselineOs::FreeBsd, name).unwrap_or(f64::NAN);
-        rows.push(vec![name.to_string(), "1.00".into(), report::f2(xv6_norm), report::f2(linux), report::f2(freebsd)]);
+        rows.push(vec![
+            name.to_string(),
+            "1.00".into(),
+            report::f2(xv6_norm),
+            report::f2(linux),
+            report::f2(freebsd),
+        ]);
         dump.push((name.to_string(), 1.0, xv6_norm, linux, freebsd));
     }
-    println!("{}", report::table(&["benchmark", "ours", "xv6", "linux*", "freebsd*"], &rows));
+    println!(
+        "{}",
+        report::table(&["benchmark", "ours", "xv6", "linux*", "freebsd*"], &rows)
+    );
     report::write_json("fig9_comparison", &dump);
 }

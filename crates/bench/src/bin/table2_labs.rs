@@ -4,10 +4,21 @@ fn main() {
     let graphs = std::env::args().any(|a| a == "--graphs");
     let rows: Vec<Vec<String>> = proto::pedagogy::table2()
         .iter()
-        .map(|r| vec![format!("Lab{}", r.lab), r.tasks.to_string(), r.files.to_string(), format!("~{}", r.sloc), r.videos.to_string()])
+        .map(|r| {
+            vec![
+                format!("Lab{}", r.lab),
+                r.tasks.to_string(),
+                r.files.to_string(),
+                format!("~{}", r.sloc),
+                r.videos.to_string(),
+            ]
+        })
         .collect();
     println!("Table 2 — student workload for labs\n");
-    println!("{}", report::table(&["Lab", "#Tasks", "#Files", "SLoC", "#Videos"], &rows));
+    println!(
+        "{}",
+        report::table(&["Lab", "#Tasks", "#Files", "SLoC", "#Videos"], &rows)
+    );
     report::write_json("table2_labs", &proto::pedagogy::table2());
     if graphs {
         println!("\nFigure 14 — lab task graphs");
@@ -17,8 +28,15 @@ fn main() {
                 let deps: Vec<String> = t.depends_on.iter().map(|d| format!("#{d}")).collect();
                 println!(
                     "  #{:<2} {:<28} deps=[{}] concepts={:?}{}",
-                    t.id, t.name, deps.join(","), t.concepts,
-                    if t.video_evidence { "  [video evidence]" } else { "" }
+                    t.id,
+                    t.name,
+                    deps.join(","),
+                    t.concepts,
+                    if t.video_evidence {
+                        "  [video evidence]"
+                    } else {
+                        ""
+                    }
                 );
             }
             let order = proto::pedagogy::topological_order(&lab).expect("acyclic");

@@ -2,13 +2,30 @@
 use bench::report;
 fn main() {
     println!("Table 3 — test platforms (all represented as cost models in this reproduction)\n");
-    let rows: Vec<Vec<String>> = proto::platforms::table3().iter()
-        .map(|r| vec![r.name.clone(), r.configuration.clone()]).collect();
+    let rows: Vec<Vec<String>> = proto::platforms::table3()
+        .iter()
+        .map(|r| vec![r.name.clone(), r.configuration.clone()])
+        .collect();
     println!("{}", report::table(&["Platform", "Configuration"], &rows));
     println!("\nTable 4 — OS configurations\n");
-    let rows: Vec<Vec<String>> = proto::platforms::table4().iter()
-        .map(|r| vec![r.os.clone(), r.c_library.clone(), r.media_library.clone(), r.reproduction.clone()]).collect();
-    println!("{}", report::table(&["OS", "C library", "Media library", "In this reproduction"], &rows));
+    let rows: Vec<Vec<String>> = proto::platforms::table4()
+        .iter()
+        .map(|r| {
+            vec![
+                r.os.clone(),
+                r.c_library.clone(),
+                r.media_library.clone(),
+                r.reproduction.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["OS", "C library", "Media library", "In this reproduction"],
+            &rows
+        )
+    );
     report::write_json("table3_platforms", &proto::platforms::table3());
     report::write_json("table4_os_configs", &proto::platforms::table4());
 }

@@ -15,7 +15,11 @@ fn main() {
         for platform in [Platform::Pi3, Platform::QemuWsl, Platform::QemuVm] {
             let r = measure_fps(app, platform, warm, measure);
             let paper = table5_paper_ours(platform.name(), app.name());
-            cells.push(format!("{:.1} (paper {:.1})", r.fps, paper.unwrap_or(f64::NAN)));
+            cells.push(format!(
+                "{:.1} (paper {:.1})",
+                r.fps,
+                paper.unwrap_or(f64::NAN)
+            ));
             dump.push(r);
         }
         for os in [BaselineOs::Linux, BaselineOs::FreeBsd] {
@@ -26,8 +30,26 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!("{}", report::table(&["app", "Pi3 (ours)", "qemu-wsl (ours)", "qemu-vm (ours)", "Linux@Pi3", "FreeBSD@Pi3"], &rows));
-    println!("\nOS memory while running single apps: {}",
-        dump.iter().map(|r| format!("{} {:.0}MB", r.app, r.os_memory_mb)).collect::<Vec<_>>().join(", "));
+    println!(
+        "{}",
+        report::table(
+            &[
+                "app",
+                "Pi3 (ours)",
+                "qemu-wsl (ours)",
+                "qemu-vm (ours)",
+                "Linux@Pi3",
+                "FreeBSD@Pi3"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nOS memory while running single apps: {}",
+        dump.iter()
+            .map(|r| format!("{} {:.0}MB", r.app, r.os_memory_mb))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     report::write_json("table5_throughput", &dump);
 }

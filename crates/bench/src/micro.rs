@@ -9,7 +9,7 @@
 
 use hal::cost::Platform;
 use kernel::vfs::OpenFlags;
-use kernel::{KernelConfig, KernelVariant, TaskId};
+use kernel::{KernelVariant, TaskId};
 use proto::prototype::{ProtoSystem, SystemOptions};
 use serde::{Deserialize, Serialize};
 
@@ -72,14 +72,19 @@ pub struct Figure8 {
 }
 
 fn total_cycles(sys: &ProtoSystem) -> u64 {
-    (0..hal::NUM_CORES).map(|c| sys.kernel.board.clock.cycles(c)).sum()
+    (0..hal::NUM_CORES)
+        .map(|c| sys.kernel.board.clock.cycles(c))
+        .sum()
 }
 
 fn elapsed_us<R>(sys: &mut ProtoSystem, f: impl FnOnce(&mut ProtoSystem) -> R) -> (f64, R) {
     let before = total_cycles(sys);
     let r = f(sys);
     let after = total_cycles(sys);
-    (sys.kernel.board.clock.cycles_to_ns(after - before) as f64 / 1_000.0, r)
+    (
+        sys.kernel.board.clock.cycles_to_ns(after - before) as f64 / 1_000.0,
+        r,
+    )
 }
 
 fn bench_system(platform: Platform, variant: KernelVariant) -> (ProtoSystem, TaskId) {
@@ -116,7 +121,9 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
     // sbrk (grow by one page each time).
     let (us, _) = elapsed_us(&mut sys, |s| {
         for _ in 0..iters.min(200) {
-            s.kernel.with_task_ctx(tid, |ctx| ctx.sbrk(4096)).expect("sbrk");
+            s.kernel
+                .with_task_ctx(tid, |ctx| ctx.sbrk(4096))
+                .expect("sbrk");
         }
     });
     r.sbrk_us = us / iters.min(200) as f64;
@@ -129,7 +136,7 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
             kernel::StepResult::Exited(0)
         }
     }
-    let fork_iters = iters.min(50).max(1);
+    let fork_iters = iters.clamp(1, 50);
     let (us, _) = elapsed_us(&mut sys, |s| {
         for _ in 0..fork_iters {
             s.kernel
@@ -141,7 +148,10 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
     sys.run_ms(50); // let the children run and exit
 
     // ipc: one byte over a pipe (write syscall + read syscall).
-    let (read_fd, write_fd) = sys.kernel.with_task_ctx(tid, |ctx| ctx.pipe()).expect("pipe");
+    let (read_fd, write_fd) = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| ctx.pipe())
+        .expect("pipe");
     let (us, _) = elapsed_us(&mut sys, |s| {
         for _ in 0..iters {
             s.kernel
@@ -162,8 +172,9 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
         for i in 0..iters {
             let addr = alloc.malloc(64 + (i % 32) as u64 * 8).expect("malloc");
             alloc.free(addr).expect("free");
-            s.kernel
-                .with_task_ctx(tid, |ctx| ctx.charge_user((cost.umalloc_op as f64 * penalty) as u64));
+            s.kernel.with_task_ctx(tid, |ctx| {
+                ctx.charge_user((cost.umalloc_op as f64 * penalty) as u64)
+            });
         }
     });
     r.malloc_us = us / iters as f64;
@@ -175,7 +186,9 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
             std::hint::black_box(&buf);
             s.kernel.with_task_ctx(tid, |ctx| {
                 let c = ctx.cost();
-                ctx.charge_user((c.per_byte(c.memset_per_byte_milli, 64 * 1024) as f64 * penalty) as u64)
+                ctx.charge_user(
+                    (c.per_byte(c.memset_per_byte_milli, 64 * 1024) as f64 * penalty) as u64,
+                )
             });
         }
     });
@@ -184,20 +197,22 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
     // md5sum of 64 KB.
     let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
     let (us, _) = elapsed_us(&mut sys, |s| {
-        for _ in 0..iters.min(50).max(1) {
+        for _ in 0..iters.clamp(1, 50) {
             let digest = ulib::compute::md5(&payload);
             std::hint::black_box(digest);
             s.kernel.with_task_ctx(tid, |ctx| {
                 let c = ctx.cost();
-                ctx.charge_user((c.per_byte(c.md5_per_byte_milli, 64 * 1024) as f64 * penalty) as u64)
+                ctx.charge_user(
+                    (c.per_byte(c.md5_per_byte_milli, 64 * 1024) as f64 * penalty) as u64,
+                )
             });
         }
     });
-    r.md5sum_us = us / iters.min(50).max(1) as f64;
+    r.md5sum_us = us / iters.clamp(1, 50) as f64;
 
     // qsort of 4096 elements.
     let (us, _) = elapsed_us(&mut sys, |s| {
-        for i in 0..iters.min(50).max(1) {
+        for i in 0..iters.clamp(1, 50) {
             let (_, cmps) = ulib::compute::qsort_benchmark(4096, 42 + i as u64);
             s.kernel.with_task_ctx(tid, |ctx| {
                 let c = ctx.cost();
@@ -205,7 +220,7 @@ pub fn run_microbenchmarks(platform: Platform, variant: KernelVariant, iters: u3
             });
         }
     });
-    r.qsort_us = us / iters.min(50).max(1) as f64;
+    r.qsort_us = us / iters.clamp(1, 50) as f64;
 
     // ramfs (xv6fs) read/write throughput, 128 KB files.
     let (w_kbs, r_kbs) = file_throughput(&mut sys, tid, "/bench.bin", 128 * 1024);
@@ -291,10 +306,17 @@ mod tests {
     #[test]
     fn microbenchmarks_land_in_the_papers_ballpark() {
         let r = run_microbenchmarks(Platform::Pi3, KernelVariant::Proto, 50);
-        assert!(r.getpid_us > 2.0 && r.getpid_us < 6.0, "getpid {} µs", r.getpid_us);
+        assert!(
+            r.getpid_us > 2.0 && r.getpid_us < 6.0,
+            "getpid {} µs",
+            r.getpid_us
+        );
         assert!(r.ipc_us > 10.0 && r.ipc_us < 40.0, "ipc {} µs", r.ipc_us);
         assert!(r.fork_us > r.getpid_us * 5.0, "fork should dwarf getpid");
-        assert!(r.ramfs_read_kbs > r.diskfs_read_kbs, "ramdisk faster than SD");
+        assert!(
+            r.ramfs_read_kbs > r.diskfs_read_kbs,
+            "ramdisk faster than SD"
+        );
         assert!(r.diskfs_read_kbs > 100.0, "FAT32 reads at least 100 KB/s");
     }
 

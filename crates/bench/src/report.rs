@@ -46,15 +46,17 @@ pub fn experiments_dir() -> PathBuf {
 /// Writes a serialisable result as JSON under `target/experiments/<name>.json`.
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     let path = experiments_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("(results written to {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    write_json_to(&path, value);
+}
+
+/// Writes a serialisable result as JSON to an explicit path (used for the
+/// tracked perf-trajectory dumps such as `BENCH_fs.json`).
+pub fn write_json_to<T: serde::Serialize>(path: &std::path::Path, value: &T) {
+    let json = value.to_json();
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(results written to {})", path.display());
     }
 }
 

@@ -1,11 +1,16 @@
 //! Block devices.
 //!
-//! Everything above this layer (buffer cache, xv6fs, FAT32) reads and writes
-//! 512-byte sectors through the [`BlockDevice`] trait. Two device classes
-//! exist in Proto: the ramdisk linked into the kernel image (Prototype 4) and
-//! the SD card (Prototype 5). The trait mirrors the two access shapes the SD
-//! driver offers — single blocks and contiguous ranges — plus a statistics
-//! hook so the kernel can charge the right virtual-cycle costs for each.
+//! Everything above this layer (the unified buffer cache, xv6fs, FAT32)
+//! reads and writes 512-byte sectors through the [`BlockDevice`] trait. Two
+//! device classes exist in Proto: the ramdisk linked into the kernel image
+//! (Prototype 4) and the SD card (Prototype 5). The trait mirrors the two
+//! access shapes the SD driver offers — single blocks and contiguous ranges
+//! (CMD17/CMD24 vs CMD18/CMD25) — plus [`BlockDevice::flush`] as the barrier
+//! the write-back cache drains through, and a statistics hook so the kernel
+//! can charge the right virtual-cycle costs for each shape. The range
+//! methods have loop-over-single-blocks defaults so simple devices stay
+//! simple; [`SdBlockDevice`] overrides them with the SD host's real
+//! multi-block commands.
 
 use crate::{FsError, FsResult};
 
@@ -58,6 +63,14 @@ pub trait BlockDevice {
             let s = i as usize * BLOCK_SIZE;
             self.write_block(lba + i, &data[s..s + BLOCK_SIZE])?;
         }
+        Ok(())
+    }
+
+    /// Flushes device-side buffers. The default is a no-op: the memory disk
+    /// and the simulated SD host complete transfers synchronously. The
+    /// write-back buffer cache calls this at the end of its own flush so a
+    /// future device with posted writes has a barrier to hook.
+    fn flush(&mut self) -> FsResult<()> {
         Ok(())
     }
 
@@ -132,7 +145,9 @@ impl BlockDevice for MemDisk {
 
     fn read_block(&mut self, lba: u64, out: &mut [u8]) -> FsResult<()> {
         if out.len() != BLOCK_SIZE {
-            return Err(FsError::Invalid("read_block buffer must be 512 bytes".into()));
+            return Err(FsError::Invalid(
+                "read_block buffer must be 512 bytes".into(),
+            ));
         }
         self.check(lba, 1)?;
         let s = lba as usize * BLOCK_SIZE;
@@ -144,7 +159,9 @@ impl BlockDevice for MemDisk {
 
     fn write_block(&mut self, lba: u64, data: &[u8]) -> FsResult<()> {
         if data.len() != BLOCK_SIZE {
-            return Err(FsError::Invalid("write_block buffer must be 512 bytes".into()));
+            return Err(FsError::Invalid(
+                "write_block buffer must be 512 bytes".into(),
+            ));
         }
         self.check(lba, 1)?;
         let s = lba as usize * BLOCK_SIZE;
@@ -196,7 +213,11 @@ pub struct SdBlockDevice<'a> {
 
 impl<'a> SdBlockDevice<'a> {
     /// Wraps a partition of the SD card.
-    pub fn new(sd: &'a mut hal::sdhost::SdHost, partition_start: u64, partition_blocks: u64) -> Self {
+    pub fn new(
+        sd: &'a mut hal::sdhost::SdHost,
+        partition_start: u64,
+        partition_blocks: u64,
+    ) -> Self {
         SdBlockDevice {
             sd,
             partition_start,

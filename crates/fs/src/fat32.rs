@@ -9,13 +9,19 @@
 //!
 //! Two properties of the paper's port are preserved deliberately:
 //!
-//! * **Range I/O.** File data is read/written per *contiguous cluster run*
-//!   using the device's multi-block range commands, bypassing the
-//!   single-block buffer cache (§5.2). Metadata (BPB, FAT, directories) still
-//!   goes through the cache.
+//! * **Range I/O.** File data is read/written one cluster (8 sectors) at a
+//!   time through the unified buffer cache's range API. The cache coalesces
+//!   cold cluster accesses into single multi-block device commands — the
+//!   same SD command count as the retired cache-*bypass* hack the first
+//!   reproduction used for §5.2 — while also keeping hot clusters cached,
+//!   which the bypass never could. Metadata (BPB, FAT, directories) shares
+//!   the same cache, so there is exactly one consistency domain.
 //! * **No inodes.** FAT has no inode concept; the kernel VFS layers
 //!   pseudo-inodes on top (see the kernel crate), exactly as Proto bridges
 //!   FatFS into its xv6-style file table.
+//!
+//! The cache is write-back: callers that need the card itself up to date
+//! (unmount, `fsync`) call [`crate::bufcache::BufCache::flush`].
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::bufcache::BufCache;
@@ -73,10 +79,6 @@ pub struct Bpb {
 #[derive(Debug, Clone)]
 pub struct Fat32 {
     bpb: Bpb,
-    /// When false, file-data range accesses go block-by-block through the
-    /// buffer cache instead of using range commands — the ablation switch for
-    /// the §5.2 optimisation.
-    bypass_bufcache: bool,
 }
 
 fn encode_83(name: &str) -> FsResult<[u8; 11]> {
@@ -124,7 +126,9 @@ impl Fat32 {
         let data_start = fat_start + sectors_per_fat;
         let cluster_count = (total_sectors - data_start) / SECTORS_PER_CLUSTER;
         if cluster_count < 8 {
-            return Err(FsError::Invalid("device too small for FAT32 data area".into()));
+            return Err(FsError::Invalid(
+                "device too small for FAT32 data area".into(),
+            ));
         }
         let bpb = Bpb {
             total_sectors,
@@ -154,10 +158,7 @@ impl Fat32 {
         for s in 0..sectors_per_fat {
             bc.write(dev, (fat_start + s) as u64, &zero)?;
         }
-        let fs = Fat32 {
-            bpb,
-            bypass_bufcache: true,
-        };
+        let fs = Fat32 { bpb };
         // Reserve clusters 0 and 1, allocate the root directory cluster.
         fs.fat_set(dev, bc, 0, 0x0FFF_FFF8)?;
         fs.fat_set(dev, bc, 1, FAT_EOC)?;
@@ -191,20 +192,12 @@ impl Fat32 {
                 root_cluster,
                 cluster_count,
             },
-            bypass_bufcache: true,
         })
     }
 
     /// The parsed BPB.
     pub fn bpb(&self) -> Bpb {
         self.bpb
-    }
-
-    /// Enables or disables the buffer-cache bypass for file-data range I/O
-    /// (the §5.2 optimisation; on by default). The ablation bench turns it
-    /// off to quantify the 2–3x difference.
-    pub fn set_bypass_bufcache(&mut self, bypass: bool) {
-        self.bypass_bufcache = bypass;
     }
 
     // ---- FAT access ---------------------------------------------------------------------------
@@ -251,11 +244,13 @@ impl Fat32 {
 
     fn free_chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, first: u32) -> FsResult<()> {
         let mut c = first;
-        while c >= FIRST_CLUSTER && c < FAT_EOC {
+        while (FIRST_CLUSTER..FAT_EOC).contains(&c) {
             let next = self.fat_get(dev, bc, c)?;
             self.fat_set(dev, bc, c, FAT_FREE)?;
             if next == c {
-                return Err(FsError::Corrupt(format!("self-referential FAT chain at {c}")));
+                return Err(FsError::Corrupt(format!(
+                    "self-referential FAT chain at {c}"
+                )));
             }
             c = next;
         }
@@ -263,11 +258,16 @@ impl Fat32 {
     }
 
     /// Collects the cluster chain starting at `first`.
-    fn chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, first: u32) -> FsResult<Vec<u32>> {
+    fn chain(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        first: u32,
+    ) -> FsResult<Vec<u32>> {
         let mut out = Vec::new();
         let mut c = first;
         let limit = self.bpb.cluster_count as usize + 2;
-        while c >= FIRST_CLUSTER && c < 0x0FFF_FFF8 {
+        while (FIRST_CLUSTER..0x0FFF_FFF8).contains(&c) {
             out.push(c);
             if out.len() > limit {
                 return Err(FsError::Corrupt("FAT chain cycle".into()));
@@ -281,10 +281,15 @@ impl Fat32 {
         self.bpb.data_start as u64 + (cluster as u64 - 2) * SECTORS_PER_CLUSTER as u64
     }
 
-    fn zero_cluster(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, cluster: u32) -> FsResult<()> {
+    fn zero_cluster(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        cluster: u32,
+    ) -> FsResult<()> {
         let zero = vec![0u8; CLUSTER_SIZE];
         let sector = self.cluster_to_sector(cluster);
-        bc.bypass_range_write(dev, sector, SECTORS_PER_CLUSTER as u64, &zero)
+        bc.write_range(dev, sector, SECTORS_PER_CLUSTER as u64, &zero)
     }
 
     /// Number of free clusters remaining.
@@ -309,14 +314,7 @@ impl Fat32 {
     ) -> FsResult<()> {
         debug_assert_eq!(out.len(), CLUSTER_SIZE);
         let sector = self.cluster_to_sector(cluster);
-        if self.bypass_bufcache {
-            bc.bypass_range_read(dev, sector, SECTORS_PER_CLUSTER as u64, out)
-        } else {
-            for s in 0..SECTORS_PER_CLUSTER as usize {
-                bc.read(dev, sector + s as u64, &mut out[s * BLOCK_SIZE..(s + 1) * BLOCK_SIZE])?;
-            }
-            Ok(())
-        }
+        bc.read_range(dev, sector, SECTORS_PER_CLUSTER as u64, out)
     }
 
     fn write_cluster(
@@ -328,14 +326,7 @@ impl Fat32 {
     ) -> FsResult<()> {
         debug_assert_eq!(data.len(), CLUSTER_SIZE);
         let sector = self.cluster_to_sector(cluster);
-        if self.bypass_bufcache {
-            bc.bypass_range_write(dev, sector, SECTORS_PER_CLUSTER as u64, data)
-        } else {
-            for s in 0..SECTORS_PER_CLUSTER as usize {
-                bc.write(dev, sector + s as u64, &data[s * BLOCK_SIZE..(s + 1) * BLOCK_SIZE])?;
-            }
-            Ok(())
-        }
+        bc.write_range(dev, sector, SECTORS_PER_CLUSTER as u64, data)
     }
 
     // ---- directories --------------------------------------------------------------------------------
@@ -400,7 +391,11 @@ impl Fat32 {
         let name83 = encode_83(&entry.name)?;
         let mut raw = [0u8; DIRENT_SIZE];
         raw[..11].copy_from_slice(&name83);
-        raw[11] = if entry.is_dir { ATTR_DIRECTORY } else { ATTR_ARCHIVE };
+        raw[11] = if entry.is_dir {
+            ATTR_DIRECTORY
+        } else {
+            ATTR_ARCHIVE
+        };
         raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
         raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
         raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
@@ -417,7 +412,9 @@ impl Fat32 {
         }
         // No free slot: extend the directory with a new cluster.
         let chain = self.chain(dev, bc, dir_cluster)?;
-        let last = *chain.last().ok_or_else(|| FsError::Corrupt("empty dir chain".into()))?;
+        let last = *chain
+            .last()
+            .ok_or_else(|| FsError::Corrupt("empty dir chain".into()))?;
         let newc = self.alloc_cluster(dev, bc)?;
         self.fat_set(dev, bc, last, newc)?;
         self.write_dirent(dev, bc, newc, 0, &raw)
@@ -439,7 +436,12 @@ impl Fat32 {
 
     /// Resolves `p` (a path inside the FAT volume) to its entry. The root
     /// resolves to a synthetic directory entry.
-    pub fn lookup(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<FatEntry> {
+    pub fn lookup(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+    ) -> FsResult<FatEntry> {
         let mut cur = FatEntry {
             name: String::new(),
             is_dir: true,
@@ -488,10 +490,17 @@ impl Fat32 {
         if !parent_entry.is_dir {
             return Err(FsError::NotADirectory(parent));
         }
-        if self.dir_find(dev, bc, parent_entry.first_cluster, &name).is_ok() {
+        if self
+            .dir_find(dev, bc, parent_entry.first_cluster, &name)
+            .is_ok()
+        {
             return Err(FsError::AlreadyExists(p.to_string()));
         }
-        let first_cluster = if is_dir { self.alloc_cluster(dev, bc)? } else { 0 };
+        let first_cluster = if is_dir {
+            self.alloc_cluster(dev, bc)?
+        } else {
+            0
+        };
         let entry = FatEntry {
             name: name.to_ascii_uppercase(),
             is_dir,
@@ -510,16 +519,21 @@ impl Fat32 {
         new_first_cluster: u32,
         new_size: u32,
     ) -> FsResult<()> {
-        let (parent, name) = path::split_parent(p)
-            .ok_or_else(|| FsError::Invalid("root has no dirent".into()))?;
+        let (parent, name) =
+            path::split_parent(p).ok_or_else(|| FsError::Invalid("root has no dirent".into()))?;
         let parent_entry = self.lookup(dev, bc, &parent)?;
-        let (cluster, offset, mut entry) = self.dir_find(dev, bc, parent_entry.first_cluster, &name)?;
+        let (cluster, offset, mut entry) =
+            self.dir_find(dev, bc, parent_entry.first_cluster, &name)?;
         entry.first_cluster = new_first_cluster;
         entry.size = new_size;
         let name83 = encode_83(&entry.name)?;
         let mut raw = [0u8; DIRENT_SIZE];
         raw[..11].copy_from_slice(&name83);
-        raw[11] = if entry.is_dir { ATTR_DIRECTORY } else { ATTR_ARCHIVE };
+        raw[11] = if entry.is_dir {
+            ATTR_DIRECTORY
+        } else {
+            ATTR_ARCHIVE
+        };
         raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
         raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
         raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
@@ -606,7 +620,12 @@ impl Fat32 {
     }
 
     /// Reads the whole file at `p`.
-    pub fn read_file(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<Vec<u8>> {
+    pub fn read_file(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+    ) -> FsResult<Vec<u8>> {
         let entry = self.lookup(dev, bc, p)?;
         self.read_at(dev, bc, p, 0, entry.size as usize)
     }
@@ -655,8 +674,12 @@ mod tests {
     #[test]
     fn small_file_round_trips() {
         let (mut dev, mut bc, fs) = fresh_volume();
-        fs.write_file(&mut dev, &mut bc, "/hello.txt", b"hi fat32").unwrap();
-        assert_eq!(fs.read_file(&mut dev, &mut bc, "/hello.txt").unwrap(), b"hi fat32");
+        fs.write_file(&mut dev, &mut bc, "/hello.txt", b"hi fat32")
+            .unwrap();
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/hello.txt").unwrap(),
+            b"hi fat32"
+        );
         let entry = fs.lookup(&mut dev, &mut bc, "/hello.txt").unwrap();
         assert_eq!(entry.size, 8);
         assert!(!entry.is_dir);
@@ -668,7 +691,8 @@ mod tests {
         // 3 MB: far beyond xv6fs's 268 KB limit — the reason FAT32 exists in
         // Prototype 5.
         let data: Vec<u8> = (0..3 * 1024 * 1024u32).map(|i| (i % 253) as u8).collect();
-        fs.write_file(&mut dev, &mut bc, "/doom.wad", &data).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/doom.wad", &data)
+            .unwrap();
         let back = fs.read_file(&mut dev, &mut bc, "/doom.wad").unwrap();
         assert_eq!(back.len(), data.len());
         assert_eq!(back, data);
@@ -678,8 +702,10 @@ mod tests {
     fn directories_nest_and_list() {
         let (mut dev, mut bc, fs) = fresh_volume();
         fs.create(&mut dev, &mut bc, "/games", true).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/games/mario.nes", &[1u8; 4000]).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/games/kungfu.nes", &[2u8; 5000]).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/games/mario.nes", &[1u8; 4000])
+            .unwrap();
+        fs.write_file(&mut dev, &mut bc, "/games/kungfu.nes", &[2u8; 5000])
+            .unwrap();
         let listing = fs.list_dir(&mut dev, &mut bc, "/games").unwrap();
         let names: Vec<_> = listing.iter().map(|e| e.name.clone()).collect();
         assert!(names.contains(&"MARIO.NES".to_string()));
@@ -691,12 +717,19 @@ mod tests {
     fn partial_reads_honour_offset_and_length() {
         let (mut dev, mut bc, fs) = fresh_volume();
         let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
-        fs.write_file(&mut dev, &mut bc, "/track1.ogg", &data).unwrap();
-        let mid = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 5000, 300).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/track1.ogg", &data)
+            .unwrap();
+        let mid = fs
+            .read_at(&mut dev, &mut bc, "/track1.ogg", 5000, 300)
+            .unwrap();
         assert_eq!(&mid[..], &data[5000..5300]);
-        let tail = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 19_900, 500).unwrap();
+        let tail = fs
+            .read_at(&mut dev, &mut bc, "/track1.ogg", 19_900, 500)
+            .unwrap();
         assert_eq!(tail.len(), 100);
-        let past = fs.read_at(&mut dev, &mut bc, "/track1.ogg", 50_000, 10).unwrap();
+        let past = fs
+            .read_at(&mut dev, &mut bc, "/track1.ogg", 50_000, 10)
+            .unwrap();
         assert!(past.is_empty());
     }
 
@@ -704,9 +737,14 @@ mod tests {
     fn overwrite_replaces_contents_and_frees_old_clusters() {
         let (mut dev, mut bc, fs) = fresh_volume();
         let free0 = fs.free_clusters(&mut dev, &mut bc).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/video.mpg", &vec![7u8; 200 * 1024]).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/video.mpg", b"small now").unwrap();
-        assert_eq!(fs.read_file(&mut dev, &mut bc, "/video.mpg").unwrap(), b"small now");
+        fs.write_file(&mut dev, &mut bc, "/video.mpg", &vec![7u8; 200 * 1024])
+            .unwrap();
+        fs.write_file(&mut dev, &mut bc, "/video.mpg", b"small now")
+            .unwrap();
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/video.mpg").unwrap(),
+            b"small now"
+        );
         let free1 = fs.free_clusters(&mut dev, &mut bc).unwrap();
         assert_eq!(free1, free0 - 1, "only one cluster remains allocated");
     }
@@ -715,7 +753,8 @@ mod tests {
     fn remove_frees_clusters_and_hides_the_file() {
         let (mut dev, mut bc, fs) = fresh_volume();
         let free0 = fs.free_clusters(&mut dev, &mut bc).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 64 * 1024]).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 64 * 1024])
+            .unwrap();
         fs.remove(&mut dev, &mut bc, "/tmp.bin").unwrap();
         assert_eq!(fs.free_clusters(&mut dev, &mut bc).unwrap(), free0);
         assert!(matches!(
@@ -727,7 +766,9 @@ mod tests {
     #[test]
     fn eight_three_names_are_enforced() {
         let (mut dev, mut bc, fs) = fresh_volume();
-        assert!(fs.write_file(&mut dev, &mut bc, "/averylongfilename.data", b"x").is_err());
+        assert!(fs
+            .write_file(&mut dev, &mut bc, "/averylongfilename.data", b"x")
+            .is_err());
         assert!(fs.write_file(&mut dev, &mut bc, "/ok.txt", b"x").is_ok());
         // Lookup is case-insensitive (names are stored upper-case).
         assert!(fs.lookup(&mut dev, &mut bc, "/OK.TXT").is_ok());
@@ -742,7 +783,12 @@ mod tests {
         let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
         let mut i = 0;
         let result = loop {
-            let r = fs.write_file(&mut dev, &mut bc, &format!("/f{i}.bin"), &vec![0u8; 64 * 1024]);
+            let r = fs.write_file(
+                &mut dev,
+                &mut bc,
+                &format!("/f{i}.bin"),
+                &vec![0u8; 64 * 1024],
+            );
             if r.is_err() {
                 break r;
             }
@@ -755,20 +801,85 @@ mod tests {
     }
 
     #[test]
-    fn range_path_uses_range_commands_and_cached_path_does_not() {
-        let (mut dev, mut bc, mut fs) = fresh_volume();
-        let data = vec![9u8; 256 * 1024];
+    fn cold_reads_coalesce_and_warm_reads_stay_in_cache() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        // 32 KB = 8 clusters: small enough to stay resident in the cache.
+        let data = vec![9u8; 32 * 1024];
         fs.write_file(&mut dev, &mut bc, "/big.bin", &data).unwrap();
-        let ranges_before = dev.stats().range_cmds;
-        fs.read_file(&mut dev, &mut bc, "/big.bin").unwrap();
-        assert!(dev.stats().range_cmds > ranges_before, "bypass path uses range I/O");
+        bc.flush(&mut dev).unwrap();
+        let mut cold = BufCache::default();
+        let before = dev.stats();
+        assert_eq!(fs.read_file(&mut dev, &mut cold, "/big.bin").unwrap(), data);
+        let after = dev.stats();
+        // Data clusters plus the root-directory cluster the lookup reads
+        // (the retired bypass path issued exactly the same commands).
+        let nclusters = data.len().div_ceil(CLUSTER_SIZE) as u64 + 1;
+        assert!(
+            after.range_cmds - before.range_cmds <= nclusters,
+            "cold read issued {} range commands for {nclusters} clusters",
+            after.range_cmds - before.range_cmds
+        );
+        // Warm read: everything still cached, zero device traffic.
+        let mid = dev.stats();
+        assert_eq!(fs.read_file(&mut dev, &mut cold, "/big.bin").unwrap(), data);
+        let warm = dev.stats();
+        assert_eq!(
+            warm.single_cmds, mid.single_cmds,
+            "warm read hits the cache"
+        );
+        assert_eq!(warm.range_cmds, mid.range_cmds);
+        assert!(cold.stats().hits > 0);
+    }
 
-        fs.set_bypass_bufcache(false);
-        let singles_before = dev.stats().single_cmds;
-        let ranges_before = dev.stats().range_cmds;
-        fs.read_file(&mut dev, &mut bc, "/big.bin").unwrap();
-        assert_eq!(dev.stats().range_cmds, ranges_before, "cached path avoids range commands");
-        assert!(dev.stats().single_cmds > singles_before);
+    #[test]
+    fn unified_cache_issues_no_more_sd_commands_than_the_retired_bypass_path() {
+        // The acceptance bar for retiring `bypass_bufcache`: a cold FAT32
+        // range read through the unified cache must cost no more SD commands
+        // than the bypass issued — one CMD18 per cluster for data, plus the
+        // handful of single-block metadata reads both paths share.
+        let mut sd = hal::sdhost::SdHost::new(64 * 1024);
+        sd.init().unwrap();
+        let data = vec![7u8; 256 * 1024];
+        // Data clusters + the root-directory cluster read by the lookup —
+        // the exact command budget of the seed's bypass path.
+        let nclusters = data.len().div_ceil(CLUSTER_SIZE) as u64 + 1;
+        {
+            let mut dev = crate::block::SdBlockDevice::new(&mut sd, 0, 64 * 1024);
+            let mut bc = BufCache::default();
+            let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+            fs.write_file(&mut dev, &mut bc, "/doom.wad", &data)
+                .unwrap();
+            bc.flush(&mut dev).unwrap();
+        }
+        let (range_before, single_before) = (sd.range_cmds(), sd.single_block_cmds());
+        let mut cold = BufCache::default();
+        let stats = {
+            let mut dev = crate::block::SdBlockDevice::new(&mut sd, 0, 64 * 1024);
+            let fs = Fat32::mount(&mut dev, &mut cold).unwrap();
+            let back = fs.read_file(&mut dev, &mut cold, "/doom.wad").unwrap();
+            assert_eq!(back, data);
+            cold.stats()
+        };
+        let range_delta = sd.range_cmds() - range_before;
+        let single_delta = sd.single_block_cmds() - single_before;
+        assert!(
+            range_delta <= nclusters,
+            "data path: {range_delta} range commands for {nclusters} clusters"
+        );
+        // Metadata (boot sector, FAT chain, root directory) is a handful of
+        // single-block fills — the same blocks the bypass path also read.
+        assert!(
+            single_delta <= 16,
+            "metadata path issued {single_delta} single-block commands"
+        );
+        // The cache's own accounting agrees with the SD host's counters.
+        assert_eq!(stats.coalesced_ranges, range_delta);
+        assert_eq!(stats.single_cmds, single_delta);
+        // Every cold range fill moves one cluster; singles move one block.
+        assert_eq!(
+            stats.misses,
+            range_delta * SECTORS_PER_CLUSTER as u64 + single_delta
+        );
     }
 
     #[test]
@@ -777,7 +888,11 @@ mod tests {
         fs.create(&mut dev, &mut bc, "/a", true).unwrap();
         fs.create(&mut dev, &mut bc, "/a/b", true).unwrap();
         fs.create(&mut dev, &mut bc, "/a/b/c", true).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/a/b/c/deep.txt", b"deep").unwrap();
-        assert_eq!(fs.read_file(&mut dev, &mut bc, "/a/b/c/deep.txt").unwrap(), b"deep");
+        fs.write_file(&mut dev, &mut bc, "/a/b/c/deep.txt", b"deep")
+            .unwrap();
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/a/b/c/deep.txt").unwrap(),
+            b"deep"
+        );
     }
 }

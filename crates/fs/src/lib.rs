@@ -6,16 +6,20 @@
 //! which keeps the read/write paths inside syscall context and easy to debug.
 //! Prototype 5 then hits xv6fs's three limits — 270 KB maximum file size,
 //! single-block transfers, and zero interoperability with commodity OSes —
-//! and brings up a FAT32 volume on the SD card's second partition, with
-//! multi-block range I/O that bypasses the single-block buffer cache (§5.2).
+//! and brings up a FAT32 volume on the SD card's second partition with
+//! multi-block range I/O (§5.2).
 //!
 //! This crate implements that whole stack:
 //!
-//! * [`block`] — the [`block::BlockDevice`] trait plus the memory-backed disk
-//!   used for ramdisks and tests.
-//! * [`bufcache`] — xv6's single-block LRU buffer cache.
+//! * [`block`] — the [`block::BlockDevice`] trait (single-block + range +
+//!   flush shapes) plus the memory-backed disk used for ramdisks and tests.
+//! * [`bufcache`] — the unified sharded, extent-based, write-back buffer
+//!   cache with first-class range I/O, shared by both filesystems. (It
+//!   replaces both xv6's single-block LRU cache and the FAT32 cache-bypass
+//!   hack the first reproduction used for §5.2.)
 //! * [`xv6fs`] — the small inode-based filesystem with its 268 KB file limit.
-//! * [`fat32`] — a FAT32 implementation with cluster-chain range I/O.
+//! * [`fat32`] — a FAT32 implementation whose cluster I/O flows through the
+//!   cache's range API.
 //! * [`path`] — path normalisation shared by the kernel's VFS.
 
 #![forbid(unsafe_code)]

@@ -75,8 +75,11 @@ pub fn strip_prefix(path: &str, prefix: &str) -> Option<String> {
     }
 }
 
-/// Validates a single file name: non-empty, no `/`, and short enough for
-/// both xv6fs (14 bytes) and FAT 8.3-with-extension names we store verbatim.
+/// Validates a single file name: non-empty, no `/`, printable ASCII, and
+/// short enough for both xv6fs (27-byte `DIRSIZ`) and the FAT 8.3 names we
+/// store verbatim. Leading or trailing spaces are rejected — FAT's 8.3
+/// encoding pads names with spaces, so `"ab .txt"` would decode back as
+/// `"AB.TXT"` and never be found again.
 pub fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 27
@@ -84,6 +87,9 @@ pub fn valid_name(name: &str) -> bool {
         && name != "."
         && name != ".."
         && name.bytes().all(|b| (0x20..0x7f).contains(&b))
+        && !name
+            .split('.')
+            .any(|part| part.starts_with(' ') || part.ends_with(' '))
 }
 
 #[cfg(test)]
@@ -100,6 +106,41 @@ mod tests {
     }
 
     #[test]
+    fn normalize_handles_repeated_and_trailing_separators() {
+        assert_eq!(normalize("//d//games///doom.wad"), "/d/games/doom.wad");
+        assert_eq!(normalize("/d/games/"), "/d/games");
+        assert_eq!(normalize("/d//"), "/d");
+        assert_eq!(normalize(""), "/");
+        assert_eq!(normalize("."), "/");
+        assert_eq!(normalize("./"), "/");
+    }
+
+    #[test]
+    fn dotdot_past_the_root_clamps_to_root() {
+        assert_eq!(normalize("/../.."), "/");
+        assert_eq!(normalize("/../../etc"), "/etc");
+        assert_eq!(normalize("/a/../../b"), "/b");
+        assert_eq!(normalize("../x"), "/x");
+        assert_eq!(components("/../../a"), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for p in ["//a//b/../c/", "/..", "x/./y//", "/d/games/doom.wad", "/"] {
+            let once = normalize(p);
+            assert_eq!(normalize(&once), once, "normalize({p:?}) not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn split_parent_tolerates_messy_paths() {
+        assert_eq!(split_parent("/a//b/"), Some(("/a".into(), "b".into())));
+        assert_eq!(split_parent("a/../b"), Some(("/".into(), "b".into())));
+        assert_eq!(split_parent("/.."), None);
+        assert_eq!(split_parent("///"), None);
+    }
+
+    #[test]
     fn split_parent_handles_root_children_and_nested() {
         assert_eq!(split_parent("/etc/rc"), Some(("/etc".into(), "rc".into())));
         assert_eq!(split_parent("/init"), Some(("/".into(), "init".into())));
@@ -110,7 +151,10 @@ mod tests {
     fn is_under_and_strip_prefix_respect_component_boundaries() {
         assert!(is_under("/d/games/doom.wad", "/d"));
         assert!(!is_under("/data/x", "/d"));
-        assert_eq!(strip_prefix("/d/games/doom.wad", "/d"), Some("/games/doom.wad".into()));
+        assert_eq!(
+            strip_prefix("/d/games/doom.wad", "/d"),
+            Some("/games/doom.wad".into())
+        );
         assert_eq!(strip_prefix("/d", "/d"), Some("/".into()));
         assert_eq!(strip_prefix("/proc/meminfo", "/d"), None);
     }
@@ -125,6 +169,16 @@ mod tests {
         assert!(!valid_name("a/b"));
         assert!(!valid_name("this-name-is-far-too-long-for-proto.txt"));
         assert!(!valid_name("bad\nname"));
+        // Space padding is FAT's 8.3 fill character: edge spaces would not
+        // round-trip through encode/decode.
+        assert!(!valid_name(" leading"));
+        assert!(!valid_name("trailing "));
+        assert!(!valid_name("ab .txt"));
+        assert!(!valid_name("ab. txt"));
+        assert!(
+            valid_name("a b.txt"),
+            "interior spaces survive 8.3 round-trips"
+        );
     }
 
     #[test]

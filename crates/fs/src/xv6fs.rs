@@ -193,7 +193,11 @@ pub struct Xv6Fs {
 impl Xv6Fs {
     // ---- block-level helpers --------------------------------------------------------
 
-    fn read_fs_block(dev: &mut dyn BlockDevice, bc: &mut BufCache, blockno: u32) -> FsResult<Vec<u8>> {
+    fn read_fs_block(
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        blockno: u32,
+    ) -> FsResult<Vec<u8>> {
         let mut out = vec![0u8; BSIZE];
         let sectors_per_block = BSIZE / SECTOR_SIZE;
         for s in 0..sectors_per_block {
@@ -661,8 +665,8 @@ impl Xv6Fs {
         p: &str,
         itype: InodeType,
     ) -> FsResult<u32> {
-        let (parent, name) = path::split_parent(p)
-            .ok_or_else(|| FsError::Invalid("cannot create root".into()))?;
+        let (parent, name) =
+            path::split_parent(p).ok_or_else(|| FsError::Invalid("cannot create root".into()))?;
         let parent_inum = self.lookup(dev, bc, &parent)?;
         let parent_ino = self.read_inode(dev, bc, parent_inum)?;
         if parent_ino.itype != InodeType::Dir {
@@ -690,8 +694,8 @@ impl Xv6Fs {
     /// Removes the file at `p`, freeing its data blocks. Directories must be
     /// empty.
     pub fn unlink(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<()> {
-        let (parent, name) = path::split_parent(p)
-            .ok_or_else(|| FsError::Invalid("cannot unlink root".into()))?;
+        let (parent, name) =
+            path::split_parent(p).ok_or_else(|| FsError::Invalid("cannot unlink root".into()))?;
         let parent_inum = self.lookup(dev, bc, &parent)?;
         let inum = self.dir_lookup(dev, bc, parent_inum, &name)?;
         let mut ino = self.read_inode(dev, bc, inum)?;
@@ -780,20 +784,27 @@ mod tests {
     fn create_write_read_round_trips() {
         let (mut dev, mut bc, fs) = fresh_fs();
         let data = b"hello from prototype 4".to_vec();
-        fs.write_file(&mut dev, &mut bc, "/hello.txt", &data).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/hello.txt", &data)
+            .unwrap();
         assert_eq!(fs.read_file(&mut dev, &mut bc, "/hello.txt").unwrap(), data);
     }
 
     #[test]
     fn nested_directories_work() {
         let (mut dev, mut bc, fs) = fresh_fs();
-        fs.create(&mut dev, &mut bc, "/etc", InodeType::Dir).unwrap();
-        fs.create(&mut dev, &mut bc, "/etc/conf", InodeType::Dir).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/etc/conf/rc", b"init").unwrap();
+        fs.create(&mut dev, &mut bc, "/etc", InodeType::Dir)
+            .unwrap();
+        fs.create(&mut dev, &mut bc, "/etc/conf", InodeType::Dir)
+            .unwrap();
+        fs.write_file(&mut dev, &mut bc, "/etc/conf/rc", b"init")
+            .unwrap();
         let listing = fs.list_dir(&mut dev, &mut bc, "/etc/conf").unwrap();
         assert_eq!(listing.len(), 1);
         assert_eq!(listing[0].name, "rc");
-        assert_eq!(fs.read_file(&mut dev, &mut bc, "/etc/conf/rc").unwrap(), b"init");
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/etc/conf/rc").unwrap(),
+            b"init"
+        );
     }
 
     #[test]
@@ -808,7 +819,9 @@ mod tests {
     #[test]
     fn file_size_limit_is_enforced_at_268kb() {
         let (mut dev, mut bc, fs) = fresh_fs();
-        let inum = fs.create(&mut dev, &mut bc, "/huge", InodeType::File).unwrap();
+        let inum = fs
+            .create(&mut dev, &mut bc, "/huge", InodeType::File)
+            .unwrap();
         let ok = vec![0u8; MAXFILE_BYTES];
         assert!(fs.write(&mut dev, &mut bc, inum, 0, &ok).is_ok());
         assert!(matches!(
@@ -825,7 +838,8 @@ mod tests {
         // allocated and does not perturb the free-block accounting below.
         fs.write_file(&mut dev, &mut bc, "/anchor", b"x").unwrap();
         let free_before = fs.free_blocks(&mut dev, &mut bc).unwrap();
-        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 50 * 1024]).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/tmp.bin", &vec![1u8; 50 * 1024])
+            .unwrap();
         let free_mid = fs.free_blocks(&mut dev, &mut bc).unwrap();
         assert!(free_mid < free_before);
         fs.unlink(&mut dev, &mut bc, "/tmp.bin").unwrap();
@@ -879,8 +893,11 @@ mod tests {
     #[test]
     fn data_persists_across_remount() {
         let (mut dev, mut bc, fs) = fresh_fs();
-        fs.write_file(&mut dev, &mut bc, "/persist.txt", b"survive remount").unwrap();
-        drop(fs);
+        fs.write_file(&mut dev, &mut bc, "/persist.txt", b"survive remount")
+            .unwrap();
+        // The unified cache is write-back: flush before abandoning it, as an
+        // unmount would.
+        bc.flush(&mut dev).unwrap();
         let mut bc2 = BufCache::default();
         let fs2 = Xv6Fs::mount(&mut dev, &mut bc2).unwrap();
         assert_eq!(
@@ -892,7 +909,9 @@ mod tests {
     #[test]
     fn overwrite_in_the_middle_of_a_file() {
         let (mut dev, mut bc, fs) = fresh_fs();
-        let inum = fs.write_file(&mut dev, &mut bc, "/f", &vec![b'a'; 3000]).unwrap();
+        let inum = fs
+            .write_file(&mut dev, &mut bc, "/f", &vec![b'a'; 3000])
+            .unwrap();
         fs.write(&mut dev, &mut bc, inum, 1500, b"XYZ").unwrap();
         let back = fs.read_file(&mut dev, &mut bc, "/f").unwrap();
         assert_eq!(back.len(), 3000);

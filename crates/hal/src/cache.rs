@@ -78,11 +78,7 @@ impl DirtyLineTracker {
         }
         let first = offset / CACHE_LINE_SIZE;
         let last = (offset + len - 1) / CACHE_LINE_SIZE;
-        let lines: Vec<usize> = self
-            .dirty
-            .range(first..=last)
-            .copied()
-            .collect();
+        let lines: Vec<usize> = self.dirty.range(first..=last).copied().collect();
         for line in &lines {
             self.dirty.remove(line);
         }

@@ -147,8 +147,8 @@ pub struct CostModel {
     /// (the paper's driver does not use DMA).
     pub sd_block_poll_transfer: Cycles,
     /// Per-block incremental cost inside a multi-block range transfer
-    /// (amortises the command latency; used by the FAT32 range path that
-    /// bypasses the buffer cache, §5.2).
+    /// (amortises the command latency; used by the buffer cache's coalesced
+    /// range fills and write-backs, §5.2).
     pub sd_range_block_transfer: Cycles,
     /// Cost of a buffer-cache lookup/insert.
     pub bufcache_op: Cycles,
@@ -365,7 +365,10 @@ mod tests {
         let m = CostModel::pi3();
         let c = m.trivial_syscall();
         // 1 cycle == 1 ns at 1 GHz; the paper reports 3.4 +/- 0.04 us.
-        assert!(c > 3_000 && c < 3_800, "syscall cost {c} outside 3.0-3.8 us");
+        assert!(
+            c > 3_000 && c < 3_800,
+            "syscall cost {c} outside 3.0-3.8 us"
+        );
     }
 
     #[test]

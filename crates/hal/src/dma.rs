@@ -92,7 +92,10 @@ impl DmaEngine {
 
     /// Number of completed transfers on `channel`.
     pub fn completions(&self, channel: usize) -> u64 {
-        self.channels.get(channel).map(|c| c.completions).unwrap_or(0)
+        self.channels
+            .get(channel)
+            .map(|c| c.completions)
+            .unwrap_or(0)
     }
 
     /// Programs `channel` with `transfer`, starting at global time `now`
@@ -123,12 +126,14 @@ impl DmaEngine {
     /// Advances the engine to global time `now`, performing any transfers
     /// whose completion time has passed and raising [`Interrupt::Dma0`] for
     /// channel 0 completions (the only channel Proto enables interrupts for).
-    pub fn tick(&mut self, now: Cycles, mem: &mut PhysMem, intc: &mut IrqController) -> HalResult<()> {
+    pub fn tick(
+        &mut self,
+        now: Cycles,
+        mem: &mut PhysMem,
+        intc: &mut IrqController,
+    ) -> HalResult<()> {
         for (idx, ch) in self.channels.iter_mut().enumerate() {
-            let due = match &ch.active {
-                Some((_, done_at)) if *done_at <= now => true,
-                _ => false,
-            };
+            let due = matches!(&ch.active, Some((_, done_at)) if *done_at <= now);
             if !due {
                 continue;
             }

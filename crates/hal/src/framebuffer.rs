@@ -127,7 +127,12 @@ impl Framebuffer {
     /// returned evicted lines are committed immediately (modelling capacity
     /// write-back). With `cached == false` (a device/non-cacheable mapping)
     /// the write goes straight to scanout.
-    pub fn write_pixels(&mut self, offset_px: usize, pixels: &[u32], cached: bool) -> HalResult<()> {
+    pub fn write_pixels(
+        &mut self,
+        offset_px: usize,
+        pixels: &[u32],
+        cached: bool,
+    ) -> HalResult<()> {
         let info = self.require_info()?;
         if offset_px + pixels.len() > info.pixel_count() {
             return Err(HalError::OutOfRange(format!(
@@ -166,7 +171,8 @@ impl Framebuffer {
     fn commit_line(&mut self, line: usize) {
         let start_byte = line * CACHE_LINE_SIZE;
         let start_px = start_byte / BYTES_PER_PIXEL as usize;
-        let end_px = ((start_byte + CACHE_LINE_SIZE) / BYTES_PER_PIXEL as usize).min(self.staged.len());
+        let end_px =
+            ((start_byte + CACHE_LINE_SIZE) / BYTES_PER_PIXEL as usize).min(self.staged.len());
         if start_px >= self.staged.len() {
             return;
         }
@@ -301,6 +307,9 @@ mod tests {
         let info = fb.allocate(DEFAULT_WIDTH, DEFAULT_HEIGHT, 0x3C10_0000);
         assert_eq!(info.pitch, DEFAULT_WIDTH * BYTES_PER_PIXEL);
         assert_eq!(info.size, DEFAULT_WIDTH * BYTES_PER_PIXEL * DEFAULT_HEIGHT);
-        assert_eq!(info.pixel_count(), (DEFAULT_WIDTH * DEFAULT_HEIGHT) as usize);
+        assert_eq!(
+            info.pixel_count(),
+            (DEFAULT_WIDTH * DEFAULT_HEIGHT) as usize
+        );
     }
 }

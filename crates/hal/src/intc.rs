@@ -145,7 +145,11 @@ impl IrqController {
         self.raised_count += 1;
         let core = self.route(source);
         // Collapse duplicates: a level-style interrupt pending twice delivers once.
-        if !self.pending.iter().any(|p| p.source == source && p.core == core) {
+        if !self
+            .pending
+            .iter()
+            .any(|p| p.source == source && p.core == core)
+        {
             self.pending.push_back(PendingIrq { source, core });
         }
     }

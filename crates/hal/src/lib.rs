@@ -51,7 +51,7 @@ pub mod uart;
 pub mod usb_hw;
 
 pub use board::SimBoard;
-pub use clock::{Clock, Cycles, CoreId};
+pub use clock::{Clock, CoreId, Cycles};
 pub use cost::{CostModel, Platform};
 pub use intc::{Interrupt, IrqController};
 pub use mem::{PhysAddr, PhysMem, FRAME_SIZE};

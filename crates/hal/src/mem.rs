@@ -104,7 +104,9 @@ impl PhysMem {
             let in_frame = (cur % FRAME_SIZE as u64) as usize;
             let chunk = (FRAME_SIZE - in_frame).min(buf.len() - off);
             match self.frames.get(&frame_idx) {
-                Some(frame) => buf[off..off + chunk].copy_from_slice(&frame[in_frame..in_frame + chunk]),
+                Some(frame) => {
+                    buf[off..off + chunk].copy_from_slice(&frame[in_frame..in_frame + chunk])
+                }
                 None => {
                     let fill = if self.poison { POISON_BYTE } else { 0 };
                     buf[off..off + chunk].fill(fill);

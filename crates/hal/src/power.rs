@@ -80,8 +80,15 @@ impl PowerModel {
         if activity.usb_powered {
             pi3 += self.usb_w;
         }
-        let hat = if activity.hat_attached { self.hat_w } else { 0.0 };
-        PowerEstimate { pi3_w: pi3, hat_w: hat }
+        let hat = if activity.hat_attached {
+            self.hat_w
+        } else {
+            0.0
+        };
+        PowerEstimate {
+            pi3_w: pi3,
+            hat_w: hat,
+        }
     }
 
     /// Battery life in hours for a given draw, using the paper's 18650 cell

@@ -130,8 +130,7 @@ impl SdHost {
     }
 
     fn write_one(&mut self, lba: u64, data: &[u8]) {
-        self.blocks
-            .insert(lba, data.to_vec().into_boxed_slice());
+        self.blocks.insert(lba, data.to_vec().into_boxed_slice());
     }
 
     /// Reads a single 512-byte block (CMD17).
@@ -156,7 +155,9 @@ impl SdHost {
     /// `count * BLOCK_SIZE` bytes.
     pub fn read_range(&mut self, lba: u64, count: u64, out: &mut [u8]) -> HalResult<()> {
         if out.len() != (count as usize) * BLOCK_SIZE {
-            return Err(HalError::OutOfRange("read_range buffer size mismatch".into()));
+            return Err(HalError::OutOfRange(
+                "read_range buffer size mismatch".into(),
+            ));
         }
         self.check_ready(lba, count)?;
         self.range_cmds += 1;
@@ -172,7 +173,9 @@ impl SdHost {
     /// `count * BLOCK_SIZE` bytes.
     pub fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> HalResult<()> {
         if data.len() != (count as usize) * BLOCK_SIZE {
-            return Err(HalError::OutOfRange("write_range buffer size mismatch".into()));
+            return Err(HalError::OutOfRange(
+                "write_range buffer size mismatch".into(),
+            ));
         }
         self.check_ready(lba, count)?;
         self.range_cmds += 1;

@@ -185,11 +185,7 @@ impl UsbHostController {
         if !self.powered {
             return;
         }
-        let pending = self
-            .ports
-            .iter()
-            .flatten()
-            .any(|d| d.has_pending_input());
+        let pending = self.ports.iter().flatten().any(|d| d.has_pending_input());
         if pending {
             intc.raise(Interrupt::UsbHc);
         }
@@ -245,8 +241,12 @@ mod tests {
         assert!(hc.control_transfer(0, &setup, &[]).is_err());
         hc.power_on();
         assert!(hc.control_transfer(0, &setup, &[]).is_err());
-        hc.attach(0, Box::new(EchoDevice { queued: vec![] })).unwrap();
-        assert_eq!(hc.control_transfer(0, &setup, &[1, 2]).unwrap(), vec![6, 1, 2]);
+        hc.attach(0, Box::new(EchoDevice { queued: vec![] }))
+            .unwrap();
+        assert_eq!(
+            hc.control_transfer(0, &setup, &[1, 2]).unwrap(),
+            vec![6, 1, 2]
+        );
         assert_eq!(hc.control_transfer_count(), 1);
     }
 
@@ -254,7 +254,13 @@ mod tests {
     fn pending_input_raises_controller_irq() {
         let mut hc = UsbHostController::new();
         hc.power_on();
-        hc.attach(1, Box::new(EchoDevice { queued: vec![vec![9]] })).unwrap();
+        hc.attach(
+            1,
+            Box::new(EchoDevice {
+                queued: vec![vec![9]],
+            }),
+        )
+        .unwrap();
         let mut ic = IrqController::new(1);
         ic.enable(Interrupt::UsbHc);
         ic.set_core_masked(0, false);
@@ -268,7 +274,8 @@ mod tests {
     fn detach_disconnects_the_port() {
         let mut hc = UsbHostController::new();
         hc.power_on();
-        hc.attach(0, Box::new(EchoDevice { queued: vec![] })).unwrap();
+        hc.attach(0, Box::new(EchoDevice { queued: vec![] }))
+            .unwrap();
         assert!(hc.port_connected(0));
         hc.detach(0).unwrap();
         assert!(!hc.port_connected(0));

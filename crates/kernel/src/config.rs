@@ -64,8 +64,9 @@ pub enum KernelVariant {
     /// The Proto kernel as described in the paper.
     Proto,
     /// An xv6-armv8-like configuration: same mechanisms, but with the
-    /// single-block filesystem path everywhere, the slower memmove, a
-    /// musl-like user library penalty on compute, and no buffer-cache bypass.
+    /// single-block filesystem path everywhere (the buffer cache issues one
+    /// SD command per block instead of coalescing ranges), the slower
+    /// memmove, and a musl-like user library penalty on compute.
     Xv6Baseline,
 }
 

@@ -252,7 +252,10 @@ mod tests {
     fn watchpoints_respect_range_and_write_only() {
         let mut m = DebugMonitor::new();
         m.set_watchpoint(0x4000, 16, true).unwrap();
-        assert!(!m.check_watchpoint(0x4008, false), "read does not trip write-only");
+        assert!(
+            !m.check_watchpoint(0x4008, false),
+            "read does not trip write-only"
+        );
         assert!(m.check_watchpoint(0x4008, true));
         assert!(!m.check_watchpoint(0x4010, true), "past the end");
     }

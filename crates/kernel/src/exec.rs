@@ -86,18 +86,22 @@ impl ProgramImage {
         // declared code+data size, exercising multi-block filesystem reads
         // the way real ELF loading does.
         let payload = (self.code_size as usize + self.data_size as usize).min(1 << 20);
-        out.extend(std::iter::repeat(0xD4).take(payload.min(65_536)));
+        out.extend(std::iter::repeat_n(0xD4, payload.min(65_536)));
         out
     }
 
     /// Parses an image from bytes.
     pub fn parse(bytes: &[u8]) -> KResult<Self> {
         if bytes.len() < 8 || &bytes[..4] != PELF_MAGIC {
-            return Err(KernelError::Invalid("not a Proto executable (bad magic)".into()));
+            return Err(KernelError::Invalid(
+                "not a Proto executable (bad magic)".into(),
+            ));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
         if version != PELF_VERSION {
-            return Err(KernelError::Invalid(format!("unsupported PELF version {version}")));
+            return Err(KernelError::Invalid(format!(
+                "unsupported PELF version {version}"
+            )));
         }
         let mut pos = 6usize;
         let rd_u16 = |b: &[u8], p: usize| -> KResult<u16> {
@@ -159,7 +163,9 @@ impl std::fmt::Debug for ProgramRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<_> = self.factories.keys().collect();
         names.sort();
-        f.debug_struct("ProgramRegistry").field("programs", &names).finish()
+        f.debug_struct("ProgramRegistry")
+            .field("programs", &names)
+            .finish()
     }
 }
 

@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn driver_queues_and_counts_events() {
         let mut d = KeyboardDriver::new();
-        d.push_events(vec![sample(KeyCode::Char('A'), true), sample(KeyCode::Char('A'), false)]);
+        d.push_events(vec![
+            sample(KeyCode::Char('A'), true),
+            sample(KeyCode::Char('A'), false),
+        ]);
         assert_eq!(d.events_received, 2);
         assert_eq!(d.raw_queue.len(), 2);
         assert!(d.dispatched_queue.is_empty());

@@ -142,7 +142,10 @@ impl Default for SharedKeyboard {
 
 impl UsbHwDevice for SharedKeyboard {
     fn control(&mut self, setup: &UsbSetupPacket, data_out: &[u8]) -> hal::HalResult<Vec<u8>> {
-        self.0.lock().expect("keyboard lock").control(setup, data_out)
+        self.0
+            .lock()
+            .expect("keyboard lock")
+            .control(setup, data_out)
     }
     fn interrupt_in(&mut self, endpoint: u8) -> Option<Vec<u8>> {
         self.0.lock().expect("keyboard lock").interrupt_in(endpoint)
@@ -398,9 +401,11 @@ impl Kernel {
         // Framebuffer via the mailbox property interface.
         if self.config.framebuffer {
             let mut fb = std::mem::take(&mut self.board.framebuffer);
-            self.board
-                .mailbox
-                .allocate_framebuffer(&mut fb, hal::framebuffer::DEFAULT_WIDTH, hal::framebuffer::DEFAULT_HEIGHT)?;
+            self.board.mailbox.allocate_framebuffer(
+                &mut fb,
+                hal::framebuffer::DEFAULT_WIDTH,
+                hal::framebuffer::DEFAULT_HEIGHT,
+            )?;
             self.board.framebuffer = fb;
         }
 
@@ -419,7 +424,9 @@ impl Kernel {
         if self.config.multicore {
             for core in 0..self.config.cores {
                 self.board.intc.enable(Interrupt::GenericTimer(core));
-                self.board.generic_timers.enable_periodic(core, now, TICK_US);
+                self.board
+                    .generic_timers
+                    .enable_periodic(core, now, TICK_US);
             }
         } else {
             self.board.systimer.arm(1, now, TICK_US);
@@ -468,21 +475,26 @@ impl Kernel {
                     FAT_PARTITION_START,
                     total - FAT_PARTITION_START,
                 );
-                match Fat32::mount(&mut dev, &mut bc) {
+                let fat = match Fat32::mount(&mut dev, &mut bc) {
                     Ok(f) => f,
                     Err(_) => Fat32::mkfs(&mut dev, &mut bc)?,
-                }
+                };
+                // A fresh format leaves the superblock and FAT dirty in the
+                // write-back cache; put the card in a mountable state now.
+                bc.flush(&mut dev)?;
+                fat
             };
             self.fat_bufcache = bc;
             self.fatfs = Some(fat);
             self.mounts = MountTable::with_fat();
         }
 
-        // The xv6-baseline variant never bypasses the buffer cache.
+        // The xv6-baseline variant has no multi-block I/O: its cache issues
+        // one SD command per block (the policy the §5.2 range coalescing
+        // replaced).
         if self.config.variant == KernelVariant::Xv6Baseline {
-            if let Some(fat) = self.fatfs.as_mut() {
-                fat.set_bypass_bufcache(false);
-            }
+            self.fat_bufcache.set_coalescing(false);
+            self.root_bufcache.set_coalescing(false);
         }
 
         // The window-manager kernel thread.
@@ -495,7 +507,10 @@ impl Kernel {
         }
 
         self.printk("proto: boot complete, starting shell");
-        let to_prompt_ms = self.board.clock.cycles_to_ms(self.board.clock.global_cycles());
+        let to_prompt_ms = self
+            .board
+            .clock
+            .cycles_to_ms(self.board.clock.global_cycles());
         self.boot_stats = BootStats {
             firmware_load_ms: firmware_ms,
             to_prompt_ms,
@@ -517,9 +532,10 @@ impl Kernel {
 
     /// Writes a file into the root (xv6fs) filesystem.
     pub fn install_root_file(&mut self, path: &str, data: &[u8]) -> KResult<()> {
-        let fs = self.rootfs.as_ref().ok_or_else(|| {
-            KernelError::NotSupported("root filesystem not available".into())
-        })?;
+        let fs = self
+            .rootfs
+            .as_ref()
+            .ok_or_else(|| KernelError::NotSupported("root filesystem not available".into()))?;
         let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
         fs.write_file(dev, &mut self.root_bufcache, path, data)?;
         Ok(())
@@ -527,11 +543,17 @@ impl Kernel {
 
     /// Creates a directory on the root filesystem.
     pub fn install_root_dir(&mut self, path: &str) -> KResult<()> {
-        let fs = self.rootfs.as_ref().ok_or_else(|| {
-            KernelError::NotSupported("root filesystem not available".into())
-        })?;
+        let fs = self
+            .rootfs
+            .as_ref()
+            .ok_or_else(|| KernelError::NotSupported("root filesystem not available".into()))?;
         let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
-        match fs.create(dev, &mut self.root_bufcache, path, protofs::xv6fs::InodeType::Dir) {
+        match fs.create(
+            dev,
+            &mut self.root_bufcache,
+            path,
+            protofs::xv6fs::InodeType::Dir,
+        ) {
             Ok(_) => Ok(()),
             Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
             Err(e) => Err(e.into()),
@@ -553,6 +575,9 @@ impl Kernel {
             total - FAT_PARTITION_START,
         );
         fat.write_file(&mut dev, &mut self.fat_bufcache, volume_path, data)?;
+        // Image-building writes happen outside any task context; push them to
+        // the card immediately so the installed image is always mountable.
+        self.fat_bufcache.flush(&mut dev)?;
         Ok(())
     }
 
@@ -569,11 +594,13 @@ impl Kernel {
             FAT_PARTITION_START,
             total - FAT_PARTITION_START,
         );
-        match fat.create(&mut dev, &mut self.fat_bufcache, volume_path, true) {
+        let result = match fat.create(&mut dev, &mut self.fat_bufcache, volume_path, true) {
             Ok(_) => Ok(()),
             Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
             Err(e) => Err(e.into()),
-        }
+        };
+        self.fat_bufcache.flush(&mut dev)?;
+        result
     }
 
     /// Installs a program image on the root filesystem under `/bin/<name>`.
@@ -628,7 +655,8 @@ impl Kernel {
         // without multitasking exactly one user task may exist.
         if !self.config.multitasking {
             let user_tasks = self.tasks.values().filter(|t| !t.kernel_thread).count();
-            self.config.require(user_tasks == 0, "multitasking (a second task)")?;
+            self.config
+                .require(user_tasks == 0, "multitasking (a second task)")?;
         }
         let id = self.alloc_task_id();
         let mut task = Task::new(id, parent, image.name.clone(), false);
@@ -720,11 +748,26 @@ impl Kernel {
         let now = self.now_us();
         self.trace
             .record(now, 0, TraceKind::Marker, Some(id), format!("exit {code}"));
-        // Close every fd (dropping pipe references).
-        let open_files = match self.tasks.get_mut(&id) {
-            Some(t) => t.fds.drain_all(),
+        // Close every fd (dropping pipe references). Descriptors that wrote
+        // to a disk filesystem get the same write-back flush sys_close
+        // performs, so an exiting (or killed) task still pays for its own
+        // dirty blocks and the device is left consistent.
+        let (open_files, core) = match self.tasks.get_mut(&id) {
+            Some(t) => (t.fds.drain_all(), t.core),
             None => return,
         };
+        let flush_fat = open_files
+            .iter()
+            .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Fat { .. }));
+        let flush_root = open_files
+            .iter()
+            .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Xv6 { .. }));
+        if flush_fat {
+            let _ = self.flush_fat_cache(core);
+        }
+        if flush_root {
+            let _ = self.flush_root_cache(core);
+        }
         for f in open_files {
             self.drop_open_file(f);
         }
@@ -753,7 +796,7 @@ impl Kernel {
             task.exit_code = Some(code);
             task.parent
         } else {
-            return
+            return;
         };
         // Notify the parent.
         if let Some(p) = self.tasks.get_mut(&parent) {
@@ -844,8 +887,7 @@ impl Kernel {
                     .poll_keyboards(&mut self.board.usb, now)
                     .unwrap_or_default();
                 if !events.is_empty() {
-                    let parse_cost =
-                        self.board.cost.hid_report_parse * events.len() as u64;
+                    let parse_cost = self.board.cost.hid_report_parse * events.len() as u64;
                     self.board.charge_kernel(core, parse_cost);
                     for e in &events {
                         self.trace.record(
@@ -872,7 +914,9 @@ impl Kernel {
                     let code = match b {
                         b'\r' | b'\n' => KeyCode::Enter,
                         b' ' => KeyCode::Space,
-                        c if c.is_ascii_alphabetic() => KeyCode::Char((c as char).to_ascii_uppercase()),
+                        c if c.is_ascii_alphabetic() => {
+                            KeyCode::Char((c as char).to_ascii_uppercase())
+                        }
                         c if c.is_ascii_digit() => KeyCode::Digit(c as char),
                         other => KeyCode::Unknown(other),
                     };
@@ -928,7 +972,7 @@ impl Kernel {
                 self.kbd.dispatched_queue.push(passed);
             }
         }
-        if self.kbd.dispatched_queue.len() > 0 {
+        if !self.kbd.dispatched_queue.is_empty() {
             self.wake_all(WaitChannel::KeyEvent);
         }
         // Composite dirty surfaces.
@@ -963,8 +1007,13 @@ impl Kernel {
     }
 
     pub(crate) fn trace_marker(&mut self, task: TaskId, core: usize, detail: &str) {
-        self.trace
-            .record(self.board.now_us(), core, TraceKind::Marker, Some(task), detail);
+        self.trace.record(
+            self.board.now_us(),
+            core,
+            TraceKind::Marker,
+            Some(task),
+            detail,
+        );
     }
 
     pub(crate) fn console_print(&mut self, core: usize, text: &str) {
@@ -1208,18 +1257,28 @@ impl Kernel {
     }
 
     pub(crate) fn any_child_of(&self, parent: TaskId) -> bool {
-        self.tasks.values().any(|t| t.parent == parent && t.id != parent)
+        self.tasks
+            .values()
+            .any(|t| t.parent == parent && t.id != parent)
     }
 
     pub(crate) fn pipes_create(&mut self) -> u64 {
         self.pipes.create()
     }
 
-    pub(crate) fn pipes_read(&mut self, id: u64, max: usize) -> KResult<crate::pipe::PipeReadResult> {
+    pub(crate) fn pipes_read(
+        &mut self,
+        id: u64,
+        max: usize,
+    ) -> KResult<crate::pipe::PipeReadResult> {
         self.pipes.read(id, max)
     }
 
-    pub(crate) fn pipes_write(&mut self, id: u64, data: &[u8]) -> KResult<crate::pipe::PipeWriteResult> {
+    pub(crate) fn pipes_write(
+        &mut self,
+        id: u64,
+        data: &[u8],
+    ) -> KResult<crate::pipe::PipeWriteResult> {
         self.pipes.write(id, data)
     }
 
@@ -1231,7 +1290,11 @@ impl Kernel {
         self.sems.create(value)
     }
 
-    pub(crate) fn sems_wait(&mut self, id: u64, task: TaskId) -> KResult<crate::sync::SemWaitResult> {
+    pub(crate) fn sems_wait(
+        &mut self,
+        id: u64,
+        task: TaskId,
+    ) -> KResult<crate::sync::SemWaitResult> {
         self.sems.wait(id, task)
     }
 
@@ -1302,12 +1365,21 @@ impl Kernel {
 }
 
 impl Kernel {
-    /// Enables or disables the FAT32 buffer-cache bypass (the §5.2
-    /// optimisation); used by the ablation benchmark.
-    pub fn set_fat_bypass(&mut self, bypass: bool) {
-        if let Some(fat) = self.fatfs.as_mut() {
-            fat.set_bypass_bufcache(bypass);
-        }
+    /// Enables or disables range-command coalescing in the FAT32 buffer
+    /// cache (the §5.2 optimisation, now a cache policy rather than a cache
+    /// bypass); used by the ablation benchmark.
+    pub fn set_fat_range_coalescing(&mut self, coalesce: bool) {
+        self.fat_bufcache.set_coalescing(coalesce);
+    }
+
+    /// Statistics of the FAT32 volume's buffer cache.
+    pub fn fat_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
+        self.fat_bufcache.stats()
+    }
+
+    /// Statistics of the root (xv6fs) buffer cache.
+    pub fn root_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
+        self.root_bufcache.stats()
     }
 }
 

@@ -154,6 +154,7 @@ impl AddressSpace {
 
     /// Adds a region. Non-lazy regions are mapped eagerly (one fresh zeroed
     /// frame per page); lazy regions map nothing until faulted.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_region(
         &mut self,
         frames: &mut FrameAllocator,
@@ -164,15 +165,17 @@ impl AddressSpace {
         flags: MapFlags,
         lazy: bool,
     ) -> KResult<()> {
-        if start % FRAME_SIZE as u64 != 0 || len == 0 {
+        if !start.is_multiple_of(FRAME_SIZE as u64) || len == 0 {
             return Err(KernelError::Invalid(format!(
                 "bad region {start:#x}+{len:#x}"
             )));
         }
         let len = len.div_ceil(FRAME_SIZE as u64) * FRAME_SIZE as u64;
-        if self.regions.iter().any(|r| {
-            start < r.start + r.len && r.start < start + len
-        }) {
+        if self
+            .regions
+            .iter()
+            .any(|r| start < r.start + r.len && r.start < start + len)
+        {
             return Err(KernelError::AlreadyExists(format!(
                 "region overlap at {start:#x}"
             )));
@@ -200,6 +203,7 @@ impl AddressSpace {
 
     /// Maps an existing physical range (the framebuffer) into the address
     /// space at `va` without taking ownership of the frames.
+    #[allow(clippy::too_many_arguments)]
     pub fn map_physical_range(
         &mut self,
         frames: &mut FrameAllocator,
@@ -213,7 +217,8 @@ impl AddressSpace {
         let len = len.div_ceil(FRAME_SIZE as u64) * FRAME_SIZE as u64;
         let mut off = 0;
         while off < len {
-            self.table.map_page(mem, frames, va + off, pa + off, flags)?;
+            self.table
+                .map_page(mem, frames, va + off, pa + off, flags)?;
             self.stats.mapped_pages += 1;
             off += FRAME_SIZE as u64;
         }
@@ -242,7 +247,12 @@ impl AddressSpace {
             true,
         )?;
         // Map the first (topmost) stack page eagerly.
-        self.map_one(frames, mem, USER_STACK_TOP - FRAME_SIZE as u64, MapFlags::user_data())?;
+        self.map_one(
+            frames,
+            mem,
+            USER_STACK_TOP - FRAME_SIZE as u64,
+            MapFlags::user_data(),
+        )?;
         Ok(())
     }
 
@@ -388,10 +398,26 @@ mod tests {
     fn exec_style_regions_map_and_translate() {
         let (mut mem, mut frames) = setup();
         let mut asp = AddressSpace::new(&mut frames, &mut mem).unwrap();
-        asp.add_region(&mut frames, &mut mem, RegionKind::Code, 0x0, 8192, MapFlags::user_code(), false)
-            .unwrap();
-        asp.add_region(&mut frames, &mut mem, RegionKind::Data, 0x4000, 4096, MapFlags::user_data(), false)
-            .unwrap();
+        asp.add_region(
+            &mut frames,
+            &mut mem,
+            RegionKind::Code,
+            0x0,
+            8192,
+            MapFlags::user_code(),
+            false,
+        )
+        .unwrap();
+        asp.add_region(
+            &mut frames,
+            &mut mem,
+            RegionKind::Data,
+            0x4000,
+            4096,
+            MapFlags::user_data(),
+            false,
+        )
+        .unwrap();
         assert!(asp.translate(&mem, 0x1000).unwrap().is_some());
         assert!(asp.translate(&mem, 0x4000).unwrap().is_some());
         assert!(asp.translate(&mem, 0x9000).unwrap().is_none());
@@ -422,7 +448,8 @@ mod tests {
         let mut asp = AddressSpace::new(&mut frames, &mut mem).unwrap();
         asp.add_stack(&mut frames, &mut mem).unwrap();
         assert_eq!(
-            asp.handle_fault(&mut frames, &mut mem, 0xdead_0000).unwrap(),
+            asp.handle_fault(&mut frames, &mut mem, 0xdead_0000)
+                .unwrap(),
             FaultOutcome::Fatal
         );
     }
@@ -438,16 +465,30 @@ mod tests {
         // permission issue): first fault maps it, second and third faults on
         // the *same* address are treated as repeated.
         let va = USER_STACK_TOP - 10 * FRAME_SIZE as u64;
-        assert_eq!(asp.handle_fault(&mut frames, &mut mem, va).unwrap(), FaultOutcome::Mapped);
-        assert_eq!(asp.handle_fault(&mut frames, &mut mem, va).unwrap(), FaultOutcome::Fatal);
+        assert_eq!(
+            asp.handle_fault(&mut frames, &mut mem, va).unwrap(),
+            FaultOutcome::Mapped
+        );
+        assert_eq!(
+            asp.handle_fault(&mut frames, &mut mem, va).unwrap(),
+            FaultOutcome::Fatal
+        );
     }
 
     #[test]
     fn sbrk_grows_the_heap_like_marios_pixel_buffer() {
         let (mut mem, mut frames) = setup();
         let mut asp = AddressSpace::new(&mut frames, &mut mem).unwrap();
-        asp.add_region(&mut frames, &mut mem, RegionKind::Heap, 0x10_0000, 4096, MapFlags::user_data(), false)
-            .unwrap();
+        asp.add_region(
+            &mut frames,
+            &mut mem,
+            RegionKind::Heap,
+            0x10_0000,
+            4096,
+            MapFlags::user_data(),
+            false,
+        )
+        .unwrap();
         let old = asp.sbrk(&mut frames, &mut mem, 64 * 1024).unwrap();
         assert_eq!(old, 0x10_0000 + 4096);
         assert!(asp.translate(&mem, old + 60 * 1024).unwrap().is_some());
@@ -461,7 +502,15 @@ mod tests {
         let (mut mem, mut frames) = setup();
         let mut parent = AddressSpace::new(&mut frames, &mut mem).unwrap();
         parent
-            .add_region(&mut frames, &mut mem, RegionKind::Data, 0x4000, 8192, MapFlags::user_data(), false)
+            .add_region(
+                &mut frames,
+                &mut mem,
+                RegionKind::Data,
+                0x4000,
+                8192,
+                MapFlags::user_data(),
+                false,
+            )
             .unwrap();
         // Scribble into the parent's data page.
         let t = parent.translate(&mem, 0x4000).unwrap().unwrap();
@@ -470,7 +519,11 @@ mod tests {
         assert_eq!(copied, 2);
         let ct = child.translate(&mem, 0x4000).unwrap().unwrap();
         assert_ne!(ct.phys, t.phys, "child has its own frame");
-        assert_eq!(mem.read_u32(ct.phys).unwrap(), 0xAABBCCDD, "contents copied");
+        assert_eq!(
+            mem.read_u32(ct.phys).unwrap(),
+            0xAABBCCDD,
+            "contents copied"
+        );
         // Writing in the child does not affect the parent.
         mem.write_u32(ct.phys, 0x11111111).unwrap();
         assert_eq!(mem.read_u32(t.phys).unwrap(), 0xAABBCCDD);
@@ -492,7 +545,11 @@ mod tests {
         .unwrap();
         let (child, copied) = asp.fork_copy(&mut frames, &mut mem).unwrap();
         assert_eq!(copied, 0);
-        assert_eq!(child.regions().len(), 0, "fb region not duplicated into the child");
+        assert_eq!(
+            child.regions().len(),
+            0,
+            "fb region not duplicated into the child"
+        );
     }
 
     #[test]
@@ -500,8 +557,16 @@ mod tests {
         let (mut mem, mut frames) = setup();
         let before = frames.free_frames();
         let mut asp = AddressSpace::new(&mut frames, &mut mem).unwrap();
-        asp.add_region(&mut frames, &mut mem, RegionKind::Data, 0x0, 16 * 4096, MapFlags::user_data(), false)
-            .unwrap();
+        asp.add_region(
+            &mut frames,
+            &mut mem,
+            RegionKind::Data,
+            0x0,
+            16 * 4096,
+            MapFlags::user_data(),
+            false,
+        )
+        .unwrap();
         let freed = asp.release(&mut frames).unwrap();
         assert_eq!(freed, 16);
         // Only the page-table frames themselves remain allocated.
@@ -512,10 +577,26 @@ mod tests {
     fn overlapping_regions_are_rejected() {
         let (mut mem, mut frames) = setup();
         let mut asp = AddressSpace::new(&mut frames, &mut mem).unwrap();
-        asp.add_region(&mut frames, &mut mem, RegionKind::Data, 0x1000, 8192, MapFlags::user_data(), false)
-            .unwrap();
+        asp.add_region(
+            &mut frames,
+            &mut mem,
+            RegionKind::Data,
+            0x1000,
+            8192,
+            MapFlags::user_data(),
+            false,
+        )
+        .unwrap();
         assert!(asp
-            .add_region(&mut frames, &mut mem, RegionKind::Heap, 0x2000, 4096, MapFlags::user_data(), false)
+            .add_region(
+                &mut frames,
+                &mut mem,
+                RegionKind::Heap,
+                0x2000,
+                4096,
+                MapFlags::user_data(),
+                false
+            )
             .is_err());
     }
 }

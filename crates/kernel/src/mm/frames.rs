@@ -90,12 +90,14 @@ impl FrameAllocator {
     }
 
     fn index_of(&self, addr: PhysAddr) -> KResult<usize> {
-        if addr < self.base || addr % FRAME_SIZE as u64 != 0 {
+        if addr < self.base || !addr.is_multiple_of(FRAME_SIZE as u64) {
             return Err(KernelError::Invalid(format!("bad frame address {addr:#x}")));
         }
         let idx = ((addr - self.base) / FRAME_SIZE as u64) as usize;
         if idx >= self.count {
-            return Err(KernelError::Invalid(format!("frame {addr:#x} out of range")));
+            return Err(KernelError::Invalid(format!(
+                "frame {addr:#x} out of range"
+            )));
         }
         Ok(idx)
     }
@@ -184,7 +186,11 @@ mod tests {
     fn alloc_many_is_all_or_nothing() {
         let mut fa = FrameAllocator::new(0, 4);
         assert!(fa.alloc_many(5).is_err());
-        assert_eq!(fa.free_frames(), 4, "failed bulk alloc leaves nothing allocated");
+        assert_eq!(
+            fa.free_frames(),
+            4,
+            "failed bulk alloc leaves nothing allocated"
+        );
         assert_eq!(fa.alloc_many(4).unwrap().len(), 4);
     }
 }

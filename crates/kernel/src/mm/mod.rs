@@ -226,7 +226,10 @@ mod tests {
         let mut mm = MemoryManager::new(2 * 1024 * 1024);
         mm.init_kernel_space(&mut mem).unwrap();
         let ks = mm.kernel_space().unwrap();
-        let t = ks.translate(&mem, KERNEL_VA_BASE + 0x1234_5678).unwrap().unwrap();
+        let t = ks
+            .translate(&mem, KERNEL_VA_BASE + 0x1234_5678)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.phys, 0x1234_5678);
         assert!(t.flags.cached);
         let p = ks

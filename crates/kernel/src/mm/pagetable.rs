@@ -211,7 +211,7 @@ impl PageTable {
         pa: PhysAddr,
         flags: MapFlags,
     ) -> KResult<()> {
-        if va % FRAME_SIZE as u64 != 0 || pa % FRAME_SIZE as u64 != 0 {
+        if !va.is_multiple_of(FRAME_SIZE as u64) || !pa.is_multiple_of(FRAME_SIZE as u64) {
             return Err(KernelError::Invalid(format!(
                 "unaligned mapping {va:#x} -> {pa:#x}"
             )));
@@ -222,7 +222,9 @@ impl PageTable {
         let daddr = Self::descriptor_addr(l3, level_index(va, 3));
         let existing = mem.read_u64(daddr)?;
         if existing & D_VALID != 0 {
-            return Err(KernelError::AlreadyExists(format!("va {va:#x} already mapped")));
+            return Err(KernelError::AlreadyExists(format!(
+                "va {va:#x} already mapped"
+            )));
         }
         mem.write_u64(daddr, encode(pa, flags, true))?;
         Ok(())
@@ -238,7 +240,7 @@ impl PageTable {
         pa: PhysAddr,
         flags: MapFlags,
     ) -> KResult<()> {
-        if va % BLOCK_SIZE_L2 != 0 || pa % BLOCK_SIZE_L2 != 0 {
+        if !va.is_multiple_of(BLOCK_SIZE_L2) || !pa.is_multiple_of(BLOCK_SIZE_L2) {
             return Err(KernelError::Invalid(format!(
                 "unaligned block mapping {va:#x} -> {pa:#x}"
             )));
@@ -258,7 +260,9 @@ impl PageTable {
         let d2addr = Self::descriptor_addr(l2, level_index(va, 2));
         let d2 = mem.read_u64(d2addr)?;
         if d2 & D_VALID != 0 {
-            return Err(KernelError::AlreadyExists(format!("block at {va:#x} already mapped")));
+            return Err(KernelError::AlreadyExists(format!(
+                "block at {va:#x} already mapped"
+            )));
         }
         mem.write_u64(d2addr, encode(pa, flags, false))?;
         Ok(())
@@ -362,8 +366,14 @@ mod tests {
     fn map_then_translate_round_trips() {
         let (mut mem, mut frames, pt) = setup();
         let frame = frames.alloc().unwrap();
-        pt.map_page(&mut mem, &mut frames, 0x40_0000, frame, MapFlags::user_data())
-            .unwrap();
+        pt.map_page(
+            &mut mem,
+            &mut frames,
+            0x40_0000,
+            frame,
+            MapFlags::user_data(),
+        )
+        .unwrap();
         let t = pt.translate(&mem, 0x40_0123).unwrap().unwrap();
         assert_eq!(t.phys, frame + 0x123);
         assert!(t.flags.user && t.flags.writable && t.flags.cached);
@@ -384,7 +394,8 @@ mod tests {
         let (mut mem, mut frames, pt) = setup();
         let f1 = frames.alloc().unwrap();
         let f2 = frames.alloc().unwrap();
-        pt.map_page(&mut mem, &mut frames, 0x1000, f1, MapFlags::user_data()).unwrap();
+        pt.map_page(&mut mem, &mut frames, 0x1000, f1, MapFlags::user_data())
+            .unwrap();
         assert!(matches!(
             pt.map_page(&mut mem, &mut frames, 0x1000, f2, MapFlags::user_data()),
             Err(KernelError::AlreadyExists(_))
@@ -395,7 +406,8 @@ mod tests {
     fn unmap_returns_the_frame_and_clears_the_mapping() {
         let (mut mem, mut frames, pt) = setup();
         let frame = frames.alloc().unwrap();
-        pt.map_page(&mut mem, &mut frames, 0x8000, frame, MapFlags::user_code()).unwrap();
+        pt.map_page(&mut mem, &mut frames, 0x8000, frame, MapFlags::user_code())
+            .unwrap();
         assert_eq!(pt.unmap_page(&mut mem, 0x8000).unwrap(), frame);
         assert_eq!(pt.translate(&mem, 0x8000).unwrap(), None);
         assert!(pt.unmap_page(&mut mem, 0x8000).is_err());
@@ -412,7 +424,10 @@ mod tests {
             MapFlags::kernel_data(),
         )
         .unwrap();
-        let t = pt.translate(&mem, KERNEL_VA_BASE + 0x12_3456).unwrap().unwrap();
+        let t = pt
+            .translate(&mem, KERNEL_VA_BASE + 0x12_3456)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.phys, 0x12_3456);
         assert!(t.from_block);
         assert!(!t.flags.user);
@@ -422,7 +437,8 @@ mod tests {
     fn code_mappings_are_read_only_and_device_uncached() {
         let (mut mem, mut frames, pt) = setup();
         let f = frames.alloc().unwrap();
-        pt.map_page(&mut mem, &mut frames, 0x2000, f, MapFlags::user_code()).unwrap();
+        pt.map_page(&mut mem, &mut frames, 0x2000, f, MapFlags::user_code())
+            .unwrap();
         let t = pt.translate(&mem, 0x2000).unwrap().unwrap();
         assert!(!t.flags.writable);
         pt.map_block(
@@ -444,18 +460,30 @@ mod tests {
     fn unaligned_mappings_are_rejected() {
         let (mut mem, mut frames, pt) = setup();
         let f = frames.alloc().unwrap();
-        assert!(pt.map_page(&mut mem, &mut frames, 0x1234, f, MapFlags::user_data()).is_err());
-        assert!(pt.map_block(&mut mem, &mut frames, 0x1000, 0x0, MapFlags::kernel_data()).is_err());
+        assert!(pt
+            .map_page(&mut mem, &mut frames, 0x1234, f, MapFlags::user_data())
+            .is_err());
+        assert!(pt
+            .map_block(&mut mem, &mut frames, 0x1000, 0x0, MapFlags::kernel_data())
+            .is_err());
     }
 
     #[test]
     fn mapped_page_count_reflects_pages_and_blocks() {
         let (mut mem, mut frames, pt) = setup();
         let f = frames.alloc().unwrap();
-        pt.map_page(&mut mem, &mut frames, 0x5000, f, MapFlags::user_data()).unwrap();
+        pt.map_page(&mut mem, &mut frames, 0x5000, f, MapFlags::user_data())
+            .unwrap();
         // Use the second 1 GB region for the block so it does not collide
         // with the L2 table already created for the 4 KB page above.
-        pt.map_block(&mut mem, &mut frames, KERNEL_VA_BASE + 0x4000_0000, 0, MapFlags::kernel_data()).unwrap();
+        pt.map_block(
+            &mut mem,
+            &mut frames,
+            KERNEL_VA_BASE + 0x4000_0000,
+            0,
+            MapFlags::kernel_data(),
+        )
+        .unwrap();
         assert_eq!(pt.mapped_pages(&mem).unwrap(), 1 + 512);
     }
 }

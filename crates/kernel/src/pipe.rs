@@ -214,7 +214,10 @@ mod tests {
         let mut pt = PipeTable::new();
         let p = pt.create();
         let big = vec![0u8; PIPE_CAPACITY + 100];
-        assert_eq!(pt.write(p, &big).unwrap(), PipeWriteResult::Wrote(PIPE_CAPACITY));
+        assert_eq!(
+            pt.write(p, &big).unwrap(),
+            PipeWriteResult::Wrote(PIPE_CAPACITY)
+        );
         assert_eq!(pt.write(p, b"x").unwrap(), PipeWriteResult::WouldBlock);
     }
 

@@ -220,7 +220,10 @@ mod tests {
             s.enqueue(t, c);
         }
         assert_eq!(counts.iter().sum::<usize>(), 8);
-        assert!(counts.iter().all(|&c| c == 2), "8 tasks spread 2 per core: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 2),
+            "8 tasks spread 2 per core: {counts:?}"
+        );
     }
 
     #[test]
@@ -235,7 +238,10 @@ mod tests {
 
     #[test]
     fn priority_scales_the_time_slice() {
-        assert_eq!(Scheduler::slice_for_priority(DEFAULT_PRIORITY), BASE_SLICE_US);
+        assert_eq!(
+            Scheduler::slice_for_priority(DEFAULT_PRIORITY),
+            BASE_SLICE_US
+        );
         assert!(Scheduler::slice_for_priority(8) > Scheduler::slice_for_priority(2));
         assert!(Scheduler::slice_for_priority(1) > 0);
     }

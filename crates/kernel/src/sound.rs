@@ -78,7 +78,7 @@ impl SoundDriver {
         now_us: u64,
         bytes: &[u8],
     ) -> KResult<SoundWriteOutcome> {
-        if bytes.len() % 2 != 0 {
+        if !bytes.len().is_multiple_of(2) {
             return Err(KernelError::Invalid("odd-length sample write".into()));
         }
         if !self.enabled {
@@ -147,11 +147,10 @@ mod tests {
         // Fill the device (2 buffers) and the ring completely.
         let total = RING_CAPACITY + 2 * DMA_BUFFER_SAMPLES;
         let mut written = 0usize;
-        loop {
-            match drv.write_samples(&mut pwm, 0, &bytes_for(8192)).unwrap() {
-                SoundWriteOutcome::Accepted(n) => written += n / 2,
-                SoundWriteOutcome::WouldBlock => break,
-            }
+        while let SoundWriteOutcome::Accepted(n) =
+            drv.write_samples(&mut pwm, 0, &bytes_for(8192)).unwrap()
+        {
+            written += n / 2;
             assert!(written <= total + 8192, "ring never reported full");
         }
         assert!(drv.space() == 0);
@@ -164,7 +163,8 @@ mod tests {
         let mut ic = IrqController::new(1);
         ic.enable(hal::intc::Interrupt::Dma0);
         ic.set_core_masked(0, false);
-        drv.write_samples(&mut pwm, 0, &bytes_for(3 * DMA_BUFFER_SAMPLES)).unwrap();
+        drv.write_samples(&mut pwm, 0, &bytes_for(3 * DMA_BUFFER_SAMPLES))
+            .unwrap();
         assert_eq!(pwm.queued_buffers(), 2, "device holds its two buffers");
         assert!(drv.buffered() > 0, "excess stays in the kernel ring");
         // Let the device consume one buffer's worth of samples.

@@ -1,4 +1,4 @@
-//! The syscall surface (28 syscalls across task, file and threading groups).
+//! The syscall surface (29 syscalls across task, file and threading groups).
 //!
 //! Every entry point charges the platform's syscall entry/exit cost, checks
 //! the prototype stage it belongs to (Table 1), performs the operation, and
@@ -22,25 +22,56 @@ use crate::usercall::{FileStat, UserProgram};
 use crate::vfs::{DeviceFile, FileKind, MountTarget, OpenFile, OpenFlags};
 use crate::wm::Rect;
 
-/// Names of the 28 syscalls Proto implements, grouped as the paper groups
-/// them (task management, file system, threading/synchronisation).
-pub const SYSCALL_NAMES: [&str; 28] = [
+/// Names of the 29 syscalls Proto implements, grouped as the paper groups
+/// them (task management, file system, threading/synchronisation). `fsync`
+/// joined the file group when the block layer's buffer cache became
+/// write-back: it drains a file's dirty blocks to the device.
+pub const SYSCALL_NAMES: [&str; 29] = [
     // task management & time
-    "getpid", "fork", "exec", "exit", "wait", "kill", "sleep", "yield", "sbrk", "priority",
+    "getpid",
+    "fork",
+    "exec",
+    "exit",
+    "wait",
+    "kill",
+    "sleep",
+    "yield",
+    "sbrk",
+    "priority",
     "uptime",
     // file system
-    "open", "close", "read", "write", "lseek", "stat", "mkdir", "unlink", "readdir", "pipe",
-    "dup", "mmap_fb", "fb_flush",
+    "open",
+    "close",
+    "read",
+    "write",
+    "lseek",
+    "fsync",
+    "stat",
+    "mkdir",
+    "unlink",
+    "readdir",
+    "pipe",
+    "dup",
+    "mmap_fb",
+    "fb_flush",
     // threading & synchronisation
-    "clone", "sem_create", "sem_wait", "sem_post",
+    "clone",
+    "sem_create",
+    "sem_wait",
+    "sem_post",
 ];
 
 impl Kernel {
     pub(crate) fn charge_syscall(&mut self, core: usize, task: TaskId) {
         let c = self.board.cost.trivial_syscall();
         self.board.charge(core, c);
-        self.trace
-            .record(self.board.now_us(), core, TraceKind::SyscallEnter, Some(task), "");
+        self.trace.record(
+            self.board.now_us(),
+            core,
+            TraceKind::SyscallEnter,
+            Some(task),
+            "",
+        );
     }
 
     fn charge_sd_delta(&mut self, core: usize, before: (u64, u64, u64)) {
@@ -107,7 +138,7 @@ impl Kernel {
         let new_pages = pages_after.saturating_sub(pages_before) as u64;
         self.board
             .charge_kernel(core, new_pages * (cost.frame_alloc + cost.pte_write));
-        result.map(|addr| addr)
+        result
     }
 
     pub(crate) fn sys_fork(
@@ -178,7 +209,8 @@ impl Kernel {
         args: &[String],
     ) -> KResult<TaskId> {
         self.charge_syscall(core, task);
-        self.config.require(self.config.syscalls_files, "exec from a file")?;
+        self.config
+            .require(self.config.syscalls_files, "exec from a file")?;
         // Read the image through the normal file path so exec pays real I/O.
         let fd = self.sys_open(task, core, path, OpenFlags::rdonly())?;
         let mut image_bytes = Vec::new();
@@ -200,11 +232,7 @@ impl Kernel {
         self.spawn_user_program(&image, program, task)
     }
 
-    pub(crate) fn sys_wait(
-        &mut self,
-        task: TaskId,
-        core: usize,
-    ) -> KResult<Option<(TaskId, i32)>> {
+    pub(crate) fn sys_wait(&mut self, task: TaskId, core: usize) -> KResult<Option<(TaskId, i32)>> {
         self.charge_syscall(core, task);
         // Reap a pending child if any.
         let pending = self
@@ -401,7 +429,84 @@ impl Kernel {
             .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
             .fds
             .remove(fd)?;
+        // The buffer cache is write-back: closing a descriptor that wrote to
+        // a disk filesystem drains its dirty blocks, so the SD cycles are
+        // charged to the task that dirtied them (not to whoever triggers the
+        // eviction later).
+        if file.written {
+            match file.kind {
+                FileKind::Fat { .. } => self.flush_fat_cache(core)?,
+                FileKind::Xv6 { .. } => self.flush_root_cache(core)?,
+                _ => {}
+            }
+        }
         self.drop_open_file(file);
+        Ok(())
+    }
+
+    /// Flushes the FAT32 buffer cache to the SD card, charging the issuing
+    /// core for the SD commands the write-back generates.
+    pub(crate) fn flush_fat_cache(&mut self, core: usize) -> KResult<()> {
+        if self.fatfs.is_none() {
+            return Ok(());
+        }
+        let before = self.sd_stats();
+        let result = {
+            let total = self.board.sdhost.total_blocks();
+            let mut dev = protofs::block::SdBlockDevice::new(
+                &mut self.board.sdhost,
+                FAT_PARTITION_START,
+                total - FAT_PARTITION_START,
+            );
+            self.fat_bufcache.flush(&mut dev)
+        };
+        self.charge_sd_delta(core, before);
+        result.map_err(KernelError::from)
+    }
+
+    /// Flushes the root (xv6fs) buffer cache to the ramdisk, charging the
+    /// memory-to-memory copy cost.
+    pub(crate) fn flush_root_cache(&mut self, core: usize) -> KResult<()> {
+        let dev = match self.ramdisk.as_mut() {
+            Some(d) => d,
+            None => return Ok(()),
+        };
+        let before = self.root_bufcache.stats().writebacks;
+        let result = self.root_bufcache.flush(dev);
+        let blocks = self.root_bufcache.stats().writebacks - before;
+        let cost = self.board.cost.clone();
+        self.board.charge(
+            core,
+            cost.bufcache_op * blocks + cost.per_byte(cost.ramdisk_per_byte_milli, blocks * 512),
+        );
+        result.map_err(KernelError::from)
+    }
+
+    /// `fsync`: drains a file's dirty blocks from the write-back buffer
+    /// cache to the backing device. Proto has no per-file dirty lists, so
+    /// this flushes the owning filesystem's cache — the cost accounting
+    /// still lands on the calling task, which is the point.
+    pub(crate) fn sys_fsync(&mut self, task: TaskId, core: usize, fd: i32) -> KResult<()> {
+        self.charge_syscall(core, task);
+        let kind = {
+            let t = self
+                .tasks_mut(task)
+                .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
+            t.fds.get(fd)?.kind.clone()
+        };
+        match kind {
+            FileKind::Fat { .. } => self.flush_fat_cache(core)?,
+            FileKind::Xv6 { .. } => self.flush_root_cache(core)?,
+            FileKind::Device(_) | FileKind::Proc { .. } => {}
+            FileKind::Pipe { .. } | FileKind::SurfaceHandle { .. } => {
+                return Err(KernelError::Invalid("fsync on an unsyncable file".into()));
+            }
+        }
+        if let Some(t) = self.tasks_mut(task) {
+            if let Ok(f) = t.fds.get_mut(fd) {
+                f.written = false;
+            }
+        }
         Ok(())
     }
 
@@ -426,11 +531,17 @@ impl Kernel {
             .tasks_mut(task)
             .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
         let r = t.fds.install(OpenFile::new(
-            FileKind::Pipe { id, write_end: false },
+            FileKind::Pipe {
+                id,
+                write_end: false,
+            },
             OpenFlags::rdonly(),
         ))?;
         let w = t.fds.install(OpenFile::new(
-            FileKind::Pipe { id, write_end: true },
+            FileKind::Pipe {
+                id,
+                write_end: true,
+            },
             OpenFlags {
                 write: true,
                 ..Default::default()
@@ -439,7 +550,13 @@ impl Kernel {
         Ok((r, w))
     }
 
-    pub(crate) fn sys_lseek(&mut self, task: TaskId, core: usize, fd: i32, offset: u64) -> KResult<u64> {
+    pub(crate) fn sys_lseek(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+        offset: u64,
+    ) -> KResult<u64> {
         self.charge_syscall(core, task);
         let t = self
             .tasks_mut(task)
@@ -488,8 +605,14 @@ impl Kernel {
                     is_dir: entry.is_dir,
                 })
             }
-            MountTarget::Dev => Ok(FileStat { size: 0, is_dir: inner == "/dev" }),
-            MountTarget::Proc => Ok(FileStat { size: 0, is_dir: inner == "/proc" }),
+            MountTarget::Dev => Ok(FileStat {
+                size: 0,
+                is_dir: inner == "/dev",
+            }),
+            MountTarget::Proc => Ok(FileStat {
+                size: 0,
+                is_dir: inner == "/proc",
+            }),
         }
     }
 
@@ -516,7 +639,9 @@ impl Kernel {
                 fat.create(&mut dev, &mut self.fat_bufcache, &inner, true)?;
                 Ok(())
             }
-            _ => Err(KernelError::Permission("cannot mkdir in /dev or /proc".into())),
+            _ => Err(KernelError::Permission(
+                "cannot mkdir in /dev or /proc".into(),
+            )),
         }
     }
 
@@ -543,11 +668,18 @@ impl Kernel {
                 fat.remove(&mut dev, &mut self.fat_bufcache, &inner)?;
                 Ok(())
             }
-            _ => Err(KernelError::Permission("cannot unlink in /dev or /proc".into())),
+            _ => Err(KernelError::Permission(
+                "cannot unlink in /dev or /proc".into(),
+            )),
         }
     }
 
-    pub(crate) fn sys_list_dir(&mut self, task: TaskId, core: usize, path: &str) -> KResult<Vec<String>> {
+    pub(crate) fn sys_list_dir(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        path: &str,
+    ) -> KResult<Vec<String>> {
         self.charge_syscall(core, task);
         self.config.require(self.config.syscalls_files, "readdir")?;
         let (target, inner) = self.mounts.resolve(path);
@@ -576,7 +708,10 @@ impl Kernel {
                     .map(|e| e.name)
                     .collect())
             }
-            MountTarget::Dev => Ok(DeviceFile::ALL.iter().map(|d| d.path().trim_start_matches("/dev/").to_string()).collect()),
+            MountTarget::Dev => Ok(DeviceFile::ALL
+                .iter()
+                .map(|d| d.path().trim_start_matches("/dev/").to_string())
+                .collect()),
             MountTarget::Proc => Ok(vec![
                 "cpuinfo".into(),
                 "meminfo".into(),
@@ -586,7 +721,13 @@ impl Kernel {
         }
     }
 
-    pub(crate) fn sys_read(&mut self, task: TaskId, core: usize, fd: i32, max: usize) -> KResult<Vec<u8>> {
+    pub(crate) fn sys_read(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+        max: usize,
+    ) -> KResult<Vec<u8>> {
         self.charge_syscall(core, task);
         let (kind, offset, flags) = {
             let t = self
@@ -622,12 +763,20 @@ impl Kernel {
                         FAT_PARTITION_START,
                         total - FAT_PARTITION_START,
                     );
-                    fat.read_at(&mut dev, &mut self.fat_bufcache, &volume_path, offset as u32, max)?
+                    fat.read_at(
+                        &mut dev,
+                        &mut self.fat_bufcache,
+                        &volume_path,
+                        offset as u32,
+                        max,
+                    )?
                 };
                 self.charge_sd_delta(core, before);
                 let cost = self.board.cost.clone();
-                self.board
-                    .charge(core, cost.per_byte(cost.bufcache_copy_per_byte_milli, data.len() as u64));
+                self.board.charge(
+                    core,
+                    cost.per_byte(cost.bufcache_copy_per_byte_milli, data.len() as u64),
+                );
                 self.advance_offset(task, fd, data.len() as u64)?;
                 Ok(data)
             }
@@ -669,8 +818,10 @@ impl Kernel {
                 self.board.charge_kernel(core, cost.pipe_op);
                 match self.pipes_read(id, max)? {
                     crate::pipe::PipeReadResult::Data(d) => {
-                        self.board
-                            .charge_kernel(core, cost.per_byte(cost.pipe_copy_per_byte_milli, d.len() as u64));
+                        self.board.charge_kernel(
+                            core,
+                            cost.per_byte(cost.pipe_copy_per_byte_milli, d.len() as u64),
+                        );
                         self.wake_all(WaitChannel::PipeWrite(id));
                         Ok(d)
                     }
@@ -760,7 +911,13 @@ impl Kernel {
         }
     }
 
-    pub(crate) fn sys_write(&mut self, task: TaskId, core: usize, fd: i32, data: &[u8]) -> KResult<usize> {
+    pub(crate) fn sys_write(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        fd: i32,
+        data: &[u8],
+    ) -> KResult<usize> {
         self.charge_syscall(core, task);
         let (kind, offset, flags) = {
             let t = self
@@ -793,14 +950,13 @@ impl Kernel {
                 self.config.require(self.config.sound, "sound output")?;
                 let now = self.now_us();
                 let cost = self.board.cost.clone();
-                let outcome = self
-                    .sound
-                    .write_samples(&mut self.board.pwm, now, data)?;
+                let outcome = self.sound.write_samples(&mut self.board.pwm, now, data)?;
                 match outcome {
                     crate::sound::SoundWriteOutcome::Accepted(n) => {
                         self.board.charge(
                             core,
-                            cost.dma_setup + cost.per_byte(cost.memmove_fast_per_byte_milli, n as u64),
+                            cost.dma_setup
+                                + cost.per_byte(cost.memmove_fast_per_byte_milli, n as u64),
                         );
                         Ok(n)
                     }
@@ -832,6 +988,7 @@ impl Kernel {
                         + cost.bufcache_op * (n as u64 / 512 + 1),
                 );
                 self.advance_offset(task, fd, n as u64)?;
+                self.mark_written(task, fd);
                 Ok(n)
             }
             FileKind::Fat { volume_path, .. } => {
@@ -860,9 +1017,12 @@ impl Kernel {
                 }
                 self.charge_sd_delta(core, before);
                 self.advance_offset(task, fd, data.len() as u64)?;
+                self.mark_written(task, fd);
                 Ok(data.len())
             }
-            FileKind::Proc { .. } => Err(KernelError::Permission("proc files are read-only".into())),
+            FileKind::Proc { .. } => {
+                Err(KernelError::Permission("proc files are read-only".into()))
+            }
             FileKind::Pipe { id, write_end } => {
                 if !write_end {
                     return Err(KernelError::Invalid("write to a pipe read end".into()));
@@ -871,8 +1031,10 @@ impl Kernel {
                 self.board.charge_kernel(core, cost.pipe_op);
                 match self.pipes_write(id, data)? {
                     crate::pipe::PipeWriteResult::Wrote(n) => {
-                        self.board
-                            .charge_kernel(core, cost.per_byte(cost.pipe_copy_per_byte_milli, n as u64));
+                        self.board.charge_kernel(
+                            core,
+                            cost.per_byte(cost.pipe_copy_per_byte_milli, n as u64),
+                        );
                         self.wake_all(WaitChannel::PipeRead(id));
                         Ok(n)
                     }
@@ -894,8 +1056,10 @@ impl Kernel {
                     .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect();
                 let cost = self.board.cost.clone();
-                self.board
-                    .charge(core, cost.per_byte(cost.memmove_fast_per_byte_milli, data.len() as u64));
+                self.board.charge(
+                    core,
+                    cost.per_byte(cost.memmove_fast_per_byte_milli, data.len() as u64),
+                );
                 self.wm.submit_frame(surface_id, &pixels)?;
                 Ok(data.len())
             }
@@ -935,7 +1099,8 @@ impl Kernel {
 
     pub(crate) fn sys_fb_info(&mut self, task: TaskId, core: usize) -> KResult<(u32, u32)> {
         self.charge_syscall(core, task);
-        self.config.require(self.config.framebuffer, "framebuffer")?;
+        self.config
+            .require(self.config.framebuffer, "framebuffer")?;
         let info = self
             .board
             .framebuffer
@@ -946,7 +1111,8 @@ impl Kernel {
 
     pub(crate) fn sys_fb_map(&mut self, task: TaskId, core: usize) -> KResult<u64> {
         self.charge_syscall(core, task);
-        self.config.require(self.config.framebuffer, "framebuffer")?;
+        self.config
+            .require(self.config.framebuffer, "framebuffer")?;
         let info = self
             .board
             .framebuffer
@@ -990,7 +1156,8 @@ impl Kernel {
     ) -> KResult<()> {
         // Note: deliberately *no* syscall charge — this is a store through the
         // user's framebuffer mapping, not a trap. Only the pixel cost applies.
-        self.config.require(self.config.framebuffer, "framebuffer")?;
+        self.config
+            .require(self.config.framebuffer, "framebuffer")?;
         if self.config.virtual_memory && !self.fb_mappings.contains_key(&task) {
             // Touching an unmapped framebuffer is a fault.
             return Err(KernelError::Fault(
@@ -998,8 +1165,10 @@ impl Kernel {
             ));
         }
         let cost = self.board.cost.clone();
-        self.board
-            .charge_user(core, cost.per_byte(cost.pixel_draw_per_px_milli, pixels.len() as u64));
+        self.board.charge_user(
+            core,
+            cost.per_byte(cost.pixel_draw_per_px_milli, pixels.len() as u64),
+        );
         self.board
             .framebuffer
             .write_pixels(offset_px, pixels, true)?;
@@ -1008,16 +1177,27 @@ impl Kernel {
 
     pub(crate) fn sys_fb_flush(&mut self, task: TaskId, core: usize) -> KResult<()> {
         self.charge_syscall(core, task);
-        self.config.require(self.config.framebuffer, "framebuffer")?;
+        self.config
+            .require(self.config.framebuffer, "framebuffer")?;
         let lines = self.board.framebuffer.flush_all();
         let cost = self.board.cost.cache_flush_per_line * lines as u64;
         self.board.charge_kernel(core, cost);
-        self.trace
-            .record(self.board.now_us(), core, TraceKind::FramePresent, Some(task), "flush");
+        self.trace.record(
+            self.board.now_us(),
+            core,
+            TraceKind::FramePresent,
+            Some(task),
+            "flush",
+        );
         Ok(())
     }
 
-    pub(crate) fn sys_surface_create(&mut self, task: TaskId, core: usize, title: &str) -> KResult<i32> {
+    pub(crate) fn sys_surface_create(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        title: &str,
+    ) -> KResult<i32> {
         self.charge_syscall(core, task);
         self.config
             .require(self.config.window_manager, "window manager")?;
@@ -1081,6 +1261,14 @@ impl Kernel {
             f.offset += by;
         }
         Ok(())
+    }
+
+    fn mark_written(&mut self, task: TaskId, fd: i32) {
+        if let Some(t) = self.tasks_mut(task) {
+            if let Ok(f) = t.fds.get_mut(fd) {
+                f.written = true;
+            }
+        }
     }
 
     /// Generates the contents of a `/proc` file.

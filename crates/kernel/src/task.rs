@@ -184,7 +184,10 @@ mod tests {
         assert!(!t.wake_if_waiting_on(WaitChannel::PipeRead(0)));
         assert!(t.wake_if_waiting_on(WaitChannel::KeyEvent));
         assert!(t.is_ready());
-        assert!(!t.wake_if_waiting_on(WaitChannel::KeyEvent), "already awake");
+        assert!(
+            !t.wake_if_waiting_on(WaitChannel::KeyEvent),
+            "already awake"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The user/kernel interface: programs, steps and the syscall surface.
 //!
-//! Proto exposes 28 UNIX-like syscalls in three groups — task management,
+//! Proto exposes 29 UNIX-like syscalls in three groups — task management,
 //! file system, and threading/synchronisation (§3) — plus the device and
 //! proc files. In the reproduction, applications are Rust types implementing
 //! [`UserProgram`]; the scheduler runs them in cooperative *steps* (typically
@@ -184,7 +184,8 @@ impl<'a> UserCtx<'a> {
     /// Creates a thread sharing the caller's address space
     /// (`clone(CLONE_VM)`).
     pub fn clone_thread(&mut self, thread_program: Box<dyn UserProgram>) -> KResult<TaskId> {
-        self.kernel.sys_clone_thread(self.task, self.core, thread_program)
+        self.kernel
+            .sys_clone_thread(self.task, self.core, thread_program)
     }
 
     /// Creates a semaphore with an initial value.
@@ -227,6 +228,12 @@ impl<'a> UserCtx<'a> {
     /// Repositions the file offset.
     pub fn lseek(&mut self, fd: i32, offset: u64) -> KResult<u64> {
         self.kernel.sys_lseek(self.task, self.core, fd, offset)
+    }
+
+    /// Flushes a file's dirty blocks from the write-back buffer cache to the
+    /// underlying device (`fsync`).
+    pub fn fsync(&mut self, fd: i32) -> KResult<()> {
+        self.kernel.sys_fsync(self.task, self.core, fd)
     }
 
     /// Stats a path.
@@ -281,7 +288,8 @@ impl<'a> UserCtx<'a> {
 
     /// Writes pixels through the framebuffer mapping (direct rendering).
     pub fn fb_write(&mut self, offset_px: usize, pixels: &[u32]) -> KResult<()> {
-        self.kernel.sys_fb_write(self.task, self.core, offset_px, pixels)
+        self.kernel
+            .sys_fb_write(self.task, self.core, offset_px, pixels)
     }
 
     /// Cleans the CPU cache for the framebuffer (must be called every frame
@@ -304,6 +312,7 @@ impl<'a> UserCtx<'a> {
 
     /// Submits a full frame of pixels to a surface (indirect rendering).
     pub fn surface_present(&mut self, fd: i32, pixels: &[u32]) -> KResult<()> {
-        self.kernel.sys_surface_present(self.task, self.core, fd, pixels)
+        self.kernel
+            .sys_surface_present(self.task, self.core, fd, pixels)
     }
 }

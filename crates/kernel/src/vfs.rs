@@ -176,6 +176,11 @@ pub struct OpenFile {
     pub flags: OpenFlags,
     /// Cached proc-file contents (generated on first read).
     pub proc_snapshot: Option<Vec<u8>>,
+    /// True once the descriptor has written to a disk filesystem. The block
+    /// layer's buffer cache is write-back, so `close` (and `fsync`) use this
+    /// to know whether dirty blocks may need draining to the device — and to
+    /// attribute those SD cycles to the task that wrote them.
+    pub written: bool,
 }
 
 impl OpenFile {
@@ -186,6 +191,7 @@ impl OpenFile {
             offset: 0,
             flags,
             proc_snapshot: None,
+            written: false,
         }
     }
 }
@@ -286,17 +292,11 @@ pub enum MountTarget {
 
 /// The mount table: "the OS mounts its root filesystem (in xv6fs) under `/`
 /// and mounts the FAT32 partition under `/d`" (§4.5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MountTable {
     /// Where the FAT volume is mounted (default `/d`); `None` before
     /// Prototype 5 brings up the SD card.
     pub fat_mount: Option<String>,
-}
-
-impl Default for MountTable {
-    fn default() -> Self {
-        MountTable { fat_mount: None }
-    }
 }
 
 impl MountTable {
@@ -357,7 +357,10 @@ mod tests {
     fn dup_copies_the_descriptor() {
         let mut t = FdTable::new();
         let fd = t
-            .install(OpenFile::new(FileKind::Xv6 { inum: 7 }, OpenFlags::rdonly()))
+            .install(OpenFile::new(
+                FileKind::Xv6 { inum: 7 },
+                OpenFlags::rdonly(),
+            ))
             .unwrap();
         let dup = t.dup(fd).unwrap();
         assert_ne!(fd, dup);
@@ -368,7 +371,10 @@ mod tests {
     fn mount_table_routes_paths_like_the_paper() {
         let m = MountTable::with_fat();
         assert_eq!(m.resolve("/etc/rc").0, MountTarget::Root);
-        assert_eq!(m.resolve("/d/doom.wad"), (MountTarget::Fat, "/doom.wad".into()));
+        assert_eq!(
+            m.resolve("/d/doom.wad"),
+            (MountTarget::Fat, "/doom.wad".into())
+        );
         assert_eq!(m.resolve("/dev/fb").0, MountTarget::Dev);
         assert_eq!(m.resolve("/proc/meminfo").0, MountTarget::Proc);
         // Without the FAT mount, /d is just a root directory.

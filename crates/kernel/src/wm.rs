@@ -74,7 +74,12 @@ impl Surface {
         Surface {
             id,
             owner,
-            rect: Rect { x: 0, y: 0, w: 0, h: 0 },
+            rect: Rect {
+                x: 0,
+                y: 0,
+                w: 0,
+                h: 0,
+            },
             pixels: Vec::new(),
             dirty: None,
             floating: false,
@@ -193,20 +198,22 @@ impl WindowManager {
     }
 
     /// Configures a surface's geometry and flags.
-    pub fn configure(
-        &mut self,
-        id: u64,
-        rect: Rect,
-        floating: bool,
-    ) -> KResult<()> {
+    pub fn configure(&mut self, id: u64, rect: Rect, floating: bool) -> KResult<()> {
         if rect.w == 0 || rect.h == 0 || rect.w > 4096 || rect.h > 4096 {
-            return Err(KernelError::Invalid(format!("bad surface geometry {rect:?}")));
+            return Err(KernelError::Invalid(format!(
+                "bad surface geometry {rect:?}"
+            )));
         }
         let s = self.surface_mut(id)?;
         s.rect = rect;
         s.floating = floating;
         s.pixels = vec![0u32; (rect.w * rect.h) as usize];
-        s.dirty = Some(Rect { x: 0, y: 0, w: rect.w, h: rect.h });
+        s.dirty = Some(Rect {
+            x: 0,
+            y: 0,
+            w: rect.w,
+            h: rect.h,
+        });
         Ok(())
     }
 
@@ -388,13 +395,27 @@ mod tests {
         let mut wm = WindowManager::new();
         let mut fb = fb_640x480();
         let s = wm.create_surface(10, "mario");
-        wm.configure(s, Rect { x: 100, y: 50, w: 4, h: 2 }, false).unwrap();
+        wm.configure(
+            s,
+            Rect {
+                x: 100,
+                y: 50,
+                w: 4,
+                h: 2,
+            },
+            false,
+        )
+        .unwrap();
         wm.submit_frame(s, &[0xFF0000; 8]).unwrap();
         let written = wm.compose(&mut fb).unwrap();
         assert_eq!(written, 8);
         assert_eq!(fb.scanout_at(100, 50).unwrap(), 0xFF0000);
         assert_eq!(fb.scanout_at(103, 51).unwrap(), 0xFF0000);
-        assert_eq!(fb.scanout_at(104, 50).unwrap(), 0, "outside the window untouched");
+        assert_eq!(
+            fb.scanout_at(104, 50).unwrap(),
+            0,
+            "outside the window untouched"
+        );
     }
 
     #[test]
@@ -402,7 +423,17 @@ mod tests {
         let mut wm = WindowManager::new();
         let mut fb = fb_640x480();
         let s = wm.create_surface(1, "donut");
-        wm.configure(s, Rect { x: 0, y: 0, w: 2, h: 2 }, false).unwrap();
+        wm.configure(
+            s,
+            Rect {
+                x: 0,
+                y: 0,
+                w: 2,
+                h: 2,
+            },
+            false,
+        )
+        .unwrap();
         wm.submit_frame(s, &[1, 2, 3, 4]).unwrap();
         assert!(wm.compose(&mut fb).unwrap() > 0);
         assert_eq!(wm.compose(&mut fb).unwrap(), 0, "nothing dirty second time");
@@ -416,11 +447,25 @@ mod tests {
         let a = wm.create_surface(1, "a");
         let b = wm.create_surface(2, "b");
         for (s, colour) in [(a, 0x00FF00u32), (b, 0x0000FFu32)] {
-            wm.configure(s, Rect { x: 0, y: 0, w: 2, h: 2 }, false).unwrap();
+            wm.configure(
+                s,
+                Rect {
+                    x: 0,
+                    y: 0,
+                    w: 2,
+                    h: 2,
+                },
+                false,
+            )
+            .unwrap();
             wm.submit_frame(s, &[colour; 4]).unwrap();
         }
         wm.compose(&mut fb).unwrap();
-        assert_eq!(fb.scanout_at(0, 0).unwrap(), 0x0000FF, "b created later, drawn above");
+        assert_eq!(
+            fb.scanout_at(0, 0).unwrap(),
+            0x0000FF,
+            "b created later, drawn above"
+        );
         // Refocusing a raises it.
         wm.focus(a).unwrap();
         wm.submit_frame(a, &[0x00FF00; 4]).unwrap();
@@ -434,10 +479,30 @@ mod tests {
         let mut wm = WindowManager::new();
         let mut fb = fb_640x480();
         let game = wm.create_surface(1, "doom");
-        wm.configure(game, Rect { x: 0, y: 0, w: 2, h: 1 }, false).unwrap();
+        wm.configure(
+            game,
+            Rect {
+                x: 0,
+                y: 0,
+                w: 2,
+                h: 1,
+            },
+            false,
+        )
+        .unwrap();
         wm.submit_frame(game, &[0xFF000000; 2]).unwrap();
         let sysmon = wm.create_surface(2, "sysmon");
-        wm.configure(sysmon, Rect { x: 0, y: 0, w: 1, h: 1 }, true).unwrap();
+        wm.configure(
+            sysmon,
+            Rect {
+                x: 0,
+                y: 0,
+                w: 1,
+                h: 1,
+            },
+            true,
+        )
+        .unwrap();
         wm.submit_frame(sysmon, &[0xFFFFFFFF; 1]).unwrap();
         wm.compose(&mut fb).unwrap();
         let blended = fb.scanout_at(0, 0).unwrap();
@@ -477,8 +542,29 @@ mod tests {
     fn frame_size_must_match_surface_geometry() {
         let mut wm = WindowManager::new();
         let s = wm.create_surface(1, "x");
-        wm.configure(s, Rect { x: 0, y: 0, w: 4, h: 4 }, false).unwrap();
+        wm.configure(
+            s,
+            Rect {
+                x: 0,
+                y: 0,
+                w: 4,
+                h: 4,
+            },
+            false,
+        )
+        .unwrap();
         assert!(wm.submit_frame(s, &[0; 15]).is_err());
-        assert!(wm.configure(s, Rect { x: 0, y: 0, w: 0, h: 4 }, false).is_err());
+        assert!(wm
+            .configure(
+                s,
+                Rect {
+                    x: 0,
+                    y: 0,
+                    w: 0,
+                    h: 4
+                },
+                false
+            )
+            .is_err());
     }
 }

@@ -67,7 +67,11 @@ pub fn install_fat_assets(kernel: &mut Kernel, small: bool) -> KResult<AssetSize
     kernel.install_fat_file("/doom.wad", &wad)?;
 
     // Videos. Full 480p/720p streams are large; tests use small geometry.
-    let (w480, h480, frames) = if small { (160, 120, 24) } else { (640, 480, 60) };
+    let (w480, h480, frames) = if small {
+        (160, 120, 24)
+    } else {
+        (640, 480, 60)
+    };
     let video480 = encode_video(&generate_test_video(w480, h480, frames));
     sizes.video_480p = video480.len();
     kernel.install_fat_file("/video480.mpg", &video480)?;

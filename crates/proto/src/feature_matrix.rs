@@ -20,7 +20,10 @@ pub struct FeatureRow {
 }
 
 fn configs() -> Vec<KernelConfig> {
-    PrototypeStage::ALL.iter().map(|s| KernelConfig::for_stage(*s)).collect()
+    PrototypeStage::ALL
+        .iter()
+        .map(|s| KernelConfig::for_stage(*s))
+        .collect()
 }
 
 fn row(section: &'static str, name: &'static str, f: impl Fn(&KernelConfig) -> bool) -> FeatureRow {
@@ -78,9 +81,13 @@ pub fn feature_matrix() -> Vec<FeatureRow> {
         row("Kernel core", "memory allocator", |c| c.memory_allocator),
         row("Kernel core", "privileges (EL0/1)", |c| c.privileges),
         row("Kernel core", "virtual memory", |c| c.virtual_memory),
-        row("Kernel core", "syscalls: tasks & time", |c| c.syscalls_tasks),
+        row("Kernel core", "syscalls: tasks & time", |c| {
+            c.syscalls_tasks
+        }),
         row("Kernel core", "syscalls: files", |c| c.syscalls_files),
-        row("Kernel core", "syscalls: threading", |c| c.syscalls_threading),
+        row("Kernel core", "syscalls: threading", |c| {
+            c.syscalls_threading
+        }),
         row("Kernel core", "multicore", |c| c.multicore),
         row("Kernel core", "window manager", |c| c.window_manager),
         row("Files", "file abstraction", |c| c.file_abstraction),
@@ -101,7 +108,10 @@ pub fn feature_matrix() -> Vec<FeatureRow> {
 /// Renders the matrix as a text table, one column per prototype.
 pub fn render() -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<28} {:>3} {:>3} {:>3} {:>3} {:>3}\n", "Feature", "P1", "P2", "P3", "P4", "P5"));
+    out.push_str(&format!(
+        "{:<28} {:>3} {:>3} {:>3} {:>3} {:>3}\n",
+        "Feature", "P1", "P2", "P3", "P4", "P5"
+    ));
     let mut last_section = "";
     for row in feature_matrix() {
         if row.section != last_section {

@@ -74,12 +74,36 @@ pub fn labs() -> Vec<Lab> {
             sloc: 100,
             tasks: vec![
                 task!(1, "boot", ["Stack"], [], false),
-                task!(2, "two cooperative printers", ["Virtualization", "Scheduling"], [1], false),
-                task!(3, "two preemptive printers", ["Virtualization", "Scheduling"], [2], false),
+                task!(
+                    2,
+                    "two cooperative printers",
+                    ["Virtualization", "Scheduling"],
+                    [1],
+                    false
+                ),
+                task!(
+                    3,
+                    "two preemptive printers",
+                    ["Virtualization", "Scheduling"],
+                    [2],
+                    false
+                ),
                 task!(4, "two donuts", ["Scheduling", "IO"], [3], true),
-                task!(5, "N donuts", ["Scheduling", "Concurrency", "IO"], [4], true),
+                task!(
+                    5,
+                    "N donuts",
+                    ["Scheduling", "Concurrency", "IO"],
+                    [4],
+                    true
+                ),
                 task!(6, "fast/slow donuts", ["Scheduling"], [5], false),
-                task!(7, "donuts in sync", ["Scheduling", "Concurrency"], [5], false),
+                task!(
+                    7,
+                    "donuts in sync",
+                    ["Scheduling", "Concurrency"],
+                    [5],
+                    false
+                ),
                 task!(8, "kill a donut", ["Process"], [5], false),
                 task!(9, "donuts on Rpi3", ["HW/SW interactions"], [5], true),
                 task!(10, "wordsmith", ["Concurrency"], [3], false),
@@ -91,12 +115,42 @@ pub fn labs() -> Vec<Lab> {
             sloc: 150,
             tasks: vec![
                 task!(1, "kernel virt addr", ["Virtual memory"], [], false),
-                task!(2, "user helloworld", ["User/kernel separation", "Syscalls"], [1], false),
-                task!(3, "two user printers", ["Scheduling", "Process"], [2], false),
-                task!(4, "user donut", ["User/kernel separation", "mmap", "IO"], [2], true),
-                task!(5, "user donut on rpi3", ["HW/SW interactions", "CPU cache"], [4], true),
+                task!(
+                    2,
+                    "user helloworld",
+                    ["User/kernel separation", "Syscalls"],
+                    [1],
+                    false
+                ),
+                task!(
+                    3,
+                    "two user printers",
+                    ["Scheduling", "Process"],
+                    [2],
+                    false
+                ),
+                task!(
+                    4,
+                    "user donut",
+                    ["User/kernel separation", "mmap", "IO"],
+                    [2],
+                    true
+                ),
+                task!(
+                    5,
+                    "user donut on rpi3",
+                    ["HW/SW interactions", "CPU cache"],
+                    [4],
+                    true
+                ),
                 task!(6, "mario", ["Process", "memory management"], [4], true),
-                task!(7, "mario on rpi3", ["Process", "HW/SW interactions"], [6], true),
+                task!(
+                    7,
+                    "mario on rpi3",
+                    ["Process", "HW/SW interactions"],
+                    [6],
+                    true
+                ),
             ],
         },
         Lab {
@@ -107,11 +161,29 @@ pub fn labs() -> Vec<Lab> {
                 task!(1, "shell", ["Shell", "process"], [], false),
                 task!(2, "kungfu", ["Graphics", "files", "procfs"], [1], true),
                 task!(3, "initrc", ["User-level system programming"], [1], false),
-                task!(4, "mario with inputs", ["Device driver", "IPC", "procfs"], [2], true),
+                task!(
+                    4,
+                    "mario with inputs",
+                    ["Device driver", "IPC", "procfs"],
+                    [2],
+                    true
+                ),
                 task!(5, "mario on rpi3", ["HW/SW interactions"], [4], true),
                 task!(6, "slider", ["User-level IO", "Graphics"], [2], false),
-                task!(7, "large files", ["Filesystem", "Block devices"], [2], false),
-                task!(8, "sound", ["Device driver", "IO", "DMA", "procfs"], [1], true),
+                task!(
+                    7,
+                    "large files",
+                    ["Filesystem", "Block devices"],
+                    [2],
+                    false
+                ),
+                task!(
+                    8,
+                    "sound",
+                    ["Device driver", "IO", "DMA", "procfs"],
+                    [1],
+                    true
+                ),
             ],
         },
         Lab {
@@ -119,11 +191,35 @@ pub fn labs() -> Vec<Lab> {
             files_modified: 28,
             sloc: 300,
             tasks: vec![
-                task!(1, "Build", ["Complex software projects", "Libraries"], [], false),
-                task!(2, "MusicPlayer", ["Threading", "Concurrency", "Graphics", "IO"], [1], true),
-                task!(3, "FAT on SD card", ["Filesystems", "Device Driver", "HW/SW interactions"], [1], true),
+                task!(
+                    1,
+                    "Build",
+                    ["Complex software projects", "Libraries"],
+                    [],
+                    false
+                ),
+                task!(
+                    2,
+                    "MusicPlayer",
+                    ["Threading", "Concurrency", "Graphics", "IO"],
+                    [1],
+                    true
+                ),
+                task!(
+                    3,
+                    "FAT on SD card",
+                    ["Filesystems", "Device Driver", "HW/SW interactions"],
+                    [1],
+                    true
+                ),
                 task!(4, "DOOM", ["Libraries", "Graphics", "IO"], [3], true),
-                task!(5, "Desktop", ["IPC", "Synchronization", "IO", "Graphics"], [4], true),
+                task!(
+                    5,
+                    "Desktop",
+                    ["IPC", "Synchronization", "IO", "Graphics"],
+                    [4],
+                    true
+                ),
                 task!(6, "Multicore", ["Multicore", "Concurrency"], [5], true),
             ],
         },
@@ -177,7 +273,10 @@ pub fn topological_order(lab: &Lab) -> Result<Vec<u32>, String> {
             }
         });
         if remaining.len() == before {
-            return Err(format!("cycle involving tasks {:?}", remaining.iter().map(|t| t.id).collect::<Vec<_>>()));
+            return Err(format!(
+                "cycle involving tasks {:?}",
+                remaining.iter().map(|t| t.id).collect::<Vec<_>>()
+            ));
         }
     }
     Ok(order)
@@ -202,15 +301,60 @@ pub struct SurveyQuestion {
 /// The survey instrument with the paper's reported means.
 pub fn survey() -> Vec<SurveyQuestion> {
     vec![
-        SurveyQuestion { id: "Q1", principle: "P1", text: "Apps interesting?", reported_mean: 4.5 },
-        SurveyQuestion { id: "Q2", principle: "P1", text: "Apps motivate learning?", reported_mean: 4.3 },
-        SurveyQuestion { id: "Q3", principle: "P2", text: "Hardware motivate learning?", reported_mean: 4.0 },
-        SurveyQuestion { id: "Q4", principle: "P2", text: "Will demonstrate to others?", reported_mean: 3.9 },
-        SurveyQuestion { id: "Q5", principle: "P3", text: "Incremental prototyping helpful?", reported_mean: 4.4 },
-        SurveyQuestion { id: "Q6", principle: "P3", text: "Early prototypes help later ones?", reported_mean: 4.3 },
-        SurveyQuestion { id: "Q7", principle: "P4", text: "Understand quests/apps relations?", reported_mean: 4.2 },
-        SurveyQuestion { id: "Q8", principle: "P4", text: "Quests tied to apps?", reported_mean: 4.2 },
-        SurveyQuestion { id: "Q9", principle: "P4", text: "Can manage code complexity?", reported_mean: 3.8 },
+        SurveyQuestion {
+            id: "Q1",
+            principle: "P1",
+            text: "Apps interesting?",
+            reported_mean: 4.5,
+        },
+        SurveyQuestion {
+            id: "Q2",
+            principle: "P1",
+            text: "Apps motivate learning?",
+            reported_mean: 4.3,
+        },
+        SurveyQuestion {
+            id: "Q3",
+            principle: "P2",
+            text: "Hardware motivate learning?",
+            reported_mean: 4.0,
+        },
+        SurveyQuestion {
+            id: "Q4",
+            principle: "P2",
+            text: "Will demonstrate to others?",
+            reported_mean: 3.9,
+        },
+        SurveyQuestion {
+            id: "Q5",
+            principle: "P3",
+            text: "Incremental prototyping helpful?",
+            reported_mean: 4.4,
+        },
+        SurveyQuestion {
+            id: "Q6",
+            principle: "P3",
+            text: "Early prototypes help later ones?",
+            reported_mean: 4.3,
+        },
+        SurveyQuestion {
+            id: "Q7",
+            principle: "P4",
+            text: "Understand quests/apps relations?",
+            reported_mean: 4.2,
+        },
+        SurveyQuestion {
+            id: "Q8",
+            principle: "P4",
+            text: "Quests tied to apps?",
+            reported_mean: 4.2,
+        },
+        SurveyQuestion {
+            id: "Q9",
+            principle: "P4",
+            text: "Can manage code complexity?",
+            reported_mean: 3.8,
+        },
     ]
 }
 
@@ -266,7 +410,12 @@ mod tests {
             let ids: Vec<u32> = lab.tasks.iter().map(|t| t.id).collect();
             for t in &lab.tasks {
                 for d in t.depends_on {
-                    assert!(ids.contains(d), "lab {} task {} depends on missing {d}", lab.number, t.id);
+                    assert!(
+                        ids.contains(d),
+                        "lab {} task {} depends on missing {d}",
+                        lab.number,
+                        t.id
+                    );
                 }
             }
             let order = topological_order(&lab).expect("acyclic");
@@ -278,14 +427,21 @@ mod tests {
     fn survey_scores_sit_in_the_agree_range() {
         let qs = survey();
         assert_eq!(qs.len(), 9);
-        assert!(qs.iter().all(|q| q.reported_mean >= 3.5 && q.reported_mean <= 5.0));
+        assert!(qs
+            .iter()
+            .all(|q| q.reported_mean >= 3.5 && q.reported_mean <= 5.0));
         let responses = synthesize_responses(SURVEY_N, 7);
         assert_eq!(responses.len(), SURVEY_N);
         // Synthetic means track the reported means within half a point.
         for (qi, q) in qs.iter().enumerate() {
             let mean: f64 =
                 responses.iter().map(|r| r[qi] as f64).sum::<f64>() / responses.len() as f64;
-            assert!((mean - q.reported_mean).abs() < 0.6, "{}: {mean} vs {}", q.id, q.reported_mean);
+            assert!(
+                (mean - q.reported_mean).abs() < 0.6,
+                "{}: {mean} vs {}",
+                q.id,
+                q.reported_mean
+            );
         }
     }
 }

@@ -96,7 +96,9 @@ mod tests {
         assert_eq!(t4.len(), 4);
         assert!(t4.iter().any(|r| r.os.contains("Proto")));
         assert_eq!(
-            t4.iter().filter(|r| r.reproduction.starts_with("implemented")).count(),
+            t4.iter()
+                .filter(|r| r.reproduction.starts_with("implemented"))
+                .count(),
             2,
             "Proto and the xv6 baseline are executable; Linux/FreeBSD are reference models"
         );

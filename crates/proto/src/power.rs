@@ -125,10 +125,18 @@ mod tests {
         let rows = figure12();
         assert_eq!(rows.len(), 5);
         let idle = &rows[0];
-        assert!(idle.total_w > 2.6 && idle.total_w < 3.3, "idle {} W", idle.total_w);
+        assert!(
+            idle.total_w > 2.6 && idle.total_w < 3.3,
+            "idle {} W",
+            idle.total_w
+        );
         assert!(idle.battery_hours > 3.2 && idle.battery_hours < 4.2);
         let doom = rows.iter().find(|r| r.scenario == "DOOM").unwrap();
-        assert!(doom.total_w > 3.5 && doom.total_w < 4.5, "DOOM {} W", doom.total_w);
+        assert!(
+            doom.total_w > 3.5 && doom.total_w < 4.5,
+            "DOOM {} W",
+            doom.total_w
+        );
         assert!(doom.battery_hours > 2.2 && doom.battery_hours < 3.2);
         // Loaded scenarios always draw more than idle.
         assert!(rows.iter().all(|r| r.total_w >= idle.total_w - 1e-9));

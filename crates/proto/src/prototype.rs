@@ -163,7 +163,10 @@ impl ProtoSystem {
 
     /// Measured frames-per-second of a task over its recorded window.
     pub fn fps_of(&self, task: TaskId) -> f64 {
-        self.kernel.task_metrics(task).map(|m| m.fps()).unwrap_or(0.0)
+        self.kernel
+            .task_metrics(task)
+            .map(|m| m.fps())
+            .unwrap_or(0.0)
     }
 }
 
@@ -184,7 +187,10 @@ mod tests {
     fn desktop_system_has_fat_and_rootfs_assets() {
         let mut sys = ProtoSystem::desktop().unwrap();
         let tid = sys.spawn("ls", &["/d".to_string()]).unwrap();
-        sys.kernel.run_until(|k| k.task(tid).map(|t| t.is_zombie()).unwrap_or(true), 2_000_000);
+        sys.kernel.run_until(
+            |k| k.task(tid).map(|t| t.is_zombie()).unwrap_or(true),
+            2_000_000,
+        );
         let log = sys.kernel.console_lines().join("\n");
         assert!(log.contains("DOOM.WAD"), "FAT assets installed: {log}");
     }

@@ -50,7 +50,9 @@ pub struct SourceFile {
 pub fn count_sloc(text: &str) -> usize {
     text.lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!") && !l.starts_with("///"))
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!") && !l.starts_with("///")
+        })
         .count()
 }
 
@@ -59,9 +61,20 @@ fn classify(rel: &str) -> Option<(u8, Subsystem)> {
     let c = |s: &str| r.contains(s);
     Some(match () {
         // HAL drivers.
-        _ if c("hal/src/uart") || c("hal/src/systimer") || c("hal/src/clock") || c("hal/src/mailbox")
-            || c("hal/src/framebuffer") || c("hal/src/cache") || c("hal/src/board")
-            || c("hal/src/mem") || c("hal/src/intc") || c("hal/src/cost") || c("hal/src/lib") => (1, Subsystem::Drivers),
+        _ if c("hal/src/uart")
+            || c("hal/src/systimer")
+            || c("hal/src/clock")
+            || c("hal/src/mailbox")
+            || c("hal/src/framebuffer")
+            || c("hal/src/cache")
+            || c("hal/src/board")
+            || c("hal/src/mem")
+            || c("hal/src/intc")
+            || c("hal/src/cost")
+            || c("hal/src/lib") =>
+        {
+            (1, Subsystem::Drivers)
+        }
         _ if c("hal/src/generic_timer") || c("hal/src/power") => (2, Subsystem::Drivers),
         _ if c("hal/src/gpio") || c("hal/src/pwm") || c("hal/src/dma") => (4, Subsystem::Drivers),
         _ if c("hal/src/sdhost") => (5, Subsystem::Drivers),
@@ -72,17 +85,33 @@ fn classify(rel: &str) -> Option<(u8, Subsystem)> {
         _ if c("fs/src/fat32") => (5, Subsystem::Fat32),
         _ if c("crates/fs/") => (4, Subsystem::File),
         // Kernel.
-        _ if c("kernel/src/vfs") || c("kernel/src/pipe") || c("kernel/src/kbd") || c("kernel/src/sound") => (4, Subsystem::File),
+        _ if c("kernel/src/vfs")
+            || c("kernel/src/pipe")
+            || c("kernel/src/kbd")
+            || c("kernel/src/sound") =>
+        {
+            (4, Subsystem::File)
+        }
         _ if c("kernel/src/wm") || c("kernel/src/sync") => (5, Subsystem::Core),
-        _ if c("kernel/src/mm/") || c("kernel/src/exec") || c("kernel/src/usercall") || c("kernel/src/syscalls") => (3, Subsystem::Core),
+        _ if c("kernel/src/mm/")
+            || c("kernel/src/exec")
+            || c("kernel/src/usercall")
+            || c("kernel/src/syscalls") =>
+        {
+            (3, Subsystem::Core)
+        }
         _ if c("kernel/src/sched") || c("kernel/src/task") => (2, Subsystem::Core),
         _ if c("kernel/src/") => (1, Subsystem::Core),
         // Userspace.
-        _ if c("ulib/src/minisdl") || c("ulib/src/media") || c("ulib/src/crt") => (5, Subsystem::UserLib),
+        _ if c("ulib/src/minisdl") || c("ulib/src/media") || c("ulib/src/crt") => {
+            (5, Subsystem::UserLib)
+        }
         _ if c("ulib/src/") => (3, Subsystem::UserLib),
         _ if c("apps/src/donut") || c("apps/src/lib") => (1, Subsystem::Apps),
         _ if c("apps/src/nes") => (3, Subsystem::Apps),
-        _ if c("apps/src/shell") || c("apps/src/slider") || c("apps/src/sysmon") => (4, Subsystem::Apps),
+        _ if c("apps/src/shell") || c("apps/src/slider") || c("apps/src/sysmon") => {
+            (4, Subsystem::Apps)
+        }
         _ if c("apps/src/") => (5, Subsystem::Apps),
         _ => return None,
     })
@@ -101,7 +130,9 @@ pub fn analyze_tree(root: &Path) -> Vec<SourceFile> {
     let crates = root.join("crates");
     let mut stack = vec![crates];
     while let Some(dir) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
         for entry in entries.flatten() {
             let path = entry.path();
             if path.is_dir() {
@@ -182,7 +213,10 @@ mod tests {
         let p1 = kernel[&1].values().sum::<usize>();
         let p5 = kernel[&5].values().sum::<usize>();
         assert!(p1 > 500, "prototype 1 kernel too small: {p1}");
-        assert!(p5 > p1 * 2, "kernel should grow substantially by prototype 5");
+        assert!(
+            p5 > p1 * 2,
+            "kernel should grow substantially by prototype 5"
+        );
         // FAT32 and USB only appear late, as in the paper.
         assert!(!kernel[&1].contains_key(&Subsystem::Fat32));
         assert!(kernel[&5].contains_key(&Subsystem::Fat32));

@@ -32,9 +32,9 @@ impl Image {
         let mut pixels = Vec::with_capacity((width * height) as usize);
         for y in 0..height {
             for x in 0..width {
-                let r = (x * 255 / width.max(1)) as u32;
-                let g = (y * 255 / height.max(1)) as u32;
-                let b = ((x + y) * 255 / (width + height).max(1)) as u32;
+                let r = x * 255 / width.max(1);
+                let g = y * 255 / height.max(1);
+                let b = (x + y) * 255 / (width + height).max(1);
                 pixels.push(0xFF00_0000 | (r << 16) | (g << 8) | b);
             }
         }
@@ -71,7 +71,7 @@ impl Image {
 
 /// Encodes an image as a 24-bit uncompressed BMP file.
 pub fn encode_bmp(img: &Image) -> Vec<u8> {
-    let row_size = ((img.width * 3 + 3) / 4) * 4;
+    let row_size = (img.width * 3).div_ceil(4) * 4;
     let pixel_bytes = row_size * img.height;
     let file_size = 54 + pixel_bytes;
     let mut out = Vec::with_capacity(file_size as usize);
@@ -126,7 +126,7 @@ pub fn decode_bmp(data: &[u8]) -> Result<Image, String> {
         return Err("unreasonable BMP dimensions".into());
     }
     let (width, height) = (width as u32, height as u32);
-    let row_size = ((width * 3 + 3) / 4) * 4;
+    let row_size = (width * 3).div_ceil(4) * 4;
     let mut pixels = vec![0u32; (width * height) as usize];
     for y in 0..height {
         let src_row = offset + ((height - 1 - y) * row_size) as usize;

@@ -243,7 +243,11 @@ impl VideoDecoder {
         let width = u32::from_le_bytes([data[4], data[5], data[6], data[7]]) as usize;
         let height = u32::from_le_bytes([data[8], data[9], data[10], data[11]]) as usize;
         let frame_count = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
-        if width == 0 || height == 0 || width % BLOCK != 0 || height % BLOCK != 0 {
+        if width == 0
+            || height == 0
+            || !width.is_multiple_of(BLOCK)
+            || !height.is_multiple_of(BLOCK)
+        {
             return Err(format!("bad video geometry {width}x{height}"));
         }
         Ok(VideoDecoder {
@@ -310,9 +314,9 @@ pub fn yuv_to_rgb_scalar(frame: &YuvFrame) -> Vec<u32> {
             let ci = (y / 2) * (frame.width / 2) + x / 2;
             let u = frame.u[ci] as i32 - 128;
             let v = frame.v[ci] as i32 - 128;
-            let r = clamp8(yy + (91881 * v >> 16));
+            let r = clamp8(yy + ((91881 * v) >> 16));
             let g = clamp8(yy - ((22554 * u + 46802 * v) >> 16));
-            let b = clamp8(yy + (116130 * u >> 16));
+            let b = clamp8(yy + ((116130 * u) >> 16));
             out.push(0xFF00_0000 | (r << 16) | (g << 8) | b);
         }
     }
@@ -330,9 +334,9 @@ pub fn yuv_to_rgb_simd(frame: &YuvFrame) -> Vec<u32> {
         for cx in 0..half_w {
             let u = frame.u[cy * half_w + cx] as i32 - 128;
             let v = frame.v[cy * half_w + cx] as i32 - 128;
-            let r_off = 91881 * v >> 16;
+            let r_off = (91881 * v) >> 16;
             let g_off = (22554 * u + 46802 * v) >> 16;
-            let b_off = 116130 * u >> 16;
+            let b_off = (116130 * u) >> 16;
             // A 2x2 "lane" of luma shares the chroma contribution.
             for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
                 let px = cx * 2 + dx;

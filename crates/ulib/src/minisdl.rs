@@ -142,10 +142,7 @@ impl MiniSdl {
     /// Polls for one key event without blocking.
     pub fn poll_event(&mut self, ctx: &mut UserCtx<'_>) -> Option<KeyEvent> {
         let fd = self.event_fd?;
-        match ctx.read_key_event(fd) {
-            Ok(ev) => ev,
-            Err(_) => None,
-        }
+        ctx.read_key_event(fd).unwrap_or_default()
     }
 
     /// Opens the audio queue (`/dev/sb`).

@@ -65,11 +65,7 @@ impl UserAllocator {
     /// performs the actual `sbrk` syscall and then calls [`Self::grow`].
     pub fn needs_sbrk(&self, size: u64) -> u64 {
         let size = Self::round(size);
-        if self
-            .free_list
-            .iter()
-            .any(|b| b.size >= size)
-        {
+        if self.free_list.iter().any(|b| b.size >= size) {
             0
         } else {
             // Grow at least 16 KB at a time, like the real library.

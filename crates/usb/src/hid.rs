@@ -129,7 +129,10 @@ mod tests {
     fn press_and_release_are_diffed_from_reports() {
         let mut p = BootReportParser::new();
         // Press 'W'.
-        let r1 = build_report(Modifiers::default(), &[keycode_to_usage(KeyCode::Char('W'))]);
+        let r1 = build_report(
+            Modifiers::default(),
+            &[keycode_to_usage(KeyCode::Char('W'))],
+        );
         let ev1 = p.parse(&r1, 100);
         assert_eq!(ev1.len(), 1);
         assert_eq!(ev1[0].code, KeyCode::Char('W'));

@@ -12,9 +12,9 @@ use hal::usb_hw::{UsbHwDevice, UsbSetupPacket};
 use hal::{HalError, HalResult};
 
 use crate::descriptor::{
-    class, desc_type, hid_protocol, ConfigurationDescriptor, DeviceDescriptor,
-    InterfaceDescriptor, REQ_GET_DESCRIPTOR, REQ_HID_SET_IDLE, REQ_HID_SET_PROTOCOL,
-    REQ_SET_ADDRESS, REQ_SET_CONFIGURATION,
+    class, desc_type, hid_protocol, ConfigurationDescriptor, DeviceDescriptor, InterfaceDescriptor,
+    REQ_GET_DESCRIPTOR, REQ_HID_SET_IDLE, REQ_HID_SET_PROTOCOL, REQ_SET_ADDRESS,
+    REQ_SET_CONFIGURATION,
 };
 use crate::events::{KeyCode, Modifiers};
 use crate::hid::{build_report, keycode_to_usage};

@@ -11,9 +11,8 @@
 use hal::usb_hw::{UsbHostController, UsbSetupPacket};
 
 use crate::descriptor::{
-    class, desc_type, hid_protocol, ConfigurationDescriptor, DeviceDescriptor,
-    REQ_GET_DESCRIPTOR, REQ_HID_SET_IDLE, REQ_HID_SET_PROTOCOL, REQ_SET_ADDRESS,
-    REQ_SET_CONFIGURATION,
+    class, desc_type, hid_protocol, ConfigurationDescriptor, DeviceDescriptor, REQ_GET_DESCRIPTOR,
+    REQ_HID_SET_IDLE, REQ_HID_SET_PROTOCOL, REQ_SET_ADDRESS, REQ_SET_CONFIGURATION,
 };
 use crate::events::KeyEvent;
 use crate::hid::BootReportParser;

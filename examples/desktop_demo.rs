@@ -4,8 +4,18 @@ use proto_repro::prelude::*;
 
 fn main() {
     let mut sys = ProtoSystem::desktop().expect("desktop");
-    let mario_a = sys.spawn("mario-sdl", &["/mario.nes".into(), "0".into(), "8".into(), "8".into()]).unwrap();
-    let mario_b = sys.spawn("mario-sdl", &["/mario.nes".into(), "0".into(), "300".into(), "8".into()]).unwrap();
+    let mario_a = sys
+        .spawn(
+            "mario-sdl",
+            &["/mario.nes".into(), "0".into(), "8".into(), "8".into()],
+        )
+        .unwrap();
+    let mario_b = sys
+        .spawn(
+            "mario-sdl",
+            &["/mario.nes".into(), "0".into(), "300".into(), "8".into()],
+        )
+        .unwrap();
     let launcher = sys.spawn("launcher", &[]).unwrap();
     let sysmon = sys.spawn("sysmon", &[]).unwrap();
     sys.run_ms(1200);
@@ -13,20 +23,41 @@ fn main() {
     // Press Ctrl+Tab twice to cycle window focus, then play a bit more.
     let kb = sys.keyboard.clone().expect("keyboard");
     for _ in 0..2 {
-        kb.tap(KeyCode::Tab, Modifiers { ctrl: true, shift: false, alt: false });
+        kb.tap(
+            KeyCode::Tab,
+            Modifiers {
+                ctrl: true,
+                shift: false,
+                alt: false,
+            },
+        );
         sys.run_ms(120);
     }
     kb.tap(KeyCode::Right, Modifiers::default());
     sys.run_ms(600);
 
     println!("desktop after ~2s of virtual time:");
-    for (name, tid) in [("mario A", mario_a), ("mario B", mario_b), ("launcher", launcher), ("sysmon", sysmon)] {
+    for (name, tid) in [
+        ("mario A", mario_a),
+        ("mario B", mario_b),
+        ("launcher", launcher),
+        ("sysmon", sysmon),
+    ] {
         let m = sys.kernel.task_metrics(tid).unwrap_or_default();
         println!("  {name:9} {:4} frames ({:.1} FPS)", m.frames, m.fps());
     }
     let stats = sys.kernel.wm.stats();
-    println!("window manager: {} surfaces, {} composition rounds, {} px composited, {} focus switches",
-        sys.kernel.wm.surface_count(), stats.rounds, stats.pixels_composited, stats.focus_switches);
+    println!(
+        "window manager: {} surfaces, {} composition rounds, {} px composited, {} focus switches",
+        sys.kernel.wm.surface_count(),
+        stats.rounds,
+        stats.pixels_composited,
+        stats.focus_switches
+    );
     let fb = &sys.kernel.board.framebuffer;
-    println!("framebuffer: {} pixels written, {} stale (unflushed) pixels", fb.pixels_written(), fb.stale_pixels());
+    println!(
+        "framebuffer: {} pixels written, {} stale (unflushed) pixels",
+        fb.pixels_written(),
+        fb.stale_pixels()
+    );
 }

@@ -10,7 +10,13 @@ fn main() {
     sys.run_ms(500);
 
     let kb = sys.keyboard.clone().expect("keyboard");
-    for key in [KeyCode::Up, KeyCode::Up, KeyCode::Left, KeyCode::Up, KeyCode::Right] {
+    for key in [
+        KeyCode::Up,
+        KeyCode::Up,
+        KeyCode::Left,
+        KeyCode::Up,
+        KeyCode::Right,
+    ] {
         kb.press(key, Modifiers::default());
         sys.run_ms(150);
         kb.release(key);
@@ -21,6 +27,11 @@ fn main() {
     let m = sys.kernel.task_metrics(doom).unwrap_or_default();
     let (logic, draw, present) = m.mean_phase_ms();
     println!("DOOM: {} frames, {:.1} FPS", m.frames, m.fps());
-    println!("per-frame breakdown: app logic {logic:.1} ms, draw {draw:.1} ms, present {present:.1} ms");
-    println!("input events observed by the driver: {}", sys.kernel.kbd_events_received());
+    println!(
+        "per-frame breakdown: app logic {logic:.1} ms, draw {draw:.1} ms, present {present:.1} ms"
+    );
+    println!(
+        "input events observed by the driver: {}",
+        sys.kernel.kbd_events_received()
+    );
 }

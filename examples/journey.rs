@@ -5,17 +5,49 @@ use proto_repro::prelude::*;
 
 fn main() {
     let plan = [
-        (PrototypeStage::Baremetal, "donut", "a pixel donut spinning via the framebuffer"),
-        (PrototypeStage::Multitasking, "donut", "several donuts scheduled preemptively"),
-        (PrototypeStage::UserKernel, "mario", "mario autoplaying in its own address space"),
-        (PrototypeStage::Files, "sh", "the shell running /etc/rc from the ramdisk"),
-        (PrototypeStage::Desktop, "doom", "DOOM loading multi-MB assets from FAT32"),
+        (
+            PrototypeStage::Baremetal,
+            "donut",
+            "a pixel donut spinning via the framebuffer",
+        ),
+        (
+            PrototypeStage::Multitasking,
+            "donut",
+            "several donuts scheduled preemptively",
+        ),
+        (
+            PrototypeStage::UserKernel,
+            "mario",
+            "mario autoplaying in its own address space",
+        ),
+        (
+            PrototypeStage::Files,
+            "sh",
+            "the shell running /etc/rc from the ramdisk",
+        ),
+        (
+            PrototypeStage::Desktop,
+            "doom",
+            "DOOM loading multi-MB assets from FAT32",
+        ),
     ];
     for (stage, app, blurb) in plan {
         let mut sys = ProtoSystem::prototype(stage).expect("build prototype");
-        println!("\n=== Prototype {} \"{}\" — {blurb}", stage.number(), stage.name());
+        println!(
+            "\n=== Prototype {} \"{}\" — {blurb}",
+            stage.number(),
+            stage.name()
+        );
         let spawned = if stage == PrototypeStage::Multitasking {
-            (0..4).map(|i| sys.spawn("donut", &[i.to_string(), format!("{}", 0.05 + i as f64 * 0.05)]).unwrap()).collect::<Vec<_>>()
+            (0..4)
+                .map(|i| {
+                    sys.spawn(
+                        "donut",
+                        &[i.to_string(), format!("{}", 0.05 + i as f64 * 0.05)],
+                    )
+                    .unwrap()
+                })
+                .collect::<Vec<_>>()
         } else if app == "sh" {
             vec![sys.spawn("sh", &["/etc/rc".into()]).unwrap()]
         } else {
@@ -24,9 +56,20 @@ fn main() {
         sys.run_ms(800);
         for tid in spawned {
             let m = sys.kernel.task_metrics(tid).unwrap_or_default();
-            let name = sys.kernel.task(tid).map(|t| t.name.clone()).unwrap_or_else(|| "done".into());
-            println!("  task {tid} ({name}): {} frames, {:.1} FPS", m.frames, m.fps());
+            let name = sys
+                .kernel
+                .task(tid)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| "done".into());
+            println!(
+                "  task {tid} ({name}): {} frames, {:.1} FPS",
+                m.frames,
+                m.fps()
+            );
         }
-        println!("  uart: {} bytes of console output", sys.kernel.console_log().len());
+        println!(
+            "  uart: {} bytes of console output",
+            sys.kernel.console_log().len()
+        );
     }
 }

@@ -5,13 +5,18 @@ use proto_repro::prelude::*;
 fn main() {
     let mut sys = ProtoSystem::desktop().expect("desktop");
     let music = sys.spawn("musicplayer", &["/d/track1.ogg".into()]).unwrap();
-    let video = sys.spawn("videoplayer", &["/d/video480.mpg".into()]).unwrap();
+    let video = sys
+        .spawn("videoplayer", &["/d/video480.mpg".into()])
+        .unwrap();
     sys.run_ms(2500);
 
     let vm = sys.kernel.task_metrics(video).unwrap_or_default();
     println!("video: {} frames shown ({:.1} FPS)", vm.frames, vm.fps());
     let am = sys.kernel.task_metrics(music).unwrap_or_default();
     println!("audio: {} frames decoded", am.frames);
-    println!("sound device: {} samples played, {} underruns",
-        sys.kernel.board.pwm.samples_played(), sys.kernel.board.pwm.underruns());
+    println!(
+        "sound device: {} samples played, {} underruns",
+        sys.kernel.board.pwm.samples_played(),
+        sys.kernel.board.pwm.underruns()
+    );
 }

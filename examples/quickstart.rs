@@ -4,17 +4,33 @@ use proto_repro::prelude::*;
 
 fn main() {
     let mut sys = ProtoSystem::desktop().expect("build the desktop prototype");
-    println!("booted prototype {:?} on {:?} in {} ms (to prompt)",
-        sys.kernel.config.stage, sys.options.platform, sys.kernel.boot_stats().to_prompt_ms);
+    println!(
+        "booted prototype {:?} on {:?} in {} ms (to prompt)",
+        sys.kernel.config.stage,
+        sys.options.platform,
+        sys.kernel.boot_stats().to_prompt_ms
+    );
 
     let donut = sys.spawn("donut", &[]).expect("spawn donut");
-    let doom = sys.spawn("doom", &["/d/doom.wad".into()]).expect("spawn doom");
+    let doom = sys
+        .spawn("doom", &["/d/doom.wad".into()])
+        .expect("spawn doom");
     sys.run_ms(1500);
 
     for (name, tid) in [("donut", donut), ("doom", doom)] {
         let m = sys.kernel.task_metrics(tid).unwrap_or_default();
-        println!("{name:8} rendered {:4} frames  ({:.1} FPS)", m.frames, m.fps());
+        println!(
+            "{name:8} rendered {:4} frames  ({:.1} FPS)",
+            m.frames,
+            m.fps()
+        );
     }
-    println!("OS memory in use: {:.1} MB", sys.kernel.memory_snapshot().used_mb());
-    println!("console log tail:\n{}", sys.kernel.console_lines().join("\n"));
+    println!(
+        "OS memory in use: {:.1} MB",
+        sys.kernel.memory_snapshot().used_mb()
+    );
+    println!(
+        "console log tail:\n{}",
+        sys.kernel.console_lines().join("\n")
+    );
 }

@@ -27,7 +27,9 @@ pub use ulib;
 /// The most commonly used types, for examples and downstream users.
 pub mod prelude {
     pub use hal::cost::Platform;
-    pub use kernel::{KernelConfig, KernelVariant, PrototypeStage, StepResult, UserCtx, UserProgram};
+    pub use kernel::{
+        KernelConfig, KernelVariant, PrototypeStage, StepResult, UserCtx, UserProgram,
+    };
     pub use proto::prototype::{ProtoSystem, SystemOptions};
     pub use protousb::{KeyCode, Modifiers};
 }

@@ -54,7 +54,10 @@ fn prototype4_shell_runs_an_rc_script_and_mario_gets_keyboard_input() {
     assert!(log.contains("boot complete"), "rc script ran: {log}");
     assert!(log.contains("bin"), "ls / listed /bin: {log}");
     let shell_task = sys.kernel.task(shell);
-    assert!(shell_task.is_none() || shell_task.unwrap().is_zombie(), "script shell exits");
+    assert!(
+        shell_task.is_none() || shell_task.unwrap().is_zombie(),
+        "script shell exits"
+    );
 
     // mario-proc reads keyboard input through the fork+pipe event loop.
     let mario = sys.spawn("mario-proc", &[]).unwrap();
@@ -65,28 +68,51 @@ fn prototype4_shell_runs_an_rc_script_and_mario_gets_keyboard_input() {
     kb.release(KeyCode::Right);
     sys.run_ms(200);
     assert!(sys.kernel.task_metrics(mario).unwrap().frames > 5);
-    assert!(sys.kernel.kbd_events_received() >= 2, "driver saw the key events");
+    assert!(
+        sys.kernel.kbd_events_received() >= 2,
+        "driver saw the key events"
+    );
 }
 
 #[test]
 fn prototype5_desktop_runs_doom_players_and_the_window_manager_together() {
     let mut sys = ProtoSystem::desktop().unwrap();
     let doom = sys.spawn("doom", &["/d/doom.wad".into()]).unwrap();
-    let video = sys.spawn("videoplayer", &["/d/video480.mpg".into()]).unwrap();
+    let video = sys
+        .spawn("videoplayer", &["/d/video480.mpg".into()])
+        .unwrap();
     let music = sys.spawn("musicplayer", &["/d/track1.ogg".into()]).unwrap();
     let sysmon = sys.spawn("sysmon", &[]).unwrap();
     sys.run_ms(2500);
-    assert!(sys.kernel.task_metrics(doom).unwrap().frames > 10, "DOOM renders");
-    assert!(sys.kernel.task_metrics(video).unwrap().frames > 3, "video plays");
-    assert!(sys.kernel.task_metrics(music).unwrap().frames > 3, "music decodes");
-    assert!(sys.kernel.task_metrics(sysmon).unwrap().frames >= 1, "sysmon refreshes");
-    assert!(sys.kernel.board.pwm.samples_played() > 0, "audio reached the PWM device");
+    assert!(
+        sys.kernel.task_metrics(doom).unwrap().frames > 10,
+        "DOOM renders"
+    );
+    assert!(
+        sys.kernel.task_metrics(video).unwrap().frames > 3,
+        "video plays"
+    );
+    assert!(
+        sys.kernel.task_metrics(music).unwrap().frames > 3,
+        "music decodes"
+    );
+    assert!(
+        sys.kernel.task_metrics(sysmon).unwrap().frames >= 1,
+        "sysmon refreshes"
+    );
+    assert!(
+        sys.kernel.board.pwm.samples_played() > 0,
+        "audio reached the PWM device"
+    );
     assert!(
         sys.kernel.board.pwm.underruns() < 44_100,
         "audio mostly continuous (underruns: {})",
         sys.kernel.board.pwm.underruns()
     );
-    assert!(sys.kernel.wm.surface_count() >= 1, "sysmon owns a WM surface");
+    assert!(
+        sys.kernel.wm.surface_count() >= 1,
+        "sysmon owns a WM surface"
+    );
     let mem = sys.kernel.memory_snapshot().used_mb();
     assert!(mem > 10.0 && mem < 100.0, "OS memory {mem} MB");
 }
@@ -99,13 +125,19 @@ fn blockchain_scales_with_cores() {
         options.small_assets = true;
         options.cores = cores;
         let mut sys = ProtoSystem::build(options).unwrap();
-        let miner = sys.spawn("blockchain", &["4".into(), "0".into(), "16".into()]).unwrap();
+        let miner = sys
+            .spawn("blockchain", &["4".into(), "0".into(), "16".into()])
+            .unwrap();
         sys.run_ms(1500);
         let log = sys.kernel.console_lines().join("\n");
         let blocks = log
             .lines()
             .rev()
-            .find_map(|l| l.strip_prefix("blockchain: ").and_then(|r| r.split(' ').next()).and_then(|n| n.parse::<u64>().ok()))
+            .find_map(|l| {
+                l.strip_prefix("blockchain: ")
+                    .and_then(|r| r.split(' ').next())
+                    .and_then(|n| n.parse::<u64>().ok())
+            })
             .unwrap_or(0);
         let _ = miner;
         blocks_by_cores.push(blocks);
@@ -122,7 +154,9 @@ fn blockchain_scales_with_cores() {
 fn earlier_prototypes_reject_later_features() {
     let mut sys = ProtoSystem::prototype(PrototypeStage::Multitasking).unwrap();
     let tid = sys.kernel.spawn_bench_task("probe").unwrap();
-    let err = sys.kernel.with_task_ctx(tid, |ctx| ctx.open("/etc/rc", kernel::OpenFlags::rdonly()));
+    let err = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| ctx.open("/etc/rc", kernel::OpenFlags::rdonly()));
     assert!(err.is_err(), "prototype 2 has no file syscalls");
     let mut sys4 = ProtoSystem::prototype(PrototypeStage::Files).unwrap();
     let tid4 = sys4.kernel.spawn_bench_task("probe").unwrap();
@@ -139,8 +173,15 @@ fn panic_button_dumps_even_with_irqs_masked() {
         sys.kernel.board.intc.set_core_masked(core, true);
     }
     let mut intc = std::mem::replace(&mut sys.kernel.board.intc, hal::intc::IrqController::new(4));
-    sys.kernel.board.gpio.external_drive(21, true, &mut intc).unwrap();
+    sys.kernel
+        .board
+        .gpio
+        .external_drive(21, true, &mut intc)
+        .unwrap();
     sys.kernel.board.intc = intc;
     sys.run_ms(50);
-    assert!(!sys.kernel.debugmon.dumps().is_empty(), "panic dump captured");
+    assert!(
+        !sys.kernel.debugmon.dumps().is_empty(),
+        "panic dump captured"
+    );
 }

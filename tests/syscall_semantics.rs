@@ -1,8 +1,8 @@
 //! Integration tests for the syscall surface: files, pipes, devices, fork,
 //! threads and the framebuffer cache-flush behaviour.
 
-use proto_repro::prelude::*;
 use kernel::OpenFlags;
+use proto_repro::prelude::*;
 
 fn desktop() -> (ProtoSystem, kernel::TaskId) {
     let mut sys = ProtoSystem::desktop().unwrap();
@@ -93,10 +93,16 @@ fn framebuffer_writes_are_invisible_until_flushed() {
             ctx.fb_write(0, &[0xFFFF_FFFF; 256])
         })
         .unwrap();
-    assert!(sys.kernel.board.framebuffer.stale_pixels() > 0, "cached write not yet visible");
+    assert!(
+        sys.kernel.board.framebuffer.stale_pixels() > 0,
+        "cached write not yet visible"
+    );
     sys.kernel.with_task_ctx(tid, |ctx| ctx.fb_flush()).unwrap();
     assert_eq!(sys.kernel.board.framebuffer.stale_pixels(), 0);
-    assert_eq!(sys.kernel.board.framebuffer.scanout_at(0, 0).unwrap(), 0xFFFF_FFFF);
+    assert_eq!(
+        sys.kernel.board.framebuffer.scanout_at(0, 0).unwrap(),
+        0xFFFF_FFFF
+    );
 }
 
 #[test]
@@ -109,37 +115,70 @@ fn fork_gives_the_child_a_private_copy_of_memory() {
         }
     }
     let parent = sys.spawn("helloworld", &[]).unwrap();
-    let child = sys.kernel.with_task_ctx(parent, |ctx| ctx.fork(Box::new(Child))).unwrap();
-    let p_space = sys.kernel.address_space_of(parent).unwrap().page_table().root();
-    let c_space = sys.kernel.address_space_of(child).unwrap().page_table().root();
+    let child = sys
+        .kernel
+        .with_task_ctx(parent, |ctx| ctx.fork(Box::new(Child)))
+        .unwrap();
+    let p_space = sys
+        .kernel
+        .address_space_of(parent)
+        .unwrap()
+        .page_table()
+        .root();
+    let c_space = sys
+        .kernel
+        .address_space_of(child)
+        .unwrap()
+        .page_table()
+        .root();
     assert_ne!(p_space, c_space, "separate page tables");
     sys.run_ms(200);
-    assert!(sys.kernel.task(child).map(|t| t.is_zombie()).unwrap_or(true));
+    assert!(sys
+        .kernel
+        .task(child)
+        .map(|t| t.is_zombie())
+        .unwrap_or(true));
 }
 
 #[test]
 fn pipes_carry_data_between_fork_peers_and_break_cleanly() {
     let (mut sys, tid) = desktop();
     let (r, w) = sys.kernel.with_task_ctx(tid, |ctx| ctx.pipe()).unwrap();
-    sys.kernel.with_task_ctx(tid, |ctx| ctx.write(w, b"ping")).unwrap();
-    let data = sys.kernel.with_task_ctx(tid, |ctx| ctx.read(r, 16)).unwrap();
+    sys.kernel
+        .with_task_ctx(tid, |ctx| ctx.write(w, b"ping"))
+        .unwrap();
+    let data = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| ctx.read(r, 16))
+        .unwrap();
     assert_eq!(data, b"ping");
     sys.kernel.with_task_ctx(tid, |ctx| ctx.close(w)).unwrap();
-    let eof = sys.kernel.with_task_ctx(tid, |ctx| ctx.read(r, 16)).unwrap();
+    let eof = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| ctx.read(r, 16))
+        .unwrap();
     assert!(eof.is_empty(), "EOF after all writers close");
 }
 
 #[test]
 fn semaphores_block_and_wake_threads() {
     let (mut sys, tid) = desktop();
-    let sem = sys.kernel.with_task_ctx(tid, |ctx| ctx.sem_create(0)).unwrap();
+    let sem = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| ctx.sem_create(0))
+        .unwrap();
     // Waiting on a zero semaphore blocks the task...
     let r = sys.kernel.with_task_ctx(tid, |ctx| ctx.sem_wait(sem));
     assert!(matches!(r, Err(kernel::KernelError::WouldBlock)));
-    assert!(matches!(sys.kernel.task(tid).unwrap().state, kernel::TaskState::Blocked(_)));
+    assert!(matches!(
+        sys.kernel.task(tid).unwrap().state,
+        kernel::TaskState::Blocked(_)
+    ));
     // ...and a post from another task wakes it.
     let other = sys.kernel.spawn_bench_task("poster").unwrap();
-    sys.kernel.with_task_ctx(other, |ctx| ctx.sem_post(sem)).unwrap();
+    sys.kernel
+        .with_task_ctx(other, |ctx| ctx.sem_post(sem))
+        .unwrap();
     assert!(sys.kernel.task(tid).unwrap().is_ready());
 }
 
@@ -151,9 +190,15 @@ fn killing_a_task_releases_its_resources() {
     let frames_before = sys.kernel.task_metrics(doom).unwrap().frames;
     assert!(frames_before > 0);
     let killer = sys.kernel.spawn_bench_task("killer").unwrap();
-    sys.kernel.with_task_ctx(killer, |ctx| ctx.kill(doom)).unwrap();
+    sys.kernel
+        .with_task_ctx(killer, |ctx| ctx.kill(doom))
+        .unwrap();
     sys.run_ms(300);
-    let frames_after = sys.kernel.task_metrics(doom).map(|m| m.frames).unwrap_or(frames_before);
+    let frames_after = sys
+        .kernel
+        .task_metrics(doom)
+        .map(|m| m.frames)
+        .unwrap_or(frames_before);
     assert_eq!(frames_before, frames_after, "killed task stops rendering");
 }
 

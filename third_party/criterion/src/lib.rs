@@ -1,0 +1,101 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the small slice of the Criterion API the `benches/` targets
+//! use — [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!`/`criterion_main!` macros — with a plain wall-clock
+//! timing loop. No statistics, no HTML reports; just a per-bench
+//! nanoseconds-per-iteration line on stdout.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Records iterations and elapsed time for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times one invocation of `f` (Criterion would run many batches; the
+    /// shim keeps bench wall-time small and deterministic-ish).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` `sample_size` times and prints the mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_ns: 0,
+        };
+        for _ in 0..self.sample_size.min(10) {
+            f(&mut b);
+        }
+        let per_iter = if b.iters > 0 {
+            b.elapsed_ns / b.iters as u128
+        } else {
+            0
+        };
+        println!("{name:<40} time: {per_iter} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` builds and runs harness-less bench targets with
+            // `--test`; real Criterion exits immediately there, and so do we.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,268 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only ever *serializes* — and only to JSON, via
+//! `bench::report`. So instead of the full serde data model this shim exposes
+//! a single-method [`Serialize`] trait that renders a value straight into a
+//! JSON string, with implementations for the primitives, strings,
+//! collections and tuples the workspace uses. The derive macros come from
+//! the sibling `serde_derive` shim.
+
+// Re-export the derives under the same names as the traits, as upstream
+// serde does: `use serde::{Serialize, Deserialize}` imports both the trait
+// (type namespace) and the derive macro (macro namespace).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for the (unused) deserialization half of the API.
+pub trait Deserialize<'de>: Sized {}
+
+/// Renders `self` as JSON text.
+pub trait Serialize {
+    /// Appends the JSON rendering of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: renders to a fresh string.
+    fn to_json(&self) -> String
+    where
+        Self: Sized,
+    {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident, $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A, 0);
+    (A, 0, B, 1);
+    (A, 0, B, 1, C, 2);
+    (A, 0, B, 1, C, 2, D, 3);
+    (A, 0, B, 1, C, 2, D, 3, E, 4);
+    (A, 0, B, 1, C, 2, D, 3, E, 4, F, 5);
+}
+
+fn write_map<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>, out: &mut String)
+where
+    K: std::fmt::Display + 'a,
+    V: Serialize + 'a,
+{
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&k.to_string(), out);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: std::fmt::Display + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn write_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The derive emits `impl serde::Serialize for ...`; inside the shim's own
+    // test module that path must resolve back to this crate.
+    use crate as serde;
+    use crate::*;
+
+    #[test]
+    fn primitives_and_collections_render_as_json() {
+        assert_eq!(3u32.to_json(), "3");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a \"b\"\n".to_string().to_json(), "\"a \\\"b\\\"\\n\"");
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(("x", 1.5f64).to_json(), "[\"x\",1.5]");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+    }
+
+    #[derive(Serialize)]
+    struct Inner {
+        n: u64,
+    }
+
+    #[derive(Serialize)]
+    struct Outer {
+        name: String,
+        values: Vec<(String, f64)>,
+        inner: Inner,
+        maybe: Option<u32>,
+    }
+
+    #[derive(Debug, Serialize)]
+    enum Mode {
+        Fast,
+        #[allow(dead_code)]
+        Slow(u32),
+    }
+
+    #[test]
+    fn derive_renders_named_structs_field_by_field() {
+        let o = Outer {
+            name: "fs".into(),
+            values: vec![("mb_s".into(), 12.5)],
+            inner: Inner { n: 7 },
+            maybe: None,
+        };
+        assert_eq!(
+            o.to_json(),
+            "{\"name\":\"fs\",\"values\":[[\"mb_s\",12.5]],\"inner\":{\"n\":7},\"maybe\":null}"
+        );
+    }
+
+    #[test]
+    fn derive_falls_back_to_debug_for_enums() {
+        assert_eq!(Mode::Fast.to_json(), "\"Fast\"");
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline shim for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates an implementation of the shim `serde`
+//! crate's [`Serialize`] trait (a direct-to-JSON renderer). Named structs get
+//! real field-by-field JSON objects; enums and tuple structs fall back to
+//! their `Debug` rendering as a JSON string (every derive site in the
+//! workspace also derives `Debug`). `#[derive(Deserialize)]` expands to
+//! nothing — nothing in the workspace deserializes.
+//!
+//! The parser below is intentionally small: it understands the shapes that
+//! actually occur in this workspace (non-generic items, named fields whose
+//! types may contain `<...>` paths, attributes, visibility modifiers).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum ItemShape {
+    NamedStruct { name: String, fields: Vec<String> },
+    DebugFallback { name: String },
+}
+
+fn parse_item(input: TokenStream) -> Option<ItemShape> {
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if kind.is_none() && (s == "struct" || s == "enum") {
+                    kind = Some(s);
+                } else if kind.is_some() && name.is_none() {
+                    name = Some(s);
+                } else if name.is_some() && s == "where" {
+                    // Generic bounds: bail out to the Debug fallback.
+                    return Some(ItemShape::DebugFallback { name: name? });
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                // Generic item: the generated impl would need the parameter
+                // list; none of the workspace's derives are generic, so just
+                // emit nothing rather than risk an uncompilable impl.
+                return None;
+            }
+            TokenTree::Group(g) if name.is_some() => match (kind.as_deref(), g.delimiter()) {
+                (Some("struct"), Delimiter::Brace) => {
+                    return Some(ItemShape::NamedStruct {
+                        name: name?,
+                        fields: field_names(&g),
+                    });
+                }
+                (Some("struct"), Delimiter::Parenthesis) | (Some("enum"), Delimiter::Brace) => {
+                    return Some(ItemShape::DebugFallback { name: name? });
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    // Unit struct (`struct Foo;`).
+    name.map(|name| ItemShape::DebugFallback { name })
+}
+
+/// Extracts the field names of a named-struct body. Field names are idents
+/// followed by a single `:` at angle-bracket depth 0, in name position
+/// (start of the body or right after a top-level `,`).
+fn field_names(body: &Group) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    let mut expecting_name = true;
+    let mut angle: i32 = 0;
+    while let Some(tt) = toks.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' => {
+                    // Attribute: `#` followed by a bracket group.
+                    if matches!(toks.peek(), Some(TokenTree::Group(_))) {
+                        toks.next();
+                    }
+                }
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => expecting_name = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if expecting_name && angle == 0 && s != "pub" {
+                    // A field name is directly followed by `:` (a path
+                    // segment would be followed by `::`, i.e. a joint `:`).
+                    if let Some(TokenTree::Punct(c)) = toks.peek() {
+                        if c.as_char() == ':' && c.spacing() == proc_macro::Spacing::Alone {
+                            names.push(s);
+                            expecting_name = false;
+                        }
+                    }
+                }
+            }
+            TokenTree::Group(_) => {}
+            TokenTree::Literal(_) => {}
+        }
+    }
+    names
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Some(ItemShape::NamedStruct { name, fields }) => {
+            let mut body = String::new();
+            body.push_str("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\
+                     serde::Serialize::write_json(&self.{f}, out);"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn write_json(&self, out: &mut String) {{ {body} }}\
+                 }}"
+            )
+        }
+        Some(ItemShape::DebugFallback { name }) => format!(
+            "impl serde::Serialize for {name} {{\
+                 fn write_json(&self, out: &mut String) {{\
+                     serde::write_json_string(&format!(\"{{:?}}\", self), out);\
+                 }}\
+             }}"
+        ),
+        None => String::new(),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
