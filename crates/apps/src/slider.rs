@@ -119,7 +119,10 @@ impl UserProgram for Slider {
             };
             let scaled = img.scale_to(fb_w, fb_h);
             let cost = ctx.cost();
-            let logic = cost.per_byte(cost.pixel_convert_simd_per_px_milli, (fb_w * fb_h) as u64);
+            // Slide decode + scale work: per-pixel draw-rate cost (the slide
+            // path does no YUV conversion, so it must not track the video
+            // codec's conversion knobs).
+            let logic = cost.per_byte(cost.pixel_draw_per_px_milli, (fb_w * fb_h) as u64);
             ctx.charge_user(logic);
             let draw_start = ctx.now_us();
             for y in 0..fb_h {

@@ -244,6 +244,10 @@ fn file_throughput(sys: &mut ProtoSystem, tid: TaskId, path: &str, size: usize) 
             })
             .expect("file write");
     });
+    // The read must measure the device, not the freshly written cache
+    // contents: drain and drop the caches first (cold-cache read, as the
+    // paper's throughput figures measure).
+    sys.kernel.drop_fs_caches().expect("drop caches");
     let (read_us, _) = elapsed_us(sys, |s| {
         s.kernel
             .with_task_ctx(tid, |ctx| {

@@ -122,6 +122,12 @@ impl MemDisk {
         self.faulty.push(lba);
     }
 
+    /// Clears every injected fault ("the card recovered") so retried
+    /// write-backs can succeed.
+    pub fn clear_faults(&mut self) {
+        self.faulty.clear();
+    }
+
     fn check(&self, lba: u64, count: u64) -> FsResult<()> {
         if lba + count > self.num_blocks() {
             return Err(FsError::Io(format!(

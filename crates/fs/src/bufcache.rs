@@ -28,10 +28,24 @@
 //!   so a cold cluster read costs exactly one SD command — the same as the
 //!   old bypass path — while a warm one costs zero.
 //! * **Write-back.** Writes dirty cached blocks and return immediately.
-//!   Dirty data reaches the device when an extent is evicted or on an
-//!   explicit [`BufCache::flush`], which coalesces adjacent dirty blocks
-//!   (across extents) into single range commands (CMD25). [`FlushGuard`]
-//!   ties a flush to scope exit for callers that need it.
+//!   Dirty data reaches the device when an extent is evicted, on an explicit
+//!   [`BufCache::flush`], or incrementally through
+//!   [`BufCache::flush_some`] — the budgeted drain the kernel's `kbio`
+//!   flusher thread calls on a timer so write-back cost is paid in the
+//!   background instead of spiking whichever task closes last. Both drains
+//!   coalesce adjacent dirty blocks (across extents) into single range
+//!   commands (CMD25). [`FlushGuard`] ties a full flush to scope exit for
+//!   callers that need it; a flush that fails inside the guard's `Drop` is
+//!   counted in [`BufCacheStats::dropped_flush_errors`] rather than lost.
+//! * **Streaming prefetch.** The cache tracks whether successive range reads
+//!   are sequential ([`BufCache::sequential_streak`]); when the prefetch
+//!   policy is on ([`BufCache::set_prefetch`]) the FAT32 layer uses that
+//!   signal to issue [`BufCache::prefetch_range`] for the next cluster run
+//!   ahead of demand. Prefetch fills are ordinary range commands, but they
+//!   are counted separately ([`BufCacheStats::prefetch_cmds`]) so the
+//!   kernel's cost accounting can model their command-setup latency as
+//!   overlapped with the previous transfer instead of serialised on the
+//!   reading task.
 //!
 //! The §5.2 ablation is preserved as a *policy* rather than a bypass:
 //! [`BufCache::set_coalescing`] switches the fill/write-back paths between
@@ -47,10 +61,12 @@ pub const EXTENT_BLOCKS: usize = 8;
 pub const EXTENT_BYTES: usize = EXTENT_BLOCKS * BLOCK_SIZE;
 /// Default number of shards.
 pub const DEFAULT_SHARDS: usize = 8;
-/// Default cache capacity in 512-byte blocks (128 KB of cached data —
-/// xv6 used 30 single-block buffers; a range-capable cache needs room for
-/// whole cluster runs).
-pub const DEFAULT_NBUF: usize = 256;
+/// Default cache capacity in 512-byte blocks (512 KB of cached data — xv6
+/// used 30 single-block buffers; a range-capable cache needs room for whole
+/// cluster runs, and the streaming pipeline needs the current demand run
+/// *plus* its read-ahead window *plus* hot metadata resident at once, so
+/// read-ahead never evicts what it just fetched).
+pub const DEFAULT_NBUF: usize = 1024;
 
 /// One aligned multi-block cache extent.
 #[derive(Debug, Clone)]
@@ -65,6 +81,11 @@ struct Extent {
     dirty: u8,
     /// LRU stamp (larger = more recently used).
     tick: u64,
+    /// Scan-resistance class: `true` for extents installed by a streaming
+    /// fill that have not been re-touched. Eviction prefers cold extents
+    /// (oldest first), so one pass of a large scan can never flush hot
+    /// metadata; any later hit promotes the extent to hot.
+    cold: bool,
 }
 
 impl Extent {
@@ -75,6 +96,7 @@ impl Extent {
             valid: 0,
             dirty: 0,
             tick: 0,
+            cold: false,
         }
     }
 
@@ -129,6 +151,17 @@ pub struct BufCacheStats {
     pub evictions: u64,
     /// Explicit [`BufCache::flush`] calls.
     pub flushes: u64,
+    /// Budgeted [`BufCache::flush_some`] passes that wrote at least one block.
+    pub partial_flushes: u64,
+    /// Device commands issued by [`BufCache::prefetch_range`] (a subset of
+    /// `coalesced_ranges`/`single_cmds`).
+    pub prefetch_cmds: u64,
+    /// Blocks brought in ahead of demand by [`BufCache::prefetch_range`].
+    pub prefetched_blocks: u64,
+    /// Flushes that failed inside [`FlushGuard`]'s `Drop` (the error cannot
+    /// propagate out of a destructor; it is recorded here instead of being
+    /// silently discarded — the dirty blocks stay dirty).
+    pub dropped_flush_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -150,6 +183,30 @@ struct Run {
     len: u64,
 }
 
+/// How many concurrent sequential streams the cache tracks for read-ahead.
+/// A small fixed table, like a real kernel's per-file readahead state: one
+/// slot per active stream means a directory or second-file read cannot reset
+/// the streak of a media stream it interleaves with.
+const STREAM_SLOTS: usize = 4;
+
+/// One tracked sequential read stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stream {
+    /// The LBA the stream's next sequential read would start at (0 = free).
+    next_lba: u64,
+    /// Consecutive reads that continued the stream.
+    streak: u32,
+    /// LRU stamp for slot replacement.
+    tick: u64,
+}
+
+/// Fills spanning at least this many blocks are treated as *streaming*: the
+/// extents they install are inserted at the cold end of the LRU instead of
+/// the hot end, so a large sequential scan recycles its own extents rather
+/// than evicting hot metadata (FAT sectors, directory clusters) — classic
+/// scan resistance.
+const SCAN_RESIST_BLOCKS: u64 = 2 * EXTENT_BLOCKS as u64;
+
 fn push_block(runs: &mut Vec<Run>, lba: u64) {
     match runs.last_mut() {
         Some(r) if r.start + r.len == lba => r.len += 1,
@@ -166,10 +223,20 @@ pub struct BufCache {
     /// multi-block range commands; when false every transfer is a
     /// single-block command (the §5.2 ablation / xv6-baseline policy).
     coalesce: bool,
+    /// When true, callers above the cache (FAT32's `read_at`) may issue
+    /// [`BufCache::prefetch_range`] for detected sequential streams. Off by
+    /// default; the kernel switches it on per its config.
+    prefetch: bool,
     tick: u64,
     ranges_issued: u64,
     singles_issued: u64,
     flushes: u64,
+    partial_flushes: u64,
+    prefetch_cmds: u64,
+    prefetched_blocks: u64,
+    dropped_flush_errors: u64,
+    /// Sequential-stream tracking table (see [`STREAM_SLOTS`]).
+    streams: [Stream; STREAM_SLOTS],
 }
 
 impl Default for BufCache {
@@ -199,10 +266,16 @@ impl BufCache {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             extents_per_shard: extents_per_shard.max(1),
             coalesce: true,
+            prefetch: false,
             tick: 0,
             ranges_issued: 0,
             singles_issued: 0,
             flushes: 0,
+            partial_flushes: 0,
+            prefetch_cmds: 0,
+            prefetched_blocks: 0,
+            dropped_flush_errors: 0,
+            streams: [Stream::default(); STREAM_SLOTS],
         }
     }
 
@@ -215,6 +288,57 @@ impl BufCache {
     /// Whether fills and write-backs use range commands.
     pub fn coalescing(&self) -> bool {
         self.coalesce
+    }
+
+    /// Enables or disables the streaming-prefetch policy. Off by default; the
+    /// kernel turns it on for configurations with async prefetch.
+    pub fn set_prefetch(&mut self, prefetch: bool) {
+        self.prefetch = prefetch;
+    }
+
+    /// Whether callers may prefetch ahead of sequential streams.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch
+    }
+
+    /// The streak of the most recently touched sequential stream: how many
+    /// consecutive cluster-sized (or larger) range reads continued exactly
+    /// where a previous one ended. This is the sequential-stream signal
+    /// FAT32's `read_at` consults right after its own data read (which is,
+    /// by construction, the most recent stream touch). Single-block reads
+    /// (FAT sectors) are ignored entirely, and up to [`STREAM_SLOTS`]
+    /// interleaved streams are tracked independently, so metadata or a
+    /// second file's reads do not reset a media stream's streak.
+    pub fn sequential_streak(&self) -> u32 {
+        self.streams
+            .iter()
+            .max_by_key(|s| s.tick)
+            .map(|s| s.streak)
+            .unwrap_or(0)
+    }
+
+    /// Records a qualifying (cluster-sized or larger) range read in the
+    /// stream table: extends the stream it continues, or claims the
+    /// least-recently-touched slot for a new stream.
+    fn note_stream_read(&mut self, lba: u64, count: u64) {
+        let tick = self.next_tick();
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .find(|s| s.next_lba == lba && s.next_lba != 0)
+        {
+            s.streak = s.streak.saturating_add(1);
+            s.next_lba = lba + count;
+            s.tick = tick;
+            return;
+        }
+        if let Some(slot) = self.streams.iter_mut().min_by_key(|s| s.tick) {
+            *slot = Stream {
+                next_lba: lba + count,
+                streak: 0,
+                tick,
+            };
+        }
     }
 
     /// Number of shards.
@@ -238,6 +362,10 @@ impl BufCache {
             coalesced_ranges: self.ranges_issued,
             single_cmds: self.singles_issued,
             flushes: self.flushes,
+            partial_flushes: self.partial_flushes,
+            prefetch_cmds: self.prefetch_cmds,
+            prefetched_blocks: self.prefetched_blocks,
+            dropped_flush_errors: self.dropped_flush_errors,
             ..Default::default()
         };
         for s in &self.shards {
@@ -332,6 +460,52 @@ impl BufCache {
         Ok(written)
     }
 
+    /// Fetches one missing run from the device and installs its blocks into
+    /// their extents, returning the bytes. The single fill path shared by
+    /// demand reads and prefetch: `prefetch` only changes which command
+    /// counter the transfer lands in. Streaming-sized runs are installed at
+    /// the cold end of the LRU (scan resistance) so a large sequential fill
+    /// recycles its own extents instead of flushing hot metadata.
+    fn fill_run(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        run: Run,
+        prefetch: bool,
+    ) -> FsResult<Vec<u8>> {
+        let mut tmp = vec![0u8; run.len as usize * BLOCK_SIZE];
+        if self.coalesce && run.len > 1 {
+            dev.read_range(run.start, run.len, &mut tmp)?;
+            self.ranges_issued += 1;
+            if prefetch {
+                self.prefetch_cmds += 1;
+            }
+        } else {
+            for b in 0..run.len {
+                let off = b as usize * BLOCK_SIZE;
+                dev.read_block(run.start + b, &mut tmp[off..off + BLOCK_SIZE])?;
+            }
+            self.singles_issued += run.len;
+            if prefetch {
+                self.prefetch_cmds += run.len;
+            }
+        }
+        let cold = run.len >= SCAN_RESIST_BLOCKS;
+        for b in 0..run.len {
+            let blk = run.start + b;
+            let off = b as usize * BLOCK_SIZE;
+            let ext = self.extent_for(dev, blk)?;
+            // Only invalid blocks land in a missing run, so this never
+            // clobbers dirty data.
+            ext.block_mut(blk)
+                .copy_from_slice(&tmp[off..off + BLOCK_SIZE]);
+            ext.valid |= Extent::bit(blk);
+            if cold {
+                ext.cold = true;
+            }
+        }
+        Ok(tmp)
+    }
+
     /// Returns a mutable reference to the extent covering `lba`, allocating
     /// (and evicting, with write-back) as needed.
     fn extent_for(&mut self, dev: &mut dyn BlockDevice, lba: u64) -> FsResult<&mut Extent> {
@@ -341,15 +515,19 @@ impl BufCache {
         let coalesce = self.coalesce;
         let cap = self.extents_per_shard;
 
-        // Evict the LRU extent if the shard is full and `base` is new.
+        // Evict if the shard is full and `base` is new: cold (streamed,
+        // never re-touched) extents go first, oldest first, so a scan
+        // recycles itself; hot extents fall back to plain LRU.
         if self.shards[si].find(base).is_none() && self.shards[si].extents.len() >= cap {
             let victim = self.shards[si]
                 .extents
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, e)| e.tick)
+                .min_by_key(|(_, e)| (!e.cold, e.tick))
                 .map(|(i, _)| i)
-                .expect("full shard has a victim");
+                .ok_or_else(|| {
+                    crate::FsError::Corrupt("full cache shard has no eviction victim".into())
+                })?;
             if self.shards[si].extents[victim].dirty != 0 {
                 let mut ranges = 0;
                 let mut singles = 0;
@@ -400,6 +578,13 @@ impl BufCache {
                 "read_range buffer size mismatch".into(),
             ));
         }
+        // Sequential-stream detection: cluster-sized (or larger) reads that
+        // start exactly where a tracked stream ended extend that stream's
+        // streak. Single-block metadata reads are ignored so an interleaved
+        // FAT lookup does not break a data stream.
+        if count >= EXTENT_BLOCKS as u64 {
+            self.note_stream_read(lba, count);
+        }
         // Pass 1: serve hits, collect missing runs.
         let mut missing: Vec<Run> = Vec::new();
         for i in 0..count {
@@ -413,6 +598,11 @@ impl BufCache {
                     shard.stats.hits += 1;
                     let ext = &mut shard.extents[ei];
                     ext.tick = tick;
+                    // Note: a hit does NOT clear `cold`. For streamed or
+                    // prefetched data the first demand hit is its one
+                    // planned use — promoting here would grow an unbounded
+                    // "hot" population out of a one-pass scan and starve
+                    // the read-ahead window of cold slots to recycle.
                     let off = i as usize * BLOCK_SIZE;
                     out[off..off + BLOCK_SIZE].copy_from_slice(ext.block(b));
                 }
@@ -423,34 +613,48 @@ impl BufCache {
             }
         }
         // Pass 2: fetch each missing run with one device command (or
-        // block-by-block when coalescing is off), copy into `out`, then
-        // install the blocks into their extents.
+        // block-by-block when coalescing is off), install it, and copy it
+        // into `out`.
         for run in missing {
-            let mut tmp = vec![0u8; run.len as usize * BLOCK_SIZE];
-            if self.coalesce && run.len > 1 {
-                dev.read_range(run.start, run.len, &mut tmp)?;
-                self.ranges_issued += 1;
-            } else {
-                for b in 0..run.len {
-                    let off = b as usize * BLOCK_SIZE;
-                    dev.read_block(run.start + b, &mut tmp[off..off + BLOCK_SIZE])?;
-                }
-                self.singles_issued += run.len;
-            }
+            let tmp = self.fill_run(dev, run, false)?;
             let out_off = (run.start - lba) as usize * BLOCK_SIZE;
             out[out_off..out_off + tmp.len()].copy_from_slice(&tmp);
-            for b in 0..run.len {
-                let blk = run.start + b;
-                let off = b as usize * BLOCK_SIZE;
-                let ext = self.extent_for(dev, blk)?;
-                // A block can only be in a missing run if it was invalid, so
-                // this never clobbers dirty data.
-                ext.block_mut(blk)
-                    .copy_from_slice(&tmp[off..off + BLOCK_SIZE]);
-                ext.valid |= Extent::bit(blk);
-            }
         }
         Ok(())
+    }
+
+    /// Speculatively fills the cache with any uncached blocks of
+    /// `[lba, lba + count)` without copying them anywhere — the streaming
+    /// read-ahead primitive. Missing blocks are coalesced into runs and
+    /// fetched like a demand fill, but the commands are counted in
+    /// [`BufCacheStats::prefetch_cmds`] so the kernel can account their
+    /// command-setup latency as overlapped with the previous transfer.
+    /// Returns the number of blocks fetched. Does not touch hit/miss
+    /// statistics and does not disturb the sequential-streak detector.
+    pub fn prefetch_range(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        lba: u64,
+        count: u64,
+    ) -> FsResult<u64> {
+        let mut missing: Vec<Run> = Vec::new();
+        for i in 0..count {
+            let b = lba + i;
+            let base = Self::extent_base(b);
+            let si = self.shard_of(base);
+            let shard = &self.shards[si];
+            match shard.find(base) {
+                Some(ei) if shard.extents[ei].has(b) => {}
+                _ => push_block(&mut missing, b),
+            }
+        }
+        let mut fetched = 0;
+        for run in missing {
+            self.fill_run(dev, run, true)?;
+            fetched += run.len;
+            self.prefetched_blocks += run.len;
+        }
+        Ok(fetched)
     }
 
     /// Writes `count` contiguous blocks through the cache (write-back: the
@@ -467,6 +671,11 @@ impl BufCache {
                 "write_range buffer size mismatch".into(),
             ));
         }
+        // Scan resistance applies to writes too: a large streaming write
+        // (asset install, file copy) installs cold extents, so it recycles
+        // itself instead of pinning the whole cache hot and starving later
+        // streams. Small writes (FAT sectors, dirents) stay hot.
+        let cold = count >= SCAN_RESIST_BLOCKS;
         for i in 0..count {
             let b = lba + i;
             let off = i as usize * BLOCK_SIZE;
@@ -475,6 +684,7 @@ impl BufCache {
                 .copy_from_slice(&data[off..off + BLOCK_SIZE]);
             ext.valid |= Extent::bit(b);
             ext.dirty |= Extent::bit(b);
+            ext.cold = cold;
         }
         Ok(())
     }
@@ -489,12 +699,9 @@ impl BufCache {
         self.write_range(dev, lba, 1, data)
     }
 
-    /// Writes every dirty block back to the device, coalescing adjacent
-    /// dirty blocks — across extents and shards — into single range
-    /// commands, then flushes the device itself.
-    pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
-        // Collect all dirty LBAs, globally sorted so cross-extent runs
-        // coalesce.
+    /// Collects every dirty LBA, globally sorted so cross-extent runs
+    /// coalesce, grouped into contiguous runs.
+    fn dirty_runs(&self) -> Vec<Run> {
         let mut dirty: Vec<u64> = self
             .shards
             .iter()
@@ -510,52 +717,109 @@ impl BufCache {
         for b in dirty {
             push_block(&mut runs, b);
         }
-        for run in runs {
-            let mut bytes = vec![0u8; run.len as usize * BLOCK_SIZE];
+        runs
+    }
+
+    /// Writes one dirty run to the device and clears its dirty bits. Bits are
+    /// cleared only after the data reaches the device, so a failed write-back
+    /// never loses data.
+    fn write_out_run(&mut self, dev: &mut dyn BlockDevice, run: Run) -> FsResult<()> {
+        let missing_extent =
+            || crate::FsError::Corrupt("dirty block has no backing cache extent".into());
+        let mut bytes = vec![0u8; run.len as usize * BLOCK_SIZE];
+        for b in 0..run.len {
+            let blk = run.start + b;
+            let base = Self::extent_base(blk);
+            let si = self.shard_of(base);
+            let ei = self.shards[si].find(base).ok_or_else(missing_extent)?;
+            let off = b as usize * BLOCK_SIZE;
+            bytes[off..off + BLOCK_SIZE].copy_from_slice(self.shards[si].extents[ei].block(blk));
+        }
+        if self.coalesce && run.len > 1 {
+            dev.write_range(run.start, run.len, &bytes)?;
+            self.ranges_issued += 1;
+        } else {
             for b in 0..run.len {
-                let blk = run.start + b;
-                let base = Self::extent_base(blk);
-                let si = self.shard_of(base);
-                let ei = self.shards[si].find(base).expect("dirty block has extent");
                 let off = b as usize * BLOCK_SIZE;
-                bytes[off..off + BLOCK_SIZE]
-                    .copy_from_slice(self.shards[si].extents[ei].block(blk));
+                dev.write_block(run.start + b, &bytes[off..off + BLOCK_SIZE])?;
             }
-            if self.coalesce && run.len > 1 {
-                dev.write_range(run.start, run.len, &bytes)?;
-                self.ranges_issued += 1;
-            } else {
-                for b in 0..run.len {
-                    let off = b as usize * BLOCK_SIZE;
-                    dev.write_block(run.start + b, &bytes[off..off + BLOCK_SIZE])?;
-                }
-                self.singles_issued += run.len;
-            }
-            // The run hit the device; only now clear its dirty bits.
-            for b in 0..run.len {
-                let blk = run.start + b;
-                let base = Self::extent_base(blk);
-                let si = self.shard_of(base);
-                let ei = self.shards[si].find(base).expect("dirty block has extent");
-                self.shards[si].extents[ei].dirty &= !Extent::bit(blk);
-                self.shards[si].stats.writeback_blocks += 1;
-            }
+            self.singles_issued += run.len;
+        }
+        for b in 0..run.len {
+            let blk = run.start + b;
+            let base = Self::extent_base(blk);
+            let si = self.shard_of(base);
+            let ei = self.shards[si].find(base).ok_or_else(missing_extent)?;
+            self.shards[si].extents[ei].dirty &= !Extent::bit(blk);
+            self.shards[si].stats.writeback_blocks += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty block back to the device, coalescing adjacent
+    /// dirty blocks — across extents and shards — into single range
+    /// commands, then flushes the device itself.
+    pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        for run in self.dirty_runs() {
+            self.write_out_run(dev, run)?;
         }
         self.flushes += 1;
         dev.flush()
     }
 
+    /// Writes back dirty blocks up to a budget of `max_blocks`, coalescing
+    /// them into runs exactly like [`BufCache::flush`], and returns how many
+    /// blocks reached the device. This is the incremental drain the kernel's
+    /// `kbio` flusher thread calls on a timer: each pass is bounded so the
+    /// background thread never monopolises the SD bus, and the device-level
+    /// barrier (`dev.flush()`) is deliberately *not* issued — only a full
+    /// [`BufCache::flush`] (fsync, unmount) is a durability point.
+    pub fn flush_some(&mut self, dev: &mut dyn BlockDevice, max_blocks: u64) -> FsResult<u64> {
+        let mut written = 0u64;
+        for run in self.dirty_runs() {
+            if written >= max_blocks {
+                break;
+            }
+            // Split the final run at the remaining budget.
+            let take = run.len.min(max_blocks - written);
+            self.write_out_run(
+                dev,
+                Run {
+                    start: run.start,
+                    len: take,
+                },
+            )?;
+            written += take;
+        }
+        if written > 0 {
+            self.partial_flushes += 1;
+        }
+        Ok(written)
+    }
+
     /// Borrows the cache and device together, flushing when the guard drops.
     pub fn guard<'c, 'd>(&'c mut self, dev: &'d mut dyn BlockDevice) -> FlushGuard<'c, 'd> {
-        FlushGuard { cache: self, dev }
+        FlushGuard {
+            cache: self,
+            dev,
+            armed: true,
+        }
     }
 }
 
 /// A scoped cache+device pairing that flushes dirty data on drop — the
 /// "close the volume before yanking the card" idiom.
+///
+/// Prefer [`FlushGuard::finish`] on the success path: a flush error inside
+/// `Drop` cannot propagate, so it is only *counted*
+/// ([`BufCacheStats::dropped_flush_errors`]) and the affected blocks stay
+/// dirty in the cache.
 pub struct FlushGuard<'c, 'd> {
     cache: &'c mut BufCache,
     dev: &'d mut dyn BlockDevice,
+    /// Whether the drop-flush is still pending ([`FlushGuard::finish`]
+    /// disarms it).
+    armed: bool,
 }
 
 impl FlushGuard<'_, '_> {
@@ -579,8 +843,17 @@ impl FlushGuard<'_, '_> {
         self.cache.write_range(self.dev, lba, count, data)
     }
 
-    /// Flushes explicitly (errors surface here; the drop flush is silent).
+    /// Flushes explicitly (errors surface here; a later drop flush only has
+    /// anything to do if more writes follow).
     pub fn flush(&mut self) -> FsResult<()> {
+        self.cache.flush(self.dev)
+    }
+
+    /// Flushes and disarms the drop-flush, propagating any error — the
+    /// close-path equivalent of `fsync` + `close`. After `finish` the guard
+    /// is consumed and dropping it performs no further I/O.
+    pub fn finish(mut self) -> FsResult<()> {
+        self.armed = false;
         self.cache.flush(self.dev)
     }
 
@@ -592,7 +865,12 @@ impl FlushGuard<'_, '_> {
 
 impl Drop for FlushGuard<'_, '_> {
     fn drop(&mut self) {
-        let _ = self.cache.flush(self.dev);
+        // Errors cannot propagate out of `Drop`; record them so callers (and
+        // tests) can observe that a drop-flush failed, and keep the blocks
+        // dirty for a later retry instead of discarding them.
+        if self.armed && self.cache.flush(self.dev).is_err() {
+            self.cache.dropped_flush_errors += 1;
+        }
     }
 }
 
@@ -806,6 +1084,140 @@ mod tests {
         let mut raw = [0u8; BLOCK_SIZE];
         fresh.read_block(9, &mut raw).unwrap();
         assert_eq!(raw, [1u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn flush_some_drains_incrementally_within_budget() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        let data = vec![3u8; BLOCK_SIZE * 8];
+        for i in 0..4 {
+            bc.write_range(&mut dev, i * 8, 8, &data).unwrap();
+        }
+        assert_eq!(bc.dirty_blocks(), 32);
+        // A 10-block budget writes exactly 10 blocks (splitting the run).
+        assert_eq!(bc.flush_some(&mut dev, 10).unwrap(), 10);
+        assert_eq!(bc.dirty_blocks(), 22);
+        assert_eq!(bc.stats().partial_flushes, 1);
+        // Draining to quiescence leaves nothing dirty and the data intact.
+        while bc.dirty_blocks() > 0 {
+            assert!(bc.flush_some(&mut dev, 10).unwrap() > 0);
+        }
+        let mut back = vec![0u8; BLOCK_SIZE * 32];
+        dev.read_range(0, 32, &mut back).unwrap();
+        assert!(back.iter().all(|b| *b == 3));
+        // Nothing left: a further pass writes zero blocks.
+        assert_eq!(bc.flush_some(&mut dev, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn flush_some_keeps_blocks_dirty_when_the_device_faults() {
+        let mut dev = MemDisk::new(64);
+        dev.inject_fault(4);
+        let mut bc = BufCache::default();
+        let data = vec![9u8; BLOCK_SIZE * 8];
+        bc.write_range(&mut dev, 0, 8, &data).unwrap();
+        assert!(bc.flush_some(&mut dev, 64).is_err());
+        assert_eq!(bc.dirty_blocks(), 8, "failed write-back loses nothing");
+        dev.clear_faults();
+        assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 8);
+        assert_eq!(bc.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn prefetch_fills_the_cache_ahead_of_demand() {
+        let mut dev = MemDisk::new(128);
+        for lba in 0..32 {
+            dev.write_block(lba, &[lba as u8; BLOCK_SIZE]).unwrap();
+        }
+        let mut bc = BufCache::default();
+        bc.set_prefetch(true);
+        assert_eq!(bc.prefetch_range(&mut dev, 8, 16).unwrap(), 16);
+        let s = bc.stats();
+        assert_eq!(s.prefetch_cmds, 1, "one coalesced speculative fill");
+        assert_eq!(s.prefetched_blocks, 16);
+        assert_eq!(s.misses, 0, "prefetch is not a demand miss");
+        // The demand read is now a pure cache hit: zero device traffic.
+        let before = dev.stats();
+        let mut out = vec![0u8; BLOCK_SIZE * 16];
+        bc.read_range(&mut dev, 8, 16, &mut out).unwrap();
+        assert_eq!(dev.stats(), before);
+        assert_eq!(bc.stats().hits, 16);
+        assert!(out[..BLOCK_SIZE].iter().all(|b| *b == 8));
+        // Prefetching an already-cached range is free.
+        assert_eq!(bc.prefetch_range(&mut dev, 8, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn sequential_streaks_are_detected_and_metadata_reads_do_not_break_them() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        let mut buf = vec![0u8; BLOCK_SIZE * 8];
+        bc.read_range(&mut dev, 8, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 0, "first read starts a stream");
+        bc.read_range(&mut dev, 16, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 1);
+        // A single-block metadata read in between is ignored.
+        let mut one = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 200, &mut one).unwrap();
+        bc.read_range(&mut dev, 24, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 2);
+        // An interleaved cluster-sized read elsewhere (a directory cluster,
+        // a second file) occupies its own stream slot without resetting the
+        // first stream's streak...
+        bc.read_range(&mut dev, 100, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 0, "new stream starts at 0");
+        bc.read_range(&mut dev, 32, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 3, "original stream kept its streak");
+        // ...and both streams can advance independently.
+        bc.read_range(&mut dev, 108, 8, &mut buf).unwrap();
+        assert_eq!(bc.sequential_streak(), 1);
+    }
+
+    #[test]
+    fn streaming_fills_do_not_evict_hot_metadata() {
+        let mut dev = MemDisk::new(8192);
+        // Tiny cache: 2 shards x 2 extents = 32 blocks.
+        let mut bc = BufCache::with_geometry(2, 2);
+        // A hot "metadata" block, touched once.
+        let mut one = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 4000, &mut one).unwrap();
+        let miss_before = bc.stats().misses;
+        // Stream 4x the cache capacity through it.
+        let mut big = vec![0u8; BLOCK_SIZE * 16];
+        for i in 0..8 {
+            bc.read_range(&mut dev, i * 16, 16, &mut big).unwrap();
+        }
+        // Re-reading the metadata block is still a hit: the scan recycled its
+        // own extents instead of evicting it.
+        let h = bc.stats().hits;
+        bc.read(&mut dev, 4000, &mut one).unwrap();
+        assert_eq!(bc.stats().hits, h + 1, "metadata survived the scan");
+        assert_eq!(bc.stats().misses, miss_before + 128);
+    }
+
+    #[test]
+    fn flush_guard_finish_propagates_errors_and_drop_counts_them() {
+        let mut dev = MemDisk::new(64);
+        dev.inject_fault(5);
+        let mut bc = BufCache::default();
+        {
+            let mut g = bc.guard(&mut dev);
+            g.write(5, &[1u8; BLOCK_SIZE]).unwrap();
+            assert!(g.finish().is_err(), "finish surfaces the flush error");
+        }
+        assert_eq!(bc.dirty_blocks(), 1, "data survives the failed finish");
+        assert_eq!(bc.stats().dropped_flush_errors, 0, "finish disarmed drop");
+        {
+            let mut g = bc.guard(&mut dev);
+            g.write(6, &[2u8; BLOCK_SIZE]).unwrap();
+            // Guard dropped with the fault still armed: the error is counted.
+        }
+        assert_eq!(bc.stats().dropped_flush_errors, 1);
+        assert!(bc.dirty_blocks() >= 1, "drop failure keeps blocks dirty");
+        dev.clear_faults();
+        bc.flush(&mut dev).unwrap();
+        assert_eq!(bc.dirty_blocks(), 0);
     }
 
     #[test]

@@ -132,6 +132,23 @@ pub struct KernelConfig {
     pub sd_card: bool,
     /// Number of CPU cores the kernel will bring up.
     pub cores: usize,
+
+    // ---- I/O pipeline (the layer above the unified block cache) ----
+    /// Run the `kbio` kernel flusher thread: dirty extents drain in the
+    /// background on a timer instead of synchronously on `close`, so
+    /// write-back SD cycles are charged to `kbio` rather than to whichever
+    /// task closes last. `fsync` and unmount still force a full synchronous
+    /// flush.
+    pub background_flush: bool,
+    /// How often the `kbio` thread wakes to drain dirty extents, in ms.
+    pub flush_interval_ms: u64,
+    /// Maximum blocks one `kbio` pass writes back (bounds how long the
+    /// background thread holds the SD bus per wakeup).
+    pub flush_budget_blocks: u64,
+    /// Streaming read-ahead: FAT32 sequential reads prefetch the next
+    /// cluster run so the SD command-setup latency overlaps the previous
+    /// transfer.
+    pub prefetch: bool,
 }
 
 impl KernelConfig {
@@ -165,6 +182,10 @@ impl KernelConfig {
             sound: n >= 4,
             sd_card: n >= 5,
             cores: if n >= 5 { 4 } else { 1 },
+            background_flush: n >= 5,
+            flush_interval_ms: 20,
+            flush_budget_blocks: 256,
+            prefetch: n >= 5,
         }
     }
 
@@ -180,6 +201,11 @@ impl KernelConfig {
         c.variant = KernelVariant::Xv6Baseline;
         c.window_manager = false;
         c.fat32 = true;
+        // xv6 has no background flusher and no read-ahead: close drains
+        // synchronously and every miss is a demand miss (boot also enforces
+        // this whenever the variant is Xv6Baseline).
+        c.background_flush = false;
+        c.prefetch = false;
         c
     }
 
@@ -245,6 +271,17 @@ mod tests {
         assert!(msg.contains("virtual memory"));
         assert!(msg.contains("Multitasking"));
         assert!(p2.require(p2.multitasking, "multitasking").is_ok());
+    }
+
+    #[test]
+    fn io_pipeline_knobs_follow_the_stage_and_variant() {
+        let p4 = KernelConfig::for_stage(PrototypeStage::Files);
+        assert!(!p4.background_flush && !p4.prefetch);
+        let p5 = KernelConfig::desktop();
+        assert!(p5.background_flush && p5.prefetch);
+        assert!(p5.flush_interval_ms > 0 && p5.flush_budget_blocks > 0);
+        let b = KernelConfig::xv6_baseline();
+        assert!(!b.background_flush && !b.prefetch);
     }
 
     #[test]

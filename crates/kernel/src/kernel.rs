@@ -49,6 +49,18 @@ pub const TICK_US: u64 = 10_000;
 /// (the paper's Prototype 5 kernel is ~33 kSLoC plus an 8 MB ramdisk dump).
 pub const KERNEL_IMAGE_BYTES: u64 = 2 * 1024 * 1024 + RAMDISK_BYTES;
 
+/// A point-in-time snapshot of SD traffic counters plus the FAT cache's
+/// prefetch-command counter; syscalls diff two snapshots to charge the right
+/// cycle cost for exactly the commands they caused (prefetch-issued commands
+/// get their setup latency discounted — it overlaps the previous transfer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SdSnapshot {
+    pub(crate) single_cmds: u64,
+    pub(crate) range_cmds: u64,
+    pub(crate) blocks: u64,
+    pub(crate) prefetch_cmds: u64,
+}
+
 /// Boot-time measurements (Figure 8's right-hand table).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BootStats {
@@ -174,6 +186,25 @@ impl UserProgram for WmThread {
     }
 }
 
+/// The background write-back flusher kernel thread (modeled on `kwm`): wakes
+/// on a timer and drains a bounded budget of dirty extents from the
+/// write-back caches, so the SD cycles of deferred write-back are charged to
+/// `kbio` instead of spiking whichever task closes last.
+struct KbioThread;
+
+impl UserProgram for KbioThread {
+    fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
+        let core = ctx.core;
+        ctx.kernel.kbio_service(core);
+        let interval = ctx.kernel.config.flush_interval_ms.max(1);
+        let _ = ctx.sleep_ms(interval);
+        StepResult::Continue
+    }
+    fn program_name(&self) -> &str {
+        "kbio"
+    }
+}
+
 /// The Proto kernel.
 pub struct Kernel {
     /// The simulated board.
@@ -232,6 +263,8 @@ pub struct Kernel {
     console_lines: Vec<String>,
     /// Init task id (parent of orphans).
     init_task: TaskId,
+    /// The `kbio` background flusher thread (0 when not running).
+    kbio_task: TaskId,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -286,6 +319,7 @@ impl Kernel {
             last_on_core: vec![None; hal::NUM_CORES],
             console_lines: Vec::new(),
             init_task: 0,
+            kbio_task: 0,
         }
     }
 
@@ -489,13 +523,17 @@ impl Kernel {
             self.mounts = MountTable::with_fat();
         }
 
-        // The xv6-baseline variant has no multi-block I/O: its cache issues
-        // one SD command per block (the policy the §5.2 range coalescing
-        // replaced).
+        // The xv6-baseline variant has no multi-block I/O, no read-ahead and
+        // no background flusher: its cache issues one SD command per block
+        // (the policy the §5.2 range coalescing replaced) and close drains
+        // synchronously.
         if self.config.variant == KernelVariant::Xv6Baseline {
             self.fat_bufcache.set_coalescing(false);
             self.root_bufcache.set_coalescing(false);
+            self.config.background_flush = false;
+            self.config.prefetch = false;
         }
+        self.fat_bufcache.set_prefetch(self.config.prefetch);
 
         // The window-manager kernel thread.
         if self.config.window_manager {
@@ -504,6 +542,16 @@ impl Kernel {
             if let Some(t) = self.tasks.get_mut(&wm_tid) {
                 t.priority = 5;
             }
+        }
+
+        // The background write-back flusher kernel thread.
+        if self.config.background_flush && (self.config.xv6fs || self.config.fat32) {
+            let kbio_tid = self.spawn_kernel_thread("kbio", Box::new(KbioThread))?;
+            // Write-back is deferrable work; run it below interactive tasks.
+            if let Some(t) = self.tasks.get_mut(&kbio_tid) {
+                t.priority = 3;
+            }
+            self.kbio_task = kbio_tid;
         }
 
         self.printk("proto: boot complete, starting shell");
@@ -536,7 +584,10 @@ impl Kernel {
             .rootfs
             .as_ref()
             .ok_or_else(|| KernelError::NotSupported("root filesystem not available".into()))?;
-        let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+        let dev = self
+            .ramdisk
+            .as_mut()
+            .ok_or_else(|| KernelError::NotSupported("root ramdisk not available".into()))?;
         fs.write_file(dev, &mut self.root_bufcache, path, data)?;
         Ok(())
     }
@@ -547,7 +598,10 @@ impl Kernel {
             .rootfs
             .as_ref()
             .ok_or_else(|| KernelError::NotSupported("root filesystem not available".into()))?;
-        let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+        let dev = self
+            .ramdisk
+            .as_mut()
+            .ok_or_else(|| KernelError::NotSupported("root ramdisk not available".into()))?;
         match fs.create(
             dev,
             &mut self.root_bufcache,
@@ -748,25 +802,35 @@ impl Kernel {
         let now = self.now_us();
         self.trace
             .record(now, 0, TraceKind::Marker, Some(id), format!("exit {code}"));
-        // Close every fd (dropping pipe references). Descriptors that wrote
-        // to a disk filesystem get the same write-back flush sys_close
-        // performs, so an exiting (or killed) task still pays for its own
-        // dirty blocks and the device is left consistent.
+        // Close every fd (dropping pipe references). Without the background
+        // flusher, descriptors that wrote to a disk filesystem get the same
+        // write-back flush sys_close performs, so an exiting (or killed)
+        // task still pays for its own dirty blocks and the device is left
+        // consistent; with `kbio` running, the dirty extents drain in the
+        // background instead. Exit cannot propagate a flush error, so a
+        // failure is logged (and the blocks stay dirty for a retry) rather
+        // than silently discarded.
         let (open_files, core) = match self.tasks.get_mut(&id) {
             Some(t) => (t.fds.drain_all(), t.core),
             None => return,
         };
-        let flush_fat = open_files
-            .iter()
-            .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Fat { .. }));
-        let flush_root = open_files
-            .iter()
-            .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Xv6 { .. }));
-        if flush_fat {
-            let _ = self.flush_fat_cache(core);
-        }
-        if flush_root {
-            let _ = self.flush_root_cache(core);
+        if !self.config.background_flush {
+            let flush_fat = open_files
+                .iter()
+                .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Fat { .. }));
+            let flush_root = open_files
+                .iter()
+                .any(|f| f.written && matches!(f.kind, crate::vfs::FileKind::Xv6 { .. }));
+            if flush_fat {
+                if let Err(e) = self.flush_fat_cache(core, id) {
+                    self.printk(&format!("exit({id}): FAT write-back failed: {e}"));
+                }
+            }
+            if flush_root {
+                if let Err(e) = self.flush_root_cache(core, id) {
+                    self.printk(&format!("exit({id}): root write-back failed: {e}"));
+                }
+            }
         }
         for f in open_files {
             self.drop_open_file(f);
@@ -986,6 +1050,57 @@ impl Kernel {
             self.board.charge_kernel(core, compose_cycles);
             self.trace
                 .record(now, core, TraceKind::Compose, None, format!("{written}px"));
+        }
+    }
+
+    // ---- background write-back service (called from the kbio kernel thread) -------------------------
+
+    /// One bounded write-back pass: drains up to `flush_budget_blocks` dirty
+    /// blocks from each write-back cache, charging the SD / ramdisk cycles to
+    /// the `kbio` thread's core and task. Errors are logged and the affected
+    /// blocks stay dirty for the next pass (a faulted card must not panic or
+    /// lose data).
+    pub(crate) fn kbio_service(&mut self, core: usize) {
+        if !self.config.background_flush {
+            return;
+        }
+        let budget = self.config.flush_budget_blocks.max(1);
+        let kbio = self.kbio_task;
+        // FAT32 on the SD card.
+        if self.fatfs.is_some() && self.fat_bufcache.dirty_blocks() > 0 {
+            let before = self.sd_snapshot();
+            let result = {
+                let total = self.board.sdhost.total_blocks();
+                let mut dev = protofs::block::SdBlockDevice::new(
+                    &mut self.board.sdhost,
+                    FAT_PARTITION_START,
+                    total - FAT_PARTITION_START,
+                );
+                self.fat_bufcache.flush_some(&mut dev, budget)
+            };
+            self.charge_sd_delta(core, kbio, before);
+            if let Err(e) = result {
+                self.printk(&format!("kbio: FAT write-back failed: {e}"));
+            }
+        }
+        // xv6fs on the ramdisk.
+        if self.rootfs.is_some() && self.root_bufcache.dirty_blocks() > 0 {
+            let before = self.root_bufcache.stats().writebacks;
+            let result = match self.ramdisk.as_mut() {
+                Some(dev) => self.root_bufcache.flush_some(dev, budget),
+                None => Ok(0),
+            };
+            let blocks = self.root_bufcache.stats().writebacks - before;
+            let cost = self.board.cost.clone();
+            let cycles = cost.bufcache_op * blocks
+                + cost.per_byte(cost.ramdisk_per_byte_milli, blocks * 512);
+            self.board.charge(core, cycles);
+            if let Some(t) = self.tasks.get_mut(&kbio) {
+                t.sd_cycles += cycles;
+            }
+            if let Err(e) = result {
+                self.printk(&format!("kbio: root write-back failed: {e}"));
+            }
         }
     }
 
@@ -1314,12 +1429,13 @@ impl Kernel {
             .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))
     }
 
-    pub(crate) fn sd_stats(&self) -> (u64, u64, u64) {
-        (
-            self.board.sdhost.single_block_cmds(),
-            self.board.sdhost.range_cmds(),
-            self.board.sdhost.blocks_transferred(),
-        )
+    pub(crate) fn sd_snapshot(&self) -> SdSnapshot {
+        SdSnapshot {
+            single_cmds: self.board.sdhost.single_block_cmds(),
+            range_cmds: self.board.sdhost.range_cmds(),
+            blocks: self.board.sdhost.blocks_transferred(),
+            prefetch_cmds: self.fat_bufcache.stats().prefetch_cmds,
+        }
     }
 
     pub(crate) fn pseudo_inum_for(&mut self, volume_path: &str) -> u32 {
@@ -1372,6 +1488,34 @@ impl Kernel {
         self.fat_bufcache.set_coalescing(coalesce);
     }
 
+    /// Enables or disables streaming read-ahead on the FAT32 cache (the
+    /// prefetch half of the I/O-pipeline ablation).
+    pub fn set_fat_prefetch(&mut self, prefetch: bool) {
+        self.fat_bufcache.set_prefetch(prefetch);
+        self.config.prefetch = prefetch;
+    }
+
+    /// Enables or disables the background flusher policy at runtime (the
+    /// flusher half of the I/O-pipeline ablation). When disabled, `close`
+    /// reverts to draining dirty blocks synchronously; an already-spawned
+    /// `kbio` thread keeps sleeping but performs no write-back. Enabling on
+    /// a kernel that booted without the flusher spawns the `kbio` thread
+    /// now — `close` must never skip its drain with nobody left to do it.
+    pub fn set_background_flush(&mut self, enabled: bool) {
+        if enabled && self.kbio_task == 0 {
+            match self.spawn_kernel_thread("kbio", Box::new(KbioThread)) {
+                Ok(tid) => {
+                    if let Some(t) = self.tasks.get_mut(&tid) {
+                        t.priority = 3;
+                    }
+                    self.kbio_task = tid;
+                }
+                Err(_) => return, // keep synchronous close-flush semantics
+            }
+        }
+        self.config.background_flush = enabled;
+    }
+
     /// Statistics of the FAT32 volume's buffer cache.
     pub fn fat_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
         self.fat_bufcache.stats()
@@ -1380,6 +1524,72 @@ impl Kernel {
     /// Statistics of the root (xv6fs) buffer cache.
     pub fn root_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
         self.root_bufcache.stats()
+    }
+
+    /// Dirty blocks awaiting write-back in the FAT32 cache.
+    pub fn fat_dirty_blocks(&self) -> usize {
+        self.fat_bufcache.dirty_blocks()
+    }
+
+    /// Dirty blocks awaiting write-back in the root cache.
+    pub fn root_dirty_blocks(&self) -> usize {
+        self.root_bufcache.dirty_blocks()
+    }
+
+    /// The `kbio` background flusher's task id (0 when it is not running).
+    pub fn kbio_task(&self) -> TaskId {
+        self.kbio_task
+    }
+
+    /// Storage-stack cycles charged to a task so far (SD commands/transfers
+    /// and ramdisk write-back it caused, including background write-back
+    /// accumulated by `kbio`).
+    pub fn task_sd_cycles(&self, id: TaskId) -> u64 {
+        self.tasks.get(&id).map(|t| t.sd_cycles).unwrap_or(0)
+    }
+
+    /// Unmount-style barrier: synchronously drains *both* write-back caches
+    /// to their devices, propagating the first error. `fsync` covers one
+    /// filesystem for one task; this is the whole-system "safe to power off"
+    /// point (and what a shutdown path would call).
+    pub fn sync_all(&mut self) -> KResult<()> {
+        let core = 0;
+        let kbio = self.kbio_task;
+        self.flush_fat_cache(core, kbio)?;
+        self.flush_root_cache(core, kbio)
+    }
+
+    /// Drains both write-back caches, then drops every clean cached block —
+    /// the `drop_caches` facility. Benchmarks call it between a write and a
+    /// read so the read measures cold-cache device throughput instead of the
+    /// cache's copy speed.
+    pub fn drop_fs_caches(&mut self) -> KResult<()> {
+        self.sync_all()?;
+        self.fat_bufcache.invalidate_all();
+        self.root_bufcache.invalidate_all();
+        Ok(())
+    }
+
+    /// A copy of the root ramdisk's raw image — what would actually be on the
+    /// "card" after a power cut (dirty cache contents excluded). Crash-
+    /// consistency tests remount this under a fresh cache.
+    pub fn ramdisk_image(&self) -> Option<Vec<u8>> {
+        self.ramdisk.as_ref().map(|d| d.image().to_vec())
+    }
+
+    /// Injects a fault at `lba` of the root ramdisk (write-backs touching it
+    /// fail until [`Kernel::ramdisk_clear_faults`]).
+    pub fn ramdisk_inject_fault(&mut self, lba: u64) {
+        if let Some(d) = self.ramdisk.as_mut() {
+            d.inject_fault(lba);
+        }
+    }
+
+    /// Clears all injected ramdisk faults.
+    pub fn ramdisk_clear_faults(&mut self) {
+        if let Some(d) = self.ramdisk.as_mut() {
+            d.clear_faults();
+        }
     }
 }
 

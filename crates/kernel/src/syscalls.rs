@@ -74,17 +74,25 @@ impl Kernel {
         );
     }
 
-    fn charge_sd_delta(&mut self, core: usize, before: (u64, u64, u64)) {
-        let after = (
-            self.board.sdhost.single_block_cmds(),
-            self.board.sdhost.range_cmds(),
-            self.board.sdhost.blocks_transferred(),
-        );
-        let singles = after.0 - before.0;
-        let ranges = after.1 - before.1;
-        let blocks = after.2 - before.2;
+    /// Charges `core` (and attributes to `task`) the cycles implied by the
+    /// SD commands issued since `before`. Commands the cache issued as
+    /// *prefetch* get their command-setup latency discounted: the read-ahead
+    /// is dispatched while the previous transfer's data is still streaming,
+    /// so its setup overlaps instead of serialising — the polled data phase
+    /// itself is still paid in full (the paper's driver has no DMA).
+    pub(crate) fn charge_sd_delta(
+        &mut self,
+        core: usize,
+        task: TaskId,
+        before: crate::kernel::SdSnapshot,
+    ) {
+        let after = self.sd_snapshot();
+        let singles = after.single_cmds - before.single_cmds;
+        let ranges = after.range_cmds - before.range_cmds;
+        let blocks = after.blocks - before.blocks;
+        let prefetched = after.prefetch_cmds - before.prefetch_cmds;
         let cost = &self.board.cost;
-        let mut cycles = (singles + ranges) * cost.sd_cmd_latency
+        let mut cycles = (singles + ranges).saturating_sub(prefetched) * cost.sd_cmd_latency
             + singles * cost.sd_block_poll_transfer
             + blocks.saturating_sub(singles) * cost.sd_range_block_transfer;
         if self.config.variant == crate::config::KernelVariant::Xv6Baseline {
@@ -92,6 +100,9 @@ impl Kernel {
             cycles = cycles * 8 / 5;
         }
         self.board.charge(core, cycles);
+        if let Some(t) = self.tasks_mut(task) {
+            t.sd_cycles += cycles;
+        }
     }
 
     // =====================================================================================
@@ -379,7 +390,9 @@ impl Kernel {
             MountTarget::Root => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 let inum = match fs.lookup(dev, bc, &inner) {
                     Ok(i) => i,
                     Err(protofs::FsError::NotFound(_)) if flags.create => {
@@ -391,7 +404,7 @@ impl Kernel {
             }
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
-                let before = self.sd_stats();
+                let before = self.sd_snapshot();
                 {
                     let total = self.board.sdhost.total_blocks();
                     let mut dev = protofs::block::SdBlockDevice::new(
@@ -407,7 +420,7 @@ impl Kernel {
                         Err(e) => return Err(e.into()),
                     }
                 }
-                self.charge_sd_delta(core, before);
+                self.charge_sd_delta(core, task, before);
                 let pseudo_inum = self.pseudo_inum_for(&inner);
                 FileKind::Fat {
                     volume_path: inner,
@@ -429,14 +442,16 @@ impl Kernel {
             .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?
             .fds
             .remove(fd)?;
-        // The buffer cache is write-back: closing a descriptor that wrote to
-        // a disk filesystem drains its dirty blocks, so the SD cycles are
-        // charged to the task that dirtied them (not to whoever triggers the
-        // eviction later).
-        if file.written {
+        // The buffer cache is write-back. Without the background flusher,
+        // closing a descriptor that wrote to a disk filesystem drains its
+        // dirty blocks synchronously (errors propagate to the caller — a
+        // failed write-back must not vanish into `close`); with the `kbio`
+        // flusher running, the dirty extents stay cached and drain in the
+        // background, charged to `kbio`.
+        if file.written && !self.config.background_flush {
             match file.kind {
-                FileKind::Fat { .. } => self.flush_fat_cache(core)?,
-                FileKind::Xv6 { .. } => self.flush_root_cache(core)?,
+                FileKind::Fat { .. } => self.flush_fat_cache(core, task)?,
+                FileKind::Xv6 { .. } => self.flush_root_cache(core, task)?,
                 _ => {}
             }
         }
@@ -445,12 +460,13 @@ impl Kernel {
     }
 
     /// Flushes the FAT32 buffer cache to the SD card, charging the issuing
-    /// core for the SD commands the write-back generates.
-    pub(crate) fn flush_fat_cache(&mut self, core: usize) -> KResult<()> {
+    /// core — and attributing to `task` — the SD commands the write-back
+    /// generates.
+    pub(crate) fn flush_fat_cache(&mut self, core: usize, task: TaskId) -> KResult<()> {
         if self.fatfs.is_none() {
             return Ok(());
         }
-        let before = self.sd_stats();
+        let before = self.sd_snapshot();
         let result = {
             let total = self.board.sdhost.total_blocks();
             let mut dev = protofs::block::SdBlockDevice::new(
@@ -460,13 +476,13 @@ impl Kernel {
             );
             self.fat_bufcache.flush(&mut dev)
         };
-        self.charge_sd_delta(core, before);
+        self.charge_sd_delta(core, task, before);
         result.map_err(KernelError::from)
     }
 
     /// Flushes the root (xv6fs) buffer cache to the ramdisk, charging the
-    /// memory-to-memory copy cost.
-    pub(crate) fn flush_root_cache(&mut self, core: usize) -> KResult<()> {
+    /// memory-to-memory copy cost to `core` and attributing it to `task`.
+    pub(crate) fn flush_root_cache(&mut self, core: usize, task: TaskId) -> KResult<()> {
         let dev = match self.ramdisk.as_mut() {
             Some(d) => d,
             None => return Ok(()),
@@ -475,10 +491,12 @@ impl Kernel {
         let result = self.root_bufcache.flush(dev);
         let blocks = self.root_bufcache.stats().writebacks - before;
         let cost = self.board.cost.clone();
-        self.board.charge(
-            core,
-            cost.bufcache_op * blocks + cost.per_byte(cost.ramdisk_per_byte_milli, blocks * 512),
-        );
+        let cycles =
+            cost.bufcache_op * blocks + cost.per_byte(cost.ramdisk_per_byte_milli, blocks * 512);
+        self.board.charge(core, cycles);
+        if let Some(t) = self.tasks_mut(task) {
+            t.sd_cycles += cycles;
+        }
         result.map_err(KernelError::from)
     }
 
@@ -495,8 +513,8 @@ impl Kernel {
             t.fds.get(fd)?.kind.clone()
         };
         match kind {
-            FileKind::Fat { .. } => self.flush_fat_cache(core)?,
-            FileKind::Xv6 { .. } => self.flush_root_cache(core)?,
+            FileKind::Fat { .. } => self.flush_fat_cache(core, task)?,
+            FileKind::Xv6 { .. } => self.flush_root_cache(core, task)?,
             FileKind::Device(_) | FileKind::Proc { .. } => {}
             FileKind::Pipe { .. } | FileKind::SurfaceHandle { .. } => {
                 return Err(KernelError::Invalid("fsync on an unsyncable file".into()));
@@ -579,7 +597,9 @@ impl Kernel {
             MountTarget::Root => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 let inum = fs.lookup(dev, bc, &inner)?;
                 let st = fs.stat(dev, bc, inum)?;
                 Ok(FileStat {
@@ -589,7 +609,7 @@ impl Kernel {
             }
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
-                let before = self.sd_stats();
+                let before = self.sd_snapshot();
                 let entry = {
                     let total = self.board.sdhost.total_blocks();
                     let mut dev = protofs::block::SdBlockDevice::new(
@@ -599,7 +619,7 @@ impl Kernel {
                     );
                     fat.lookup(&mut dev, &mut self.fat_bufcache, &inner)?
                 };
-                self.charge_sd_delta(core, before);
+                self.charge_sd_delta(core, task, before);
                 Ok(FileStat {
                     size: entry.size as u64,
                     is_dir: entry.is_dir,
@@ -624,7 +644,9 @@ impl Kernel {
             MountTarget::Root => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 fs.create(dev, bc, &inner, protofs::xv6fs::InodeType::Dir)?;
                 Ok(())
             }
@@ -653,7 +675,9 @@ impl Kernel {
             MountTarget::Root => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 fs.unlink(dev, bc, &inner)?;
                 Ok(())
             }
@@ -687,7 +711,9 @@ impl Kernel {
             MountTarget::Root => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 Ok(fs
                     .list_dir(dev, bc, &inner)?
                     .into_iter()
@@ -740,7 +766,9 @@ impl Kernel {
             FileKind::Xv6 { inum } => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 let mut buf = vec![0u8; max];
                 let n = fs.read(dev, bc, inum, offset as u32, &mut buf)?;
                 buf.truncate(n);
@@ -755,7 +783,7 @@ impl Kernel {
             }
             FileKind::Fat { volume_path, .. } => {
                 let fat = self.fatfs_clone()?;
-                let before = self.sd_stats();
+                let before = self.sd_snapshot();
                 let data = {
                     let total = self.board.sdhost.total_blocks();
                     let mut dev = protofs::block::SdBlockDevice::new(
@@ -771,7 +799,7 @@ impl Kernel {
                         max,
                     )?
                 };
-                self.charge_sd_delta(core, before);
+                self.charge_sd_delta(core, task, before);
                 let cost = self.board.cost.clone();
                 self.board.charge(
                     core,
@@ -979,7 +1007,9 @@ impl Kernel {
             FileKind::Xv6 { inum } => {
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
-                let dev = self.ramdisk.as_mut().expect("rootfs implies ramdisk");
+                let dev = self.ramdisk.as_mut().ok_or_else(|| {
+                    KernelError::NotSupported("root ramdisk not available".into())
+                })?;
                 let n = fs.write(dev, bc, inum, offset as u32, data)?;
                 let cost = self.board.cost.clone();
                 self.board.charge(
@@ -993,7 +1023,7 @@ impl Kernel {
             }
             FileKind::Fat { volume_path, .. } => {
                 let fat = self.fatfs_clone()?;
-                let before = self.sd_stats();
+                let before = self.sd_snapshot();
                 {
                     let total = self.board.sdhost.total_blocks();
                     let mut dev = protofs::block::SdBlockDevice::new(
@@ -1015,7 +1045,7 @@ impl Kernel {
                         fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, &whole)?;
                     }
                 }
-                self.charge_sd_delta(core, before);
+                self.charge_sd_delta(core, task, before);
                 self.advance_offset(task, fd, data.len() as u64)?;
                 self.mark_written(task, fd);
                 Ok(data.len())

@@ -96,6 +96,11 @@ pub struct Task {
     pub pending_children: Vec<(TaskId, i32)>,
     /// Cumulative CPU cycles consumed (for sysmon and `/proc`).
     pub cpu_cycles: u64,
+    /// Cumulative storage-stack cycles charged to this task (SD command +
+    /// transfer time, ramdisk write-back). The background `kbio` flusher
+    /// accumulates the write-back share here instead of whichever task
+    /// happens to close last — the attribution the flusher test checks.
+    pub sd_cycles: u64,
     /// Number of times scheduled.
     pub schedules: u64,
     /// Remaining cycles in the current time slice.
@@ -122,6 +127,7 @@ impl Task {
             exit_code: None,
             pending_children: Vec::new(),
             cpu_cycles: 0,
+            sd_cycles: 0,
             schedules: 0,
             slice_remaining: 0,
             stack_depth: 0,

@@ -1,0 +1,219 @@
+//! Tier-1 tests for the I/O pipeline above the unified block cache: the
+//! `kbio` background flusher, its cost attribution, and what survives a
+//! power cut ("what is actually on the card") with write-back caching in
+//! front of both filesystems.
+
+use kernel::kernel::FAT_PARTITION_START;
+use kernel::OpenFlags;
+use proto_repro::prelude::*;
+use protofs::block::SdBlockDevice;
+use protofs::bufcache::BufCache;
+use protofs::fat32::Fat32;
+use protofs::xv6fs::Xv6Fs;
+use protofs::MemDisk;
+
+#[test]
+fn kbio_drains_dirty_extents_and_is_charged_for_the_writeback() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    assert!(sys.kernel.kbio_task() != 0, "desktop runs the kbio flusher");
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    // Dirty extents across *both* filesystems, then close. With the
+    // background flusher on, close returns without draining.
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/spike.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0xA5u8; 96 * 1024])?;
+            ctx.close(fd)?;
+            let fd = ctx.open("/spike.txt", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0x5Au8; 16 * 1024])?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    assert!(
+        sys.kernel.fat_dirty_blocks() > 0,
+        "close left FAT extents dirty for the flusher"
+    );
+    assert!(
+        sys.kernel.root_dirty_blocks() > 0,
+        "close left root extents dirty for the flusher"
+    );
+    let writer_sd_at_close = sys.kernel.task_sd_cycles(writer);
+    let kbio = sys.kernel.kbio_task();
+    let kbio_sd_before = sys.kernel.task_sd_cycles(kbio);
+    // Run the kernel: kbio drains both caches to quiescence.
+    let drained = sys.kernel.run_until(
+        |k| k.fat_dirty_blocks() == 0 && k.root_dirty_blocks() == 0,
+        10_000_000,
+    );
+    assert!(drained, "kbio drained both caches");
+    assert!(
+        sys.kernel.task_sd_cycles(kbio) > kbio_sd_before,
+        "write-back cycles are charged to kbio"
+    );
+    assert_eq!(
+        sys.kernel.task_sd_cycles(writer),
+        writer_sd_at_close,
+        "the background drain billed nothing further to the writer"
+    );
+    // The drained data really reached the devices: remount both stores
+    // through fresh caches (i.e. read what is on the "card", not what is in
+    // the live cache).
+    let total = sys.kernel.board.sdhost.total_blocks();
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/spike.bin").unwrap(),
+        vec![0xA5u8; 96 * 1024]
+    );
+    let image = sys.kernel.ramdisk_image().unwrap();
+    let mut disk = MemDisk::from_image(image);
+    let mut bc = BufCache::default();
+    let root = Xv6Fs::mount(&mut disk, &mut bc).unwrap();
+    assert_eq!(
+        root.read_file(&mut disk, &mut bc, "/spike.txt").unwrap(),
+        vec![0x5Au8; 16 * 1024]
+    );
+}
+
+#[test]
+fn fsynced_data_survives_a_power_cut_and_unsynced_data_stays_in_cache() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/synced.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"durable")?;
+            ctx.fsync(fd)?; // full synchronous flush: on the card now
+            ctx.close(fd)?;
+            let fd = ctx.open("/d/unsynced.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"volatile")?;
+            ctx.close(fd) // background flusher has not run: cache only
+        })
+        .unwrap();
+    // fsync attributed its own write-back to the caller, synchronously.
+    assert!(sys.kernel.task_sd_cycles(writer) > 0);
+    // "Power cut": read the raw card through a fresh cache. Only flushed
+    // state exists there.
+    let total = sys.kernel.board.sdhost.total_blocks();
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/synced.bin").unwrap(),
+        b"durable",
+        "fsync'd data is on the card after the cut"
+    );
+    assert!(
+        matches!(
+            fat.lookup(&mut dev, &mut fresh, "/unsynced.bin"),
+            Err(protofs::FsError::NotFound(_))
+        ),
+        "un-fsync'd file never reached the card"
+    );
+    // The live system still sees it (it is dirty in the cache), so a later
+    // flusher pass would have made it durable too.
+    let seen = sys.kernel.with_task_ctx(writer, |ctx| {
+        let fd = ctx.open("/d/unsynced.bin", OpenFlags::rdonly())?;
+        let data = ctx.read(fd, 64)?;
+        ctx.close(fd)?;
+        Ok::<Vec<u8>, kernel::KernelError>(data)
+    });
+    assert_eq!(seen.unwrap(), b"volatile");
+}
+
+#[test]
+fn failed_background_writeback_is_contained_and_retried() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/faulty.txt", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0xEEu8; 8 * 1024])?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    let dirty = sys.kernel.root_dirty_blocks();
+    assert!(dirty > 0);
+    // Fault the whole ramdisk: every kbio write-back pass fails. The kernel
+    // must not panic, and the dirty blocks must be retained for retry.
+    let blocks = kernel::kernel::RAMDISK_BYTES / protofs::BLOCK_SIZE as u64;
+    for lba in 0..blocks {
+        sys.kernel.ramdisk_inject_fault(lba);
+    }
+    sys.run_ms(100);
+    assert_eq!(
+        sys.kernel.root_dirty_blocks(),
+        dirty,
+        "failed write-back loses nothing"
+    );
+    let log = sys.kernel.console_log();
+    assert!(
+        log.contains("kbio: root write-back failed"),
+        "the failure is reported, not swallowed: {log}"
+    );
+    // The card recovers; the retried write-back drains and the data is
+    // durable on a remount of the raw image.
+    sys.kernel.ramdisk_clear_faults();
+    let drained = sys
+        .kernel
+        .run_until(|k| k.root_dirty_blocks() == 0, 5_000_000);
+    assert!(drained, "retry drained the cache after the fault cleared");
+    let image = sys.kernel.ramdisk_image().unwrap();
+    let mut disk = MemDisk::from_image(image);
+    let mut bc = BufCache::default();
+    let root = Xv6Fs::mount(&mut disk, &mut bc).unwrap();
+    assert_eq!(
+        root.read_file(&mut disk, &mut bc, "/faulty.txt").unwrap(),
+        vec![0xEEu8; 8 * 1024]
+    );
+}
+
+#[test]
+fn sync_all_is_a_whole_system_durability_barrier() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/bye.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"unmount me")?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    assert!(sys.kernel.fat_dirty_blocks() > 0);
+    sys.kernel.sync_all().unwrap();
+    assert_eq!(sys.kernel.fat_dirty_blocks(), 0);
+    assert_eq!(sys.kernel.root_dirty_blocks(), 0);
+}
+
+#[test]
+fn without_the_flusher_close_drains_synchronously_and_bills_the_writer() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    // The ablation switch: revert to PR-1 close-flush semantics.
+    sys.kernel.set_background_flush(false);
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/sync.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0x11u8; 96 * 1024])?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    assert_eq!(
+        sys.kernel.fat_dirty_blocks(),
+        0,
+        "close flushed synchronously"
+    );
+    assert!(
+        sys.kernel.task_sd_cycles(writer) > 0,
+        "the write-back spike is billed to the closing task"
+    );
+}
