@@ -65,6 +65,29 @@ struct FlushRun {
     dirty_after_close: u64,
 }
 
+/// One sequential-write workload under a given write-back ordering policy.
+#[derive(Debug, Clone, Serialize)]
+struct OrderedRun {
+    /// Dependency-ordered draining active?
+    ordered: bool,
+    /// Bytes written (then fsync'd) to `/d/seq.bin`.
+    bytes: u64,
+    /// Modeled wall-clock of write + fsync, in ms.
+    ms: f64,
+    /// Modeled sequential-write throughput in MB/s.
+    mb_s: f64,
+}
+
+/// The ordered-write-back cost pair: the crash-consistency ordering pass
+/// must stay within a few percent of the unordered drain.
+#[derive(Debug, Clone, Serialize)]
+struct OrderedWriteback {
+    on: OrderedRun,
+    off: OrderedRun,
+    /// Throughput cost of ordering, in percent (negative = free).
+    overhead_pct: f64,
+}
+
 /// Video-conversion ablation results (the §5.2 SIMD-vs-scalar gap).
 #[derive(Debug, Clone, Serialize)]
 struct VideoRun {
@@ -87,6 +110,7 @@ struct BenchFs {
     prefetch_off: FsRun,
     flusher_on: FlushRun,
     flusher_off: FlushRun,
+    ordered_writeback: OrderedWriteback,
     video: VideoRun,
     speedup: f64,
     prefetch_gain: f64,
@@ -178,6 +202,40 @@ fn flush_run(background: bool) -> FlushRun {
     }
 }
 
+fn ordered_run(ordered: bool) -> OrderedRun {
+    let mut options = SystemOptions::benchmark(Platform::Pi3);
+    options.window_manager = false;
+    options.small_assets = true;
+    let mut sys = ProtoSystem::build(options).expect("system");
+    sys.kernel.set_ordered_writeback(ordered);
+    let tid = sys.kernel.spawn_bench_task("writer").expect("task");
+    let core = sys.kernel.task(tid).expect("task exists").core;
+    // A fresh 2 MB file, written then fsync'd: the fsync forces the full
+    // drain, so both policies pay their complete write-back cost inside the
+    // measured window.
+    let data = vec![0xC3u8; 2 * 1024 * 1024];
+    let before = sys.kernel.board.clock.cycles(core);
+    sys.kernel
+        .with_task_ctx(tid, |ctx| {
+            let fd = ctx.open("/d/seq.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &data)?;
+            ctx.fsync(fd)?;
+            ctx.close(fd)
+        })
+        .expect("sequential write");
+    let ms = (sys.kernel.board.clock.cycles(core) - before) as f64 / 1e6;
+    OrderedRun {
+        ordered,
+        bytes: data.len() as u64,
+        ms,
+        mb_s: if ms > 0.0 {
+            data.len() as f64 / 1e6 / (ms / 1e3)
+        } else {
+            0.0
+        },
+    }
+}
+
 fn main() {
     println!("Ablation — §5.2 performance optimisations + I/O pipeline\n");
     // 1. Video playback with SIMD vs scalar YUV conversion.
@@ -238,6 +296,25 @@ fn main() {
     // 3. The background flusher: who pays for deferred write-back.
     let fl_on = flush_run(true);
     let fl_off = flush_run(false);
+
+    // 4. Ordered write-back: what the crash-consistency ordering pass costs
+    // on a sequential write (acceptance bar: < 5%).
+    let ord_on = ordered_run(true);
+    let ord_off = ordered_run(false);
+    let overhead_pct = if ord_off.mb_s > 0.0 {
+        (ord_off.mb_s - ord_on.mb_s) / ord_off.mb_s * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "ordered write-back  : {:.2} MB/s ordered vs {:.2} MB/s LBA-order ({overhead_pct:+.2}% cost for crash consistency)",
+        ord_on.mb_s, ord_off.mb_s
+    );
+    let ordered_writeback = OrderedWriteback {
+        on: ord_on,
+        off: ord_off,
+        overhead_pct,
+    };
     println!(
         "write-back flusher  : close() {:.2} ms with kbio (writer {} / kbio {} sd-cycles) vs {:.2} ms synchronous (writer {} sd-cycles)",
         fl_on.close_ms,
@@ -255,6 +332,7 @@ fn main() {
         prefetch_off: ranged.clone(),
         flusher_on: fl_on,
         flusher_off: fl_off,
+        ordered_writeback,
         video,
         speedup,
         prefetch_gain,

@@ -86,6 +86,15 @@ pub struct MemDisk {
     stats: BlockIoStats,
     /// Optional: block numbers that fail on access, for fault injection.
     faulty: Vec<u64>,
+    /// Remaining blocks that may persist before the injected power cut
+    /// fires (`None` = no cut armed). See [`MemDisk::power_cut_after`].
+    power_budget: Option<u64>,
+    /// True once the injected power cut has fired: every subsequent access
+    /// fails until [`MemDisk::power_restored`].
+    power_lost: bool,
+    /// Range commands that persisted only a prefix of their blocks before
+    /// failing — the torn mid-CMD25 writes the crash tests model.
+    torn_writes: u64,
 }
 
 impl MemDisk {
@@ -95,6 +104,9 @@ impl MemDisk {
             data: vec![0u8; num_blocks as usize * BLOCK_SIZE],
             stats: BlockIoStats::default(),
             faulty: Vec::new(),
+            power_budget: None,
+            power_lost: false,
+            torn_writes: 0,
         }
     }
 
@@ -108,6 +120,9 @@ impl MemDisk {
             data: image,
             stats: BlockIoStats::default(),
             faulty: Vec::new(),
+            power_budget: None,
+            power_lost: false,
+            torn_writes: 0,
         }
     }
 
@@ -128,19 +143,71 @@ impl MemDisk {
         self.faulty.clear();
     }
 
+    /// Arms a power cut: after `blocks` more blocks have been persisted, the
+    /// device dies mid-command. A range write crossing the budget persists
+    /// only its first blocks before failing — the torn mid-CMD25 write of a
+    /// real power loss — and every later access fails until
+    /// [`MemDisk::power_restored`]. [`MemDisk::image`] always returns exactly
+    /// what persisted, so tests can remount the surviving state.
+    pub fn power_cut_after(&mut self, blocks: u64) {
+        self.power_budget = Some(blocks);
+        self.power_lost = false;
+    }
+
+    /// "Plugs the machine back in": clears the power-cut state (any armed
+    /// budget included) so the persisted image can be accessed again.
+    pub fn power_restored(&mut self) {
+        self.power_budget = None;
+        self.power_lost = false;
+    }
+
+    /// Whether the injected power cut has fired.
+    pub fn power_lost(&self) -> bool {
+        self.power_lost
+    }
+
+    /// Range commands that persisted only a prefix of their blocks before the
+    /// power cut fired.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
     fn check(&self, lba: u64, count: u64) -> FsResult<()> {
-        if lba + count > self.num_blocks() {
+        if self.power_lost {
+            return Err(FsError::Io("device lost power".into()));
+        }
+        let end = lba
+            .checked_add(count)
+            .ok_or_else(|| FsError::Io(format!("block range {lba}+{count} overflows")))?;
+        if end > self.num_blocks() {
             return Err(FsError::Io(format!(
                 "block {lba}+{count} beyond device of {} blocks",
                 self.num_blocks()
             )));
         }
-        for b in lba..lba + count {
+        for b in lba..end {
             if self.faulty.contains(&b) {
                 return Err(FsError::Io(format!("injected fault at block {b}")));
             }
         }
         Ok(())
+    }
+
+    /// Accounts `count` blocks about to persist against an armed power-cut
+    /// budget. Returns how many of them actually persist; fewer than `count`
+    /// means the cut fires during this command.
+    fn power_allow(&mut self, count: u64) -> u64 {
+        match self.power_budget {
+            None => count,
+            Some(budget) => {
+                let allowed = budget.min(count);
+                self.power_budget = Some(budget - allowed);
+                if allowed < count {
+                    self.power_lost = true;
+                }
+                allowed
+            }
+        }
     }
 }
 
@@ -170,6 +237,11 @@ impl BlockDevice for MemDisk {
             ));
         }
         self.check(lba, 1)?;
+        if self.power_allow(1) == 0 {
+            return Err(FsError::Io(format!(
+                "power cut before write of block {lba}"
+            )));
+        }
         let s = lba as usize * BLOCK_SIZE;
         self.data[s..s + BLOCK_SIZE].copy_from_slice(data);
         self.stats.single_cmds += 1;
@@ -194,10 +266,20 @@ impl BlockDevice for MemDisk {
             return Err(FsError::Invalid("write_range buffer size mismatch".into()));
         }
         self.check(lba, count)?;
+        let persist = self.power_allow(count);
         let s = lba as usize * BLOCK_SIZE;
-        self.data[s..s + count as usize * BLOCK_SIZE].copy_from_slice(data);
+        self.data[s..s + persist as usize * BLOCK_SIZE]
+            .copy_from_slice(&data[..persist as usize * BLOCK_SIZE]);
         self.stats.range_cmds += 1;
-        self.stats.blocks += count;
+        self.stats.blocks += persist;
+        if persist < count {
+            if persist > 0 {
+                self.torn_writes += 1;
+            }
+            return Err(FsError::Io(format!(
+                "power cut mid-range-write at block {lba}: {persist} of {count} blocks persisted"
+            )));
+        }
         Ok(())
     }
 
@@ -319,6 +401,39 @@ mod tests {
         let mut buf = [0u8; BLOCK_SIZE];
         assert!(d.read_block(5, &mut buf).is_err());
         assert!(d.read_block(4, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn power_cut_tears_a_range_write_and_keeps_the_persisted_prefix() {
+        let mut d = MemDisk::new(16);
+        d.power_cut_after(3);
+        let data: Vec<u8> = (0..BLOCK_SIZE * 8).map(|i| (i % 251) as u8).collect();
+        // The cut fires after 3 of 8 blocks: the command fails, the prefix
+        // persists, the tail never reaches the medium.
+        assert!(d.write_range(4, 8, &data).is_err());
+        assert_eq!(d.torn_writes(), 1);
+        assert!(d.power_lost());
+        // Everything (reads included) fails until power returns.
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert!(d.read_block(4, &mut buf).is_err());
+        assert!(d.write_block(0, &data[..BLOCK_SIZE]).is_err());
+        d.power_restored();
+        d.read_block(4, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..BLOCK_SIZE], "persisted prefix survives");
+        d.read_block(7, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; BLOCK_SIZE], "blocks past the cut never landed");
+    }
+
+    #[test]
+    fn power_cut_on_a_block_boundary_is_not_torn() {
+        let mut d = MemDisk::new(16);
+        d.power_cut_after(4);
+        let data = vec![7u8; BLOCK_SIZE * 4];
+        d.write_range(0, 4, &data).unwrap();
+        // Budget exactly exhausted: the next write fails cleanly, nothing is
+        // counted as torn.
+        assert!(d.write_block(4, &data[..BLOCK_SIZE]).is_err());
+        assert_eq!(d.torn_writes(), 0);
     }
 
     #[test]

@@ -47,10 +47,27 @@
 //!   overlapped with the previous transfer instead of serialised on the
 //!   reading task.
 //!
+//! * **Dependency-ordered draining.** Dirty blocks carry a class (data vs
+//!   filesystem metadata, tagged by the writers via
+//!   [`BufCache::note_metadata`]) and explicit write-order dependencies
+//!   ([`BufCache::add_dependency`]): `flush`/`flush_some` drain data before
+//!   metadata and hold a metadata block back until everything it references
+//!   is on the device, and eviction flushes a metadata block's dependency
+//!   closure first. A power cut at *any* point of a drain therefore leaves
+//!   either the old tree or a complete new one — never a dirent or FAT
+//!   chain pointing at unwritten clusters ([`BufCache::set_ordered_writeback`]
+//!   reverts to the old pure-LBA drain for the ablation and the regression
+//!   tests). The metadata-transaction recorder
+//!   ([`BufCache::begin_meta_txn`]) additionally pins and collects the
+//!   sectors of a multi-sector update so FAT32's intent log can commit them
+//!   atomically.
+//!
 //! The §5.2 ablation is preserved as a *policy* rather than a bypass:
 //! [`BufCache::set_coalescing`] switches the fill/write-back paths between
 //! range commands and one-command-per-block — the xv6-baseline behaviour —
 //! without changing what is cached.
+
+use std::collections::HashMap;
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::FsResult;
@@ -79,6 +96,13 @@ struct Extent {
     valid: u8,
     /// Bitmap of blocks modified since the last write-back.
     dirty: u8,
+    /// Bitmap of blocks classified as filesystem *metadata* (FAT sectors,
+    /// dirents, inodes, bitmaps). The ordered write-back drain writes data
+    /// blocks before metadata blocks so a power cut can never expose
+    /// metadata referencing unwritten data. The classification is set by
+    /// [`BufCache::note_metadata`] and cleared again by any plain write —
+    /// "the last writer decides what the block is".
+    meta: u8,
     /// LRU stamp (larger = more recently used).
     tick: u64,
     /// Scan-resistance class: `true` for extents installed by a streaming
@@ -95,6 +119,7 @@ impl Extent {
             data: vec![0u8; EXTENT_BYTES],
             valid: 0,
             dirty: 0,
+            meta: 0,
             tick: 0,
             cold: false,
         }
@@ -162,6 +187,11 @@ pub struct BufCacheStats {
     /// propagate out of a destructor; it is recorded here instead of being
     /// silently discarded — the dirty blocks stay dirty).
     pub dropped_flush_errors: u64,
+    /// Metadata blocks written while their recorded write-order dependencies
+    /// were still dirty — the ordered drain's escape hatch for dependency
+    /// cycles (and for caches too small to hold a pinned transaction). Zero
+    /// in a well-ordered run.
+    pub forced_meta_writes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -227,6 +257,24 @@ pub struct BufCache {
     /// [`BufCache::prefetch_range`] for detected sequential streams. Off by
     /// default; the kernel switches it on per its config.
     prefetch: bool,
+    /// When true (the default), `flush`/`flush_some` drain dirty *data*
+    /// blocks before dirty *metadata* blocks, and a metadata block is only
+    /// written once every block it was [`BufCache::add_dependency`]'d on is
+    /// clean — so a power cut mid-drain never exposes a dirent or FAT chain
+    /// referencing unwritten clusters. When false, the drain reverts to the
+    /// pre-ordering pure-LBA order (the policy the crash regression test
+    /// demonstrates the bug against).
+    ordered: bool,
+    /// Write-order dependencies: a dirty metadata block (key LBA) must not
+    /// reach the device before every block of its recorded runs is clean.
+    /// Entries are dropped when the metadata block is written back.
+    deps: HashMap<u64, Vec<Run>>,
+    /// Metadata LBAs touched since [`BufCache::begin_meta_txn`] — the
+    /// intent-log transaction recorder. While a transaction is open, its
+    /// extents are also pinned against eviction so no half of a multi-sector
+    /// metadata update can leak to the device before the log commits.
+    meta_txn: Option<Vec<u64>>,
+    forced_meta_writes: u64,
     tick: u64,
     ranges_issued: u64,
     singles_issued: u64,
@@ -267,6 +315,10 @@ impl BufCache {
             extents_per_shard: extents_per_shard.max(1),
             coalesce: true,
             prefetch: false,
+            ordered: true,
+            deps: HashMap::new(),
+            meta_txn: None,
+            forced_meta_writes: 0,
             tick: 0,
             ranges_issued: 0,
             singles_issued: 0,
@@ -299,6 +351,99 @@ impl BufCache {
     /// Whether callers may prefetch ahead of sequential streams.
     pub fn prefetch_enabled(&self) -> bool {
         self.prefetch
+    }
+
+    /// Enables or disables dependency-ordered write-back draining (on by
+    /// default). With ordering off, dirty blocks drain in pure LBA order —
+    /// the pre-ordering behaviour that can expose a dirent pointing at
+    /// unwritten clusters if power is cut mid-drain.
+    pub fn set_ordered_writeback(&mut self, ordered: bool) {
+        self.ordered = ordered;
+    }
+
+    /// Whether the drain is dependency-ordered.
+    pub fn ordered_writeback(&self) -> bool {
+        self.ordered
+    }
+
+    /// Classifies `count` blocks starting at `lba` as filesystem metadata.
+    /// Callers (the FAT32 and xv6fs write paths) invoke this right after
+    /// writing a FAT sector, dirent, inode, bitmap or indirect block; the
+    /// ordered drain then writes these blocks only after every dirty data
+    /// block. A later plain write reclassifies the block as data. Blocks not
+    /// currently cached are skipped (classification only matters while a
+    /// block is dirty, and a dirty block is always cached).
+    pub fn note_metadata(&mut self, lba: u64, count: u64) {
+        for b in lba..lba + count {
+            let base = Self::extent_base(b);
+            let si = self.shard_of(base);
+            if let Some(ei) = self.shards[si].find(base) {
+                self.shards[si].extents[ei].meta |= Extent::bit(b);
+            }
+            if let Some(txn) = self.meta_txn.as_mut() {
+                if !txn.contains(&b) {
+                    txn.push(b);
+                }
+            }
+        }
+    }
+
+    /// Records a write-order dependency: the metadata blocks
+    /// `[meta_lba, meta_lba + meta_count)` must not reach the device while
+    /// any block of `[dep_lba, dep_lba + dep_count)` is still dirty. This is
+    /// how a dirent is ordered after the FAT sectors and data clusters it
+    /// references. Dependencies are dropped once the metadata block is
+    /// written back.
+    pub fn add_dependency(&mut self, meta_lba: u64, meta_count: u64, dep_lba: u64, dep_count: u64) {
+        let run = Run {
+            start: dep_lba,
+            len: dep_count,
+        };
+        for m in meta_lba..meta_lba + meta_count {
+            let runs = self.deps.entry(m).or_default();
+            if !runs.contains(&run) {
+                runs.push(run);
+            }
+        }
+    }
+
+    /// Opens a metadata-transaction recorder: every
+    /// [`BufCache::note_metadata`] LBA until [`BufCache::end_meta_txn`] is
+    /// collected (readable via [`BufCache::meta_txn_touched`]) and its extent
+    /// is pinned against eviction, so no half of a multi-sector metadata
+    /// update can leak to the device before the caller's intent log commits.
+    pub fn begin_meta_txn(&mut self) {
+        self.meta_txn = Some(Vec::new());
+    }
+
+    /// The metadata LBAs touched since [`BufCache::begin_meta_txn`], sorted.
+    pub fn meta_txn_touched(&self) -> Vec<u64> {
+        let mut v = self.meta_txn.clone().unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Closes the metadata-transaction recorder and releases its eviction
+    /// pins.
+    pub fn end_meta_txn(&mut self) {
+        self.meta_txn = None;
+    }
+
+    /// Whether a metadata transaction is currently open.
+    pub fn meta_txn_active(&self) -> bool {
+        self.meta_txn.is_some()
+    }
+
+    /// Drops the write-order dependencies keyed on the given blocks. The
+    /// intent log calls this right after its commit point: a committed
+    /// record repairs any torn home write at replay, so the logged sectors'
+    /// mutual order — which may be deliberately cyclic (frees ≺ dirent ≺
+    /// new FAT on a shared sector) — no longer needs to constrain the
+    /// drain.
+    pub fn clear_dependencies(&mut self, lbas: &[u64]) {
+        for lba in lbas {
+            self.deps.remove(lba);
+        }
     }
 
     /// The streak of the most recently touched sequential stream: how many
@@ -366,6 +511,7 @@ impl BufCache {
             prefetch_cmds: self.prefetch_cmds,
             prefetched_blocks: self.prefetched_blocks,
             dropped_flush_errors: self.dropped_flush_errors,
+            forced_meta_writes: self.forced_meta_writes,
             ..Default::default()
         };
         for s in &self.shards {
@@ -407,6 +553,8 @@ impl BufCache {
         for s in &mut self.shards {
             s.extents.clear();
         }
+        self.deps.clear();
+        self.meta_txn = None;
     }
 
     // ---- internal helpers ---------------------------------------------------------------
@@ -424,40 +572,144 @@ impl BufCache {
         ((base / EXTENT_BLOCKS as u64) % self.shards.len() as u64) as usize
     }
 
-    /// Writes an extent's dirty blocks back to the device, coalescing the
-    /// dirty bitmap into contiguous runs. Returns the number of blocks
-    /// written. Does not clear the dirty bits — the caller does, so a failed
-    /// write-back never loses data.
-    fn write_dirty_runs(
-        dev: &mut dyn BlockDevice,
-        ext: &Extent,
-        coalesce: bool,
-        ranges_issued: &mut u64,
-        singles_issued: &mut u64,
-    ) -> FsResult<u64> {
-        let mut runs: Vec<Run> = Vec::new();
-        for i in 0..EXTENT_BLOCKS as u64 {
-            if ext.dirty & Extent::bit(ext.base + i) != 0 {
-                push_block(&mut runs, ext.base + i);
-            }
-        }
-        let mut written = 0;
-        for run in runs {
-            let s = Extent::slot(run.start);
-            let bytes = &ext.data[s..s + run.len as usize * BLOCK_SIZE];
-            if coalesce && run.len > 1 {
-                dev.write_range(run.start, run.len, bytes)?;
-                *ranges_issued += 1;
-            } else {
-                for b in 0..run.len {
-                    let off = b as usize * BLOCK_SIZE;
-                    dev.write_block(run.start + b, &bytes[off..off + BLOCK_SIZE])?;
+    /// Whether block `lba` is cached dirty.
+    fn is_block_dirty(&self, lba: u64) -> bool {
+        let base = Self::extent_base(lba);
+        let si = self.shard_of(base);
+        self.shards[si]
+            .find(base)
+            .map(|ei| self.shards[si].extents[ei].dirty & Extent::bit(lba) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Whether block `lba` is cached and classified as metadata.
+    fn block_is_meta(&self, lba: u64) -> bool {
+        let base = Self::extent_base(lba);
+        let si = self.shard_of(base);
+        self.shards[si]
+            .find(base)
+            .map(|ei| self.shards[si].extents[ei].meta & Extent::bit(lba) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Whether every recorded write-order dependency of metadata block `lba`
+    /// is clean (no dependencies counts as satisfied).
+    fn deps_clean(&self, lba: u64) -> bool {
+        self.deps.get(&lba).is_none_or(|runs| {
+            runs.iter()
+                .all(|r| (r.start..r.start + r.len).all(|b| !self.is_block_dirty(b)))
+        })
+    }
+
+    /// Whether the extent is pinned by an open metadata transaction.
+    fn extent_txn_pinned(&self, base: u64) -> bool {
+        self.meta_txn
+            .as_ref()
+            .is_some_and(|txn| txn.iter().any(|&l| Self::extent_base(l) == base))
+    }
+
+    /// All dirty blocks, split into (data runs, metadata runs), each sorted
+    /// by LBA and coalesced into contiguous same-class runs.
+    fn classed_dirty_runs(&self) -> (Vec<Run>, Vec<Run>) {
+        let mut data: Vec<u64> = Vec::new();
+        let mut meta: Vec<u64> = Vec::new();
+        for s in &self.shards {
+            for e in &s.extents {
+                for i in 0..EXTENT_BLOCKS as u64 {
+                    let b = e.base + i;
+                    if e.dirty & Extent::bit(b) != 0 {
+                        if e.meta & Extent::bit(b) != 0 {
+                            meta.push(b);
+                        } else {
+                            data.push(b);
+                        }
+                    }
                 }
-                *singles_issued += run.len;
             }
-            written += run.len;
         }
-        Ok(written)
+        data.sort_unstable();
+        meta.sort_unstable();
+        let collect = |blocks: Vec<u64>| {
+            let mut runs: Vec<Run> = Vec::new();
+            for b in blocks {
+                push_block(&mut runs, b);
+            }
+            runs
+        };
+        (collect(data), collect(meta))
+    }
+
+    /// Dirty metadata runs whose recorded dependencies are all clean — the
+    /// blocks the ordered drain may write right now.
+    fn ready_meta_runs(&self) -> Vec<Run> {
+        let (_, meta) = self.classed_dirty_runs();
+        let mut runs: Vec<Run> = Vec::new();
+        for r in meta {
+            for b in r.start..r.start + r.len {
+                if self.deps_clean(b) {
+                    push_block(&mut runs, b);
+                }
+            }
+        }
+        runs
+    }
+
+    /// Whether any dirty *data*-class block remains.
+    fn any_dirty_data(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.extents.iter().any(|e| e.dirty & !e.meta != 0))
+    }
+
+    /// Flushes the transitive closure of dirty blocks the given metadata
+    /// blocks depend on, honouring the data-before-metadata order inside the
+    /// closure. Called before an eviction may write a dirty metadata block
+    /// early, so "evict a dirent extent" implies "its clusters and FAT
+    /// sectors reach the device first".
+    fn flush_dependency_closure(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        roots: &[u64],
+    ) -> FsResult<()> {
+        let mut set: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut work: Vec<u64> = roots.to_vec();
+        while let Some(m) = work.pop() {
+            let runs = match self.deps.get(&m) {
+                Some(r) => r.clone(),
+                None => continue,
+            };
+            for r in runs {
+                for b in r.start..r.start + r.len {
+                    if self.is_block_dirty(b) && set.insert(b) {
+                        work.push(b);
+                    }
+                }
+            }
+        }
+        while !set.is_empty() {
+            let mut batch: Vec<u64> = set
+                .iter()
+                .copied()
+                .filter(|&b| !self.block_is_meta(b) || self.deps_clean(b))
+                .collect();
+            if batch.is_empty() {
+                // Dependency cycle inside the closure: force the remainder
+                // out (counted) rather than deadlocking the eviction.
+                self.forced_meta_writes += set.len() as u64;
+                batch = set.iter().copied().collect();
+            }
+            let mut runs: Vec<Run> = Vec::new();
+            for &b in &batch {
+                push_block(&mut runs, b);
+            }
+            for run in runs {
+                self.write_out_run(dev, run)?;
+            }
+            for b in batch {
+                set.remove(&b);
+            }
+        }
+        Ok(())
     }
 
     /// Fetches one missing run from the device and installs its blocks into
@@ -512,38 +764,63 @@ impl BufCache {
         let base = Self::extent_base(lba);
         let si = self.shard_of(base);
         let tick = self.next_tick();
-        let coalesce = self.coalesce;
         let cap = self.extents_per_shard;
 
         // Evict if the shard is full and `base` is new: cold (streamed,
         // never re-touched) extents go first, oldest first, so a scan
-        // recycles itself; hot extents fall back to plain LRU.
+        // recycles itself; hot extents fall back to plain LRU. Extents
+        // pinned by an open metadata transaction are avoided when any other
+        // victim exists, so a half-recorded multi-sector update cannot leak
+        // to the device before its intent log commits.
         if self.shards[si].find(base).is_none() && self.shards[si].extents.len() >= cap {
-            let victim = self.shards[si]
+            let pinned: Vec<bool> = self.shards[si]
                 .extents
                 .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| (!e.cold, e.tick))
-                .map(|(i, _)| i)
-                .ok_or_else(|| {
-                    crate::FsError::Corrupt("full cache shard has no eviction victim".into())
-                })?;
+                .map(|e| self.extent_txn_pinned(e.base))
+                .collect();
+            let pick = |skip_pinned: bool| {
+                self.shards[si]
+                    .extents
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !skip_pinned || !pinned[*i])
+                    .min_by_key(|(_, e)| (!e.cold, e.tick))
+                    .map(|(i, _)| i)
+            };
+            let victim = pick(true).or_else(|| pick(false)).ok_or_else(|| {
+                crate::FsError::Corrupt("full cache shard has no eviction victim".into())
+            })?;
+            let victim_base = self.shards[si].extents[victim].base;
             if self.shards[si].extents[victim].dirty != 0 {
-                let mut ranges = 0;
-                let mut singles = 0;
-                let written = Self::write_dirty_runs(
-                    dev,
-                    &self.shards[si].extents[victim],
-                    coalesce,
-                    &mut ranges,
-                    &mut singles,
-                )?;
-                self.ranges_issued += ranges;
-                self.singles_issued += singles;
-                self.shards[si].stats.writeback_blocks += written;
+                if self.ordered {
+                    // Writing a dirty metadata block early is only safe once
+                    // everything it references is on the device.
+                    let e = &self.shards[si].extents[victim];
+                    let roots: Vec<u64> = (0..EXTENT_BLOCKS as u64)
+                        .map(|i| e.base + i)
+                        .filter(|&b| e.dirty & Extent::bit(b) != 0 && e.meta & Extent::bit(b) != 0)
+                        .collect();
+                    if !roots.is_empty() {
+                        self.flush_dependency_closure(dev, &roots)?;
+                    }
+                }
+                let e = &self.shards[si].extents[victim];
+                let mut runs: Vec<Run> = Vec::new();
+                for i in 0..EXTENT_BLOCKS as u64 {
+                    if e.dirty & Extent::bit(e.base + i) != 0 {
+                        push_block(&mut runs, e.base + i);
+                    }
+                }
+                for run in runs {
+                    self.write_out_run(dev, run)?;
+                }
             }
-            self.shards[si].extents.swap_remove(victim);
-            self.shards[si].stats.evictions += 1;
+            // The closure flush never adds or removes extents, but re-find
+            // the victim by base rather than trusting the old index.
+            if let Some(idx) = self.shards[si].find(victim_base) {
+                self.shards[si].extents.swap_remove(idx);
+                self.shards[si].stats.evictions += 1;
+            }
         }
 
         let shard = &mut self.shards[si];
@@ -684,6 +961,9 @@ impl BufCache {
                 .copy_from_slice(&data[off..off + BLOCK_SIZE]);
             ext.valid |= Extent::bit(b);
             ext.dirty |= Extent::bit(b);
+            // A plain write reclassifies the block as data; a metadata
+            // writer re-tags it via `note_metadata` immediately after.
+            ext.meta &= !Extent::bit(b);
             ext.cold = cold;
         }
         Ok(())
@@ -752,6 +1032,9 @@ impl BufCache {
             let ei = self.shards[si].find(base).ok_or_else(missing_extent)?;
             self.shards[si].extents[ei].dirty &= !Extent::bit(blk);
             self.shards[si].stats.writeback_blocks += 1;
+            // The block is on the device: any write-order dependency keyed
+            // on it is settled.
+            self.deps.remove(&blk);
         }
         Ok(())
     }
@@ -759,11 +1042,57 @@ impl BufCache {
     /// Writes every dirty block back to the device, coalescing adjacent
     /// dirty blocks — across extents and shards — into single range
     /// commands, then flushes the device itself.
+    ///
+    /// With ordered write-back on (the default) the drain is staged: all
+    /// dirty *data* blocks first, then metadata blocks as their recorded
+    /// dependencies become clean — so a power cut at any point during the
+    /// flush leaves either the old tree or a complete new one, never a
+    /// dirent or FAT chain pointing at unwritten clusters.
     pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
-        for run in self.dirty_runs() {
-            self.write_out_run(dev, run)?;
+        if self.ordered {
+            loop {
+                let (data, _) = self.classed_dirty_runs();
+                let mut progress = false;
+                for run in data {
+                    self.write_out_run(dev, run)?;
+                    progress = true;
+                }
+                for run in self.ready_meta_runs() {
+                    self.write_out_run(dev, run)?;
+                    progress = true;
+                }
+                if !progress {
+                    break;
+                }
+            }
+            // Anything still dirty sits on a dependency cycle (the filesystem
+            // layers are built not to create one). A full flush must drain
+            // regardless; force the stragglers out and count them.
+            let (_, stuck) = self.classed_dirty_runs();
+            if !stuck.is_empty() {
+                self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
+                for run in stuck {
+                    self.write_out_run(dev, run)?;
+                }
+            }
+        } else {
+            for run in self.dirty_runs() {
+                self.write_out_run(dev, run)?;
+            }
         }
         self.flushes += 1;
+        dev.flush()
+    }
+
+    /// Drains every dirty *data*-class block (metadata stays cached dirty)
+    /// and issues the device barrier. The intent-log commit path calls this
+    /// so the clusters a logged metadata update references are durable
+    /// before the log record that points at them.
+    pub fn flush_data(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        let (data, _) = self.classed_dirty_runs();
+        for run in data {
+            self.write_out_run(dev, run)?;
+        }
         dev.flush()
     }
 
@@ -774,27 +1103,114 @@ impl BufCache {
     /// background thread never monopolises the SD bus, and the device-level
     /// barrier (`dev.flush()`) is deliberately *not* issued — only a full
     /// [`BufCache::flush`] (fsync, unmount) is a durability point.
+    ///
+    /// Ordering: data runs drain first; metadata runs are considered only
+    /// once no dirty data remains, and only those whose dependencies are
+    /// clean — so cutting power between two budgeted passes is no worse than
+    /// cutting it mid-flush. Faulting runs are skipped (their blocks stay
+    /// dirty for retry) and charge nothing against the budget, so one bad
+    /// extent cannot starve healthy ones; the first error is returned after
+    /// the pass completes.
     pub fn flush_some(&mut self, dev: &mut dyn BlockDevice, max_blocks: u64) -> FsResult<u64> {
         let mut written = 0u64;
-        for run in self.dirty_runs() {
+        let mut first_err: Option<crate::FsError> = None;
+        let data_runs = if self.ordered {
+            self.classed_dirty_runs().0
+        } else {
+            self.dirty_runs()
+        };
+        for run in data_runs {
             if written >= max_blocks {
                 break;
             }
             // Split the final run at the remaining budget.
             let take = run.len.min(max_blocks - written);
-            self.write_out_run(
+            match self.write_out_run(
                 dev,
                 Run {
                     start: run.start,
                     len: take,
                 },
-            )?;
-            written += take;
+            ) {
+                // Only blocks that actually persisted consume budget.
+                Ok(()) => written += take,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if self.ordered && first_err.is_none() {
+            // Metadata drains only once every data block is on the device.
+            while written < max_blocks && !self.any_dirty_data() {
+                let ready = self.ready_meta_runs();
+                if ready.is_empty() {
+                    break;
+                }
+                let mut progress = false;
+                for run in ready {
+                    if written >= max_blocks || first_err.is_some() {
+                        break;
+                    }
+                    let take = run.len.min(max_blocks - written);
+                    match self.write_out_run(
+                        dev,
+                        Run {
+                            start: run.start,
+                            len: take,
+                        },
+                    ) {
+                        Ok(()) => {
+                            written += take;
+                            progress = true;
+                        }
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            // Liveness backstop: metadata stuck on a dependency cycle (the
+            // filesystem layers are built not to create one) must not pin
+            // the cache dirty forever — force it out, counted.
+            if written < max_blocks && !self.any_dirty_data() && self.ready_meta_runs().is_empty() {
+                let (_, stuck) = self.classed_dirty_runs();
+                for run in stuck {
+                    if written >= max_blocks || first_err.is_some() {
+                        break;
+                    }
+                    let take = run.len.min(max_blocks - written);
+                    self.forced_meta_writes += take;
+                    match self.write_out_run(
+                        dev,
+                        Run {
+                            start: run.start,
+                            len: take,
+                        },
+                    ) {
+                        Ok(()) => written += take,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+            }
         }
         if written > 0 {
             self.partial_flushes += 1;
         }
-        Ok(written)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
     }
 
     /// Borrows the cache and device together, flushing when the guard drops.
@@ -1218,6 +1634,143 @@ mod tests {
         dev.clear_faults();
         bc.flush(&mut dev).unwrap();
         assert_eq!(bc.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn ordered_flush_writes_data_before_metadata() {
+        // Metadata at a *low* LBA, data at a high one: pure LBA order would
+        // write the metadata first; the ordered drain must not.
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        let meta = [0xAEu8; BLOCK_SIZE];
+        let data = vec![0xDAu8; BLOCK_SIZE * 8];
+        bc.write(&mut dev, 2, &meta).unwrap();
+        bc.note_metadata(2, 1);
+        bc.write_range(&mut dev, 100, 8, &data).unwrap();
+        bc.add_dependency(2, 1, 100, 8);
+        // Cut power after the 8 data blocks: the metadata block must still
+        // be unwritten on the device.
+        dev.power_cut_after(8);
+        assert!(bc.flush(&mut dev).is_err(), "cut fails the flush");
+        dev.power_restored();
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(2, &mut raw).unwrap();
+        assert_eq!(raw, [0u8; BLOCK_SIZE], "metadata never preceded its data");
+        dev.read_block(100, &mut raw).unwrap();
+        assert_eq!(raw, [0xDAu8; BLOCK_SIZE], "data was drained first");
+        // The metadata is still dirty; a retried flush completes the pair.
+        bc.flush(&mut dev).unwrap();
+        dev.read_block(2, &mut raw).unwrap();
+        assert_eq!(raw, meta);
+    }
+
+    #[test]
+    fn unordered_flush_reproduces_the_lba_order_bug() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        bc.set_ordered_writeback(false);
+        bc.write(&mut dev, 2, &[7u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(2, 1);
+        let data = vec![9u8; BLOCK_SIZE * 8];
+        bc.write_range(&mut dev, 100, 8, &data).unwrap();
+        bc.add_dependency(2, 1, 100, 8);
+        dev.power_cut_after(1);
+        assert!(bc.flush(&mut dev).is_err());
+        dev.power_restored();
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(2, &mut raw).unwrap();
+        assert_eq!(raw, [7u8; BLOCK_SIZE], "LBA order exposed the metadata");
+        dev.read_block(100, &mut raw).unwrap();
+        assert_eq!(raw, [0u8; BLOCK_SIZE], "...while its data never landed");
+    }
+
+    #[test]
+    fn flush_some_defers_metadata_until_data_and_dependencies_drain() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        // Two metadata blocks: B depends on A (dirent -> FAT), A on the data.
+        bc.write(&mut dev, 0, &[1u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(0, 1);
+        bc.write(&mut dev, 16, &[2u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(16, 1);
+        let data = vec![3u8; BLOCK_SIZE * 8];
+        bc.write_range(&mut dev, 64, 8, &data).unwrap();
+        bc.add_dependency(0, 1, 64, 8);
+        bc.add_dependency(16, 1, 0, 1);
+        // Budget smaller than the data: the pass drains data only.
+        assert_eq!(bc.flush_some(&mut dev, 4).unwrap(), 4);
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut raw).unwrap();
+        assert_eq!(
+            raw, [0u8; BLOCK_SIZE],
+            "metadata untouched while data dirty"
+        );
+        // Second pass finishes the data and cascades through the metadata
+        // dependency chain (A then B) in one go.
+        assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 6);
+        assert_eq!(bc.dirty_blocks(), 0);
+        dev.read_block(16, &mut raw).unwrap();
+        assert_eq!(raw, [2u8; BLOCK_SIZE]);
+        assert_eq!(bc.stats().forced_meta_writes, 0, "no cycle was forced");
+    }
+
+    #[test]
+    fn flush_some_skips_faulty_runs_and_still_drains_healthy_ones() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        dev.inject_fault(4);
+        let data = vec![5u8; BLOCK_SIZE * 8];
+        bc.write_range(&mut dev, 0, 8, &data).unwrap(); // covers the fault
+        bc.write_range(&mut dev, 64, 8, &data).unwrap(); // healthy
+                                                         // The pass reports the fault but the healthy extent drained anyway,
+                                                         // and only persisted blocks were charged against the budget.
+        assert!(bc.flush_some(&mut dev, 16).is_err());
+        assert_eq!(bc.dirty_blocks(), 8, "healthy run drained, faulty retained");
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(64, &mut raw).unwrap();
+        assert_eq!(raw, [5u8; BLOCK_SIZE]);
+        dev.clear_faults();
+        assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 8);
+        assert_eq!(bc.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn eviction_flushes_a_metadata_blocks_dependencies_first() {
+        let mut dev = MemDisk::new(8192);
+        // Tiny cache so writes force evictions: 2 shards x 2 extents.
+        let mut bc = BufCache::with_geometry(2, 2);
+        // A dirty metadata block depending on dirty data elsewhere.
+        bc.write(&mut dev, 0, &[8u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(0, 1);
+        bc.write(&mut dev, 40, &[9u8; BLOCK_SIZE]).unwrap();
+        bc.add_dependency(0, 1, 40, 1);
+        // Stream enough new extents through to evict everything.
+        let data = vec![1u8; BLOCK_SIZE];
+        for lba in 1000..1100 {
+            bc.write(&mut dev, lba, &data).unwrap();
+        }
+        // Whenever the metadata block was evicted, its dependency had to be
+        // written first — both are on the device and consistent.
+        let mut raw = [0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut raw).unwrap();
+        assert_eq!(raw, [8u8; BLOCK_SIZE]);
+        dev.read_block(40, &mut raw).unwrap();
+        assert_eq!(raw, [9u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn meta_txn_records_touched_metadata_and_pins_it() {
+        let mut dev = MemDisk::new(256);
+        let mut bc = BufCache::default();
+        bc.begin_meta_txn();
+        bc.write(&mut dev, 33, &[1u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(33, 1);
+        bc.write(&mut dev, 7, &[2u8; BLOCK_SIZE]).unwrap();
+        bc.note_metadata(7, 1);
+        bc.note_metadata(7, 1); // duplicates collapse
+        assert_eq!(bc.meta_txn_touched(), vec![7, 33]);
+        bc.end_meta_txn();
+        assert!(bc.meta_txn_touched().is_empty());
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!
 //! The cache is write-back: callers that need the card itself up to date
 //! (unmount, `fsync`) call [`crate::bufcache::BufCache::flush`].
+//!
+//! **Crash consistency** (an extension beyond the paper, which excludes it
+//! in §5.4): writes to new files dirty the cache with write-order
+//! dependencies — data clusters before the FAT entries mapping them, both
+//! before the dirent that publishes the file — so the ordered drain can be
+//! cut by a power loss at any block boundary (or torn mid-CMD25) and a
+//! remount sees either the old tree or the complete file. Multi-sector
+//! metadata updates whose safe order is cyclic at sector granularity
+//! (mkdir, [`Fat32::rename`], [`Fat32::remove`], overwriting an existing
+//! file, directory extension) instead commit through a tiny physical redo
+//! log in the reserved region ([`INTENT_LOG_START`]) that [`Fat32::mount`]
+//! replays: those operations are atomic and durable on return.
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::bufcache::BufCache;
@@ -51,6 +63,19 @@ pub const ATTR_ARCHIVE: u8 = 0x20;
 /// the temporary transfer buffer while still amortising the per-command
 /// latency over a long run.
 pub const MAX_RUN_CLUSTERS: usize = 32;
+/// First sector of the on-volume intent log, in the reserved region right
+/// after the boot sector.
+pub const INTENT_LOG_START: u64 = 1;
+/// Sectors reserved for the intent log: one header plus up to
+/// [`INTENT_LOG_PAYLOAD`] logged metadata sectors. Sized to the whole
+/// usable reserved region so one record covers the FAT sectors of both
+/// chains of a ~7 MB file overwrite (a FAT sector maps 128 clusters =
+/// 512 KB); larger transactions fall back to an edge-ordered flush.
+pub const INTENT_LOG_SECTORS: u64 = 30;
+/// Maximum metadata sectors one logged transaction can carry.
+pub const INTENT_LOG_PAYLOAD: usize = (INTENT_LOG_SECTORS - 1) as usize;
+/// Magic bytes opening a committed intent-log header.
+const INTENT_MAGIC: &[u8; 8] = b"PROTOLOG";
 /// Initial read-ahead window for a newly detected sequential stream (32 KB).
 /// The window doubles as the streak grows — the classic readahead ramp — up
 /// to [`MAX_PREFETCH_CLUSTERS`], so a steady stream's demand reads are fully
@@ -93,7 +118,23 @@ pub struct Bpb {
 #[derive(Debug, Clone)]
 pub struct Fat32 {
     bpb: Bpb,
+    /// Whether multi-sector metadata updates (mkdir, rename, remove, file
+    /// overwrite) are made atomic through the on-volume intent log. On by
+    /// default when the reserved region has room for the log area.
+    intent_log: bool,
 }
+
+/// FNV-1a over `data`, continuing from `h` (seed with [`FNV_OFFSET`]).
+fn fnv1a(data: &[u8], mut h: u32) -> u32 {
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u32 = 0x811C_9DC5;
 
 fn encode_83(name: &str) -> FsResult<[u8; 11]> {
     if !path::valid_name(name) {
@@ -186,21 +227,40 @@ impl Fat32 {
         boot[510] = 0x55;
         boot[511] = 0xAA;
         bc.write(dev, 0, &boot)?;
-        // Zero the FAT.
+        bc.note_metadata(0, 1);
+        // An empty intent-log header: a reformat must not leave a stale
+        // committed record from the volume's previous life. The log area is
+        // accessed directly (never through the cache) so the commit protocol
+        // can order its writes against the cache's own flushes.
         let zero = vec![0u8; BLOCK_SIZE];
+        dev.write_block(INTENT_LOG_START, &zero)?;
+        // Zero the FAT.
         for s in 0..sectors_per_fat {
             bc.write(dev, (fat_start + s) as u64, &zero)?;
+            bc.note_metadata((fat_start + s) as u64, 1);
         }
-        let fs = Fat32 { bpb };
+        let fs = Fat32 {
+            bpb,
+            intent_log: Self::log_fits(&bpb),
+        };
         // Reserve clusters 0 and 1, allocate the root directory cluster.
         fs.fat_set(dev, bc, 0, 0x0FFF_FFF8)?;
         fs.fat_set(dev, bc, 1, FAT_EOC)?;
         fs.fat_set(dev, bc, bpb.root_cluster, FAT_EOC)?;
         fs.zero_cluster(dev, bc, bpb.root_cluster)?;
+        let root_sector = fs.cluster_to_sector(bpb.root_cluster);
+        bc.note_metadata(root_sector, SECTORS_PER_CLUSTER as u64);
         Ok(fs)
     }
 
-    /// Mounts an existing FAT32 volume by parsing its boot sector.
+    /// Whether the reserved region leaves room for the intent log.
+    fn log_fits(bpb: &Bpb) -> bool {
+        bpb.fat_start as u64 >= INTENT_LOG_START + INTENT_LOG_SECTORS
+    }
+
+    /// Mounts an existing FAT32 volume by parsing (and validating) its boot
+    /// sector, then replaying any committed intent-log record left by a
+    /// power cut in the middle of a multi-sector metadata update.
     pub fn mount(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Fat32> {
         let mut boot = vec![0u8; BLOCK_SIZE];
         bc.read(dev, 0, &mut boot)?;
@@ -210,27 +270,236 @@ impl Fat32 {
         if &boot[82..87] != b"FAT32" {
             return Err(FsError::Corrupt("not a FAT32 volume".into()));
         }
+        if boot[13] != SECTORS_PER_CLUSTER as u8 {
+            return Err(FsError::Corrupt(format!(
+                "unsupported sectors-per-cluster {}",
+                boot[13]
+            )));
+        }
         let total_sectors = u32::from_le_bytes([boot[32], boot[33], boot[34], boot[35]]);
         let sectors_per_fat = u32::from_le_bytes([boot[36], boot[37], boot[38], boot[39]]);
         let fat_start = u16::from_le_bytes([boot[14], boot[15]]) as u32;
         let root_cluster = u32::from_le_bytes([boot[44], boot[45], boot[46], boot[47]]);
-        let data_start = fat_start + sectors_per_fat;
+        // A corrupt BPB must surface as `Corrupt`, never as an arithmetic
+        // panic or an absurd allocation during remount.
+        if fat_start == 0 || sectors_per_fat == 0 {
+            return Err(FsError::Corrupt("BPB has an empty FAT region".into()));
+        }
+        let data_start = fat_start
+            .checked_add(sectors_per_fat)
+            .ok_or_else(|| FsError::Corrupt("BPB FAT region overflows".into()))?;
+        if data_start >= total_sectors {
+            return Err(FsError::Corrupt(
+                "BPB data area starts beyond the volume".into(),
+            ));
+        }
+        if total_sectors as u64 > dev.num_blocks() {
+            return Err(FsError::Corrupt(format!(
+                "BPB claims {total_sectors} sectors but the device holds {}",
+                dev.num_blocks()
+            )));
+        }
         let cluster_count = (total_sectors - data_start) / SECTORS_PER_CLUSTER;
-        Ok(Fat32 {
-            bpb: Bpb {
-                total_sectors,
-                sectors_per_fat,
-                fat_start,
-                data_start,
-                root_cluster,
-                cluster_count,
-            },
-        })
+        if cluster_count == 0 {
+            return Err(FsError::Corrupt("BPB has no data clusters".into()));
+        }
+        if !(FIRST_CLUSTER..FIRST_CLUSTER + cluster_count).contains(&root_cluster) {
+            return Err(FsError::Corrupt(format!(
+                "root cluster {root_cluster} outside the data area"
+            )));
+        }
+        let bpb = Bpb {
+            total_sectors,
+            sectors_per_fat,
+            fat_start,
+            data_start,
+            root_cluster,
+            cluster_count,
+        };
+        let fs = Fat32 {
+            bpb,
+            intent_log: Self::log_fits(&bpb),
+        };
+        if fs.intent_log {
+            fs.replay_intent_log(dev, bc)?;
+        }
+        Ok(fs)
+    }
+
+    /// Enables or disables the intent log for multi-sector metadata updates
+    /// (the crash-consistency ablation switch; replay at mount always runs
+    /// when a committed record exists).
+    pub fn set_intent_log(&mut self, on: bool) {
+        self.intent_log = on && Self::log_fits(&self.bpb);
+    }
+
+    /// Whether multi-sector metadata updates go through the intent log.
+    pub fn intent_log_enabled(&self) -> bool {
+        self.intent_log
     }
 
     /// The parsed BPB.
     pub fn bpb(&self) -> Bpb {
         self.bpb
+    }
+
+    // ---- the intent log ------------------------------------------------------------------------
+    //
+    // A tiny physical redo log for multi-sector metadata updates (mkdir,
+    // rename, remove, file overwrite): the final contents of every metadata
+    // sector the operation touches are written to a reserved log area, a
+    // single-sector checksummed header commits the record atomically, and
+    // only then do the home sectors get written. A power cut before the
+    // commit leaves the old tree; a cut after it is repaired by replaying
+    // the record at mount. Data clusters the metadata references are flushed
+    // *before* the commit, so a replayed record never resurrects pointers to
+    // unwritten data.
+
+    /// Builds the checksummed header sector for a committed record.
+    fn intent_header(targets: &[u64], payloads: &[Vec<u8>]) -> Vec<u8> {
+        let mut hdr = vec![0u8; BLOCK_SIZE];
+        hdr[0..8].copy_from_slice(INTENT_MAGIC);
+        hdr[8..12].copy_from_slice(&(targets.len() as u32).to_le_bytes());
+        for (i, t) in targets.iter().enumerate() {
+            let o = 16 + i * 8;
+            hdr[o..o + 8].copy_from_slice(&t.to_le_bytes());
+        }
+        let mut sum = fnv1a(&hdr[8..12], FNV_OFFSET);
+        sum = fnv1a(&hdr[16..16 + targets.len() * 8], sum);
+        for p in payloads {
+            sum = fnv1a(p, sum);
+        }
+        hdr[12..16].copy_from_slice(&sum.to_le_bytes());
+        hdr
+    }
+
+    /// Replays a committed intent-log record onto its home sectors, then
+    /// clears the header. A record that fails validation (torn commit, stale
+    /// garbage) is ignored: the pre-transaction tree is the consistent one.
+    fn replay_intent_log(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<()> {
+        let mut hdr = vec![0u8; BLOCK_SIZE];
+        dev.read_block(INTENT_LOG_START, &mut hdr)?;
+        if &hdr[0..8] != INTENT_MAGIC {
+            return Ok(());
+        }
+        let count = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]) as usize;
+        if count == 0 || count > INTENT_LOG_PAYLOAD {
+            return Ok(());
+        }
+        let mut targets = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = 16 + i * 8;
+            let t = u64::from_le_bytes([
+                hdr[o],
+                hdr[o + 1],
+                hdr[o + 2],
+                hdr[o + 3],
+                hdr[o + 4],
+                hdr[o + 5],
+                hdr[o + 6],
+                hdr[o + 7],
+            ]);
+            // A record naming the boot sector, the log itself, or space
+            // beyond the volume is not one we wrote.
+            if t < INTENT_LOG_START + INTENT_LOG_SECTORS || t >= self.bpb.total_sectors as u64 {
+                return Ok(());
+            }
+            targets.push(t);
+        }
+        let mut payloads = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut p = vec![0u8; BLOCK_SIZE];
+            dev.read_block(INTENT_LOG_START + 1 + i as u64, &mut p)?;
+            payloads.push(p);
+        }
+        let mut sum = fnv1a(&hdr[8..12], FNV_OFFSET);
+        sum = fnv1a(&hdr[16..16 + count * 8], sum);
+        for p in &payloads {
+            sum = fnv1a(p, sum);
+        }
+        if sum != u32::from_le_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]) {
+            return Ok(());
+        }
+        // Redo the home-sector writes (idempotent: the payloads are final
+        // contents) through the cache so any cached copies stay coherent.
+        for (t, p) in targets.iter().zip(&payloads) {
+            bc.write(dev, *t, p)?;
+            bc.note_metadata(*t, 1);
+        }
+        bc.flush(dev)?;
+        let zero = vec![0u8; BLOCK_SIZE];
+        dev.write_block(INTENT_LOG_START, &zero)?;
+        dev.flush()
+    }
+
+    /// Commits the metadata sectors a transaction touched: flushes the data
+    /// they reference, writes + commits the log record, drains the home
+    /// sectors, and clears the record. Falls back to a plain synchronous
+    /// flush when the log is disabled or the transaction outgrows the log
+    /// area (overwrite/remove of a file past ~7 MB). The fallback loses
+    /// torn-update atomicity, and because such transactions carry
+    /// intentionally cyclic ordering edges (frees ≺ dirent ≺ new FAT on
+    /// shared FAT sectors), a cut during the flush's forced cycle-break can
+    /// in the worst case expose the old dirent with partially freed chain —
+    /// the residual gap ROADMAP.md records against a future group-commit
+    /// log.
+    fn intent_commit(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        touched: &[u64],
+    ) -> FsResult<()> {
+        if !self.intent_log || touched.is_empty() || touched.len() > INTENT_LOG_PAYLOAD {
+            return bc.flush(dev);
+        }
+        // Capture the final contents first: all sectors are cached (and
+        // pinned by the open transaction), so these reads are pure hits.
+        let mut payloads = Vec::with_capacity(touched.len());
+        for &lba in touched {
+            let mut p = vec![0u8; BLOCK_SIZE];
+            bc.read(dev, lba, &mut p)?;
+            payloads.push(p);
+        }
+        // The clusters this metadata references must be durable before a
+        // committed record can point at them.
+        bc.flush_data(dev)?;
+        for (i, p) in payloads.iter().enumerate() {
+            dev.write_block(INTENT_LOG_START + 1 + i as u64, p)?;
+        }
+        let hdr = Self::intent_header(touched, &payloads);
+        dev.write_block(INTENT_LOG_START, &hdr)?;
+        dev.flush()?; // commit point
+                      // Past the commit point the record repairs any torn home write, so
+                      // the logged sectors' (deliberately cyclic) ordering edges can go —
+                      // otherwise the home drain would trip the forced-cycle escape hatch
+                      // for an update that is in fact fully protected.
+        bc.clear_dependencies(touched);
+        bc.flush(dev)?; // home sectors (ordered drain)
+        let zero = vec![0u8; BLOCK_SIZE];
+        dev.write_block(INTENT_LOG_START, &zero)?;
+        dev.flush()
+    }
+
+    /// Runs `f` as an intent-log transaction: opens the cache's metadata
+    /// recorder, commits the touched sectors through the log on success, and
+    /// always closes the recorder (releasing its eviction pins). Every
+    /// logged operation goes through here so no path can forget half of the
+    /// begin / commit / end protocol.
+    fn with_meta_txn<R>(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        f: impl FnOnce(&Self, &mut dyn BlockDevice, &mut BufCache) -> FsResult<R>,
+    ) -> FsResult<R> {
+        bc.begin_meta_txn();
+        let result = f(self, dev, bc);
+        let touched = bc.meta_txn_touched();
+        let result = match result {
+            Ok(v) => self.intent_commit(dev, bc, &touched).map(|()| v),
+            Err(e) => Err(e),
+        };
+        bc.end_meta_txn();
+        result
     }
 
     // ---- FAT access ---------------------------------------------------------------------------
@@ -243,7 +512,20 @@ impl Fat32 {
         )
     }
 
+    /// Rejects FAT indices whose entry would fall outside the FAT region —
+    /// a corrupt chain must not silently read or scribble on the data area.
+    fn check_fat_index(&self, cluster: u32) -> FsResult<()> {
+        let (sector, _) = self.fat_sector_of(cluster);
+        if sector >= self.bpb.data_start as u64 {
+            return Err(FsError::Corrupt(format!(
+                "FAT entry for cluster {cluster} lies outside the FAT region"
+            )));
+        }
+        Ok(())
+    }
+
     fn fat_get(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, cluster: u32) -> FsResult<u32> {
+        self.check_fat_index(cluster)?;
         let (sector, off) = self.fat_sector_of(cluster);
         let mut buf = vec![0u8; BLOCK_SIZE];
         bc.read(dev, sector, &mut buf)?;
@@ -257,22 +539,90 @@ impl Fat32 {
         cluster: u32,
         value: u32,
     ) -> FsResult<()> {
+        self.check_fat_index(cluster)?;
         let (sector, off) = self.fat_sector_of(cluster);
         let mut buf = vec![0u8; BLOCK_SIZE];
         bc.read(dev, sector, &mut buf)?;
         buf[off..off + 4].copy_from_slice(&(value & 0x0FFF_FFFF).to_le_bytes());
-        bc.write(dev, sector, &buf)
+        bc.write(dev, sector, &buf)?;
+        bc.note_metadata(sector, 1);
+        Ok(())
     }
 
-    fn alloc_cluster(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+    /// Allocates a free cluster, marks it end-of-chain and zero-fills it.
+    /// `for_metadata` classifies the fresh cluster's contents as metadata
+    /// (directory clusters) so the ordered drain treats its dirents as such.
+    fn alloc_cluster(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        for_metadata: bool,
+    ) -> FsResult<u32> {
         for c in FIRST_CLUSTER..FIRST_CLUSTER + self.bpb.cluster_count {
             if self.fat_get(dev, bc, c)? == FAT_FREE {
                 self.fat_set(dev, bc, c, FAT_EOC)?;
                 self.zero_cluster(dev, bc, c)?;
+                if for_metadata {
+                    bc.note_metadata(self.cluster_to_sector(c), SECTORS_PER_CLUSTER as u64);
+                }
+                // The FAT entry claiming the cluster must not land before
+                // the cluster's (zeroed) contents: a chain must never gain a
+                // cluster of stale bytes.
+                let (fat_sector, _) = self.fat_sector_of(c);
+                bc.add_dependency(
+                    fat_sector,
+                    1,
+                    self.cluster_to_sector(c),
+                    SECTORS_PER_CLUSTER as u64,
+                );
                 return Ok(c);
             }
         }
         Err(FsError::NoSpace)
+    }
+
+    /// Allocates and links an `n`-cluster chain, unwinding the allocation on
+    /// failure so a mid-flight `NoSpace` (or I/O error) never leaks
+    /// half-built chains into the FAT.
+    fn alloc_chain(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        n: usize,
+        for_metadata: bool,
+    ) -> FsResult<Vec<u32>> {
+        let mut clusters = Vec::with_capacity(n);
+        let unwind =
+            |fs: &Fat32, dev: &mut dyn BlockDevice, bc: &mut BufCache, clusters: &[u32]| {
+                for &c in clusters {
+                    // Best-effort: the clusters were EOC-marked singletons.
+                    let _ = fs.fat_set(dev, bc, c, FAT_FREE);
+                }
+            };
+        for _ in 0..n {
+            match self.alloc_cluster(dev, bc, for_metadata) {
+                Ok(c) => clusters.push(c),
+                Err(e) => {
+                    unwind(self, dev, bc, &clusters);
+                    return Err(e);
+                }
+            }
+        }
+        for w in clusters.windows(2) {
+            if let Err(e) = self.fat_set(dev, bc, w[0], w[1]) {
+                unwind(self, dev, bc, &clusters);
+                return Err(e);
+            }
+        }
+        Ok(clusters)
+    }
+
+    /// Frees an allocated (but not yet referenced) chain — the unwind path
+    /// for operations that fail after [`Fat32::alloc_chain`] succeeded.
+    fn unwind_chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, clusters: &[u32]) {
+        for &c in clusters {
+            let _ = self.fat_set(dev, bc, c, FAT_FREE);
+        }
     }
 
     fn free_chain(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, first: u32) -> FsResult<()> {
@@ -301,6 +651,11 @@ impl Fat32 {
         let mut c = first;
         let limit = self.bpb.cluster_count as usize + 2;
         while (FIRST_CLUSTER..0x0FFF_FFF8).contains(&c) {
+            if c >= FIRST_CLUSTER + self.bpb.cluster_count {
+                return Err(FsError::Corrupt(format!(
+                    "FAT chain references cluster {c} beyond the data area"
+                )));
+            }
             out.push(c);
             if out.len() > limit {
                 return Err(FsError::Corrupt("FAT chain cycle".into()));
@@ -350,18 +705,6 @@ impl Fat32 {
         bc.read_range(dev, sector, SECTORS_PER_CLUSTER as u64, out)
     }
 
-    fn write_cluster(
-        &self,
-        dev: &mut dyn BlockDevice,
-        bc: &mut BufCache,
-        cluster: u32,
-        data: &[u8],
-    ) -> FsResult<()> {
-        debug_assert_eq!(data.len(), CLUSTER_SIZE);
-        let sector = self.cluster_to_sector(cluster);
-        bc.write_range(dev, sector, SECTORS_PER_CLUSTER as u64, data)
-    }
-
     // ---- directories --------------------------------------------------------------------------------
 
     fn read_dir_cluster_entries(
@@ -400,6 +743,10 @@ impl Fat32 {
         Ok(out)
     }
 
+    /// Writes one 32-byte directory entry via a read-modify-write of the
+    /// single sector containing it (an entry never straddles sectors), so
+    /// every dirent update is one atomic device command. Returns the sector
+    /// LBA so callers can order it after the blocks the entry references.
     fn write_dirent(
         &self,
         dev: &mut dyn BlockDevice,
@@ -407,20 +754,19 @@ impl Fat32 {
         cluster: u32,
         offset: usize,
         raw: &[u8; DIRENT_SIZE],
-    ) -> FsResult<()> {
-        let mut buf = vec![0u8; CLUSTER_SIZE];
-        self.read_cluster(dev, bc, cluster, &mut buf)?;
-        buf[offset..offset + DIRENT_SIZE].copy_from_slice(raw);
-        self.write_cluster(dev, bc, cluster, &buf)
+    ) -> FsResult<u64> {
+        let sector = self.cluster_to_sector(cluster) + (offset / BLOCK_SIZE) as u64;
+        let in_sector = offset % BLOCK_SIZE;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        bc.read(dev, sector, &mut buf)?;
+        buf[in_sector..in_sector + DIRENT_SIZE].copy_from_slice(raw);
+        bc.write(dev, sector, &buf)?;
+        bc.note_metadata(sector, 1);
+        Ok(sector)
     }
 
-    fn dir_add_entry(
-        &self,
-        dev: &mut dyn BlockDevice,
-        bc: &mut BufCache,
-        dir_cluster: u32,
-        entry: &FatEntry,
-    ) -> FsResult<()> {
+    /// Encodes `entry` as a raw 32-byte 8.3 directory entry.
+    fn encode_dirent(entry: &FatEntry) -> FsResult<[u8; DIRENT_SIZE]> {
         let name83 = encode_83(&entry.name)?;
         let mut raw = [0u8; DIRENT_SIZE];
         raw[..11].copy_from_slice(&name83);
@@ -432,6 +778,19 @@ impl Fat32 {
         raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
         raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
         raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
+        Ok(raw)
+    }
+
+    /// Adds `entry` to the directory, extending its chain if no slot is
+    /// free. Returns the sector holding the new dirent.
+    fn dir_add_entry(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        dir_cluster: u32,
+        entry: &FatEntry,
+    ) -> FsResult<u64> {
+        let raw = Self::encode_dirent(entry)?;
         // Find a free slot in the existing chain.
         for cluster in self.chain(dev, bc, dir_cluster)? {
             let mut buf = vec![0u8; CLUSTER_SIZE];
@@ -443,14 +802,48 @@ impl Fat32 {
                 }
             }
         }
-        // No free slot: extend the directory with a new cluster.
+        // No free slot: extend the directory with a new cluster — a
+        // multi-sector metadata update (FAT link + EOC + cluster contents +
+        // dirent) that runs as its own intent-log transaction unless the
+        // caller already opened one. Leaving it async would let a later
+        // file's dirent-ordering edges form a cycle with the extension's
+        // FAT-before-contents edge whenever they share a FAT sector.
         let chain = self.chain(dev, bc, dir_cluster)?;
         let last = *chain
             .last()
             .ok_or_else(|| FsError::Corrupt("empty dir chain".into()))?;
-        let newc = self.alloc_cluster(dev, bc)?;
-        self.fat_set(dev, bc, last, newc)?;
-        self.write_dirent(dev, bc, newc, 0, &raw)
+        if bc.meta_txn_active() {
+            self.extend_dir_with_entry(dev, bc, last, &raw)
+        } else {
+            self.with_meta_txn(dev, bc, |fs, dev, bc| {
+                fs.extend_dir_with_entry(dev, bc, last, &raw)
+            })
+        }
+    }
+
+    /// Splices a fresh cluster onto the directory chain and writes `raw` as
+    /// its first dirent; returns the dirent's sector. Runs inside a
+    /// metadata transaction.
+    fn extend_dir_with_entry(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        last: u32,
+        raw: &[u8; DIRENT_SIZE],
+    ) -> FsResult<u64> {
+        let newc = self.alloc_cluster(dev, bc, true)?;
+        if let Err(e) = self.fat_set(dev, bc, last, newc) {
+            self.unwind_chain(dev, bc, &[newc]);
+            return Err(e);
+        }
+        let (link_sector, _) = self.fat_sector_of(last);
+        bc.add_dependency(
+            link_sector,
+            1,
+            self.cluster_to_sector(newc),
+            SECTORS_PER_CLUSTER as u64,
+        );
+        self.write_dirent(dev, bc, newc, 0, raw)
     }
 
     fn dir_find(
@@ -510,6 +903,12 @@ impl Fat32 {
     }
 
     /// Creates an empty file or directory at `p`.
+    ///
+    /// File creation is a single-sector dirent write (atomic by itself) and
+    /// stays asynchronous under the ordered write-back drain. Directory
+    /// creation spans the parent dirent plus the child's FAT entry and
+    /// cluster — a multi-sector metadata update — so it runs as an
+    /// intent-log transaction (mkdir is atomic and durable on return).
     pub fn create(
         &self,
         dev: &mut dyn BlockDevice,
@@ -529,21 +928,48 @@ impl Fat32 {
         {
             return Err(FsError::AlreadyExists(p.to_string()));
         }
-        let first_cluster = if is_dir {
-            self.alloc_cluster(dev, bc)?
-        } else {
-            0
-        };
-        let entry = FatEntry {
-            name: name.to_ascii_uppercase(),
-            is_dir,
-            size: 0,
-            first_cluster,
-        };
-        self.dir_add_entry(dev, bc, parent_entry.first_cluster, &entry)?;
-        Ok(entry)
+        if !is_dir {
+            let entry = FatEntry {
+                name: name.to_ascii_uppercase(),
+                is_dir: false,
+                size: 0,
+                first_cluster: 0,
+            };
+            self.dir_add_entry(dev, bc, parent_entry.first_cluster, &entry)?;
+            return Ok(entry);
+        }
+        self.with_meta_txn(dev, bc, |fs, dev, bc| {
+            let first_cluster = fs.alloc_cluster(dev, bc, true)?;
+            let entry = FatEntry {
+                name: name.to_ascii_uppercase(),
+                is_dir: true,
+                size: 0,
+                first_cluster,
+            };
+            let dirent_sector = match fs.dir_add_entry(dev, bc, parent_entry.first_cluster, &entry)
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    fs.unwind_chain(dev, bc, &[first_cluster]);
+                    return Err(e);
+                }
+            };
+            // Belt and braces for the no-log fallback: the parent dirent
+            // must follow the child's FAT entry and cluster contents.
+            let (fat_sector, _) = fs.fat_sector_of(first_cluster);
+            bc.add_dependency(dirent_sector, 1, fat_sector, 1);
+            bc.add_dependency(
+                dirent_sector,
+                1,
+                fs.cluster_to_sector(first_cluster),
+                SECTORS_PER_CLUSTER as u64,
+            );
+            Ok(entry)
+        })
     }
 
+    /// Rewrites the dirent for `p` with a new chain head and size, returning
+    /// the sector holding the entry.
     fn update_dirent_for(
         &self,
         dev: &mut dyn BlockDevice,
@@ -551,7 +977,7 @@ impl Fat32 {
         p: &str,
         new_first_cluster: u32,
         new_size: u32,
-    ) -> FsResult<()> {
+    ) -> FsResult<u64> {
         let (parent, name) =
             path::split_parent(p).ok_or_else(|| FsError::Invalid("root has no dirent".into()))?;
         let parent_entry = self.lookup(dev, bc, &parent)?;
@@ -559,17 +985,7 @@ impl Fat32 {
             self.dir_find(dev, bc, parent_entry.first_cluster, &name)?;
         entry.first_cluster = new_first_cluster;
         entry.size = new_size;
-        let name83 = encode_83(&entry.name)?;
-        let mut raw = [0u8; DIRENT_SIZE];
-        raw[..11].copy_from_slice(&name83);
-        raw[11] = if entry.is_dir {
-            ATTR_DIRECTORY
-        } else {
-            ATTR_ARCHIVE
-        };
-        raw[20..22].copy_from_slice(&((entry.first_cluster >> 16) as u16).to_le_bytes());
-        raw[26..28].copy_from_slice(&(entry.first_cluster as u16).to_le_bytes());
-        raw[28..32].copy_from_slice(&entry.size.to_le_bytes());
+        let raw = Self::encode_dirent(&entry)?;
         self.write_dirent(dev, bc, cluster, offset, &raw)
     }
 
@@ -577,6 +993,17 @@ impl Fat32 {
 
     /// Writes `data` as the complete contents of the file at `p`, creating it
     /// if necessary (existing contents are replaced).
+    ///
+    /// A write to a *new* (or empty) file stays fully asynchronous: the data
+    /// clusters, the FAT entries and finally the dirent are dirtied in the
+    /// cache with write-order dependencies (`data ≺ FAT ≺ dirent`), so the
+    /// ordered drain — background or fsync — can never expose a dirent
+    /// pointing at unwritten clusters; until the dirent lands, a power cut
+    /// simply yields the old tree. Overwriting a file that already has a
+    /// chain additionally frees old FAT entries — a multi-sector metadata
+    /// update with an ordering cycle no drain order can solve — so it runs
+    /// as an intent-log transaction: atomic (old or new contents, never a
+    /// mix) and durable on return.
     pub fn write_file(
         &self,
         dev: &mut dyn BlockDevice,
@@ -590,29 +1017,149 @@ impl Fat32 {
             Err(FsError::NotFound(_)) => self.create(dev, bc, p, false)?,
             Err(e) => return Err(e),
         };
-        // Free the old chain and build a new one.
-        if entry.first_cluster != 0 {
-            self.free_chain(dev, bc, entry.first_cluster)?;
+        if entry.first_cluster == 0 {
+            return self.write_new_contents(dev, bc, p, data);
         }
+        self.with_meta_txn(dev, bc, |fs, dev, bc| {
+            fs.rewrite_contents(dev, bc, p, entry.first_cluster, data)
+        })
+    }
+
+    /// The asynchronous new-file write: allocate, fill, link, then publish
+    /// via the dirent, with write-order dependencies registered so the drain
+    /// commits the file bottom-up.
+    fn write_new_contents(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        data: &[u8],
+    ) -> FsResult<()> {
         if data.is_empty() {
-            return self.update_dirent_for(dev, bc, p, 0, 0);
+            self.update_dirent_for(dev, bc, p, 0, 0)?;
+            return Ok(());
         }
-        let nclusters = data.len().div_ceil(CLUSTER_SIZE);
-        let mut clusters = Vec::with_capacity(nclusters);
-        for _ in 0..nclusters {
-            clusters.push(self.alloc_cluster(dev, bc)?);
+        let clusters = self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false)?;
+        if let Err(e) = self.write_chain_data(dev, bc, &clusters, data) {
+            self.unwind_chain(dev, bc, &clusters);
+            return Err(e);
         }
-        for w in clusters.windows(2) {
-            self.fat_set(dev, bc, w[0], w[1])?;
+        // data ≺ FAT: no FAT sector of the chain may land before the
+        // clusters it maps.
+        let data_runs = cluster_runs(&clusters);
+        let fat_sectors: std::collections::BTreeSet<u64> =
+            clusters.iter().map(|&c| self.fat_sector_of(c).0).collect();
+        for &f in &fat_sectors {
+            for &(first, count) in &data_runs {
+                bc.add_dependency(
+                    f,
+                    1,
+                    self.cluster_to_sector(first),
+                    count as u64 * SECTORS_PER_CLUSTER as u64,
+                );
+            }
         }
-        let last = *clusters
-            .last()
-            .ok_or_else(|| FsError::Corrupt("allocated an empty cluster chain".into()))?;
-        self.fat_set(dev, bc, last, FAT_EOC)?;
-        // Contiguous cluster runs (the common case for a freshly allocated
-        // chain) travel as single multi-cluster commands.
+        // FAT ≺ dirent: the entry publishing the file goes last.
+        let dirent_sector = match self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                self.unwind_chain(dev, bc, &clusters);
+                return Err(e);
+            }
+        };
+        for &f in &fat_sectors {
+            bc.add_dependency(dirent_sector, 1, f, 1);
+        }
+        for &(first, count) in &data_runs {
+            bc.add_dependency(
+                dirent_sector,
+                1,
+                self.cluster_to_sector(first),
+                count as u64 * SECTORS_PER_CLUSTER as u64,
+            );
+        }
+        Ok(())
+    }
+
+    /// Records that the FAT sectors holding a freed chain's entries must
+    /// drain only after the dirent that stopped referencing the chain — the
+    /// tombstone-before-frees order the no-log fallback relies on.
+    fn order_frees_after_dirent(&self, bc: &mut BufCache, old_chain: &[u32], dirent_sector: u64) {
+        let sectors: std::collections::BTreeSet<u64> =
+            old_chain.iter().map(|&c| self.fat_sector_of(c).0).collect();
+        for f in sectors {
+            bc.add_dependency(f, 1, dirent_sector, 1);
+        }
+    }
+
+    /// The logged overwrite: allocate + fill the new chain, swing the
+    /// dirent, then free the old chain — all inside the caller's open
+    /// metadata transaction. Failures before the dirent swings unwind the
+    /// new allocation and leave the old file untouched. Write-order edges
+    /// (`data ≺ new FAT ≺ dirent ≺ old-chain frees`) are registered as well,
+    /// so even a transaction too large for the intent log keeps its safe
+    /// order through the fallback flush (only torn-update atomicity is lost
+    /// there, plus the shared-FAT-sector cycle case the `intent_commit`
+    /// docs describe).
+    fn rewrite_contents(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        p: &str,
+        old_first: u32,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let old_chain = self.chain(dev, bc, old_first)?;
+        if data.is_empty() {
+            let dirent_sector = self.update_dirent_for(dev, bc, p, 0, 0)?;
+            self.free_chain(dev, bc, old_first)?;
+            self.order_frees_after_dirent(bc, &old_chain, dirent_sector);
+            return Ok(());
+        }
+        let clusters = self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false)?;
+        if let Err(e) = self.write_chain_data(dev, bc, &clusters, data) {
+            self.unwind_chain(dev, bc, &clusters);
+            return Err(e);
+        }
+        let dirent_sector = match self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                self.unwind_chain(dev, bc, &clusters);
+                return Err(e);
+            }
+        };
+        for &(first, count) in &cluster_runs(&clusters) {
+            bc.add_dependency(
+                dirent_sector,
+                1,
+                self.cluster_to_sector(first),
+                count as u64 * SECTORS_PER_CLUSTER as u64,
+            );
+        }
+        let new_fat: std::collections::BTreeSet<u64> =
+            clusters.iter().map(|&c| self.fat_sector_of(c).0).collect();
+        for f in new_fat {
+            bc.add_dependency(dirent_sector, 1, f, 1);
+        }
+        self.free_chain(dev, bc, old_first)?;
+        self.order_frees_after_dirent(bc, &old_chain, dirent_sector);
+        Ok(())
+    }
+
+    /// Writes `data` across the chain's clusters, merging contiguous cluster
+    /// runs (the common case for a freshly allocated chain) into single
+    /// multi-cluster commands.
+    fn write_chain_data(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        clusters: &[u32],
+        data: &[u8],
+    ) -> FsResult<()> {
         let mut ci = 0usize;
-        for (first, count) in cluster_runs(&clusters) {
+        for (first, count) in cluster_runs(clusters) {
             let byte_start = ci * CLUSTER_SIZE;
             let run_bytes = count as usize * CLUSTER_SIZE;
             let mut buf = vec![0u8; run_bytes];
@@ -622,7 +1169,7 @@ impl Fat32 {
             bc.write_range(dev, sector, count as u64 * SECTORS_PER_CLUSTER as u64, &buf)?;
             ci += count as usize;
         }
-        self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
+        Ok(())
     }
 
     /// Reads `len` bytes of the file at `p` starting at `offset`.
@@ -716,6 +1263,12 @@ impl Fat32 {
     }
 
     /// Removes the file (or empty directory) at `p`, freeing its clusters.
+    ///
+    /// The dirent tombstone and the FAT frees span multiple sectors whose
+    /// safe order (tombstone first) can cycle against concurrent creates on
+    /// the same sectors, so the whole update runs as an intent-log
+    /// transaction: after a power cut the entry is either fully gone or
+    /// fully intact — never a surviving dirent pointing at freed clusters.
     pub fn remove(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<()> {
         let (parent, name) = path::split_parent(p)
             .ok_or_else(|| FsError::Invalid("cannot remove FAT root".into()))?;
@@ -727,12 +1280,83 @@ impl Fat32 {
                 return Err(FsError::NotEmpty(p.to_string()));
             }
         }
-        if entry.first_cluster != 0 {
-            self.free_chain(dev, bc, entry.first_cluster)?;
+        self.with_meta_txn(dev, bc, |fs, dev, bc| {
+            let mut raw = [0u8; DIRENT_SIZE];
+            raw[0] = 0xE5;
+            let tombstone = fs.write_dirent(dev, bc, cluster, offset, &raw)?;
+            if entry.first_cluster != 0 {
+                // Tombstone-before-frees edges keep the no-log fallback
+                // ordered for chains too large to log.
+                let old_chain = fs.chain(dev, bc, entry.first_cluster)?;
+                fs.free_chain(dev, bc, entry.first_cluster)?;
+                fs.order_frees_after_dirent(bc, &old_chain, tombstone);
+            }
+            Ok(())
+        })
+    }
+
+    /// Renames (or moves) `from` to `to` atomically: the new dirent is
+    /// added, the old one tombstoned, and both land through one intent-log
+    /// transaction — after any power cut exactly one of the two names
+    /// exists, always pointing at the intact chain. Fails if `to` exists.
+    pub fn rename(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        from: &str,
+        to: &str,
+    ) -> FsResult<()> {
+        let (fparent, fname) = path::split_parent(from)
+            .ok_or_else(|| FsError::Invalid("cannot rename FAT root".into()))?;
+        let (tparent, tname) = path::split_parent(to)
+            .ok_or_else(|| FsError::Invalid("cannot rename to FAT root".into()))?;
+        let src_parent = self.lookup(dev, bc, &fparent)?;
+        let (src_cluster, src_offset, src_entry) =
+            self.dir_find(dev, bc, src_parent.first_cluster, &fname)?;
+        // Moving a directory beneath itself would detach it from the tree.
+        if src_entry.is_dir {
+            let from_comps = path::components(from);
+            let to_comps = path::components(to);
+            if to_comps.len() > from_comps.len() && to_comps[..from_comps.len()] == from_comps[..] {
+                return Err(FsError::Invalid(format!(
+                    "cannot move '{from}' beneath itself"
+                )));
+            }
         }
-        let mut raw = [0u8; DIRENT_SIZE];
-        raw[0] = 0xE5;
-        self.write_dirent(dev, bc, cluster, offset, &raw)
+        let dst_parent = self.lookup(dev, bc, &tparent)?;
+        if !dst_parent.is_dir {
+            return Err(FsError::NotADirectory(tparent));
+        }
+        if self
+            .dir_find(dev, bc, dst_parent.first_cluster, &tname)
+            .is_ok()
+        {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        // Validate the destination name before mutating anything.
+        encode_83(&tname)?;
+        self.with_meta_txn(dev, bc, |fs, dev, bc| {
+            let new_entry = FatEntry {
+                name: tname.to_ascii_uppercase(),
+                ..src_entry.clone()
+            };
+            let new_sector = fs.dir_add_entry(dev, bc, dst_parent.first_cluster, &new_entry)?;
+            let mut raw = [0u8; DIRENT_SIZE];
+            raw[0] = 0xE5;
+            // The source coordinates looked up before the txn stay valid:
+            // the target entry only ever fills a free/tombstoned slot.
+            let tombstone = fs.write_dirent(dev, bc, src_cluster, src_offset, &raw)?;
+            // Fallback-defense edges: the new name lands before the old one
+            // disappears, and only after the chain it points at.
+            if tombstone != new_sector {
+                bc.add_dependency(tombstone, 1, new_sector, 1);
+            }
+            if src_entry.first_cluster != 0 {
+                let (f, _) = fs.fat_sector_of(src_entry.first_cluster);
+                bc.add_dependency(new_sector, 1, f, 1);
+            }
+            Ok(())
+        })
     }
 }
 
@@ -961,18 +1585,21 @@ mod tests {
             single_delta <= 16,
             "metadata path issued {single_delta} single-block commands"
         );
-        // The cache's own accounting agrees with the SD host's counters.
+        // The cache's own accounting agrees with the SD host's counters,
+        // modulo the one direct (uncached, by design) intent-log header
+        // probe the mount performs.
         assert_eq!(stats.coalesced_ranges, range_delta);
-        assert_eq!(stats.single_cmds, single_delta);
+        assert_eq!(stats.single_cmds + 1, single_delta);
         // Cluster-run coalescing merges contiguous clusters into fewer, larger
         // commands: well under one command per cluster on a contiguous file.
         assert!(
             range_delta <= nclusters.div_ceil(MAX_RUN_CLUSTERS as u64) + 2,
             "{range_delta} range commands for {nclusters} clusters"
         );
-        // Every miss corresponds to exactly one block fetched from the card.
+        // Every miss corresponds to exactly one block fetched from the card
+        // (plus the direct intent-log header probe).
         let blocks_delta = sd.blocks_transferred() - blocks_before;
-        assert_eq!(stats.misses, blocks_delta);
+        assert_eq!(stats.misses + 1, blocks_delta);
     }
 
     #[test]
@@ -1108,6 +1735,169 @@ mod tests {
             CLUSTER_SIZE,
         );
         assert!(at_fault.is_err(), "fault surfaces on the demand read");
+    }
+
+    #[test]
+    fn rename_moves_files_atomically_between_directories() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.create(&mut dev, &mut bc, "/inbox", true).unwrap();
+        fs.create(&mut dev, &mut bc, "/outbox", true).unwrap();
+        let data = vec![3u8; 10_000];
+        fs.write_file(&mut dev, &mut bc, "/inbox/mail.txt", &data)
+            .unwrap();
+        fs.rename(&mut dev, &mut bc, "/inbox/mail.txt", "/outbox/sent.txt")
+            .unwrap();
+        assert!(matches!(
+            fs.lookup(&mut dev, &mut bc, "/inbox/mail.txt"),
+            Err(FsError::NotFound(_))
+        ));
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/outbox/sent.txt").unwrap(),
+            data
+        );
+        // Renaming onto an existing name is refused, as is moving a
+        // directory beneath itself.
+        fs.write_file(&mut dev, &mut bc, "/outbox/other.txt", b"x")
+            .unwrap();
+        assert!(matches!(
+            fs.rename(&mut dev, &mut bc, "/outbox/other.txt", "/outbox/sent.txt"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(fs
+            .rename(&mut dev, &mut bc, "/inbox", "/inbox/sub")
+            .is_err());
+    }
+
+    #[test]
+    fn committed_intent_log_is_replayed_on_mount() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.write_file(&mut dev, &mut bc, "/a.txt", b"old").unwrap();
+        bc.flush(&mut dev).unwrap();
+        // Hand-craft a committed record renaming the dirent sector contents:
+        // capture the root dir sector, tombstone the entry in the payload.
+        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster);
+        let mut sector = vec![0u8; BLOCK_SIZE];
+        dev.read_block(root_sector, &mut sector).unwrap();
+        sector[0] = 0xE5; // delete /a.txt
+        dev.write_block(INTENT_LOG_START + 1, &sector).unwrap();
+        let hdr = Fat32::intent_header(&[root_sector], &[sector.clone()]);
+        dev.write_block(INTENT_LOG_START, &hdr).unwrap();
+        // Remount: the record is replayed and cleared.
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut dev, &mut bc2).unwrap();
+        assert!(matches!(
+            fs2.lookup(&mut dev, &mut bc2, "/a.txt"),
+            Err(FsError::NotFound(_))
+        ));
+        let mut hdr_after = vec![0u8; BLOCK_SIZE];
+        dev.read_block(INTENT_LOG_START, &mut hdr_after).unwrap();
+        assert_eq!(&hdr_after[0..8], &[0u8; 8], "record cleared after replay");
+        // A second mount replays nothing and still succeeds.
+        let mut bc3 = BufCache::default();
+        Fat32::mount(&mut dev, &mut bc3).unwrap();
+    }
+
+    #[test]
+    fn torn_intent_log_records_are_ignored() {
+        let (mut dev, mut bc, fs) = fresh_volume();
+        fs.write_file(&mut dev, &mut bc, "/keep.txt", b"keep")
+            .unwrap();
+        bc.flush(&mut dev).unwrap();
+        // A header whose checksum does not match its payloads (torn commit).
+        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster);
+        let mut hdr = vec![0u8; BLOCK_SIZE];
+        hdr[0..8].copy_from_slice(INTENT_MAGIC);
+        hdr[8..12].copy_from_slice(&1u32.to_le_bytes());
+        hdr[16..24].copy_from_slice(&root_sector.to_le_bytes());
+        hdr[12..16].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        dev.write_block(INTENT_LOG_START, &hdr).unwrap();
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut dev, &mut bc2).unwrap();
+        assert_eq!(
+            fs2.read_file(&mut dev, &mut bc2, "/keep.txt").unwrap(),
+            b"keep",
+            "torn record ignored, old tree intact"
+        );
+    }
+
+    #[test]
+    fn corrupt_bpbs_fail_mount_cleanly() {
+        let (mut dev, mut bc, _fs) = fresh_volume();
+        bc.flush(&mut dev).unwrap();
+        let mut boot = vec![0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut boot).unwrap();
+        // Data area beyond the volume: total_sectors tiny.
+        let mut bad = boot.clone();
+        bad[32..36].copy_from_slice(&8u32.to_le_bytes());
+        dev.write_block(0, &bad).unwrap();
+        let mut cold = BufCache::default();
+        assert!(matches!(
+            Fat32::mount(&mut dev, &mut cold),
+            Err(FsError::Corrupt(_))
+        ));
+        // Root cluster outside the data area.
+        let mut bad = boot.clone();
+        bad[44..48].copy_from_slice(&0x00FF_FFFF_u32.to_le_bytes());
+        dev.write_block(0, &bad).unwrap();
+        let mut cold = BufCache::default();
+        assert!(matches!(
+            Fat32::mount(&mut dev, &mut cold),
+            Err(FsError::Corrupt(_))
+        ));
+        // Zero-length FAT.
+        let mut bad = boot.clone();
+        bad[36..40].copy_from_slice(&0u32.to_le_bytes());
+        dev.write_block(0, &bad).unwrap();
+        let mut cold = BufCache::default();
+        assert!(matches!(
+            Fat32::mount(&mut dev, &mut cold),
+            Err(FsError::Corrupt(_))
+        ));
+        // The pristine boot sector still mounts.
+        dev.write_block(0, &boot).unwrap();
+        let mut cold = BufCache::default();
+        assert!(Fat32::mount(&mut dev, &mut cold).is_ok());
+    }
+
+    #[test]
+    fn failed_allocation_mid_write_unwinds_and_keeps_the_old_contents() {
+        // Small volume that a big write cannot fit into.
+        let mut dev = MemDisk::new(2048);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+        let free0 = fs.free_clusters(&mut dev, &mut bc).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/v.bin", b"version one")
+            .unwrap();
+        let free1 = fs.free_clusters(&mut dev, &mut bc).unwrap();
+        // Overwrite with more data than the volume holds: NoSpace, the old
+        // contents survive, and no clusters leak.
+        let huge = vec![1u8; 4 * 1024 * 1024];
+        assert!(matches!(
+            fs.write_file(&mut dev, &mut bc, "/v.bin", &huge),
+            Err(FsError::NoSpace)
+        ));
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/v.bin").unwrap(),
+            b"version one"
+        );
+        assert_eq!(
+            fs.free_clusters(&mut dev, &mut bc).unwrap(),
+            free1,
+            "failed overwrite leaked no clusters"
+        );
+        // Same for a brand-new file: nothing visible, nothing leaked.
+        assert!(matches!(
+            fs.write_file(&mut dev, &mut bc, "/n.bin", &huge),
+            Err(FsError::NoSpace)
+        ));
+        assert_eq!(fs.free_clusters(&mut dev, &mut bc).unwrap(), free1);
+        let entry = fs.lookup(&mut dev, &mut bc, "/n.bin").unwrap();
+        assert_eq!(
+            (entry.first_cluster, entry.size),
+            (0, 0),
+            "the created dirent still points nowhere"
+        );
+        let _ = free0;
     }
 
     #[test]

@@ -9,8 +9,17 @@
 //! single-block buffer cache, one block at a time — the performance property
 //! that later motivates FAT32 for multi-megabyte game assets and videos.
 //!
-//! Proto drops xv6's journalling/log layer entirely: the paper excludes crash
-//! consistency as a non-goal (§5.4), so writes go straight through.
+//! Proto drops xv6's journalling/log layer entirely: the paper excludes
+//! crash consistency as a non-goal (§5.4). This reproduction's extension
+//! instead tags metadata blocks (inodes, bitmap, indirect blocks, directory
+//! contents) for the cache's dependency-ordered write-back drain, with
+//! edges ordering an inode after the data and bitmap blocks it references —
+//! so a power cut never exposes an inode pointing at unwritten blocks. Two
+//! torn states remain possible by design (they would need the journal this
+//! filesystem deliberately lacks) and are tolerated instead: a dirent
+//! naming a still-free inode reads as a clean `NotFound`, and in-place
+//! overwrites may land partially. FAT32 — whose dirents embed the chain
+//! head — carries the full atomicity guarantee via its intent log.
 
 use crate::block::{BlockDevice, BLOCK_SIZE as SECTOR_SIZE};
 use crate::bufcache::BufCache;
@@ -222,6 +231,38 @@ impl Xv6Fs {
         Ok(())
     }
 
+    /// Like [`Self::write_fs_block`], but classifies the block as metadata
+    /// for the cache's ordered write-back drain (superblock, inodes, bitmap,
+    /// indirect blocks, directory contents).
+    fn write_meta_fs_block(
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        blockno: u32,
+        data: &[u8],
+    ) -> FsResult<()> {
+        Self::write_fs_block(dev, bc, blockno, data)?;
+        let (lba, n) = Self::block_lbas(blockno);
+        bc.note_metadata(lba, n);
+        Ok(())
+    }
+
+    /// The sector run backing one 1 KB filesystem block.
+    fn block_lbas(blockno: u32) -> (u64, u64) {
+        let spb = (BSIZE / SECTOR_SIZE) as u64;
+        (blockno as u64 * spb, spb)
+    }
+
+    /// The sector run backing the inode block that holds `inum`.
+    fn inode_lbas(&self, inum: u32) -> (u64, u64) {
+        Self::block_lbas(self.sb.inodestart + inum / IPB as u32)
+    }
+
+    /// The sector run backing the bitmap block that covers `blockno`.
+    fn bitmap_lbas(&self, blockno: u32) -> (u64, u64) {
+        let bits_per_block = (BSIZE * 8) as u32;
+        Self::block_lbas(self.sb.bmapstart + blockno / bits_per_block)
+    }
+
     // ---- formatting and mounting -----------------------------------------------------
 
     /// Formats a fresh filesystem with `total_blocks` 1 KB blocks and
@@ -257,12 +298,12 @@ impl Xv6Fs {
         // Zero metadata blocks.
         let zero = vec![0u8; BSIZE];
         for b in 0..datastart {
-            Self::write_fs_block(dev, bc, b, &zero)?;
+            Self::write_meta_fs_block(dev, bc, b, &zero)?;
         }
         // Write superblock.
         let mut sb_block = vec![0u8; BSIZE];
         sb_block[..24].copy_from_slice(&sb.encode());
-        Self::write_fs_block(dev, bc, 0, &sb_block)?;
+        Self::write_meta_fs_block(dev, bc, 0, &sb_block)?;
         // Mark metadata blocks as allocated in the bitmap.
         let fs = Xv6Fs { sb };
         for b in 0..datastart {
@@ -276,10 +317,36 @@ impl Xv6Fs {
         Ok(fs)
     }
 
-    /// Mounts an existing filesystem by reading its superblock.
+    /// Mounts an existing filesystem by reading (and validating) its
+    /// superblock. A corrupt superblock surfaces as [`FsError::Corrupt`] —
+    /// remounting the surviving half of a power-cut image must never panic
+    /// or trigger absurd allocations.
     pub fn mount(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Xv6Fs> {
         let block = Self::read_fs_block(dev, bc, 0)?;
         let sb = SuperBlock::decode(&block[..24])?;
+        let device_fs_blocks = (dev.num_blocks() as usize * SECTOR_SIZE / BSIZE) as u32;
+        if sb.size == 0 || sb.size > device_fs_blocks {
+            return Err(FsError::Corrupt(format!(
+                "superblock claims {} blocks but the device holds {device_fs_blocks}",
+                sb.size
+            )));
+        }
+        if sb.ninodes == 0 {
+            return Err(FsError::Corrupt("superblock has no inodes".into()));
+        }
+        let ninodeblocks = sb.ninodes.div_ceil(IPB as u32);
+        let valid_layout = sb.inodestart >= 1
+            && sb
+                .inodestart
+                .checked_add(ninodeblocks)
+                .is_some_and(|end| end <= sb.bmapstart)
+            && sb.bmapstart < sb.datastart
+            && sb.datastart < sb.size;
+        if !valid_layout {
+            return Err(FsError::Corrupt(
+                "superblock layout regions overlap or exceed the volume".into(),
+            ));
+        }
         Ok(Xv6Fs { sb })
     }
 
@@ -308,7 +375,7 @@ impl Xv6Fs {
         } else {
             data[byte] &= !mask;
         }
-        Self::write_fs_block(dev, bc, bmap_block, &data)
+        Self::write_meta_fs_block(dev, bc, bmap_block, &data)
     }
 
     fn bitmap_get(
@@ -383,7 +450,7 @@ impl Xv6Fs {
         let mut data = Self::read_fs_block(dev, bc, block)?;
         let off = (inum as usize % IPB) * INODE_SIZE;
         data[off..off + INODE_SIZE].copy_from_slice(&ino.encode());
-        Self::write_fs_block(dev, bc, block, &data)
+        Self::write_meta_fs_block(dev, bc, block, &data)
     }
 
     fn ialloc(
@@ -405,21 +472,31 @@ impl Xv6Fs {
         Err(FsError::NoSpace)
     }
 
-    /// Maps a file block index to a disk block, allocating it if `alloc`.
+    /// Maps a file block index of inode `inum` to a disk block, allocating
+    /// it if `alloc`. Allocations register write-order dependencies with the
+    /// cache: the inode (and indirect block) referencing a fresh block must
+    /// not reach the device before the bitmap marks it allocated and before
+    /// the block itself — so a power cut never exposes an inode pointing at
+    /// unwritten or free-in-bitmap blocks.
     fn bmap(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         ino: &mut DiskInode,
+        inum: u32,
         file_block: usize,
         alloc: bool,
     ) -> FsResult<u32> {
+        let (ino_lba, ino_n) = self.inode_lbas(inum);
         if file_block < NDIRECT {
             if ino.addrs[file_block] == 0 {
                 if !alloc {
                     return Ok(0);
                 }
-                ino.addrs[file_block] = self.balloc(dev, bc)?;
+                let b = self.balloc(dev, bc)?;
+                ino.addrs[file_block] = b;
+                let (bm_lba, bm_n) = self.bitmap_lbas(b);
+                bc.add_dependency(ino_lba, ino_n, bm_lba, bm_n);
             }
             return Ok(ino.addrs[file_block]);
         }
@@ -433,9 +510,14 @@ impl Xv6Fs {
             if !alloc {
                 return Ok(0);
             }
-            ino.addrs[NDIRECT] = self.balloc(dev, bc)?;
+            let b = self.balloc(dev, bc)?;
+            ino.addrs[NDIRECT] = b;
+            let (bm_lba, bm_n) = self.bitmap_lbas(b);
+            bc.add_dependency(ino_lba, ino_n, bm_lba, bm_n);
         }
         let ind_block = ino.addrs[NDIRECT];
+        let (ind_lba, ind_n) = Self::block_lbas(ind_block);
+        bc.add_dependency(ino_lba, ino_n, ind_lba, ind_n);
         let mut ind = Self::read_fs_block(dev, bc, ind_block)?;
         let off = idx * 4;
         let mut ptr = u32::from_le_bytes([ind[off], ind[off + 1], ind[off + 2], ind[off + 3]]);
@@ -445,7 +527,11 @@ impl Xv6Fs {
             }
             ptr = self.balloc(dev, bc)?;
             ind[off..off + 4].copy_from_slice(&ptr.to_le_bytes());
-            Self::write_fs_block(dev, bc, ind_block, &ind)?;
+            Self::write_meta_fs_block(dev, bc, ind_block, &ind)?;
+            let (bm_lba, bm_n) = self.bitmap_lbas(ptr);
+            bc.add_dependency(ind_lba, ind_n, bm_lba, bm_n);
+            let (ptr_lba, ptr_n) = Self::block_lbas(ptr);
+            bc.add_dependency(ind_lba, ind_n, ptr_lba, ptr_n);
         }
         Ok(ptr)
     }
@@ -476,7 +562,7 @@ impl Xv6Fs {
             let fb = pos / BSIZE;
             let in_block = pos % BSIZE;
             let chunk = (BSIZE - in_block).min(to_read - done);
-            let disk_block = self.bmap(dev, bc, &mut ino, fb, false)?;
+            let disk_block = self.bmap(dev, bc, &mut ino, inum, fb, false)?;
             if disk_block == 0 {
                 // Hole: reads as zero.
                 buf[done..done + chunk].fill(0);
@@ -509,17 +595,49 @@ impl Xv6Fs {
                 "write to {end} bytes exceeds xv6fs limit of {MAXFILE_BYTES}"
             )));
         }
+        let is_dir = ino.itype == InodeType::Dir;
+        let (ino_lba, ino_n) = self.inode_lbas(inum);
+        let mut touched_blocks: Vec<u32> = Vec::new();
         let mut done = 0usize;
         while done < data.len() {
             let pos = offset as usize + done;
             let fb = pos / BSIZE;
             let in_block = pos % BSIZE;
             let chunk = (BSIZE - in_block).min(data.len() - done);
-            let disk_block = self.bmap(dev, bc, &mut ino, fb, true)?;
+            let disk_block = self.bmap(dev, bc, &mut ino, inum, fb, true)?;
             let mut block = Self::read_fs_block(dev, bc, disk_block)?;
             block[in_block..in_block + chunk].copy_from_slice(&data[done..done + chunk]);
-            Self::write_fs_block(dev, bc, disk_block, &block)?;
+            if is_dir {
+                // Directory contents are dirents — metadata to the ordered
+                // drain.
+                Self::write_meta_fs_block(dev, bc, disk_block, &block)?;
+            } else {
+                Self::write_fs_block(dev, bc, disk_block, &block)?;
+            }
+            touched_blocks.push(disk_block);
             done += chunk;
+        }
+        // The inode (size, addrs) must not land before the contents it
+        // points at. Register the edges once, with adjacent blocks merged
+        // into runs, so a large write records a handful of dependencies
+        // instead of one per kilobyte.
+        touched_blocks.sort_unstable();
+        touched_blocks.dedup();
+        let mut run_start: Option<(u32, u32)> = None;
+        for &b in &touched_blocks {
+            match run_start {
+                Some((first, len)) if first + len == b => run_start = Some((first, len + 1)),
+                Some((first, len)) => {
+                    let (lba, n) = Self::block_lbas(first);
+                    bc.add_dependency(ino_lba, ino_n, lba, len as u64 * n);
+                    run_start = Some((b, 1));
+                }
+                None => run_start = Some((b, 1)),
+            }
+        }
+        if let Some((first, len)) = run_start {
+            let (lba, n) = Self::block_lbas(first);
+            bc.add_dependency(ino_lba, ino_n, lba, len as u64 * n);
         }
         if end as u32 > ino.size {
             ino.size = end as u32;
@@ -550,6 +668,14 @@ impl Xv6Fs {
         let ino = self.read_inode(dev, bc, dir_inum)?;
         if ino.itype != InodeType::Dir {
             return Err(FsError::NotADirectory(format!("inode {dir_inum}")));
+        }
+        if ino.size as usize > MAXFILE_BYTES {
+            // A corrupt inode must not drive a multi-gigabyte allocation
+            // while walking a remounted tree.
+            return Err(FsError::Corrupt(format!(
+                "directory inode {dir_inum} claims impossible size {}",
+                ino.size
+            )));
         }
         let mut raw = vec![0u8; ino.size as usize];
         self.read(dev, bc, dir_inum, 0, &mut raw)?;
@@ -598,6 +724,14 @@ impl Xv6Fs {
         let mut ent = [0u8; DIRENT_SIZE];
         ent[0..4].copy_from_slice(&child_inum.to_le_bytes());
         ent[4..4 + name.len()].copy_from_slice(name.as_bytes());
+        // No dirent → child-inode ordering edge is recorded here: the parent
+        // directory's inode shares its on-disk block with most child inodes
+        // (16 inodes per block), and the parent inode must follow the dirent
+        // content it sizes — a same-block cycle no drain order can satisfy.
+        // xv6fs therefore tolerates the one benign torn state a cut can
+        // leave: a dirent naming a still-free inode, which every reader
+        // reports as a clean `NotFound`. (FAT32, whose dirents carry the
+        // chain head directly, gets the full guarantee instead.)
         self.write(dev, bc, dir_inum, slot_offset, &ent)?;
         Ok(())
     }
@@ -617,14 +751,17 @@ impl Xv6Fs {
             .ok_or_else(|| FsError::NotFound(name.to_string()))
     }
 
+    /// Clears the dirent for `name`, returning the removed entry's inode
+    /// number and the disk block holding the cleared slot (so the caller can
+    /// order the frees after the tombstone).
     fn dir_remove(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         dir_inum: u32,
         name: &str,
-    ) -> FsResult<u32> {
-        let ino = self.read_inode(dev, bc, dir_inum)?;
+    ) -> FsResult<(u32, u32)> {
+        let mut ino = self.read_inode(dev, bc, dir_inum)?;
         let mut raw = vec![0u8; ino.size as usize];
         self.read(dev, bc, dir_inum, 0, &mut raw)?;
         for (i, chunk) in raw.chunks_exact(DIRENT_SIZE).enumerate() {
@@ -638,9 +775,12 @@ impl Xv6Fs {
                 .take_while(|b| *b != 0)
                 .collect();
             if ent_name == name.as_bytes() {
+                let offset = (i * DIRENT_SIZE) as u32;
                 let zero = [0u8; DIRENT_SIZE];
-                self.write(dev, bc, dir_inum, (i * DIRENT_SIZE) as u32, &zero)?;
-                return Ok(inum);
+                self.write(dev, bc, dir_inum, offset, &zero)?;
+                let slot_block =
+                    self.bmap(dev, bc, &mut ino, dir_inum, offset as usize / BSIZE, false)?;
+                return Ok((inum, slot_block));
             }
         }
         Err(FsError::NotFound(name.to_string()))
@@ -702,11 +842,63 @@ impl Xv6Fs {
         if ino.itype == InodeType::Dir && !self.dir_entries(dev, bc, inum)?.is_empty() {
             return Err(FsError::NotEmpty(p.to_string()));
         }
-        self.dir_remove(dev, bc, parent_inum, &name)?;
+        let (_, slot_block) = self.dir_remove(dev, bc, parent_inum, &name)?;
+        // The tombstone must land before the frees: a cut mid-unlink may
+        // leak blocks, but must not leave a live dirent pointing at a freed
+        // inode or at blocks the bitmap already re-offers.
+        let order_after_tombstone = |bc: &mut BufCache, lba: u64, n: u64| {
+            if slot_block != 0 {
+                let (d_lba, d_n) = Self::block_lbas(slot_block);
+                bc.add_dependency(lba, n, d_lba, d_n);
+            }
+        };
         // Free data blocks.
         for i in 0..NDIRECT {
             if ino.addrs[i] != 0 {
                 self.bfree(dev, bc, ino.addrs[i])?;
+                let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[i]);
+                order_after_tombstone(bc, bm_lba, bm_n);
+            }
+        }
+        if ino.addrs[NDIRECT] != 0 {
+            let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
+            for chunk in ind.chunks_exact(4) {
+                let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                if ptr != 0 {
+                    self.bfree(dev, bc, ptr)?;
+                    let (bm_lba, bm_n) = self.bitmap_lbas(ptr);
+                    order_after_tombstone(bc, bm_lba, bm_n);
+                }
+            }
+            self.bfree(dev, bc, ino.addrs[NDIRECT])?;
+            let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[NDIRECT]);
+            order_after_tombstone(bc, bm_lba, bm_n);
+        }
+        ino = DiskInode::empty();
+        self.write_inode(dev, bc, inum, &ino)?;
+        let (ino_lba, ino_n) = self.inode_lbas(inum);
+        order_after_tombstone(bc, ino_lba, ino_n);
+        Ok(())
+    }
+
+    /// Frees every data block of inode `inum` and resets its size to zero
+    /// (the inode stays allocated). The truncation `write_file` relies on —
+    /// without it an overwrite with shorter contents would keep the old tail
+    /// and the old size.
+    pub fn truncate(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        inum: u32,
+    ) -> FsResult<()> {
+        let mut ino = self.read_inode(dev, bc, inum)?;
+        if ino.itype == InodeType::Free {
+            return Err(FsError::NotFound(format!("inode {inum} is free")));
+        }
+        for i in 0..NDIRECT {
+            if ino.addrs[i] != 0 {
+                self.bfree(dev, bc, ino.addrs[i])?;
+                ino.addrs[i] = 0;
             }
         }
         if ino.addrs[NDIRECT] != 0 {
@@ -718,10 +910,10 @@ impl Xv6Fs {
                 }
             }
             self.bfree(dev, bc, ino.addrs[NDIRECT])?;
+            ino.addrs[NDIRECT] = 0;
         }
-        ino = DiskInode::empty();
-        self.write_inode(dev, bc, inum, &ino)?;
-        Ok(())
+        ino.size = 0;
+        self.write_inode(dev, bc, inum, &ino)
     }
 
     /// Convenience: creates (or truncates) a file at `p` and writes `data`.
@@ -733,7 +925,10 @@ impl Xv6Fs {
         data: &[u8],
     ) -> FsResult<u32> {
         let inum = match self.lookup(dev, bc, p) {
-            Ok(i) => i,
+            Ok(i) => {
+                self.truncate(dev, bc, i)?;
+                i
+            }
             Err(FsError::NotFound(_)) => self.create(dev, bc, p, InodeType::File)?,
             Err(e) => return Err(e),
         };
@@ -904,6 +1099,51 @@ mod tests {
             fs2.read_file(&mut dev, &mut bc2, "/persist.txt").unwrap(),
             b"survive remount"
         );
+    }
+
+    #[test]
+    fn corrupt_superblocks_and_inodes_fail_remount_paths_cleanly() {
+        let (mut dev, mut bc, fs) = fresh_fs();
+        fs.write_file(&mut dev, &mut bc, "/ok", b"fine").unwrap();
+        bc.flush(&mut dev).unwrap();
+        // Superblock claiming more blocks than the device holds.
+        let mut block = Xv6Fs::read_fs_block(&mut dev, &mut bc, 0).unwrap();
+        block[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        Xv6Fs::write_fs_block(&mut dev, &mut bc, 0, &block).unwrap();
+        bc.flush(&mut dev).unwrap();
+        let mut cold = BufCache::default();
+        assert!(matches!(
+            Xv6Fs::mount(&mut dev, &mut cold),
+            Err(FsError::Corrupt(_))
+        ));
+        // Overlapping layout regions.
+        let good = fs.superblock();
+        let mut sb = good;
+        sb.bmapstart = sb.inodestart; // inode area squashed to nothing
+        let mut block = vec![0u8; BSIZE];
+        block[..24].copy_from_slice(&sb.encode());
+        Xv6Fs::write_fs_block(&mut dev, &mut bc, 0, &block).unwrap();
+        bc.flush(&mut dev).unwrap();
+        let mut cold = BufCache::default();
+        assert!(matches!(
+            Xv6Fs::mount(&mut dev, &mut cold),
+            Err(FsError::Corrupt(_))
+        ));
+        // Restore and corrupt a directory inode's size: traversal reports
+        // Corrupt instead of attempting a 4 GB allocation.
+        let mut block = vec![0u8; BSIZE];
+        block[..24].copy_from_slice(&good.encode());
+        Xv6Fs::write_fs_block(&mut dev, &mut bc, 0, &block).unwrap();
+        let mut root = fs.read_inode(&mut dev, &mut bc, ROOT_INUM).unwrap();
+        root.size = u32::MAX;
+        fs.write_inode(&mut dev, &mut bc, ROOT_INUM, &root).unwrap();
+        bc.flush(&mut dev).unwrap();
+        let mut cold = BufCache::default();
+        let mounted = Xv6Fs::mount(&mut dev, &mut cold).unwrap();
+        assert!(matches!(
+            mounted.list_dir(&mut dev, &mut cold, "/"),
+            Err(FsError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub struct SdHost {
     faulty_blocks: std::collections::HashSet<u64>,
     /// If set, the card is "removed" and every command fails.
     removed: bool,
+    /// Remaining blocks that may persist before the armed power cut fires
+    /// (`None` = no cut armed). See [`SdHost::power_cut_after`].
+    power_budget: Option<u64>,
+    /// True once the armed power cut has fired; every command fails until
+    /// [`SdHost::power_restored`].
+    power_lost: bool,
+    /// CMD25 range writes that persisted only a prefix of their blocks
+    /// before failing (mid-transfer power loss).
+    torn_writes: u64,
 }
 
 impl Default for SdHost {
@@ -57,6 +66,9 @@ impl SdHost {
             blocks_transferred: 0,
             faulty_blocks: std::collections::HashSet::new(),
             removed: false,
+            power_budget: None,
+            power_lost: false,
+            torn_writes: 0,
         }
     }
 
@@ -98,7 +110,53 @@ impl SdHost {
         self.faulty_blocks.clear();
     }
 
+    /// Arms a power cut: after `blocks` more blocks persist, the supply dies
+    /// mid-command. A CMD25 range write crossing the budget persists only its
+    /// first blocks before the command fails — the torn write the crash
+    /// consistency tests model — and every later command fails until
+    /// [`SdHost::power_restored`]. Card contents persisted before the cut are
+    /// retained, exactly as flash would retain them.
+    pub fn power_cut_after(&mut self, blocks: u64) {
+        self.power_budget = Some(blocks);
+        self.power_lost = false;
+    }
+
+    /// Restores power (the card keeps whatever persisted before the cut).
+    pub fn power_restored(&mut self) {
+        self.power_budget = None;
+        self.power_lost = false;
+    }
+
+    /// Whether the armed power cut has fired.
+    pub fn power_lost(&self) -> bool {
+        self.power_lost
+    }
+
+    /// CMD25 writes torn mid-transfer by the power cut.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
+    /// Accounts `count` blocks about to persist against an armed power-cut
+    /// budget; returns how many actually persist.
+    fn power_allow(&mut self, count: u64) -> u64 {
+        match self.power_budget {
+            None => count,
+            Some(budget) => {
+                let allowed = budget.min(count);
+                self.power_budget = Some(budget - allowed);
+                if allowed < count {
+                    self.power_lost = true;
+                }
+                allowed
+            }
+        }
+    }
+
     fn check_ready(&self, lba: u64, count: u64) -> HalResult<()> {
+        if self.power_lost {
+            return Err(HalError::InvalidState("card lost power".into()));
+        }
         if self.removed {
             return Err(HalError::InvalidState("no card present".into()));
         }
@@ -145,6 +203,11 @@ impl SdHost {
     /// Writes a single 512-byte block (CMD24).
     pub fn write_block(&mut self, lba: u64, data: &[u8; BLOCK_SIZE]) -> HalResult<()> {
         self.check_ready(lba, 1)?;
+        if self.power_allow(1) == 0 {
+            return Err(HalError::InvalidState(format!(
+                "power cut before CMD24 write of block {lba}"
+            )));
+        }
         self.single_block_cmds += 1;
         self.blocks_transferred += 1;
         self.write_one(lba, data);
@@ -178,11 +241,20 @@ impl SdHost {
             ));
         }
         self.check_ready(lba, count)?;
+        let persist = self.power_allow(count);
         self.range_cmds += 1;
-        self.blocks_transferred += count;
-        for i in 0..count {
+        self.blocks_transferred += persist;
+        for i in 0..persist {
             let start = (i as usize) * BLOCK_SIZE;
             self.write_one(lba + i, &data[start..start + BLOCK_SIZE]);
+        }
+        if persist < count {
+            if persist > 0 {
+                self.torn_writes += 1;
+            }
+            return Err(HalError::InvalidState(format!(
+                "power cut mid-CMD25 at block {lba}: {persist} of {count} blocks persisted"
+            )));
         }
         Ok(())
     }
@@ -282,6 +354,23 @@ mod tests {
         sd.set_removed(false);
         sd.init().unwrap();
         assert!(sd.read_block(0, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn power_cut_tears_a_cmd25_mid_transfer() {
+        let mut sd = ready_host();
+        sd.power_cut_after(2);
+        let data: Vec<u8> = (0..BLOCK_SIZE * 6).map(|i| (i % 247) as u8).collect();
+        assert!(sd.write_range(10, 6, &data).is_err());
+        assert_eq!(sd.torn_writes(), 1);
+        assert!(sd.power_lost());
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert!(sd.read_block(10, &mut buf).is_err(), "no power, no reads");
+        sd.power_restored();
+        sd.read_block(11, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[BLOCK_SIZE..2 * BLOCK_SIZE]);
+        sd.read_block(12, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; BLOCK_SIZE], "unpersisted tail reads as before");
     }
 
     #[test]

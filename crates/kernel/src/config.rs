@@ -149,6 +149,16 @@ pub struct KernelConfig {
     /// cluster run so the SD command-setup latency overlaps the previous
     /// transfer.
     pub prefetch: bool,
+    /// Dependency-ordered write-back: the caches drain dirty data blocks
+    /// before the metadata (FAT sectors, dirents, inodes, bitmaps) that
+    /// references them, so a power cut mid-drain never exposes a file
+    /// pointing at unwritten clusters. Off only in the xv6 baseline, which
+    /// drains in pure LBA order.
+    pub ordered_writeback: bool,
+    /// FAT32 multi-sector metadata updates (mkdir, rename, remove, file
+    /// overwrite) commit through the on-volume intent log, replayed at
+    /// mount — making them atomic across power cuts.
+    pub fat_intent_log: bool,
 }
 
 impl KernelConfig {
@@ -186,6 +196,8 @@ impl KernelConfig {
             flush_interval_ms: 20,
             flush_budget_blocks: 256,
             prefetch: n >= 5,
+            ordered_writeback: true,
+            fat_intent_log: true,
         }
     }
 
@@ -206,6 +218,10 @@ impl KernelConfig {
         // this whenever the variant is Xv6Baseline).
         c.background_flush = false;
         c.prefetch = false;
+        // The baseline predates the crash-consistency layers: dirty blocks
+        // drain in pure LBA order and metadata updates are not logged.
+        c.ordered_writeback = false;
+        c.fat_intent_log = false;
         c
     }
 
@@ -282,6 +298,9 @@ mod tests {
         assert!(p5.flush_interval_ms > 0 && p5.flush_budget_blocks > 0);
         let b = KernelConfig::xv6_baseline();
         assert!(!b.background_flush && !b.prefetch);
+        assert!(!b.ordered_writeback && !b.fat_intent_log);
+        assert!(p5.ordered_writeback && p5.fat_intent_log);
+        assert!(p4.ordered_writeback, "ordering is a correctness default");
     }
 
     #[test]

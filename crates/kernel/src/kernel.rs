@@ -471,6 +471,7 @@ impl Kernel {
         if self.config.xv6fs {
             let mut ramdisk = MemDisk::new(RAMDISK_BYTES / protofs::BLOCK_SIZE as u64);
             let mut bc = BufCache::default();
+            bc.set_ordered_writeback(self.config.ordered_writeback);
             let fs = Xv6Fs::mkfs(
                 &mut ramdisk,
                 &mut bc,
@@ -503,16 +504,18 @@ impl Kernel {
             self.board.charge(0, cost.boot_sd_init);
             let total = self.board.sdhost.total_blocks();
             let mut bc = BufCache::default();
+            bc.set_ordered_writeback(self.config.ordered_writeback);
             let fat = {
                 let mut dev = protofs::block::SdBlockDevice::new(
                     &mut self.board.sdhost,
                     FAT_PARTITION_START,
                     total - FAT_PARTITION_START,
                 );
-                let fat = match Fat32::mount(&mut dev, &mut bc) {
+                let mut fat = match Fat32::mount(&mut dev, &mut bc) {
                     Ok(f) => f,
                     Err(_) => Fat32::mkfs(&mut dev, &mut bc)?,
                 };
+                fat.set_intent_log(self.config.fat_intent_log);
                 // A fresh format leaves the superblock and FAT dirty in the
                 // write-back cache; put the card in a mountable state now.
                 bc.flush(&mut dev)?;
@@ -532,6 +535,12 @@ impl Kernel {
             self.root_bufcache.set_coalescing(false);
             self.config.background_flush = false;
             self.config.prefetch = false;
+            self.config.ordered_writeback = false;
+            self.fat_bufcache.set_ordered_writeback(false);
+            self.root_bufcache.set_ordered_writeback(false);
+            if let Some(f) = self.fatfs.as_mut() {
+                f.set_intent_log(false);
+            }
         }
         self.fat_bufcache.set_prefetch(self.config.prefetch);
 
@@ -1516,6 +1525,16 @@ impl Kernel {
         self.config.background_flush = enabled;
     }
 
+    /// Enables or disables dependency-ordered write-back on both caches (the
+    /// crash-consistency ablation switch; on by default everywhere but the
+    /// xv6 baseline). Ordering off restores the pure-LBA drain whose
+    /// power-cut behaviour the regression tests demonstrate.
+    pub fn set_ordered_writeback(&mut self, ordered: bool) {
+        self.fat_bufcache.set_ordered_writeback(ordered);
+        self.root_bufcache.set_ordered_writeback(ordered);
+        self.config.ordered_writeback = ordered;
+    }
+
     /// Statistics of the FAT32 volume's buffer cache.
     pub fn fat_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
         self.fat_bufcache.stats()
@@ -1590,6 +1609,19 @@ impl Kernel {
         if let Some(d) = self.ramdisk.as_mut() {
             d.clear_faults();
         }
+    }
+
+    /// Arms a power cut on the SD card: after `blocks` more blocks persist,
+    /// the card dies mid-command (a CMD25 crossing the budget is torn) and
+    /// every later SD command fails until [`Kernel::sd_power_restore`].
+    pub fn sd_power_cut_after(&mut self, blocks: u64) {
+        self.board.sdhost.power_cut_after(blocks);
+    }
+
+    /// Restores SD power; the card keeps exactly what persisted before the
+    /// cut.
+    pub fn sd_power_restore(&mut self) {
+        self.board.sdhost.power_restored();
     }
 }
 

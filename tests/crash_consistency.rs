@@ -1,0 +1,703 @@
+//! Crash-consistency tests for the ordered write-back pipeline: randomized
+//! write/flush/power-cut schedules (a seeded-PRNG stand-in for a property
+//! testing crate — the build environment is offline) plus a deterministic
+//! exhaustive cut-point sweep that demonstrates the LBA-order bug the
+//! dependency-ordered drain fixes.
+//!
+//! The invariants, checked by remounting the *persisted* image under a fresh
+//! cache after every simulated cut:
+//!
+//! * the remount itself always succeeds (intent-log replay included);
+//! * no dirent references an unwritten or free cluster — every visible
+//!   file's contents equal some version that was actually written;
+//! * no two files share a cluster, and every chain terminates inside the
+//!   data area;
+//! * data made durable (fsync, or a logged metadata operation, both full
+//!   barriers) and not modified afterwards is intact bit-for-bit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proto_repro::protofs::bufcache::BufCache;
+use proto_repro::protofs::fat32::{Bpb, Fat32, FIRST_CLUSTER};
+use proto_repro::protofs::xv6fs::{InodeType, Xv6Fs};
+use proto_repro::protofs::{BlockDevice, FsError, MemDisk, BLOCK_SIZE};
+
+/// A tiny SplitMix64-style generator: deterministic, seedable.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.0 = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Distinguishable file contents: every (file, version) pair yields a unique
+/// byte stream, so a remounted file identifies exactly which version (if
+/// any) it holds.
+fn pattern(file_id: u64, version: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((file_id * 131 + version * 29 + i as u64) % 251) as u8)
+        .collect()
+}
+
+/// Per-path model state across a schedule.
+#[derive(Default)]
+struct PathModel {
+    /// Every state this path has been in (None = absent). Index 0 is the
+    /// initial "never existed" state.
+    states: Vec<Option<Vec<u8>>>,
+    /// Index of the state captured at the last completed durability barrier.
+    committed: usize,
+    /// Whether the path changed since that barrier.
+    dirty_since_barrier: bool,
+}
+
+impl PathModel {
+    fn new() -> Self {
+        PathModel {
+            states: vec![None],
+            committed: 0,
+            dirty_since_barrier: false,
+        }
+    }
+
+    fn current(&self) -> &Option<Vec<u8>> {
+        self.states.last().unwrap()
+    }
+
+    fn push(&mut self, state: Option<Vec<u8>>) {
+        self.states.push(state);
+        self.dirty_since_barrier = true;
+    }
+}
+
+type Model = BTreeMap<String, PathModel>;
+
+fn barrier(model: &mut Model) {
+    for m in model.values_mut() {
+        m.committed = m.states.len() - 1;
+        m.dirty_since_barrier = false;
+    }
+}
+
+/// Reads one FAT entry straight from the persisted image.
+fn raw_fat_entry(disk: &mut MemDisk, bpb: &Bpb, cluster: u32) -> u32 {
+    let byte = cluster as u64 * 4;
+    let sector = bpb.fat_start as u64 + byte / BLOCK_SIZE as u64;
+    let off = (byte % BLOCK_SIZE as u64) as usize;
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    disk.read_block(sector, &mut buf).unwrap();
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]) & 0x0FFF_FFFF
+}
+
+/// Walks every file reachable from the FAT root and checks the structural
+/// invariants; returns the visible (path, contents) pairs.
+fn check_fat_structure(
+    disk: &mut MemDisk,
+    bc: &mut BufCache,
+    fs: &Fat32,
+    seed_note: &str,
+) -> Vec<(String, Vec<u8>)> {
+    let bpb = fs.bpb();
+    let mut seen_clusters: BTreeSet<u32> = BTreeSet::new();
+    let mut visible = Vec::new();
+    let mut dirs = vec![String::from("/")];
+    while let Some(dir) = dirs.pop() {
+        let entries = fs
+            .list_dir(disk, bc, &dir)
+            .unwrap_or_else(|e| panic!("[{seed_note}] listing {dir} failed: {e}"));
+        for e in entries {
+            let path = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{}/{}", dir, e.name)
+            };
+            if e.first_cluster != 0 {
+                // Chain invariants: in-range, allocated, acyclic, unshared,
+                // and long enough for the dirent's size.
+                let mut c = e.first_cluster;
+                let mut len = 0u64;
+                let limit = bpb.cluster_count as u64 + 2;
+                while (FIRST_CLUSTER..0x0FFF_FFF8).contains(&c) {
+                    assert!(
+                        c < FIRST_CLUSTER + bpb.cluster_count,
+                        "[{seed_note}] {path}: chain leaves the data area at {c}"
+                    );
+                    assert!(
+                        seen_clusters.insert(c),
+                        "[{seed_note}] {path}: cluster {c} cross-linked between files"
+                    );
+                    let next = raw_fat_entry(disk, &bpb, c);
+                    assert_ne!(
+                        next, 0,
+                        "[{seed_note}] {path}: chain references FREE cluster after {c}"
+                    );
+                    len += 1;
+                    assert!(len <= limit, "[{seed_note}] {path}: FAT chain cycle");
+                    c = next;
+                }
+                if !e.is_dir {
+                    let clusters_needed = (e.size as u64).div_ceil(CLUSTER_BYTES);
+                    assert!(
+                        len >= clusters_needed,
+                        "[{seed_note}] {path}: size {} needs {clusters_needed} clusters, chain has {len}",
+                        e.size
+                    );
+                }
+            }
+            if e.is_dir {
+                dirs.push(path);
+            } else {
+                let content = fs
+                    .read_file(disk, bc, &path)
+                    .unwrap_or_else(|err| panic!("[{seed_note}] reading {path} failed: {err}"));
+                visible.push((path, content));
+            }
+        }
+    }
+    visible
+}
+
+const CLUSTER_BYTES: u64 = proto_repro::protofs::fat32::CLUSTER_SIZE as u64;
+
+#[test]
+fn fat32_random_torn_cut_schedules_preserve_the_invariants() {
+    for seed in 0..60u64 {
+        let mut rng = Rng::new(1000 + seed);
+        // 8 MB volume, deliberately small cache (4 shards x 8 extents =
+        // 128 KB) so schedules exercise eviction paths too.
+        let mut disk = MemDisk::new(16 * 1024);
+        let mut bc = BufCache::with_geometry(4, 8);
+        let fs = Fat32::mkfs(&mut disk, &mut bc).unwrap();
+        fs.create(&mut disk, &mut bc, "/SUB", true).unwrap();
+        bc.flush(&mut disk).unwrap();
+
+        // FAT stores 8.3 names upper-cased; keep the model keyed the same
+        // way so remounted listings match directly.
+        let names: Vec<String> = (0..4)
+            .map(|i| format!("/F{i}.BIN"))
+            .chain((0..2).map(|i| format!("/SUB/G{i}.BIN")))
+            .collect();
+        let mut model: Model = names
+            .iter()
+            .map(|n| (n.clone(), PathModel::new()))
+            .collect();
+        let mut version = 0u64;
+
+        // Arm the cut: somewhere within the first few thousand persisted
+        // blocks (some seeds never reach it — those validate the quiescent
+        // path).
+        let cut_after = rng.below(2500);
+        disk.power_cut_after(cut_after);
+
+        for _op in 0..40 {
+            if disk.power_lost() {
+                break;
+            }
+            let which = rng.below(10);
+            let name = names[rng.below(names.len() as u64) as usize].clone();
+            let file_id = names.iter().position(|n| *n == name).unwrap() as u64;
+            match which {
+                // Write (create or overwrite).
+                0..=4 => {
+                    version += 1;
+                    let len = 1 + rng.below(40 * 1024) as usize;
+                    let data = pattern(file_id, version, len);
+                    let was_present = model[&name].current().is_some();
+                    match fs.write_file(&mut disk, &mut bc, &name, &data) {
+                        Ok(()) => {
+                            model.get_mut(&name).unwrap().push(Some(data));
+                            if was_present && !disk.power_lost() {
+                                // Overwrites are logged transactions: a full
+                                // durability barrier on success.
+                                barrier(&mut model);
+                            }
+                        }
+                        // An op interrupted by the cut may still land via
+                        // intent-log replay at mount: record the attempted
+                        // state as a legitimate outcome (old XOR new).
+                        Err(_) if disk.power_lost() => {
+                            model.get_mut(&name).unwrap().push(Some(data));
+                        }
+                        Err(_) => {}
+                    }
+                }
+                // Remove (logged; barrier on success).
+                5 => match fs.remove(&mut disk, &mut bc, &name) {
+                    Ok(()) => {
+                        model.get_mut(&name).unwrap().push(None);
+                        if !disk.power_lost() {
+                            barrier(&mut model);
+                        }
+                    }
+                    Err(_) if disk.power_lost() => {
+                        model.get_mut(&name).unwrap().push(None);
+                    }
+                    Err(_) => {}
+                },
+                // Rename (logged; barrier on success).
+                6 => {
+                    let to = names[rng.below(names.len() as u64) as usize].clone();
+                    if to == name {
+                        continue;
+                    }
+                    let moved = model[&name].current().clone();
+                    match fs.rename(&mut disk, &mut bc, &name, &to) {
+                        Ok(()) => {
+                            model.get_mut(&name).unwrap().push(None);
+                            model.get_mut(&to).unwrap().push(moved);
+                            if !disk.power_lost() {
+                                barrier(&mut model);
+                            }
+                        }
+                        Err(_) if disk.power_lost() => {
+                            model.get_mut(&name).unwrap().push(None);
+                            model.get_mut(&to).unwrap().push(moved);
+                        }
+                        Err(_) => {}
+                    }
+                }
+                // fsync / sync_all.
+                7 => {
+                    if bc.flush(&mut disk).is_ok() && !disk.power_lost() {
+                        barrier(&mut model);
+                    }
+                }
+                // Background flusher ticks with a random budget.
+                _ => {
+                    let _ = bc.flush_some(&mut disk, 8 + rng.below(120));
+                }
+            }
+        }
+
+        // "Power cut": remount exactly what persisted, under a fresh cache.
+        disk.power_restored();
+        let image = disk.image().to_vec();
+        let mut disk2 = MemDisk::from_image(image);
+        let mut bc2 = BufCache::default();
+        let note = format!("seed {seed}, cut {cut_after}");
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2)
+            .unwrap_or_else(|e| panic!("[{note}] remount failed: {e}"));
+        let visible = check_fat_structure(&mut disk2, &mut bc2, &fs2, &note);
+
+        // Every visible file holds exactly one historically written version
+        // — never zeros, garbage, or a torn mix.
+        for (path, content) in &visible {
+            let m = model
+                .get(path)
+                .unwrap_or_else(|| panic!("[{note}] unexpected file {path}"));
+            assert!(
+                m.states
+                    .iter()
+                    .any(|s| s.as_ref().is_some_and(|v| v == content)),
+                "[{note}] {path} holds {} bytes matching no written version",
+                content.len()
+            );
+        }
+        // Durable-and-unmodified paths are exact.
+        for (path, m) in &model {
+            if m.dirty_since_barrier {
+                continue;
+            }
+            let committed = &m.states[m.committed];
+            let found = visible.iter().find(|(p, _)| p == path).map(|(_, c)| c);
+            match committed {
+                Some(v) => assert_eq!(
+                    found,
+                    Some(v),
+                    "[{note}] durable file {path} lost or changed after the cut"
+                ),
+                None => assert!(
+                    found.is_none(),
+                    "[{note}] durably removed file {path} resurrected"
+                ),
+            }
+        }
+        // The schedules never rely on the ordering escape hatch.
+        assert_eq!(
+            bc.stats().forced_meta_writes,
+            0,
+            "[{note}] drain hit a dependency cycle"
+        );
+    }
+}
+
+#[test]
+fn fat32_ordering_regression_exhaustive_cut_sweep() {
+    // The deterministic regression for the PR's headline bug. A new file's
+    // dirty blocks are: FAT sectors and the root-directory sector at low
+    // LBAs, data clusters at high LBAs — so the pre-ordering pure-LBA drain
+    // writes the metadata *first*, and a cut between them publishes a file
+    // whose clusters never reached the device. The sweep cuts the flush
+    // after every possible block count k and remounts:
+    //   ordered off -> the dangling file MUST appear for some k (the bug);
+    //   ordered on  -> for every k the file is absent or bit-exact.
+    let mut dangling_without_ordering = 0u32;
+    for ordered in [true, false] {
+        let data = pattern(7, 1, 16 * 1024);
+        // Dry run to learn the dirty-block count of the scenario.
+        let total = {
+            let (mut disk, mut bc, fs) = fresh_fat(ordered);
+            fs.write_file(&mut disk, &mut bc, "/a.bin", &data).unwrap();
+            bc.dirty_blocks() as u64
+        };
+        assert!(total > 8, "scenario should span FAT + dirent + data");
+        for k in 0..=total {
+            let (mut disk, mut bc, fs) = fresh_fat(ordered);
+            fs.write_file(&mut disk, &mut bc, "/a.bin", &data).unwrap();
+            disk.power_cut_after(k);
+            let flush = bc.flush(&mut disk);
+            if k < total {
+                assert!(flush.is_err(), "cut at {k}/{total} must fail the flush");
+            }
+            disk.power_restored();
+            let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+            let mut bc2 = BufCache::default();
+            let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+            match fs2.lookup(&mut disk2, &mut bc2, "/a.bin") {
+                Err(FsError::NotFound(_)) => {} // old tree: always legal
+                Ok(e) => {
+                    let content = fs2.read_file(&mut disk2, &mut bc2, "/a.bin");
+                    let intact = content.as_ref().map(|c| c == &data).unwrap_or(false);
+                    if ordered {
+                        assert!(
+                            intact,
+                            "ordered drain, cut at {k}/{total}: visible file must be \
+                             complete (size {}, read {:?} bytes)",
+                            e.size,
+                            content.map(|c| c.len())
+                        );
+                    } else if !intact {
+                        dangling_without_ordering += 1;
+                    }
+                }
+                Err(e) => panic!("cut at {k}/{total}: lookup failed oddly: {e}"),
+            }
+        }
+    }
+    assert!(
+        dangling_without_ordering > 0,
+        "the pre-ordering LBA drain must exhibit the dangling-file bug"
+    );
+}
+
+fn fresh_fat(ordered: bool) -> (MemDisk, BufCache, Fat32) {
+    let mut disk = MemDisk::new(8 * 1024);
+    let mut bc = BufCache::default();
+    bc.set_ordered_writeback(ordered);
+    let fs = Fat32::mkfs(&mut disk, &mut bc).unwrap();
+    bc.flush(&mut disk).unwrap();
+    (disk, bc, fs)
+}
+
+#[test]
+fn fat32_cut_during_logged_overwrite_yields_old_or_new_never_a_mix() {
+    // Overwrites run through the intent log: sweep a cut across the entire
+    // overwrite + commit and require strict old-xor-new contents.
+    let old = pattern(1, 1, 24 * 1024);
+    let new = pattern(1, 2, 30 * 1024);
+    // Learn an upper bound on the blocks the overwrite persists.
+    let total = {
+        let (mut disk, mut bc, fs) = fresh_fat(true);
+        fs.write_file(&mut disk, &mut bc, "/v.bin", &old).unwrap();
+        bc.flush(&mut disk).unwrap();
+        let before = disk.stats().blocks;
+        fs.write_file(&mut disk, &mut bc, "/v.bin", &new).unwrap();
+        disk.stats().blocks - before
+    };
+    let mut saw_old = false;
+    let mut saw_new = false;
+    for k in (0..=total).step_by(3) {
+        let (mut disk, mut bc, fs) = fresh_fat(true);
+        fs.write_file(&mut disk, &mut bc, "/v.bin", &old).unwrap();
+        bc.flush(&mut disk).unwrap();
+        disk.power_cut_after(k);
+        let _ = fs.write_file(&mut disk, &mut bc, "/v.bin", &new);
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        let content = fs2.read_file(&mut disk2, &mut bc2, "/v.bin").unwrap();
+        if content == old {
+            saw_old = true;
+        } else if content == new {
+            saw_new = true;
+        } else {
+            panic!(
+                "cut at {k}/{total}: overwrite left {} bytes matching neither version",
+                content.len()
+            );
+        }
+    }
+    assert!(saw_old, "early cuts must preserve the old contents");
+    assert!(saw_new, "the uncut run must land the new contents");
+}
+
+#[test]
+fn fat32_large_overwrite_spanning_many_fat_sectors_stays_atomic() {
+    // The flagship-asset case: overwriting a multi-megabyte file touches
+    // many FAT sectors for both chains (one sector per 512 KB), and must
+    // still fit one intent-log record — a cut anywhere yields old XOR new.
+    let old = pattern(11, 1, 4 * 1024 * 1024);
+    let new = pattern(11, 2, 3 * 1024 * 1024 + 4096);
+    let total = {
+        let mut disk = MemDisk::new(32 * 1024);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut disk, &mut bc).unwrap();
+        bc.flush(&mut disk).unwrap();
+        fs.write_file(&mut disk, &mut bc, "/DOOM.WAD", &old)
+            .unwrap();
+        bc.flush(&mut disk).unwrap();
+        let before = disk.stats().blocks;
+        fs.write_file(&mut disk, &mut bc, "/DOOM.WAD", &new)
+            .unwrap();
+        disk.stats().blocks - before
+    };
+    let mut saw_old = false;
+    let mut saw_new = false;
+    // Sample the cut across the whole transaction, denser near the end
+    // where the log commit and metadata drain happen.
+    let step = (total / 8).max(1);
+    let cuts: Vec<u64> = (0..=total)
+        .step_by(step as usize)
+        .chain((total.saturating_sub(30)..=total).step_by(5))
+        .collect();
+    for k in cuts {
+        let mut disk = MemDisk::new(32 * 1024);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut disk, &mut bc).unwrap();
+        bc.flush(&mut disk).unwrap();
+        fs.write_file(&mut disk, &mut bc, "/DOOM.WAD", &old)
+            .unwrap();
+        bc.flush(&mut disk).unwrap();
+        disk.power_cut_after(k);
+        let _ = fs.write_file(&mut disk, &mut bc, "/DOOM.WAD", &new);
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        let content = fs2.read_file(&mut disk2, &mut bc2, "/DOOM.WAD").unwrap();
+        if content == old {
+            saw_old = true;
+        } else if content == new {
+            saw_new = true;
+        } else {
+            panic!(
+                "cut at {k}/{total}: large overwrite left {} bytes matching neither version",
+                content.len()
+            );
+        }
+    }
+    assert!(saw_old && saw_new, "sweep must cover both outcomes");
+}
+
+#[test]
+fn fat32_cut_during_rename_leaves_exactly_one_intact_name() {
+    let data = pattern(3, 1, 12 * 1024);
+    let total = {
+        let (mut disk, mut bc, fs) = fresh_fat(true);
+        fs.write_file(&mut disk, &mut bc, "/src.bin", &data)
+            .unwrap();
+        bc.flush(&mut disk).unwrap();
+        let before = disk.stats().blocks;
+        fs.rename(&mut disk, &mut bc, "/src.bin", "/dst.bin")
+            .unwrap();
+        disk.stats().blocks - before
+    };
+    for k in 0..=total {
+        let (mut disk, mut bc, fs) = fresh_fat(true);
+        fs.write_file(&mut disk, &mut bc, "/src.bin", &data)
+            .unwrap();
+        bc.flush(&mut disk).unwrap();
+        disk.power_cut_after(k);
+        let _ = fs.rename(&mut disk, &mut bc, "/src.bin", "/dst.bin");
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        let src = fs2.read_file(&mut disk2, &mut bc2, "/src.bin");
+        let dst = fs2.read_file(&mut disk2, &mut bc2, "/dst.bin");
+        match (src, dst) {
+            (Ok(c), Err(FsError::NotFound(_))) => assert_eq!(c, data, "cut {k}: src torn"),
+            (Err(FsError::NotFound(_)), Ok(c)) => assert_eq!(c, data, "cut {k}: dst torn"),
+            (s, d) => panic!(
+                "cut at {k}/{total}: rename left src={:?} dst={:?}",
+                s.map(|c| c.len()),
+                d.map(|c| c.len())
+            ),
+        }
+    }
+}
+
+#[test]
+fn xv6fs_new_file_cut_sweep_never_tears() {
+    // Without inode/block reuse in play, the ordering edges promise: a new
+    // file's inode drains only after its data and bitmap blocks, so at any
+    // cut point the file is absent, a dangling dirent (clean NotFound), or
+    // bit-exact — never garbage.
+    let data = pattern(9, 1, 20 * 1024);
+    let total = {
+        let mut disk = MemDisk::new(8192);
+        let mut bc = BufCache::default();
+        let fs = Xv6Fs::mkfs(&mut disk, &mut bc, 4096, 128).unwrap();
+        bc.flush(&mut disk).unwrap();
+        fs.write_file(&mut disk, &mut bc, "/a", &data).unwrap();
+        bc.dirty_blocks() as u64
+    };
+    for k in 0..=total {
+        let mut disk = MemDisk::new(8192);
+        let mut bc = BufCache::default();
+        let fs = Xv6Fs::mkfs(&mut disk, &mut bc, 4096, 128).unwrap();
+        bc.flush(&mut disk).unwrap();
+        fs.write_file(&mut disk, &mut bc, "/a", &data).unwrap();
+        disk.power_cut_after(k);
+        let _ = bc.flush(&mut disk);
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Xv6Fs::mount(&mut disk2, &mut bc2).unwrap();
+        match fs2.read_file(&mut disk2, &mut bc2, "/a") {
+            Ok(content) => {
+                // Visible with an allocated inode: the ordering contract
+                // says the contents must be complete (an empty size-0 file
+                // is the benign created-not-yet-written state).
+                assert!(
+                    content == data || content.is_empty(),
+                    "cut at {k}/{total}: /a is torn ({} bytes)",
+                    content.len()
+                );
+            }
+            Err(FsError::NotFound(_)) => {} // absent or dangling: old tree
+            Err(e) => panic!("cut at {k}/{total}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn xv6fs_random_cut_schedules_remount_cleanly_and_keep_durable_data() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::new(7000 + seed);
+        let mut disk = MemDisk::new(8192); // 4 MB
+        let mut bc = BufCache::with_geometry(4, 8);
+        let fs = Xv6Fs::mkfs(&mut disk, &mut bc, 4096, 128).unwrap();
+        fs.create(&mut disk, &mut bc, "/etc", InodeType::Dir)
+            .unwrap();
+        bc.flush(&mut disk).unwrap();
+
+        let names: Vec<String> = (0..4)
+            .map(|i| format!("/n{i}"))
+            .chain((0..2).map(|i| format!("/etc/c{i}")))
+            .collect();
+        let mut model: Model = names
+            .iter()
+            .map(|n| (n.clone(), PathModel::new()))
+            .collect();
+        let mut version = 0u64;
+        let cut_after = rng.below(1500);
+        disk.power_cut_after(cut_after);
+
+        for _op in 0..30 {
+            if disk.power_lost() {
+                break;
+            }
+            let name = names[rng.below(names.len() as u64) as usize].clone();
+            let file_id = names.iter().position(|n| *n == name).unwrap() as u64;
+            match rng.below(8) {
+                0..=3 => {
+                    version += 1;
+                    let len = 1 + rng.below(30 * 1024) as usize;
+                    let data = pattern(file_id, version, len);
+                    match fs.write_file(&mut disk, &mut bc, &name, &data) {
+                        Ok(_) => model.get_mut(&name).unwrap().push(Some(data)),
+                        // A write interrupted by the cut may have landed any
+                        // prefix of its mutations (xv6fs writes in place):
+                        // record both the attempted contents and the
+                        // created-but-empty state as possible outcomes.
+                        Err(_) if disk.power_lost() => {
+                            let m = model.get_mut(&name).unwrap();
+                            m.push(Some(data));
+                            m.push(Some(Vec::new()));
+                        }
+                        Err(_) => {}
+                    }
+                }
+                4 => match fs.unlink(&mut disk, &mut bc, &name) {
+                    Ok(()) => model.get_mut(&name).unwrap().push(None),
+                    Err(_) if disk.power_lost() => {
+                        model.get_mut(&name).unwrap().push(None);
+                    }
+                    Err(_) => {}
+                },
+                5 => {
+                    if bc.flush(&mut disk).is_ok() && !disk.power_lost() {
+                        barrier(&mut model);
+                    }
+                }
+                _ => {
+                    let _ = bc.flush_some(&mut disk, 8 + rng.below(100));
+                }
+            }
+        }
+
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let note = format!("seed {seed}, cut {cut_after}");
+        let fs2 = Xv6Fs::mount(&mut disk2, &mut bc2)
+            .unwrap_or_else(|e| panic!("[{note}] remount failed: {e}"));
+
+        // Full traversal must never panic; dangling dirents (the one benign
+        // xv6fs torn state) surface as clean NotFound on read.
+        let mut dirs = vec![String::from("/")];
+        let mut visible: Vec<(String, Vec<u8>)> = Vec::new();
+        while let Some(dir) = dirs.pop() {
+            for e in fs2
+                .list_dir(&mut disk2, &mut bc2, &dir)
+                .unwrap_or_else(|err| panic!("[{note}] list {dir}: {err}"))
+            {
+                let path = if dir == "/" {
+                    format!("/{}", e.name)
+                } else {
+                    format!("{}/{}", dir, e.name)
+                };
+                match fs2.stat(&mut disk2, &mut bc2, e.inum) {
+                    Ok(st) if st.itype == InodeType::Dir => dirs.push(path),
+                    Ok(_) => {
+                        if let Ok(content) = fs2.read_file(&mut disk2, &mut bc2, &path) {
+                            visible.push((path, content));
+                        }
+                    }
+                    Err(FsError::NotFound(_)) => {} // dangling dirent: benign
+                    Err(err) => panic!("[{note}] stat {path}: {err}"),
+                }
+            }
+        }
+        // No per-version content check here: xv6fs (deliberately un-logged,
+        // per the module's design) tolerates dangling dirents and stale
+        // reused inode slots after a cut; those read as other files' old
+        // versions, never as a kernel panic. The no-reuse ordering guarantee
+        // is pinned down by `xv6fs_new_file_cut_sweep_never_tears` below.
+        // Durable-and-unmodified files are exact.
+        for (path, m) in &model {
+            if m.dirty_since_barrier {
+                continue;
+            }
+            if let Some(v) = &m.states[m.committed] {
+                let found = visible.iter().find(|(p, _)| p == path).map(|(_, c)| c);
+                assert_eq!(found, Some(v), "[{note}] durable {path} lost after cut");
+            }
+        }
+    }
+}

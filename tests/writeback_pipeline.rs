@@ -195,6 +195,74 @@ fn sync_all_is_a_whole_system_durability_barrier() {
 }
 
 #[test]
+fn ordered_writeback_survives_a_power_cut_mid_kbio_drain() {
+    // The end-to-end version of the ordering guarantee: a power cut while
+    // the background flusher is half-way through draining a freshly written
+    // file must leave the card showing the old tree — never a dirent whose
+    // clusters were still queued behind it.
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/cut.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0x3Cu8; 96 * 1024])?;
+            ctx.close(fd) // kbio will drain it
+        })
+        .unwrap();
+    let dirty = sys.kernel.fat_dirty_blocks();
+    assert!(dirty > 0, "close deferred the write-back to kbio");
+    // Die 40 blocks into the drain: mid-CMD25, inside the data clusters.
+    sys.kernel.sd_power_cut_after(40);
+    sys.run_ms(100);
+    let log = sys.kernel.console_log();
+    assert!(
+        log.contains("kbio: FAT write-back failed"),
+        "the torn write-back is reported: {log}"
+    );
+    // Remount what actually persisted: the file must be absent (old tree),
+    // and the mount itself must succeed.
+    sys.kernel.sd_power_restore();
+    let total = sys.kernel.board.sdhost.total_blocks();
+    {
+        let mut fresh = BufCache::default();
+        let mut dev = SdBlockDevice::new(
+            &mut sys.kernel.board.sdhost,
+            FAT_PARTITION_START,
+            total - FAT_PARTITION_START,
+        );
+        let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+        assert!(
+            matches!(
+                fat.lookup(&mut dev, &mut fresh, "/cut.bin"),
+                Err(protofs::FsError::NotFound(_))
+            ),
+            "a half-drained file must not be visible on the card"
+        );
+    }
+    // Power is back: the retained dirty blocks drain and the file lands.
+    let drained = sys
+        .kernel
+        .run_until(|k| k.fat_dirty_blocks() == 0, 10_000_000);
+    assert!(drained, "kbio finished the job after power returned");
+    assert_eq!(
+        sys.kernel.fat_cache_stats().forced_meta_writes,
+        0,
+        "the drain never bypassed its ordering edges"
+    );
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/cut.bin").unwrap(),
+        vec![0x3Cu8; 96 * 1024]
+    );
+}
+
+#[test]
 fn without_the_flusher_close_drains_synchronously_and_bills_the_writer() {
     let mut sys = ProtoSystem::desktop().unwrap();
     // The ablation switch: revert to PR-1 close-flush semantics.
