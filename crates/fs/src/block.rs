@@ -11,6 +11,21 @@
 //! methods have loop-over-single-blocks defaults so simple devices stay
 //! simple; [`SdBlockDevice`] overrides them with the SD host's real
 //! multi-block commands.
+//!
+//! Devices with an asynchronous command queue (the SD host in DMA mode)
+//! additionally implement the submit/poll/wait half of the trait:
+//! [`BlockDevice::submit_read_sg`]/[`BlockDevice::submit_write_sg`] queue a
+//! scatter-gather command and return immediately, completions are reaped
+//! with [`BlockDevice::poll_completions`] (non-blocking) or
+//! [`BlockDevice::wait_some`] (advances the submitting core's clock to the
+//! next chain's completion deadline — the synchronous wait of a demand
+//! read). Synchronous-only devices report [`BlockDevice::queue_depth`] zero
+//! and the cache stays on the polled paths.
+
+use hal::clock::Clock;
+use hal::cost::CostModel;
+use hal::dma::DmaEngine;
+use hal::sdhost::{SdDataMode, SdSgRun, SD_DMA_CHANNEL, SD_QUEUE_DEPTH};
 
 use crate::{FsError, FsResult};
 
@@ -26,6 +41,26 @@ pub struct BlockIoStats {
     pub range_cmds: u64,
     /// Total blocks transferred (both shapes).
     pub blocks: u64,
+}
+
+/// A contiguous run of an asynchronous scatter-gather command: `(lba,
+/// count)` in device blocks.
+pub type SgRun = (u64, u64);
+
+/// One finished asynchronous command, as reaped from a queued device.
+#[derive(Debug, Clone)]
+pub struct SgCompletion {
+    /// Command id returned by the submit call.
+    pub id: u64,
+    /// Whether the command was a write.
+    pub write: bool,
+    /// The scatter-gather runs the command covered (device-relative LBAs).
+    pub runs: Vec<SgRun>,
+    /// Run-major payload for successful reads.
+    pub data: Option<Vec<u8>>,
+    /// Outcome of the data phase — injected faults and torn power-cut writes
+    /// surface here, when the device actually moved the data.
+    pub result: FsResult<()>,
 }
 
 /// A 512-byte-sector block device.
@@ -76,6 +111,51 @@ pub trait BlockDevice {
 
     /// Returns accumulated I/O statistics.
     fn stats(&self) -> BlockIoStats;
+
+    // ---- asynchronous command queue (devices without one keep the defaults) ----
+
+    /// Depth of the device's asynchronous command queue; zero (the default)
+    /// means the device is synchronous-only and the submit methods fail.
+    fn queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Commands submitted and not yet reaped.
+    fn inflight(&self) -> usize {
+        0
+    }
+
+    /// Whether a submit would be accepted right now (queue not full).
+    fn can_submit(&self) -> bool {
+        false
+    }
+
+    /// Queues an asynchronous scatter-gather read; the payload arrives in
+    /// the completion.
+    fn submit_read_sg(&mut self, _runs: &[SgRun]) -> FsResult<u64> {
+        Err(FsError::Invalid(
+            "device has no asynchronous command queue".into(),
+        ))
+    }
+
+    /// Queues an asynchronous scatter-gather write of the run-major `data`.
+    fn submit_write_sg(&mut self, _runs: &[SgRun], _data: &[u8]) -> FsResult<u64> {
+        Err(FsError::Invalid(
+            "device has no asynchronous command queue".into(),
+        ))
+    }
+
+    /// Reaps already-finished commands without waiting.
+    fn poll_completions(&mut self) -> Vec<SgCompletion> {
+        Vec::new()
+    }
+
+    /// Waits until at least one in-flight command finishes (advancing the
+    /// caller's virtual clock to its completion deadline) and reaps it.
+    /// Returns an empty vector when nothing is in flight.
+    fn wait_some(&mut self) -> FsResult<Vec<SgCompletion>> {
+        Ok(Vec::new())
+    }
 }
 
 /// A memory-backed block device: Proto's ramdisk, and the disk image tests
@@ -288,8 +368,29 @@ impl BlockDevice for MemDisk {
     }
 }
 
+/// The board-side context a DMA-mode [`SdBlockDevice`] drives: the engine
+/// the chains run on, the clock a synchronous wait advances, and the cost
+/// model pricing each chain. All fields are disjoint board members, so the
+/// kernel borrows them alongside the SD host without conflict.
+#[derive(Debug)]
+pub struct SdDmaCtx<'a> {
+    /// The DMA engine carrying the scatter-gather chains (channel 0).
+    pub engine: &'a mut DmaEngine,
+    /// The per-core virtual clock; waits advance `core`'s counter to the
+    /// chain's completion deadline.
+    pub clock: &'a mut Clock,
+    /// Platform cost model (chain durations).
+    pub cost: &'a CostModel,
+    /// The core on whose behalf this adapter runs (submission timestamps and
+    /// wait advances).
+    pub core: usize,
+}
+
 /// Adapter exposing the simulated SD card ([`hal::sdhost::SdHost`]) as a
 /// [`BlockDevice`], so FAT32 can be mounted on partition 2 of the card.
+/// With an [`SdDmaCtx`] attached (and the host in DMA mode) the adapter also
+/// implements the asynchronous submit/poll/wait API on top of the host's
+/// command queue.
 #[derive(Debug)]
 pub struct SdBlockDevice<'a> {
     sd: &'a mut hal::sdhost::SdHost,
@@ -297,10 +398,12 @@ pub struct SdBlockDevice<'a> {
     partition_start: u64,
     /// Number of blocks in the partition.
     partition_blocks: u64,
+    /// DMA context for the asynchronous data path, if the caller runs one.
+    dma: Option<SdDmaCtx<'a>>,
 }
 
 impl<'a> SdBlockDevice<'a> {
-    /// Wraps a partition of the SD card.
+    /// Wraps a partition of the SD card (synchronous polled access only).
     pub fn new(
         sd: &'a mut hal::sdhost::SdHost,
         partition_start: u64,
@@ -310,7 +413,81 @@ impl<'a> SdBlockDevice<'a> {
             sd,
             partition_start,
             partition_blocks,
+            dma: None,
         }
+    }
+
+    /// Wraps a partition with an optional DMA context enabling the
+    /// asynchronous command-queue API.
+    pub fn with_dma(
+        sd: &'a mut hal::sdhost::SdHost,
+        partition_start: u64,
+        partition_blocks: u64,
+        dma: Option<SdDmaCtx<'a>>,
+    ) -> Self {
+        SdBlockDevice {
+            sd,
+            partition_start,
+            partition_blocks,
+            dma,
+        }
+    }
+
+    fn check_sg(&self, runs: &[SgRun]) -> FsResult<()> {
+        for &(lba, count) in runs {
+            let end = lba
+                .checked_add(count)
+                .ok_or_else(|| FsError::Io(format!("sg run {lba}+{count} overflows")))?;
+            if end > self.partition_blocks {
+                return Err(FsError::Io(format!(
+                    "sg run {lba}+{count} beyond partition of {} blocks",
+                    self.partition_blocks
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn to_card_runs(&self, runs: &[SgRun]) -> Vec<SdSgRun> {
+        runs.iter()
+            .map(|&(lba, count)| SdSgRun {
+                lba: self.partition_start + lba,
+                count,
+            })
+            .collect()
+    }
+
+    /// Programs the engine with the next queued command if the channel is
+    /// idle (called after submits and after each reaped completion).
+    fn kick(&mut self) {
+        if let Some(ctx) = self.dma.as_mut() {
+            let now = ctx.clock.cycles(ctx.core);
+            self.sd.kick_dma(ctx.engine, now, ctx.cost);
+        }
+    }
+
+    /// Finishes command ids reaped from the engine into [`SgCompletion`]s
+    /// (partition-relative runs), kicking the next queued chain after each.
+    fn finish_ids(&mut self, ids: Vec<u64>) -> Vec<SgCompletion> {
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let Some(c) = self.sd.finish_dma(id) else {
+                continue;
+            };
+            self.kick();
+            out.push(SgCompletion {
+                id: c.id,
+                write: c.write,
+                runs: c
+                    .runs
+                    .iter()
+                    .map(|r| (r.lba - self.partition_start, r.count))
+                    .collect(),
+                data: c.data,
+                result: c.result.map_err(FsError::from),
+            });
+        }
+        out
     }
 }
 
@@ -353,6 +530,99 @@ impl BlockDevice for SdBlockDevice<'_> {
             single_cmds: self.sd.single_block_cmds(),
             range_cmds: self.sd.range_cmds(),
             blocks: self.sd.blocks_transferred(),
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        if self.dma.is_some() && self.sd.data_mode() == SdDataMode::Dma {
+            SD_QUEUE_DEPTH
+        } else {
+            0
+        }
+    }
+
+    fn inflight(&self) -> usize {
+        self.sd.queue_len()
+    }
+
+    fn can_submit(&self) -> bool {
+        self.queue_depth() > 0 && self.sd.can_submit()
+    }
+
+    fn submit_read_sg(&mut self, runs: &[SgRun]) -> FsResult<u64> {
+        if self.queue_depth() == 0 {
+            return Err(FsError::Invalid("SD host not in DMA mode".into()));
+        }
+        self.check_sg(runs)?;
+        let card_runs = self.to_card_runs(runs);
+        let id = self.sd.submit_dma_read(&card_runs).map_err(FsError::from)?;
+        self.kick();
+        Ok(id)
+    }
+
+    fn submit_write_sg(&mut self, runs: &[SgRun], data: &[u8]) -> FsResult<u64> {
+        if self.queue_depth() == 0 {
+            return Err(FsError::Invalid("SD host not in DMA mode".into()));
+        }
+        self.check_sg(runs)?;
+        let card_runs = self.to_card_runs(runs);
+        let id = self
+            .sd
+            .submit_dma_write(&card_runs, data)
+            .map_err(FsError::from)?;
+        self.kick();
+        Ok(id)
+    }
+
+    fn poll_completions(&mut self) -> Vec<SgCompletion> {
+        let Some(ctx) = self.dma.as_mut() else {
+            return Vec::new();
+        };
+        let now = ctx.clock.cycles(ctx.core);
+        // Chains the board tick already completed (their IRQ may still be
+        // pending; reaping here first is the polled fast path), plus any
+        // whose deadline has passed without a tick.
+        let mut ids = ctx.engine.take_finished_sd();
+        if let Some(id) = ctx.engine.poll_channel(SD_DMA_CHANNEL, now) {
+            ids.push(id);
+        }
+        self.finish_ids(ids)
+    }
+
+    fn wait_some(&mut self) -> FsResult<Vec<SgCompletion>> {
+        loop {
+            let done = self.poll_completions();
+            if !done.is_empty() {
+                return Ok(done);
+            }
+            let deadline = match self.dma.as_ref() {
+                Some(ctx) => ctx.engine.busy_until(SD_DMA_CHANNEL),
+                None => return Ok(Vec::new()),
+            };
+            match deadline {
+                // Spin-wait on the channel status register: the core's clock
+                // jumps to the chain's completion deadline.
+                Some(done_at) => {
+                    let ctx = self.dma.as_mut().expect("checked above");
+                    ctx.clock.advance_to(ctx.core, done_at);
+                }
+                None => {
+                    if self.sd.queue_len() == 0 {
+                        return Ok(Vec::new());
+                    }
+                    // Commands queued but the channel is idle: program it.
+                    self.kick();
+                    let started = self
+                        .dma
+                        .as_ref()
+                        .is_some_and(|c| c.engine.busy_until(SD_DMA_CHANNEL).is_some());
+                    if !started {
+                        // The head command cannot start (engine wedged) —
+                        // fail loudly rather than spin forever.
+                        return Err(FsError::Io("SD queue stalled with idle engine".into()));
+                    }
+                }
+            }
         }
     }
 }

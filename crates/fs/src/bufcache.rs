@@ -47,6 +47,41 @@
 //!   overlapped with the previous transfer instead of serialised on the
 //!   reading task.
 //!
+//! * **An asynchronous device pipeline.** Over a device with a command queue
+//!   ([`crate::block::BlockDevice::queue_depth`] > 0 — the SD host in DMA
+//!   mode) the cache stops driving transfers synchronously: fills and
+//!   write-backs are *submitted* as scatter-gather chains (one control block
+//!   per contiguous run) and complete later on the device timeline, reaped
+//!   either from the kernel's `Dma0` interrupt handler
+//!   ([`BufCache::apply_completion`]) or by the waiting paths themselves.
+//!   The contract:
+//!
+//!   - *Fills*: prefetch submits and returns (a full queue drops the
+//!     speculation); a demand read over blocks already in flight **waits for
+//!     that chain** instead of re-issuing it ([`BufCacheStats::demand_waits`])
+//!     — this wait-not-reissue rule is what turns read-ahead into genuine
+//!     transfer/compute overlap.
+//!   - *Write-back*: submission trades a block's dirty bit for an in-flight
+//!     `writing` mark (the chain carries a snapshot, so later cache writes
+//!     just re-dirty). Dependency ordering keys on **durable**, not
+//!     submitted: metadata is held until the data chains' completions are
+//!     reaped. A completion that reports a fault or a torn power-cut write
+//!     converts `writing` back to dirty — a failed chain is retryable and
+//!     loses nothing ([`BufCacheStats::async_write_errors`]).
+//!   - *Barriers*: [`BufCache::flush`] (fsync, unmount) and
+//!     [`BufCache::flush_data`] (the intent-log commit point) are
+//!     queue-drain barriers — they submit, then drain every write chain and
+//!     re-check for completion-time errors before returning, so "flush
+//!     returned Ok" still means "on the medium". [`BufCache::flush_some`]
+//!     (the `kbio` budgeted pass) deliberately does *not* drain: it reaps
+//!     whatever finished since the last pass, submits up to its budget, and
+//!     returns — write-back cost lands on the device timeline instead of
+//!     the flusher thread.
+//!   - Extents carrying an in-flight chain are pinned against eviction
+//!     (they are the DMA target), and [`BufCache::dirty_blocks`] counts
+//!     in-flight write-backs as still-dirty, so "zero dirty" continues to
+//!     mean "everything persisted".
+//!
 //! * **Dependency-ordered draining.** Dirty blocks carry a class (data vs
 //!   filesystem metadata, tagged by the writers via
 //!   [`BufCache::note_metadata`]) and explicit write-order dependencies
@@ -103,6 +138,19 @@ struct Extent {
     /// [`BufCache::note_metadata`] and cleared again by any plain write —
     /// "the last writer decides what the block is".
     meta: u8,
+    /// Bitmap of blocks with an asynchronous *fill* in flight (a submitted
+    /// read chain will install them). A pending block is not yet valid;
+    /// demand reads covering it wait for the completion instead of
+    /// re-issuing the transfer. Cleared when the completion installs the
+    /// data (or fails), or cancelled by a write that supersedes the fill.
+    pending: u8,
+    /// Bitmap of blocks with an asynchronous *write-back* in flight: their
+    /// dirty bit was traded for this one when the chain was submitted (the
+    /// chain carries a snapshot, so later cache writes simply re-dirty). A
+    /// writing block is not yet durable — dependency checks treat it as
+    /// dirty — and its extent is pinned against eviction. On success the bit
+    /// clears; on failure it converts back to dirty for retry.
+    writing: u8,
     /// LRU stamp (larger = more recently used).
     tick: u64,
     /// Scan-resistance class: `true` for extents installed by a streaming
@@ -120,6 +168,8 @@ impl Extent {
             valid: 0,
             dirty: 0,
             meta: 0,
+            pending: 0,
+            writing: 0,
             tick: 0,
             cold: false,
         }
@@ -192,6 +242,13 @@ pub struct BufCacheStats {
     /// cycles (and for caches too small to hold a pinned transaction). Zero
     /// in a well-ordered run.
     pub forced_meta_writes: u64,
+    /// Demand reads that found their blocks already in flight under an
+    /// earlier prefetch chain and waited for its completion instead of
+    /// re-issuing the transfer — the pipeline-overlap hits of the DMA path.
+    pub demand_waits: u64,
+    /// Blocks whose asynchronous write-back completed with an error and were
+    /// converted back to dirty for retry.
+    pub async_write_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -274,7 +331,17 @@ pub struct BufCache {
     /// extents are also pinned against eviction so no half of a multi-sector
     /// metadata update can leak to the device before the log commits.
     meta_txn: Option<Vec<u64>>,
+    /// In-flight asynchronous fills: command id → the runs it will install.
+    inflight_reads: HashMap<u64, Vec<Run>>,
+    /// In-flight asynchronous write-backs: command id → the runs it persists.
+    inflight_writes: HashMap<u64, Vec<Run>>,
+    /// First error reported by an asynchronous write-back completion since
+    /// the last barrier/poll took it — how `kbio` and `fsync` observe
+    /// failures that surfaced after their submit returned.
+    async_error: Option<crate::FsError>,
     forced_meta_writes: u64,
+    demand_waits: u64,
+    async_write_errors: u64,
     tick: u64,
     ranges_issued: u64,
     singles_issued: u64,
@@ -318,7 +385,12 @@ impl BufCache {
             ordered: true,
             deps: HashMap::new(),
             meta_txn: None,
+            inflight_reads: HashMap::new(),
+            inflight_writes: HashMap::new(),
+            async_error: None,
             forced_meta_writes: 0,
+            demand_waits: 0,
+            async_write_errors: 0,
             tick: 0,
             ranges_issued: 0,
             singles_issued: 0,
@@ -512,6 +584,8 @@ impl BufCache {
             prefetched_blocks: self.prefetched_blocks,
             dropped_flush_errors: self.dropped_flush_errors,
             forced_meta_writes: self.forced_meta_writes,
+            demand_waits: self.demand_waits,
+            async_write_errors: self.async_write_errors,
             ..Default::default()
         };
         for s in &self.shards {
@@ -537,13 +611,27 @@ impl BufCache {
         self.len() == 0
     }
 
-    /// Number of dirty blocks awaiting write-back.
+    /// Number of blocks not yet durable: dirty in the cache, or riding an
+    /// asynchronous write-back chain whose completion has not been reaped.
+    /// "Zero dirty blocks" therefore still means "everything persisted".
     pub fn dirty_blocks(&self) -> usize {
         self.shards
             .iter()
             .flat_map(|s| s.extents.iter())
-            .map(|e| e.dirty.count_ones() as usize)
+            .map(|e| (e.dirty | e.writing).count_ones() as usize)
             .sum()
+    }
+
+    /// Asynchronous commands this cache has in flight (fills + write-backs).
+    pub fn inflight_cmds(&self) -> usize {
+        self.inflight_reads.len() + self.inflight_writes.len()
+    }
+
+    /// Takes the first asynchronous write-back error recorded since the last
+    /// call (completions arrive after the submitting pass returned; this is
+    /// how the flusher and the barriers observe them).
+    pub fn take_async_error(&mut self) -> Option<crate::FsError> {
+        self.async_error.take()
     }
 
     /// Drops every cached buffer **including dirty data** — call
@@ -555,6 +643,9 @@ impl BufCache {
         }
         self.deps.clear();
         self.meta_txn = None;
+        // Completions for dropped extents are ignored when they arrive.
+        self.inflight_reads.clear();
+        self.inflight_writes.clear();
     }
 
     // ---- internal helpers ---------------------------------------------------------------
@@ -572,13 +663,19 @@ impl BufCache {
         ((base / EXTENT_BLOCKS as u64) % self.shards.len() as u64) as usize
     }
 
-    /// Whether block `lba` is cached dirty.
+    /// Whether block `lba` is not yet durable: cached dirty, or in flight on
+    /// an unconfirmed asynchronous write-back (dependency checks must treat
+    /// both the same — metadata may not drain until its references are *on
+    /// the device*, not merely on the wire).
     fn is_block_dirty(&self, lba: u64) -> bool {
         let base = Self::extent_base(lba);
         let si = self.shard_of(base);
         self.shards[si]
             .find(base)
-            .map(|ei| self.shards[si].extents[ei].dirty & Extent::bit(lba) != 0)
+            .map(|ei| {
+                let e = &self.shards[si].extents[ei];
+                (e.dirty | e.writing) & Extent::bit(lba) != 0
+            })
             .unwrap_or(false)
     }
 
@@ -654,11 +751,14 @@ impl BufCache {
         runs
     }
 
-    /// Whether any dirty *data*-class block remains.
+    /// Whether any not-yet-durable *data*-class block remains (dirty or on
+    /// an unconfirmed write-back chain) — the gate metadata waits behind.
     fn any_dirty_data(&self) -> bool {
-        self.shards
-            .iter()
-            .any(|s| s.extents.iter().any(|e| e.dirty & !e.meta != 0))
+        self.shards.iter().any(|s| {
+            s.extents
+                .iter()
+                .any(|e| (e.dirty | e.writing) & !e.meta != 0)
+        })
     }
 
     /// Flushes the transitive closure of dirty blocks the given metadata
@@ -771,25 +871,42 @@ impl BufCache {
         // recycles itself; hot extents fall back to plain LRU. Extents
         // pinned by an open metadata transaction are avoided when any other
         // victim exists, so a half-recorded multi-sector update cannot leak
-        // to the device before its intent log commits.
+        // to the device before its intent log commits. Extents that are a
+        // live DMA target (an in-flight fill or write-back chain) are never
+        // victims — when a whole shard is in flight the caller drains the
+        // queue first.
         if self.shards[si].find(base).is_none() && self.shards[si].extents.len() >= cap {
-            let pinned: Vec<bool> = self.shards[si]
-                .extents
-                .iter()
-                .map(|e| self.extent_txn_pinned(e.base))
-                .collect();
-            let pick = |skip_pinned: bool| {
-                self.shards[si]
+            let victim = loop {
+                let pinned: Vec<bool> = self.shards[si]
                     .extents
                     .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !skip_pinned || !pinned[*i])
-                    .min_by_key(|(_, e)| (!e.cold, e.tick))
-                    .map(|(i, _)| i)
+                    .map(|e| self.extent_txn_pinned(e.base))
+                    .collect();
+                let pick = |skip_pinned: bool| {
+                    self.shards[si]
+                        .extents
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.pending == 0 && e.writing == 0)
+                        .filter(|(i, _)| !skip_pinned || !pinned[*i])
+                        .min_by_key(|(_, e)| (!e.cold, e.tick))
+                        .map(|(i, _)| i)
+                };
+                if let Some(v) = pick(true).or_else(|| pick(false)) {
+                    break v;
+                }
+                // Every extent in the shard rides a chain: reap (waiting if
+                // necessary) until one settles, then retry the selection.
+                let reaped = dev.wait_some()?;
+                if reaped.is_empty() {
+                    return Err(crate::FsError::Corrupt(
+                        "full cache shard has no eviction victim".into(),
+                    ));
+                }
+                for c in reaped {
+                    self.apply_completion(&c);
+                }
             };
-            let victim = pick(true).or_else(|| pick(false)).ok_or_else(|| {
-                crate::FsError::Corrupt("full cache shard has no eviction victim".into())
-            })?;
             let victim_base = self.shards[si].extents[victim].base;
             if self.shards[si].extents[victim].dirty != 0 {
                 if self.ordered {
@@ -811,8 +928,20 @@ impl BufCache {
                         push_block(&mut runs, e.base + i);
                     }
                 }
-                for run in runs {
-                    self.write_out_run(dev, run)?;
+                if dev.queue_depth() > 0 {
+                    // Eviction write-back rides the DMA queue too: submit
+                    // the victim's chain and wait for its confirmation (the
+                    // slot is reused immediately, so the write must be
+                    // durable — but at DMA rates, not the polled ones).
+                    self.submit_write_runs(dev, &runs)?;
+                    self.drain_writes(dev)?;
+                    if let Some(err) = self.async_error.take() {
+                        return Err(err);
+                    }
+                } else {
+                    for run in runs {
+                        self.write_out_run(dev, run)?;
+                    }
                 }
             }
             // The closure flush never adds or removes extents, but re-find
@@ -834,6 +963,243 @@ impl BufCache {
         let ext = &mut shard.extents[idx];
         ext.tick = tick;
         Ok(ext)
+    }
+
+    // ---- the asynchronous device pipeline ----------------------------------------------
+    //
+    // When the device reports a command queue ([`BlockDevice::queue_depth`]
+    // > 0 — the SD host in DMA mode), fills and write-backs are *submitted*
+    // as scatter-gather chains and complete later: the data phase runs on
+    // the device timeline while the CPU does other work. The cache tracks
+    // per-block in-flight state (`pending` fills, `writing` write-backs) so
+    // demand reads wait on an in-flight range instead of re-issuing it, and
+    // a power cut or fault that surfaces in a completion converts `writing`
+    // back to dirty — nothing is lost. `fsync`/`flush` are queue-drain
+    // barriers: they return only after every chain's completion is reaped.
+
+    /// Routes one device completion into the cache's in-flight state. Called
+    /// from the kernel's `Interrupt::Dma0` handler and from the synchronous
+    /// wait loops. Unknown command ids (cache invalidated since submission)
+    /// are ignored.
+    pub fn apply_completion(&mut self, comp: &crate::block::SgCompletion) {
+        if comp.write {
+            let Some(runs) = self.inflight_writes.remove(&comp.id) else {
+                return;
+            };
+            match &comp.result {
+                Ok(()) => {
+                    for run in runs {
+                        for b in run.start..run.start + run.len {
+                            let base = Self::extent_base(b);
+                            let si = self.shard_of(base);
+                            let Some(ei) = self.shards[si].find(base) else {
+                                continue;
+                            };
+                            let still_dirty = {
+                                let e = &mut self.shards[si].extents[ei];
+                                if e.writing & Extent::bit(b) == 0 {
+                                    continue;
+                                }
+                                e.writing &= !Extent::bit(b);
+                                e.dirty & Extent::bit(b) != 0
+                            };
+                            self.shards[si].stats.writeback_blocks += 1;
+                            // Durable now. A write-order dependency keyed on
+                            // this block is settled unless a later cache
+                            // write re-dirtied it.
+                            if !still_dirty {
+                                self.deps.remove(&b);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The chain failed (fault, torn power-cut write): every
+                    // unconfirmed block converts back to dirty for retry.
+                    for run in runs {
+                        for b in run.start..run.start + run.len {
+                            let base = Self::extent_base(b);
+                            let si = self.shard_of(base);
+                            let Some(ei) = self.shards[si].find(base) else {
+                                continue;
+                            };
+                            let ext = &mut self.shards[si].extents[ei];
+                            if ext.writing & Extent::bit(b) != 0 {
+                                ext.writing &= !Extent::bit(b);
+                                ext.dirty |= Extent::bit(b);
+                                self.async_write_errors += 1;
+                            }
+                        }
+                    }
+                    if self.async_error.is_none() {
+                        self.async_error = Some(e.clone());
+                    }
+                }
+            }
+        } else {
+            let Some(runs) = self.inflight_reads.remove(&comp.id) else {
+                return;
+            };
+            let total: u64 = runs.iter().map(|r| r.len).sum();
+            let cold = total >= SCAN_RESIST_BLOCKS;
+            match (&comp.result, &comp.data) {
+                (Ok(()), Some(bytes)) => {
+                    let mut off = 0usize;
+                    for run in runs {
+                        for b in run.start..run.start + run.len {
+                            let slice = &bytes[off..off + BLOCK_SIZE];
+                            off += BLOCK_SIZE;
+                            let base = Self::extent_base(b);
+                            let si = self.shard_of(base);
+                            let Some(ei) = self.shards[si].find(base) else {
+                                continue;
+                            };
+                            let e = &mut self.shards[si].extents[ei];
+                            // A write issued after the fill was submitted
+                            // supersedes it (the write cancelled the pending
+                            // bit); never clobber newer data.
+                            if e.pending & Extent::bit(b) == 0 {
+                                continue;
+                            }
+                            e.pending &= !Extent::bit(b);
+                            if e.dirty & Extent::bit(b) == 0 {
+                                e.block_mut(b).copy_from_slice(slice);
+                                e.valid |= Extent::bit(b);
+                                if cold {
+                                    e.cold = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Failed fill: the blocks simply stay missing. A demand
+                    // read covering them re-issues and surfaces the error.
+                    for run in runs {
+                        for b in run.start..run.start + run.len {
+                            let base = Self::extent_base(b);
+                            let si = self.shard_of(base);
+                            if let Some(ei) = self.shards[si].find(base) {
+                                self.shards[si].extents[ei].pending &= !Extent::bit(b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears the `pending` (fill-in-flight) marks of `runs` — the cleanup
+    /// for a fill that failed to submit or whose chain was lost.
+    fn clear_pending_runs(&mut self, runs: &[Run]) {
+        for run in runs {
+            for b in run.start..run.start + run.len {
+                let base = Self::extent_base(b);
+                let si = self.shard_of(base);
+                if let Some(ei) = self.shards[si].find(base) {
+                    self.shards[si].extents[ei].pending &= !Extent::bit(b);
+                }
+            }
+        }
+    }
+
+    /// Reaps every already-finished completion without waiting.
+    fn reap_ready(&mut self, dev: &mut dyn BlockDevice) {
+        for c in dev.poll_completions() {
+            self.apply_completion(&c);
+        }
+    }
+
+    /// Waits for at least one in-flight command and applies it. Returns the
+    /// completions that arrived (empty = nothing was in flight).
+    fn reap_blocking(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+    ) -> FsResult<Vec<crate::block::SgCompletion>> {
+        let comps = dev.wait_some()?;
+        for c in &comps {
+            self.apply_completion(c);
+        }
+        Ok(comps)
+    }
+
+    /// Queue-drain barrier: blocks until every in-flight *write* chain has
+    /// completed and been applied (fills may remain; durability does not
+    /// depend on them).
+    fn drain_writes(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        self.reap_ready(dev);
+        while !self.inflight_writes.is_empty() {
+            if self.reap_blocking(dev)?.is_empty() {
+                // The device lost track of chains we think are in flight
+                // (cache survived a device swap in tests): convert them back
+                // to dirty rather than spinning.
+                let stale: Vec<u64> = self.inflight_writes.keys().copied().collect();
+                for id in stale {
+                    if let Some(runs) = self.inflight_writes.remove(&id) {
+                        for run in runs {
+                            for b in run.start..run.start + run.len {
+                                let base = Self::extent_base(b);
+                                let si = self.shard_of(base);
+                                if let Some(ei) = self.shards[si].find(base) {
+                                    let e = &mut self.shards[si].extents[ei];
+                                    if e.writing & Extent::bit(b) != 0 {
+                                        e.writing &= !Extent::bit(b);
+                                        e.dirty |= Extent::bit(b);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Submits one scatter-gather write chain covering `runs`: snapshots the
+    /// payload from the extents, trades the blocks' dirty bits for `writing`,
+    /// waits for queue space if needed, and returns the blocks submitted.
+    fn submit_write_runs(&mut self, dev: &mut dyn BlockDevice, runs: &[Run]) -> FsResult<u64> {
+        if runs.is_empty() {
+            return Ok(0);
+        }
+        let missing_extent =
+            || crate::FsError::Corrupt("dirty block has no backing cache extent".into());
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        let mut bytes = vec![0u8; total as usize * BLOCK_SIZE];
+        let mut off = 0usize;
+        for run in runs {
+            for b in run.start..run.start + run.len {
+                let base = Self::extent_base(b);
+                let si = self.shard_of(base);
+                let ei = self.shards[si].find(base).ok_or_else(missing_extent)?;
+                bytes[off..off + BLOCK_SIZE].copy_from_slice(self.shards[si].extents[ei].block(b));
+                off += BLOCK_SIZE;
+            }
+        }
+        while !dev.can_submit() {
+            if self.reap_blocking(dev)?.is_empty() {
+                return Err(crate::FsError::Io(
+                    "SD queue full with nothing in flight".into(),
+                ));
+            }
+        }
+        let sg: Vec<(u64, u64)> = runs.iter().map(|r| (r.start, r.len)).collect();
+        let id = dev.submit_write_sg(&sg, &bytes)?;
+        for run in runs {
+            for b in run.start..run.start + run.len {
+                let base = Self::extent_base(b);
+                let si = self.shard_of(base);
+                let ei = self.shards[si].find(base).ok_or_else(missing_extent)?;
+                let e = &mut self.shards[si].extents[ei];
+                e.dirty &= !Extent::bit(b);
+                e.writing |= Extent::bit(b);
+            }
+        }
+        self.inflight_writes.insert(id, runs.to_vec());
+        self.ranges_issued += 1;
+        Ok(total)
     }
 
     // ---- the range-first API ------------------------------------------------------------
@@ -861,6 +1227,9 @@ impl BufCache {
         // FAT lookup does not break a data stream.
         if count >= EXTENT_BLOCKS as u64 {
             self.note_stream_read(lba, count);
+        }
+        if dev.queue_depth() > 0 {
+            return self.read_range_async(dev, lba, count, out);
         }
         // Pass 1: serve hits, collect missing runs.
         let mut missing: Vec<Run> = Vec::new();
@@ -900,6 +1269,160 @@ impl BufCache {
         Ok(())
     }
 
+    /// The demand-read path over an asynchronous device: blocks already in
+    /// flight under an earlier prefetch chain are *waited for* (never
+    /// re-issued — the transfer overlap is the point of the DMA pipeline),
+    /// genuinely missing runs are submitted as scatter-gather chains and
+    /// waited for, and everything is finally copied out of the extents.
+    ///
+    /// The request is served in windows of at most a quarter of the cache:
+    /// a window's fill extents are pinned (`pending`) until they install, so
+    /// bounding the window keeps a huge read from pinning a whole shard with
+    /// nothing evictable — and lets reads far larger than the cache itself
+    /// stream through it, exactly like the synchronous path.
+    fn read_range_async(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        lba: u64,
+        count: u64,
+        out: &mut [u8],
+    ) -> FsResult<()> {
+        self.reap_ready(dev);
+        // Classify once for the statistics: a valid block is a hit; a block
+        // riding an in-flight fill is a hit that waits (`demand_waits`); the
+        // rest are misses.
+        for i in 0..count {
+            let b = lba + i;
+            let base = Self::extent_base(b);
+            let si = self.shard_of(base);
+            let shard = &mut self.shards[si];
+            match shard.find(base) {
+                Some(ei) if shard.extents[ei].has(b) => shard.stats.hits += 1,
+                Some(ei) if shard.extents[ei].pending & Extent::bit(b) != 0 => {
+                    shard.stats.hits += 1;
+                    self.demand_waits += 1;
+                }
+                _ => shard.stats.misses += 1,
+            }
+        }
+        let window = (self.capacity_blocks() as u64 / 4).max(EXTENT_BLOCKS as u64);
+        let mut start = 0u64;
+        while start < count {
+            let len = window.min(count - start);
+            let off = start as usize * BLOCK_SIZE;
+            self.read_window_async(
+                dev,
+                lba + start,
+                len,
+                &mut out[off..off + len as usize * BLOCK_SIZE],
+            )?;
+            start += len;
+        }
+        Ok(())
+    }
+
+    /// Serves one bounded window of [`BufCache::read_range_async`].
+    fn read_window_async(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        lba: u64,
+        count: u64,
+        out: &mut [u8],
+    ) -> FsResult<()> {
+        let mut own_cmds: Vec<u64> = Vec::new();
+        loop {
+            // What still needs the device this iteration?
+            let mut missing: Vec<Run> = Vec::new();
+            let mut waiting = false;
+            for i in 0..count {
+                let b = lba + i;
+                let base = Self::extent_base(b);
+                let si = self.shard_of(base);
+                match self.shards[si].find(base) {
+                    Some(ei) if self.shards[si].extents[ei].has(b) => {}
+                    Some(ei) if self.shards[si].extents[ei].pending & Extent::bit(b) != 0 => {
+                        waiting = true;
+                    }
+                    _ => push_block(&mut missing, b),
+                }
+            }
+            if missing.is_empty() && !waiting {
+                break;
+            }
+            if !missing.is_empty() {
+                // Pin target extents (allocating/evicting now, while nothing
+                // is half-installed) and mark the fill in flight.
+                for run in &missing {
+                    for b in run.start..run.start + run.len {
+                        let ext = self.extent_for(dev, b)?;
+                        ext.pending |= Extent::bit(b);
+                    }
+                }
+                while !dev.can_submit() {
+                    if self.reap_blocking(dev)?.is_empty() {
+                        return Err(crate::FsError::Io(
+                            "SD queue full with nothing in flight".into(),
+                        ));
+                    }
+                }
+                let sg: Vec<(u64, u64)> = missing.iter().map(|r| (r.start, r.len)).collect();
+                let id = match dev.submit_read_sg(&sg) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        // Unpin: a failed submit leaves nothing in flight,
+                        // and pinned-but-never-filled extents must not dodge
+                        // eviction forever.
+                        self.clear_pending_runs(&missing);
+                        return Err(e);
+                    }
+                };
+                self.inflight_reads.insert(id, missing.clone());
+                self.ranges_issued += 1;
+                own_cmds.push(id);
+            }
+            let comps = self.reap_blocking(dev)?;
+            // A failed *demand* chain is this caller's error (a failed
+            // prefetch chain just reverts its blocks to missing and the next
+            // iteration re-issues them as demand).
+            for c in &comps {
+                if own_cmds.contains(&c.id) {
+                    if let Err(e) = &c.result {
+                        return Err(e.clone());
+                    }
+                }
+            }
+            if comps.is_empty() {
+                // Nothing in flight at the device but blocks still marked
+                // pending: stale state (the queue was torn down under us).
+                // Drop the marks so the next iteration re-issues them.
+                for i in 0..count {
+                    let b = lba + i;
+                    let base = Self::extent_base(b);
+                    let si = self.shard_of(base);
+                    if let Some(ei) = self.shards[si].find(base) {
+                        self.shards[si].extents[ei].pending &= !Extent::bit(b);
+                    }
+                }
+            }
+        }
+        // Everything is resident: copy out (and touch for the LRU).
+        for i in 0..count {
+            let b = lba + i;
+            let base = Self::extent_base(b);
+            let si = self.shard_of(base);
+            let tick = self.next_tick();
+            let shard = &mut self.shards[si];
+            let ei = shard
+                .find(base)
+                .ok_or_else(|| crate::FsError::Corrupt("resident block lost its extent".into()))?;
+            let ext = &mut shard.extents[ei];
+            ext.tick = tick;
+            let off = i as usize * BLOCK_SIZE;
+            out[off..off + BLOCK_SIZE].copy_from_slice(ext.block(b));
+        }
+        Ok(())
+    }
+
     /// Speculatively fills the cache with any uncached blocks of
     /// `[lba, lba + count)` without copying them anywhere — the streaming
     /// read-ahead primitive. Missing blocks are coalesced into runs and
@@ -914,6 +1437,10 @@ impl BufCache {
         lba: u64,
         count: u64,
     ) -> FsResult<u64> {
+        let queued = dev.queue_depth() > 0;
+        if queued {
+            self.reap_ready(dev);
+        }
         let mut missing: Vec<Run> = Vec::new();
         for i in 0..count {
             let b = lba + i;
@@ -922,8 +1449,40 @@ impl BufCache {
             let shard = &self.shards[si];
             match shard.find(base) {
                 Some(ei) if shard.extents[ei].has(b) => {}
+                // Already riding an earlier chain: nothing to re-issue.
+                Some(ei) if queued && shard.extents[ei].pending & Extent::bit(b) != 0 => {}
                 _ => push_block(&mut missing, b),
             }
+        }
+        if queued {
+            if missing.is_empty() {
+                return Ok(0);
+            }
+            // Speculative I/O never blocks: a full queue simply drops the
+            // read-ahead (demand will cover the blocks if they matter).
+            if !dev.can_submit() {
+                return Ok(0);
+            }
+            for run in &missing {
+                for b in run.start..run.start + run.len {
+                    let ext = self.extent_for(dev, b)?;
+                    ext.pending |= Extent::bit(b);
+                }
+            }
+            let fetched: u64 = missing.iter().map(|r| r.len).sum();
+            let sg: Vec<(u64, u64)> = missing.iter().map(|r| (r.start, r.len)).collect();
+            let id = match dev.submit_read_sg(&sg) {
+                Ok(id) => id,
+                Err(e) => {
+                    self.clear_pending_runs(&missing);
+                    return Err(e);
+                }
+            };
+            self.inflight_reads.insert(id, missing);
+            self.ranges_issued += 1;
+            self.prefetch_cmds += 1;
+            self.prefetched_blocks += fetched;
+            return Ok(fetched);
         }
         let mut fetched = 0;
         for run in missing {
@@ -964,6 +1523,9 @@ impl BufCache {
             // A plain write reclassifies the block as data; a metadata
             // writer re-tags it via `note_metadata` immediately after.
             ext.meta &= !Extent::bit(b);
+            // A write supersedes any in-flight fill of the same block: the
+            // completion must not clobber this newer data.
+            ext.pending &= !Extent::bit(b);
             ext.cold = cold;
         }
         Ok(())
@@ -1048,7 +1610,18 @@ impl BufCache {
     /// dependencies become clean — so a power cut at any point during the
     /// flush leaves either the old tree or a complete new one, never a
     /// dirent or FAT chain pointing at unwritten clusters.
+    ///
+    /// Over an asynchronous device this is a **queue-drain barrier**: each
+    /// stage submits its runs as scatter-gather chains and then drains the
+    /// queue, so data is *confirmed durable* before the first metadata chain
+    /// is even submitted, and the call returns only once every completion —
+    /// including any failure that surfaced after submission — has been
+    /// reaped. `fsync` and `sync_all` get their durability semantics from
+    /// exactly this.
     pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        if dev.queue_depth() > 0 {
+            return self.flush_async(dev);
+        }
         if self.ordered {
             loop {
                 let (data, _) = self.classed_dirty_runs();
@@ -1084,12 +1657,74 @@ impl BufCache {
         dev.flush()
     }
 
+    /// The queue-drain barrier behind [`BufCache::flush`] for asynchronous
+    /// devices: submit a stage, drain, check for completion-time errors,
+    /// advance to the next stage.
+    fn flush_async(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        // Surface errors from chains that completed since the last barrier
+        // only after this flush has retried their (re-dirtied) blocks — but
+        // do clear the stale flag so an old failure cannot fail a clean run.
+        self.reap_ready(dev);
+        self.async_error = None;
+        loop {
+            let mut progress = false;
+            if self.ordered {
+                let (data, _) = self.classed_dirty_runs();
+                progress |= !data.is_empty();
+                self.submit_write_runs(dev, &data)?;
+                self.drain_writes(dev)?;
+                if let Some(e) = self.async_error.take() {
+                    return Err(e);
+                }
+                let ready = self.ready_meta_runs();
+                progress |= !ready.is_empty();
+                self.submit_write_runs(dev, &ready)?;
+                self.drain_writes(dev)?;
+            } else {
+                let runs = self.dirty_runs();
+                progress |= !runs.is_empty();
+                self.submit_write_runs(dev, &runs)?;
+                self.drain_writes(dev)?;
+            }
+            if let Some(e) = self.async_error.take() {
+                return Err(e);
+            }
+            if !progress {
+                break;
+            }
+        }
+        // Anything still dirty sits on a dependency cycle; a full flush must
+        // drain regardless (counted, like the synchronous path).
+        let (_, stuck) = self.classed_dirty_runs();
+        if !stuck.is_empty() {
+            self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
+            self.submit_write_runs(dev, &stuck)?;
+            self.drain_writes(dev)?;
+            if let Some(e) = self.async_error.take() {
+                return Err(e);
+            }
+        }
+        self.flushes += 1;
+        dev.flush()
+    }
+
     /// Drains every dirty *data*-class block (metadata stays cached dirty)
     /// and issues the device barrier. The intent-log commit path calls this
     /// so the clusters a logged metadata update references are durable
-    /// before the log record that points at them.
+    /// before the log record that points at them. A queue-drain barrier on
+    /// asynchronous devices, like [`BufCache::flush`].
     pub fn flush_data(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
         let (data, _) = self.classed_dirty_runs();
+        if dev.queue_depth() > 0 {
+            self.reap_ready(dev);
+            self.async_error = None;
+            self.submit_write_runs(dev, &data)?;
+            self.drain_writes(dev)?;
+            if let Some(e) = self.async_error.take() {
+                return Err(e);
+            }
+            return dev.flush();
+        }
         for run in data {
             self.write_out_run(dev, run)?;
         }
@@ -1112,6 +1747,9 @@ impl BufCache {
     /// extent cannot starve healthy ones; the first error is returned after
     /// the pass completes.
     pub fn flush_some(&mut self, dev: &mut dyn BlockDevice, max_blocks: u64) -> FsResult<u64> {
+        if dev.queue_depth() > 0 {
+            return self.flush_some_async(dev, max_blocks);
+        }
         let mut written = 0u64;
         let mut first_err: Option<crate::FsError> = None;
         let data_runs = if self.ordered {
@@ -1211,6 +1849,78 @@ impl BufCache {
             Some(e) => Err(e),
             None => Ok(written),
         }
+    }
+
+    /// The budgeted background drain over an asynchronous device: reaps any
+    /// completions that arrived since the last pass (surfacing their errors
+    /// — this is how `kbio` learns a chain it submitted two wakeups ago hit
+    /// a fault or a power cut), then *submits* up to `max_blocks` as one
+    /// scatter-gather chain and returns without waiting. The data phase runs
+    /// on the device timeline; "written" here means handed to the queue.
+    /// Ordering is preserved across passes because metadata is considered
+    /// only once no data block is dirty *or in flight* — i.e. only after the
+    /// data chains' completions confirmed durability.
+    fn flush_some_async(&mut self, dev: &mut dyn BlockDevice, max_blocks: u64) -> FsResult<u64> {
+        self.reap_ready(dev);
+        if let Some(e) = self.async_error.take() {
+            return Err(e);
+        }
+        let clip = |runs: Vec<Run>, budget: u64| {
+            let mut out: Vec<Run> = Vec::new();
+            let mut left = budget;
+            for r in runs {
+                if left == 0 {
+                    break;
+                }
+                let take = r.len.min(left);
+                out.push(Run {
+                    start: r.start,
+                    len: take,
+                });
+                left -= take;
+            }
+            out
+        };
+        // One chain per contiguous run, never blocking on a full queue: a
+        // run that keeps failing (bad sector) re-dirties only itself, so the
+        // healthy runs around it still drain — the same no-starvation
+        // contract the polled path keeps by skipping faulting runs.
+        let mut submit_each = |cache: &mut Self, runs: Vec<Run>| -> FsResult<u64> {
+            let mut n = 0u64;
+            for run in runs {
+                if !dev.can_submit() {
+                    break;
+                }
+                n += cache.submit_write_runs(dev, &[run])?;
+            }
+            Ok(n)
+        };
+        let data_runs = if self.ordered {
+            self.classed_dirty_runs().0
+        } else {
+            self.dirty_runs()
+        };
+        let mut submitted = submit_each(self, clip(data_runs, max_blocks))?;
+        if self.ordered && submitted < max_blocks && !self.any_dirty_data() {
+            // Data is durable (previous passes' completions confirmed it):
+            // metadata whose dependencies are clean may follow. The cycle
+            // backstop mirrors the synchronous path.
+            let ready = self.ready_meta_runs();
+            if !ready.is_empty() {
+                submitted += submit_each(self, clip(ready, max_blocks - submitted))?;
+            } else if self.dirty_blocks() > 0 && self.inflight_writes.is_empty() {
+                let (_, stuck) = self.classed_dirty_runs();
+                let stuck = clip(stuck, max_blocks - submitted);
+                if !stuck.is_empty() {
+                    self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
+                    submitted += submit_each(self, stuck)?;
+                }
+            }
+        }
+        if submitted > 0 {
+            self.partial_flushes += 1;
+        }
+        Ok(submitted)
     }
 
     /// Borrows the cache and device together, flushing when the guard drops.
@@ -1771,6 +2481,255 @@ mod tests {
         assert_eq!(bc.meta_txn_touched(), vec![7, 33]);
         bc.end_meta_txn();
         assert!(bc.meta_txn_touched().is_empty());
+    }
+
+    mod dma {
+        use super::*;
+        use crate::block::{SdBlockDevice, SdDmaCtx};
+        use hal::clock::Clock;
+        use hal::cost::CostModel;
+        use hal::dma::DmaEngine;
+        use hal::sdhost::{SdDataMode, SdHost};
+
+        struct Rig {
+            sd: SdHost,
+            engine: DmaEngine,
+            clock: Clock,
+            cost: CostModel,
+        }
+
+        impl Rig {
+            fn new(blocks: u64) -> Self {
+                let mut sd = SdHost::new(blocks);
+                sd.init().unwrap();
+                sd.set_data_mode(SdDataMode::Dma);
+                Rig {
+                    sd,
+                    engine: DmaEngine::new(),
+                    clock: Clock::new(1, 1_000_000_000),
+                    cost: CostModel::pi3(),
+                }
+            }
+
+            fn dev(&mut self) -> SdBlockDevice<'_> {
+                SdBlockDevice::with_dma(
+                    &mut self.sd,
+                    0,
+                    u64::MAX / 1024, // partition covers the card
+                    Some(SdDmaCtx {
+                        engine: &mut self.engine,
+                        clock: &mut self.clock,
+                        cost: &self.cost,
+                        core: 0,
+                    }),
+                )
+            }
+        }
+
+        #[test]
+        fn async_flush_is_a_queue_drain_barrier() {
+            let mut rig = Rig::new(4096);
+            let mut bc = BufCache::default();
+            let data = vec![0x77u8; BLOCK_SIZE * 24];
+            bc.write_range(&mut rig.dev(), 100, 24, &data).unwrap();
+            assert_eq!(bc.dirty_blocks(), 24);
+            let before = rig.clock.cycles(0);
+            bc.flush(&mut rig.dev()).unwrap();
+            assert_eq!(bc.dirty_blocks(), 0, "barrier confirmed durability");
+            assert_eq!(bc.inflight_cmds(), 0);
+            assert!(
+                rig.clock.cycles(0) > before,
+                "the wait advanced the core clock by the chain's duration"
+            );
+            assert_eq!(rig.sd.dma_cmds(), 1, "one scatter-gather chain");
+            let mut back = vec![0u8; BLOCK_SIZE * 24];
+            rig.sd.read_range(100, 24, &mut back).unwrap();
+            assert_eq!(back, data);
+            assert_eq!(bc.stats().writebacks, 24);
+        }
+
+        #[test]
+        fn flush_some_submits_without_draining_and_dirty_tracks_inflight() {
+            let mut rig = Rig::new(4096);
+            let mut bc = BufCache::default();
+            let data = vec![0x55u8; BLOCK_SIZE * 16];
+            bc.write_range(&mut rig.dev(), 0, 16, &data).unwrap();
+            let submitted = bc.flush_some(&mut rig.dev(), 8).unwrap();
+            assert_eq!(submitted, 8, "budget clips the chain");
+            assert_eq!(
+                bc.dirty_blocks(),
+                16,
+                "submitted blocks still count until their completion confirms"
+            );
+            assert_eq!(bc.inflight_cmds(), 1);
+            // Reap by waiting: the next pass applies the completion first.
+            let mut dev = rig.dev();
+            let comps = dev.wait_some().unwrap();
+            for c in &comps {
+                bc.apply_completion(c);
+            }
+            assert_eq!(bc.dirty_blocks(), 8, "confirmed blocks are durable");
+        }
+
+        #[test]
+        fn one_faulty_run_does_not_starve_healthy_background_writeback() {
+            // The no-starvation contract of the polled flush_some, kept under
+            // DMA: each contiguous run rides its own chain, so a permanently
+            // bad sector re-dirties only its run while the rest drains.
+            let mut rig = Rig::new(4096);
+            rig.sd.inject_fault(4);
+            let mut bc = BufCache::default();
+            let data = vec![0xABu8; BLOCK_SIZE * 8];
+            bc.write_range(&mut rig.dev(), 0, 8, &data).unwrap(); // covers fault
+            bc.write_range(&mut rig.dev(), 64, 8, &data).unwrap(); // healthy
+            let mut passes = 0;
+            while bc.dirty_blocks() > 8 && passes < 10 {
+                // Background cadence: submit, let chains complete, reap on
+                // the next pass (errors surface there; keep going).
+                let _ = bc.flush_some(&mut rig.dev(), 64);
+                let mut dev = rig.dev();
+                let comps = dev.wait_some().unwrap();
+                for c in &comps {
+                    bc.apply_completion(c);
+                }
+                passes += 1;
+            }
+            assert_eq!(
+                bc.dirty_blocks(),
+                8,
+                "healthy run drained while the faulty one is retained"
+            );
+            let mut raw = [0u8; BLOCK_SIZE];
+            rig.sd.read_block(64, &mut raw).unwrap();
+            assert_eq!(raw, [0xABu8; BLOCK_SIZE]);
+            // The fault clears: the retained run drains too.
+            rig.sd.clear_faults();
+            while bc.dirty_blocks() > 0 {
+                let _ = bc.flush_some(&mut rig.dev(), 64);
+                let mut dev = rig.dev();
+                let comps = dev.wait_some().unwrap();
+                for c in &comps {
+                    bc.apply_completion(c);
+                }
+            }
+            rig.sd.read_block(4, &mut raw).unwrap();
+            assert_eq!(raw, [0xABu8; BLOCK_SIZE]);
+        }
+
+        #[test]
+        fn reads_larger_than_the_cache_stream_through_it() {
+            // The demand path serves requests in bounded windows, so a read
+            // bigger than the whole cache must not wedge on pinned extents.
+            let mut rig = Rig::new(16384);
+            for lba in 0..4096u64 {
+                rig.sd
+                    .write_block(lba, &[(lba % 251) as u8; BLOCK_SIZE])
+                    .unwrap();
+            }
+            // Tiny cache: 2 shards x 2 extents = 32 blocks; read 2048.
+            let mut bc = BufCache::with_geometry(2, 2);
+            let mut out = vec![0u8; 2048 * BLOCK_SIZE];
+            bc.read_range(&mut rig.dev(), 0, 2048, &mut out).unwrap();
+            for (i, chunk) in out.chunks(BLOCK_SIZE).enumerate() {
+                assert!(
+                    chunk.iter().all(|b| *b == (i as u64 % 251) as u8),
+                    "block {i} content"
+                );
+            }
+        }
+
+        #[test]
+        fn demand_read_waits_on_an_inflight_prefetch_instead_of_reissuing() {
+            let mut rig = Rig::new(4096);
+            for lba in 0..64 {
+                rig.sd.write_block(lba, &[lba as u8; BLOCK_SIZE]).unwrap();
+            }
+            let mut bc = BufCache::default();
+            bc.set_prefetch(true);
+            assert_eq!(bc.prefetch_range(&mut rig.dev(), 8, 16).unwrap(), 16);
+            assert_eq!(bc.inflight_cmds(), 1, "prefetch submitted, not waited");
+            assert_eq!(bc.stats().prefetch_cmds, 1);
+            // The demand read covers the in-flight range: it must wait for
+            // the same chain, not issue a second one.
+            let mut out = vec![0u8; BLOCK_SIZE * 16];
+            bc.read_range(&mut rig.dev(), 8, 16, &mut out).unwrap();
+            assert_eq!(rig.sd.dma_cmds(), 1, "no re-issue");
+            assert_eq!(bc.stats().demand_waits, 16);
+            assert_eq!(bc.stats().hits, 16, "waited blocks count as hits");
+            assert!(out[..BLOCK_SIZE].iter().all(|b| *b == 8));
+        }
+
+        #[test]
+        fn failed_async_writeback_leaves_blocks_dirty_and_retryable() {
+            let mut rig = Rig::new(4096);
+            rig.sd.inject_fault(5);
+            let mut bc = BufCache::default();
+            let data = vec![0xEEu8; BLOCK_SIZE * 8];
+            bc.write_range(&mut rig.dev(), 0, 8, &data).unwrap();
+            assert!(
+                bc.flush(&mut rig.dev()).is_err(),
+                "fault surfaces at the barrier"
+            );
+            assert_eq!(bc.dirty_blocks(), 8, "failed chain loses nothing");
+            assert!(bc.stats().async_write_errors > 0);
+            rig.sd.clear_faults();
+            bc.flush(&mut rig.dev()).unwrap();
+            assert_eq!(bc.dirty_blocks(), 0);
+            let mut back = [0u8; BLOCK_SIZE];
+            rig.sd.read_block(5, &mut back).unwrap();
+            assert_eq!(back, [0xEEu8; BLOCK_SIZE]);
+        }
+
+        #[test]
+        fn torn_dma_chain_persists_a_prefix_and_ordered_metadata_never_precedes_data() {
+            let mut rig = Rig::new(4096);
+            let mut bc = BufCache::default();
+            // Metadata at a low LBA depending on data at a high LBA: the
+            // ordered async drain submits the data chain first and the
+            // metadata chain only after the data completion confirmed.
+            bc.write(&mut rig.dev(), 2, &[0xAEu8; BLOCK_SIZE]).unwrap();
+            bc.note_metadata(2, 1);
+            let data = vec![0xDAu8; BLOCK_SIZE * 8];
+            bc.write_range(&mut rig.dev(), 100, 8, &data).unwrap();
+            bc.add_dependency(2, 1, 100, 8);
+            rig.sd.power_cut_after(5);
+            assert!(
+                bc.flush(&mut rig.dev()).is_err(),
+                "torn chain fails the barrier"
+            );
+            assert_eq!(rig.sd.torn_writes(), 1);
+            rig.sd.power_restored();
+            let mut raw = [0u8; BLOCK_SIZE];
+            rig.sd.read_block(2, &mut raw).unwrap();
+            assert_eq!(raw, [0u8; BLOCK_SIZE], "metadata never hit the wire");
+            rig.sd.read_block(105, &mut raw).unwrap();
+            assert_eq!(raw, [0u8; BLOCK_SIZE], "past the cut nothing landed");
+            rig.sd.read_block(100, &mut raw).unwrap();
+            assert_eq!(raw, [0xDAu8; BLOCK_SIZE], "prefix persisted");
+            // Power back: the retried barrier completes the pair.
+            bc.flush(&mut rig.dev()).unwrap();
+            rig.sd.read_block(2, &mut raw).unwrap();
+            assert_eq!(raw, [0xAEu8; BLOCK_SIZE]);
+            assert_eq!(bc.stats().forced_meta_writes, 0);
+        }
+
+        #[test]
+        fn full_prefetch_queue_drops_the_speculation() {
+            let mut rig = Rig::new(65536);
+            let mut bc = BufCache::default();
+            bc.set_prefetch(true);
+            // Fill the queue with distinct prefetch chains.
+            let mut issued = 0;
+            for i in 0..hal::sdhost::SD_QUEUE_DEPTH as u64 + 3 {
+                issued +=
+                    u64::from(bc.prefetch_range(&mut rig.dev(), 1000 + i * 64, 8).unwrap() > 0);
+            }
+            assert_eq!(
+                issued,
+                hal::sdhost::SD_QUEUE_DEPTH as u64,
+                "overflow prefetches were dropped, not blocked on"
+            );
+        }
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //!   cache-*bypass* hack paid for §5.2 — while also keeping hot clusters
 //!   cached, which the bypass never could. On top of that, `read_at`
 //!   prefetches the next run of a detected sequential stream (see
-//!   [`Fat32::read_at`]). Metadata (BPB, FAT, directories) shares the same
-//!   cache, so there is exactly one consistency domain.
+//!   [`Fat32::read_at`]); with the SD host's DMA data path active the cache
+//!   turns that prefetch into an in-flight scatter-gather chain the next
+//!   demand read *waits on* instead of re-issuing — genuine
+//!   transfer/compute overlap rather than just a discounted setup cost.
+//!   Metadata (BPB, FAT, directories) shares the same cache, so there is
+//!   exactly one consistency domain.
 //! * **No inodes.** FAT has no inode concept; the kernel VFS layers
 //!   pseudo-inodes on top (see the kernel crate), exactly as Proto bridges
 //!   FatFS into its xv6-style file table.

@@ -150,6 +150,15 @@ pub struct CostModel {
     /// (amortises the command latency; used by the buffer cache's coalesced
     /// range fills and write-backs, §5.2).
     pub sd_range_block_transfer: Cycles,
+    /// Per-block cost of the SD data phase when the controller streams it by
+    /// scatter-gather DMA instead of the CPU polling the FIFO. Charged to the
+    /// *device* timeline (the completion deadline of the programmed control
+    /// block chain), not the CPU — the whole point of the DMA data path is
+    /// that the CPU overlaps it. Calibrated well below the polled rates: a
+    /// UHS-class card freed from the byte-at-a-time FIFO streams a 512-byte
+    /// block in single-digit microseconds, which is what makes transfer
+    /// overlap (read-ahead) visible at all.
+    pub sd_dma_block_transfer: Cycles,
     /// Cost of a buffer-cache lookup/insert.
     pub bufcache_op: Cycles,
     /// Per-byte cost of copying between the buffer cache and user memory.
@@ -253,6 +262,7 @@ impl CostModel {
             sd_cmd_latency: 110_000,
             sd_block_poll_transfer: 1_250_000,
             sd_range_block_transfer: 470_000,
+            sd_dma_block_transfer: 6_000,
             bufcache_op: 800,
             bufcache_copy_per_byte_milli: 600,
             ramdisk_per_byte_milli: 400,
@@ -293,6 +303,7 @@ impl CostModel {
         m.sd_cmd_latency = 18_000;
         m.sd_block_poll_transfer = 90_000;
         m.sd_range_block_transfer = 42_000;
+        m.sd_dma_block_transfer = 2_000;
         m.boot_firmware_load = 400_000_000;
         m.boot_usb_init = 120_000_000;
         m
@@ -311,6 +322,7 @@ impl CostModel {
         m.sd_cmd_latency = 20_000;
         m.sd_block_poll_transfer = 100_000;
         m.sd_range_block_transfer = 46_000;
+        m.sd_dma_block_transfer = 2_200;
         m.boot_firmware_load = 420_000_000;
         m.boot_usb_init = 130_000_000;
         m
@@ -353,6 +365,16 @@ impl CostModel {
     /// Cost of the naive memmove for `bytes` bytes, user-scaled.
     pub fn memmove_slow(&self, bytes: u64) -> Cycles {
         self.user_cost(self.per_byte(self.memmove_slow_per_byte_milli, bytes))
+    }
+
+    /// Device-timeline duration of one scatter-gather control block moving
+    /// `blocks` 512-byte SD blocks: the engine's setup cost, the card's
+    /// DMA-mode data phase, and the engine's streaming rate for the payload.
+    pub fn sd_dma_run(&self, blocks: u64) -> Cycles {
+        let bytes = blocks.saturating_mul(512);
+        self.dma_setup
+            .saturating_add(blocks.saturating_mul(self.sd_dma_block_transfer))
+            .saturating_add(self.per_byte(self.dma_per_byte_milli, bytes))
     }
 }
 
@@ -415,6 +437,22 @@ mod tests {
             assert_eq!(CostModel::for_platform(p).platform, p);
             assert!(!p.name().is_empty());
         }
+    }
+
+    #[test]
+    fn dma_data_phase_is_far_below_the_polled_floor() {
+        let m = CostModel::pi3();
+        // One block by DMA (setup amortised over a long run) vs the polled
+        // FIFO: the driver evolution the §5.2 follow-on models. The per-block
+        // DMA cost must sit well under even the amortised range rate.
+        let per_block_dma = m.sd_dma_run(256) / 256;
+        assert!(
+            per_block_dma * 10 < m.sd_range_block_transfer,
+            "dma {per_block_dma} cycles/block should be >=10x below the \
+             {} range rate",
+            m.sd_range_block_transfer
+        );
+        assert!(per_block_dma * 100 < m.sd_block_poll_transfer);
     }
 
     #[test]

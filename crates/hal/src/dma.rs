@@ -2,10 +2,15 @@
 //!
 //! The BCM2837 has 16 DMA channels; Proto uses channel 0 to stream audio
 //! samples from a memory ring buffer into the PWM FIFO, paced by the PWM
-//! data-request signal (§4.4). The model provides timed memory-to-memory and
-//! memory-to-device transfers: a transfer programmed now completes after a
-//! duration derived from the cost model, at which point the channel raises
-//! [`Interrupt::Dma0`].
+//! data-request signal (§4.4), and — since the SD driver grew its DMA data
+//! path — to run the scatter-gather control-block chains of CMD18/CMD25 data
+//! phases ([`DmaDest::SdChain`]). The model provides timed transfers: a
+//! transfer programmed now completes after a duration derived from the cost
+//! model, at which point the channel raises [`Interrupt::Dma0`]. Drivers
+//! that wait synchronously instead poll the channel status with
+//! [`DmaEngine::poll_channel`] after advancing their core clock to
+//! [`DmaEngine::busy_until`], exactly as a real driver spins on the CS
+//! register instead of taking the interrupt.
 
 use crate::clock::Cycles;
 use crate::intc::{Interrupt, IrqController};
@@ -17,13 +22,22 @@ use crate::{HalError, HalResult};
 pub const NUM_CHANNELS: usize = 4;
 
 /// Where a DMA transfer delivers its data.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaDest {
     /// Copy into physical memory at the given address.
     Memory(PhysAddr),
     /// Deliver to a peripheral FIFO (the PWM audio FIFO); the data is handed
     /// to the caller on completion so the board can push it into the device.
     PeripheralFifo,
+    /// A scatter-gather control-block chain carrying the data phase of one
+    /// queued SD command. The engine only models the chain's *timing*; the SD
+    /// host applies the data movement when its driver reaps the completion
+    /// (`SdHost::finish_dma`), keyed by this command id. No simulated DRAM
+    /// traffic occurs — the filesystem buffers live outside [`PhysMem`].
+    SdChain {
+        /// Id of the queued SD command whose data phase this chain carries.
+        cmd_id: u64,
+    },
 }
 
 /// A programmed DMA control block.
@@ -138,14 +152,21 @@ impl DmaEngine {
                 continue;
             }
             let (transfer, _) = ch.active.take().expect("checked above");
-            let mut data = vec![0u8; transfer.len];
-            mem.read(transfer.src, &mut data)?;
             let fifo_data = match &transfer.dest {
                 DmaDest::Memory(dst) => {
+                    let mut data = vec![0u8; transfer.len];
+                    mem.read(transfer.src, &mut data)?;
                     mem.write(*dst, &data)?;
                     None
                 }
-                DmaDest::PeripheralFifo => Some(data),
+                DmaDest::PeripheralFifo => {
+                    let mut data = vec![0u8; transfer.len];
+                    mem.read(transfer.src, &mut data)?;
+                    Some(data)
+                }
+                // SD chains carry no simulated-DRAM payload; the SD host
+                // applies the data phase when the driver reaps `cmd_id`.
+                DmaDest::SdChain { .. } => None,
             };
             ch.completions += 1;
             self.finished.push(DmaCompletion {
@@ -163,6 +184,51 @@ impl DmaEngine {
     /// Drains the completion queue (the driver reads this in its IRQ handler).
     pub fn take_completions(&mut self) -> Vec<DmaCompletion> {
         std::mem::take(&mut self.finished)
+    }
+
+    /// When the transfer active on `channel` will complete, if one is active.
+    pub fn busy_until(&self, channel: usize) -> Option<Cycles> {
+        self.channels
+            .get(channel)?
+            .active
+            .as_ref()
+            .map(|(_, done_at)| *done_at)
+    }
+
+    /// Polled reap: if the transfer active on `channel` is an SD chain whose
+    /// deadline has passed, completes it *without* raising the interrupt —
+    /// the synchronous-wait path where the driver spins on the channel status
+    /// register instead of sleeping until the IRQ. Returns the completed
+    /// chain's command id. Non-SD transfers are left for [`DmaEngine::tick`].
+    pub fn poll_channel(&mut self, channel: usize, now: Cycles) -> Option<u64> {
+        let ch = self.channels.get_mut(channel)?;
+        match &ch.active {
+            Some((t, done_at)) if *done_at <= now => {
+                if let DmaDest::SdChain { cmd_id } = t.dest {
+                    ch.active = None;
+                    ch.completions += 1;
+                    Some(cmd_id)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Extracts the SD-chain command ids already moved to the finished list
+    /// by [`DmaEngine::tick`] (their [`Interrupt::Dma0`] may or may not have
+    /// been serviced yet), leaving non-SD completions in place.
+    pub fn take_finished_sd(&mut self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        self.finished.retain(|c| match c.transfer.dest {
+            DmaDest::SdChain { cmd_id } => {
+                ids.push(cmd_id);
+                false
+            }
+            _ => true,
+        });
+        ids
     }
 }
 

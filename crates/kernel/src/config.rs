@@ -159,6 +159,15 @@ pub struct KernelConfig {
     /// overwrite) commit through the on-volume intent log, replayed at
     /// mount — making them atomic across power cuts.
     pub fat_intent_log: bool,
+    /// SD data phases move by scatter-gather DMA through the asynchronous
+    /// command queue instead of the CPU polling the FIFO — the driver
+    /// evolution that lifts the polled-transfer floor. Off in the xv6
+    /// baseline, whose driver stays polled.
+    pub sd_dma: bool,
+    /// Drive the `kbio` flusher's wakeup interval off the cache dirty ratio
+    /// (sleep longer when clean, wake early past the high-water mark)
+    /// instead of the fixed `flush_interval_ms`.
+    pub adaptive_flush: bool,
 }
 
 impl KernelConfig {
@@ -198,6 +207,8 @@ impl KernelConfig {
             prefetch: n >= 5,
             ordered_writeback: true,
             fat_intent_log: true,
+            sd_dma: n >= 5,
+            adaptive_flush: n >= 5,
         }
     }
 
@@ -222,6 +233,9 @@ impl KernelConfig {
         // drain in pure LBA order and metadata updates are not logged.
         c.ordered_writeback = false;
         c.fat_intent_log = false;
+        // ...and its SD driver polls the FIFO — no DMA, no command queue.
+        c.sd_dma = false;
+        c.adaptive_flush = false;
         c
     }
 
@@ -301,6 +315,9 @@ mod tests {
         assert!(!b.ordered_writeback && !b.fat_intent_log);
         assert!(p5.ordered_writeback && p5.fat_intent_log);
         assert!(p4.ordered_writeback, "ordering is a correctness default");
+        assert!(p5.sd_dma && p5.adaptive_flush);
+        assert!(!b.sd_dma, "the baseline's SD driver stays polled");
+        assert!(!p4.sd_dma, "prototype 4 has no SD card at all");
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub const RAMDISK_BYTES: u64 = 8 * 1024 * 1024;
 pub const FAT_PARTITION_START: u64 = 8192;
 /// Scheduler tick period in microseconds.
 pub const TICK_US: u64 = 10_000;
+/// Dirty-ratio high-water mark: past this, the adaptive flusher wakes early
+/// and writers kick a sleeping `kbio` immediately.
+pub const KBIO_HIGH_WATER: f64 = 0.5;
 /// Nominal size of the kernel image + packed ramdisk, for memory accounting
 /// (the paper's Prototype 5 kernel is ~33 kSLoC plus an 8 MB ramdisk dump).
 pub const KERNEL_IMAGE_BYTES: u64 = 2 * 1024 * 1024 + RAMDISK_BYTES;
@@ -52,14 +55,46 @@ pub const KERNEL_IMAGE_BYTES: u64 = 2 * 1024 * 1024 + RAMDISK_BYTES;
 /// A point-in-time snapshot of SD traffic counters plus the FAT cache's
 /// prefetch-command counter; syscalls diff two snapshots to charge the right
 /// cycle cost for exactly the commands they caused (prefetch-issued commands
-/// get their setup latency discounted — it overlaps the previous transfer).
+/// get their setup latency discounted — it overlaps the previous transfer;
+/// DMA chains charge command issue + control-block setup + per-block
+/// completion bookkeeping, while their data phase runs on the device
+/// timeline and shows up as wait time, not as a CPU charge).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct SdSnapshot {
     pub(crate) single_cmds: u64,
     pub(crate) range_cmds: u64,
     pub(crate) blocks: u64,
     pub(crate) prefetch_cmds: u64,
+    pub(crate) dma_cmds: u64,
+    pub(crate) dma_cbs: u64,
+    pub(crate) dma_blocks: u64,
 }
+
+/// Builds the FAT volume's block-device adapter over the SD card, attaching
+/// the DMA context (engine + clock + cost model) whenever the kernel's SD
+/// data path runs in DMA mode — so every filesystem call site drives the
+/// same asynchronous queue. All borrows are disjoint `board` fields.
+macro_rules! fat_dev {
+    ($k:expr, $core:expr) => {{
+        let total = $k.board.sdhost.total_blocks();
+        protofs::block::SdBlockDevice::with_dma(
+            &mut $k.board.sdhost,
+            crate::kernel::FAT_PARTITION_START,
+            total - crate::kernel::FAT_PARTITION_START,
+            if $k.config.sd_dma {
+                Some(protofs::block::SdDmaCtx {
+                    engine: &mut $k.board.dma,
+                    clock: &mut $k.board.clock,
+                    cost: &$k.board.cost,
+                    core: $core,
+                })
+            } else {
+                None
+            },
+        )
+    }};
+}
+pub(crate) use fat_dev;
 
 /// Boot-time measurements (Figure 8's right-hand table).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -196,7 +231,9 @@ impl UserProgram for KbioThread {
     fn step(&mut self, ctx: &mut UserCtx<'_>) -> StepResult {
         let core = ctx.core;
         ctx.kernel.kbio_service(core);
-        let interval = ctx.kernel.config.flush_interval_ms.max(1);
+        // Adaptive cadence: the post-drain dirty ratio decides how soon the
+        // flusher needs to look again.
+        let interval = ctx.kernel.kbio_next_interval_ms();
         let _ = ctx.sleep_ms(interval);
         StepResult::Continue
     }
@@ -536,6 +573,7 @@ impl Kernel {
             self.config.background_flush = false;
             self.config.prefetch = false;
             self.config.ordered_writeback = false;
+            self.config.sd_dma = false;
             self.fat_bufcache.set_ordered_writeback(false);
             self.root_bufcache.set_ordered_writeback(false);
             if let Some(f) = self.fatfs.as_mut() {
@@ -543,6 +581,16 @@ impl Kernel {
             }
         }
         self.fat_bufcache.set_prefetch(self.config.prefetch);
+        self.root_bufcache.set_prefetch(self.config.prefetch);
+        // The DMA data path: scatter-gather chains on channel 0 with the
+        // async command queue. The polled mode stays the fallback (and the
+        // xv6-baseline behaviour).
+        if self.config.sd_card && self.config.fat32 && self.config.sd_dma {
+            self.board
+                .sdhost
+                .set_data_mode(hal::sdhost::SdDataMode::Dma);
+            self.board.intc.enable(Interrupt::Dma0);
+        }
 
         // The window-manager kernel thread.
         if self.config.window_manager {
@@ -631,12 +679,7 @@ impl Kernel {
             .as_ref()
             .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))?
             .clone();
-        let total = self.board.sdhost.total_blocks();
-        let mut dev = protofs::block::SdBlockDevice::new(
-            &mut self.board.sdhost,
-            FAT_PARTITION_START,
-            total - FAT_PARTITION_START,
-        );
+        let mut dev = fat_dev!(self, 0);
         fat.write_file(&mut dev, &mut self.fat_bufcache, volume_path, data)?;
         // Image-building writes happen outside any task context; push them to
         // the card immediately so the installed image is always mountable.
@@ -651,12 +694,7 @@ impl Kernel {
             .as_ref()
             .ok_or_else(|| KernelError::NotSupported("FAT32 not mounted".into()))?
             .clone();
-        let total = self.board.sdhost.total_blocks();
-        let mut dev = protofs::block::SdBlockDevice::new(
-            &mut self.board.sdhost,
-            FAT_PARTITION_START,
-            total - FAT_PARTITION_START,
-        );
+        let mut dev = fat_dev!(self, 0);
         let result = match fat.create(&mut dev, &mut self.fat_bufcache, volume_path, true) {
             Ok(_) => Ok(()),
             Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
@@ -976,6 +1014,23 @@ impl Kernel {
                 }
             }
             Interrupt::Dma0 => {
+                // Channel-0 completions carry either audio refills or SD
+                // scatter-gather chains. The SD ones flow back through the
+                // driver (`finish_dma` applies the data phase; the adapter
+                // kicks the next queued chain) and into the FAT cache's
+                // in-flight state — this handler used to silently drop
+                // them, which is why no storage byte ever moved by DMA.
+                if self.config.sd_dma {
+                    use protofs::block::BlockDevice as _;
+                    let comps = {
+                        let mut dev = fat_dev!(self, core);
+                        dev.poll_completions()
+                    };
+                    for c in &comps {
+                        self.fat_bufcache.apply_completion(c);
+                    }
+                }
+                // Anything left (audio transfers) drains as before.
                 let _ = self.board.dma.take_completions();
                 self.sound.refill(&mut self.board.pwm);
                 self.wake_all(WaitChannel::SoundSpace);
@@ -1075,16 +1130,15 @@ impl Kernel {
         }
         let budget = self.config.flush_budget_blocks.max(1);
         let kbio = self.kbio_task;
-        // FAT32 on the SD card.
+        // FAT32 on the SD card. In DMA mode `flush_some` first reaps any
+        // chains that completed since the last pass (surfacing their
+        // errors), then *submits* up to the budget and returns — the data
+        // phase runs on the device timeline, so kbio's CPU bill is just the
+        // command issue and bookkeeping.
         if self.fatfs.is_some() && self.fat_bufcache.dirty_blocks() > 0 {
             let before = self.sd_snapshot();
             let result = {
-                let total = self.board.sdhost.total_blocks();
-                let mut dev = protofs::block::SdBlockDevice::new(
-                    &mut self.board.sdhost,
-                    FAT_PARTITION_START,
-                    total - FAT_PARTITION_START,
-                );
+                let mut dev = fat_dev!(self, core);
                 self.fat_bufcache.flush_some(&mut dev, budget)
             };
             self.charge_sd_delta(core, kbio, before);
@@ -1444,6 +1498,9 @@ impl Kernel {
             range_cmds: self.board.sdhost.range_cmds(),
             blocks: self.board.sdhost.blocks_transferred(),
             prefetch_cmds: self.fat_bufcache.stats().prefetch_cmds,
+            dma_cmds: self.board.sdhost.dma_cmds(),
+            dma_cbs: self.board.sdhost.sg_control_blocks(),
+            dma_blocks: self.board.sdhost.dma_blocks(),
         }
     }
 
@@ -1523,6 +1580,72 @@ impl Kernel {
             }
         }
         self.config.background_flush = enabled;
+    }
+
+    /// Enables or disables the SD DMA data path at runtime (the DMA half of
+    /// the storage ablation). Disabling drains the async queue first —
+    /// `close`-style semantics must never strand an in-flight chain — and
+    /// drops the host back to polled transfers.
+    pub fn set_sd_dma(&mut self, enabled: bool) {
+        if !enabled && self.config.sd_dma {
+            // Barrier while the DMA context still exists.
+            let _ = self.sync_all();
+        }
+        self.config.sd_dma = enabled && self.config.sd_card;
+        self.board.sdhost.set_data_mode(if self.config.sd_dma {
+            hal::sdhost::SdDataMode::Dma
+        } else {
+            hal::sdhost::SdDataMode::Pio
+        });
+        if self.config.sd_dma {
+            self.board.intc.enable(Interrupt::Dma0);
+        }
+    }
+
+    /// Worst-case dirty ratio across the write-back caches (0.0 = both
+    /// clean), the signal the adaptive flusher cadence runs on.
+    pub fn cache_dirty_ratio(&self) -> f64 {
+        let ratio = |dirty: usize, cap: usize| dirty as f64 / cap.max(1) as f64;
+        ratio(
+            self.fat_bufcache.dirty_blocks(),
+            self.fat_bufcache.capacity_blocks(),
+        )
+        .max(ratio(
+            self.root_bufcache.dirty_blocks(),
+            self.root_bufcache.capacity_blocks(),
+        ))
+    }
+
+    /// How long `kbio` should sleep before its next pass. With adaptive
+    /// flushing (the default) the fixed `flush_interval_ms` becomes a
+    /// midpoint: a cache past the high-water mark quarters the interval, a
+    /// completely clean pair of caches sleeps four intervals, anything in
+    /// between keeps the configured cadence.
+    pub fn kbio_next_interval_ms(&self) -> u64 {
+        let base = self.config.flush_interval_ms.max(1);
+        if !self.config.adaptive_flush {
+            return base;
+        }
+        let ratio = self.cache_dirty_ratio();
+        if ratio >= KBIO_HIGH_WATER {
+            (base / 4).max(1)
+        } else if ratio > 0.0 {
+            base
+        } else {
+            base * 4
+        }
+    }
+
+    /// Called by the write paths after dirtying cache blocks: a cache past
+    /// the high-water mark wakes a sleeping `kbio` immediately instead of
+    /// letting dirty data pile up until the timer fires.
+    pub(crate) fn maybe_kick_kbio(&mut self) {
+        if !self.config.background_flush || !self.config.adaptive_flush || self.kbio_task == 0 {
+            return;
+        }
+        if self.cache_dirty_ratio() >= KBIO_HIGH_WATER {
+            self.wake_task(self.kbio_task);
+        }
     }
 
     /// Enables or disables dependency-ordered write-back on both caches (the

@@ -12,7 +12,7 @@ use hal::framebuffer::BYTES_PER_PIXEL;
 
 use crate::error::{KResult, KernelError};
 use crate::exec::ProgramImage;
-use crate::kernel::{Kernel, FAT_PARTITION_START};
+use crate::kernel::{fat_dev, Kernel};
 use crate::mm::addrspace::RegionKind;
 use crate::mm::pagetable::MapFlags;
 use crate::sync::SemWaitResult;
@@ -78,8 +78,13 @@ impl Kernel {
     /// SD commands issued since `before`. Commands the cache issued as
     /// *prefetch* get their command-setup latency discounted: the read-ahead
     /// is dispatched while the previous transfer's data is still streaming,
-    /// so its setup overlaps instead of serialising — the polled data phase
-    /// itself is still paid in full (the paper's driver has no DMA).
+    /// so its setup overlaps instead of serialising. Polled commands still
+    /// pay their full data phase on the CPU; DMA chains instead charge the
+    /// CPU-side work only — control-block construction (`dma_setup` per
+    /// scatter-gather run), per-block cache bookkeeping on the completion
+    /// path, and the bounce copy between the DMA region and the extents —
+    /// while the data phase itself elapses on the device timeline and shows
+    /// up as wait time when (and only when) a demand read has to block on it.
     pub(crate) fn charge_sd_delta(
         &mut self,
         core: usize,
@@ -89,12 +94,19 @@ impl Kernel {
         let after = self.sd_snapshot();
         let singles = after.single_cmds - before.single_cmds;
         let ranges = after.range_cmds - before.range_cmds;
-        let blocks = after.blocks - before.blocks;
+        let dma_cmds = after.dma_cmds - before.dma_cmds;
+        let dma_cbs = after.dma_cbs - before.dma_cbs;
+        let dma_blocks = after.dma_blocks - before.dma_blocks;
+        let pio_blocks = (after.blocks - before.blocks).saturating_sub(dma_blocks);
         let prefetched = after.prefetch_cmds - before.prefetch_cmds;
         let cost = &self.board.cost;
-        let mut cycles = (singles + ranges).saturating_sub(prefetched) * cost.sd_cmd_latency
+        let mut cycles = (singles + ranges + dma_cmds).saturating_sub(prefetched)
+            * cost.sd_cmd_latency
             + singles * cost.sd_block_poll_transfer
-            + blocks.saturating_sub(singles) * cost.sd_range_block_transfer;
+            + pio_blocks.saturating_sub(singles) * cost.sd_range_block_transfer
+            + dma_cbs * cost.dma_setup
+            + dma_blocks * cost.bufcache_op
+            + cost.per_byte(cost.memmove_fast_per_byte_milli, dma_blocks * 512);
         if self.config.variant == crate::config::KernelVariant::Xv6Baseline {
             // The baseline's simpler SD driver is measurably slower (§7.2).
             cycles = cycles * 8 / 5;
@@ -406,12 +418,7 @@ impl Kernel {
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 {
-                    let total = self.board.sdhost.total_blocks();
-                    let mut dev = protofs::block::SdBlockDevice::new(
-                        &mut self.board.sdhost,
-                        FAT_PARTITION_START,
-                        total - FAT_PARTITION_START,
-                    );
+                    let mut dev = fat_dev!(self, core);
                     match fat.lookup(&mut dev, &mut self.fat_bufcache, &inner) {
                         Ok(_) => {}
                         Err(protofs::FsError::NotFound(_)) if flags.create => {
@@ -468,12 +475,7 @@ impl Kernel {
         }
         let before = self.sd_snapshot();
         let result = {
-            let total = self.board.sdhost.total_blocks();
-            let mut dev = protofs::block::SdBlockDevice::new(
-                &mut self.board.sdhost,
-                FAT_PARTITION_START,
-                total - FAT_PARTITION_START,
-            );
+            let mut dev = fat_dev!(self, core);
             self.fat_bufcache.flush(&mut dev)
         };
         self.charge_sd_delta(core, task, before);
@@ -611,12 +613,7 @@ impl Kernel {
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 let entry = {
-                    let total = self.board.sdhost.total_blocks();
-                    let mut dev = protofs::block::SdBlockDevice::new(
-                        &mut self.board.sdhost,
-                        FAT_PARTITION_START,
-                        total - FAT_PARTITION_START,
-                    );
+                    let mut dev = fat_dev!(self, core);
                     fat.lookup(&mut dev, &mut self.fat_bufcache, &inner)?
                 };
                 self.charge_sd_delta(core, task, before);
@@ -652,12 +649,7 @@ impl Kernel {
             }
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
-                let total = self.board.sdhost.total_blocks();
-                let mut dev = protofs::block::SdBlockDevice::new(
-                    &mut self.board.sdhost,
-                    FAT_PARTITION_START,
-                    total - FAT_PARTITION_START,
-                );
+                let mut dev = fat_dev!(self, core);
                 fat.create(&mut dev, &mut self.fat_bufcache, &inner, true)?;
                 Ok(())
             }
@@ -683,12 +675,7 @@ impl Kernel {
             }
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
-                let total = self.board.sdhost.total_blocks();
-                let mut dev = protofs::block::SdBlockDevice::new(
-                    &mut self.board.sdhost,
-                    FAT_PARTITION_START,
-                    total - FAT_PARTITION_START,
-                );
+                let mut dev = fat_dev!(self, core);
                 fat.remove(&mut dev, &mut self.fat_bufcache, &inner)?;
                 Ok(())
             }
@@ -722,12 +709,7 @@ impl Kernel {
             }
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
-                let total = self.board.sdhost.total_blocks();
-                let mut dev = protofs::block::SdBlockDevice::new(
-                    &mut self.board.sdhost,
-                    FAT_PARTITION_START,
-                    total - FAT_PARTITION_START,
-                );
+                let mut dev = fat_dev!(self, core);
                 Ok(fat
                     .list_dir(&mut dev, &mut self.fat_bufcache, &inner)?
                     .into_iter()
@@ -785,12 +767,7 @@ impl Kernel {
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 let data = {
-                    let total = self.board.sdhost.total_blocks();
-                    let mut dev = protofs::block::SdBlockDevice::new(
-                        &mut self.board.sdhost,
-                        FAT_PARTITION_START,
-                        total - FAT_PARTITION_START,
-                    );
+                    let mut dev = fat_dev!(self, core);
                     fat.read_at(
                         &mut dev,
                         &mut self.fat_bufcache,
@@ -1019,18 +996,14 @@ impl Kernel {
                 );
                 self.advance_offset(task, fd, n as u64)?;
                 self.mark_written(task, fd);
+                self.maybe_kick_kbio();
                 Ok(n)
             }
             FileKind::Fat { volume_path, .. } => {
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 {
-                    let total = self.board.sdhost.total_blocks();
-                    let mut dev = protofs::block::SdBlockDevice::new(
-                        &mut self.board.sdhost,
-                        FAT_PARTITION_START,
-                        total - FAT_PARTITION_START,
-                    );
+                    let mut dev = fat_dev!(self, core);
                     if offset == 0 {
                         fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, data)?;
                     } else {
@@ -1048,6 +1021,7 @@ impl Kernel {
                 self.charge_sd_delta(core, task, before);
                 self.advance_offset(task, fd, data.len() as u64)?;
                 self.mark_written(task, fd);
+                self.maybe_kick_kbio();
                 Ok(data.len())
             }
             FileKind::Proc { .. } => {

@@ -17,6 +17,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use proto_repro::hal::clock::Clock;
+use proto_repro::hal::cost::CostModel;
+use proto_repro::hal::dma::DmaEngine;
+use proto_repro::hal::sdhost::{SdDataMode, SdHost};
+use proto_repro::protofs::block::{SdBlockDevice, SdDmaCtx};
 use proto_repro::protofs::bufcache::BufCache;
 use proto_repro::protofs::fat32::{Bpb, Fat32, FIRST_CLUSTER};
 use proto_repro::protofs::xv6fs::{InodeType, Xv6Fs};
@@ -539,6 +544,170 @@ fn fat32_cut_during_rename_leaves_exactly_one_intact_name() {
             ),
         }
     }
+}
+
+/// An SD card in DMA mode with its own engine + clock — the scatter-gather
+/// async path the kernel runs, reproduced standalone so the crash sweeps can
+/// cut power mid-chain deterministically.
+struct DmaRig {
+    sd: SdHost,
+    engine: DmaEngine,
+    clock: Clock,
+    cost: CostModel,
+}
+
+impl DmaRig {
+    fn new(blocks: u64) -> Self {
+        let mut sd = SdHost::new(blocks);
+        sd.init().unwrap();
+        sd.set_data_mode(SdDataMode::Dma);
+        DmaRig {
+            sd,
+            engine: DmaEngine::new(),
+            clock: Clock::new(1, 1_000_000_000),
+            cost: CostModel::pi3(),
+        }
+    }
+
+    fn dev(&mut self) -> SdBlockDevice<'_> {
+        let total = self.sd.total_blocks();
+        SdBlockDevice::with_dma(
+            &mut self.sd,
+            0,
+            total,
+            Some(SdDmaCtx {
+                engine: &mut self.engine,
+                clock: &mut self.clock,
+                cost: &self.cost,
+                core: 0,
+            }),
+        )
+    }
+
+    /// What actually persisted on the card (the post-power-cut medium),
+    /// as a remountable image.
+    fn image(&mut self) -> Vec<u8> {
+        let blocks = self.sd.total_blocks();
+        let mut out = vec![0u8; blocks as usize * BLOCK_SIZE];
+        self.sd.read_range(0, blocks, &mut out).unwrap();
+        out
+    }
+}
+
+#[test]
+fn fat32_dma_torn_sg_write_cut_sweep_keeps_remount_invariants() {
+    // The DMA twin of the ordering regression sweep: a fresh file drains as
+    // scatter-gather CMD25 chains, and an armed power cut tears the chain at
+    // block granularity — only a prefix persists, the completion reports the
+    // failure, and the re-dirtied blocks survive in the cache. At every cut
+    // point the remounted card must show the old tree or the complete file.
+    let data = pattern(21, 1, 16 * 1024);
+    let total = {
+        let mut rig = DmaRig::new(8 * 1024);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut rig.dev(), &mut bc).unwrap();
+        bc.flush(&mut rig.dev()).unwrap();
+        fs.write_file(&mut rig.dev(), &mut bc, "/a.bin", &data)
+            .unwrap();
+        bc.dirty_blocks() as u64
+    };
+    assert!(total > 8, "scenario should span FAT + dirent + data");
+    let mut torn_chains = 0u64;
+    let mut saw_complete = false;
+    for k in 0..=total {
+        let mut rig = DmaRig::new(8 * 1024);
+        let mut bc = BufCache::default();
+        let fs = Fat32::mkfs(&mut rig.dev(), &mut bc).unwrap();
+        bc.flush(&mut rig.dev()).unwrap();
+        fs.write_file(&mut rig.dev(), &mut bc, "/a.bin", &data)
+            .unwrap();
+        rig.sd.power_cut_after(k);
+        let flush = bc.flush(&mut rig.dev());
+        if k < total {
+            assert!(flush.is_err(), "cut at {k}/{total} must fail the barrier");
+            // A torn chain re-dirties everything it carried (the completion
+            // cannot know which prefix persisted), so at least the uncut
+            // remainder is retained for retry.
+            assert!(
+                bc.dirty_blocks() as u64 >= total - k,
+                "cut at {k}/{total}: unconfirmed blocks stay dirty for retry"
+            );
+        }
+        torn_chains += rig.sd.torn_writes();
+        rig.sd.power_restored();
+        let mut disk2 = MemDisk::from_image(rig.image());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        match fs2.lookup(&mut disk2, &mut bc2, "/a.bin") {
+            Err(FsError::NotFound(_)) => {} // old tree: always legal
+            Ok(_) => {
+                let content = fs2.read_file(&mut disk2, &mut bc2, "/a.bin").unwrap();
+                assert_eq!(
+                    content, data,
+                    "cut at {k}/{total}: a visible file must be complete"
+                );
+                saw_complete = true;
+            }
+            Err(e) => panic!("cut at {k}/{total}: lookup failed oddly: {e}"),
+        }
+        // The structural invariants hold on every persisted image.
+        check_fat_structure(&mut disk2, &mut bc2, &fs2, &format!("dma cut {k}"));
+    }
+    assert!(
+        torn_chains > 0,
+        "the sweep must tear at least one scatter-gather chain mid-transfer"
+    );
+    assert!(saw_complete, "the uncut run must land the complete file");
+}
+
+#[test]
+fn fat32_dma_failed_chain_leaves_blocks_dirty_and_retryable() {
+    // A chain that hits an injected fault completes with an error: the
+    // cache converts the in-flight blocks back to dirty, nothing reaches a
+    // remount, and clearing the fault lets the retried barrier finish the
+    // job bit-exactly.
+    let data = pattern(22, 1, 24 * 1024);
+    let mut rig = DmaRig::new(8 * 1024);
+    let mut bc = BufCache::default();
+    let fs = Fat32::mkfs(&mut rig.dev(), &mut bc).unwrap();
+    bc.flush(&mut rig.dev()).unwrap();
+    fs.write_file(&mut rig.dev(), &mut bc, "/r.bin", &data)
+        .unwrap();
+    let dirty = bc.dirty_blocks();
+    assert!(dirty > 0);
+    // Fault a block in the middle of the data area the file will land in.
+    let bpb = fs.bpb();
+    let faulty = bpb.data_start as u64 + 8;
+    rig.sd.inject_fault(faulty);
+    assert!(
+        bc.flush(&mut rig.dev()).is_err(),
+        "the failed chain surfaces at the barrier"
+    );
+    assert!(
+        bc.dirty_blocks() > 0,
+        "failed DMA run leaves its blocks dirty for retry"
+    );
+    assert!(bc.stats().async_write_errors > 0);
+    // Card recovers. Before retrying, the file must not be visible on the
+    // persisted medium (its chain never completed and, ordered, its
+    // metadata never preceded the data).
+    rig.sd.clear_faults();
+    {
+        let mut disk2 = MemDisk::from_image(rig.image());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        assert!(matches!(
+            fs2.lookup(&mut disk2, &mut bc2, "/r.bin"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+    // The retry drains everything.
+    bc.flush(&mut rig.dev()).unwrap();
+    assert_eq!(bc.dirty_blocks(), 0);
+    let mut disk2 = MemDisk::from_image(rig.image());
+    let mut bc2 = BufCache::default();
+    let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+    assert_eq!(fs2.read_file(&mut disk2, &mut bc2, "/r.bin").unwrap(), data);
 }
 
 #[test]

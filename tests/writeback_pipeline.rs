@@ -263,6 +263,85 @@ fn ordered_writeback_survives_a_power_cut_mid_kbio_drain() {
 }
 
 #[test]
+fn dma_completions_route_through_the_irq_handler_to_the_flusher() {
+    // End to end: a deferred close leaves dirty extents; kbio *submits*
+    // scatter-gather chains and returns; the chains complete on the device
+    // timeline and their Interrupt::Dma0 completions are routed back into
+    // the cache (for years this handler silently discarded them) — only
+    // then does dirty reach zero and the data the card.
+    let mut sys = ProtoSystem::desktop().unwrap();
+    assert!(sys.kernel.config.sd_dma, "desktop runs the DMA data path");
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/irq.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0xB7u8; 64 * 1024])?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    assert!(sys.kernel.fat_dirty_blocks() > 0, "close deferred to kbio");
+    let dma_before = sys.kernel.board.sdhost.dma_cmds();
+    let drained = sys
+        .kernel
+        .run_until(|k| k.fat_dirty_blocks() == 0, 10_000_000);
+    assert!(drained, "kbio drained through the async queue");
+    assert!(
+        sys.kernel.board.sdhost.dma_cmds() > dma_before,
+        "the background drain moved by DMA chains, not polled commands"
+    );
+    assert_eq!(
+        sys.kernel.board.sdhost.queue_len(),
+        0,
+        "every chain was reaped"
+    );
+    let total = sys.kernel.board.sdhost.total_blocks();
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/irq.bin").unwrap(),
+        vec![0xB7u8; 64 * 1024]
+    );
+}
+
+#[test]
+fn adaptive_flusher_interval_tracks_the_dirty_ratio() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    assert!(sys.kernel.config.adaptive_flush);
+    let base = sys.kernel.config.flush_interval_ms;
+    // Both caches clean (drain whatever boot left behind): sleep long.
+    sys.kernel.sync_all().unwrap();
+    assert_eq!(sys.kernel.kbio_next_interval_ms(), base * 4);
+    // Push the FAT cache past the high-water mark: wake early.
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/hw.bin", OpenFlags::wronly_create())?;
+            // 384 KB dirties ~75% of the 512 KB cache.
+            ctx.write(fd, &vec![0x42u8; 384 * 1024])?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    assert!(sys.kernel.cache_dirty_ratio() >= kernel::kernel::KBIO_HIGH_WATER);
+    assert_eq!(sys.kernel.kbio_next_interval_ms(), (base / 4).max(1));
+    // With the knob off, the cadence is fixed regardless of ratio.
+    sys.kernel.config.adaptive_flush = false;
+    assert_eq!(sys.kernel.kbio_next_interval_ms(), base);
+    sys.kernel.config.adaptive_flush = true;
+    // Drain to quiescence: the long interval returns.
+    let drained = sys
+        .kernel
+        .run_until(|k| k.fat_dirty_blocks() == 0, 20_000_000);
+    assert!(drained);
+    sys.kernel.sync_all().unwrap();
+    assert_eq!(sys.kernel.kbio_next_interval_ms(), base * 4);
+}
+
+#[test]
 fn without_the_flusher_close_drains_synchronously_and_bills_the_writer() {
     let mut sys = ProtoSystem::desktop().unwrap();
     // The ablation switch: revert to PR-1 close-flush semantics.
