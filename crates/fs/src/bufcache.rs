@@ -68,6 +68,26 @@
 //!     reaped. A completion that reports a fault or a torn power-cut write
 //!     converts `writing` back to dirty — a failed chain is retryable and
 //!     loses nothing ([`BufCacheStats::async_write_errors`]).
+//!   - *Batched eviction (the deep-queue write path)*: a cache-pressure
+//!     eviction no longer submits one extent-sized chain and drains it in
+//!     lockstep. The victim's dirty runs are merged with every other ready
+//!     dirty *data* run across the cache, packed into bounded
+//!     multi-control-block chains ([`WB_CHAIN_BLOCKS`] blocks /
+//!     [`WB_CHAIN_RUNS`] CBs each — adjacent runs from different extents
+//!     travel as one chain, like the read path's run coalescing) and
+//!     submitted back-to-back until the queue is full; the allocator then
+//!     reuses whichever extent *settles first* instead of waiting for the
+//!     victim's own chain. One stall therefore pays for many future
+//!     evictions and the queue stays genuinely deep
+//!     ([`BufCacheStats::batched_evictions`], the
+//!     [`BufCache::queue_occupancy`] histogram;
+//!     [`BufCache::set_batched_writeback`] restores the one-deep lockstep
+//!     for the ablation). A writer that still hits a full queue counts a
+//!     [`BufCacheStats::queue_full_stalls`] before spin-reaping, which the
+//!     kernel uses to kick a sleeping flusher first. The barriers split
+//!     their drains into the same bounded chains, so a torn or faulted
+//!     chain re-dirties at most [`WB_CHAIN_BLOCKS`] blocks — and only its
+//!     own.
 //!   - *Barriers*: [`BufCache::flush`] (fsync, unmount) and
 //!     [`BufCache::flush_data`] (the intent-log commit point) are
 //!     queue-drain barriers — they submit, then drain every write chain and
@@ -95,7 +115,17 @@
 //!   tests). The metadata-transaction recorder
 //!   ([`BufCache::begin_meta_txn`]) additionally pins and collects the
 //!   sectors of a multi-sector update so FAT32's intent log can commit them
-//!   atomically.
+//!   atomically. The cache also hosts the intent log's **group-commit
+//!   accumulator** (`group_*` methods): finished-but-uncommitted logged
+//!   transactions park their sectors here — pinned against eviction,
+//!   excluded from every incremental drain (even when their dependencies
+//!   are clean: draining half a pending rename early would expose it), and
+//!   with their freed allocation units reserved
+//!   ([`BufCache::note_pending_free`]) so no later transaction can reuse a
+//!   cluster the old tree still references — until FAT32 writes the group's
+//!   single commit record, capturing the payloads at commit time. The state
+//!   lives in the cache because the `Fat32` object itself is cloned per
+//!   kernel call.
 //!
 //! The §5.2 ablation is preserved as a *policy* rather than a bypass:
 //! [`BufCache::set_coalescing`] switches the fill/write-back paths between
@@ -119,6 +149,22 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// *plus* its read-ahead window *plus* hot metadata resident at once, so
 /// read-ahead never evicts what it just fetched).
 pub const DEFAULT_NBUF: usize = 1024;
+/// Maximum blocks one batched write-back chain carries (64 KB). Splitting a
+/// full-cache drain into chains of this size lets the queue pipeline several
+/// entries (command setup of chain N+1 overlaps chain N's data phase) and
+/// bounds how much is re-dirtied when a single chain is torn or faulted.
+pub const WB_CHAIN_BLOCKS: u64 = 128;
+/// Maximum scatter-gather runs (control blocks) per batched write-back
+/// chain, bounding descriptor-table size for badly fragmented dirty sets.
+pub const WB_CHAIN_RUNS: usize = 16;
+/// Initial per-stream read-ahead window in blocks (32 KB), granted when a
+/// stream slot first detects sequentiality.
+pub const INITIAL_READAHEAD_BLOCKS: u64 = 64;
+/// Per-stream read-ahead window ceiling in blocks (128 KB, one maximal
+/// cluster run). Each stream slot ramps its own window from
+/// [`INITIAL_READAHEAD_BLOCKS`] by doubling per sequential continuation, so
+/// an interleaved second stream cannot reset the first's depth.
+pub const MAX_READAHEAD_BLOCKS: u64 = 256;
 
 /// One aligned multi-block cache extent.
 #[derive(Debug, Clone)]
@@ -249,6 +295,23 @@ pub struct BufCacheStats {
     /// Blocks whose asynchronous write-back completed with an error and were
     /// converted back to dirty for retry.
     pub async_write_errors: u64,
+    /// Write submissions that found the device queue full and had to block
+    /// reaping completions before their chain could be accepted — the
+    /// backlog signal the kernel's write path uses to kick a sleeping
+    /// flusher before spinning on its own chains.
+    pub queue_full_stalls: u64,
+    /// Cache-pressure evictions served by the batched write-back path: the
+    /// victim's dirty runs (plus ready dirty data from across the cache)
+    /// were submitted as back-to-back chains and the allocator took whatever
+    /// extent settled first instead of draining the victim's own chain.
+    pub batched_evictions: u64,
+    /// Logged metadata transactions appended to the intent log's group
+    /// commit accumulator (FAT32 mkdir/rename/remove/overwrite).
+    pub log_txns: u64,
+    /// Intent-log commit records actually flushed to the device. With group
+    /// commit, one record covers up to `group_commit_ops` transactions, so
+    /// `log_commits` grows several times slower than `log_txns`.
+    pub log_commits: u64,
 }
 
 #[derive(Debug, Default)]
@@ -283,6 +346,12 @@ struct Stream {
     next_lba: u64,
     /// Consecutive reads that continued the stream.
     streak: u32,
+    /// This stream's own read-ahead window in blocks: starts at
+    /// [`INITIAL_READAHEAD_BLOCKS`] when the slot is claimed and doubles per
+    /// sequential continuation up to [`MAX_READAHEAD_BLOCKS`]. Ramp state is
+    /// per slot, so a second interleaved stream ramps independently instead
+    /// of resetting this one's depth.
+    window: u64,
     /// LRU stamp for slot replacement.
     tick: u64,
 }
@@ -299,6 +368,36 @@ fn push_block(runs: &mut Vec<Run>, lba: u64) {
         Some(r) if r.start + r.len == lba => r.len += 1,
         _ => runs.push(Run { start: lba, len: 1 }),
     }
+}
+
+/// Packs sorted, disjoint dirty runs into scatter-gather chains bounded by
+/// `max_blocks` and `max_runs` control blocks each, splitting oversized runs
+/// at the block bound. A full-cache drain therefore pipelines as several
+/// queue entries — the device starts chain N+1's data phase right after
+/// chain N — and a torn or faulted chain re-dirties at most `max_blocks`.
+fn pack_chains(runs: &[Run], max_blocks: u64, max_runs: usize) -> Vec<Vec<Run>> {
+    let mut chains: Vec<Vec<Run>> = Vec::new();
+    let mut cur: Vec<Run> = Vec::new();
+    let mut cur_blocks = 0u64;
+    for r in runs {
+        let mut start = r.start;
+        let mut left = r.len;
+        while left > 0 {
+            if cur_blocks >= max_blocks || cur.len() >= max_runs {
+                chains.push(std::mem::take(&mut cur));
+                cur_blocks = 0;
+            }
+            let take = left.min(max_blocks - cur_blocks);
+            cur.push(Run { start, len: take });
+            cur_blocks += take;
+            start += take;
+            left -= take;
+        }
+    }
+    if !cur.is_empty() {
+        chains.push(cur);
+    }
+    chains
 }
 
 /// The sharded, extent-based, write-back buffer cache.
@@ -331,6 +430,30 @@ pub struct BufCache {
     /// extents are also pinned against eviction so no half of a multi-sector
     /// metadata update can leak to the device before the log commits.
     meta_txn: Option<Vec<u64>>,
+    /// The intent log's group-commit accumulator: the sectors of logged
+    /// transactions whose commit record has not been written yet. Payloads
+    /// are captured at *commit* time (so a record can never roll back an
+    /// interleaved non-logged write to a shared sector); until then the
+    /// sectors' extents stay pinned against eviction and the budgeted
+    /// drain's cycle backstop leaves them alone. Owned by the cache — the
+    /// shared mutable state every filesystem call threads — because the
+    /// FAT32 object itself is cloned per call; FAT32 drives it through the
+    /// `group_*` methods.
+    group: std::collections::BTreeSet<u64>,
+    /// Logged transactions sitting in the open group.
+    group_ops: u64,
+    /// Allocation units (FAT cluster numbers) freed by a transaction whose
+    /// commit record is not yet durable. The allocator must not hand these
+    /// out again until the frees commit: reusing one would let new data
+    /// overwrite blocks the *old* tree still references, so a cut before
+    /// the commit point could expose a blend instead of old-XOR-new.
+    /// Cleared when the group commits or a full flush makes the frees
+    /// durable.
+    pending_frees: std::collections::BTreeSet<u32>,
+    /// When false, cache-pressure eviction over a queued device reverts to
+    /// the PR 4 submit-one-chain-then-drain lockstep (the batched-write-back
+    /// ablation switch). On by default.
+    batched_wb: bool,
     /// In-flight asynchronous fills: command id → the runs it will install.
     inflight_reads: HashMap<u64, Vec<Run>>,
     /// In-flight asynchronous write-backs: command id → the runs it persists.
@@ -342,6 +465,14 @@ pub struct BufCache {
     forced_meta_writes: u64,
     demand_waits: u64,
     async_write_errors: u64,
+    queue_full_stalls: u64,
+    batched_evictions: u64,
+    log_txns: u64,
+    log_commits: u64,
+    /// Histogram of the device queue's occupancy observed right after each
+    /// write-chain submission (index = commands in flight, clamped to the
+    /// last bucket) — how deep the write path actually keeps the queue.
+    wb_occupancy: [u64; 9],
     tick: u64,
     ranges_issued: u64,
     singles_issued: u64,
@@ -385,12 +516,21 @@ impl BufCache {
             ordered: true,
             deps: HashMap::new(),
             meta_txn: None,
+            group: std::collections::BTreeSet::new(),
+            group_ops: 0,
+            pending_frees: std::collections::BTreeSet::new(),
+            batched_wb: true,
             inflight_reads: HashMap::new(),
             inflight_writes: HashMap::new(),
             async_error: None,
             forced_meta_writes: 0,
             demand_waits: 0,
             async_write_errors: 0,
+            queue_full_stalls: 0,
+            batched_evictions: 0,
+            log_txns: 0,
+            log_commits: 0,
+            wb_occupancy: [0; 9],
             tick: 0,
             ranges_issued: 0,
             singles_issued: 0,
@@ -436,6 +576,91 @@ impl BufCache {
     /// Whether the drain is dependency-ordered.
     pub fn ordered_writeback(&self) -> bool {
         self.ordered
+    }
+
+    /// Enables or disables batched eviction write-back over queued devices
+    /// (the deep-queue ablation switch). Off reverts cache-pressure eviction
+    /// to the submit-one-chain-then-drain lockstep.
+    pub fn set_batched_writeback(&mut self, batched: bool) {
+        self.batched_wb = batched;
+    }
+
+    /// Whether eviction write-back batches chains across extents.
+    pub fn batched_writeback(&self) -> bool {
+        self.batched_wb
+    }
+
+    /// Occupancy histogram of the device command queue, sampled right after
+    /// each write-chain submission (index = in-flight commands, clamped to
+    /// the last bucket).
+    pub fn queue_occupancy(&self) -> [u64; 9] {
+        self.wb_occupancy
+    }
+
+    // ---- the intent log's group-commit accumulator ---------------------------------------
+
+    /// Adds one logged sector to the open commit group (idempotent). The
+    /// sector's extent is pinned against eviction until
+    /// [`BufCache::group_clear_committed`]; its payload is read from the
+    /// cache at commit time.
+    pub fn group_append(&mut self, lba: u64) {
+        self.group.insert(lba);
+    }
+
+    /// Counts one logged transaction folded into the open group.
+    pub fn group_note_txn(&mut self) {
+        self.group_ops += 1;
+        self.log_txns += 1;
+    }
+
+    /// Logged transactions sitting in the open (uncommitted) group.
+    pub fn group_txns(&self) -> u64 {
+        self.group_ops
+    }
+
+    /// Distinct sectors the open group would log.
+    pub fn group_sectors(&self) -> usize {
+        self.group.len()
+    }
+
+    /// The open group's sectors, sorted.
+    pub fn group_entries(&self) -> Vec<u64> {
+        self.group.iter().copied().collect()
+    }
+
+    /// Whether the open group already logs `lba`.
+    pub fn group_contains(&self, lba: u64) -> bool {
+        self.group.contains(&lba)
+    }
+
+    /// Clears the group after its commit record reached the device, counting
+    /// one commit and releasing the eviction pins and the pending-free
+    /// reservations.
+    pub fn group_clear_committed(&mut self) {
+        self.group.clear();
+        self.group_ops = 0;
+        self.pending_frees.clear();
+        self.log_commits += 1;
+    }
+
+    /// Reserves an allocation unit (a FAT cluster number) freed by a
+    /// not-yet-committed transaction: [`BufCache::is_pending_free`] stays
+    /// true — and the allocator must skip the unit — until the free is
+    /// durable (group commit or full flush).
+    pub fn note_pending_free(&mut self, cluster: u32) {
+        self.pending_frees.insert(cluster);
+    }
+
+    /// Whether an allocation unit awaits a durable free and must not be
+    /// reused yet.
+    pub fn is_pending_free(&self, cluster: u32) -> bool {
+        self.pending_frees.contains(&cluster)
+    }
+
+    /// Whether any allocation unit is still reserved behind a not-yet-
+    /// durable free.
+    pub fn has_pending_frees(&self) -> bool {
+        !self.pending_frees.is_empty()
     }
 
     /// Classifies `count` blocks starting at `lba` as filesystem metadata.
@@ -534,6 +759,19 @@ impl BufCache {
             .unwrap_or(0)
     }
 
+    /// The most recently touched stream's own read-ahead window, in blocks.
+    /// Each slot ramps independently ([`INITIAL_READAHEAD_BLOCKS`] doubling
+    /// to [`MAX_READAHEAD_BLOCKS`] per continuation), so this reflects *that
+    /// stream's* depth: an interleaved second stream reports its own (fresh)
+    /// window without having reset this one's.
+    pub fn stream_window(&self) -> u64 {
+        self.streams
+            .iter()
+            .max_by_key(|s| s.tick)
+            .map(|s| s.window)
+            .unwrap_or(0)
+    }
+
     /// Records a qualifying (cluster-sized or larger) range read in the
     /// stream table: extends the stream it continues, or claims the
     /// least-recently-touched slot for a new stream.
@@ -546,6 +784,10 @@ impl BufCache {
         {
             s.streak = s.streak.saturating_add(1);
             s.next_lba = lba + count;
+            // The slot's own ramp: double the window per continuation. Other
+            // slots' windows are untouched, so an interleaved stream cannot
+            // reset an established one's depth.
+            s.window = (s.window * 2).min(MAX_READAHEAD_BLOCKS);
             s.tick = tick;
             return;
         }
@@ -553,6 +795,7 @@ impl BufCache {
             *slot = Stream {
                 next_lba: lba + count,
                 streak: 0,
+                window: INITIAL_READAHEAD_BLOCKS,
                 tick,
             };
         }
@@ -586,6 +829,10 @@ impl BufCache {
             forced_meta_writes: self.forced_meta_writes,
             demand_waits: self.demand_waits,
             async_write_errors: self.async_write_errors,
+            queue_full_stalls: self.queue_full_stalls,
+            batched_evictions: self.batched_evictions,
+            log_txns: self.log_txns,
+            log_commits: self.log_commits,
             ..Default::default()
         };
         for s in &self.shards {
@@ -643,6 +890,10 @@ impl BufCache {
         }
         self.deps.clear();
         self.meta_txn = None;
+        // An uncommitted group dies with the cache contents it described.
+        self.group.clear();
+        self.group_ops = 0;
+        self.pending_frees.clear();
         // Completions for dropped extents are ignored when they arrive.
         self.inflight_reads.clear();
         self.inflight_writes.clear();
@@ -698,11 +949,13 @@ impl BufCache {
         })
     }
 
-    /// Whether the extent is pinned by an open metadata transaction.
+    /// Whether the extent is pinned by an open metadata transaction or by a
+    /// logged sector awaiting its group's commit record.
     fn extent_txn_pinned(&self, base: u64) -> bool {
         self.meta_txn
             .as_ref()
             .is_some_and(|txn| txn.iter().any(|&l| Self::extent_base(l) == base))
+            || self.group.iter().any(|&l| Self::extent_base(l) == base)
     }
 
     /// All dirty blocks, split into (data runs, metadata runs), each sorted
@@ -734,6 +987,41 @@ impl BufCache {
             runs
         };
         (collect(data), collect(meta))
+    }
+
+    /// Whether `lba` is a logged sector awaiting its group's commit record.
+    /// Such sectors are deliberately held back by their (cyclic) ordering
+    /// edges until the commit clears them — the budgeted drain's cycle
+    /// backstop must not mistake them for stuck blocks and force them out,
+    /// or a power cut could tear the uncommitted transaction.
+    fn group_holds(&self, lba: u64) -> bool {
+        self.group.contains(&lba)
+    }
+
+    /// `runs` minus every block the open commit group holds.
+    fn without_group_sectors(&self, runs: Vec<Run>) -> Vec<Run> {
+        let mut out: Vec<Run> = Vec::new();
+        for r in runs {
+            for b in r.start..r.start + r.len {
+                if !self.group_holds(b) {
+                    push_block(&mut out, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Ready metadata a drain may write: dependency-clean runs minus the
+    /// open commit group's sectors. A group-held sector must wait for its
+    /// commit record even when its own dependencies are clean — draining,
+    /// say, a pending rename's new dirent early would expose a
+    /// half-applied transaction the record has not protected yet. Every
+    /// drain honours this, the full [`BufCache::flush`] barrier included
+    /// (its kernel callers commit the group first, so there the exclusion
+    /// is moot).
+    fn drainable_meta_runs(&self) -> Vec<Run> {
+        let ready = self.ready_meta_runs();
+        self.without_group_sectors(ready)
     }
 
     /// Dirty metadata runs whose recorded dependencies are all clean — the
@@ -866,90 +1154,8 @@ impl BufCache {
         let tick = self.next_tick();
         let cap = self.extents_per_shard;
 
-        // Evict if the shard is full and `base` is new: cold (streamed,
-        // never re-touched) extents go first, oldest first, so a scan
-        // recycles itself; hot extents fall back to plain LRU. Extents
-        // pinned by an open metadata transaction are avoided when any other
-        // victim exists, so a half-recorded multi-sector update cannot leak
-        // to the device before its intent log commits. Extents that are a
-        // live DMA target (an in-flight fill or write-back chain) are never
-        // victims — when a whole shard is in flight the caller drains the
-        // queue first.
         if self.shards[si].find(base).is_none() && self.shards[si].extents.len() >= cap {
-            let victim = loop {
-                let pinned: Vec<bool> = self.shards[si]
-                    .extents
-                    .iter()
-                    .map(|e| self.extent_txn_pinned(e.base))
-                    .collect();
-                let pick = |skip_pinned: bool| {
-                    self.shards[si]
-                        .extents
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, e)| e.pending == 0 && e.writing == 0)
-                        .filter(|(i, _)| !skip_pinned || !pinned[*i])
-                        .min_by_key(|(_, e)| (!e.cold, e.tick))
-                        .map(|(i, _)| i)
-                };
-                if let Some(v) = pick(true).or_else(|| pick(false)) {
-                    break v;
-                }
-                // Every extent in the shard rides a chain: reap (waiting if
-                // necessary) until one settles, then retry the selection.
-                let reaped = dev.wait_some()?;
-                if reaped.is_empty() {
-                    return Err(crate::FsError::Corrupt(
-                        "full cache shard has no eviction victim".into(),
-                    ));
-                }
-                for c in reaped {
-                    self.apply_completion(&c);
-                }
-            };
-            let victim_base = self.shards[si].extents[victim].base;
-            if self.shards[si].extents[victim].dirty != 0 {
-                if self.ordered {
-                    // Writing a dirty metadata block early is only safe once
-                    // everything it references is on the device.
-                    let e = &self.shards[si].extents[victim];
-                    let roots: Vec<u64> = (0..EXTENT_BLOCKS as u64)
-                        .map(|i| e.base + i)
-                        .filter(|&b| e.dirty & Extent::bit(b) != 0 && e.meta & Extent::bit(b) != 0)
-                        .collect();
-                    if !roots.is_empty() {
-                        self.flush_dependency_closure(dev, &roots)?;
-                    }
-                }
-                let e = &self.shards[si].extents[victim];
-                let mut runs: Vec<Run> = Vec::new();
-                for i in 0..EXTENT_BLOCKS as u64 {
-                    if e.dirty & Extent::bit(e.base + i) != 0 {
-                        push_block(&mut runs, e.base + i);
-                    }
-                }
-                if dev.queue_depth() > 0 {
-                    // Eviction write-back rides the DMA queue too: submit
-                    // the victim's chain and wait for its confirmation (the
-                    // slot is reused immediately, so the write must be
-                    // durable — but at DMA rates, not the polled ones).
-                    self.submit_write_runs(dev, &runs)?;
-                    self.drain_writes(dev)?;
-                    if let Some(err) = self.async_error.take() {
-                        return Err(err);
-                    }
-                } else {
-                    for run in runs {
-                        self.write_out_run(dev, run)?;
-                    }
-                }
-            }
-            // The closure flush never adds or removes extents, but re-find
-            // the victim by base rather than trusting the old index.
-            if let Some(idx) = self.shards[si].find(victim_base) {
-                self.shards[si].extents.swap_remove(idx);
-                self.shards[si].stats.evictions += 1;
-            }
+            self.make_room(dev, si)?;
         }
 
         let shard = &mut self.shards[si];
@@ -963,6 +1169,202 @@ impl BufCache {
         let ext = &mut shard.extents[idx];
         ext.tick = tick;
         Ok(ext)
+    }
+
+    /// Frees one slot in a full shard. Victim selection: cold (streamed,
+    /// never re-touched) extents go first, oldest first, so a scan recycles
+    /// itself; hot extents fall back to plain LRU. Extents pinned by an open
+    /// metadata transaction or an uncommitted group are avoided when any
+    /// other victim exists, so a half-recorded multi-sector update cannot
+    /// leak to the device before its intent log commits. Extents that are a
+    /// live DMA target (an in-flight fill or write-back chain) are never
+    /// victims — when a whole shard is in flight the caller reaps the queue
+    /// first.
+    ///
+    /// Over a queued device with batched write-back on, a dirty victim does
+    /// not serialise the allocator behind its own chain: see
+    /// [`BufCache::evict_batched`].
+    fn make_room(&mut self, dev: &mut dyn BlockDevice, si: usize) -> FsResult<()> {
+        if dev.queue_depth() > 0 {
+            // A completion that already fired may hand us a settled victim
+            // for free.
+            self.reap_ready(dev);
+        }
+        let victim = loop {
+            let pinned: Vec<bool> = self.shards[si]
+                .extents
+                .iter()
+                .map(|e| self.extent_txn_pinned(e.base))
+                .collect();
+            let pick = |skip_pinned: bool| {
+                self.shards[si]
+                    .extents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.pending == 0 && e.writing == 0)
+                    .filter(|(i, _)| !skip_pinned || !pinned[*i])
+                    .min_by_key(|(_, e)| (!e.cold, e.tick))
+                    .map(|(i, _)| i)
+            };
+            if let Some(v) = pick(true).or_else(|| pick(false)) {
+                break v;
+            }
+            // Every extent in the shard rides a chain: reap (waiting if
+            // necessary) until one settles, then retry the selection.
+            let reaped = dev.wait_some()?;
+            if reaped.is_empty() {
+                return Err(crate::FsError::Corrupt(
+                    "full cache shard has no eviction victim".into(),
+                ));
+            }
+            for c in reaped {
+                self.apply_completion(&c);
+            }
+        };
+        let victim_base = self.shards[si].extents[victim].base;
+        if self.shards[si].extents[victim].dirty != 0 {
+            if self.ordered {
+                // Writing a dirty metadata block early is only safe once
+                // everything it references is on the device.
+                let e = &self.shards[si].extents[victim];
+                let roots: Vec<u64> = (0..EXTENT_BLOCKS as u64)
+                    .map(|i| e.base + i)
+                    .filter(|&b| e.dirty & Extent::bit(b) != 0 && e.meta & Extent::bit(b) != 0)
+                    .collect();
+                if !roots.is_empty() {
+                    self.flush_dependency_closure(dev, &roots)?;
+                }
+            }
+            let e = &self.shards[si].extents[victim];
+            let mut runs: Vec<Run> = Vec::new();
+            for i in 0..EXTENT_BLOCKS as u64 {
+                if e.dirty & Extent::bit(e.base + i) != 0 {
+                    push_block(&mut runs, e.base + i);
+                }
+            }
+            if dev.queue_depth() > 0 {
+                if self.batched_wb {
+                    return self.evict_batched(dev, si, victim_base, runs);
+                }
+                // The pre-batching lockstep (kept as the ablation's off
+                // switch): submit the victim's chain and wait for its
+                // confirmation before reusing the slot.
+                self.submit_write_runs(dev, &runs)?;
+                self.drain_writes(dev)?;
+                if let Some(err) = self.async_error.take() {
+                    return Err(err);
+                }
+            } else {
+                for run in runs {
+                    self.write_out_run(dev, run)?;
+                }
+            }
+        }
+        // The closure flush never adds or removes extents, but re-find
+        // the victim by base rather than trusting the old index.
+        if let Some(idx) = self.shards[si].find(victim_base) {
+            self.shards[si].extents.swap_remove(idx);
+            self.shards[si].stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Batched eviction over a queued device — the deep-queue write path.
+    /// The victim's dirty runs are merged with every other ready dirty
+    /// *data* run across the cache (data carries no write-order constraints
+    /// of its own, so draining more of it early is always safe under the
+    /// data-before-metadata contract), packed into bounded multi-CB chains
+    /// ([`WB_CHAIN_BLOCKS`]/[`WB_CHAIN_RUNS`]) and submitted back-to-back
+    /// until the queue is full. The allocator then takes whichever extent of
+    /// the shard settles first — usually one whose chain completed while
+    /// later chains were still being submitted — instead of draining the
+    /// victim's own chain. One cache-pressure stall therefore pays for many
+    /// future evictions, and the queue stays deep instead of one-deep.
+    fn evict_batched(
+        &mut self,
+        dev: &mut dyn BlockDevice,
+        si: usize,
+        victim_base: u64,
+        victim_runs: Vec<Run>,
+    ) -> FsResult<()> {
+        // The victim's metadata runs (dependency closure just flushed) are
+        // not in the data class; carry them explicitly. Data runs across the
+        // cache already include the victim's own data blocks.
+        let mut runs: Vec<Run> = self.classed_dirty_runs().0;
+        for r in victim_runs {
+            for b in r.start..r.start + r.len {
+                if !runs.iter().any(|q| q.start <= b && b < q.start + q.len) {
+                    runs.push(Run { start: b, len: 1 });
+                }
+            }
+        }
+        runs.sort_unstable_by_key(|r| r.start);
+        // Merge adjacent runs (victim metadata next to drained data, data
+        // runs from neighbouring extents) into single control blocks.
+        let mut merged: Vec<Run> = Vec::new();
+        for r in runs {
+            match merged.last_mut() {
+                Some(m) if m.start + m.len == r.start => m.len += r.len,
+                _ => merged.push(r),
+            }
+        }
+        let victim_end = victim_base + EXTENT_BLOCKS as u64;
+        for chain in pack_chains(&merged, WB_CHAIN_BLOCKS, WB_CHAIN_RUNS) {
+            let has_victim = chain
+                .iter()
+                .any(|r| r.start < victim_end && victim_base < r.start + r.len);
+            if !dev.can_submit() && !has_victim {
+                // Opportunistic batching only: never stall the allocator for
+                // blocks that are not holding its slot hostage. Skip — do
+                // not abandon the loop — so a victim chain sorted later by
+                // LBA still submits (blocking if it must) and the wait
+                // below always has the victim's write-back in flight.
+                continue;
+            }
+            self.submit_write_runs(dev, &chain)?;
+        }
+        self.batched_evictions += 1;
+        // Take the first extent of the shard whose blocks settled. Chains
+        // complete strictly in submission order, so the early chains free
+        // their extents while the later ones are still on the wire.
+        loop {
+            if let Some(idx) = self.settled_victim(si) {
+                self.shards[si].extents.swap_remove(idx);
+                self.shards[si].stats.evictions += 1;
+                return Ok(());
+            }
+            let reaped = self.reap_blocking(dev)?;
+            if !reaped.is_empty() {
+                continue;
+            }
+            // Nothing in flight and still no settled extent: every chain
+            // failed and re-dirtied its blocks (faulted card). Surface the
+            // failure to the allocating writer; the dirty data is retained.
+            if let Some(e) = self.async_error.take() {
+                return Err(e);
+            }
+            return Err(crate::FsError::Corrupt(
+                "full cache shard has no eviction victim".into(),
+            ));
+        }
+    }
+
+    /// An evictable extent of shard `si`: nothing dirty, nothing in flight.
+    /// Pinned extents are avoided while any other candidate exists; among
+    /// candidates the cold-oldest-first preference matches the victim
+    /// policy.
+    fn settled_victim(&self, si: usize) -> Option<usize> {
+        let pick = |skip_pinned: bool| {
+            self.shards[si]
+                .extents
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.dirty == 0 && e.writing == 0 && e.pending == 0)
+                .filter(|(_, e)| !skip_pinned || !self.extent_txn_pinned(e.base))
+                .min_by_key(|(_, e)| (!e.cold, e.tick))
+                .map(|(i, _)| i)
+        };
+        pick(true).or_else(|| pick(false))
     }
 
     // ---- the asynchronous device pipeline ----------------------------------------------
@@ -1178,11 +1580,17 @@ impl BufCache {
                 off += BLOCK_SIZE;
             }
         }
-        while !dev.can_submit() {
-            if self.reap_blocking(dev)?.is_empty() {
-                return Err(crate::FsError::Io(
-                    "SD queue full with nothing in flight".into(),
-                ));
+        if !dev.can_submit() {
+            // The writer is about to spin-reap someone's chains to make
+            // queue room; count the stall so the kernel's backlog heuristics
+            // (kick the flusher before spinning) have a signal to act on.
+            self.queue_full_stalls += 1;
+            while !dev.can_submit() {
+                if self.reap_blocking(dev)?.is_empty() {
+                    return Err(crate::FsError::Io(
+                        "SD queue full with nothing in flight".into(),
+                    ));
+                }
             }
         }
         let sg: Vec<(u64, u64)> = runs.iter().map(|r| (r.start, r.len)).collect();
@@ -1199,6 +1607,8 @@ impl BufCache {
         }
         self.inflight_writes.insert(id, runs.to_vec());
         self.ranges_issued += 1;
+        let bucket = dev.inflight().min(self.wb_occupancy.len() - 1);
+        self.wb_occupancy[bucket] += 1;
         Ok(total)
     }
 
@@ -1618,6 +2028,14 @@ impl BufCache {
     /// including any failure that surfaced after submission — has been
     /// reaped. `fsync` and `sync_all` get their durability semantics from
     /// exactly this.
+    /// Sectors held by an *uncommitted* intent-log group are the one
+    /// exception to "flush drains everything": their durability point is
+    /// the group's commit record, and force-draining them here would tear
+    /// the group's transactions apart with no record to repair them. The
+    /// kernel's barriers run the log's `commit_pending` before flushing, so
+    /// there the group is always empty; a raw caller flushing around a
+    /// pending group (e.g. retrying after a failed commit) simply leaves
+    /// those sectors cached dirty for the commit to handle.
     pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
         if dev.queue_depth() > 0 {
             return self.flush_async(dev);
@@ -1630,7 +2048,7 @@ impl BufCache {
                     self.write_out_run(dev, run)?;
                     progress = true;
                 }
-                for run in self.ready_meta_runs() {
+                for run in self.drainable_meta_runs() {
                     self.write_out_run(dev, run)?;
                     progress = true;
                 }
@@ -1638,10 +2056,12 @@ impl BufCache {
                     break;
                 }
             }
-            // Anything still dirty sits on a dependency cycle (the filesystem
-            // layers are built not to create one). A full flush must drain
-            // regardless; force the stragglers out and count them.
+            // Anything still dirty (group sectors aside) sits on a
+            // dependency cycle (the filesystem layers are built not to
+            // create one). A full flush must drain regardless; force the
+            // stragglers out and count them.
             let (_, stuck) = self.classed_dirty_runs();
+            let stuck = self.without_group_sectors(stuck);
             if !stuck.is_empty() {
                 self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
                 for run in stuck {
@@ -1649,12 +2069,19 @@ impl BufCache {
                 }
             }
         } else {
-            for run in self.dirty_runs() {
+            let runs = self.dirty_runs();
+            for run in self.without_group_sectors(runs) {
                 self.write_out_run(dev, run)?;
             }
         }
         self.flushes += 1;
-        dev.flush()
+        dev.flush()?;
+        // A completed full flush made every pending free durable — unless a
+        // pending group still holds the freed sectors back.
+        if self.group.is_empty() {
+            self.pending_frees.clear();
+        }
+        Ok(())
     }
 
     /// The queue-drain barrier behind [`BufCache::flush`] for asynchronous
@@ -1671,19 +2098,20 @@ impl BufCache {
             if self.ordered {
                 let (data, _) = self.classed_dirty_runs();
                 progress |= !data.is_empty();
-                self.submit_write_runs(dev, &data)?;
+                self.submit_chains(dev, &data)?;
                 self.drain_writes(dev)?;
                 if let Some(e) = self.async_error.take() {
                     return Err(e);
                 }
-                let ready = self.ready_meta_runs();
+                let ready = self.drainable_meta_runs();
                 progress |= !ready.is_empty();
-                self.submit_write_runs(dev, &ready)?;
+                self.submit_chains(dev, &ready)?;
                 self.drain_writes(dev)?;
             } else {
                 let runs = self.dirty_runs();
+                let runs = self.without_group_sectors(runs);
                 progress |= !runs.is_empty();
-                self.submit_write_runs(dev, &runs)?;
+                self.submit_chains(dev, &runs)?;
                 self.drain_writes(dev)?;
             }
             if let Some(e) = self.async_error.take() {
@@ -1693,18 +2121,100 @@ impl BufCache {
                 break;
             }
         }
-        // Anything still dirty sits on a dependency cycle; a full flush must
-        // drain regardless (counted, like the synchronous path).
+        // Anything still dirty (group sectors aside) sits on a dependency
+        // cycle; a full flush must drain regardless (counted, like the
+        // synchronous path).
         let (_, stuck) = self.classed_dirty_runs();
+        let stuck = self.without_group_sectors(stuck);
         if !stuck.is_empty() {
             self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
-            self.submit_write_runs(dev, &stuck)?;
+            self.submit_chains(dev, &stuck)?;
             self.drain_writes(dev)?;
             if let Some(e) = self.async_error.take() {
                 return Err(e);
             }
         }
         self.flushes += 1;
+        dev.flush()?;
+        // A completed full flush made every pending free durable — unless a
+        // pending group still holds the freed sectors back.
+        if self.group.is_empty() {
+            self.pending_frees.clear();
+        }
+        Ok(())
+    }
+
+    /// Submits `runs` as back-to-back bounded chains ([`WB_CHAIN_BLOCKS`] /
+    /// [`WB_CHAIN_RUNS`] each). Used by the barriers: blocking on a full
+    /// queue is fine there — the whole point of a barrier is to wait — and
+    /// splitting keeps the queue pipelined instead of monolithic. With
+    /// batched write-back off, the barrier reverts to the PR 4 shape (one
+    /// chain carrying every run) so the ablation baseline really is the
+    /// one-deep pipeline throughout.
+    fn submit_chains(&mut self, dev: &mut dyn BlockDevice, runs: &[Run]) -> FsResult<u64> {
+        if !self.batched_wb {
+            return self.submit_write_runs(dev, runs);
+        }
+        let mut total = 0u64;
+        for chain in pack_chains(runs, WB_CHAIN_BLOCKS, WB_CHAIN_RUNS) {
+            total += self.submit_write_runs(dev, &chain)?;
+        }
+        Ok(total)
+    }
+
+    /// Drains everything the ordered contract allows *right now* — dirty
+    /// data first, then metadata whose recorded dependencies are clean —
+    /// but, unlike [`BufCache::flush`], never forces a dependency cycle and
+    /// never touches sectors held by the open commit group. The intent
+    /// log's commit protocol runs this on both sides of its commit point:
+    /// before it, so every non-group sector a group sector's *commit-time*
+    /// payload might reference (an interleaved non-logged writer sharing a
+    /// sector with the group) is durable before the record that could
+    /// replay over it; after it (the group now cleared and its cyclic edges
+    /// dropped), as the home drain — leaving a *still-open* transaction's
+    /// deliberately cyclic sectors cached and untouched instead of
+    /// force-breaking them the way a full flush would.
+    pub fn flush_ready(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        if dev.queue_depth() > 0 {
+            self.reap_ready(dev);
+            self.async_error = None;
+            loop {
+                let mut progress = false;
+                let (data, _) = self.classed_dirty_runs();
+                progress |= !data.is_empty();
+                self.submit_chains(dev, &data)?;
+                self.drain_writes(dev)?;
+                if let Some(e) = self.async_error.take() {
+                    return Err(e);
+                }
+                let ready = self.drainable_meta_runs();
+                progress |= !ready.is_empty();
+                self.submit_chains(dev, &ready)?;
+                self.drain_writes(dev)?;
+                if let Some(e) = self.async_error.take() {
+                    return Err(e);
+                }
+                if !progress {
+                    break;
+                }
+            }
+            return dev.flush();
+        }
+        loop {
+            let mut progress = false;
+            let (data, _) = self.classed_dirty_runs();
+            for run in data {
+                self.write_out_run(dev, run)?;
+                progress = true;
+            }
+            for run in self.drainable_meta_runs() {
+                self.write_out_run(dev, run)?;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
         dev.flush()
     }
 
@@ -1718,7 +2228,7 @@ impl BufCache {
         if dev.queue_depth() > 0 {
             self.reap_ready(dev);
             self.async_error = None;
-            self.submit_write_runs(dev, &data)?;
+            self.submit_chains(dev, &data)?;
             self.drain_writes(dev)?;
             if let Some(e) = self.async_error.take() {
                 return Err(e);
@@ -1782,7 +2292,7 @@ impl BufCache {
         if self.ordered && first_err.is_none() {
             // Metadata drains only once every data block is on the device.
             while written < max_blocks && !self.any_dirty_data() {
-                let ready = self.ready_meta_runs();
+                let ready = self.drainable_meta_runs();
                 if ready.is_empty() {
                     break;
                 }
@@ -1817,8 +2327,12 @@ impl BufCache {
             // Liveness backstop: metadata stuck on a dependency cycle (the
             // filesystem layers are built not to create one) must not pin
             // the cache dirty forever — force it out, counted.
-            if written < max_blocks && !self.any_dirty_data() && self.ready_meta_runs().is_empty() {
+            if written < max_blocks
+                && !self.any_dirty_data()
+                && self.drainable_meta_runs().is_empty()
+            {
                 let (_, stuck) = self.classed_dirty_runs();
+                let stuck = self.without_group_sectors(stuck);
                 for run in stuck {
                     if written >= max_blocks || first_err.is_some() {
                         break;
@@ -1903,13 +2417,15 @@ impl BufCache {
         let mut submitted = submit_each(self, clip(data_runs, max_blocks))?;
         if self.ordered && submitted < max_blocks && !self.any_dirty_data() {
             // Data is durable (previous passes' completions confirmed it):
-            // metadata whose dependencies are clean may follow. The cycle
-            // backstop mirrors the synchronous path.
-            let ready = self.ready_meta_runs();
+            // metadata whose dependencies are clean — and not held by the
+            // open commit group — may follow. The cycle backstop mirrors
+            // the synchronous path.
+            let ready = self.drainable_meta_runs();
             if !ready.is_empty() {
                 submitted += submit_each(self, clip(ready, max_blocks - submitted))?;
             } else if self.dirty_blocks() > 0 && self.inflight_writes.is_empty() {
                 let (_, stuck) = self.classed_dirty_runs();
+                let stuck = self.without_group_sectors(stuck);
                 let stuck = clip(stuck, max_blocks - submitted);
                 if !stuck.is_empty() {
                     self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
@@ -2004,6 +2520,94 @@ impl Drop for FlushGuard<'_, '_> {
 mod tests {
     use super::*;
     use crate::block::MemDisk;
+
+    #[test]
+    fn pack_chains_bounds_blocks_and_control_blocks() {
+        // A 300-block run splits at the block bound.
+        let runs = [Run { start: 0, len: 300 }];
+        let chains = pack_chains(&runs, 128, 16);
+        assert_eq!(chains.len(), 3);
+        assert_eq!(chains[0], vec![Run { start: 0, len: 128 }]);
+        assert_eq!(
+            chains[1],
+            vec![Run {
+                start: 128,
+                len: 128
+            }]
+        );
+        assert_eq!(
+            chains[2],
+            vec![Run {
+                start: 256,
+                len: 44
+            }]
+        );
+        // Many small runs split at the control-block bound.
+        let frags: Vec<Run> = (0..20)
+            .map(|i| Run {
+                start: i * 10,
+                len: 1,
+            })
+            .collect();
+        let chains = pack_chains(&frags, 128, 16);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].len(), 16);
+        assert_eq!(chains[1].len(), 4);
+        // Total coverage is exact.
+        let total: u64 = chains.iter().flatten().map(|r| r.len).sum();
+        assert_eq!(total, 20);
+        assert!(pack_chains(&[], 128, 16).is_empty());
+    }
+
+    #[test]
+    fn per_stream_readahead_windows_ramp_independently() {
+        let mut dev = MemDisk::new(8192);
+        let mut bc = BufCache::default();
+        let mut buf = vec![0u8; BLOCK_SIZE * 8];
+        // Stream A: three sequential cluster reads ramp its window
+        // 64 -> 128 -> 256 blocks.
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 8, 8, &mut buf).unwrap();
+        assert_eq!(bc.stream_window(), 2 * INITIAL_READAHEAD_BLOCKS);
+        bc.read_range(&mut dev, 16, 8, &mut buf).unwrap();
+        assert_eq!(bc.stream_window(), MAX_READAHEAD_BLOCKS);
+        // Stream B starts elsewhere: it reports its own fresh window...
+        bc.read_range(&mut dev, 4000, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 4008, 8, &mut buf).unwrap();
+        assert_eq!(bc.stream_window(), 2 * INITIAL_READAHEAD_BLOCKS);
+        // ...and did NOT reset stream A's ramp: returning to A continues at
+        // the ceiling, not back at the initial window.
+        bc.read_range(&mut dev, 24, 8, &mut buf).unwrap();
+        assert_eq!(bc.stream_window(), MAX_READAHEAD_BLOCKS);
+        assert!(bc.sequential_streak() >= 3, "A's streak survived B");
+    }
+
+    #[test]
+    fn group_accumulator_dedupes_sectors_and_counts_commits() {
+        let mut bc = BufCache::default();
+        assert_eq!(bc.group_sectors(), 0);
+        bc.group_append(40);
+        bc.group_append(41);
+        bc.group_note_txn();
+        // A second transaction re-logging sector 40 does not grow the
+        // record: payloads are captured once, at commit time.
+        bc.group_append(40);
+        bc.group_note_txn();
+        assert_eq!(bc.group_sectors(), 2);
+        assert_eq!(bc.group_txns(), 2);
+        assert!(bc.group_contains(40) && bc.group_contains(41));
+        assert_eq!(bc.group_entries(), vec![40, 41]);
+        bc.group_clear_committed();
+        assert_eq!(bc.group_sectors(), 0);
+        assert_eq!(bc.group_txns(), 0);
+        let s = bc.stats();
+        assert_eq!((s.log_txns, s.log_commits), (2, 1));
+        // Pending-free reservations clear with the commit too.
+        bc.note_pending_free(7);
+        assert!(bc.is_pending_free(7) && bc.has_pending_frees());
+        bc.group_clear_committed();
+        assert!(!bc.has_pending_frees());
+    }
 
     #[test]
     fn second_read_hits_the_cache() {

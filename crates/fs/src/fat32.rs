@@ -40,7 +40,11 @@
 //! (mkdir, [`Fat32::rename`], [`Fat32::remove`], overwriting an existing
 //! file, directory extension) instead commit through a tiny physical redo
 //! log in the reserved region ([`INTENT_LOG_START`]) that [`Fat32::mount`]
-//! replays: those operations are atomic and durable on return.
+//! replays. With the default group size of one, those operations are atomic
+//! *and durable* on return; with group commit enabled
+//! ([`Fat32::set_group_commit_ops`]) they stay atomic at every cut but a
+//! burst of them shares one checksummed commit record — durability moves to
+//! the group's single commit flush, forced by any barrier.
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::bufcache::BufCache;
@@ -81,9 +85,13 @@ pub const INTENT_LOG_PAYLOAD: usize = (INTENT_LOG_SECTORS - 1) as usize;
 /// Magic bytes opening a committed intent-log header.
 const INTENT_MAGIC: &[u8; 8] = b"PROTOLOG";
 /// Initial read-ahead window for a newly detected sequential stream (32 KB).
-/// The window doubles as the streak grows — the classic readahead ramp — up
-/// to [`MAX_PREFETCH_CLUSTERS`], so a steady stream's demand reads are fully
-/// covered by earlier prefetch and pay no command setup of their own.
+/// The window doubles per sequential continuation — the classic readahead
+/// ramp — up to [`MAX_PREFETCH_CLUSTERS`], and since the deep-queue PR the
+/// ramp state lives *per stream slot* in the cache
+/// ([`BufCache::stream_window`]): each of the four tracked streams carries
+/// its own depth, so an interleaved second stream no longer resets the
+/// first's. A steady stream's demand reads end up fully covered by earlier
+/// prefetch and pay no command setup of their own.
 pub const PREFETCH_CLUSTERS: usize = 8;
 /// Read-ahead window ceiling (128 KB, one maximal cluster run).
 pub const MAX_PREFETCH_CLUSTERS: usize = MAX_RUN_CLUSTERS;
@@ -126,6 +134,17 @@ pub struct Fat32 {
     /// overwrite) are made atomic through the on-volume intent log. On by
     /// default when the reserved region has room for the log area.
     intent_log: bool,
+    /// How many logged transactions one intent-log commit record may cover
+    /// (group commit). With the default of 1 every logged operation is
+    /// atomic *and durable* on return — the PR 3 contract. With a larger
+    /// group, consecutive transactions accumulate in the cache's commit
+    /// group ([`BufCache::group_entries`]) and pay a single checksummed
+    /// commit flush when the group closes (size reached, log area full, or
+    /// a barrier — fsync, sync, unmount — forces it); each transaction stays
+    /// atomic at every cut, but durability moves to the group's commit
+    /// point. The group state itself lives in the cache because `Fat32` is
+    /// cloned per kernel call.
+    group_commit_ops: u32,
 }
 
 /// FNV-1a over `data`, continuing from `h` (seed with [`FNV_OFFSET`]).
@@ -246,6 +265,7 @@ impl Fat32 {
         let fs = Fat32 {
             bpb,
             intent_log: Self::log_fits(&bpb),
+            group_commit_ops: 1,
         };
         // Reserve clusters 0 and 1, allocate the root directory cluster.
         fs.fat_set(dev, bc, 0, 0x0FFF_FFF8)?;
@@ -323,6 +343,7 @@ impl Fat32 {
         let fs = Fat32 {
             bpb,
             intent_log: Self::log_fits(&bpb),
+            group_commit_ops: 1,
         };
         if fs.intent_log {
             fs.replay_intent_log(dev, bc)?;
@@ -342,6 +363,20 @@ impl Fat32 {
         self.intent_log
     }
 
+    /// Sets how many logged transactions one commit record may cover (group
+    /// commit; clamped to at least 1). Callers that raise this above 1 own
+    /// the durability consequences and must force [`Fat32::commit_pending`]
+    /// at their barriers — the kernel does so in `fsync`, `sync_all` and the
+    /// flusher's timeout pass.
+    pub fn set_group_commit_ops(&mut self, ops: u32) {
+        self.group_commit_ops = ops.max(1);
+    }
+
+    /// The configured group-commit size.
+    pub fn group_commit_ops(&self) -> u32 {
+        self.group_commit_ops
+    }
+
     /// The parsed BPB.
     pub fn bpb(&self) -> Bpb {
         self.bpb
@@ -358,6 +393,25 @@ impl Fat32 {
     // the record at mount. Data clusters the metadata references are flushed
     // *before* the commit, so a replayed record never resurrects pointers to
     // unwritten data.
+    //
+    // **Group commit.** With `group_commit_ops > 1`, consecutive logged
+    // transactions fold into one record: each transaction registers its
+    // sectors with the cache's commit-group accumulator and returns without
+    // touching the device; payloads are captured at *commit* time, after a
+    // ready-only drain makes everything they could reference durable — so a
+    // record can neither roll back an interleaved non-logged write to a
+    // shared sector nor replay a pointer at something unwritten. The group
+    // pays a single ready-drain + payload + header + home drain when it
+    // closes — size reached, the 30-sector log area about to
+    // overflow, a barrier (`fsync`/`sync_all`/unmount via
+    // `Fat32::commit_pending`), or the kernel flusher's
+    // `group_commit_timeout_ms` pass. Until then every transaction in the
+    // group stays *atomic* at any cut (its sectors are cache-only, held by
+    // their ordering edges, pinned against eviction, and clusters it freed
+    // are reserved against reallocation) but is *durable* only from the
+    // group's commit point — the classic group-commit trade, worth ~8x
+    // fewer commit flushes on a metadata burst. Replay is unchanged and
+    // idempotent: one record, applied in full or ignored.
 
     /// Builds the checksummed header sector for a committed record.
     fn intent_header(targets: &[u64], payloads: &[Vec<u8>]) -> Vec<u8> {
@@ -436,49 +490,104 @@ impl Fat32 {
         dev.flush()
     }
 
-    /// Commits the metadata sectors a transaction touched: flushes the data
-    /// they reference, writes + commits the log record, drains the home
-    /// sectors, and clears the record. Falls back to a plain synchronous
-    /// flush when the log is disabled or the transaction outgrows the log
-    /// area (overwrite/remove of a file past ~7 MB). The fallback loses
-    /// torn-update atomicity, and because such transactions carry
-    /// intentionally cyclic ordering edges (frees ≺ dirent ≺ new FAT on
-    /// shared FAT sectors), a cut during the flush's forced cycle-break can
-    /// in the worst case expose the old dirent with partially freed chain —
-    /// the residual gap ROADMAP.md records against a future group-commit
-    /// log.
+    /// Folds one just-finished logged transaction into the open commit
+    /// group, committing when the group reaches
+    /// [`Fat32::group_commit_ops`] transactions or would overflow the log
+    /// area. With the default group size of 1 this degenerates to the PR 3
+    /// behaviour: every logged operation is atomic *and durable* on return.
+    /// With a larger group the transaction is atomic at every cut (its
+    /// sectors stay cached, held back by their deliberately cyclic ordering
+    /// edges and pinned against eviction) but becomes durable only at the
+    /// group's single commit flush. Payloads are snapshotted *now*, at
+    /// transaction end, so a later non-logged write to the same sector is
+    /// never resurrected by replay.
+    ///
+    /// Falls back to a plain synchronous flush when the log is disabled or
+    /// the transaction outgrows the log area (overwrite/remove of a file
+    /// past ~7 MB) — committing any pending group first so its record cannot
+    /// be reordered behind the fallback. The fallback loses torn-update
+    /// atomicity, and because such transactions carry intentionally cyclic
+    /// ordering edges (frees ≺ dirent ≺ new FAT on shared FAT sectors), a
+    /// cut during the flush's forced cycle-break can in the worst case
+    /// expose the old dirent with a partially freed chain.
     fn intent_commit(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         touched: &[u64],
     ) -> FsResult<()> {
-        if !self.intent_log || touched.is_empty() || touched.len() > INTENT_LOG_PAYLOAD {
+        if !self.intent_log || touched.is_empty() {
             return bc.flush(dev);
         }
-        // Capture the final contents first: all sectors are cached (and
-        // pinned by the open transaction), so these reads are pure hits.
-        let mut payloads = Vec::with_capacity(touched.len());
+        if touched.len() > INTENT_LOG_PAYLOAD {
+            self.commit_pending(dev, bc)?;
+            return bc.flush(dev);
+        }
+        // Close the group first if this transaction would overflow the
+        // 30-sector log area. `commit_pending` drains only what the ordered
+        // contract already allows, so this transaction's own (cyclic,
+        // not-yet-logged) sectors stay cached and keep their atomicity.
+        let fresh = touched.iter().filter(|l| !bc.group_contains(**l)).count();
+        if bc.group_sectors() + fresh > INTENT_LOG_PAYLOAD {
+            self.commit_pending(dev, bc)?;
+        }
         for &lba in touched {
+            bc.group_append(lba);
+        }
+        bc.group_note_txn();
+        if bc.group_txns() >= self.group_commit_ops as u64 {
+            self.commit_pending(dev, bc)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the open commit group's single checksummed record and drains
+    /// it home: ready drain → payload capture → log payloads → header (the
+    /// commit point, one device flush for the whole group) → home drain →
+    /// header clear. Payloads are captured at *commit* time, so the record
+    /// reflects any non-logged write that shared a sector with the group —
+    /// replay can never roll one back — and the pre-commit
+    /// [`BufCache::flush_ready`] makes every non-group sector such content
+    /// might reference durable before a record points at it. Both drains
+    /// refuse to force dependency cycles, so a transaction still open for
+    /// the *next* group (the log-overflow path) keeps its sectors cached
+    /// and atomic. A failure before the commit point leaves the group
+    /// pending, so the next barrier retries it; past the commit point the
+    /// record repairs any torn home write at replay. A no-op when no group
+    /// is open. `fsync`, `sync_all` and the flusher's group-timeout pass
+    /// call this before their cache flush — a flush skips group-held
+    /// sectors, so skipping the commit would leave the burst cached instead
+    /// of durable.
+    pub fn commit_pending(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<()> {
+        if bc.group_sectors() == 0 {
+            return Ok(());
+        }
+        let targets = bc.group_entries();
+        // Everything the group's commit-time payloads could reference —
+        // data clusters, and metadata sectors dirtied by interleaved
+        // non-logged writers — must be durable before the record.
+        bc.flush_ready(dev)?;
+        // Capture the final contents now: all sectors are cached (pinned
+        // since their transactions logged them), so these reads are hits.
+        let mut payloads = Vec::with_capacity(targets.len());
+        for &lba in &targets {
             let mut p = vec![0u8; BLOCK_SIZE];
             bc.read(dev, lba, &mut p)?;
             payloads.push(p);
         }
-        // The clusters this metadata references must be durable before a
-        // committed record can point at them.
-        bc.flush_data(dev)?;
         for (i, p) in payloads.iter().enumerate() {
             dev.write_block(INTENT_LOG_START + 1 + i as u64, p)?;
         }
-        let hdr = Self::intent_header(touched, &payloads);
+        let hdr = Self::intent_header(&targets, &payloads);
         dev.write_block(INTENT_LOG_START, &hdr)?;
         dev.flush()?; // commit point
                       // Past the commit point the record repairs any torn home write, so
                       // the logged sectors' (deliberately cyclic) ordering edges can go —
                       // otherwise the home drain would trip the forced-cycle escape hatch
-                      // for an update that is in fact fully protected.
-        bc.clear_dependencies(touched);
-        bc.flush(dev)?; // home sectors (ordered drain)
+                      // for updates that are in fact fully protected.
+        bc.group_clear_committed();
+        bc.clear_dependencies(&targets);
+        bc.flush_ready(dev)?; // home sectors (ordered, cycles never forced)
         let zero = vec![0u8; BLOCK_SIZE];
         dev.write_block(INTENT_LOG_START, &zero)?;
         dev.flush()
@@ -553,47 +662,111 @@ impl Fat32 {
         Ok(())
     }
 
-    /// Allocates a free cluster, marks it end-of-chain and zero-fills it.
-    /// `for_metadata` classifies the fresh cluster's contents as metadata
-    /// (directory clusters) so the ordered drain treats its dirents as such.
+    /// Allocates a free cluster and marks it end-of-chain. With `zero_fill`
+    /// the cluster's contents are zeroed in cache and a FAT→contents
+    /// write-order edge is recorded, so the FAT entry claiming the cluster
+    /// can never land before its (zeroed) contents — a chain must never
+    /// gain a cluster of stale bytes. Callers that *fully overwrite* every
+    /// allocated cluster before publishing it (whole-file writes; the tail
+    /// cluster is zero-padded by the data write itself) pass `zero_fill =
+    /// false` and skip both — their own data ≺ FAT ≺ dirent edges, added
+    /// right after the real data lands, take over, and until then the worst
+    /// a power cut can expose is an allocated-but-unpublished chain: a
+    /// cluster leak, never a visible file with stale bytes. Skipping the
+    /// zero fill halves the device traffic of a large sequential write —
+    /// previously every data cluster travelled twice (once as evicted
+    /// zeros, once as data). `for_metadata` classifies the fresh cluster's
+    /// contents as metadata (directory clusters) so the ordered drain
+    /// treats its dirents as such.
     fn alloc_cluster(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         for_metadata: bool,
+        zero_fill: bool,
     ) -> FsResult<u32> {
+        let mut saw_pending_free = false;
         for c in FIRST_CLUSTER..FIRST_CLUSTER + self.bpb.cluster_count {
             if self.fat_get(dev, bc, c)? == FAT_FREE {
-                self.fat_set(dev, bc, c, FAT_EOC)?;
-                self.zero_cluster(dev, bc, c)?;
-                if for_metadata {
-                    bc.note_metadata(self.cluster_to_sector(c), SECTORS_PER_CLUSTER as u64);
+                if bc.is_pending_free(c) {
+                    saw_pending_free = true;
+                    continue;
                 }
-                // The FAT entry claiming the cluster must not land before
-                // the cluster's (zeroed) contents: a chain must never gain a
-                // cluster of stale bytes.
-                let (fat_sector, _) = self.fat_sector_of(c);
-                bc.add_dependency(
-                    fat_sector,
-                    1,
-                    self.cluster_to_sector(c),
-                    SECTORS_PER_CLUSTER as u64,
-                );
-                return Ok(c);
+                return self.claim_cluster(dev, bc, c, for_metadata, zero_fill);
+            }
+        }
+        if saw_pending_free {
+            // The only free clusters await a durable free. Force the
+            // pending group's commit record out (releasing its
+            // reservations) and rescan — a delete-then-write on a nearly
+            // full volume must not report NoSpace. Committing
+            // mid-transaction is safe: the current transaction's sectors so
+            // far are plain chain links whose early drain can at worst leak
+            // an unpublished cluster across a cut.
+            self.commit_pending(dev, bc)?;
+            if bc.has_pending_frees() {
+                // Reservations with no group to commit them — left behind
+                // by a transaction that failed before logging its frees. A
+                // full flush makes those frees durable too and clears the
+                // reservations.
+                bc.flush(dev)?;
+            }
+            for c in FIRST_CLUSTER..FIRST_CLUSTER + self.bpb.cluster_count {
+                if self.fat_get(dev, bc, c)? == FAT_FREE && !bc.is_pending_free(c) {
+                    return self.claim_cluster(dev, bc, c, for_metadata, zero_fill);
+                }
             }
         }
         Err(FsError::NoSpace)
     }
 
+    /// Marks the free cluster `c` end-of-chain and applies the `zero_fill`
+    /// policy described on [`Fat32::alloc_cluster`].
+    fn claim_cluster(
+        &self,
+        dev: &mut dyn BlockDevice,
+        bc: &mut BufCache,
+        c: u32,
+        for_metadata: bool,
+        zero_fill: bool,
+    ) -> FsResult<u32> {
+        // Metadata clusters (directories) must always be zero-filled with
+        // the FAT→contents edge recorded: skipping it would let the FAT
+        // claim persist before the dirents, exposing a directory of stale
+        // bytes across a cut. Only fully-overwritten *data* chains may skip.
+        debug_assert!(
+            zero_fill || !for_metadata,
+            "metadata clusters cannot skip the zero fill"
+        );
+        self.fat_set(dev, bc, c, FAT_EOC)?;
+        if zero_fill {
+            self.zero_cluster(dev, bc, c)?;
+            if for_metadata {
+                bc.note_metadata(self.cluster_to_sector(c), SECTORS_PER_CLUSTER as u64);
+            }
+            let (fat_sector, _) = self.fat_sector_of(c);
+            bc.add_dependency(
+                fat_sector,
+                1,
+                self.cluster_to_sector(c),
+                SECTORS_PER_CLUSTER as u64,
+            );
+        }
+        Ok(c)
+    }
+
     /// Allocates and links an `n`-cluster chain, unwinding the allocation on
     /// failure so a mid-flight `NoSpace` (or I/O error) never leaks
-    /// half-built chains into the FAT.
+    /// half-built chains into the FAT. `zero_fill` as in
+    /// [`Fat32::alloc_cluster`]: whole-file writers that overwrite every
+    /// cluster skip the redundant zero pass.
     fn alloc_chain(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         n: usize,
         for_metadata: bool,
+        zero_fill: bool,
     ) -> FsResult<Vec<u32>> {
         let mut clusters = Vec::with_capacity(n);
         let unwind =
@@ -604,7 +777,7 @@ impl Fat32 {
                 }
             };
         for _ in 0..n {
-            match self.alloc_cluster(dev, bc, for_metadata) {
+            match self.alloc_cluster(dev, bc, for_metadata, zero_fill) {
                 Ok(c) => clusters.push(c),
                 Err(e) => {
                     unwind(self, dev, bc, &clusters);
@@ -634,6 +807,12 @@ impl Fat32 {
         while (FIRST_CLUSTER..FAT_EOC).contains(&c) {
             let next = self.fat_get(dev, bc, c)?;
             self.fat_set(dev, bc, c, FAT_FREE)?;
+            // The free is not durable until the commit record (or a full
+            // flush) lands. Reserve the cluster so a later transaction in
+            // the same commit group cannot reallocate it and overwrite data
+            // the old tree still references — a cut before the commit point
+            // must keep showing the intact old file.
+            bc.note_pending_free(c);
             if next == c {
                 return Err(FsError::Corrupt(format!(
                     "self-referential FAT chain at {c}"
@@ -835,7 +1014,7 @@ impl Fat32 {
         last: u32,
         raw: &[u8; DIRENT_SIZE],
     ) -> FsResult<u64> {
-        let newc = self.alloc_cluster(dev, bc, true)?;
+        let newc = self.alloc_cluster(dev, bc, true, true)?;
         if let Err(e) = self.fat_set(dev, bc, last, newc) {
             self.unwind_chain(dev, bc, &[newc]);
             return Err(e);
@@ -943,7 +1122,7 @@ impl Fat32 {
             return Ok(entry);
         }
         self.with_meta_txn(dev, bc, |fs, dev, bc| {
-            let first_cluster = fs.alloc_cluster(dev, bc, true)?;
+            let first_cluster = fs.alloc_cluster(dev, bc, true, true)?;
             let entry = FatEntry {
                 name: name.to_ascii_uppercase(),
                 is_dir: true,
@@ -1043,7 +1222,11 @@ impl Fat32 {
             self.update_dirent_for(dev, bc, p, 0, 0)?;
             return Ok(());
         }
-        let clusters = self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false)?;
+        // Every cluster of the chain is fully overwritten below (the
+        // tail is zero-padded by `write_chain_data`), so the allocation
+        // skips the redundant zero fill.
+        let clusters =
+            self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false, false)?;
         if let Err(e) = self.write_chain_data(dev, bc, &clusters, data) {
             self.unwind_chain(dev, bc, &clusters);
             return Err(e);
@@ -1121,7 +1304,11 @@ impl Fat32 {
             self.order_frees_after_dirent(bc, &old_chain, dirent_sector);
             return Ok(());
         }
-        let clusters = self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false)?;
+        // Every cluster of the chain is fully overwritten below (the
+        // tail is zero-padded by `write_chain_data`), so the allocation
+        // skips the redundant zero fill.
+        let clusters =
+            self.alloc_chain(dev, bc, data.len().div_ceil(CLUSTER_SIZE), false, false)?;
         if let Err(e) = self.write_chain_data(dev, bc, &clusters, data) {
             self.unwind_chain(dev, bc, &clusters);
             return Err(e);
@@ -1236,13 +1423,16 @@ impl Fat32 {
         let streak = bc.sequential_streak();
         if bc.prefetch_enabled() && streak >= 1 {
             if let Some(ahead) = chain.get(last_ci + 1..) {
-                // Readahead ramp: 8 clusters on the second sequential read,
-                // doubling with the streak up to a full 128 KB run — but
-                // never more than a quarter of the cache, so read-ahead can
-                // not thrash out the demand run (or itself).
+                // Per-stream readahead ramp: the stream slot this read just
+                // extended carries its own window (8 clusters on detection,
+                // doubling per continuation up to a full 128 KB run), so an
+                // interleaved second stream ramps independently instead of
+                // resetting this one's depth — but never more than a quarter
+                // of the cache, so read-ahead cannot thrash out the demand
+                // run (or itself).
                 let cap_clusters = (bc.capacity_blocks() / 4 / SECTORS_PER_CLUSTER as usize).max(1);
-                let window_clusters = (PREFETCH_CLUSTERS << (streak as usize - 1).min(2))
-                    .min(MAX_PREFETCH_CLUSTERS)
+                let window_clusters = (bc.stream_window() as usize / SECTORS_PER_CLUSTER as usize)
+                    .clamp(1, MAX_PREFETCH_CLUSTERS)
                     .min(cap_clusters);
                 let window = &ahead[..ahead.len().min(window_clusters)];
                 for (first, count) in cluster_runs(window) {
@@ -1902,6 +2092,108 @@ mod tests {
             "the created dirent still points nowhere"
         );
         let _ = free0;
+    }
+
+    #[test]
+    fn group_commit_batches_txns_into_one_record() {
+        let (mut dev, mut bc, mut fs) = fresh_volume();
+        // Pre-create four files so every write below is a *logged*
+        // overwrite (a couple of sectors each — dirent + FAT).
+        for i in 0..4 {
+            fs.write_file(&mut dev, &mut bc, &format!("/f{i}.bin"), b"old")
+                .unwrap();
+        }
+        bc.flush(&mut dev).unwrap();
+        fs.set_group_commit_ops(4);
+        // Three logged transactions accumulate without committing: nothing
+        // reaches the medium, the group is pending.
+        for i in 0..3 {
+            fs.write_file(&mut dev, &mut bc, &format!("/f{i}.bin"), b"newer contents")
+                .unwrap();
+        }
+        assert_eq!(bc.group_txns(), 3);
+        assert_eq!(bc.stats().log_commits, 0);
+        {
+            let mut cold = BufCache::default();
+            let fs2 = Fat32::mount(&mut dev, &mut cold).unwrap();
+            assert_eq!(
+                fs2.read_file(&mut dev, &mut cold, "/f0.bin").unwrap(),
+                b"old",
+                "uncommitted group is cache-only — a cut now yields the old tree"
+            );
+        }
+        // The fourth transaction closes the group: one commit record, one
+        // home drain, everything durable.
+        fs.write_file(&mut dev, &mut bc, "/f3.bin", b"newer contents")
+            .unwrap();
+        assert_eq!(bc.group_txns(), 0);
+        let s = bc.stats();
+        assert_eq!((s.log_txns, s.log_commits), (4, 1));
+        assert_eq!(
+            s.forced_meta_writes, 0,
+            "the pending group never tripped the cycle escape hatch"
+        );
+        let mut cold = BufCache::default();
+        let fs2 = Fat32::mount(&mut dev, &mut cold).unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                fs2.read_file(&mut dev, &mut cold, &format!("/f{i}.bin"))
+                    .unwrap(),
+                b"newer contents"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_frees_commit_and_retry_instead_of_nospace() {
+        // Nearly fill a small volume, then delete-and-rewrite while the
+        // commit group is open: the freed clusters are reserved until the
+        // group's record lands, so the allocator must force the pending
+        // commit out and rescan instead of reporting NoSpace.
+        let mut dev = MemDisk::new(2048);
+        let mut bc = BufCache::default();
+        let mut fs = Fat32::mkfs(&mut dev, &mut bc).unwrap();
+        bc.flush(&mut dev).unwrap();
+        fs.set_group_commit_ops(8);
+        let free = fs.free_clusters(&mut dev, &mut bc).unwrap() as usize;
+        let big = vec![7u8; (free - 2) * CLUSTER_SIZE];
+        fs.write_file(&mut dev, &mut bc, "/big.bin", &big).unwrap();
+        fs.remove(&mut dev, &mut bc, "/big.bin").unwrap();
+        assert!(bc.group_txns() > 0, "the remove pends in the open group");
+        let big2 = vec![9u8; (free - 2) * CLUSTER_SIZE];
+        fs.write_file(&mut dev, &mut bc, "/next.bin", &big2)
+            .unwrap();
+        assert_eq!(
+            fs.read_file(&mut dev, &mut bc, "/next.bin").unwrap(),
+            big2,
+            "the freed clusters were reused after the forced commit"
+        );
+    }
+
+    #[test]
+    fn commit_pending_forces_the_open_group_out() {
+        let (mut dev, mut bc, mut fs) = fresh_volume();
+        bc.flush(&mut dev).unwrap();
+        fs.set_group_commit_ops(16);
+        fs.create(&mut dev, &mut bc, "/a", true).unwrap();
+        fs.write_file(&mut dev, &mut bc, "/f.bin", b"v1").unwrap();
+        fs.write_file(&mut dev, &mut bc, "/f.bin", b"v2 is longer")
+            .unwrap(); // overwrite: a second logged txn in the group
+        assert_eq!(bc.group_txns(), 2);
+        fs.commit_pending(&mut dev, &mut bc).unwrap();
+        assert_eq!(bc.group_txns(), 0);
+        assert_eq!(bc.stats().log_commits, 1);
+        // Idempotent on an empty group.
+        fs.commit_pending(&mut dev, &mut bc).unwrap();
+        assert_eq!(bc.stats().log_commits, 1);
+        bc.flush(&mut dev).unwrap();
+        let mut cold = BufCache::default();
+        let fs2 = Fat32::mount(&mut dev, &mut cold).unwrap();
+        assert!(fs2.lookup(&mut dev, &mut cold, "/a").unwrap().is_dir);
+        assert_eq!(
+            fs2.read_file(&mut dev, &mut cold, "/f.bin").unwrap(),
+            b"v2 is longer"
+        );
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct SdHost {
     /// Statistics: blocks committed to DMA chains (counted at submit so the
     /// submitting task's accounting window sees them).
     dma_blocks: u64,
+    /// Statistics: deepest the command queue has ever been (queued +
+    /// in-flight). One-deep means the submit-then-drain lockstep; the
+    /// batched write-back path should push this toward [`SD_QUEUE_DEPTH`].
+    queue_high_water: usize,
 }
 
 impl Default for SdHost {
@@ -165,6 +169,7 @@ impl SdHost {
             dma_cmds: 0,
             sg_control_blocks: 0,
             dma_blocks: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -408,6 +413,11 @@ impl SdHost {
         self.dma_blocks
     }
 
+    /// Deepest the asynchronous command queue has ever been.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
     /// Validates a scatter-gather list for submission. Faults are *not*
     /// checked here — the card discovers them mid-transfer, so they surface
     /// in the completion.
@@ -467,6 +477,7 @@ impl SdHost {
             runs,
             data,
         });
+        self.queue_high_water = self.queue_high_water.max(self.queue_len());
         id
     }
 

@@ -168,6 +168,22 @@ pub struct KernelConfig {
     /// (sleep longer when clean, wake early past the high-water mark)
     /// instead of the fixed `flush_interval_ms`.
     pub adaptive_flush: bool,
+    /// Batched eviction write-back: under cache pressure the write path
+    /// gathers dirty runs across extents into bounded multi-control-block
+    /// chains, keeps up to the SD queue's depth in flight, and evicts
+    /// whichever extent settles first — instead of submitting one
+    /// extent-sized chain and immediately draining it. Off restores the
+    /// PR 4 one-deep lockstep (the ablation baseline).
+    pub batched_writeback: bool,
+    /// How many FAT32 logged metadata transactions one intent-log commit
+    /// record may cover (group commit). 1 = every logged operation commits
+    /// (and is durable) on return; larger groups pay one checksummed commit
+    /// flush per group, with `fsync`/`sync_all`/the flusher's timeout pass
+    /// forcing the pending group out.
+    pub group_commit_ops: u32,
+    /// Upper bound on how long a pending commit group may sit open before
+    /// the `kbio` flusher force-commits it, in ms.
+    pub group_commit_timeout_ms: u64,
 }
 
 impl KernelConfig {
@@ -209,6 +225,9 @@ impl KernelConfig {
             fat_intent_log: true,
             sd_dma: n >= 5,
             adaptive_flush: n >= 5,
+            batched_writeback: n >= 5,
+            group_commit_ops: if n >= 5 { 8 } else { 1 },
+            group_commit_timeout_ms: 20,
         }
     }
 
@@ -233,9 +252,12 @@ impl KernelConfig {
         // drain in pure LBA order and metadata updates are not logged.
         c.ordered_writeback = false;
         c.fat_intent_log = false;
-        // ...and its SD driver polls the FIFO — no DMA, no command queue.
+        // ...and its SD driver polls the FIFO — no DMA, no command queue,
+        // no deep-queue write batching, no group-committed log.
         c.sd_dma = false;
         c.adaptive_flush = false;
+        c.batched_writeback = false;
+        c.group_commit_ops = 1;
         c
     }
 
@@ -318,6 +340,13 @@ mod tests {
         assert!(p5.sd_dma && p5.adaptive_flush);
         assert!(!b.sd_dma, "the baseline's SD driver stays polled");
         assert!(!p4.sd_dma, "prototype 4 has no SD card at all");
+        assert!(p5.batched_writeback && p5.group_commit_ops > 1);
+        assert!(p5.group_commit_timeout_ms > 0);
+        assert!(
+            !b.batched_writeback && b.group_commit_ops == 1,
+            "the baseline keeps the one-deep write path and per-op commits"
+        );
+        assert_eq!(p4.group_commit_ops, 1, "group commit is a desktop knob");
     }
 
     #[test]

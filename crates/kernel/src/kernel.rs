@@ -302,6 +302,14 @@ pub struct Kernel {
     init_task: TaskId,
     /// The `kbio` background flusher thread (0 when not running).
     kbio_task: TaskId,
+    /// `(log_commits, board time µs)` when `kbio` first observed the FAT
+    /// intent log's current commit group pending (`None` = no group open).
+    /// Drives the `group_commit_timeout_ms` bound: a group that sits open
+    /// past it is force-committed by the flusher's next pass. Keyed on the
+    /// commit counter so a group that filled up and self-committed between
+    /// passes does not leave a stale timestamp that would prematurely
+    /// force-commit its successor.
+    fat_group_seen: Option<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -357,6 +365,7 @@ impl Kernel {
             console_lines: Vec::new(),
             init_task: 0,
             kbio_task: 0,
+            fat_group_seen: None,
         }
     }
 
@@ -553,6 +562,10 @@ impl Kernel {
                     Err(_) => Fat32::mkfs(&mut dev, &mut bc)?,
                 };
                 fat.set_intent_log(self.config.fat_intent_log);
+                // Group commit is safe at syscall level because close/fsync
+                // are the kernel's durability points, and both force the
+                // pending group out (as does the flusher's timeout pass).
+                fat.set_group_commit_ops(self.config.group_commit_ops);
                 // A fresh format leaves the superblock and FAT dirty in the
                 // write-back cache; put the card in a mountable state now.
                 bc.flush(&mut dev)?;
@@ -576,12 +589,19 @@ impl Kernel {
             self.config.sd_dma = false;
             self.fat_bufcache.set_ordered_writeback(false);
             self.root_bufcache.set_ordered_writeback(false);
+            self.config.batched_writeback = false;
+            self.config.group_commit_ops = 1;
             if let Some(f) = self.fatfs.as_mut() {
                 f.set_intent_log(false);
+                f.set_group_commit_ops(1);
             }
         }
         self.fat_bufcache.set_prefetch(self.config.prefetch);
         self.root_bufcache.set_prefetch(self.config.prefetch);
+        self.fat_bufcache
+            .set_batched_writeback(self.config.batched_writeback);
+        self.root_bufcache
+            .set_batched_writeback(self.config.batched_writeback);
         // The DMA data path: scatter-gather chains on channel 0 with the
         // async command queue. The polled mode stays the fallback (and the
         // xv6-baseline behaviour).
@@ -681,8 +701,10 @@ impl Kernel {
             .clone();
         let mut dev = fat_dev!(self, 0);
         fat.write_file(&mut dev, &mut self.fat_bufcache, volume_path, data)?;
-        // Image-building writes happen outside any task context; push them to
-        // the card immediately so the installed image is always mountable.
+        // Image-building writes happen outside any task context; commit any
+        // pending intent-log group and push everything to the card
+        // immediately so the installed image is always mountable.
+        fat.commit_pending(&mut dev, &mut self.fat_bufcache)?;
         self.fat_bufcache.flush(&mut dev)?;
         Ok(())
     }
@@ -700,6 +722,7 @@ impl Kernel {
             Err(protofs::FsError::AlreadyExists(_)) => Ok(()),
             Err(e) => Err(e.into()),
         };
+        fat.commit_pending(&mut dev, &mut self.fat_bufcache)?;
         self.fat_bufcache.flush(&mut dev)?;
         result
     }
@@ -1130,6 +1153,33 @@ impl Kernel {
         }
         let budget = self.config.flush_budget_blocks.max(1);
         let kbio = self.kbio_task;
+        // The intent log's group-commit timeout: a pending group that has
+        // sat open past `group_commit_timeout_ms` is force-committed here,
+        // so a lone logged operation (no burst following it, no fsync) still
+        // becomes durable within a bounded window. The commit's SD cycles
+        // are charged to kbio like any other background write-back.
+        if self.fatfs.is_some() && self.fat_bufcache.group_txns() > 0 {
+            let now = self.now_us();
+            let commits = self.fat_bufcache.stats().log_commits;
+            let since = match self.fat_group_seen {
+                // Same commit generation: the group we stamped is still the
+                // open one.
+                Some((c, t)) if c == commits => t,
+                // First sighting of this group (or its predecessor filled
+                // and self-committed since the last pass): stamp it now.
+                _ => {
+                    self.fat_group_seen = Some((commits, now));
+                    now
+                }
+            };
+            if now.saturating_sub(since) >= self.config.group_commit_timeout_ms * 1000 {
+                if let Err(e) = self.commit_fat_group(core, kbio) {
+                    self.printk(&format!("kbio: group commit failed: {e}"));
+                }
+            }
+        } else {
+            self.fat_group_seen = None;
+        }
         // FAT32 on the SD card. In DMA mode `flush_some` first reaps any
         // chains that completed since the last pass (surfacing their
         // errors), then *submits* up to the budget and returns — the data
@@ -1656,6 +1706,61 @@ impl Kernel {
         self.fat_bufcache.set_ordered_writeback(ordered);
         self.root_bufcache.set_ordered_writeback(ordered);
         self.config.ordered_writeback = ordered;
+    }
+
+    /// Enables or disables batched eviction write-back on both caches (the
+    /// deep-queue ablation switch). Off restores the PR 4 lockstep: one
+    /// extent-sized chain per eviction, drained before the slot is reused.
+    pub fn set_batched_writeback(&mut self, batched: bool) {
+        self.fat_bufcache.set_batched_writeback(batched);
+        self.root_bufcache.set_batched_writeback(batched);
+        self.config.batched_writeback = batched;
+    }
+
+    /// Sets the FAT32 intent log's group-commit size at runtime (the group
+    /// commit ablation switch). Setting it to 1 first commits any pending
+    /// group so no transaction is stranded with nobody left to close it.
+    pub fn set_group_commit_ops(&mut self, ops: u32) {
+        if ops <= 1 && self.fatfs.is_some() && self.fat_bufcache.group_txns() > 0 {
+            if let Err(e) = self.commit_fat_group(0, self.kbio_task) {
+                self.printk(&format!("set_group_commit_ops: commit failed: {e}"));
+            }
+        }
+        self.config.group_commit_ops = ops.max(1);
+        if let Some(f) = self.fatfs.as_mut() {
+            f.set_group_commit_ops(ops);
+        }
+    }
+
+    /// Commits the FAT intent log's pending group (if any), charging the SD
+    /// work to `task`.
+    pub(crate) fn commit_fat_group(&mut self, core: usize, task: TaskId) -> KResult<()> {
+        let Some(fat) = self.fatfs.as_ref().cloned() else {
+            return Ok(());
+        };
+        if self.fat_bufcache.group_txns() == 0 {
+            return Ok(());
+        }
+        let before = self.sd_snapshot();
+        let result = {
+            let mut dev = fat_dev!(self, core);
+            fat.commit_pending(&mut dev, &mut self.fat_bufcache)
+        };
+        self.charge_sd_delta(core, task, before);
+        self.fat_group_seen = None;
+        result.map_err(KernelError::from)
+    }
+
+    /// Logged transactions sitting in the FAT intent log's open commit
+    /// group.
+    pub fn fat_group_txns(&self) -> u64 {
+        self.fat_bufcache.group_txns()
+    }
+
+    /// Occupancy histogram of the SD command queue as observed by the FAT
+    /// cache's write path (index = in-flight commands after a submission).
+    pub fn fat_queue_occupancy(&self) -> [u64; 9] {
+        self.fat_bufcache.queue_occupancy()
     }
 
     /// Statistics of the FAT32 volume's buffer cache.

@@ -468,11 +468,15 @@ impl Kernel {
 
     /// Flushes the FAT32 buffer cache to the SD card, charging the issuing
     /// core — and attributing to `task` — the SD commands the write-back
-    /// generates.
+    /// generates. A durability barrier must close the intent log's pending
+    /// commit group first: flushing around an open group would force its
+    /// deliberately cyclic ordering edges instead of committing them
+    /// atomically.
     pub(crate) fn flush_fat_cache(&mut self, core: usize, task: TaskId) -> KResult<()> {
         if self.fatfs.is_none() {
             return Ok(());
         }
+        self.commit_fat_group(core, task)?;
         let before = self.sd_snapshot();
         let result = {
             let mut dev = fat_dev!(self, core);
@@ -982,6 +986,11 @@ impl Kernel {
                 kind
             ))),
             FileKind::Xv6 { inum } => {
+                // Kick a sleeping flusher *before* the write: if the caches
+                // are already past the high-water mark, kbio gets scheduled
+                // to absorb the backlog instead of this writer paying for
+                // the whole drain itself.
+                self.maybe_kick_kbio();
                 let fs = self.rootfs_clone()?;
                 let bc = &mut self.root_bufcache;
                 let dev = self.ramdisk.as_mut().ok_or_else(|| {
@@ -1000,6 +1009,10 @@ impl Kernel {
                 Ok(n)
             }
             FileKind::Fat { volume_path, .. } => {
+                // A writer about to hit a full DMA queue would spin-reap its
+                // own chains (`BufCacheStats::queue_full_stalls`); waking a
+                // sleeping kbio first lets the flusher absorb the backlog.
+                self.maybe_kick_kbio();
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 {

@@ -546,6 +546,147 @@ fn fat32_cut_during_rename_leaves_exactly_one_intact_name() {
     }
 }
 
+#[test]
+fn fat32_group_committed_burst_cut_sweep_is_old_xor_new_per_txn() {
+    // Four logged overwrites fold into ONE commit record (group of 4). The
+    // burst performs no device I/O until the group's commit point, so a cut
+    // at every persisted-block prefix of the batched commit must leave each
+    // file strictly old XOR new — never a blend — and, since the whole
+    // group commits through one checksummed record, the only transition the
+    // sweep may observe is all-old -> all-new.
+    let n_files = 4usize;
+    let name = |i: usize| format!("/G{i}.BIN");
+    let olds: Vec<Vec<u8>> = (0..n_files)
+        .map(|i| pattern(40 + i as u64, 1, 12 * 1024))
+        .collect();
+    let news: Vec<Vec<u8>> = (0..n_files)
+        .map(|i| pattern(40 + i as u64, 2, 9 * 1024))
+        .collect();
+    let setup = || {
+        let (mut disk, mut bc, mut fs) = fresh_fat(true);
+        for (i, old) in olds.iter().enumerate() {
+            fs.write_file(&mut disk, &mut bc, &name(i), old).unwrap();
+        }
+        bc.flush(&mut disk).unwrap();
+        fs.set_group_commit_ops(n_files as u32);
+        (disk, bc, fs)
+    };
+    // Dry run: learn the burst's persisted-block budget and check the
+    // group really condensed to one commit record.
+    let total = {
+        let (mut disk, mut bc, fs) = setup();
+        let before = disk.stats().blocks;
+        for (i, new) in news.iter().enumerate() {
+            fs.write_file(&mut disk, &mut bc, &name(i), new).unwrap();
+        }
+        assert_eq!(bc.group_txns(), 0, "fourth txn closed the group");
+        assert_eq!(bc.stats().log_commits, 1, "one record for four txns");
+        disk.stats().blocks - before
+    };
+    assert!(total > 20, "the batched commit should move real blocks");
+    let (mut saw_all_old, mut saw_all_new) = (false, false);
+    for k in 0..=total {
+        let (mut disk, mut bc, fs) = setup();
+        disk.power_cut_after(k);
+        for (i, new) in news.iter().enumerate() {
+            // Ops after the cut fires fail; that's the scenario.
+            let _ = fs.write_file(&mut disk, &mut bc, &name(i), new);
+        }
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        check_fat_structure(&mut disk2, &mut bc2, &fs2, &format!("group cut {k}"));
+        let mut new_count = 0;
+        for i in 0..n_files {
+            let content = fs2.read_file(&mut disk2, &mut bc2, &name(i)).unwrap();
+            if content == olds[i] {
+                // old: fine
+            } else if content == news[i] {
+                new_count += 1;
+            } else {
+                panic!(
+                    "cut at {k}/{total}: {} holds {} bytes matching neither version",
+                    name(i),
+                    content.len()
+                );
+            }
+        }
+        assert!(
+            new_count == 0 || new_count == n_files,
+            "cut at {k}/{total}: group commit must be all-or-nothing, got {new_count}/{n_files} new"
+        );
+        if new_count == 0 {
+            saw_all_old = true;
+        } else {
+            saw_all_new = true;
+        }
+    }
+    assert!(saw_all_old, "early cuts must preserve every old version");
+    assert!(saw_all_new, "the uncut run must land every new version");
+}
+
+#[test]
+fn group_commit_replay_respects_interleaved_unlogged_writes() {
+    // A logged overwrite parks its sectors in the commit group; an
+    // interleaved NON-logged new-file write then shares the same root
+    // dirent sector (and usually the same FAT sector). Sweep a cut across
+    // the group's commit + the closing flush: at every prefix the remount —
+    // which replays the record once it is committed — must show /A old XOR
+    // new and /B absent XOR intact. The record's payloads are captured at
+    // commit time and everything they reference is drained first, so replay
+    // can never roll the unlogged writer's published state back into a
+    // dangling dirent.
+    let old_a = pattern(60, 1, 12 * 1024);
+    let new_a = pattern(60, 2, 10 * 1024);
+    let b = pattern(61, 1, 8 * 1024);
+    let setup = || {
+        let (mut disk, mut bc, mut fs) = fresh_fat(true);
+        fs.write_file(&mut disk, &mut bc, "/A.BIN", &old_a).unwrap();
+        bc.flush(&mut disk).unwrap();
+        fs.set_group_commit_ops(8);
+        fs.write_file(&mut disk, &mut bc, "/A.BIN", &new_a).unwrap(); // logged, pends
+        fs.write_file(&mut disk, &mut bc, "/B.BIN", &b).unwrap(); // unlogged, shares sectors
+        assert!(bc.group_txns() > 0, "the overwrite pends in the group");
+        (disk, bc, fs)
+    };
+    let total = {
+        let (mut disk, mut bc, fs) = setup();
+        let before = disk.stats().blocks;
+        fs.commit_pending(&mut disk, &mut bc).unwrap();
+        bc.flush(&mut disk).unwrap();
+        disk.stats().blocks - before
+    };
+    assert!(total > 8, "commit + flush should move real blocks");
+    let mut saw_b = false;
+    for k in 0..=total {
+        let (mut disk, mut bc, fs) = setup();
+        disk.power_cut_after(k);
+        let _ = fs.commit_pending(&mut disk, &mut bc);
+        let _ = bc.flush(&mut disk);
+        disk.power_restored();
+        let mut disk2 = MemDisk::from_image(disk.image().to_vec());
+        let mut bc2 = BufCache::default();
+        let fs2 = Fat32::mount(&mut disk2, &mut bc2).unwrap();
+        check_fat_structure(&mut disk2, &mut bc2, &fs2, &format!("interleave cut {k}"));
+        let a = fs2.read_file(&mut disk2, &mut bc2, "/A.BIN").unwrap();
+        assert!(
+            a == old_a || a == new_a,
+            "cut {k}/{total}: /A holds {} bytes matching neither version",
+            a.len()
+        );
+        match fs2.read_file(&mut disk2, &mut bc2, "/B.BIN") {
+            Ok(content) => {
+                assert_eq!(content, b, "cut {k}/{total}: /B torn");
+                saw_b = true;
+            }
+            Err(FsError::NotFound(_)) => {} // never published: old tree
+            Err(e) => panic!("cut {k}/{total}: reading /B failed oddly: {e}"),
+        }
+    }
+    assert!(saw_b, "the uncut run must land /B");
+}
+
 /// An SD card in DMA mode with its own engine + clock — the scatter-gather
 /// async path the kernel runs, reproduced standalone so the crash sweeps can
 /// cut power mid-chain deterministically.
@@ -658,6 +799,61 @@ fn fat32_dma_torn_sg_write_cut_sweep_keeps_remount_invariants() {
         "the sweep must tear at least one scatter-gather chain mid-transfer"
     );
     assert!(saw_complete, "the uncut run must land the complete file");
+}
+
+#[test]
+fn batched_eviction_mid_batch_fault_redirties_only_the_torn_chain() {
+    // Two separate 128-block dirty regions fill a 256-block cache exactly;
+    // the allocation that needs a slot gathers both into one eviction batch
+    // of two back-to-back chains. A fault inside the *second* chain fails
+    // only it: the first chain's blocks persist and settle (the allocator
+    // takes one of their extents without draining anything else), while the
+    // torn chain's blocks — and only those — convert back to dirty for
+    // retry.
+    let a: Vec<u8> = (0..128 * BLOCK_SIZE).map(|i| (i % 239) as u8).collect();
+    let b: Vec<u8> = (0..128 * BLOCK_SIZE).map(|i| (i % 233) as u8).collect();
+    let mut rig = DmaRig::new(16 * 1024);
+    let mut bc = BufCache::with_geometry(4, 8); // 256 blocks, 8 extents/shard
+    bc.write_range(&mut rig.dev(), 0, 128, &a).unwrap();
+    bc.write_range(&mut rig.dev(), 512, 128, &b).unwrap();
+    assert_eq!(bc.dirty_blocks(), 256, "cache exactly full and all dirty");
+    rig.sd.inject_fault(600); // inside the second region's chain
+    bc.write_range(&mut rig.dev(), 1024, 1, &[7u8; BLOCK_SIZE])
+        .unwrap();
+    assert!(
+        bc.stats().batched_evictions >= 1,
+        "the allocation went through the batched eviction path"
+    );
+    assert!(
+        rig.sd.queue_high_water() >= 2,
+        "both chains were on the queue together (depth {})",
+        rig.sd.queue_high_water()
+    );
+    // The barrier reaps the torn chain: its error surfaces, and exactly its
+    // 128 blocks are dirty again (the healthy chain's blocks are durable,
+    // the fresh block drained cleanly).
+    assert!(bc.flush(&mut rig.dev()).is_err());
+    assert!(bc.stats().async_write_errors >= 128);
+    assert_eq!(
+        bc.dirty_blocks(),
+        128,
+        "only the torn chain's blocks converted back to dirty"
+    );
+    // The card recovers (clearing the fault also lets the raw image read
+    // cross block 600); the healthy chain's data is already on the medium.
+    rig.sd.clear_faults();
+    let image = rig.image();
+    assert_eq!(
+        &image[..128 * BLOCK_SIZE],
+        &a[..],
+        "the healthy chain of the batch persisted untouched"
+    );
+    // The retried barrier finishes the job bit-exactly.
+    bc.flush(&mut rig.dev()).unwrap();
+    assert_eq!(bc.dirty_blocks(), 0);
+    let image = rig.image();
+    assert_eq!(&image[512 * BLOCK_SIZE..640 * BLOCK_SIZE], &b[..]);
+    assert_eq!(image[1024 * BLOCK_SIZE], 7);
 }
 
 #[test]

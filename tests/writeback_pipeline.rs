@@ -342,6 +342,190 @@ fn adaptive_flusher_interval_tracks_the_dirty_ratio() {
 }
 
 #[test]
+fn group_commit_defers_logged_txns_until_fsync_forces_them() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    assert!(sys.kernel.config.group_commit_ops > 1);
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    // Pre-create two files with contents so the burst writes below are
+    // *logged overwrites*, then reach a clean durable baseline.
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            for i in 0..2 {
+                let fd = ctx.open(&format!("/d/gc{i}.bin"), OpenFlags::wronly_create())?;
+                ctx.write(fd, b"old contents")?;
+                ctx.close(fd)?;
+            }
+            Ok::<(), kernel::KernelError>(())
+        })
+        .unwrap();
+    sys.kernel.sync_all().unwrap();
+    let commits_before = sys.kernel.fat_cache_stats().log_commits;
+    // Two logged overwrites: both fold into the open commit group — no
+    // commit record yet, nothing durable, the old contents still own the
+    // card.
+    let mut fd_keep = 0;
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            for i in 0..2 {
+                let fd = ctx.open(&format!("/d/gc{i}.bin"), OpenFlags::wronly_create())?;
+                ctx.write(fd, b"new contents!")?;
+                fd_keep = fd;
+            }
+            Ok::<(), kernel::KernelError>(())
+        })
+        .unwrap();
+    assert_eq!(
+        sys.kernel.fat_group_txns(),
+        2,
+        "both txns pend in the group"
+    );
+    assert_eq!(sys.kernel.fat_cache_stats().log_commits, commits_before);
+    let total = sys.kernel.board.sdhost.total_blocks();
+    {
+        let mut fresh = BufCache::default();
+        let mut dev = SdBlockDevice::new(
+            &mut sys.kernel.board.sdhost,
+            FAT_PARTITION_START,
+            total - FAT_PARTITION_START,
+        );
+        let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+        assert_eq!(
+            fat.read_file(&mut dev, &mut fresh, "/gc0.bin").unwrap(),
+            b"old contents",
+            "a cut before the group commits yields the old tree"
+        );
+    }
+    // fsync is a durability barrier: it forces the pending group's single
+    // commit record out before the cache flush.
+    sys.kernel
+        .with_task_ctx(writer, |ctx| ctx.fsync(fd_keep))
+        .unwrap();
+    assert_eq!(sys.kernel.fat_group_txns(), 0);
+    assert_eq!(
+        sys.kernel.fat_cache_stats().log_commits,
+        commits_before + 1,
+        "one record covered both transactions"
+    );
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    for i in 0..2 {
+        assert_eq!(
+            fat.read_file(&mut dev, &mut fresh, &format!("/gc{i}.bin"))
+                .unwrap(),
+            b"new contents!"
+        );
+    }
+}
+
+#[test]
+fn kbio_commits_a_pending_group_after_the_timeout() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let timeout_ms = sys.kernel.config.group_commit_timeout_ms;
+    assert!(timeout_ms > 0);
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/lone.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"v1")?;
+            ctx.close(fd)?;
+            Ok::<(), kernel::KernelError>(())
+        })
+        .unwrap();
+    sys.kernel.sync_all().unwrap();
+    // One lone logged overwrite, then silence: no burst closes the group
+    // and nobody calls fsync. The flusher's timeout pass must commit it
+    // within a bounded window.
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/lone.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"v2 committed by kbio")?;
+            Ok::<(), kernel::KernelError>(())
+        })
+        .unwrap();
+    assert_eq!(sys.kernel.fat_group_txns(), 1);
+    let committed = sys
+        .kernel
+        .run_until(|k| k.fat_group_txns() == 0, (timeout_ms + 500) * 1000);
+    assert!(
+        committed,
+        "the flusher force-committed the lone transaction"
+    );
+    let drained = sys
+        .kernel
+        .run_until(|k| k.fat_dirty_blocks() == 0, 10_000_000);
+    assert!(drained);
+    let total = sys.kernel.board.sdhost.total_blocks();
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/lone.bin").unwrap(),
+        b"v2 committed by kbio"
+    );
+}
+
+#[test]
+fn batched_writeback_keeps_the_queue_deep_under_cache_pressure() {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    assert!(sys.kernel.config.batched_writeback);
+    let writer = sys.kernel.spawn_bench_task("writer").unwrap();
+    // Snapshot the occupancy histogram so boot-time install traffic (which
+    // also drives the queue deep) cannot satisfy the depth assertions.
+    let occupancy_before = sys.kernel.fat_queue_occupancy();
+    // 2 MB through the 512 KB cache: most blocks move under eviction
+    // pressure. With batching, the writer keeps several scatter-gather
+    // chains in flight instead of the one-deep submit-then-drain lockstep.
+    sys.kernel
+        .with_task_ctx(writer, |ctx| {
+            let fd = ctx.open("/d/deep.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, &vec![0x6Du8; 2 * 1024 * 1024])?;
+            ctx.fsync(fd)?;
+            ctx.close(fd)
+        })
+        .unwrap();
+    let occupancy: Vec<u64> = sys
+        .kernel
+        .fat_queue_occupancy()
+        .iter()
+        .zip(occupancy_before.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    let peak = occupancy.iter().rposition(|&c| c > 0).unwrap_or(0);
+    assert!(
+        peak >= 4,
+        "this run's submissions peaked at queue depth {peak} — the write \
+         path never went deep: {occupancy:?}"
+    );
+    let stats = sys.kernel.fat_cache_stats();
+    assert!(
+        stats.batched_evictions > 0,
+        "evictions used the batched path"
+    );
+    // The data is durable and intact on a raw remount.
+    let total = sys.kernel.board.sdhost.total_blocks();
+    let mut fresh = BufCache::default();
+    let mut dev = SdBlockDevice::new(
+        &mut sys.kernel.board.sdhost,
+        FAT_PARTITION_START,
+        total - FAT_PARTITION_START,
+    );
+    let fat = Fat32::mount(&mut dev, &mut fresh).unwrap();
+    assert_eq!(
+        fat.read_file(&mut dev, &mut fresh, "/deep.bin").unwrap(),
+        vec![0x6Du8; 2 * 1024 * 1024]
+    );
+}
+
+#[test]
 fn without_the_flusher_close_drains_synchronously_and_bills_the_writer() {
     let mut sys = ProtoSystem::desktop().unwrap();
     // The ablation switch: revert to PR-1 close-flush semantics.
