@@ -12,6 +12,7 @@
 use std::path::Path;
 
 use bench::report;
+use bench::storagescale::{self, StorageScalePoint};
 use hal::cost::Platform;
 use kernel::vfs::OpenFlags;
 use proto::prototype::{ProtoSystem, SystemOptions};
@@ -174,6 +175,10 @@ struct BenchFs {
     /// Group-committed intent log vs per-operation commits.
     group_commit_on: GroupCommitRun,
     group_commit_off: GroupCommitRun,
+    /// The per-core block stack's N-cores × N-streams sweep: four concurrent
+    /// stream readers (blocking demand I/O, core-affine shards, per-core
+    /// reaping) at 1, 2 and 4 active cores.
+    multicore_scaling: Vec<StorageScalePoint>,
     video: VideoRun,
     speedup: f64,
     /// Read-ahead gain *under DMA* (dma_prefetch_off.ms / dma_on.ms): with
@@ -531,7 +536,29 @@ fn main() {
         bw_on.queue_occupancy
     );
 
-    // 6. Group-committed intent log: one checksummed commit flush per group
+    // 6. The per-core block stack: four concurrent stream readers at 1, 2
+    // and 4 active cores. The cold pass exercises blocking demand reads and
+    // per-core reaping; the timed warm passes are CPU-bound, which is where
+    // core count can show up as aggregate throughput (the card's line rate
+    // itself is a single shared resource).
+    let multicore_scaling = storagescale::storage_scaling();
+    for p in &multicore_scaling {
+        println!(
+            "storage scaling     : {} core{} x {} streams: {:.1} MB/s warm ({:.1} ms), cold: {} demand waits, {} parks, {} spin-reaps, {} steals; shard imbalance {:.2}",
+            p.cores,
+            if p.cores == 1 { " " } else { "s" },
+            p.streams,
+            p.aggregate_mb_s,
+            p.ms,
+            p.demand_waits,
+            p.demand_blocks,
+            p.demand_spin_reaps,
+            p.affinity_steals,
+            p.shard_imbalance
+        );
+    }
+
+    // 7. Group-committed intent log: one checksummed commit flush per group
     // of logged metadata transactions instead of one per transaction.
     let gc_on = group_commit_run(8);
     let gc_off = group_commit_run(1);
@@ -558,6 +585,7 @@ fn main() {
         batched_wb_off: bw_off.clone(),
         group_commit_on: gc_on,
         group_commit_off: gc_off,
+        multicore_scaling,
         video,
         speedup,
         prefetch_gain,

@@ -1,4 +1,6 @@
-//! Figure 10: multicore scalability (8 marios, blockchain miner).
+//! Figure 10: multicore scalability (8 marios, blockchain miner) — plus the
+//! storage half: four concurrent stream readers over the per-core block
+//! stack, swept across the same core counts.
 use bench::report;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -29,4 +31,35 @@ fn main() {
         )
     );
     report::write_json("fig10_multicore", &points);
+
+    println!("\nStorage scaling — 4 concurrent stream readers, warm aggregate throughput\n");
+    let storage = bench::storagescale::storage_scaling();
+    let srows: Vec<Vec<String>> = storage
+        .iter()
+        .map(|p| {
+            vec![
+                p.cores.to_string(),
+                report::f2(p.aggregate_mb_s),
+                p.demand_waits.to_string(),
+                p.demand_blocks.to_string(),
+                p.demand_spin_reaps.to_string(),
+                format!("{:.2}", p.shard_imbalance),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "cores",
+                "MB/s (4 streams)",
+                "demand waits",
+                "parks",
+                "spin-reaps",
+                "shard imbalance"
+            ],
+            &srows
+        )
+    );
+    report::write_json("fig10_storage_scaling", &storage);
 }

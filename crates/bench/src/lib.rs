@@ -12,6 +12,7 @@ pub mod appbench;
 pub mod baselines;
 pub mod micro;
 pub mod report;
+pub mod storagescale;
 
 pub use appbench::{measure_fps, AppRun, FpsResult};
 pub use micro::{run_microbenchmarks, MicroResults};

@@ -83,11 +83,15 @@
 //!     [`BufCache::queue_occupancy`] histogram;
 //!     [`BufCache::set_batched_writeback`] restores the one-deep lockstep
 //!     for the ablation). A writer that still hits a full queue counts a
-//!     [`BufCacheStats::queue_full_stalls`] before spin-reaping, which the
-//!     kernel uses to kick a sleeping flusher first. The barriers split
-//!     their drains into the same bounded chains, so a torn or faulted
-//!     chain re-dirties at most [`WB_CHAIN_BLOCKS`] blocks — and only its
-//!     own.
+//!     [`BufCacheStats::queue_full_stalls`] before spin-reaping; the
+//!     kernel's write path goes one better and *yields*: it kicks the
+//!     flusher, parks the writer on the block-I/O wait channel and retries
+//!     the write after the completion interrupt
+//!     ([`BufCacheStats::queue_full_yields`]), so back-pressure costs the
+//!     backlogged writer its slice instead of burning it reaping other
+//!     tasks' chains. The barriers split their drains into the same bounded
+//!     chains, so a torn or faulted chain re-dirties at most
+//!     [`WB_CHAIN_BLOCKS`] blocks — and only its own.
 //!   - *Barriers*: [`BufCache::flush`] (fsync, unmount) and
 //!     [`BufCache::flush_data`] (the intent-log commit point) are
 //!     queue-drain barriers — they submit, then drain every write chain and
@@ -101,6 +105,45 @@
 //!     (they are the DMA target), and [`BufCache::dirty_blocks`] counts
 //!     in-flight write-backs as still-dirty, so "zero dirty" continues to
 //!     mean "everything persisted".
+//!
+//! * **Per-core submission and reaping.** The cache is one shared structure
+//!   driven from many cores, and its concurrency contract is *ownership*,
+//!   not locking. The kernel stamps the operating core before every cache
+//!   call ([`BufCache::set_home_core`]); the cache records it per submitted
+//!   chain ([`BufCache::chain_owner`]), and the kernel's completion router
+//!   uses that tag to hand each completion to the core that submitted the
+//!   chain — the `Dma0` handler applies its own cores' completions inline
+//!   and queues the rest for their owners (the `kbio` flusher adopts
+//!   orphans whose owner core went offline). Two placement policies hang
+//!   off the same core tag:
+//!
+//!   - *Shard-to-core affinity* ([`BufCache::set_core_affinity`]): the
+//!     shard array is partitioned across cores and a newly allocated extent
+//!     goes to the least-loaded shard of its core's partition, so N cores
+//!     streaming N files stop colliding on the same shards. The affinity is
+//!     deliberately *soft*: when the home partition has no free slot the
+//!     extent spills to the least-loaded foreign shard (work stealing,
+//!     counted in [`BufCacheStats::affinity_steals`]) — a lone hot stream
+//!     still gets the whole cache. When every slot is taken the extent
+//!     falls back to its plain LBA-hash shard, so a cache at capacity
+//!     evicts exactly as the affinity-off cache would — each streamed
+//!     extent displaces its own shard's consumed tail, never a freshly
+//!     prefetched extent in a quieter shard. Placements
+//!     that diverge from the LBA hash are remembered per extent and
+//!     dropped on eviction; with affinity off the pure hash placement of
+//!     the sharding bullet above is unchanged.
+//!   - *Blocking demand readers* ([`BufCache::set_block_demand`]): in
+//!     spin mode a demand read that needs an in-flight chain reaps the
+//!     queue on its own core's clock. In blocking mode it returns
+//!     [`crate::FsError::WouldBlock`] instead (counted in
+//!     [`BufCacheStats::demand_blocks`]); the kernel parks the task on the
+//!     block-I/O wait channel, wakes it from the completion router, and
+//!     simply retries the read — by construction the retry finds the
+//!     installed blocks as hits. A failed blocking chain records its error
+//!     for the next retry ([`BufCache::apply_completion`]), so a torn
+//!     chain converts to a surfaced error, never a lost wakeup or a
+//!     deadlock. [`BufCacheStats::demand_spin_reaps`] counts the spin-mode
+//!     reaps that remain; a fully blocking configuration holds it at zero.
 //!
 //! * **Dependency-ordered draining.** Dirty blocks carry a class (data vs
 //!   filesystem metadata, tagged by the writers via
@@ -132,7 +175,7 @@
 //! range commands and one-command-per-block — the xv6-baseline behaviour —
 //! without changing what is cached.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::FsResult;
@@ -312,6 +355,22 @@ pub struct BufCacheStats {
     /// commit, one record covers up to `group_commit_ops` transactions, so
     /// `log_commits` grows several times slower than `log_txns`.
     pub log_commits: u64,
+    /// Extents placed on a foreign core's shard partition because the home
+    /// partition had no free slot — the work-stealing spill of the soft
+    /// shard-to-core affinity policy (zero with affinity off).
+    pub affinity_steals: u64,
+    /// Writers that found the SD queue full and yielded their slice back to
+    /// the scheduler (parking on the block-I/O wait channel) instead of
+    /// spin-reaping other tasks' chains — the back-pressure fairness path.
+    pub queue_full_yields: u64,
+    /// Demand reads that returned `WouldBlock` so the calling task could
+    /// sleep on the completion interrupt instead of spin-advancing its
+    /// core's clock (blocking-reader mode).
+    pub demand_blocks: u64,
+    /// Blocking reaps performed by demand readers spinning for their own
+    /// chains — the spin-mode cost that blocking-reader mode eliminates
+    /// (a fully blocking configuration holds this at zero).
+    pub demand_spin_reaps: u64,
 }
 
 #[derive(Debug, Default)]
@@ -458,6 +517,31 @@ pub struct BufCache {
     inflight_reads: HashMap<u64, Vec<Run>>,
     /// In-flight asynchronous write-backs: command id → the runs it persists.
     inflight_writes: HashMap<u64, Vec<Run>>,
+    /// Soft shard-to-core affinity: the number of cores the shard array is
+    /// partitioned across (0 = affinity off, pure LBA-hash placement).
+    affinity_cores: usize,
+    /// The core on whose behalf the cache is currently operating; the kernel
+    /// stamps it before every cache call. Extent placement and chain
+    /// ownership key off it.
+    home_core: usize,
+    /// Where each resident extent lives when placement diverged from the LBA
+    /// hash (extent base → shard index). Entries drop with their extents.
+    placement: HashMap<u64, usize>,
+    /// In-flight chain ownership: command id → the core that submitted it.
+    /// The kernel's completion router reads this to hand each completion to
+    /// its submitting core.
+    chain_owners: HashMap<u64, usize>,
+    /// When true, a demand read that must wait for the device returns
+    /// [`crate::FsError::WouldBlock`] instead of spin-reaping completions,
+    /// so the kernel can park the task on the completion interrupt.
+    block_demand: bool,
+    /// Demand chains submitted in blocking mode: a completion error on one
+    /// of these must surface to the retrying reader, not vanish like a
+    /// failed prefetch.
+    blocking_reads: HashSet<u64>,
+    /// First error reported by a failed blocking demand chain; taken by the
+    /// next blocking read retry.
+    demand_read_error: Option<crate::FsError>,
     /// First error reported by an asynchronous write-back completion since
     /// the last barrier/poll took it — how `kbio` and `fsync` observe
     /// failures that surfaced after their submit returned.
@@ -469,6 +553,15 @@ pub struct BufCache {
     batched_evictions: u64,
     log_txns: u64,
     log_commits: u64,
+    affinity_steals: u64,
+    queue_full_yields: u64,
+    demand_blocks: u64,
+    demand_spin_reaps: u64,
+    /// Completions ever applied (any path). The kernel compares this across
+    /// scheduler passes to wake tasks parked on the block-I/O channel even
+    /// when a completion was reaped inside some other task's cache call
+    /// rather than by the interrupt handler.
+    completions_applied: u64,
     /// Histogram of the device queue's occupancy observed right after each
     /// write-chain submission (index = commands in flight, clamped to the
     /// last bucket) — how deep the write path actually keeps the queue.
@@ -522,6 +615,13 @@ impl BufCache {
             batched_wb: true,
             inflight_reads: HashMap::new(),
             inflight_writes: HashMap::new(),
+            affinity_cores: 0,
+            home_core: 0,
+            placement: HashMap::new(),
+            chain_owners: HashMap::new(),
+            block_demand: false,
+            blocking_reads: HashSet::new(),
+            demand_read_error: None,
             async_error: None,
             forced_meta_writes: 0,
             demand_waits: 0,
@@ -530,6 +630,11 @@ impl BufCache {
             batched_evictions: 0,
             log_txns: 0,
             log_commits: 0,
+            affinity_steals: 0,
+            queue_full_yields: 0,
+            demand_blocks: 0,
+            demand_spin_reaps: 0,
+            completions_applied: 0,
             wb_occupancy: [0; 9],
             tick: 0,
             ranges_issued: 0,
@@ -595,6 +700,57 @@ impl BufCache {
     /// the last bucket).
     pub fn queue_occupancy(&self) -> [u64; 9] {
         self.wb_occupancy
+    }
+
+    /// Enables soft shard-to-core affinity over `cores` cores (0 disables).
+    /// The shard array is partitioned evenly across the cores; newly
+    /// allocated extents prefer their home core's partition and spill to
+    /// foreign shards only when home is full (see the module header).
+    /// Resident extents keep their current placement.
+    pub fn set_core_affinity(&mut self, cores: usize) {
+        self.affinity_cores = cores;
+    }
+
+    /// The affinity core count (0 = affinity off).
+    pub fn core_affinity(&self) -> usize {
+        self.affinity_cores
+    }
+
+    /// Stamps the core on whose behalf subsequent cache calls run. The
+    /// kernel sets this at every syscall and flusher entry; extent placement
+    /// and chain ownership key off it.
+    pub fn set_home_core(&mut self, core: usize) {
+        self.home_core = core;
+    }
+
+    /// Enables or disables blocking-demand mode: with it on, a demand read
+    /// that must wait for an in-flight chain returns
+    /// [`crate::FsError::WouldBlock`] instead of spin-reaping, so the kernel
+    /// can park the calling task on the completion interrupt and retry.
+    pub fn set_block_demand(&mut self, on: bool) {
+        self.block_demand = on;
+    }
+
+    /// The core that submitted in-flight chain `id`, if the cache still
+    /// tracks it — the routing key for per-core completion reaping.
+    pub fn chain_owner(&self, id: u64) -> Option<usize> {
+        self.chain_owners.get(&id).copied()
+    }
+
+    /// Total completions applied through any path, monotone. The kernel's
+    /// scheduler pass compares this against its last observation to wake
+    /// block-I/O waiters even when a completion was reaped inside another
+    /// task's cache call instead of by the interrupt handler.
+    pub fn completions_applied(&self) -> u64 {
+        self.completions_applied
+    }
+
+    /// Records a writer that found the device queue full and yielded its
+    /// slice (parked on the block-I/O channel) instead of spin-reaping —
+    /// the kernel's back-pressure fairness path calls this as it blocks
+    /// the task.
+    pub fn note_queue_full_yield(&mut self) {
+        self.queue_full_yields += 1;
     }
 
     // ---- the intent log's group-commit accumulator ---------------------------------------
@@ -791,6 +947,18 @@ impl BufCache {
             s.tick = tick;
             return;
         }
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .find(|s| s.next_lba == lba + count && s.next_lba != 0)
+        {
+            // The same read noted twice: a blocking demand read that parked
+            // on the completion interrupt retries the whole call. The retry
+            // must not steal a stream slot or reset the streak it already
+            // advanced.
+            s.tick = tick;
+            return;
+        }
         if let Some(slot) = self.streams.iter_mut().min_by_key(|s| s.tick) {
             *slot = Stream {
                 next_lba: lba + count,
@@ -833,6 +1001,10 @@ impl BufCache {
             batched_evictions: self.batched_evictions,
             log_txns: self.log_txns,
             log_commits: self.log_commits,
+            affinity_steals: self.affinity_steals,
+            queue_full_yields: self.queue_full_yields,
+            demand_blocks: self.demand_blocks,
+            demand_spin_reaps: self.demand_spin_reaps,
             ..Default::default()
         };
         for s in &self.shards {
@@ -897,6 +1069,10 @@ impl BufCache {
         // Completions for dropped extents are ignored when they arrive.
         self.inflight_reads.clear();
         self.inflight_writes.clear();
+        self.placement.clear();
+        self.chain_owners.clear();
+        self.blocking_reads.clear();
+        self.demand_read_error = None;
     }
 
     // ---- internal helpers ---------------------------------------------------------------
@@ -911,7 +1087,12 @@ impl BufCache {
     }
 
     fn shard_of(&self, base: u64) -> usize {
-        ((base / EXTENT_BLOCKS as u64) % self.shards.len() as u64) as usize
+        // Affinity placement overrides the hash for as long as the extent is
+        // resident; entries are dropped with their extents.
+        if let Some(&si) = self.placement.get(&base) {
+            return si;
+        }
+        Self::hash_shard(base, self.shards.len())
     }
 
     /// Whether block `lba` is not yet durable: cached dirty, or in flight on
@@ -1147,15 +1328,33 @@ impl BufCache {
     }
 
     /// Returns a mutable reference to the extent covering `lba`, allocating
-    /// (and evicting, with write-back) as needed.
+    /// (and evicting, with write-back) as needed. With affinity on, a new
+    /// extent is placed by [`BufCache::place_shard`] instead of the LBA
+    /// hash and the divergence is remembered until the extent is evicted.
     fn extent_for(&mut self, dev: &mut dyn BlockDevice, lba: u64) -> FsResult<&mut Extent> {
         let base = Self::extent_base(lba);
-        let si = self.shard_of(base);
+        let mut si = self.shard_of(base);
         let tick = self.next_tick();
         let cap = self.extents_per_shard;
 
-        if self.shards[si].find(base).is_none() && self.shards[si].extents.len() >= cap {
-            self.make_room(dev, si)?;
+        if self.shards[si].find(base).is_none() {
+            if self.affinity_cores > 0 {
+                si = self.place_shard(base);
+                if si == Self::hash_shard(base, self.shards.len()) {
+                    // Placement agrees with the hash: no divergence to
+                    // remember (and none to forget on eviction).
+                    self.placement.remove(&base);
+                } else {
+                    self.placement.insert(base, si);
+                }
+            }
+            if self.shards[si].extents.len() >= cap {
+                if let Err(e) = self.make_room(dev, si) {
+                    // Don't leak a placement for an extent never created.
+                    self.placement.remove(&base);
+                    return Err(e);
+                }
+            }
         }
 
         let shard = &mut self.shards[si];
@@ -1169,6 +1368,49 @@ impl BufCache {
         let ext = &mut shard.extents[idx];
         ext.tick = tick;
         Ok(ext)
+    }
+
+    /// Chooses the shard for a newly allocated extent under soft affinity.
+    /// Preference order:
+    ///
+    /// 1. the least-loaded shard of the home core's partition with a free
+    ///    slot — the affinity fast path;
+    /// 2. the least-loaded shard anywhere with a free slot — the
+    ///    work-stealing spill ([`BufCacheStats::affinity_steals`]) that
+    ///    keeps a lone hot stream from being squeezed into 1/N of the
+    ///    cache;
+    /// 3. every slot taken: the plain LBA-hash shard. At capacity the cache
+    ///    must evict for every allocation, and the hash spreads those
+    ///    evictions the way the affinity-off cache would — each streamed
+    ///    extent displaces its own shard's oldest (consumed) tail. Steering
+    ///    allocations at whichever shard currently looks quietest instead
+    ///    concentrates evictions there and throws away freshly prefetched
+    ///    extents before the stream reaches them.
+    fn place_shard(&mut self, base: u64) -> usize {
+        let n = self.shards.len();
+        let cores = self.affinity_cores.clamp(1, n);
+        let per_core = (n / cores).max(1);
+        let home_lo = ((self.home_core % cores) * per_core).min(n - 1);
+        let home_hi = (home_lo + per_core).min(n);
+        let cap = self.extents_per_shard;
+        let free_pick = |range: std::ops::Range<usize>, shards: &[Shard]| {
+            range
+                .filter(|&si| shards[si].extents.len() < cap)
+                .min_by_key(|&si| shards[si].extents.len())
+        };
+        if let Some(si) = free_pick(home_lo..home_hi, &self.shards) {
+            return si;
+        }
+        if let Some(si) = free_pick(0..n, &self.shards) {
+            self.affinity_steals += 1;
+            return si;
+        }
+        Self::hash_shard(base, n)
+    }
+
+    /// The pure LBA-hash shard for `base` (affinity-off placement).
+    fn hash_shard(base: u64, shards: usize) -> usize {
+        ((base / EXTENT_BLOCKS as u64) % shards as u64) as usize
     }
 
     /// Frees one slot in a full shard. Victim selection: cold (streamed,
@@ -1265,6 +1507,7 @@ impl BufCache {
         if let Some(idx) = self.shards[si].find(victim_base) {
             self.shards[si].extents.swap_remove(idx);
             self.shards[si].stats.evictions += 1;
+            self.placement.remove(&victim_base);
         }
         Ok(())
     }
@@ -1329,8 +1572,9 @@ impl BufCache {
         // their extents while the later ones are still on the wire.
         loop {
             if let Some(idx) = self.settled_victim(si) {
-                self.shards[si].extents.swap_remove(idx);
+                let gone = self.shards[si].extents.swap_remove(idx);
                 self.shards[si].stats.evictions += 1;
+                self.placement.remove(&gone.base);
                 return Ok(());
             }
             let reaped = self.reap_blocking(dev)?;
@@ -1384,6 +1628,9 @@ impl BufCache {
     /// wait loops. Unknown command ids (cache invalidated since submission)
     /// are ignored.
     pub fn apply_completion(&mut self, comp: &crate::block::SgCompletion) {
+        self.completions_applied += 1;
+        self.chain_owners.remove(&comp.id);
+        let was_blocking_read = self.blocking_reads.remove(&comp.id);
         if comp.write {
             let Some(runs) = self.inflight_writes.remove(&comp.id) else {
                 return;
@@ -1477,6 +1724,15 @@ impl BufCache {
                 _ => {
                     // Failed fill: the blocks simply stay missing. A demand
                     // read covering them re-issues and surfaces the error.
+                    // For a chain submitted by a *blocking* demand reader the
+                    // error must reach the parked task, not vanish like a
+                    // failed prefetch: record it for the reader's retry.
+                    if was_blocking_read && self.demand_read_error.is_none() {
+                        self.demand_read_error = Some(match &comp.result {
+                            Err(e) => e.clone(),
+                            Ok(()) => crate::FsError::Io("demand fill chain lost its data".into()),
+                        });
+                    }
                     for run in runs {
                         for b in run.start..run.start + run.len {
                             let base = Self::extent_base(b);
@@ -1606,6 +1862,7 @@ impl BufCache {
             }
         }
         self.inflight_writes.insert(id, runs.to_vec());
+        self.chain_owners.insert(id, self.home_core);
         self.ranges_issued += 1;
         let bucket = dev.inflight().min(self.wb_occupancy.len() - 1);
         self.wb_occupancy[bucket] += 1;
@@ -1732,6 +1989,15 @@ impl BufCache {
     }
 
     /// Serves one bounded window of [`BufCache::read_range_async`].
+    ///
+    /// In spin mode (the default) the window loop reaps the device queue
+    /// until every block is resident. In blocking mode
+    /// ([`BufCache::set_block_demand`]) it never reaps on the caller's
+    /// clock: any iteration that would have to wait — queue full before
+    /// submitting, or the window's blocks riding an in-flight chain —
+    /// returns [`crate::FsError::WouldBlock`] instead, the kernel parks the
+    /// task on the completion interrupt, and the retried call finds the
+    /// installed blocks as hits.
     fn read_window_async(
         &mut self,
         dev: &mut dyn BlockDevice,
@@ -1741,6 +2007,12 @@ impl BufCache {
     ) -> FsResult<()> {
         let mut own_cmds: Vec<u64> = Vec::new();
         loop {
+            if self.block_demand {
+                // A torn/failed blocking chain surfaces to the retry here.
+                if let Some(e) = self.demand_read_error.take() {
+                    return Err(e);
+                }
+            }
             // What still needs the device this iteration?
             let mut missing: Vec<Run> = Vec::new();
             let mut waiting = false;
@@ -1760,6 +2032,14 @@ impl BufCache {
                 break;
             }
             if !missing.is_empty() {
+                if self.block_demand && !dev.can_submit() {
+                    // Queue full means chains are in flight and a completion
+                    // interrupt is coming; park the caller before pinning
+                    // anything instead of reaping other tasks' chains on its
+                    // clock.
+                    self.demand_blocks += 1;
+                    return Err(crate::FsError::WouldBlock);
+                }
                 // Pin target extents (allocating/evicting now, while nothing
                 // is half-installed) and mark the fill in flight.
                 for run in &missing {
@@ -1769,6 +2049,7 @@ impl BufCache {
                     }
                 }
                 while !dev.can_submit() {
+                    self.demand_spin_reaps += 1;
                     if self.reap_blocking(dev)?.is_empty() {
                         return Err(crate::FsError::Io(
                             "SD queue full with nothing in flight".into(),
@@ -1787,9 +2068,34 @@ impl BufCache {
                     }
                 };
                 self.inflight_reads.insert(id, missing.clone());
+                self.chain_owners.insert(id, self.home_core);
+                if self.block_demand {
+                    self.blocking_reads.insert(id);
+                }
                 self.ranges_issued += 1;
                 own_cmds.push(id);
             }
+            if self.block_demand {
+                if dev.inflight() > 0 {
+                    // The window's fill (ours or an earlier prefetch) is on
+                    // the wire: sleep on the completion interrupt instead of
+                    // spinning the clock forward.
+                    self.demand_blocks += 1;
+                    return Err(crate::FsError::WouldBlock);
+                }
+                // Pending marks with nothing in flight: stale state (the
+                // queue was torn down under us). Clear them and re-issue.
+                for i in 0..count {
+                    let b = lba + i;
+                    let base = Self::extent_base(b);
+                    let si = self.shard_of(base);
+                    if let Some(ei) = self.shards[si].find(base) {
+                        self.shards[si].extents[ei].pending &= !Extent::bit(b);
+                    }
+                }
+                continue;
+            }
+            self.demand_spin_reaps += 1;
             let comps = self.reap_blocking(dev)?;
             // A failed *demand* chain is this caller's error (a failed
             // prefetch chain just reverts its blocks to missing and the next
@@ -1889,6 +2195,7 @@ impl BufCache {
                 }
             };
             self.inflight_reads.insert(id, missing);
+            self.chain_owners.insert(id, self.home_core);
             self.ranges_issued += 1;
             self.prefetch_cmds += 1;
             self.prefetched_blocks += fetched;
@@ -3318,6 +3625,105 @@ mod tests {
         }
 
         #[test]
+        fn blocking_demand_read_parks_instead_of_spinning() {
+            let mut rig = Rig::new(4096);
+            for lba in 0..64 {
+                rig.sd.write_block(lba, &[lba as u8; BLOCK_SIZE]).unwrap();
+            }
+            let mut bc = BufCache::default();
+            bc.set_prefetch(true);
+            bc.set_block_demand(true);
+            // A prefetch chain is on the wire; the demand read covering it
+            // parks on the completion interrupt — it neither re-issues the
+            // transfer nor spin-advances the clock on the reader's behalf.
+            assert_eq!(bc.prefetch_range(&mut rig.dev(), 8, 16).unwrap(), 16);
+            let mut out = vec![0u8; BLOCK_SIZE * 16];
+            assert!(matches!(
+                bc.read_range(&mut rig.dev(), 8, 16, &mut out),
+                Err(crate::FsError::WouldBlock)
+            ));
+            assert_eq!(rig.sd.dma_cmds(), 1, "no re-issue before parking");
+            assert_eq!(bc.stats().demand_waits, 16, "the read waited on the chain");
+            assert!(bc.stats().demand_blocks > 0);
+            assert_eq!(bc.stats().demand_spin_reaps, 0);
+            // The completion interrupt reaps the chain (here: the test reaps
+            // on the cache's behalf, as the kernel's router does)...
+            let comps = rig.dev().wait_some().unwrap();
+            assert!(!comps.is_empty());
+            for c in &comps {
+                bc.apply_completion(c);
+            }
+            // ...and the woken retry completes from residency: same bytes,
+            // no second chain, still no spin-reaping billed to the reader.
+            bc.read_range(&mut rig.dev(), 8, 16, &mut out).unwrap();
+            assert_eq!(rig.sd.dma_cmds(), 1, "no re-issue on retry");
+            assert!(out[..BLOCK_SIZE].iter().all(|b| *b == 8));
+            assert_eq!(bc.stats().demand_spin_reaps, 0);
+        }
+
+        #[test]
+        fn blocking_read_retry_is_idempotent_for_the_stream_table() {
+            let mut rig = Rig::new(4096);
+            let mut bc = BufCache::default();
+            bc.set_block_demand(true);
+            let mut out = vec![0u8; BLOCK_SIZE * 8];
+            // Two parked-and-retried sequential reads: the retries must not
+            // steal stream slots or reset the ramp, so the streak counts
+            // each *distinct* cluster once.
+            for lba in [0u64, 8, 16] {
+                while let Err(e) = bc.read_range(&mut rig.dev(), lba, 8, &mut out) {
+                    assert!(matches!(e, crate::FsError::WouldBlock));
+                    for c in rig.dev().wait_some().unwrap() {
+                        bc.apply_completion(&c);
+                    }
+                }
+            }
+            // A fresh slot starts at streak 0 and each continuation adds
+            // one: three clusters = streak 2 — iff the parked retries were
+            // absorbed instead of claiming slots of their own.
+            assert_eq!(bc.sequential_streak(), 2, "retries did not double-count");
+        }
+
+        #[test]
+        fn failed_blocking_chain_surfaces_the_error_on_retry_not_a_deadlock() {
+            let mut rig = Rig::new(4096);
+            rig.sd.inject_fault(10);
+            let mut bc = BufCache::default();
+            bc.set_block_demand(true);
+            let mut out = vec![0u8; BLOCK_SIZE * 16];
+            assert!(matches!(
+                bc.read_range(&mut rig.dev(), 8, 16, &mut out),
+                Err(crate::FsError::WouldBlock)
+            ));
+            for c in rig.dev().wait_some().unwrap() {
+                bc.apply_completion(&c);
+            }
+            // The woken retry gets the chain's real error, not WouldBlock —
+            // a parked reader is never lost on a torn or failed chain.
+            match bc.read_range(&mut rig.dev(), 8, 16, &mut out) {
+                Err(crate::FsError::WouldBlock) => panic!("retry must surface the error"),
+                Err(_) => {}
+                Ok(_) => panic!("the faulted chain cannot have filled the window"),
+            }
+            // The fault cleared, the next attempt re-issues and completes.
+            rig.sd.clear_faults();
+            let mut attempts = 0;
+            loop {
+                match bc.read_range(&mut rig.dev(), 8, 16, &mut out) {
+                    Ok(()) => break,
+                    Err(crate::FsError::WouldBlock) => {
+                        for c in rig.dev().wait_some().unwrap() {
+                            bc.apply_completion(&c);
+                        }
+                    }
+                    Err(e) => panic!("unexpected error after the fault cleared: {e}"),
+                }
+                attempts += 1;
+                assert!(attempts < 8, "retry loop failed to converge");
+            }
+        }
+
+        #[test]
         fn full_prefetch_queue_drops_the_speculation() {
             let mut rig = Rig::new(65536);
             let mut bc = BufCache::default();
@@ -3334,6 +3740,58 @@ mod tests {
                 "overflow prefetches were dropped, not blocked on"
             );
         }
+    }
+
+    #[test]
+    fn affinity_places_extents_in_the_home_partition_and_spills_when_full() {
+        let mut dev = MemDisk::new(4096);
+        // 2 shards x 2 extents, partitioned across 2 cores: shard 0 is
+        // core 0's home, shard 1 core 1's.
+        let mut bc = BufCache::with_geometry(2, 2);
+        bc.set_core_affinity(2);
+        assert_eq!(bc.core_affinity(), 2);
+        let mut buf = vec![0u8; BLOCK_SIZE * 8];
+        bc.set_home_core(0);
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 8, 8, &mut buf).unwrap();
+        // Re-reads hit — and the hits land on the home shard, wherever the
+        // LBA hash would have put the extents.
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 8, 8, &mut buf).unwrap();
+        let s = bc.shard_stats();
+        assert_eq!(s[0].hits, 16, "core 0's extents live in its home shard");
+        assert_eq!(s[1].hits, 0);
+        assert_eq!(bc.stats().affinity_steals, 0);
+        // Home is now full: the third extent spills to the foreign shard
+        // (instead of evicting a home extent) and the steal is counted.
+        bc.read_range(&mut dev, 16, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 16, 8, &mut buf).unwrap();
+        let s = bc.shard_stats();
+        assert_eq!(s[1].hits, 8, "spilled extent serves from the foreign shard");
+        assert_eq!(bc.stats().affinity_steals, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_affinity_placement_memory() {
+        let mut dev = MemDisk::new(4096);
+        let mut bc = BufCache::with_geometry(2, 2);
+        bc.set_core_affinity(2);
+        let mut buf = vec![0u8; BLOCK_SIZE * 8];
+        bc.set_home_core(1); // home partition = shard 1
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        let shard1_hits_before = bc.shard_stats()[1].hits;
+        bc.invalidate_all();
+        // Placement memory dropped with the extents: the same range read by
+        // core 0 allocates in core 0's home shard, not the stale slot.
+        bc.set_home_core(0);
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        bc.read_range(&mut dev, 0, 8, &mut buf).unwrap();
+        let s = bc.shard_stats();
+        assert_eq!(
+            s[1].hits, shard1_hits_before,
+            "shard 1 never saw the re-read"
+        );
+        assert_eq!(s[0].hits, 8);
     }
 
     #[test]

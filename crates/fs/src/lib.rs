@@ -56,6 +56,11 @@ pub enum FsError {
     Corrupt(String),
     /// Invalid argument (bad name, bad offset...).
     Invalid(String),
+    /// The operation would have to wait for an in-flight device command.
+    /// Only surfaced when the cache is in blocking-demand mode (the kernel
+    /// parks the calling task on a wait channel and retries the operation
+    /// after the completion interrupt); spin-mode callers never see it.
+    WouldBlock,
 }
 
 impl std::fmt::Display for FsError {
@@ -71,6 +76,7 @@ impl std::fmt::Display for FsError {
             FsError::NotEmpty(s) => write!(f, "directory not empty: {s}"),
             FsError::Corrupt(s) => write!(f, "filesystem corrupt: {s}"),
             FsError::Invalid(s) => write!(f, "invalid argument: {s}"),
+            FsError::WouldBlock => write!(f, "operation would block on device I/O"),
         }
     }
 }

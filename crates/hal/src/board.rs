@@ -162,11 +162,20 @@ impl SimBoard {
     }
 
     /// Models WFI on `core`: advances that core's clock to the earliest
-    /// timer deadline (or by a small amount if nothing is armed) without
-    /// charging busy work. Returns the new core time in cycles.
+    /// timer deadline — or the completion of an in-flight SD DMA chain,
+    /// whichever is sooner, so a core whose tasks are parked on block I/O
+    /// wakes with the completion interrupt — without charging busy work.
+    /// Returns the new core time in cycles.
     pub fn wait_for_interrupt(&mut self, core: CoreId) -> Cycles {
-        if let Some(deadline_us) = self.next_timer_deadline_us() {
-            let target_cycles = self.clock.us_to_cycles(deadline_us);
+        let timer_cycles = self
+            .next_timer_deadline_us()
+            .map(|us| self.clock.us_to_cycles(us));
+        let sd_cycles = self.dma.earliest_sd_deadline();
+        let target = match (timer_cycles, sd_cycles) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        if let Some(target_cycles) = target {
             self.clock.advance_to(core, target_cycles);
         } else {
             // Nothing armed: advance a scheduler-tick's worth so the

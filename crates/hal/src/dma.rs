@@ -195,6 +195,21 @@ impl DmaEngine {
             .map(|(_, done_at)| *done_at)
     }
 
+    /// The earliest completion time (cycles) among the active SD-chain
+    /// transfers on any channel, if one is in flight. The board's idle (WFI)
+    /// path folds this into its wake-up deadline so a core whose tasks are
+    /// all parked on the block-I/O channel sleeps exactly until the chain's
+    /// completion interrupt instead of a full timer period.
+    pub fn earliest_sd_deadline(&self) -> Option<Cycles> {
+        self.channels
+            .iter()
+            .filter_map(|c| match &c.active {
+                Some((t, done_at)) if matches!(t.dest, DmaDest::SdChain { .. }) => Some(*done_at),
+                _ => None,
+            })
+            .min()
+    }
+
     /// Polled reap: if the transfer active on `channel` is an SD chain whose
     /// deadline has passed, completes it *without* raising the interrupt —
     /// the synchronous-wait path where the driver spins on the channel status

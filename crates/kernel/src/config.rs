@@ -184,6 +184,26 @@ pub struct KernelConfig {
     /// Upper bound on how long a pending commit group may sit open before
     /// the `kbio` flusher force-commits it, in ms.
     pub group_commit_timeout_ms: u64,
+    /// Soft shard-to-core affinity in the FAT cache: the shard array is
+    /// partitioned across the active cores and a core's newly allocated
+    /// extents prefer its home partition (spilling — and stealing — only
+    /// when home is full), so each core's misses and write-back chains stay
+    /// on its own shards. Off restores pure LBA-hash placement.
+    pub shard_affinity: bool,
+    /// Per-core DMA completion reaping: the `Dma0` handler (core 0) routes
+    /// each SD chain's completion to the core that submitted it, which
+    /// applies the bookkeeping on its own clock in the same scheduler pass;
+    /// `kbio` adopts chains whose owner core left the active set. Off
+    /// restores core-0 reaping of everything.
+    pub per_core_reap: bool,
+    /// Interrupt-blocked demand I/O: a scheduled task whose FAT read hits
+    /// an in-flight chain (or whose write finds the SD queue full) blocks
+    /// on the block-I/O wait channel and is woken by the completion router,
+    /// instead of spin-advancing its core's clock until the chain lands.
+    /// Off by default even on Desktop — callers must treat `WouldBlock` as
+    /// "retry later", which the stock demo apps' read loops do not; benches
+    /// and tests that opt in use `Kernel::set_blocking_io`.
+    pub blocking_io: bool,
 }
 
 impl KernelConfig {
@@ -228,6 +248,9 @@ impl KernelConfig {
             batched_writeback: n >= 5,
             group_commit_ops: if n >= 5 { 8 } else { 1 },
             group_commit_timeout_ms: 20,
+            shard_affinity: n >= 5,
+            per_core_reap: n >= 5,
+            blocking_io: false,
         }
     }
 
@@ -258,6 +281,11 @@ impl KernelConfig {
         c.adaptive_flush = false;
         c.batched_writeback = false;
         c.group_commit_ops = 1;
+        // One shared cache, one reaping core, spinning demand reads: the
+        // per-core block stack is a Proto-only evolution.
+        c.shard_affinity = false;
+        c.per_core_reap = false;
+        c.blocking_io = false;
         c
     }
 
@@ -347,6 +375,16 @@ mod tests {
             "the baseline keeps the one-deep write path and per-op commits"
         );
         assert_eq!(p4.group_commit_ops, 1, "group commit is a desktop knob");
+        assert!(p5.shard_affinity && p5.per_core_reap);
+        assert!(
+            !b.shard_affinity && !b.per_core_reap,
+            "the baseline keeps hashed placement and core-0 reaping"
+        );
+        assert!(!p4.shard_affinity && !p4.per_core_reap);
+        assert!(
+            !p5.blocking_io && !b.blocking_io,
+            "blocking demand I/O is opt-in via Kernel::set_blocking_io"
+        );
     }
 
     #[test]

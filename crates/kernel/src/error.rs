@@ -73,6 +73,7 @@ impl From<FsError> for KernelError {
             FsError::NotFound(s) => KernelError::NotFound(s),
             FsError::AlreadyExists(s) => KernelError::AlreadyExists(s),
             FsError::NoSpace => KernelError::NoSpace,
+            FsError::WouldBlock => KernelError::WouldBlock,
             other => KernelError::Fs(other),
         }
     }
@@ -104,6 +105,10 @@ mod tests {
             KernelError::NotFound("x".into())
         );
         assert_eq!(KernelError::from(FsError::NoSpace), KernelError::NoSpace);
+        assert_eq!(
+            KernelError::from(FsError::WouldBlock),
+            KernelError::WouldBlock
+        );
         assert!(matches!(
             KernelError::from(FsError::Corrupt("bad".into())),
             KernelError::Fs(_)

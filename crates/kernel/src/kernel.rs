@@ -76,6 +76,10 @@ pub(crate) struct SdSnapshot {
 /// same asynchronous queue. All borrows are disjoint `board` fields.
 macro_rules! fat_dev {
     ($k:expr, $core:expr) => {{
+        // Stamp the operating core on the cache first: extent placement
+        // (shard affinity) and chain ownership (per-core completion
+        // reaping) key off the core driving this device instance.
+        $k.fat_bufcache.set_home_core($core);
         let total = $k.board.sdhost.total_blocks();
         protofs::block::SdBlockDevice::with_dma(
             &mut $k.board.sdhost,
@@ -310,6 +314,23 @@ pub struct Kernel {
     /// passes does not leave a stale timestamp that would prematurely
     /// force-commit its successor.
     fat_group_seen: Option<(u64, u64)>,
+    /// Per-core completion routing queues: SD completions polled by the
+    /// `Dma0` handler (which always runs on core 0 — the interrupt
+    /// controller routes device IRQs there) but owned by a chain another
+    /// core submitted are parked here and applied by that core in the same
+    /// scheduler pass, so completion bookkeeping lands on the submitting
+    /// core's clock. Queues for cores beyond the active set are orphans and
+    /// are adopted by the `kbio` flusher.
+    pending_sd_comps: Vec<Vec<protofs::block::SgCompletion>>,
+    /// The cache's `completions_applied` counter as of the last scheduler
+    /// pass; any growth wakes the block-I/O wait channel, no matter which
+    /// path reaped the completions.
+    sd_comps_seen: u64,
+    /// True while a task's program step is running under `run_slice` — the
+    /// only context where blocking I/O may actually park the caller
+    /// (`with_task_ctx` drives steps synchronously and must stay
+    /// spin-based).
+    pub(crate) in_scheduled_step: bool,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -366,6 +387,9 @@ impl Kernel {
             init_task: 0,
             kbio_task: 0,
             fat_group_seen: None,
+            pending_sd_comps: (0..hal::NUM_CORES).map(|_| Vec::new()).collect(),
+            sd_comps_seen: 0,
+            in_scheduled_step: false,
         }
     }
 
@@ -591,6 +615,9 @@ impl Kernel {
             self.root_bufcache.set_ordered_writeback(false);
             self.config.batched_writeback = false;
             self.config.group_commit_ops = 1;
+            self.config.shard_affinity = false;
+            self.config.per_core_reap = false;
+            self.config.blocking_io = false;
             if let Some(f) = self.fatfs.as_mut() {
                 f.set_intent_log(false);
                 f.set_group_commit_ops(1);
@@ -602,6 +629,15 @@ impl Kernel {
             .set_batched_writeback(self.config.batched_writeback);
         self.root_bufcache
             .set_batched_writeback(self.config.batched_writeback);
+        // Shard-to-core affinity: partition the FAT cache's shards across
+        // the active cores so each core's extents (and their write-back
+        // chains) live in its home shards. The root ramdisk cache has no
+        // device-queue contention to shelter from and keeps hashed
+        // placement.
+        if self.config.shard_affinity {
+            self.fat_bufcache
+                .set_core_affinity(self.board.active_cores());
+        }
         // The DMA data path: scatter-gather chains on channel 0 with the
         // async command queue. The polled mode stays the fallback (and the
         // xv6-baseline behaviour).
@@ -762,7 +798,7 @@ impl Kernel {
         self.tasks.insert(id, task);
         self.programs.insert(id, program);
         self.metrics.insert(id, TaskMetrics::default());
-        self.sched.enqueue(id, core);
+        self.enqueue_task(id, core);
         Ok(id)
     }
 
@@ -851,7 +887,7 @@ impl Kernel {
         self.tasks.insert(id, task);
         self.programs.insert(id, program);
         self.metrics.insert(id, TaskMetrics::default());
-        self.sched.enqueue(id, core);
+        self.enqueue_task(id, core);
         if self.init_task == 0 {
             self.init_task = id;
         }
@@ -924,7 +960,7 @@ impl Kernel {
             }
         }
         self.programs.remove(&id);
-        self.sched.remove(id);
+        self.dequeue_task(id);
         let parent = if let Some(task) = self.tasks.get_mut(&id) {
             task.state = TaskState::Zombie(code);
             task.exit_code = Some(code);
@@ -937,7 +973,7 @@ impl Kernel {
             p.pending_children.push((id, code));
             if p.wake_if_waiting_on(WaitChannel::ChildExit) {
                 let core = p.core;
-                self.sched.enqueue(parent, core);
+                self.enqueue_task(parent, core);
             }
         }
     }
@@ -957,13 +993,45 @@ impl Kernel {
         }
     }
 
+    // ---- runqueue wrappers ----------------------------------------------------------------------
+
+    /// Enqueues `id` on `core`'s runqueue, maintaining the task's
+    /// `queued_on` tag. This is the only path that may put a task on a
+    /// runqueue: the tag replaces the scheduler's old O(n) duplicate scan
+    /// (and its silent inactive-core clamp — the placed core is recorded,
+    /// so wakeup charging follows the task). A task already queued, or
+    /// currently running on its core, is left alone.
+    pub(crate) fn enqueue_task(&mut self, id: TaskId, core: usize) {
+        let Some(t) = self.tasks.get(&id) else {
+            return;
+        };
+        if t.queued_on.is_some() || self.sched.current(t.core) == Some(id) {
+            return;
+        }
+        let placed = self.sched.enqueue(id, core);
+        if let Some(t) = self.tasks.get_mut(&id) {
+            t.queued_on = Some(placed);
+            t.core = placed;
+        }
+    }
+
+    /// Removes `id` from the runqueues: one-queue fast path when its
+    /// `queued_on` tag knows where it sits, full sweep otherwise (running
+    /// or already-dequeued tasks, which must also vacate `current` slots).
+    pub(crate) fn dequeue_task(&mut self, id: TaskId) {
+        match self.tasks.get_mut(&id).and_then(|t| t.queued_on.take()) {
+            Some(core) => self.sched.remove_from(id, core),
+            None => self.sched.remove(id),
+        }
+    }
+
     // ---- wait queues ----------------------------------------------------------------------------
 
     pub(crate) fn block_current(&mut self, task: TaskId, channel: WaitChannel) {
         if let Some(t) = self.tasks.get_mut(&task) {
             t.block_on(channel);
         }
-        self.sched.remove(task);
+        self.dequeue_task(task);
     }
 
     pub(crate) fn wake_all(&mut self, channel: WaitChannel) -> usize {
@@ -979,7 +1047,7 @@ impl Kernel {
             if let Some(core) = wake_core {
                 let cost = self.board.cost.wait_wakeup;
                 self.board.charge_kernel(core, cost);
-                self.sched.enqueue(id, core);
+                self.enqueue_task(id, core);
                 self.trace
                     .record(self.board.now_us(), core, TraceKind::Wakeup, Some(id), "");
                 woken += 1;
@@ -993,7 +1061,7 @@ impl Kernel {
             if !matches!(t.state, TaskState::Zombie(_)) {
                 t.state = TaskState::Ready;
                 let core = t.core;
-                self.sched.enqueue(id, core);
+                self.enqueue_task(id, core);
             }
         }
     }
@@ -1043,14 +1111,33 @@ impl Kernel {
                 // kicks the next queued chain) and into the FAT cache's
                 // in-flight state — this handler used to silently drop
                 // them, which is why no storage byte ever moved by DMA.
+                //
+                // The interrupt controller routes Dma0 to core 0 only, but
+                // with per-core reaping each chain's completion bookkeeping
+                // is applied by the core that *submitted* it: this handler
+                // acts as a router, applying its own chains inline and
+                // parking the rest on the owner's `pending_sd_comps` queue
+                // (drained later in the same scheduler pass; queues of
+                // since-deactivated cores are adopted by `kbio`).
                 if self.config.sd_dma {
                     use protofs::block::BlockDevice as _;
                     let comps = {
                         let mut dev = fat_dev!(self, core);
                         dev.poll_completions()
                     };
-                    for c in &comps {
-                        self.fat_bufcache.apply_completion(c);
+                    if self.config.per_core_reap {
+                        for c in comps {
+                            let owner = self.fat_bufcache.chain_owner(c.id).unwrap_or(core);
+                            if owner == core {
+                                self.fat_bufcache.apply_completion(&c);
+                            } else {
+                                self.pending_sd_comps[owner].push(c);
+                            }
+                        }
+                    } else {
+                        for c in &comps {
+                            self.fat_bufcache.apply_completion(c);
+                        }
                     }
                 }
                 // Anything left (audio transfers) drains as before.
@@ -1150,6 +1237,21 @@ impl Kernel {
     pub(crate) fn kbio_service(&mut self, core: usize) {
         if !self.config.background_flush {
             return;
+        }
+        // Adopt orphaned completions: the Dma0 router can park a chain on
+        // the queue of a core that has since left the active set (the
+        // Figure 10 sweep shrinks it between phases). Nobody drains those
+        // queues in `run_slice`, so the flusher applies them here — a
+        // completion must never strand dirty/pending state.
+        for q in self.board.active_cores()..hal::NUM_CORES {
+            let orphans = std::mem::take(&mut self.pending_sd_comps[q]);
+            if !orphans.is_empty() {
+                let cost = self.board.cost.bufcache_op * orphans.len() as u64;
+                self.board.charge_kernel(core, cost);
+                for c in &orphans {
+                    self.fat_bufcache.apply_completion(c);
+                }
+            }
         }
         let budget = self.config.flush_budget_blocks.max(1);
         let kbio = self.kbio_task;
@@ -1266,11 +1368,30 @@ impl Kernel {
     /// Returns `true` if a task was stepped (false means the core idled).
     pub fn run_slice(&mut self) -> bool {
         let _ = self.board.tick_devices();
-        // Deliver pending interrupts on every active core.
+        // Deliver pending interrupts on every active core, then let each
+        // core apply the SD completions the Dma0 router parked for it —
+        // core 0 runs first, so chains another core submitted are reaped
+        // by that core within the same pass (no completion ever waits for
+        // a later slice).
         for core in 0..self.board.active_cores() {
             while let Some(irq) = self.board.intc.take_pending(core) {
                 self.handle_irq(core, irq);
             }
+            let routed = std::mem::take(&mut self.pending_sd_comps[core]);
+            if !routed.is_empty() {
+                let cost = self.board.cost.bufcache_op * routed.len() as u64;
+                self.board.charge_kernel(core, cost);
+                for c in &routed {
+                    self.fat_bufcache.apply_completion(c);
+                }
+            }
+        }
+        // Any reaped completion — whichever core or path applied it — may
+        // unblock a parked demand reader or back-pressured writer.
+        let applied = self.fat_bufcache.completions_applied();
+        if applied != self.sd_comps_seen {
+            self.sd_comps_seen = applied;
+            self.wake_all(WaitChannel::BlockIo);
         }
         self.wake_sleepers();
 
@@ -1279,7 +1400,22 @@ impl Kernel {
             .min_by_key(|c| self.board.clock.cycles(*c))
             .unwrap_or(0);
 
+        // `pick_next` requeues the previously-running task and pops the
+        // next one; mirror both moves into the tasks' `queued_on` tags.
+        let prev = self.sched.current(core);
         let next = self.sched.pick_next(core);
+        if let Some(p) = prev {
+            if next != Some(p) {
+                if let Some(t) = self.tasks.get_mut(&p) {
+                    t.queued_on = Some(core);
+                }
+            }
+        }
+        if let Some(n) = next {
+            if let Some(t) = self.tasks.get_mut(&n) {
+                t.queued_on = None;
+            }
+        }
         let tid = match next {
             Some(t) => t,
             None => {
@@ -1325,10 +1461,12 @@ impl Kernel {
                 return false;
             }
         };
+        self.in_scheduled_step = true;
         let result = {
             let mut ctx = UserCtx::new(self, tid, core);
             program.step(&mut ctx)
         };
+        self.in_scheduled_step = false;
         let after = self.board.clock.cycles(core);
         self.sched.account_busy(core, after - before);
         if let Some(t) = self.tasks.get_mut(&tid) {
@@ -1405,6 +1543,19 @@ impl Kernel {
         )
     }
 
+    /// Advances every core's clock to the most-advanced core — a barrier.
+    /// Device models run on the *global* (furthest-ahead) clock, so heavy
+    /// single-core work such as asset installation leaves the other cores
+    /// with virtual time the device has already lived through: a chain they
+    /// submit would look instantaneous. Benches call this between setup and
+    /// measurement so every core starts at the device's present.
+    pub fn sync_core_clocks(&mut self) {
+        let target = self.board.clock.global_cycles();
+        for c in 0..hal::NUM_CORES {
+            self.board.clock.advance_to(c, target);
+        }
+    }
+
     /// CPU utilisation per core over the run so far.
     pub fn core_utilisations(&self) -> Vec<f64> {
         (0..self.board.active_cores())
@@ -1474,14 +1625,14 @@ impl Kernel {
         self.tasks.insert(id, task);
         self.programs.insert(id, program);
         self.metrics.insert(id, TaskMetrics::default());
-        self.sched.enqueue(id, core);
+        self.enqueue_task(id, core);
         Ok(id)
     }
 
     pub(crate) fn remove_task(&mut self, id: TaskId) {
+        self.dequeue_task(id);
         self.tasks.remove(&id);
         self.programs.remove(&id);
-        self.sched.remove(id);
     }
 
     pub(crate) fn any_child_of(&self, parent: TaskId) -> bool {
@@ -1717,6 +1868,55 @@ impl Kernel {
         self.config.batched_writeback = batched;
     }
 
+    /// Enables or disables shard-to-core affinity on the FAT cache (the
+    /// placement half of the per-core block stack; the scaling ablation
+    /// switch). Off restores pure hashed shard placement.
+    pub fn set_shard_affinity(&mut self, on: bool) {
+        self.config.shard_affinity = on;
+        self.fat_bufcache
+            .set_core_affinity(if on { self.board.active_cores() } else { 0 });
+    }
+
+    /// Enables or disables per-core DMA completion reaping (the routing
+    /// half of the per-core block stack). Off restores core-0 reaping of
+    /// every chain inside the Dma0 handler.
+    pub fn set_per_core_reap(&mut self, on: bool) {
+        self.config.per_core_reap = on;
+    }
+
+    /// Enables or disables blocking demand I/O: a scheduled task whose read
+    /// hits an in-flight chain (or whose write finds the SD queue full)
+    /// parks on [`WaitChannel::BlockIo`] and is woken by the completion
+    /// router instead of spin-advancing its core's clock. Off by default —
+    /// programs must treat `WouldBlock` as "retry later", which the stock
+    /// demo apps' read loops do not.
+    pub fn set_blocking_io(&mut self, on: bool) {
+        self.config.blocking_io = on;
+    }
+
+    /// Replaces the FAT cache with a fresh one of `shards` ×
+    /// `extents_per_shard` geometry, re-applying every active cache policy.
+    /// The multicore scaling bench uses this to give N concurrent streams a
+    /// resident working set. Synchronously drains both caches first so no
+    /// dirty block or in-flight chain is stranded with the old instance.
+    pub fn set_fat_cache_geometry(
+        &mut self,
+        shards: usize,
+        extents_per_shard: usize,
+    ) -> KResult<()> {
+        self.sync_all()?;
+        let mut bc = BufCache::with_geometry(shards, extents_per_shard);
+        bc.set_coalescing(self.config.variant != KernelVariant::Xv6Baseline);
+        bc.set_prefetch(self.config.prefetch);
+        bc.set_ordered_writeback(self.config.ordered_writeback);
+        bc.set_batched_writeback(self.config.batched_writeback);
+        if self.config.shard_affinity {
+            bc.set_core_affinity(self.board.active_cores());
+        }
+        self.fat_bufcache = bc;
+        Ok(())
+    }
+
     /// Sets the FAT32 intent log's group-commit size at runtime (the group
     /// commit ablation switch). Setting it to 1 first commits any pending
     /// group so no transaction is stranded with nobody left to close it.
@@ -1766,6 +1966,13 @@ impl Kernel {
     /// Statistics of the FAT32 volume's buffer cache.
     pub fn fat_cache_stats(&self) -> protofs::bufcache::BufCacheStats {
         self.fat_bufcache.stats()
+    }
+
+    /// Per-shard statistics of the FAT32 cache — the scaling bench derives
+    /// its load-imbalance figure (max over mean of per-shard lookups) from
+    /// these.
+    pub fn fat_shard_stats(&self) -> Vec<protofs::bufcache::ShardStats> {
+        self.fat_bufcache.shard_stats()
     }
 
     /// Statistics of the root (xv6fs) buffer cache.

@@ -103,15 +103,30 @@ impl Scheduler {
         best
     }
 
-    /// Enqueues a task on a core's runqueue.
-    pub fn enqueue(&mut self, task: TaskId, core: usize) {
+    /// Enqueues a task on a core's runqueue in O(1) and returns the core the
+    /// task actually landed on: a core beyond the active set is migrated to
+    /// the last active core (the caller records the returned core in the
+    /// task's `queued_on` tag instead of the old silent clamp, so wakeup
+    /// charging follows the task). Duplicate suppression is the caller's job
+    /// via that tag; the scheduler itself no longer scans the queue.
+    #[must_use = "record the placed core in the task's queued_on tag"]
+    pub fn enqueue(&mut self, task: TaskId, core: usize) -> usize {
         let core = core.min(self.active_cores - 1);
-        if !self.runqueues[core].contains(&task) && self.current[core] != Some(task) {
-            self.runqueues[core].push_back(task);
+        self.runqueues[core].push_back(task);
+        core
+    }
+
+    /// Removes a task known to be queued on `core` (the fast path for
+    /// tagged tasks: one queue scanned instead of all of them).
+    pub fn remove_from(&mut self, task: TaskId, core: usize) {
+        self.runqueues[core].retain(|t| *t != task);
+        if self.current[core] == Some(task) {
+            self.current[core] = None;
         }
     }
 
-    /// Removes a task from every runqueue (on exit or block).
+    /// Removes a task from every runqueue (on exit, or when the caller does
+    /// not know which queue holds it).
     pub fn remove(&mut self, task: TaskId) {
         for q in &mut self.runqueues {
             q.retain(|t| *t != task);
@@ -192,9 +207,9 @@ mod tests {
     #[test]
     fn round_robin_cycles_through_tasks() {
         let mut s = Scheduler::new(1);
-        s.enqueue(1, 0);
-        s.enqueue(2, 0);
-        s.enqueue(3, 0);
+        let _ = s.enqueue(1, 0);
+        let _ = s.enqueue(2, 0);
+        let _ = s.enqueue(3, 0);
         let order: Vec<_> = (0..6).filter_map(|_| s.pick_next(0)).collect();
         assert_eq!(order, vec![1, 2, 3, 1, 2, 3]);
     }
@@ -202,8 +217,8 @@ mod tests {
     #[test]
     fn blocked_tasks_are_not_requeued() {
         let mut s = Scheduler::new(1);
-        s.enqueue(1, 0);
-        s.enqueue(2, 0);
+        let _ = s.enqueue(1, 0);
+        let _ = s.enqueue(2, 0);
         assert_eq!(s.pick_next(0), Some(1));
         s.clear_current(0); // task 1 blocked
         assert_eq!(s.pick_next(0), Some(2));
@@ -217,7 +232,7 @@ mod tests {
         for t in 0..8 {
             let c = s.choose_core();
             counts[c] += 1;
-            s.enqueue(t, c);
+            assert_eq!(s.enqueue(t, c), c);
         }
         assert_eq!(counts.iter().sum::<usize>(), 8);
         assert!(
@@ -229,11 +244,36 @@ mod tests {
     #[test]
     fn shrinking_active_cores_migrates_queued_tasks() {
         let mut s = Scheduler::new(4);
-        s.enqueue(1, 3);
-        s.enqueue(2, 2);
+        let _ = s.enqueue(1, 3);
+        let _ = s.enqueue(2, 2);
         s.set_active_cores(1);
         assert_eq!(s.queue_len(0), 2);
         assert_eq!(s.queue_len(3), 0);
+    }
+
+    #[test]
+    fn enqueue_is_o1_and_reports_the_placed_core() {
+        let mut s = Scheduler::new(2);
+        // Inactive-core placement is redirected and reported, not silent.
+        assert_eq!(s.enqueue(1, 3), 1);
+        assert_eq!(s.queue_len(1), 1);
+        // No duplicate scan any more: the same task can sit in the queue
+        // twice if the caller skips its queued_on tag — callers dedupe.
+        assert_eq!(s.enqueue(1, 1), 1);
+        assert_eq!(s.queue_len(1), 2);
+    }
+
+    #[test]
+    fn remove_from_clears_one_queue_and_the_current_slot() {
+        let mut s = Scheduler::new(2);
+        let _ = s.enqueue(5, 0);
+        let _ = s.enqueue(6, 1);
+        assert_eq!(s.pick_next(0), Some(5));
+        s.remove_from(5, 0);
+        assert_eq!(s.current(0), None);
+        assert_eq!(s.pick_next(0), None);
+        s.remove_from(6, 1);
+        assert_eq!(s.queue_len(1), 0);
     }
 
     #[test]
@@ -258,8 +298,8 @@ mod tests {
     #[test]
     fn remove_purges_a_task_everywhere() {
         let mut s = Scheduler::new(2);
-        s.enqueue(7, 0);
-        s.enqueue(7, 0);
+        let _ = s.enqueue(7, 0);
+        let _ = s.enqueue(7, 0);
         assert_eq!(s.pick_next(0), Some(7));
         s.remove(7);
         assert_eq!(s.current(0), None);

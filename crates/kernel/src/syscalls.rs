@@ -132,7 +132,7 @@ impl Kernel {
         if let Some(t) = self.tasks_mut(task) {
             t.state = TaskState::Sleeping(wake_at);
         }
-        self.sched.remove(task);
+        self.dequeue_task(task);
         Ok(())
     }
 
@@ -417,17 +417,35 @@ impl Kernel {
             MountTarget::Fat => {
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
-                {
+                // The directory lookup is read-only, so a scheduled task may
+                // park on an in-flight chain and retry the whole open; the
+                // create path below mutates and stays synchronous.
+                let blocking =
+                    self.config.blocking_io && self.in_scheduled_step && self.config.sd_dma;
+                let looked_up = {
                     let mut dev = fat_dev!(self, core);
-                    match fat.lookup(&mut dev, &mut self.fat_bufcache, &inner) {
-                        Ok(_) => {}
-                        Err(protofs::FsError::NotFound(_)) if flags.create => {
+                    self.fat_bufcache.set_block_demand(blocking);
+                    let r = fat.lookup(&mut dev, &mut self.fat_bufcache, &inner);
+                    self.fat_bufcache.set_block_demand(false);
+                    r
+                };
+                self.charge_sd_delta(core, task, before);
+                match looked_up {
+                    Ok(_) => {}
+                    Err(protofs::FsError::WouldBlock) => {
+                        self.block_current(task, WaitChannel::BlockIo);
+                        return Err(KernelError::WouldBlock);
+                    }
+                    Err(protofs::FsError::NotFound(_)) if flags.create => {
+                        let before = self.sd_snapshot();
+                        {
+                            let mut dev = fat_dev!(self, core);
                             fat.create(&mut dev, &mut self.fat_bufcache, &inner, false)?;
                         }
-                        Err(e) => return Err(e.into()),
+                        self.charge_sd_delta(core, task, before);
                     }
+                    Err(e) => return Err(e.into()),
                 }
-                self.charge_sd_delta(core, task, before);
                 let pseudo_inum = self.pseudo_inum_for(&inner);
                 FileKind::Fat {
                     volume_path: inner,
@@ -769,8 +787,19 @@ impl Kernel {
             }
             FileKind::Fat { volume_path, .. } => {
                 let fat = self.fatfs_clone()?;
+                // Blocking demand mode: a scheduled task whose read window
+                // hits an in-flight chain parks on the block-I/O channel
+                // and retries the whole syscall when the completion router
+                // wakes it (the offset only advances on success, so the
+                // retry is idempotent). Outside `run_slice` — benches
+                // driving syscalls via `with_task_ctx` — there is no
+                // scheduler to run the device forward, so the cache keeps
+                // its spin-reap path.
+                let blocking =
+                    self.config.blocking_io && self.in_scheduled_step && self.config.sd_dma;
                 let before = self.sd_snapshot();
-                let data = {
+                self.fat_bufcache.set_block_demand(blocking);
+                let result = {
                     let mut dev = fat_dev!(self, core);
                     fat.read_at(
                         &mut dev,
@@ -778,16 +807,26 @@ impl Kernel {
                         &volume_path,
                         offset as u32,
                         max,
-                    )?
+                    )
                 };
+                self.fat_bufcache.set_block_demand(false);
                 self.charge_sd_delta(core, task, before);
-                let cost = self.board.cost.clone();
-                self.board.charge(
-                    core,
-                    cost.per_byte(cost.bufcache_copy_per_byte_milli, data.len() as u64),
-                );
-                self.advance_offset(task, fd, data.len() as u64)?;
-                Ok(data)
+                match result {
+                    Ok(data) => {
+                        let cost = self.board.cost.clone();
+                        self.board.charge(
+                            core,
+                            cost.per_byte(cost.bufcache_copy_per_byte_milli, data.len() as u64),
+                        );
+                        self.advance_offset(task, fd, data.len() as u64)?;
+                        Ok(data)
+                    }
+                    Err(protofs::FsError::WouldBlock) => {
+                        self.block_current(task, WaitChannel::BlockIo);
+                        Err(KernelError::WouldBlock)
+                    }
+                    Err(e) => Err(e.into()),
+                }
             }
             FileKind::Device(dev) => self.read_device(task, core, dev, max, flags),
             FileKind::Proc { name } => {
@@ -1013,6 +1052,21 @@ impl Kernel {
                 // own chains (`BufCacheStats::queue_full_stalls`); waking a
                 // sleeping kbio first lets the flusher absorb the backlog.
                 self.maybe_kick_kbio();
+                // Back-pressure fairness: a scheduled writer that finds the
+                // SD queue already full yields its slice — parked on the
+                // block-I/O channel until a completion frees a queue slot —
+                // instead of burning it spin-reaping other tasks' chains.
+                // This gate sits *before* any cache mutation because the
+                // write path is not retry-idempotent once blocks dirty.
+                if self.config.blocking_io
+                    && self.in_scheduled_step
+                    && self.config.sd_dma
+                    && !self.board.sdhost.can_submit()
+                {
+                    self.fat_bufcache.note_queue_full_yield();
+                    self.block_current(task, WaitChannel::BlockIo);
+                    return Err(KernelError::WouldBlock);
+                }
                 let fat = self.fatfs_clone()?;
                 let before = self.sd_snapshot();
                 {

@@ -43,6 +43,10 @@ pub enum WaitChannel {
     Semaphore(u64),
     /// Waiting for a child to exit.
     ChildExit,
+    /// Waiting for an in-flight SD DMA chain to complete (blocking demand
+    /// readers and back-pressured writers park here; the `Interrupt::Dma0`
+    /// completion router wakes the channel).
+    BlockIo,
     /// Waiting on an explicitly named channel (used by tests).
     Named(u64),
 }
@@ -82,6 +86,12 @@ pub struct Task {
     pub priority: u8,
     /// Which core the task is assigned to.
     pub core: usize,
+    /// The runqueue the task currently sits on, if any. This is the O(1)
+    /// duplicate/membership tag the scheduler's hot wake path relies on:
+    /// `Some(core)` exactly while the task is queued on `core`'s runqueue
+    /// (maintained by the kernel's enqueue/dequeue wrappers), `None` while
+    /// running, blocked, sleeping or zombie.
+    pub queued_on: Option<usize>,
     /// Address-space reference.
     pub mm: MmRef,
     /// Open file descriptors.
@@ -120,6 +130,7 @@ impl Task {
             state: TaskState::Ready,
             priority: DEFAULT_PRIORITY,
             core: 0,
+            queued_on: None,
             mm: MmRef::KernelOnly,
             fds: FdTable::new(),
             cwd: "/".to_string(),
