@@ -1,0 +1,376 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build container has no crates.io access, so the workspace cannot pull
+//! in `syn`/`proc-macro2`; this module tokenises Rust source well enough for
+//! the static-analysis passes: comments (line, nested block, doc), string
+//! and char literals (including raw strings with arbitrary `#` fences and
+//! byte variants), lifetimes vs char literals, identifiers (including raw
+//! `r#ident`), numbers, and a small set of fused multi-character operators
+//! the downstream parsers rely on (`::`, `->`, `=>`, comparison and
+//! compound-assignment operators, ranges). Everything else is a single-char
+//! punct. `<<`/`>>` are deliberately *not* fused so generic-angle matching
+//! in signatures can treat every `>` as one closer.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the parsers distinguish keywords by text).
+    Ident,
+    /// Integer or float literal.
+    Number,
+    /// String literal of any flavour (the text is the *contents*, fences
+    /// stripped, so `name = "open"` parses uniformly).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Operator / punctuation.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (string literals carry their unescaped-ish contents).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Operators fused into one token (longest match first).
+const FUSED: [&str; 18] = [
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenises `src`. Never fails: unrecognised bytes become single-char
+/// puncts, and an unterminated literal simply ends at EOF — an analysis tool
+/// must degrade gracefully on code mid-edit rather than refuse to look.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    let bump = |c: char, line: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+        }
+    };
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(c, &mut line);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump(b[i], &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"..", r#".."#,
+        // br".."; b"..", b'x'; r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, rest) = if (c == 'b' && i + 1 < n && b[i + 1] == 'r')
+                || (c == 'r' && i + 1 < n && b[i + 1] == 'b')
+            {
+                (2, if i + 2 < n { b[i + 2] } else { '\0' })
+            } else {
+                (1, b[i + 1])
+            };
+            let raw = c == 'r' || (prefix_len == 2);
+            if raw && (rest == '"' || rest == '#') {
+                // Raw (byte) string or raw identifier.
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    let start_line = line;
+                    j += 1;
+                    let content_start = j;
+                    'scan: while j < n {
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                break 'scan;
+                            }
+                        }
+                        bump(b[j], &mut line);
+                        j += 1;
+                    }
+                    let text: String = b[content_start..j.min(n)].iter().collect();
+                    out.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    i = (j + 1 + hashes).min(n);
+                    continue;
+                } else if hashes == 1 && j < n && is_ident_start(b[j]) && c == 'r' {
+                    // Raw identifier r#ident.
+                    let start = j;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Ident,
+                        text: b[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            if c == 'b' && rest == '"' {
+                // Byte string: fall through to the string scanner below by
+                // skipping the prefix.
+                i += 1;
+                // handled by the '"' branch on the next iteration
+                continue;
+            }
+            if c == 'b' && rest == '\'' {
+                i += 1; // byte char: let the '\'' branch handle it
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            let mut text = String::new();
+            while j < n {
+                if b[j] == '\\' && j + 1 < n {
+                    text.push(b[j + 1]);
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    break;
+                }
+                bump(b[j], &mut line);
+                text.push(b[j]);
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 2;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal (possibly escaped).
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+            } else if j < n {
+                j += 1;
+            }
+            while j < n && b[j] != '\'' {
+                j += 1; // multi-byte escapes like '\u{1F600}'
+            }
+            out.push(Token {
+                kind: TokKind::Char,
+                text: b[i + 1..j.min(n)].iter().collect(),
+                line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_cont(b[i])) {
+                i += 1;
+            }
+            // Fractional part — but never swallow `..` range syntax.
+            if i < n && b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+            }
+            // Exponent sign (1e-3).
+            if i < n && (b[i] == '+' || b[i] == '-') && b[i - 1].eq_ignore_ascii_case(&'e') {
+                i += 1;
+                while i < n && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            out.push(Token {
+                kind: TokKind::Number,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Fused operators, longest first.
+        let mut matched = false;
+        for op in FUSED {
+            let len = op.chars().count();
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == *op {
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: op.to_string(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lexes_idents_strings_and_fused_ops() {
+        let toks = lex("fn f(a: &'static str) -> u32 { a.len() + 1 }");
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+    }
+
+    #[test]
+    fn skips_nested_comments_and_tracks_lines() {
+        let toks = lex("/* a /* b */ c */\n\nlet x = 1;");
+        assert_eq!(toks[0].text, "let");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_derail() {
+        assert_eq!(
+            texts(r###"let s = r#"quote " inside"#; let c = 'x';"###),
+            vec![
+                "let",
+                "s",
+                "=",
+                "quote \" inside",
+                ";",
+                "let",
+                "c",
+                "=",
+                "x",
+                ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn char_escapes_and_byte_literals() {
+        let toks = lex(r"let a = '\n'; let b = b'q'; let s = b\'unused");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "\\n"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "q"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        assert_eq!(texts("0..10u64"), vec!["0", "..", "10u64"]);
+        assert_eq!(texts("1.5e-3"), vec!["1.5e-3"]);
+    }
+}

@@ -1,0 +1,344 @@
+//! `protolint`: offline static analysis for the Proto workspace.
+//!
+//! Four passes keep the properties that PR 2/3/6 established by hand from
+//! rotting as the codebase grows:
+//!
+//! * **panic** — no `unwrap`/`expect`/`panic!`/sector-indexing/unchecked
+//!   sector arithmetic on any function reachable from the `sys_*` dispatch.
+//! * **abi** — the numbered `SYSCALL_TABLE`, the kernel dispatch methods and
+//!   the `UserCtx` stubs agree on numbers, names and arities, with no gaps
+//!   and no unregistered `sys_*` entry points.
+//! * **errors** — every `FsError` variant has an explicit `KernelError`
+//!   mapping, and syscall-reachable code never discards a `Result`.
+//! * **concurrency** — no parking while a `&mut` shard borrow is live; the
+//!   per-core completion queues are only touched via the owner-tick API.
+//!
+//! The tool is registry-free (no `syn`): [`lexer`] hand-tokenises Rust and
+//! [`model`] extracts functions and a name-based call graph, which
+//! over-approximates reachability — safe for a checker.
+//!
+//! Findings can be suppressed through `crates/analysis/allow.toml`; every
+//! entry must carry a non-empty `justify` string, and entries that no longer
+//! match anything are reported as warnings so the allowlist shrinks as fixes
+//! land.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use model::Model;
+
+/// One reported problem.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which pass produced it: `panic`, `abi`, `errors`, `concurrency`.
+    pub pass: &'static str,
+    /// Machine-matchable finding kind within the pass (e.g. `unwrap`).
+    pub kind: &'static str,
+    /// Root-relative file path.
+    pub file: String,
+    /// Enclosing function, empty for file-level findings.
+    pub func: String,
+    /// 1-based line, 0 for file-level findings.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding anchored to a file but no particular line.
+    pub fn file_level(
+        pass: &'static str,
+        kind: &'static str,
+        file: &str,
+        message: String,
+    ) -> Finding {
+        Finding {
+            pass,
+            kind,
+            file: file.to_string(),
+            func: String::new(),
+            line: 0,
+            message,
+        }
+    }
+
+    /// A finding anchored to a line but no particular function.
+    pub fn line_level(
+        pass: &'static str,
+        kind: &'static str,
+        file: &str,
+        line: u32,
+        message: String,
+    ) -> Finding {
+        Finding {
+            pass,
+            kind,
+            file: file.to_string(),
+            func: String::new(),
+            line,
+            message,
+        }
+    }
+
+    /// `file:line: [pass/kind] message (in func)` display form.
+    pub fn render(&self) -> String {
+        let loc = if self.line > 0 {
+            format!("{}:{}", self.file, self.line)
+        } else {
+            self.file.clone()
+        };
+        let ctx = if self.func.is_empty() {
+            String::new()
+        } else {
+            format!(" (in `{}`)", self.func)
+        };
+        format!("{loc}: [{}/{}] {}{ctx}", self.pass, self.kind, self.message)
+    }
+}
+
+/// One `[[allow]]` entry from `allow.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct AllowEntry {
+    /// Pass the entry applies to (required).
+    pub pass: String,
+    /// Root-relative file the entry applies to (required).
+    pub file: String,
+    /// Optional function filter.
+    pub func: Option<String>,
+    /// Optional finding-kind filter.
+    pub kind: Option<String>,
+    /// Mandatory human justification.
+    pub justify: String,
+    /// Line in allow.toml, for diagnostics.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        self.pass == f.pass
+            && self.file == f.file
+            && self.func.as_deref().map(|x| x == f.func).unwrap_or(true)
+            && self.kind.as_deref().map(|x| x == f.kind).unwrap_or(true)
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the tiny TOML subset the allowlist uses: `[[allow]]` section
+    /// headers and `key = "value"` lines. Returns hard errors for malformed
+    /// lines or entries missing `pass`/`file`/`justify` — an allowlist that
+    /// cannot be read must fail closed, not silently allow nothing.
+    pub fn parse(src: &str) -> (Allowlist, Vec<String>) {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut errors = Vec::new();
+        let mut cur: Option<AllowEntry> = None;
+        for (i, raw) in src.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = cur.take() {
+                    Self::finish(e, &mut entries, &mut errors);
+                }
+                cur = Some(AllowEntry {
+                    line: lineno,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                errors.push(format!("allow.toml:{lineno}: expected `key = \"value\"`"));
+                continue;
+            };
+            let key = key.trim();
+            let val = val.trim();
+            if !val.starts_with('"') || !val.ends_with('"') || val.len() < 2 {
+                errors.push(format!(
+                    "allow.toml:{lineno}: value for `{key}` must be a quoted string"
+                ));
+                continue;
+            }
+            let val = &val[1..val.len() - 1];
+            let Some(e) = cur.as_mut() else {
+                errors.push(format!(
+                    "allow.toml:{lineno}: `{key}` outside any [[allow]] section"
+                ));
+                continue;
+            };
+            match key {
+                "pass" => e.pass = val.to_string(),
+                "file" => e.file = val.to_string(),
+                "func" => e.func = Some(val.to_string()),
+                "kind" => e.kind = Some(val.to_string()),
+                "justify" => e.justify = val.to_string(),
+                _ => errors.push(format!("allow.toml:{lineno}: unknown key `{key}`")),
+            }
+        }
+        if let Some(e) = cur.take() {
+            Self::finish(e, &mut entries, &mut errors);
+        }
+        (Allowlist { entries }, errors)
+    }
+
+    fn finish(e: AllowEntry, entries: &mut Vec<AllowEntry>, errors: &mut Vec<String>) {
+        if e.pass.is_empty() || e.file.is_empty() {
+            errors.push(format!(
+                "allow.toml:{}: entry needs `pass` and `file`",
+                e.line
+            ));
+        } else if e.justify.trim().is_empty() {
+            errors.push(format!(
+                "allow.toml:{}: entry for {}/{} has no `justify` — every suppression must say why",
+                e.line, e.pass, e.file
+            ));
+        } else {
+            entries.push(e);
+        }
+    }
+}
+
+/// The outcome of a full analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the allowlist — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry.
+    pub allowed: Vec<Finding>,
+    /// Non-fatal issues (stale allowlist entries); fatal under
+    /// `--deny-warnings`.
+    pub warnings: Vec<String>,
+    /// Fatal configuration problems (malformed allowlist).
+    pub errors: Vec<String>,
+    /// Per-pass raw finding counts, before allowlisting.
+    pub counts: HashMap<&'static str, usize>,
+    /// Number of functions the reachability analysis marked syscall-reachable.
+    pub reachable: usize,
+}
+
+impl Report {
+    /// True when the run should exit non-zero.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        !self.findings.is_empty()
+            || !self.errors.is_empty()
+            || (deny_warnings && !self.warnings.is_empty())
+    }
+}
+
+/// The source directories a run scans, relative to the workspace root.
+pub const SCAN_DIRS: [&str; 3] = ["crates/fs/src", "crates/kernel/src", "crates/hal/src"];
+
+/// Runs the selected passes (all four when `only` is empty) over the
+/// workspace at `root`, applying `root/crates/analysis/allow.toml` if
+/// present.
+pub fn analyze(root: &Path, only: &[String]) -> std::io::Result<Report> {
+    let model = Model::load(root, &SCAN_DIRS)?;
+    let mut report = Report::default();
+    let want = |p: &str| only.is_empty() || only.iter().any(|o| o == p);
+    let reachable = passes::reachable_from_syscalls(&model);
+    report.reachable = reachable.len();
+    let mut all: Vec<Finding> = Vec::new();
+    if want("panic") {
+        all.extend(passes::pass_panic(&model, &reachable));
+    }
+    if want("abi") {
+        all.extend(passes::pass_abi(&model));
+    }
+    if want("errors") {
+        all.extend(passes::pass_errors(&model, &reachable));
+    }
+    if want("concurrency") {
+        all.extend(passes::pass_concurrency(&model));
+    }
+    for f in &all {
+        *report.counts.entry(f.pass).or_insert(0) += 1;
+    }
+    // Allowlist.
+    let allow_path = root.join("crates/analysis/allow.toml");
+    let (allow, errors) = match std::fs::read_to_string(&allow_path) {
+        Ok(src) => Allowlist::parse(&src),
+        Err(_) => (Allowlist::default(), Vec::new()),
+    };
+    report.errors = errors;
+    let mut used = vec![false; allow.entries.len()];
+    for f in all {
+        match allow.entries.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                report.allowed.push(f);
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (i, e) in allow.entries.iter().enumerate() {
+        if !used[i] {
+            // Only warn for entries whose pass actually ran.
+            if only.is_empty() || only.contains(&e.pass) {
+                report.warnings.push(format!(
+                    "allow.toml:{}: stale entry ({} / {}{}) matches no finding — remove it",
+                    e.line,
+                    e.pass,
+                    e.file,
+                    e.kind
+                        .as_deref()
+                        .map(|k| format!(" / {k}"))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_rejects_missing_justification() {
+        let (list, errors) =
+            Allowlist::parse("[[allow]]\npass = \"panic\"\nfile = \"crates/fs/src/lib.rs\"\n");
+        assert!(list.entries.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("justify"));
+    }
+
+    #[test]
+    fn allowlist_matches_on_pass_file_and_optional_kind() {
+        let (list, errors) = Allowlist::parse(
+            "[[allow]]\npass = \"panic\"\nfile = \"a.rs\"\nkind = \"unwrap\"\njustify = \"checked above\"\n",
+        );
+        assert!(errors.is_empty());
+        let hit = Finding {
+            pass: "panic",
+            kind: "unwrap",
+            file: "a.rs".into(),
+            func: "f".into(),
+            line: 3,
+            message: String::new(),
+        };
+        let miss = Finding {
+            kind: "expect",
+            ..hit.clone()
+        };
+        assert!(list.entries[0].matches(&hit));
+        assert!(!list.entries[0].matches(&miss));
+    }
+}

@@ -1,0 +1,94 @@
+//! `protolint` CLI: `cargo run -p analysis -- [--root DIR] [--pass NAME]...
+//! [--deny-warnings]`.
+//!
+//! Exit status is 0 when the tree is clean (all findings either fixed or
+//! allowlisted with justification), 1 otherwise. CI runs this with
+//! `--deny-warnings` so stale allowlist entries also fail the gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_warnings = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--pass" => match args.next() {
+                Some(p) if ["panic", "abi", "errors", "concurrency"].contains(&p.as_str()) => {
+                    only.push(p)
+                }
+                Some(p) => return usage(&format!("unknown pass `{p}`")),
+                None => return usage("--pass needs a name"),
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!(
+                    "protolint: static analysis for the Proto workspace\n\n\
+                     USAGE: cargo run -p analysis -- [--root DIR] [--pass panic|abi|errors|concurrency]... [--deny-warnings]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    // Default to the workspace root when invoked via `cargo run` from
+    // anywhere inside the tree.
+    if root.as_os_str() == "." {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let p = PathBuf::from(manifest);
+            if let Some(ws) = p.parent().and_then(|p| p.parent()) {
+                root = ws.to_path_buf();
+            }
+        }
+    }
+    let report = match analysis::analyze(&root, &only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "protolint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    for e in &report.errors {
+        println!("error: {e}");
+    }
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    let mut passes: Vec<_> = report.counts.iter().collect();
+    passes.sort();
+    let per_pass = passes
+        .iter()
+        .map(|(p, c)| format!("{p}: {c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "protolint: {} syscall-reachable fns; raw findings [{}]; {} allowlisted, {} failing, {} warnings",
+        report.reachable,
+        if per_pass.is_empty() { "none".into() } else { per_pass },
+        report.allowed.len(),
+        report.findings.len(),
+        report.warnings.len(),
+    );
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("protolint: {msg} (try --help)");
+    ExitCode::FAILURE
+}

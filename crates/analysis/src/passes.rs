@@ -1,0 +1,779 @@
+//! The four analysis passes.
+//!
+//! Each pass takes the [`Model`] (plus, where relevant, the syscall
+//! reachability set) and returns findings. Passes locate the files they
+//! reason about by *path suffix* (`kernel/src/syscalls.rs`, …) so the fixture
+//! trees under `tests/fixtures/` exercise the exact same code paths as the
+//! real workspace.
+
+use std::collections::HashSet;
+
+use crate::lexer::{TokKind, Token};
+use crate::model::Model;
+use crate::Finding;
+
+/// Path suffix of the syscall table / dispatch module.
+const SYSCALLS_RS: &str = "kernel/src/syscalls.rs";
+/// Path suffix of the user-side stub module.
+const USERCALL_RS: &str = "kernel/src/usercall.rs";
+/// Path suffix of the kernel error module (FsError→KernelError mapping).
+const ERROR_RS: &str = "kernel/src/error.rs";
+/// Path suffix of the filesystem crate root (defines `FsError`).
+const FS_LIB_RS: &str = "fs/src/lib.rs";
+
+/// The only functions allowed to touch the per-core completion queues
+/// (`pending_sd_comps`) or re-route DMA completions into the cache
+/// (`apply_completion`): the IRQ router, the owner's tick drain, the orphan
+/// adopter, and construction.
+const OWNER_TICK_API: [&str; 4] = ["handle_irq", "kbio_service", "run_slice", "new"];
+
+fn body(model: &Model, fi: usize) -> &[Token] {
+    let f = &model.funcs[fi];
+    let file = model.file(&f.file).expect("func's file is in the model");
+    let (a, b) = f.body;
+    if a >= file.tokens.len() || a >= b {
+        return &[];
+    }
+    &file.tokens[a..=b.min(file.tokens.len() - 1)]
+}
+
+/// Computes the set of function indices reachable from the `sys_*` dispatch
+/// roots in `syscalls.rs` (tests excluded). Over-approximate by design.
+pub fn reachable_from_syscalls(model: &Model) -> HashSet<usize> {
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut queue: Vec<usize> = model
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_test && f.name.starts_with("sys_") && f.file.ends_with(SYSCALLS_RS))
+        .map(|(i, _)| i)
+        .collect();
+    seen.extend(queue.iter().copied());
+    while let Some(fi) = queue.pop() {
+        let calls = model.funcs[fi].calls.clone();
+        for call in &calls {
+            for target in model.resolve(fi, call) {
+                if seen.insert(target) {
+                    queue.push(target);
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn lba_ish(s: &str) -> bool {
+    let l = s.to_ascii_lowercase();
+    l.contains("lba") || l.contains("sector") || l.contains("cluster")
+}
+
+fn screaming(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+}
+
+/// Pass 1: panic-reachability. Flags `unwrap()`, `expect(`, panicking
+/// macros, sector/LBA slice indexing and unchecked sector/LBA `+`/`*`
+/// arithmetic on syscall-reachable functions in fs/kernel/hal.
+pub fn pass_panic(model: &Model, reachable: &HashSet<usize>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for &fi in reachable {
+        let f = &model.funcs[fi];
+        let in_scope = ["crates/fs/", "crates/kernel/", "crates/hal/"]
+            .iter()
+            .any(|p| f.file.starts_with(p));
+        if !in_scope {
+            continue;
+        }
+        let toks = body(model, fi);
+        let n = toks.len();
+        for k in 0..n {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev_dot = k > 0 && toks[k - 1].is_punct(".");
+            let next_paren = k + 1 < n && toks[k + 1].is_punct("(");
+            let next_bang = k + 1 < n && toks[k + 1].is_punct("!");
+            match t.text.as_str() {
+                "unwrap" | "expect" if prev_dot && next_paren => {
+                    out.push(finding(
+                        "panic",
+                        if t.text == "unwrap" {
+                            "unwrap"
+                        } else {
+                            "expect"
+                        },
+                        f,
+                        t.line,
+                        format!("`.{}(...)` on a syscall-reachable path", t.text),
+                    ));
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
+                    out.push(finding(
+                        "panic",
+                        "panic",
+                        f,
+                        t.line,
+                        format!("`{}!` on a syscall-reachable path", t.text),
+                    ));
+                }
+                _ => {}
+            }
+            // Indexing: `ident[...]` where the base or an index identifier
+            // smells like a sector/LBA/cluster quantity.
+            if k + 1 < n && toks[k + 1].is_punct("[") {
+                let mut idents = vec![t.text.clone()];
+                let mut depth = 0i32;
+                let mut j = k + 1;
+                while j < n {
+                    if toks[j].is_punct("[") {
+                        depth += 1;
+                    } else if toks[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].kind == TokKind::Ident {
+                        idents.push(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+                if idents.iter().any(|s| lba_ish(s)) {
+                    out.push(finding(
+                        "panic",
+                        "index",
+                        f,
+                        t.line,
+                        format!(
+                            "unchecked indexing `{}[...]` with sector/LBA-flavoured operands",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // Unchecked `+`/`*` where an operand smells like a sector/LBA count.
+        for k in 0..n {
+            let t = &toks[k];
+            let compound = t.is_punct("+=") || t.is_punct("*=");
+            let plain = t.is_punct("+") || t.is_punct("*");
+            if !compound && !plain {
+                continue;
+            }
+            if plain {
+                let binary = k > 0
+                    && (toks[k - 1].kind == TokKind::Ident
+                        || toks[k - 1].kind == TokKind::Number
+                        || toks[k - 1].is_punct(")")
+                        || toks[k - 1].is_punct("]"));
+                if !binary {
+                    continue;
+                }
+            }
+            let lo = k.saturating_sub(4);
+            let hi = (k + 5).min(n);
+            let hit = toks[lo..hi]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && lba_ish(&t.text) && !screaming(&t.text));
+            if hit {
+                out.push(finding(
+                    "panic",
+                    "arith",
+                    f,
+                    t.line,
+                    format!(
+                        "unchecked `{}` on sector/LBA arithmetic (overflow panics in debug)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.kind == b.kind);
+    out
+}
+
+/// One parsed `SyscallDef { .. }` row.
+#[derive(Debug, Default, Clone)]
+pub struct Row {
+    /// Syscall number.
+    pub num: u16,
+    /// Canonical name.
+    pub name: String,
+    /// Kernel dispatch method, `-` if structural.
+    pub dispatch: String,
+    /// `UserCtx` stub method, `-` if none.
+    pub stub: String,
+    /// Arity beyond the task/core context.
+    pub args: u8,
+    /// Source line of the row.
+    pub line: u32,
+}
+
+fn parse_num(text: &str) -> Option<u64> {
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Parses every `SyscallDef { ... }` literal in the syscalls file. The
+/// struct *definition* is skipped automatically: its field values are type
+/// identifiers, not literals, so the row never completes.
+pub fn parse_table(toks: &[Token]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("SyscallDef") && i + 1 < toks.len() && toks[i + 1].is_punct("{") {
+            let line = toks[i].line;
+            let mut row = Row::default();
+            let mut ok = true;
+            let mut seen = 0u8;
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("}") {
+                if toks[j].kind == TokKind::Ident && j + 2 < toks.len() && toks[j + 1].is_punct(":")
+                {
+                    let v = &toks[j + 2];
+                    match (toks[j].text.as_str(), v.kind) {
+                        ("num", TokKind::Number) => {
+                            row.num = parse_num(&v.text).unwrap_or(u16::MAX as u64) as u16;
+                            seen += 1;
+                        }
+                        ("args", TokKind::Number) => {
+                            row.args = parse_num(&v.text).unwrap_or(u8::MAX as u64) as u8;
+                            seen += 1;
+                        }
+                        ("name", TokKind::Str) => {
+                            row.name = v.text.clone();
+                            seen += 1;
+                        }
+                        ("dispatch", TokKind::Str) => {
+                            row.dispatch = v.text.clone();
+                            seen += 1;
+                        }
+                        ("stub", TokKind::Str) => {
+                            row.stub = v.text.clone();
+                            seen += 1;
+                        }
+                        _ => ok = false,
+                    }
+                    j += 3;
+                    continue;
+                }
+                j += 1;
+            }
+            if ok && seen == 5 {
+                row.line = line;
+                rows.push(row);
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    rows
+}
+
+/// Parses the `AUX_DISPATCH` string list (dispatch entry points that are not
+/// numbered syscalls).
+pub fn parse_aux(toks: &[Token]) -> Vec<String> {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("AUX_DISPATCH") && i + 1 < toks.len() && toks[i + 1].is_punct(":") {
+            // Skip the type, find `=`, then collect strings to the `]`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("=") {
+                j += 1;
+            }
+            let mut out = Vec::new();
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].kind == TokKind::Str {
+                    out.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Pass 2: syscall-ABI consistency. Cross-checks the numbered table against
+/// the kernel dispatch methods and the `UserCtx` stubs: dense unique
+/// numbers, every named function exists with the declared arity, no `sys_*`
+/// entry point outside the table, no stub calling an unregistered `sys_*`.
+pub fn pass_abi(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let sys_file = match model.files.iter().find(|f| f.path.ends_with(SYSCALLS_RS)) {
+        Some(f) => f,
+        None => {
+            return vec![Finding::file_level(
+                "abi",
+                "no-table",
+                SYSCALLS_RS,
+                "syscalls.rs not found; cannot verify the ABI".into(),
+            )]
+        }
+    };
+    let rows = parse_table(&sys_file.tokens);
+    let aux = parse_aux(&sys_file.tokens);
+    if rows.is_empty() {
+        return vec![Finding::file_level(
+            "abi",
+            "no-table",
+            &sys_file.path,
+            "no SYSCALL_TABLE rows found; the numbered ABI table is the single source of truth"
+                .into(),
+        )];
+    }
+    // Dense, ordered, unique numbers and unique names.
+    let mut names = HashSet::new();
+    for (i, r) in rows.iter().enumerate() {
+        if r.num as usize != i {
+            out.push(Finding::line_level(
+                "abi",
+                "gap",
+                &sys_file.path,
+                r.line,
+                format!("syscall `{}` has number {} at table position {i}; numbers must be dense and ordered", r.name, r.num),
+            ));
+        }
+        if !names.insert(r.name.clone()) {
+            out.push(Finding::line_level(
+                "abi",
+                "dup",
+                &sys_file.path,
+                r.line,
+                format!("duplicate syscall name `{}`", r.name),
+            ));
+        }
+    }
+    let dispatch_set: HashSet<&str> = rows
+        .iter()
+        .filter(|r| r.dispatch != "-")
+        .map(|r| r.dispatch.as_str())
+        .collect();
+    let aux_set: HashSet<&str> = aux.iter().map(|s| s.as_str()).collect();
+    let fn_in = |file: &str, name: &str| -> Option<usize> {
+        model
+            .funcs
+            .iter()
+            .position(|f| !f.is_test && f.file == file && f.name == name)
+    };
+    let usercall_path = model
+        .files
+        .iter()
+        .find(|f| f.path.ends_with(USERCALL_RS))
+        .map(|f| f.path.clone());
+    for r in &rows {
+        if r.dispatch == "-" {
+            // Structural syscalls must not also have a dispatch function.
+            let phantom = format!("sys_{}", r.name);
+            if model.funcs.iter().any(|f| !f.is_test && f.name == phantom) {
+                out.push(Finding::line_level(
+                    "abi",
+                    "phantom",
+                    &sys_file.path,
+                    r.line,
+                    format!(
+                        "`{}` is declared structural (dispatch \"-\") but `{phantom}` exists",
+                        r.name
+                    ),
+                ));
+            }
+        } else {
+            match fn_in(&sys_file.path, &r.dispatch) {
+                None => out.push(Finding::line_level(
+                    "abi",
+                    "missing-dispatch",
+                    &sys_file.path,
+                    r.line,
+                    format!(
+                        "dispatch `{}` for syscall {} `{}` is not defined in syscalls.rs",
+                        r.dispatch, r.num, r.name
+                    ),
+                )),
+                Some(fi) => {
+                    let got = model.funcs[fi].abi_args();
+                    if got != r.args as usize {
+                        out.push(Finding::line_level(
+                            "abi",
+                            "arity",
+                            &sys_file.path,
+                            model.funcs[fi].line,
+                            format!("dispatch `{}` takes {got} args beyond task/core but the table declares {}", r.dispatch, r.args),
+                        ));
+                    }
+                }
+            }
+        }
+        if r.stub != "-" {
+            match usercall_path.as_deref().and_then(|p| fn_in(p, &r.stub)) {
+                None => out.push(Finding::line_level(
+                    "abi",
+                    "missing-stub",
+                    &sys_file.path,
+                    r.line,
+                    format!(
+                        "stub `{}` for syscall {} `{}` is not defined in usercall.rs",
+                        r.stub, r.num, r.name
+                    ),
+                )),
+                Some(fi) => {
+                    let got = model.funcs[fi].abi_args();
+                    if got != r.args as usize {
+                        out.push(Finding::line_level(
+                            "abi",
+                            "stub-arity",
+                            usercall_path.as_deref().unwrap_or(USERCALL_RS),
+                            model.funcs[fi].line,
+                            format!(
+                                "stub `{}` takes {got} args but the table declares {}",
+                                r.stub, r.args
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Every sys_* entry point in syscalls.rs must be a table dispatch or a
+    // declared aux entry — a syscall cannot land without claiming a number.
+    for f in &model.funcs {
+        if f.is_test || f.file != sys_file.path || !f.name.starts_with("sys_") {
+            continue;
+        }
+        if !dispatch_set.contains(f.name.as_str()) && !aux_set.contains(f.name.as_str()) {
+            out.push(Finding::line_level(
+                "abi",
+                "unregistered",
+                &f.file,
+                f.line,
+                format!("`{}` is a syscall entry point but is neither a SYSCALL_TABLE dispatch nor in AUX_DISPATCH", f.name),
+            ));
+        }
+    }
+    // Every sys_* the stubs reference must be registered too.
+    for f in &model.funcs {
+        if f.is_test || !f.file.ends_with(USERCALL_RS) {
+            continue;
+        }
+        for c in &f.calls {
+            if c.name.starts_with("sys_")
+                && !dispatch_set.contains(c.name.as_str())
+                && !aux_set.contains(c.name.as_str())
+            {
+                out.push(Finding::line_level(
+                    "abi",
+                    "stub-unregistered",
+                    &f.file,
+                    f.line,
+                    format!("stub `{}` calls unregistered dispatch `{}`", f.name, c.name),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the variant names of `enum FsError` from the fs crate root.
+pub fn fs_error_variants(toks: &[Token]) -> Vec<String> {
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident("FsError") {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut variants = Vec::new();
+            let mut expect = true;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 {
+                    if t.is_punct("#") {
+                        // Attribute on a variant: skip `#[...]`.
+                        let mut d = 0i32;
+                        j += 1;
+                        while j < toks.len() {
+                            if toks[j].is_punct("[") {
+                                d += 1;
+                            } else if toks[j].is_punct("]") {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else if expect && t.kind == TokKind::Ident {
+                        variants.push(t.text.clone());
+                        expect = false;
+                    } else if t.is_punct(",") {
+                        expect = true;
+                    }
+                }
+                j += 1;
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Pass 3: error-mapping completeness. Every `FsError` variant must be
+/// named in the `From<FsError> for KernelError` conversion, and no
+/// syscall-reachable function may discard a fallible result with `let _ =`
+/// or a statement-level `.ok()`.
+pub fn pass_errors(model: &Model, reachable: &HashSet<usize>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Variant coverage.
+    let variants = model
+        .files
+        .iter()
+        .find(|f| f.path.ends_with(FS_LIB_RS))
+        .map(|f| fs_error_variants(&f.tokens))
+        .unwrap_or_default();
+    if variants.is_empty() {
+        out.push(Finding::file_level(
+            "errors",
+            "no-enum",
+            FS_LIB_RS,
+            "FsError enum not found; cannot verify the error mapping".into(),
+        ));
+    }
+    let error_file = model.files.iter().find(|f| f.path.ends_with(ERROR_RS));
+    let mut mapped: HashSet<String> = HashSet::new();
+    if let Some(ef) = error_file {
+        for &fi in &ef.funcs {
+            let f = &model.funcs[fi];
+            if f.is_test || f.name != "from" || f.impl_type.as_deref() != Some("KernelError") {
+                continue;
+            }
+            let toks = body(model, fi);
+            for k in 0..toks.len() {
+                if toks[k].is_ident("FsError")
+                    && k + 2 < toks.len()
+                    && toks[k + 1].is_punct("::")
+                    && toks[k + 2].kind == TokKind::Ident
+                {
+                    mapped.insert(toks[k + 2].text.clone());
+                }
+            }
+        }
+        for v in &variants {
+            if !mapped.contains(v) {
+                out.push(Finding::file_level(
+                    "errors",
+                    "unmapped",
+                    &ef.path,
+                    format!("FsError::{v} is not named in `From<FsError> for KernelError`; a new fs error must choose its kernel shape explicitly"),
+                ));
+            }
+        }
+    } else if !variants.is_empty() {
+        out.push(Finding::file_level(
+            "errors",
+            "no-impl",
+            ERROR_RS,
+            "kernel error module not found; FsError has no verified mapping".into(),
+        ));
+    }
+    // Discarded results on reachable paths.
+    for &fi in reachable {
+        let f = &model.funcs[fi];
+        if !f.file.starts_with("crates/fs/") && !f.file.starts_with("crates/kernel/") {
+            continue;
+        }
+        let toks = body(model, fi);
+        let n = toks.len();
+        for k in 0..n {
+            if toks[k].is_ident("let")
+                && k + 2 < n
+                && toks[k + 1].is_ident("_")
+                && toks[k + 2].is_punct("=")
+            {
+                // Only flag when the discarded value comes from a call.
+                let mut j = k + 3;
+                let mut call = false;
+                while j < n && !toks[j].is_punct(";") && j < k + 120 {
+                    if toks[j].is_punct("(") {
+                        call = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                if call {
+                    out.push(finding(
+                        "errors",
+                        "discard-let",
+                        f,
+                        toks[k].line,
+                        "`let _ =` discards a fallible result on a syscall-reachable path".into(),
+                    ));
+                }
+            }
+            if toks[k].is_punct(".")
+                && k + 4 < n
+                && toks[k + 1].is_ident("ok")
+                && toks[k + 2].is_punct("(")
+                && toks[k + 3].is_punct(")")
+                && toks[k + 4].is_punct(";")
+            {
+                out.push(finding(
+                    "errors",
+                    "discard-ok",
+                    f,
+                    toks[k + 1].line,
+                    "statement-level `.ok()` swallows an error on a syscall-reachable path".into(),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.kind == b.kind);
+    out
+}
+
+/// Pass 4: concurrency discipline. Two rules: (a) no park (`block_current`
+/// / `WaitChannel` enqueue) while a `&mut` cache-shard borrow is still live
+/// in the surrounding block; (b) the per-core completion queues and the
+/// cache's completion router may only be touched from the owner-tick API.
+pub fn pass_concurrency(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..model.funcs.len() {
+        let f = &model.funcs[fi];
+        if f.is_test {
+            continue;
+        }
+        let kernel = f.file.starts_with("crates/kernel/");
+        let fs = f.file.starts_with("crates/fs/");
+        if !kernel && !fs {
+            continue;
+        }
+        let toks = body(model, fi);
+        let n = toks.len();
+        // (b) owner-tick API.
+        if kernel && !OWNER_TICK_API.contains(&f.name.as_str()) {
+            for k in 0..n {
+                let t = &toks[k];
+                let touches_queue = t.is_ident("pending_sd_comps");
+                let routes = t.is_ident("apply_completion")
+                    && k > 0
+                    && toks[k - 1].is_punct(".")
+                    && k + 1 < n
+                    && toks[k + 1].is_punct("(");
+                if touches_queue || routes {
+                    out.push(finding(
+                        "concurrency",
+                        "owner-tick",
+                        f,
+                        t.line,
+                        format!(
+                            "`{}` touches per-core completion routing outside the owner-tick API ({})",
+                            t.text,
+                            OWNER_TICK_API.join("/")
+                        ),
+                    ));
+                }
+            }
+        }
+        // (a) park-under-borrow.
+        let mut depth = 0i32;
+        let mut borrows: Vec<(i32, u32)> = Vec::new(); // (block depth, line)
+        let mut k = 0usize;
+        while k < n {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                borrows.retain(|&(d, _)| d <= depth);
+            } else if t.is_ident("let") {
+                // Scan the initializer (to the nearest `;` or block opener).
+                let mut j = k + 1;
+                let mut saw_eq = false;
+                let mut shardish = false;
+                let mut mutish = false;
+                while j < n && j < k + 80 {
+                    let u = &toks[j];
+                    if u.is_punct(";") || (saw_eq && u.is_punct("{")) {
+                        break;
+                    }
+                    if u.is_punct("=") {
+                        saw_eq = true;
+                    }
+                    if saw_eq && u.kind == TokKind::Ident {
+                        let l = u.text.to_ascii_lowercase();
+                        if l.contains("shard") || l.contains("cache") {
+                            shardish = true;
+                        }
+                        if l.ends_with("_mut") || l == "mut" {
+                            mutish = true;
+                        }
+                    }
+                    if saw_eq && u.is_punct("&") && j + 1 < n && toks[j + 1].is_ident("mut") {
+                        mutish = true;
+                    }
+                    j += 1;
+                }
+                if shardish && mutish {
+                    borrows.push((depth, t.line));
+                }
+            } else if (t.is_ident("block_current") && k + 1 < n && toks[k + 1].is_punct("("))
+                || t.is_ident("WaitChannel")
+            {
+                if let Some(&(_, bline)) = borrows.last() {
+                    out.push(finding(
+                        "concurrency",
+                        "park-under-borrow",
+                        f,
+                        t.line,
+                        format!(
+                            "task parks here while the `&mut` shard borrow taken on line {bline} is still live"
+                        ),
+                    ));
+                }
+            }
+            k += 1;
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.kind == b.kind);
+    out
+}
+
+fn finding(
+    pass: &'static str,
+    kind: &'static str,
+    f: &crate::model::Func,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        pass,
+        kind,
+        file: f.file.clone(),
+        func: f.name.clone(),
+        line,
+        message,
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end fixture tests: each pass gets a known-bad miniature workspace
+//! that must produce its characteristic findings, plus one clean fixture
+//! that must produce none. Fixtures are materialised under
+//! `CARGO_TARGET_TMPDIR` with the same path suffixes the passes match
+//! (`crates/kernel/src/syscalls.rs`, …), so they exercise exactly the code
+//! paths a real run takes.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use analysis::analyze;
+
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dir");
+        fs::write(&path, content).expect("write fixture file");
+    }
+    root
+}
+
+fn kinds(report: &analysis::Report, pass: &str) -> HashSet<String> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.pass == pass)
+        .map(|f| f.kind.to_string())
+        .collect()
+}
+
+#[test]
+fn panic_pass_flags_unwrap_panic_index_and_arith_on_reachable_paths() {
+    let root = fixture(
+        "bad_panic",
+        &[
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub const SYSCALL_TABLE: [SyscallDef; 1] = [
+    SyscallDef { num: 0, name: "crash", dispatch: "sys_crash", stub: "-", args: 0 },
+];
+
+pub fn sys_crash(task: usize) -> u64 {
+    torn_lookup(task as u64)
+}
+"#,
+            ),
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub fn torn_lookup(sector: u64) -> u64 {
+    let table = [0u64; 4];
+    let v = table[sector as usize];
+    let next = sector + 1;
+    let r: Option<u64> = Some(next);
+    let x = r.unwrap();
+    if x == 0 {
+        panic!("boom");
+    }
+    v + x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_inside_tests_is_not_a_finding() {
+        let v: Option<u64> = Some(1);
+        v.unwrap();
+    }
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["panic".into()]).expect("analyze");
+    let got = kinds(&report, "panic");
+    for want in ["unwrap", "panic", "index", "arith"] {
+        assert!(
+            got.contains(want),
+            "missing panic/{want}: {:?}",
+            report.findings
+        );
+    }
+    // The helper is only flagged because a syscall root reaches it; the
+    // unwrap inside `#[cfg(test)]` must not appear.
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.func != "unwrap_inside_tests_is_not_a_finding"),
+        "test-only code must be exempt: {:?}",
+        report.findings
+    );
+    assert!(report.reachable >= 2, "root + helper should be reachable");
+}
+
+#[test]
+fn abi_pass_flags_gaps_dups_arity_drift_and_unregistered_entry_points() {
+    let root = fixture(
+        "bad_abi",
+        &[
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub const SYSCALL_TABLE: [SyscallDef; 3] = [
+    SyscallDef { num: 0, name: "getpid", dispatch: "sys_getpid", stub: "getpid", args: 1 },
+    SyscallDef { num: 2, name: "open", dispatch: "sys_open", stub: "open", args: 2 },
+    SyscallDef { num: 3, name: "getpid", dispatch: "-", stub: "-", args: 0 },
+];
+
+pub const AUX_DISPATCH: [&str; 0] = [];
+
+pub fn sys_getpid(task: usize) -> u64 {
+    task as u64
+}
+
+pub fn sys_rogue(task: usize) -> u64 {
+    task as u64
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/usercall.rs",
+                r#"
+pub struct UserCtx;
+
+impl UserCtx {
+    pub fn getpid(&mut self) -> u64 {
+        0
+    }
+
+    pub fn rogue(&mut self) -> u64 {
+        sys_rogue(0)
+    }
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["abi".into()]).expect("analyze");
+    let got = kinds(&report, "abi");
+    for want in [
+        "gap",
+        "dup",
+        "phantom",
+        "arity",
+        "missing-dispatch",
+        "missing-stub",
+        "unregistered",
+        "stub-unregistered",
+    ] {
+        assert!(
+            got.contains(want),
+            "missing abi/{want}: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn errors_pass_flags_unmapped_variants_and_discarded_results() {
+    let root = fixture(
+        "bad_errors",
+        &[
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub enum FsError {
+    NotFound,
+    Corrupt(String),
+    NoSpace,
+}
+
+pub fn flush_all() -> Result<(), FsError> {
+    Ok(())
+}
+
+pub fn poke() -> Result<(), FsError> {
+    Ok(())
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/error.rs",
+                r#"
+pub enum KernelError {
+    NoEnt,
+    Fault(String),
+}
+
+impl From<FsError> for KernelError {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NotFound => KernelError::NoEnt,
+            FsError::Corrupt(m) => KernelError::Fault(m),
+            _ => KernelError::NoEnt,
+        }
+    }
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub const SYSCALL_TABLE: [SyscallDef; 1] = [
+    SyscallDef { num: 0, name: "sync", dispatch: "sys_sync", stub: "-", args: 0 },
+];
+
+pub fn sys_sync(task: usize) -> u64 {
+    let _ = flush_all();
+    poke().ok();
+    task as u64
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["errors".into()]).expect("analyze");
+    let got = kinds(&report, "errors");
+    for want in ["unmapped", "discard-let", "discard-ok"] {
+        assert!(
+            got.contains(want),
+            "missing errors/{want}: {:?}",
+            report.findings
+        );
+    }
+    // Only the variant hidden behind the `_` arm is unmapped.
+    let unmapped: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == "unmapped")
+        .collect();
+    assert_eq!(unmapped.len(), 1, "exactly NoSpace: {unmapped:?}");
+    assert!(unmapped[0].message.contains("NoSpace"));
+}
+
+#[test]
+fn concurrency_pass_flags_owner_tick_violations_and_park_under_borrow() {
+    let root = fixture(
+        "bad_concurrency",
+        &[(
+            "crates/kernel/src/kernel.rs",
+            r#"
+impl Kernel {
+    pub fn rogue_poll(&mut self) -> usize {
+        self.pending_sd_comps.len()
+    }
+
+    pub fn handle_irq(&mut self) -> usize {
+        self.pending_sd_comps.len()
+    }
+
+    pub fn sleepy_write(&mut self) {
+        let shard = self.cache_shard_mut(0);
+        block_current(shard);
+    }
+
+    pub fn polite_write(&mut self) {
+        let n = self.queue_len();
+        block_current(n);
+    }
+}
+"#,
+        )],
+    );
+    let report = analyze(&root, &["concurrency".into()]).expect("analyze");
+    let got = kinds(&report, "concurrency");
+    for want in ["owner-tick", "park-under-borrow"] {
+        assert!(
+            got.contains(want),
+            "missing concurrency/{want}: {:?}",
+            report.findings
+        );
+    }
+    // The owner-tick API itself is allowed, and parking without a live
+    // shard borrow is allowed.
+    assert!(
+        report.findings.iter().all(|f| f.func != "handle_irq"),
+        "handle_irq is owner-tick API: {:?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().all(|f| f.func != "polite_write"),
+        "parking without a shard borrow is fine: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let root = fixture(
+        "clean",
+        &[
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub const SYSCALL_TABLE: [SyscallDef; 2] = [
+    SyscallDef { num: 0, name: "getpid", dispatch: "sys_getpid", stub: "getpid", args: 0 },
+    SyscallDef { num: 1, name: "read", dispatch: "sys_read", stub: "read", args: 3 },
+];
+
+pub const AUX_DISPATCH: [&str; 1] = ["sys_debug_dump"];
+
+pub fn sys_getpid(task: usize) -> Result<u64, KernelError> {
+    lookup_id(task)
+}
+
+pub fn sys_read(task: usize, fd: u64, buf: u64, len: u64) -> Result<u64, KernelError> {
+    let _unused = task;
+    read_file(fd, buf, len)
+}
+
+pub fn sys_debug_dump(task: usize) -> Result<u64, KernelError> {
+    Ok(task as u64)
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/usercall.rs",
+                r#"
+pub struct UserCtx;
+
+impl UserCtx {
+    pub fn getpid(&mut self) -> u64 {
+        self.invoke(0)
+    }
+
+    pub fn read(&mut self, fd: u64, buf: u64, len: u64) -> u64 {
+        self.invoke3(1, fd, buf, len)
+    }
+
+    fn invoke(&mut self, num: u64) -> u64 {
+        num
+    }
+
+    fn invoke3(&mut self, num: u64, a: u64, b: u64, c: u64) -> u64 {
+        num.wrapping_add(a).wrapping_add(b).wrapping_add(c)
+    }
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/error.rs",
+                r#"
+pub enum KernelError {
+    NoEnt,
+    Fault(String),
+}
+
+impl From<FsError> for KernelError {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NotFound => KernelError::NoEnt,
+            FsError::Corrupt(m) => KernelError::Fault(m),
+        }
+    }
+}
+"#,
+            ),
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub enum FsError {
+    NotFound,
+    Corrupt(String),
+}
+
+pub fn lookup_id(task: usize) -> Result<u64, KernelError> {
+    Ok(task as u64)
+}
+
+pub fn read_file(fd: u64, buf: u64, len: u64) -> Result<u64, KernelError> {
+    Ok(fd.wrapping_add(buf).wrapping_add(len))
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &[]).expect("analyze");
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture must be clean: {:?}",
+        report
+            .findings
+            .iter()
+            .map(analysis::Finding::render)
+            .collect::<Vec<_>>()
+    );
+    assert!(report.errors.is_empty());
+    assert!(report.warnings.is_empty());
+    assert!(!report.failed(true));
+}

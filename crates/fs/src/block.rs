@@ -84,7 +84,10 @@ pub trait BlockDevice {
         }
         for i in 0..count {
             let s = i as usize * BLOCK_SIZE;
-            self.read_block(lba + i, &mut out[s..s + BLOCK_SIZE])?;
+            let b = lba
+                .checked_add(i)
+                .ok_or_else(|| FsError::Invalid(format!("LBA overflow at {lba}+{i}")))?;
+            self.read_block(b, &mut out[s..s + BLOCK_SIZE])?;
         }
         Ok(())
     }
@@ -96,7 +99,10 @@ pub trait BlockDevice {
         }
         for i in 0..count {
             let s = i as usize * BLOCK_SIZE;
-            self.write_block(lba + i, &data[s..s + BLOCK_SIZE])?;
+            let b = lba
+                .checked_add(i)
+                .ok_or_else(|| FsError::Invalid(format!("LBA overflow at {lba}+{i}")))?;
+            self.write_block(b, &data[s..s + BLOCK_SIZE])?;
         }
         Ok(())
     }
@@ -303,7 +309,7 @@ impl BlockDevice for MemDisk {
             ));
         }
         self.check(lba, 1)?;
-        let s = lba as usize * BLOCK_SIZE;
+        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
         out.copy_from_slice(&self.data[s..s + BLOCK_SIZE]);
         self.stats.single_cmds += 1;
         self.stats.blocks += 1;
@@ -322,7 +328,7 @@ impl BlockDevice for MemDisk {
                 "power cut before write of block {lba}"
             )));
         }
-        let s = lba as usize * BLOCK_SIZE;
+        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
         self.data[s..s + BLOCK_SIZE].copy_from_slice(data);
         self.stats.single_cmds += 1;
         self.stats.blocks += 1;
@@ -334,7 +340,7 @@ impl BlockDevice for MemDisk {
             return Err(FsError::Invalid("read_range buffer size mismatch".into()));
         }
         self.check(lba, count)?;
-        let s = lba as usize * BLOCK_SIZE;
+        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
         out.copy_from_slice(&self.data[s..s + count as usize * BLOCK_SIZE]);
         self.stats.range_cmds += 1;
         self.stats.blocks += count;
@@ -347,7 +353,7 @@ impl BlockDevice for MemDisk {
         }
         self.check(lba, count)?;
         let persist = self.power_allow(count);
-        let s = lba as usize * BLOCK_SIZE;
+        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
         self.data[s..s + persist as usize * BLOCK_SIZE]
             .copy_from_slice(&data[..persist as usize * BLOCK_SIZE]);
         self.stats.range_cmds += 1;
@@ -451,7 +457,7 @@ impl<'a> SdBlockDevice<'a> {
     fn to_card_runs(&self, runs: &[SgRun]) -> Vec<SdSgRun> {
         runs.iter()
             .map(|&(lba, count)| SdSgRun {
-                lba: self.partition_start + lba,
+                lba: self.partition_start.saturating_add(lba),
                 count,
             })
             .collect()
@@ -499,7 +505,7 @@ impl BlockDevice for SdBlockDevice<'_> {
     fn read_block(&mut self, lba: u64, out: &mut [u8]) -> FsResult<()> {
         let mut buf = [0u8; BLOCK_SIZE];
         self.sd
-            .read_block(self.partition_start + lba, &mut buf)
+            .read_block(self.partition_start.saturating_add(lba), &mut buf)
             .map_err(FsError::from)?;
         out.copy_from_slice(&buf);
         Ok(())
@@ -509,19 +515,19 @@ impl BlockDevice for SdBlockDevice<'_> {
         let mut buf = [0u8; BLOCK_SIZE];
         buf.copy_from_slice(data);
         self.sd
-            .write_block(self.partition_start + lba, &buf)
+            .write_block(self.partition_start.saturating_add(lba), &buf)
             .map_err(FsError::from)
     }
 
     fn read_range(&mut self, lba: u64, count: u64, out: &mut [u8]) -> FsResult<()> {
         self.sd
-            .read_range(self.partition_start + lba, count, out)
+            .read_range(self.partition_start.saturating_add(lba), count, out)
             .map_err(FsError::from)
     }
 
     fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> FsResult<()> {
         self.sd
-            .write_range(self.partition_start + lba, count, data)
+            .write_range(self.partition_start.saturating_add(lba), count, data)
             .map_err(FsError::from)
     }
 
@@ -595,7 +601,7 @@ impl BlockDevice for SdBlockDevice<'_> {
             if !done.is_empty() {
                 return Ok(done);
             }
-            let deadline = match self.dma.as_ref() {
+            let deadline = match self.dma.as_mut() {
                 Some(ctx) => ctx.engine.busy_until(SD_DMA_CHANNEL),
                 None => return Ok(Vec::new()),
             };
@@ -603,8 +609,9 @@ impl BlockDevice for SdBlockDevice<'_> {
                 // Spin-wait on the channel status register: the core's clock
                 // jumps to the chain's completion deadline.
                 Some(done_at) => {
-                    let ctx = self.dma.as_mut().expect("checked above");
-                    ctx.clock.advance_to(ctx.core, done_at);
+                    if let Some(ctx) = self.dma.as_mut() {
+                        ctx.clock.advance_to(ctx.core, done_at);
+                    }
                 }
                 None => {
                     if self.sd.queue_len() == 0 {

@@ -170,6 +170,42 @@
 //!   lives in the cache because the `Fat32` object itself is cloned per
 //!   kernel call.
 //!
+//! # Sanitized invariants (`--features sanitize`)
+//!
+//! The state machine above is all bitmaps and side tables, and a bug in one
+//! transition tends to surface many operations later as a stale read or a
+//! lost write. Under the `sanitize` feature the cache therefore re-checks
+//! its full invariant set after externally visible state transitions
+//! (public cache operations, applied completions, evictions) and asserts
+//! with context on the first violation — turning "flaky crash-consistency
+//! test" into "the transition that broke the contract". The sweep is
+//! O(cache), so per-operation hooks are sampled (one sweep per
+//! `SANITIZE_SAMPLE` hooks — violations are persistent state, so a later
+//! sweep still catches them); the rare commit-group, metadata-transaction
+//! and invalidation boundaries always sweep. The checked invariants:
+//!
+//! 1. **Block state machine legality**, per extent: a block is never both
+//!    fill-pending and writing back (`pending & writing == 0`); a pending
+//!    block is not yet valid (`pending & valid == 0`); only valid blocks
+//!    can be dirty (`dirty ⊆ valid`) or riding a write-back snapshot
+//!    (`writing ⊆ valid`).
+//! 2. **Chain accounting**: every `pending` bit is covered by a run of some
+//!    entry in `inflight_reads`, every `writing` bit by a run of some entry
+//!    in `inflight_writes`, and `chain_owners` keys exactly the union of
+//!    the two in-flight maps — a completion can always be routed to the
+//!    core that submitted it, and no chain leaks its ownership record.
+//! 3. **Dependency-graph acyclicity**: the write-order dependency graph
+//!    (`add_dependency`) is cycle-free, except among sectors pinned by the
+//!    open commit group or an open metadata transaction — the intent log's
+//!    deliberately cyclic renames — which must then be resident in the
+//!    cache (the pin against eviction actually held).
+//! 4. **Statistics conservation**: every lookup classified by the read
+//!    paths is counted exactly once, i.e. `hits + misses == lookups`
+//!    across the shards.
+//!
+//! The checks walk the whole cache and are compiled to a no-op without the
+//! feature; CI runs the crash-consistency and per-core suites sanitized.
+//!
 //! The §5.2 ablation is preserved as a *policy* rather than a bypass:
 //! [`BufCache::set_coalescing`] switches the fill/write-back paths between
 //! range commands and one-command-per-block — the xv6-baseline behaviour —
@@ -398,6 +434,15 @@ struct Run {
 /// the streak of a media stream it interleaves with.
 const STREAM_SLOTS: usize = 4;
 
+/// Sampling period for the runtime sanitizer (`--features sanitize`): one
+/// full invariant sweep per this many check hooks. The sweep is O(cache)
+/// and the suites call public cache operations millions of times; since a
+/// violated invariant persists in cache state, a sampled sweep still
+/// catches every violation — only the blamed context can be late. The rare
+/// commit/invalidate boundaries bypass the sampling and always sweep.
+#[cfg(feature = "sanitize")]
+const SANITIZE_SAMPLE: u32 = 64;
+
 /// One tracked sequential read stream.
 #[derive(Debug, Clone, Copy, Default)]
 struct Stream {
@@ -566,6 +611,15 @@ pub struct BufCache {
     /// write-chain submission (index = commands in flight, clamped to the
     /// last bucket) — how deep the write path actually keeps the queue.
     wb_occupancy: [u64; 9],
+    /// Block lookups classified by the read paths — every lookup lands in
+    /// exactly one shard's hit or miss counter, so `hits + misses ==
+    /// lookups` at all times (the sanitizer's conservation check).
+    lookups: u64,
+    /// Countdown to the next sampled sanitizer sweep (see
+    /// [`SANITIZE_SAMPLE`]); interior-mutable so the read-only check hooks
+    /// can tick it.
+    #[cfg(feature = "sanitize")]
+    sanitize_skip: std::cell::Cell<u32>,
     tick: u64,
     ranges_issued: u64,
     singles_issued: u64,
@@ -636,6 +690,9 @@ impl BufCache {
             demand_spin_reaps: 0,
             completions_applied: 0,
             wb_occupancy: [0; 9],
+            lookups: 0,
+            #[cfg(feature = "sanitize")]
+            sanitize_skip: std::cell::Cell::new(0),
             tick: 0,
             ranges_issued: 0,
             singles_issued: 0,
@@ -797,6 +854,7 @@ impl BufCache {
         self.group_ops = 0;
         self.pending_frees.clear();
         self.log_commits += 1;
+        self.sanitize_check_always("group_clear_committed");
     }
 
     /// Reserves an allocation unit (a FAT cluster number) freed by a
@@ -880,6 +938,7 @@ impl BufCache {
     /// pins.
     pub fn end_meta_txn(&mut self) {
         self.meta_txn = None;
+        self.sanitize_check_always("end_meta_txn");
     }
 
     /// Whether a metadata transaction is currently open.
@@ -1073,6 +1132,323 @@ impl BufCache {
         self.chain_owners.clear();
         self.blocking_reads.clear();
         self.demand_read_error = None;
+        self.sanitize_check_always("invalidate_all");
+    }
+
+    // ---- the runtime sanitizer (`--features sanitize`) ----------------------------------
+
+    /// Re-checks the cache's full invariant set (module header, "Sanitized
+    /// invariants") and asserts with `ctx` on the first violation. Compiled
+    /// to a no-op without the `sanitize` feature.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn sanitize_check(&self, _ctx: &str) {}
+
+    /// Unsampled variant of [`BufCache::sanitize_check`]; a no-op without
+    /// the `sanitize` feature.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn sanitize_check_always(&self, _ctx: &str) {}
+
+    /// Mid-transition variant of [`BufCache::sanitize_check`]; a no-op
+    /// without the `sanitize` feature.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn sanitize_check_completion(&self, _ctx: &str) {}
+
+    /// Re-checks the cache's full invariant set (module header, "Sanitized
+    /// invariants") and asserts with `ctx` on the first violation. Called at
+    /// the end of every public cache operation, but *sampled*: the sweep is
+    /// O(cache), and per-block loops in the suites call public operations
+    /// millions of times. A violated invariant is persistent state, so
+    /// checking every [`SANITIZE_SAMPLE`]th transition still catches every
+    /// violation — only the blamed `ctx` can be up to a sample window late.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self, ctx: &str) {
+        if self.sanitize_tick() {
+            self.sanitize_check_always(ctx);
+        }
+    }
+
+    /// Decrements the sampling countdown; true when this call should sweep.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_tick(&self) -> bool {
+        let n = self.sanitize_skip.get();
+        if n == 0 {
+            self.sanitize_skip.set(SANITIZE_SAMPLE - 1);
+            true
+        } else {
+            self.sanitize_skip.set(n - 1);
+            false
+        }
+    }
+
+    /// [`BufCache::sanitize_check`] without sampling, for the rare
+    /// high-stakes boundaries (commit-group release, metadata-transaction
+    /// close, full invalidation) where a violation must be blamed on the
+    /// operation that caused it.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check_always(&self, ctx: &str) {
+        self.sanitize_sweep(ctx);
+        // Fill-chain coverage can only be asserted at an operation
+        // boundary: the demand/prefetch paths pin their target blocks
+        // `pending` *before* the submitted chain id exists, so a reap or
+        // eviction inside that window observes the pin without the chain.
+        let cover = Self::sanitize_chain_cover(&self.inflight_reads);
+        for shard in &self.shards {
+            for e in &shard.extents {
+                for b in e.base..e.base.saturating_add(EXTENT_BLOCKS as u64) {
+                    if e.pending & Extent::bit(b) != 0 {
+                        assert!(
+                            cover.contains(&b),
+                            "sanitize[{ctx}]: block {b} is fill-pending but no in-flight read chain covers it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The subset of the sanitizer that holds even in the middle of a cache
+    /// operation (inline reaps, evictions): block state-machine legality,
+    /// write-chain coverage, chain-owner accounting, dependency-graph
+    /// acyclicity, pin residency, and statistics conservation. Sampled like
+    /// [`BufCache::sanitize_check`].
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check_completion(&self, ctx: &str) {
+        if self.sanitize_tick() {
+            self.sanitize_sweep(ctx);
+        }
+    }
+
+    /// The mid-transition invariant sweep itself, unsampled.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_sweep(&self, ctx: &str) {
+        self.sanitize_bitmaps(ctx);
+        self.sanitize_chains(ctx);
+        self.sanitize_deps(ctx);
+        self.sanitize_pins(ctx);
+        self.sanitize_stats(ctx);
+    }
+
+    /// Every block sits in a legal state of the block state machine:
+    /// `pending` and `writing` are mutually exclusive, a pending block is
+    /// not yet valid, and only valid blocks can be dirty or carry an
+    /// in-flight write-back snapshot.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_bitmaps(&self, ctx: &str) {
+        for shard in &self.shards {
+            for e in &shard.extents {
+                let base = e.base;
+                assert!(
+                    e.pending & e.writing == 0,
+                    "sanitize[{ctx}]: extent {base} has blocks both fill-pending and writing back \
+                     (pending={:#04x} writing={:#04x})",
+                    e.pending,
+                    e.writing
+                );
+                assert!(
+                    e.pending & e.valid == 0,
+                    "sanitize[{ctx}]: extent {base} has valid blocks still marked fill-pending \
+                     (pending={:#04x} valid={:#04x})",
+                    e.pending,
+                    e.valid
+                );
+                assert!(
+                    e.dirty & !e.valid == 0,
+                    "sanitize[{ctx}]: extent {base} has dirty bits on invalid blocks \
+                     (dirty={:#04x} valid={:#04x})",
+                    e.dirty,
+                    e.valid
+                );
+                assert!(
+                    e.writing & !e.valid == 0,
+                    "sanitize[{ctx}]: extent {base} has write-back bits on invalid blocks \
+                     (writing={:#04x} valid={:#04x})",
+                    e.writing,
+                    e.valid
+                );
+            }
+        }
+    }
+
+    /// Expands an in-flight map's runs into the set of block LBAs covered.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_chain_cover(map: &HashMap<u64, Vec<Run>>) -> HashSet<u64> {
+        let mut cover = HashSet::new();
+        for runs in map.values() {
+            for r in runs {
+                for b in r.start..r.start.saturating_add(r.len) {
+                    cover.insert(b);
+                }
+            }
+        }
+        cover
+    }
+
+    /// Chain accounting: every `writing` bit rides a run of some entry in
+    /// `inflight_writes`, and `chain_owners` keys exactly the union of the
+    /// two in-flight maps, so every completion can be routed to the core
+    /// that submitted its chain and no chain leaks its ownership record.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_chains(&self, ctx: &str) {
+        let cover = Self::sanitize_chain_cover(&self.inflight_writes);
+        for shard in &self.shards {
+            for e in &shard.extents {
+                for b in e.base..e.base.saturating_add(EXTENT_BLOCKS as u64) {
+                    if e.writing & Extent::bit(b) != 0 {
+                        assert!(
+                            cover.contains(&b),
+                            "sanitize[{ctx}]: block {b} is marked writing back but no in-flight \
+                             write chain covers it"
+                        );
+                    }
+                }
+            }
+        }
+        for id in self.chain_owners.keys() {
+            assert!(
+                self.inflight_reads.contains_key(id) || self.inflight_writes.contains_key(id),
+                "sanitize[{ctx}]: chain {id} has an owner record but is no longer in flight"
+            );
+        }
+        for id in self
+            .inflight_reads
+            .keys()
+            .chain(self.inflight_writes.keys())
+        {
+            assert!(
+                self.chain_owners.contains_key(id),
+                "sanitize[{ctx}]: in-flight chain {id} has no owner record — its completion \
+                 cannot be routed to the submitting core"
+            );
+        }
+    }
+
+    /// Whether `lba` is pinned by the open commit group or an open metadata
+    /// transaction — the only sectors allowed to sit on a dependency cycle.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_sector_pinned(&self, lba: u64) -> bool {
+        self.group.contains(&lba) || self.meta_txn.as_ref().is_some_and(|t| t.contains(&lba))
+    }
+
+    /// The write-order dependency graph is acyclic, except among sectors
+    /// pinned by the open commit group or metadata transaction (the intent
+    /// log's deliberately cyclic renames). Iterative colouring DFS over the
+    /// metadata keys; an edge `a → b` exists when key `b` lies inside one
+    /// of `a`'s recorded dependency runs.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_deps(&self, ctx: &str) {
+        let keys: Vec<u64> = self.deps.keys().copied().collect();
+        let adj: Vec<Vec<usize>> = keys
+            .iter()
+            .map(|&k| {
+                let mut out: Vec<usize> = Vec::new();
+                for run in self.deps.get(&k).into_iter().flatten() {
+                    for (i2, &k2) in keys.iter().enumerate() {
+                        if k2 >= run.start && k2 < run.start.saturating_add(run.len) {
+                            out.push(i2);
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+        let mut colour = vec![0u8; keys.len()];
+        let mut path: Vec<usize> = Vec::new();
+        for start in 0..keys.len() {
+            if colour[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            colour[start] = 1;
+            path.push(start);
+            while let Some(&(n, edge)) = stack.last() {
+                if edge >= adj[n].len() {
+                    colour[n] = 2;
+                    stack.pop();
+                    path.pop();
+                    continue;
+                }
+                if let Some(frame) = stack.last_mut() {
+                    frame.1 += 1;
+                }
+                let m = adj[n][edge];
+                match colour[m] {
+                    0 => {
+                        colour[m] = 1;
+                        path.push(m);
+                        stack.push((m, 0));
+                    }
+                    1 => {
+                        let pos = path.iter().position(|&x| x == m).unwrap_or(0);
+                        let cycle: Vec<u64> = path
+                            .get(pos..)
+                            .into_iter()
+                            .flatten()
+                            .map(|&i| keys[i])
+                            .collect();
+                        for &s in &cycle {
+                            assert!(
+                                self.sanitize_sector_pinned(s),
+                                "sanitize[{ctx}]: write-order dependency cycle {cycle:?} \
+                                 includes sector {s}, which no open group/txn pins"
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Every sector the open commit group or metadata transaction pins is
+    /// actually resident and valid in the cache — i.e. the pin against
+    /// eviction held. A violation here means an eviction dropped a sector
+    /// whose only durable copy was the cached one.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_pins(&self, ctx: &str) {
+        let pinned: Vec<u64> = self
+            .group
+            .iter()
+            .copied()
+            .chain(self.meta_txn.iter().flatten().copied())
+            .collect();
+        for lba in pinned {
+            let base = Self::extent_base(lba);
+            let si = self.shard_of(base);
+            let resident = self
+                .shards
+                .get(si)
+                .and_then(|s| s.find(base).map(|ei| (s, ei)))
+                .map(|(s, ei)| s.extents.get(ei).is_some_and(|e| e.has(lba)))
+                .unwrap_or(false);
+            assert!(
+                resident,
+                "sanitize[{ctx}]: pinned sector {lba} (open group/txn) is not resident+valid — \
+                 the eviction pin failed"
+            );
+        }
+    }
+
+    /// Statistics conservation: every lookup the read paths classified
+    /// landed in exactly one shard's hit or miss counter.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_stats(&self, ctx: &str) {
+        let classified: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats.hits.saturating_add(s.stats.misses))
+            .sum();
+        assert!(
+            classified == self.lookups,
+            "sanitize[{ctx}]: hits + misses = {classified} but {} lookups were classified — \
+             a read path double-counted or dropped a block",
+            self.lookups
+        );
     }
 
     // ---- internal helpers ---------------------------------------------------------------
@@ -1509,6 +1885,7 @@ impl BufCache {
             self.shards[si].stats.evictions += 1;
             self.placement.remove(&victim_base);
         }
+        self.sanitize_check_completion("make_room");
         Ok(())
     }
 
@@ -1575,6 +1952,7 @@ impl BufCache {
                 let gone = self.shards[si].extents.swap_remove(idx);
                 self.shards[si].stats.evictions += 1;
                 self.placement.remove(&gone.base);
+                self.sanitize_check_completion("evict_batched");
                 return Ok(());
             }
             let reaped = self.reap_blocking(dev)?;
@@ -1745,6 +2123,7 @@ impl BufCache {
                 }
             }
         }
+        self.sanitize_check_completion("apply_completion");
     }
 
     /// Clears the `pending` (fill-in-flight) marks of `runs` — the cleanup
@@ -1793,6 +2172,9 @@ impl BufCache {
                 // to dirty rather than spinning.
                 let stale: Vec<u64> = self.inflight_writes.keys().copied().collect();
                 for id in stale {
+                    // The chain is gone: its ownership record must go with
+                    // it or the completion router holds a route to nowhere.
+                    self.chain_owners.remove(&id);
                     if let Some(runs) = self.inflight_writes.remove(&id) {
                         for run in runs {
                             for b in run.start..run.start + run.len {
@@ -1905,6 +2287,7 @@ impl BufCache {
             let base = Self::extent_base(b);
             let si = self.shard_of(base);
             let tick = self.next_tick();
+            self.lookups += 1;
             let shard = &mut self.shards[si];
             match shard.find(base) {
                 Some(ei) if shard.extents[ei].has(b) => {
@@ -1933,6 +2316,7 @@ impl BufCache {
             let out_off = (run.start - lba) as usize * BLOCK_SIZE;
             out[out_off..out_off + tmp.len()].copy_from_slice(&tmp);
         }
+        self.sanitize_check("read_range");
         Ok(())
     }
 
@@ -1962,6 +2346,7 @@ impl BufCache {
             let b = lba + i;
             let base = Self::extent_base(b);
             let si = self.shard_of(base);
+            self.lookups += 1;
             let shard = &mut self.shards[si];
             match shard.find(base) {
                 Some(ei) if shard.extents[ei].has(b) => shard.stats.hits += 1,
@@ -1985,6 +2370,7 @@ impl BufCache {
             )?;
             start += len;
         }
+        self.sanitize_check("read_range_async");
         Ok(())
     }
 
@@ -2084,7 +2470,18 @@ impl BufCache {
                     return Err(crate::FsError::WouldBlock);
                 }
                 // Pending marks with nothing in flight: stale state (the
-                // queue was torn down under us). Clear them and re-issue.
+                // queue was torn down under us). The read chains we think
+                // are on the wire are lost too — drop them whole (their
+                // pending marks, their ownership records, their blocking
+                // registration), not just this window's bits, and re-issue.
+                let stale: Vec<u64> = self.inflight_reads.keys().copied().collect();
+                for id in stale {
+                    if let Some(runs) = self.inflight_reads.remove(&id) {
+                        self.clear_pending_runs(&runs);
+                    }
+                    self.chain_owners.remove(&id);
+                    self.blocking_reads.remove(&id);
+                }
                 for i in 0..count {
                     let b = lba + i;
                     let base = Self::extent_base(b);
@@ -2199,6 +2596,7 @@ impl BufCache {
             self.ranges_issued += 1;
             self.prefetch_cmds += 1;
             self.prefetched_blocks += fetched;
+            self.sanitize_check("prefetch_range");
             return Ok(fetched);
         }
         let mut fetched = 0;
@@ -2207,6 +2605,7 @@ impl BufCache {
             fetched += run.len;
             self.prefetched_blocks += run.len;
         }
+        self.sanitize_check("prefetch_range");
         Ok(fetched)
     }
 
@@ -2245,6 +2644,7 @@ impl BufCache {
             ext.pending &= !Extent::bit(b);
             ext.cold = cold;
         }
+        self.sanitize_check("write_range");
         Ok(())
     }
 
@@ -2388,6 +2788,7 @@ impl BufCache {
         if self.group.is_empty() {
             self.pending_frees.clear();
         }
+        self.sanitize_check("flush");
         Ok(())
     }
 
@@ -2448,6 +2849,7 @@ impl BufCache {
         if self.group.is_empty() {
             self.pending_frees.clear();
         }
+        self.sanitize_check("flush_async");
         Ok(())
     }
 
@@ -2505,6 +2907,7 @@ impl BufCache {
                     break;
                 }
             }
+            self.sanitize_check("flush_ready");
             return dev.flush();
         }
         loop {
@@ -2522,6 +2925,7 @@ impl BufCache {
                 break;
             }
         }
+        self.sanitize_check("flush_ready");
         dev.flush()
     }
 
@@ -2540,11 +2944,13 @@ impl BufCache {
             if let Some(e) = self.async_error.take() {
                 return Err(e);
             }
+            self.sanitize_check("flush_data");
             return dev.flush();
         }
         for run in data {
             self.write_out_run(dev, run)?;
         }
+        self.sanitize_check("flush_data");
         dev.flush()
     }
 
@@ -2666,6 +3072,7 @@ impl BufCache {
         if written > 0 {
             self.partial_flushes += 1;
         }
+        self.sanitize_check("flush_some");
         match first_err {
             Some(e) => Err(e),
             None => Ok(written),
@@ -2743,6 +3150,7 @@ impl BufCache {
         if submitted > 0 {
             self.partial_flushes += 1;
         }
+        self.sanitize_check("flush_some_async");
         Ok(submitted)
     }
 

@@ -272,7 +272,7 @@ impl Fat32 {
         fs.fat_set(dev, bc, 1, FAT_EOC)?;
         fs.fat_set(dev, bc, bpb.root_cluster, FAT_EOC)?;
         fs.zero_cluster(dev, bc, bpb.root_cluster)?;
-        let root_sector = fs.cluster_to_sector(bpb.root_cluster);
+        let root_sector = fs.cluster_to_sector(bpb.root_cluster)?;
         bc.note_metadata(root_sector, SECTORS_PER_CLUSTER as u64);
         Ok(fs)
     }
@@ -528,7 +528,7 @@ impl Fat32 {
         // contract already allows, so this transaction's own (cyclic,
         // not-yet-logged) sectors stay cached and keep their atomicity.
         let fresh = touched.iter().filter(|l| !bc.group_contains(**l)).count();
-        if bc.group_sectors() + fresh > INTENT_LOG_PAYLOAD {
+        if bc.group_sectors().saturating_add(fresh) > INTENT_LOG_PAYLOAD {
             self.commit_pending(dev, bc)?;
         }
         for &lba in touched {
@@ -585,8 +585,12 @@ impl Fat32 {
                       // the logged sectors' (deliberately cyclic) ordering edges can go —
                       // otherwise the home drain would trip the forced-cycle escape hatch
                       // for updates that are in fact fully protected.
-        bc.group_clear_committed();
+                      // Drop the ordering edges while the group still pins their sectors,
+                      // *then* release the pins: the cache invariant is "a dependency
+                      // cycle exists only among pinned sectors", and the reverse order
+                      // would leave an unpinned cycle in the window between the calls.
         bc.clear_dependencies(&targets);
+        bc.group_clear_committed();
         bc.flush_ready(dev)?; // home sectors (ordered, cycles never forced)
         let zero = vec![0u8; BLOCK_SIZE];
         dev.write_block(INTENT_LOG_START, &zero)?;
@@ -618,9 +622,12 @@ impl Fat32 {
     // ---- FAT access ---------------------------------------------------------------------------
 
     fn fat_sector_of(&self, cluster: u32) -> (u64, usize) {
-        let byte = cluster as u64 * 4;
+        // Saturating forms keep the panic-reachability pass honest: a u32
+        // cluster index cannot overflow this u64 arithmetic, and the FAT
+        // region bounds are enforced by `check_fat_index` before any access.
+        let byte = u64::from(cluster).saturating_mul(4);
         (
-            self.bpb.fat_start as u64 + byte / BLOCK_SIZE as u64,
+            (self.bpb.fat_start as u64).saturating_add(byte / BLOCK_SIZE as u64),
             (byte % BLOCK_SIZE as u64) as usize,
         )
     }
@@ -742,13 +749,13 @@ impl Fat32 {
         if zero_fill {
             self.zero_cluster(dev, bc, c)?;
             if for_metadata {
-                bc.note_metadata(self.cluster_to_sector(c), SECTORS_PER_CLUSTER as u64);
+                bc.note_metadata(self.cluster_to_sector(c)?, SECTORS_PER_CLUSTER as u64);
             }
             let (fat_sector, _) = self.fat_sector_of(c);
             bc.add_dependency(
                 fat_sector,
                 1,
-                self.cluster_to_sector(c),
+                self.cluster_to_sector(c)?,
                 SECTORS_PER_CLUSTER as u64,
             );
         }
@@ -832,9 +839,9 @@ impl Fat32 {
     ) -> FsResult<Vec<u32>> {
         let mut out = Vec::new();
         let mut c = first;
-        let limit = self.bpb.cluster_count as usize + 2;
+        let limit = (self.bpb.cluster_count as usize).saturating_add(2);
         while (FIRST_CLUSTER..0x0FFF_FFF8).contains(&c) {
-            if c >= FIRST_CLUSTER + self.bpb.cluster_count {
+            if c >= FIRST_CLUSTER.saturating_add(self.bpb.cluster_count) {
                 return Err(FsError::Corrupt(format!(
                     "FAT chain references cluster {c} beyond the data area"
                 )));
@@ -848,8 +855,19 @@ impl Fat32 {
         Ok(out)
     }
 
-    fn cluster_to_sector(&self, cluster: u32) -> u64 {
-        self.bpb.data_start as u64 + (cluster as u64 - 2) * SECTORS_PER_CLUSTER as u64
+    /// Maps a data cluster to its first sector LBA. Cluster numbers outside
+    /// the data area — which a corrupt dirent or torn FAT entry can supply —
+    /// surface as [`FsError::Corrupt`] instead of underflowing the sector
+    /// arithmetic.
+    fn cluster_to_sector(&self, cluster: u32) -> FsResult<u64> {
+        let end = FIRST_CLUSTER.saturating_add(self.bpb.cluster_count);
+        if !(FIRST_CLUSTER..end).contains(&cluster) {
+            return Err(FsError::Corrupt(format!(
+                "cluster {cluster} outside the data area"
+            )));
+        }
+        let off = u64::from(cluster - FIRST_CLUSTER).saturating_mul(SECTORS_PER_CLUSTER as u64);
+        Ok((self.bpb.data_start as u64).saturating_add(off))
     }
 
     fn zero_cluster(
@@ -859,7 +877,7 @@ impl Fat32 {
         cluster: u32,
     ) -> FsResult<()> {
         let zero = vec![0u8; CLUSTER_SIZE];
-        let sector = self.cluster_to_sector(cluster);
+        let sector = self.cluster_to_sector(cluster)?;
         bc.write_range(dev, sector, SECTORS_PER_CLUSTER as u64, &zero)
     }
 
@@ -884,7 +902,7 @@ impl Fat32 {
         out: &mut [u8],
     ) -> FsResult<()> {
         debug_assert_eq!(out.len(), CLUSTER_SIZE);
-        let sector = self.cluster_to_sector(cluster);
+        let sector = self.cluster_to_sector(cluster)?;
         bc.read_range(dev, sector, SECTORS_PER_CLUSTER as u64, out)
     }
 
@@ -913,7 +931,7 @@ impl Fat32 {
                 let size = u32::from_le_bytes([raw[28], raw[29], raw[30], raw[31]]);
                 out.push((
                     cluster,
-                    i * DIRENT_SIZE,
+                    i.saturating_mul(DIRENT_SIZE),
                     FatEntry {
                         name: decode_83(&name),
                         is_dir: attr & ATTR_DIRECTORY != 0,
@@ -938,11 +956,13 @@ impl Fat32 {
         offset: usize,
         raw: &[u8; DIRENT_SIZE],
     ) -> FsResult<u64> {
-        let sector = self.cluster_to_sector(cluster) + (offset / BLOCK_SIZE) as u64;
-        let in_sector = offset % BLOCK_SIZE;
+        let sector = self
+            .cluster_to_sector(cluster)?
+            .saturating_add((offset / BLOCK_SIZE) as u64);
+        let entry_off = offset % BLOCK_SIZE;
         let mut buf = vec![0u8; BLOCK_SIZE];
         bc.read(dev, sector, &mut buf)?;
-        buf[in_sector..in_sector + DIRENT_SIZE].copy_from_slice(raw);
+        buf[entry_off..entry_off + DIRENT_SIZE].copy_from_slice(raw);
         bc.write(dev, sector, &buf)?;
         bc.note_metadata(sector, 1);
         Ok(sector)
@@ -1023,7 +1043,7 @@ impl Fat32 {
         bc.add_dependency(
             link_sector,
             1,
-            self.cluster_to_sector(newc),
+            self.cluster_to_sector(newc)?,
             SECTORS_PER_CLUSTER as u64,
         );
         self.write_dirent(dev, bc, newc, 0, raw)
@@ -1144,7 +1164,7 @@ impl Fat32 {
             bc.add_dependency(
                 dirent_sector,
                 1,
-                fs.cluster_to_sector(first_cluster),
+                fs.cluster_to_sector(first_cluster)?,
                 SECTORS_PER_CLUSTER as u64,
             );
             Ok(entry)
@@ -1241,14 +1261,18 @@ impl Fat32 {
                 bc.add_dependency(
                     f,
                     1,
-                    self.cluster_to_sector(first),
+                    self.cluster_to_sector(first)?,
                     count as u64 * SECTORS_PER_CLUSTER as u64,
                 );
             }
         }
         // FAT ≺ dirent: the entry publishing the file goes last.
-        let dirent_sector = match self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
-        {
+        let Some(&head) = clusters.first() else {
+            return Err(FsError::Invalid(
+                "empty allocation for non-empty write".into(),
+            ));
+        };
+        let dirent_sector = match self.update_dirent_for(dev, bc, p, head, data.len() as u32) {
             Ok(s) => s,
             Err(e) => {
                 self.unwind_chain(dev, bc, &clusters);
@@ -1262,7 +1286,7 @@ impl Fat32 {
             bc.add_dependency(
                 dirent_sector,
                 1,
-                self.cluster_to_sector(first),
+                self.cluster_to_sector(first)?,
                 count as u64 * SECTORS_PER_CLUSTER as u64,
             );
         }
@@ -1313,8 +1337,12 @@ impl Fat32 {
             self.unwind_chain(dev, bc, &clusters);
             return Err(e);
         }
-        let dirent_sector = match self.update_dirent_for(dev, bc, p, clusters[0], data.len() as u32)
-        {
+        let Some(&head) = clusters.first() else {
+            return Err(FsError::Invalid(
+                "empty allocation for non-empty write".into(),
+            ));
+        };
+        let dirent_sector = match self.update_dirent_for(dev, bc, p, head, data.len() as u32) {
             Ok(s) => s,
             Err(e) => {
                 self.unwind_chain(dev, bc, &clusters);
@@ -1325,7 +1353,7 @@ impl Fat32 {
             bc.add_dependency(
                 dirent_sector,
                 1,
-                self.cluster_to_sector(first),
+                self.cluster_to_sector(first)?,
                 count as u64 * SECTORS_PER_CLUSTER as u64,
             );
         }
@@ -1356,7 +1384,7 @@ impl Fat32 {
             let mut buf = vec![0u8; run_bytes];
             let end = (byte_start + run_bytes).min(data.len());
             buf[..end - byte_start].copy_from_slice(&data[byte_start..end]);
-            let sector = self.cluster_to_sector(first);
+            let sector = self.cluster_to_sector(first)?;
             bc.write_range(dev, sector, count as u64 * SECTORS_PER_CLUSTER as u64, &buf)?;
             ci += count as usize;
         }
@@ -1403,7 +1431,7 @@ impl Fat32 {
             let run_bytes = count as usize * CLUSTER_SIZE;
             let run_start = ci * CLUSTER_SIZE; // file offset of the run start
             let mut buf = vec![0u8; run_bytes];
-            let sector = self.cluster_to_sector(first);
+            let sector = self.cluster_to_sector(first)?;
             bc.read_range(
                 dev,
                 sector,
@@ -1434,9 +1462,10 @@ impl Fat32 {
                 let window_clusters = (bc.stream_window() as usize / SECTORS_PER_CLUSTER as usize)
                     .clamp(1, MAX_PREFETCH_CLUSTERS)
                     .min(cap_clusters);
-                let window = &ahead[..ahead.len().min(window_clusters)];
+                let take = ahead.len().min(window_clusters);
+                let window = &ahead[..take];
                 for (first, count) in cluster_runs(window) {
-                    let sector = self.cluster_to_sector(first);
+                    let sector = self.cluster_to_sector(first)?;
                     let _ =
                         bc.prefetch_range(dev, sector, count as u64 * SECTORS_PER_CLUSTER as u64);
                 }
@@ -1900,7 +1929,7 @@ mod tests {
         let chain = fs.chain(&mut dev, &mut bc, entry.first_cluster).unwrap();
         // Fault a block in the *last* cluster: prefetch will trip over it
         // while earlier demand reads must still succeed.
-        let bad = fs.cluster_to_sector(*chain.last().unwrap());
+        let bad = fs.cluster_to_sector(*chain.last().unwrap()).unwrap();
         dev.inject_fault(bad);
         let mut cold = BufCache::default();
         cold.set_prefetch(true);
@@ -1969,7 +1998,7 @@ mod tests {
         bc.flush(&mut dev).unwrap();
         // Hand-craft a committed record renaming the dirent sector contents:
         // capture the root dir sector, tombstone the entry in the payload.
-        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster);
+        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster).unwrap();
         let mut sector = vec![0u8; BLOCK_SIZE];
         dev.read_block(root_sector, &mut sector).unwrap();
         sector[0] = 0xE5; // delete /a.txt
@@ -1998,7 +2027,7 @@ mod tests {
             .unwrap();
         bc.flush(&mut dev).unwrap();
         // A header whose checksum does not match its payloads (torn commit).
-        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster);
+        let root_sector = fs.cluster_to_sector(fs.bpb().root_cluster).unwrap();
         let mut hdr = vec![0u8; BLOCK_SIZE];
         hdr[0..8].copy_from_slice(INTENT_MAGIC);
         hdr[8..12].copy_from_slice(&1u32.to_le_bytes());

@@ -267,13 +267,16 @@ impl SdHost {
         if count == 0 {
             return Err(HalError::OutOfRange("zero-block SD transfer".into()));
         }
-        if lba + count > self.total_blocks {
+        if lba
+            .checked_add(count)
+            .is_none_or(|end| end > self.total_blocks)
+        {
             return Err(HalError::OutOfRange(format!(
                 "SD access lba={lba} count={count} beyond {} blocks",
                 self.total_blocks
             )));
         }
-        for b in lba..lba + count {
+        for b in lba..lba.saturating_add(count) {
             if self.faulty_blocks.contains(&b) {
                 return Err(HalError::InjectedFault(format!("SD block {b}")));
             }
@@ -328,7 +331,7 @@ impl SdHost {
         self.blocks_transferred += count;
         for i in 0..count {
             let start = (i as usize) * BLOCK_SIZE;
-            self.read_one(lba + i, &mut out[start..start + BLOCK_SIZE]);
+            self.read_one(lba.saturating_add(i), &mut out[start..start + BLOCK_SIZE]);
         }
         Ok(())
     }
@@ -347,7 +350,7 @@ impl SdHost {
         self.blocks_transferred += persist;
         for i in 0..persist {
             let start = (i as usize) * BLOCK_SIZE;
-            self.write_one(lba + i, &data[start..start + BLOCK_SIZE]);
+            self.write_one(lba.saturating_add(i), &data[start..start + BLOCK_SIZE]);
         }
         if persist < count {
             if persist > 0 {
@@ -449,13 +452,16 @@ impl SdHost {
             if r.count == 0 {
                 return Err(HalError::OutOfRange("zero-block SD transfer".into()));
             }
-            if r.lba + r.count > self.total_blocks {
+            if r.lba
+                .checked_add(r.count)
+                .is_none_or(|end| end > self.total_blocks)
+            {
                 return Err(HalError::OutOfRange(format!(
                     "SD access lba={} count={} beyond {} blocks",
                     r.lba, r.count, self.total_blocks
                 )));
             }
-            total += r.count;
+            total = total.saturating_add(r.count);
         }
         Ok(total)
     }
@@ -536,10 +542,7 @@ impl SdHost {
     /// crossing an armed power cut persists only its prefix (torn, counted)
     /// — identical semantics to the polled path, discovered at completion.
     pub fn finish_dma(&mut self, cmd_id: u64) -> Option<SdCompletion> {
-        let cmd = match &self.inflight {
-            Some(c) if c.id == cmd_id => self.inflight.take().expect("checked above"),
-            _ => return None,
-        };
+        let cmd = self.inflight.take_if(|c| c.id == cmd_id)?;
         let result = self.apply_data_phase(&cmd);
         let (result, data) = match result {
             Ok(data) => (Ok(()), data),
@@ -563,12 +566,16 @@ impl SdHost {
             return Err(HalError::InvalidState("no card present".into()));
         }
         if cmd.write {
-            let data = cmd.data.as_ref().expect("write chains stage a payload");
+            let Some(data) = cmd.data.as_ref() else {
+                return Err(HalError::InvalidState(
+                    "DMA write chain completed without a staged payload".into(),
+                ));
+            };
             let mut off = 0usize;
             let mut persisted_in_cmd = 0u64;
             for r in &cmd.runs {
                 for i in 0..r.count {
-                    let b = r.lba + i;
+                    let b = r.lba.saturating_add(i);
                     if self.faulty_blocks.contains(&b) {
                         return Err(HalError::InjectedFault(format!("SD block {b}")));
                     }
@@ -593,7 +600,7 @@ impl SdHost {
             let mut off = 0usize;
             for r in &cmd.runs {
                 for i in 0..r.count {
-                    let b = r.lba + i;
+                    let b = r.lba.saturating_add(i);
                     if self.faulty_blocks.contains(&b) {
                         return Err(HalError::InjectedFault(format!("SD block {b}")));
                     }

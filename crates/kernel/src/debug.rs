@@ -204,12 +204,13 @@ impl DebugMonitor {
     /// Handles the panic-button FIQ on `core`: captures every core's stack.
     pub fn panic_button(&mut self, core: usize, timestamp_us: u64) -> &PanicDump {
         let stacks = (0..hal::NUM_CORES).map(|c| (c, self.unwind(c))).collect();
+        let idx = self.dumps.len();
         self.dumps.push(PanicDump {
             timestamp_us,
             handled_by_core: core,
             stacks,
         });
-        self.dumps.last().expect("just pushed")
+        &self.dumps[idx]
     }
 
     /// All recorded panic dumps.

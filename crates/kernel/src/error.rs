@@ -69,12 +69,25 @@ impl std::error::Error for KernelError {}
 
 impl From<FsError> for KernelError {
     fn from(e: FsError) -> Self {
+        // Every `FsError` variant is mapped explicitly — the `analysis`
+        // crate's error-mapping pass fails the build on a variant this match
+        // does not name, so a new filesystem error cannot silently fall into
+        // a catch-all and lose its errno shape.
         match e {
             FsError::NotFound(s) => KernelError::NotFound(s),
             FsError::AlreadyExists(s) => KernelError::AlreadyExists(s),
             FsError::NoSpace => KernelError::NoSpace,
             FsError::WouldBlock => KernelError::WouldBlock,
-            other => KernelError::Fs(other),
+            // The storage-specific shapes keep their FsError payload: the
+            // syscall layer reports them verbatim rather than flattening
+            // them into a less precise kernel code.
+            e @ (FsError::Io(_)
+            | FsError::NotADirectory(_)
+            | FsError::IsADirectory(_)
+            | FsError::TooLarge(_)
+            | FsError::NotEmpty(_)
+            | FsError::Corrupt(_)
+            | FsError::Invalid(_)) => KernelError::Fs(e),
         }
     }
 }

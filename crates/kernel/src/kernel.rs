@@ -155,6 +155,9 @@ impl TaskMetrics {
 
 /// A keyboard device shared between the USB port and the kernel's
 /// key-injection helper (tests and benches press keys through this).
+/// Lock poisoning is recovered with `into_inner`: the keyboard state is
+/// plain data, so the worst a panicked presser leaves behind is a missed
+/// key event — never a reason to cascade the panic into the kernel.
 #[derive(Clone)]
 pub struct SharedKeyboard(Arc<Mutex<SimUsbKeyboard>>);
 
@@ -166,22 +169,31 @@ impl SharedKeyboard {
 
     /// Presses and releases a key.
     pub fn tap(&self, code: KeyCode, modifiers: Modifiers) {
-        self.0.lock().expect("keyboard lock").tap(code, modifiers);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .tap(code, modifiers);
     }
 
     /// Presses a key.
     pub fn press(&self, code: KeyCode, modifiers: Modifiers) {
-        self.0.lock().expect("keyboard lock").press(code, modifiers);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .press(code, modifiers);
     }
 
     /// Releases a key.
     pub fn release(&self, code: KeyCode) {
-        self.0.lock().expect("keyboard lock").release(code);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .release(code);
     }
 
     /// Types a string of printable characters.
     pub fn type_str(&self, s: &str) {
-        self.0.lock().expect("keyboard lock").type_str(s);
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).type_str(s);
     }
 }
 
@@ -195,14 +207,20 @@ impl UsbHwDevice for SharedKeyboard {
     fn control(&mut self, setup: &UsbSetupPacket, data_out: &[u8]) -> hal::HalResult<Vec<u8>> {
         self.0
             .lock()
-            .expect("keyboard lock")
+            .unwrap_or_else(|e| e.into_inner())
             .control(setup, data_out)
     }
     fn interrupt_in(&mut self, endpoint: u8) -> Option<Vec<u8>> {
-        self.0.lock().expect("keyboard lock").interrupt_in(endpoint)
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .interrupt_in(endpoint)
     }
     fn has_pending_input(&self) -> bool {
-        self.0.lock().expect("keyboard lock").has_pending_input()
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .has_pending_input()
     }
     fn name(&self) -> &str {
         "shared-hid-keyboard"
@@ -1445,8 +1463,7 @@ impl Kernel {
             );
         }
         self.last_on_core[core] = Some(tid);
-        {
-            let t = self.tasks.get_mut(&tid).expect("checked above");
+        if let Some(t) = self.tasks.get_mut(&tid) {
             t.state = TaskState::Running;
             t.core = core;
             t.schedules += 1;

@@ -23,6 +23,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-freedom backstop (see clippy.toml for the method list and the
+// rationale): production code may not unwrap/expect; unit tests may.
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod config;
 pub mod debug;

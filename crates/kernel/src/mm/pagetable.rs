@@ -216,9 +216,9 @@ impl PageTable {
                 "unaligned mapping {va:#x} -> {pa:#x}"
             )));
         }
-        let l3 = self
-            .walk_to_l3(mem, frames, va, true)?
-            .expect("alloc=true always yields a table");
+        let l3 = self.walk_to_l3(mem, frames, va, true)?.ok_or_else(|| {
+            KernelError::Fault(format!("page-table walk lost a level at {va:#x}"))
+        })?;
         let daddr = Self::descriptor_addr(l3, level_index(va, 3));
         let existing = mem.read_u64(daddr)?;
         if existing & D_VALID != 0 {

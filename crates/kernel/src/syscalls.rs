@@ -22,44 +22,108 @@ use crate::usercall::{FileStat, UserProgram};
 use crate::vfs::{DeviceFile, FileKind, MountTarget, OpenFile, OpenFlags};
 use crate::wm::Rect;
 
-/// Names of the 29 syscalls Proto implements, grouped as the paper groups
-/// them (task management, file system, threading/synchronisation). `fsync`
+/// One row of the numbered syscall ABI.
+///
+/// This table is the single source of truth for the user/kernel boundary:
+/// each row names a stable syscall number, the kernel dispatch method that
+/// implements it (in this module), the `UserCtx` stub that user programs
+/// call (in `usercall.rs`), and the argument count both sides must agree on
+/// (beyond the implicit task/core context). The `analysis` crate's
+/// ABI-consistency pass parses this table *and* both sets of function
+/// signatures and fails the build on any number gap, missing function, or
+/// arity drift — so the table cannot silently rot the way the old
+/// hand-maintained name list could. ROADMAP item 2's generated syscall layer
+/// will emit dispatch and stubs *from* this table; the pass is the precursor
+/// that proves the three views agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallDef {
+    /// Stable syscall number. Numbers are dense, start at 0, and are never
+    /// reused: a retired syscall would keep its row with "-" entries.
+    pub num: u16,
+    /// Canonical name, as the paper's Table 1 groups them.
+    pub name: &'static str,
+    /// The `Kernel` dispatch method in this module, or `"-"` when the
+    /// operation is handled structurally rather than by a dispatch function
+    /// (`exit` is a `StepResult`, `uptime` reads the clock without trapping).
+    pub dispatch: &'static str,
+    /// The `UserCtx` stub method in `usercall.rs`, or `"-"` when none
+    /// exists (`exit` again).
+    pub stub: &'static str,
+    /// Arguments beyond the implicit task/core context. The stub takes
+    /// exactly this many; the dispatch takes these after `task` and `core`.
+    pub args: u8,
+}
+
+/// Number of syscalls Proto implements (§3's 29, across the task, file and
+/// threading groups).
+pub const NSYSCALLS: usize = 29;
+
+/// The numbered syscall table, grouped as the paper groups them (task
+/// management & time, file system, threading/synchronisation). `fsync`
 /// joined the file group when the block layer's buffer cache became
 /// write-back: it drains a file's dirty blocks to the device.
-pub const SYSCALL_NAMES: [&str; 29] = [
+#[rustfmt::skip]
+pub const SYSCALL_TABLE: [SyscallDef; NSYSCALLS] = [
     // task management & time
-    "getpid",
-    "fork",
-    "exec",
-    "exit",
-    "wait",
-    "kill",
-    "sleep",
-    "yield",
-    "sbrk",
-    "priority",
-    "uptime",
+    SyscallDef { num: 0,  name: "getpid",     dispatch: "sys_getpid",       stub: "getpid",       args: 0 },
+    SyscallDef { num: 1,  name: "fork",       dispatch: "sys_fork",         stub: "fork",         args: 1 },
+    SyscallDef { num: 2,  name: "exec",       dispatch: "sys_spawn",        stub: "spawn",        args: 2 },
+    SyscallDef { num: 3,  name: "exit",       dispatch: "-",                stub: "-",            args: 1 },
+    SyscallDef { num: 4,  name: "wait",       dispatch: "sys_wait",         stub: "wait_child",   args: 0 },
+    SyscallDef { num: 5,  name: "kill",       dispatch: "sys_kill",         stub: "kill",         args: 1 },
+    SyscallDef { num: 6,  name: "sleep",      dispatch: "sys_sleep_us",     stub: "sleep_us",     args: 1 },
+    SyscallDef { num: 7,  name: "yield",      dispatch: "sys_yield",        stub: "yield_now",    args: 0 },
+    SyscallDef { num: 8,  name: "sbrk",       dispatch: "sys_sbrk",         stub: "sbrk",         args: 1 },
+    SyscallDef { num: 9,  name: "priority",   dispatch: "sys_set_priority", stub: "set_priority", args: 1 },
+    SyscallDef { num: 10, name: "uptime",     dispatch: "-",                stub: "now_us",       args: 0 },
     // file system
-    "open",
-    "close",
-    "read",
-    "write",
-    "lseek",
-    "fsync",
-    "stat",
-    "mkdir",
-    "unlink",
-    "readdir",
-    "pipe",
-    "dup",
-    "mmap_fb",
-    "fb_flush",
+    SyscallDef { num: 11, name: "open",       dispatch: "sys_open",         stub: "open",         args: 2 },
+    SyscallDef { num: 12, name: "close",      dispatch: "sys_close",        stub: "close",        args: 1 },
+    SyscallDef { num: 13, name: "read",       dispatch: "sys_read",         stub: "read",         args: 2 },
+    SyscallDef { num: 14, name: "write",      dispatch: "sys_write",        stub: "write",        args: 2 },
+    SyscallDef { num: 15, name: "lseek",      dispatch: "sys_lseek",        stub: "lseek",        args: 2 },
+    SyscallDef { num: 16, name: "fsync",      dispatch: "sys_fsync",        stub: "fsync",        args: 1 },
+    SyscallDef { num: 17, name: "stat",       dispatch: "sys_stat",         stub: "stat",         args: 1 },
+    SyscallDef { num: 18, name: "mkdir",      dispatch: "sys_mkdir",        stub: "mkdir",        args: 1 },
+    SyscallDef { num: 19, name: "unlink",     dispatch: "sys_unlink",       stub: "unlink",       args: 1 },
+    SyscallDef { num: 20, name: "readdir",    dispatch: "sys_list_dir",     stub: "list_dir",     args: 1 },
+    SyscallDef { num: 21, name: "pipe",       dispatch: "sys_pipe",         stub: "pipe",         args: 0 },
+    SyscallDef { num: 22, name: "dup",        dispatch: "sys_dup",          stub: "dup",          args: 1 },
+    SyscallDef { num: 23, name: "mmap_fb",    dispatch: "sys_fb_map",       stub: "fb_map",       args: 0 },
+    SyscallDef { num: 24, name: "fb_flush",   dispatch: "sys_fb_flush",     stub: "fb_flush",     args: 0 },
     // threading & synchronisation
-    "clone",
-    "sem_create",
-    "sem_wait",
-    "sem_post",
+    SyscallDef { num: 25, name: "clone",      dispatch: "sys_clone_thread", stub: "clone_thread", args: 1 },
+    SyscallDef { num: 26, name: "sem_create", dispatch: "sys_sem_create",   stub: "sem_create",   args: 1 },
+    SyscallDef { num: 27, name: "sem_wait",   dispatch: "sys_sem_wait",     stub: "sem_wait",     args: 1 },
+    SyscallDef { num: 28, name: "sem_post",   dispatch: "sys_sem_post",     stub: "sem_post",     args: 1 },
 ];
+
+/// Kernel entry points named `sys_*` that are *not* numbered syscalls: they
+/// back device files and the window-manager protocol (reads/writes on
+/// `/dev/*` descriptors or library conveniences layered on `read`/`write`).
+/// The ABI-consistency pass requires every `sys_*` function in this module
+/// to be either a table dispatch or listed here, so a new syscall cannot be
+/// added without claiming a number.
+pub const AUX_DISPATCH: [&str; 6] = [
+    "sys_read_key_event",    // decode helper over sys_read on /dev/event*
+    "sys_fb_info",           // framebuffer geometry (mailbox query, no trap)
+    "sys_fb_write",          // store through the user framebuffer mapping
+    "sys_surface_create",    // open("/dev/surface") convenience
+    "sys_surface_configure", // WM protocol message
+    "sys_surface_present",   // WM protocol message
+];
+
+/// Names of the 29 syscalls, derived from [`SYSCALL_TABLE`] so the two can
+/// never drift.
+pub const SYSCALL_NAMES: [&str; NSYSCALLS] = {
+    let mut names = [""; NSYSCALLS];
+    let mut i = 0;
+    while i < NSYSCALLS {
+        names[i] = SYSCALL_TABLE[i].name;
+        i += 1;
+    }
+    names
+};
 
 impl Kernel {
     pub(crate) fn charge_syscall(&mut self, core: usize, task: TaskId) {
