@@ -1,6 +1,6 @@
 //! `protolint`: offline static analysis for the Proto workspace.
 //!
-//! Four passes keep the properties that PR 2/3/6 established by hand from
+//! Seven passes keep the properties that PR 2/3/6 established by hand from
 //! rotting as the codebase grows:
 //!
 //! * **panic** — no `unwrap`/`expect`/`panic!`/sector-indexing/unchecked
@@ -12,27 +12,48 @@
 //!   mapping, and syscall-reachable code never discards a `Result`.
 //! * **concurrency** — no parking while a `&mut` shard borrow is live; the
 //!   per-core completion queues are only touched via the owner-tick API.
+//! * **taint** — no unvalidated syscall argument reaches slice indexing,
+//!   sector arithmetic, or an allocation length (interprocedural).
+//! * **ordering** — metadata-dirtying sites sit in a `with_meta_txn` region
+//!   or behind registered `add_dependency` write-order edges.
+//! * **wouldblock** — functions that return `WouldBlock` mutate no
+//!   structural cache state on the blocking path (retry idempotency).
 //!
-//! The tool is registry-free (no `syn`): [`lexer`] hand-tokenises Rust and
-//! [`model`] extracts functions and a name-based call graph, which
-//! over-approximates reachability — safe for a checker.
+//! The tool is registry-free (no `syn`): [`lexer`] hand-tokenises Rust,
+//! [`model`] extracts functions and a name-based call graph, and
+//! [`dataflow`] runs worklist fixpoints over it — all of which
+//! over-approximate reachability, which is safe for a checker.
 //!
 //! Findings can be suppressed through `crates/analysis/allow.toml`; every
 //! entry must carry a non-empty `justify` string, and entries that no longer
 //! match anything are reported as warnings so the allowlist shrinks as fixes
-//! land.
+//! land. A committed `baseline.json` (stable finding IDs) lets CI fail only
+//! on *new* findings while a refactor is in flight.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod lexer;
 pub mod model;
 pub mod passes;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 use model::Model;
+
+/// Every pass name, in the order they run. The single source of truth for
+/// CLI validation and `--help`.
+pub const PASSES: [&str; 7] = [
+    "panic",
+    "abi",
+    "errors",
+    "concurrency",
+    "taint",
+    "ordering",
+    "wouldblock",
+];
 
 /// One reported problem.
 #[derive(Debug, Clone)]
@@ -85,6 +106,20 @@ impl Finding {
             line,
             message,
         }
+    }
+
+    /// Stable identity for baselines: an FNV-1a hash over pass, file,
+    /// function and kind — deliberately *not* the line or message, so a
+    /// finding keeps its ID across unrelated edits to the same file.
+    pub fn id(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [self.pass, "|", &self.file, "|", &self.func, "|", self.kind] {
+            for b in part.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        format!("{h:016x}")
     }
 
     /// `file:line: [pass/kind] message (in func)` display form.
@@ -219,6 +254,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings suppressed by an allowlist entry.
     pub allowed: Vec<Finding>,
+    /// Findings suppressed because their ID appears in the baseline.
+    pub baselined: Vec<Finding>,
     /// Non-fatal issues (stale allowlist entries); fatal under
     /// `--deny-warnings`.
     pub warnings: Vec<String>,
@@ -228,6 +265,8 @@ pub struct Report {
     pub counts: HashMap<&'static str, usize>,
     /// Number of functions the reachability analysis marked syscall-reachable.
     pub reachable: usize,
+    /// Total non-test functions the model extracted.
+    pub scanned: usize,
 }
 
 impl Report {
@@ -237,12 +276,53 @@ impl Report {
             || !self.errors.is_empty()
             || (deny_warnings && !self.warnings.is_empty())
     }
+
+    /// Moves findings whose [`Finding::id`] appears in `ids` from
+    /// `findings` to `baselined`, so only unbaselined findings fail a run.
+    pub fn apply_baseline(&mut self, ids: &HashSet<String>) {
+        let (base, keep): (Vec<Finding>, Vec<Finding>) = std::mem::take(&mut self.findings)
+            .into_iter()
+            .partition(|f| ids.contains(&f.id()));
+        self.findings = keep;
+        self.baselined.extend(base);
+    }
+}
+
+/// Extracts the `"id": "..."` values from a baseline JSON document. A
+/// hand-rolled scan (no JSON dependency): anything shaped like an `id` key
+/// with a string value counts, which is exactly what `--format json` emits.
+pub fn parse_baseline_ids(src: &str) -> HashSet<String> {
+    let mut ids = HashSet::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while let Some(at) = src[i..].find("\"id\"") {
+        let mut j = i + at + 4;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b':' {
+            j += 1;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' {
+                let start = j + 1;
+                if let Some(end) = src[start..].find('"') {
+                    ids.insert(src[start..start + end].to_string());
+                    i = start + end + 1;
+                    continue;
+                }
+            }
+        }
+        i = i + at + 4;
+    }
+    ids
 }
 
 /// The source directories a run scans, relative to the workspace root.
 pub const SCAN_DIRS: [&str; 3] = ["crates/fs/src", "crates/kernel/src", "crates/hal/src"];
 
-/// Runs the selected passes (all four when `only` is empty) over the
+/// Runs the selected passes (all seven when `only` is empty) over the
 /// workspace at `root`, applying `root/crates/analysis/allow.toml` if
 /// present.
 pub fn analyze(root: &Path, only: &[String]) -> std::io::Result<Report> {
@@ -251,6 +331,7 @@ pub fn analyze(root: &Path, only: &[String]) -> std::io::Result<Report> {
     let want = |p: &str| only.is_empty() || only.iter().any(|o| o == p);
     let reachable = passes::reachable_from_syscalls(&model);
     report.reachable = reachable.len();
+    report.scanned = model.funcs.iter().filter(|f| !f.is_test).count();
     let mut all: Vec<Finding> = Vec::new();
     if want("panic") {
         all.extend(passes::pass_panic(&model, &reachable));
@@ -263,6 +344,15 @@ pub fn analyze(root: &Path, only: &[String]) -> std::io::Result<Report> {
     }
     if want("concurrency") {
         all.extend(passes::pass_concurrency(&model));
+    }
+    if want("taint") {
+        all.extend(passes::pass_taint(&model));
+    }
+    if want("ordering") {
+        all.extend(passes::pass_ordering(&model));
+    }
+    if want("wouldblock") {
+        all.extend(passes::pass_wouldblock(&model));
     }
     for f in &all {
         *report.counts.entry(f.pass).or_insert(0) += 1;
@@ -340,5 +430,55 @@ mod tests {
         };
         assert!(list.entries[0].matches(&hit));
         assert!(!list.entries[0].matches(&miss));
+    }
+
+    #[test]
+    fn finding_ids_are_stable_across_line_and_message_changes() {
+        let a = Finding {
+            pass: "taint",
+            kind: "index",
+            file: "crates/fs/src/fat32.rs".into(),
+            func: "read_at".into(),
+            line: 10,
+            message: "old".into(),
+        };
+        let b = Finding {
+            line: 999,
+            message: "totally different".into(),
+            ..a.clone()
+        };
+        assert_eq!(a.id(), b.id());
+        let c = Finding {
+            kind: "arith",
+            ..a.clone()
+        };
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn baseline_ids_parse_and_filter_findings() {
+        let f = Finding {
+            pass: "taint",
+            kind: "index",
+            file: "a.rs".into(),
+            func: "f".into(),
+            line: 1,
+            message: String::new(),
+        };
+        let src = format!(
+            "{{\n  \"findings\": [\n    {{ \"id\": \"{}\", \"pass\": \"taint\" }}\n  ]\n}}\n",
+            f.id()
+        );
+        let ids = parse_baseline_ids(&src);
+        assert!(ids.contains(&f.id()));
+        let mut report = Report {
+            findings: vec![f.clone()],
+            ..Report::default()
+        };
+        report.apply_baseline(&ids);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.baselined.len(), 1);
+        assert!(!report.failed(true));
     }
 }

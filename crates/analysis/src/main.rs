@@ -1,9 +1,10 @@
 //! `protolint` CLI: `cargo run -p analysis -- [--root DIR] [--pass NAME]...
-//! [--deny-warnings]`.
+//! [--deny-warnings] [--format human|json] [--baseline FILE]`.
 //!
-//! Exit status is 0 when the tree is clean (all findings either fixed or
-//! allowlisted with justification), 1 otherwise. CI runs this with
-//! `--deny-warnings` so stale allowlist entries also fail the gate.
+//! Exit status is 0 when the tree is clean (all findings either fixed,
+//! allowlisted with justification, or present in the baseline), 1 otherwise.
+//! CI runs this with `--deny-warnings` so stale allowlist entries also fail
+//! the gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,6 +13,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_warnings = false;
     let mut only: Vec<String> = Vec::new();
+    let mut format = String::from("human");
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -20,17 +23,32 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a path"),
             },
             "--pass" => match args.next() {
-                Some(p) if ["panic", "abi", "errors", "concurrency"].contains(&p.as_str()) => {
-                    only.push(p)
+                Some(p) if analysis::PASSES.contains(&p.as_str()) => only.push(p),
+                Some(p) => {
+                    return usage(&format!(
+                        "unknown pass `{p}`; available passes: {}",
+                        analysis::PASSES.join(", ")
+                    ))
                 }
-                Some(p) => return usage(&format!("unknown pass `{p}`")),
                 None => return usage("--pass needs a name"),
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                Some(f) => return usage(&format!("unknown format `{f}` (human|json)")),
+                None => return usage("--format needs a value (human|json)"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
             },
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
                 println!(
                     "protolint: static analysis for the Proto workspace\n\n\
-                     USAGE: cargo run -p analysis -- [--root DIR] [--pass panic|abi|errors|concurrency]... [--deny-warnings]"
+                     USAGE: cargo run -p analysis -- [--root DIR] [--pass NAME]... \
+                     [--deny-warnings] [--format human|json] [--baseline FILE]\n\n\
+                     Passes: {}",
+                    analysis::PASSES.join(", ")
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,7 +65,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    let report = match analysis::analyze(&root, &only) {
+    let mut report = match analysis::analyze(&root, &only) {
         Ok(r) => r,
         Err(e) => {
             eprintln!(
@@ -57,6 +75,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path) {
+            Ok(src) => {
+                let ids = analysis::parse_baseline_ids(&src);
+                report.apply_baseline(&ids);
+            }
+            Err(e) => {
+                eprintln!("protolint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if format == "json" {
+        println!("{}", render_json(&report));
+        return if report.failed(deny_warnings) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for e in &report.errors {
         println!("error: {e}");
     }
@@ -74,10 +112,12 @@ fn main() -> ExitCode {
         .collect::<Vec<_>>()
         .join(", ");
     println!(
-        "protolint: {} syscall-reachable fns; raw findings [{}]; {} allowlisted, {} failing, {} warnings",
+        "protolint: scanned {} fns ({} syscall-reachable); raw findings [{}]; {} allowlisted, {} baselined, {} failing, {} warnings",
+        report.scanned,
         report.reachable,
         if per_pass.is_empty() { "none".into() } else { per_pass },
         report.allowed.len(),
+        report.baselined.len(),
         report.findings.len(),
         report.warnings.len(),
     );
@@ -86,6 +126,72 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &analysis::Finding) -> String {
+    format!(
+        "    {{ \"id\": \"{}\", \"pass\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \"line\": {}, \"func\": \"{}\", \"message\": \"{}\" }}",
+        f.id(),
+        esc(f.pass),
+        esc(f.kind),
+        esc(&f.file),
+        f.line,
+        esc(&f.func),
+        esc(&f.message),
+    )
+}
+
+/// Renders the report as a stable, hand-rolled JSON document (the same shape
+/// `--baseline` consumes).
+fn render_json(report: &analysis::Report) -> String {
+    let list = |fs: &[analysis::Finding]| -> String {
+        if fs.is_empty() {
+            return "[]".into();
+        }
+        format!(
+            "[\n{}\n  ]",
+            fs.iter().map(finding_json).collect::<Vec<_>>().join(",\n")
+        )
+    };
+    let strings = |ss: &[String]| -> String {
+        if ss.is_empty() {
+            return "[]".into();
+        }
+        format!(
+            "[ {} ]",
+            ss.iter()
+                .map(|s| format!("\"{}\"", esc(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    format!(
+        "{{\n  \"scanned\": {},\n  \"reachable\": {},\n  \"findings\": {},\n  \"baselined\": {},\n  \"allowed\": {},\n  \"errors\": {},\n  \"warnings\": {}\n}}",
+        report.scanned,
+        report.reachable,
+        list(&report.findings),
+        list(&report.baselined),
+        report.allowed.len(),
+        strings(&report.errors),
+        strings(&report.warnings),
+    )
 }
 
 fn usage(msg: &str) -> ExitCode {

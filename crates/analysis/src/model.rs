@@ -25,6 +25,18 @@ pub struct Call {
     pub qual: Option<String>,
     /// True for `.name(..)` method-call syntax.
     pub method: bool,
+    /// Identifier tokens appearing in each argument position, in order. The
+    /// split is lexical (top-level commas), so a closure argument may smear
+    /// across positions — over-approximate, which is safe for taint.
+    pub args: Vec<Vec<String>>,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// Token index of the callee name, relative to the enclosing body span.
+    pub tok: usize,
+    /// True when the call sits lexically inside a metadata transaction: the
+    /// argument list of a `with_meta_txn(...)` call (the closure body lives
+    /// there) or between `begin_meta_txn` and `end_meta_txn`.
+    pub in_txn: bool,
 }
 
 /// One parsed function item.
@@ -173,6 +185,28 @@ impl Model {
                     // caller's own impl type.
                     (None, false) => f.impl_type.is_none() || f.impl_type == caller_type,
                 }
+            })
+            .collect()
+    }
+
+    /// Like [`Model::resolve`], but additionally requires the callee's
+    /// parameter count to match the call site's argument count. Name-based
+    /// resolution alone smears common method names (`read`, `remove`, `get`)
+    /// across every impl; arity cuts most of those accidental edges. Used by
+    /// the dataflow passes, where cross-impl smearing turns into bogus
+    /// interprocedural paths; the lexical passes keep the plain
+    /// over-approximation.
+    pub fn resolve_arity(&self, caller: usize, call: &Call) -> Vec<usize> {
+        self.resolve(caller, call)
+            .into_iter()
+            .filter(|&i| {
+                let f = &self.funcs[i];
+                let mut expect = call.args.len();
+                // `Type::method(recv, ..)` passes the receiver explicitly.
+                if f.has_self && call.qual.is_some() && !call.method {
+                    expect = expect.saturating_sub(1);
+                }
+                f.params.len() == expect
             })
             .collect()
     }
@@ -538,8 +572,108 @@ fn finish_param(cur: &[&Token], params: &mut Vec<String>, has_self: &mut bool) {
     }
 }
 
+/// Marks the token spans of `body` that sit inside a metadata transaction:
+/// the argument list of a `with_meta_txn(...)` call, or the region between a
+/// `begin_meta_txn` call and the following `end_meta_txn`.
+fn txn_mask(body: &[Token]) -> Vec<bool> {
+    let n = body.len();
+    let mut mask = vec![false; n];
+    let mut open = false;
+    let mut k = 0usize;
+    while k < n {
+        let t = &body[k];
+        if t.is_ident("with_meta_txn") && k + 1 < n && body[k + 1].is_punct("(") {
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            while j < n {
+                if body[j].is_punct("(") {
+                    depth += 1;
+                } else if body[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                mask[j] = true;
+                j += 1;
+            }
+            k = j + 1;
+            continue;
+        }
+        if t.is_ident("begin_meta_txn") {
+            open = true;
+        }
+        if open {
+            mask[k] = true;
+        }
+        if t.is_ident("end_meta_txn") {
+            open = false;
+        }
+        k += 1;
+    }
+    mask
+}
+
+/// Collects the identifier tokens of each argument of the call whose opening
+/// paren is at `open`. Arguments are split at top-level commas; an argument
+/// with no identifiers (a literal) still occupies its position, and a
+/// trailing comma does not create a phantom argument.
+fn call_args(body: &[Token], open: usize) -> Vec<Vec<String>> {
+    let n = body.len();
+    let mut args: Vec<Vec<String>> = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut cur_tokens = 0usize;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = open;
+    while j < n {
+        let t = &body[j];
+        if t.is_punct("(") {
+            if paren > 0 {
+                cur_tokens += 1;
+            }
+            paren += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct(")") {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+            cur_tokens += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if t.is_punct("{") {
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace -= 1;
+        } else if t.is_punct(",") && paren == 1 && bracket == 0 && brace == 0 {
+            args.push(std::mem::take(&mut cur));
+            cur_tokens = 0;
+            j += 1;
+            continue;
+        } else if t.kind == TokKind::Ident {
+            cur.push(t.text.clone());
+        }
+        cur_tokens += 1;
+        j += 1;
+    }
+    if cur_tokens > 0 {
+        args.push(cur);
+    }
+    args
+}
+
 /// Finds call sites inside a body token slice.
 fn extract_calls(body: &[Token]) -> Vec<Call> {
+    let mask = txn_mask(body);
     let mut calls = Vec::new();
     for k in 0..body.len() {
         let t = &body[k];
@@ -590,6 +724,10 @@ fn extract_calls(body: &[Token]) -> Vec<Call> {
             name: t.text.clone(),
             qual,
             method,
+            args: call_args(body, k + 1),
+            line: t.line,
+            tok: k,
+            in_txn: mask[k],
         });
     }
     calls
@@ -646,5 +784,38 @@ mod tests {
     fn generic_params_do_not_split_arity() {
         let m = model_of("fn f(a: HashMap<u64, Vec<Run>>, b: u32) {}");
         assert_eq!(m.funcs[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn call_args_capture_idents_per_position() {
+        let m = model_of("fn f(x: u64, y: u64) { g(x + 1, h(y), 3) }");
+        let call = &m.funcs[0].calls[0];
+        assert_eq!(call.name, "g");
+        assert_eq!(call.args.len(), 3);
+        assert_eq!(call.args[0], vec!["x"]);
+        assert_eq!(call.args[1], vec!["h", "y"]);
+        assert!(call.args[2].is_empty());
+    }
+
+    #[test]
+    fn calls_inside_meta_txn_regions_are_marked() {
+        let m = model_of(
+            "impl Fs { fn create(&self) { self.with_meta_txn(dev, bc, |fs, dev, bc| { fs.fat_set(dev, bc) }) ; self.fat_set(dev, bc) } \
+             fn raw(&self) { bc.begin_meta_txn(); bc.fat_set(dev, bc); bc.end_meta_txn(); bc.fat_set(dev, bc) } }",
+        );
+        let create = &m.funcs[0];
+        let inside: Vec<_> = create
+            .calls
+            .iter()
+            .filter(|c| c.name == "fat_set")
+            .collect();
+        assert_eq!(inside.len(), 2);
+        assert!(inside[0].in_txn, "call inside with_meta_txn closure");
+        assert!(!inside[1].in_txn, "call after with_meta_txn");
+        let raw = &m.funcs[1];
+        let inside: Vec<_> = raw.calls.iter().filter(|c| c.name == "fat_set").collect();
+        assert_eq!(inside.len(), 2);
+        assert!(inside[0].in_txn, "call between begin/end_meta_txn");
+        assert!(!inside[1].in_txn, "call after end_meta_txn");
     }
 }

@@ -291,6 +291,237 @@ impl Kernel {
 }
 
 #[test]
+fn taint_pass_tracks_syscall_args_to_sinks_through_calls() {
+    let root = fixture(
+        "bad_taint",
+        &[
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub fn sys_read(task: usize, core: usize, fd: u64, len: usize) -> u64 {
+    stage_copy(fd, len)
+}
+
+pub fn sys_safe(task: usize, core: usize, len: usize) -> u64 {
+    let bounded = len.min(64);
+    stage_copy(0, bounded)
+}
+"#,
+            ),
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub fn stage_copy(fd: u64, len: usize) -> u64 {
+    let table = [0u64; 4];
+    let buf = vec![0u8; len];
+    let v = table[fd as usize];
+    let end = fd + 1;
+    v + end + buf[0] as u64
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["taint".into()]).expect("analyze");
+    let got = kinds(&report, "taint");
+    for want in ["alloc", "index", "arith"] {
+        assert!(
+            got.contains(want),
+            "missing taint/{want}: {:?}",
+            report.findings
+        );
+    }
+    // The flow is interprocedural: the sinks live in the fs helper, the
+    // source is the syscall argument.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.func == "stage_copy" && f.message.contains("via `stage_copy`")),
+        "sink attributed through the call chain: {:?}",
+        report.findings
+    );
+    // `sys_safe` bounds its length with `.min(64)` before the call; nothing
+    // it passes may be reported.
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| !f.message.contains("sys_safe")),
+        "sanitized argument must not taint: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn ordering_pass_flags_unprotected_metadata_writes_on_syscall_paths() {
+    let root = fixture(
+        "bad_ordering",
+        &[
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub fn sys_mkdir(task: usize, core: usize, lba: u64) -> u64 {
+    raw_dirent_write(lba);
+    txn_dirent_write(lba);
+    ordered_write(lba);
+    lba
+}
+"#,
+            ),
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub fn raw_dirent_write(lba: u64) -> u64 {
+    note_metadata(lba, 1);
+    lba
+}
+
+pub fn txn_dirent_write(lba: u64) -> u64 {
+    with_meta_txn(lba, |bc| { note_metadata(lba, 1) });
+    lba
+}
+
+pub fn ordered_write(lba: u64) -> u64 {
+    add_dependency(lba, 1, lba, 1);
+    note_metadata(lba, 1);
+    lba
+}
+
+pub fn offline_scrub(lba: u64) -> u64 {
+    note_metadata(lba, 1);
+    lba
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["ordering".into()]).expect("analyze");
+    let flagged: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.pass == "ordering")
+        .collect();
+    assert_eq!(
+        flagged.len(),
+        1,
+        "exactly the raw write: {:?}",
+        report.findings
+    );
+    assert_eq!(flagged[0].kind, "unordered-meta");
+    assert_eq!(flagged[0].func, "raw_dirent_write");
+    // Inside a txn region, behind add_dependency edges, or simply not
+    // reachable from a syscall: all exempt.
+    for clean in ["txn_dirent_write", "ordered_write", "offline_scrub"] {
+        assert!(
+            report.findings.iter().all(|f| f.func != clean),
+            "{clean} must be exempt: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn wouldblock_pass_flags_mutation_before_blocking_returns() {
+    let root = fixture(
+        "bad_wouldblock",
+        &[
+            (
+                "crates/fs/src/lib.rs",
+                r#"
+pub enum FsError {
+    WouldBlock,
+}
+
+impl BufCache {
+    pub fn broken_window(&mut self, lba: u64) -> Result<u64, FsError> {
+        self.inflight_reads.insert(lba, 1);
+        if lba > 4 {
+            return Err(FsError::WouldBlock);
+        }
+        Ok(lba)
+    }
+
+    pub fn parked_window(&mut self, lba: u64) -> Result<u64, FsError> {
+        block_current(lba);
+        self.chain_owners.insert(lba, 1);
+        Err(FsError::WouldBlock)
+    }
+
+    pub fn idempotent_window(&mut self, lba: u64) -> Result<u64, FsError> {
+        if lba > 4 {
+            return Err(FsError::WouldBlock);
+        }
+        self.inflight_reads.insert(lba, 1);
+        Ok(lba)
+    }
+
+    pub fn branchy_window(&mut self, lba: u64) -> Result<u64, FsError> {
+        if lba == 0 {
+            self.inflight_reads.insert(lba, 1);
+            return Ok(lba);
+        }
+        if lba > 4 {
+            return Err(FsError::WouldBlock);
+        }
+        Ok(lba)
+    }
+}
+"#,
+            ),
+            (
+                "crates/kernel/src/syscalls.rs",
+                r#"
+pub enum KernelError {
+    WouldBlock,
+}
+
+pub fn sys_stream(task: usize, core: usize, lba: u64) -> Result<u64, KernelError> {
+    touch_cache(lba);
+    if lba > 9 {
+        return Err(KernelError::WouldBlock);
+    }
+    Ok(lba)
+}
+
+pub fn touch_cache(lba: u64) -> u64 {
+    stream_windows.insert(lba, 1);
+    lba
+}
+"#,
+            ),
+        ],
+    );
+    let report = analyze(&root, &["wouldblock".into()]).expect("analyze");
+    let got = kinds(&report, "wouldblock");
+    for want in ["mutate-before-block", "mutate-after-park"] {
+        assert!(
+            got.contains(want),
+            "missing wouldblock/{want}: {:?}",
+            report.findings
+        );
+    }
+    // The interprocedural case: sys_stream mutates through a callee.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.func == "sys_stream" && f.message.contains("touch_cache")),
+        "callee mutation attributed to the blocking caller: {:?}",
+        report.findings
+    );
+    // Mutating only after the blocking return, or in a sibling branch the
+    // return cannot see, is retry-safe.
+    for clean in ["idempotent_window", "branchy_window", "touch_cache"] {
+        assert!(
+            report.findings.iter().all(|f| f.func != clean),
+            "{clean} must be exempt: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     let root = fixture(
         "clean",
@@ -356,6 +587,7 @@ impl From<FsError> for KernelError {
         match e {
             FsError::NotFound => KernelError::NoEnt,
             FsError::Corrupt(m) => KernelError::Fault(m),
+            FsError::WouldBlock => KernelError::NoEnt,
         }
     }
 }
@@ -367,6 +599,7 @@ impl From<FsError> for KernelError {
 pub enum FsError {
     NotFound,
     Corrupt(String),
+    WouldBlock,
 }
 
 pub fn lookup_id(task: usize) -> Result<u64, KernelError> {
@@ -374,7 +607,22 @@ pub fn lookup_id(task: usize) -> Result<u64, KernelError> {
 }
 
 pub fn read_file(fd: u64, buf: u64, len: u64) -> Result<u64, KernelError> {
-    Ok(fd.wrapping_add(buf).wrapping_add(len))
+    let cap = len.min(4096);
+    let scratch = vec![0u8; cap as usize];
+    Ok(fd.wrapping_add(buf).wrapping_add(scratch.len() as u64))
+}
+
+pub fn poll_ready(flag: u64) -> Result<u64, FsError> {
+    if flag == 0 {
+        return Err(FsError::WouldBlock);
+    }
+    Ok(flag)
+}
+
+pub fn journaled_write(lba: u64) -> u64 {
+    add_dependency(lba, 1, lba, 1);
+    note_metadata(lba, 1);
+    lba
 }
 "#,
             ),

@@ -910,7 +910,7 @@ impl BufCache {
             start: dep_lba,
             len: dep_count,
         };
-        for m in meta_lba..meta_lba + meta_count {
+        for m in meta_lba..meta_lba.saturating_add(meta_count) {
             let runs = self.deps.entry(m).or_default();
             if !runs.contains(&run) {
                 runs.push(run);
@@ -3272,6 +3272,15 @@ mod tests {
         let total: u64 = chains.iter().flatten().map(|r| r.len).sum();
         assert_eq!(total, 20);
         assert!(pack_chains(&[], 128, 16).is_empty());
+    }
+
+    #[test]
+    fn dependency_runs_near_the_lba_ceiling_do_not_panic() {
+        // A corrupt metadata LBA near u64::MAX must not overflow the
+        // `meta_lba + meta_count` walk; the range saturates instead.
+        let mut bc = BufCache::default();
+        bc.add_dependency(u64::MAX - 2, 8, 0, 1);
+        bc.add_dependency(u64::MAX, 1, 4, 2);
     }
 
     #[test]

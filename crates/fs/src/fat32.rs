@@ -775,7 +775,9 @@ impl Fat32 {
         for_metadata: bool,
         zero_fill: bool,
     ) -> FsResult<Vec<u32>> {
-        let mut clusters = Vec::with_capacity(n);
+        // Pre-reserve at most a bounded chunk: `n` scales with the caller's
+        // write size and the vec grows as clusters land anyway.
+        let mut clusters = Vec::with_capacity(n.min(1024));
         let unwind =
             |fs: &Fat32, dev: &mut dyn BlockDevice, bc: &mut BufCache, clusters: &[u32]| {
                 for &c in clusters {

@@ -67,7 +67,9 @@ pub fn strip_prefix(path: &str, prefix: &str) -> Option<String> {
     }
     let p = components(path);
     let pre = components(prefix);
-    let rest = &p[pre.len()..];
+    // `is_under` guarantees the prefix fits; `get` keeps that invariant
+    // local instead of trusting it across the two calls.
+    let rest = p.get(pre.len()..)?;
     if rest.is_empty() {
         Some("/".to_string())
     } else {
@@ -122,6 +124,16 @@ mod tests {
         assert_eq!(normalize("/a/../../b"), "/b");
         assert_eq!(normalize("../x"), "/x");
         assert_eq!(components("/../../a"), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn strip_prefix_respects_bounds_and_mismatches() {
+        assert_eq!(strip_prefix("/d/games", "/d"), Some("/games".to_string()));
+        assert_eq!(strip_prefix("/d", "/d"), Some("/".to_string()));
+        assert_eq!(strip_prefix("/data", "/d"), None);
+        // Prefix longer than the path must be a clean None, never a slice
+        // panic.
+        assert_eq!(strip_prefix("/d", "/d/games/doom"), None);
     }
 
     #[test]

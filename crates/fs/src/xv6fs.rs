@@ -259,7 +259,7 @@ impl Xv6Fs {
 
     /// The sector run backing the inode block that holds `inum`.
     fn inode_lbas(&self, inum: u32) -> (u64, u64) {
-        Self::block_lbas(self.sb.inodestart + inum / IPB as u32)
+        Self::block_lbas(self.sb.inodestart.saturating_add(inum / IPB as u32))
     }
 
     /// The sector run backing the bitmap block that covers `blockno`.
@@ -1027,6 +1027,16 @@ mod tests {
         let mut bc = BufCache::default();
         let fs = Xv6Fs::mkfs(&mut dev, &mut bc, 2048, 256).unwrap();
         (dev, bc, fs)
+    }
+
+    #[test]
+    fn inode_lbas_saturate_on_corrupt_inode_numbers() {
+        // A corrupt inum near u32::MAX must not overflow the inode-block
+        // arithmetic; the sector computation saturates.
+        let (_dev, _bc, fs) = fresh_fs();
+        let (lba, count) = fs.inode_lbas(u32::MAX);
+        assert!(count > 0);
+        assert!(lba >= fs.sb.inodestart as u64);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Uart {
     /// Kernel-side synchronous write of a byte slice.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         self.tx_log.extend_from_slice(bytes);
-        self.tx_count += bytes.len() as u64;
+        self.tx_count = self.tx_count.saturating_add(bytes.len() as u64);
     }
 
     /// Kernel-side read of one byte from the RX FIFO, if available.

@@ -192,7 +192,9 @@ impl Kernel {
 
     pub(crate) fn sys_sleep_us(&mut self, task: TaskId, core: usize, us: u64) -> KResult<()> {
         self.charge_syscall(core, task);
-        let wake_at = self.now_us() + us.max(1);
+        // Saturate: `sleep(u64::MAX)` must park the task forever, not
+        // overflow the deadline in debug builds.
+        let wake_at = self.now_us().saturating_add(us.max(1));
         if let Some(t) = self.tasks_mut(task) {
             t.state = TaskState::Sleeping(wake_at);
         }
@@ -837,7 +839,10 @@ impl Kernel {
                 let dev = self.ramdisk.as_mut().ok_or_else(|| {
                     KernelError::NotSupported("root ramdisk not available".into())
                 })?;
-                let mut buf = vec![0u8; max];
+                // Clamp the scratch buffer: no xv6 file exceeds
+                // MAXFILE_BYTES, so a huge `max` must not drive a huge
+                // allocation.
+                let mut buf = vec![0u8; max.min(protofs::xv6fs::MAXFILE_BYTES)];
                 let n = fs.read(dev, bc, inum, offset as u32, &mut buf)?;
                 buf.truncate(n);
                 let cost = self.board.cost.clone();
@@ -917,7 +922,7 @@ impl Kernel {
                     content
                 };
                 let start = (offset as usize).min(content.len());
-                let end = (start + max).min(content.len());
+                let end = start.saturating_add(max).min(content.len());
                 let out = content[start..end].to_vec();
                 self.advance_offset(task, fd, out.len() as u64)?;
                 Ok(out)
@@ -1041,7 +1046,11 @@ impl Kernel {
         match kind {
             FileKind::Device(DeviceFile::Console) | FileKind::Device(DeviceFile::Null) => {
                 if matches!(kind, FileKind::Device(DeviceFile::Console)) {
-                    let cost = self.board.cost.uart_tx_per_byte * data.len() as u64;
+                    let cost = self
+                        .board
+                        .cost
+                        .uart_tx_per_byte
+                        .saturating_mul(data.len() as u64);
                     self.board.charge(core, cost);
                     self.board.uart.write_bytes(data);
                 }
@@ -1138,14 +1147,31 @@ impl Kernel {
                     if offset == 0 {
                         fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, data)?;
                     } else {
-                        // Read-modify-write for writes at an offset.
+                        // Read-modify-write for writes at an offset. FAT32
+                        // caps a file at u32::MAX bytes; reject anything that
+                        // would overflow or exceed it before sizing the
+                        // buffer.
+                        let off = usize::try_from(offset)
+                            .ok()
+                            .filter(|&o| o <= u32::MAX as usize)
+                            .ok_or_else(|| {
+                                KernelError::Invalid(format!("FAT write offset {offset} too large"))
+                            })?;
+                        let end = off
+                            .checked_add(data.len())
+                            .filter(|&e| e <= u32::MAX as usize)
+                            .ok_or_else(|| {
+                                KernelError::Invalid(format!(
+                                    "FAT write of {} bytes at {offset} exceeds the FAT32 file size limit",
+                                    data.len()
+                                ))
+                            })?;
                         let mut whole =
                             fat.read_file(&mut dev, &mut self.fat_bufcache, &volume_path)?;
-                        let end = offset as usize + data.len();
                         if whole.len() < end {
                             whole.resize(end, 0);
                         }
-                        whole[offset as usize..end].copy_from_slice(data);
+                        whole[off..end].copy_from_slice(data);
                         fat.write_file(&mut dev, &mut self.fat_bufcache, &volume_path, &whole)?;
                     }
                 }
@@ -1393,7 +1419,7 @@ impl Kernel {
             .tasks_mut(task)
             .ok_or_else(|| KernelError::NotFound(format!("task {task}")))?;
         if let Ok(f) = t.fds.get_mut(fd) {
-            f.offset += by;
+            f.offset = f.offset.saturating_add(by);
         }
         Ok(())
     }

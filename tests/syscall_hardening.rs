@@ -1,0 +1,95 @@
+//! Regression tests for taint-pass findings: adversarial syscall arguments
+//! (huge lengths, extreme offsets, forever sleeps) must be clamped or
+//! rejected, never overflow an addition or drive an unbounded allocation.
+//! Each test pins a site `protolint --pass taint` flagged before the fix.
+
+use kernel::OpenFlags;
+use proto_repro::prelude::*;
+
+fn desktop() -> (ProtoSystem, kernel::TaskId) {
+    let mut sys = ProtoSystem::desktop().unwrap();
+    let tid = sys.kernel.spawn_bench_task("hard").unwrap();
+    (sys, tid)
+}
+
+#[test]
+fn sleeping_forever_saturates_instead_of_overflowing() {
+    // now_us() + u64::MAX used to overflow the wake deadline in debug
+    // builds; it must saturate and leave the task soundly asleep.
+    let (mut sys, tid) = desktop();
+    sys.kernel
+        .with_task_ctx(tid, |ctx| ctx.sleep_us(u64::MAX))
+        .unwrap();
+    assert!(matches!(
+        sys.kernel.task(tid).unwrap().state,
+        kernel::TaskState::Sleeping(_)
+    ));
+    // The sleeper never wakes on its own.
+    sys.run_ms(50);
+    assert!(matches!(
+        sys.kernel.task(tid).unwrap().state,
+        kernel::TaskState::Sleeping(_)
+    ));
+}
+
+#[test]
+fn huge_read_requests_are_clamped_to_the_fs_size_limit() {
+    // read(fd, usize::MAX) used to allocate the caller's `max` verbatim;
+    // the scratch buffer is now clamped to the filesystem's file-size cap.
+    let (mut sys, tid) = desktop();
+    let data = b"short file".to_vec();
+    let back = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| {
+            let fd = ctx.open("/clamp.txt", OpenFlags::wronly_create())?;
+            ctx.write(fd, &data)?;
+            ctx.close(fd)?;
+            let fd = ctx.open("/clamp.txt", OpenFlags::rdonly())?;
+            let back = ctx.read(fd, usize::MAX)?;
+            ctx.close(fd)?;
+            Ok::<_, kernel::KernelError>(back)
+        })
+        .unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn proc_reads_at_an_offset_do_not_overflow() {
+    // The second read starts at a nonzero snapshot offset; adding
+    // usize::MAX to it used to overflow in debug builds.
+    let (mut sys, tid) = desktop();
+    let (first, rest) = sys
+        .kernel
+        .with_task_ctx(tid, |ctx| {
+            let fd = ctx.open("/proc/cpuinfo", OpenFlags::rdonly())?;
+            let first = ctx.read(fd, 8)?;
+            let rest = ctx.read(fd, usize::MAX)?;
+            ctx.close(fd)?;
+            Ok::<_, kernel::KernelError>((first, rest))
+        })
+        .unwrap();
+    assert_eq!(first.len(), 8);
+    assert!(!rest.is_empty(), "remainder of the snapshot after offset 8");
+}
+
+#[test]
+fn fat_writes_past_the_file_size_limit_are_rejected() {
+    // An offset write whose end exceeds the FAT32 4 GiB file cap (or
+    // overflows entirely) must fail cleanly instead of resizing a
+    // multi-gigabyte RMW buffer or panicking on the offset addition.
+    let (mut sys, tid) = desktop();
+    for offset in [u64::MAX - 2, u64::from(u32::MAX) + 10] {
+        let r = sys.kernel.with_task_ctx(tid, |ctx| {
+            let fd = ctx.open("/d/limits.bin", OpenFlags::wronly_create())?;
+            ctx.write(fd, b"seed")?;
+            ctx.lseek(fd, offset)?;
+            let r = ctx.write(fd, b"tail");
+            ctx.close(fd)?;
+            r
+        });
+        assert!(
+            matches!(r, Err(kernel::KernelError::Invalid(_))),
+            "offset {offset}: {r:?}"
+        );
+    }
+}
