@@ -573,7 +573,8 @@ fn finish_param(cur: &[&Token], params: &mut Vec<String>, has_self: &mut bool) {
 }
 
 /// Marks the token spans of `body` that sit inside a metadata transaction:
-/// the argument list of a `with_meta_txn(...)` call, or the region between a
+/// the argument list of a `with_meta_txn(...)` or `with_txn(...)` call (the
+/// filesystem-agnostic transaction layer's name), or the region between a
 /// `begin_meta_txn` call and the following `end_meta_txn`.
 fn txn_mask(body: &[Token]) -> Vec<bool> {
     let n = body.len();
@@ -582,7 +583,10 @@ fn txn_mask(body: &[Token]) -> Vec<bool> {
     let mut k = 0usize;
     while k < n {
         let t = &body[k];
-        if t.is_ident("with_meta_txn") && k + 1 < n && body[k + 1].is_punct("(") {
+        if (t.is_ident("with_meta_txn") || t.is_ident("with_txn"))
+            && k + 1 < n
+            && body[k + 1].is_punct("(")
+        {
             let mut depth = 0i32;
             let mut j = k + 1;
             while j < n {
@@ -817,5 +821,23 @@ mod tests {
         assert_eq!(inside.len(), 2);
         assert!(inside[0].in_txn, "call between begin/end_meta_txn");
         assert!(!inside[1].in_txn, "call after end_meta_txn");
+    }
+
+    #[test]
+    fn calls_inside_txn_layer_regions_are_marked() {
+        // The filesystem-agnostic transaction layer's spelling: `with_txn`
+        // closures count as transaction regions exactly like `with_meta_txn`.
+        let m = model_of(
+            "impl Fs { fn create(&self) { self.txn.with_txn(dev, bc, |dev, bc| { self.log_sector(bc, lba, n) }) ; self.log_sector(bc, lba, n) } }",
+        );
+        let create = &m.funcs[0];
+        let inside: Vec<_> = create
+            .calls
+            .iter()
+            .filter(|c| c.name == "log_sector")
+            .collect();
+        assert_eq!(inside.len(), 2);
+        assert!(inside[0].in_txn, "call inside with_txn closure");
+        assert!(!inside[1].in_txn, "call after with_txn");
     }
 }

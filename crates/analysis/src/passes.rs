@@ -1326,12 +1326,13 @@ pub fn pass_taint(model: &Model) -> Vec<Finding> {
 }
 
 /// Pass 6: crash-ordering discipline. Every site that dirties a metadata
-/// sector (`note_metadata`) on a syscall-reachable path must either sit
-/// lexically inside a `with_meta_txn` region (or `begin_meta_txn` /
-/// `end_meta_txn` bracket) or belong to a function that registers
-/// `add_dependency` write-order edges itself. Functions that establish
-/// ordering ("orderers") also shield their callees — the edges they register
-/// are taken to cover the writes they drive.
+/// sector (`note_metadata`, or its transaction-layer alias `log_sector`) on
+/// a syscall-reachable path must either sit lexically inside a
+/// `with_meta_txn`/`with_txn` region (or `begin_meta_txn` / `end_meta_txn`
+/// bracket) or belong to a function that registers `add_dependency` (alias
+/// `note_order`) write-order edges itself. Functions that establish ordering
+/// ("orderers") also shield their callees — the edges they register are
+/// taken to cover the writes they drive.
 pub fn pass_ordering(model: &Model) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let n = model.funcs.len();
@@ -1343,7 +1344,12 @@ pub fn pass_ordering(model: &Model) -> Vec<Finding> {
                 && f.calls.iter().any(|c| {
                     matches!(
                         c.name.as_str(),
-                        "add_dependency" | "with_meta_txn" | "begin_meta_txn"
+                        "add_dependency"
+                            | "note_order"
+                            | "with_meta_txn"
+                            | "with_txn"
+                            | "begin_meta_txn"
+                            | "log_sector"
                     )
                 })
         })
@@ -1384,13 +1390,13 @@ pub fn pass_ordering(model: &Model) -> Vec<Finding> {
             continue;
         }
         for c in &f.calls {
-            if c.name == "note_metadata" && !c.in_txn {
+            if (c.name == "note_metadata" || c.name == "log_sector") && !c.in_txn {
                 out.push(finding(
                     "ordering",
                     "unordered-meta",
                     f,
                     c.line,
-                    "dirties a metadata sector outside any `with_meta_txn` region, in a function that never registers `add_dependency` write-order edges".into(),
+                    "dirties a metadata sector outside any transaction (`with_txn`/`with_meta_txn`) region, in a function that never registers write-order edges (`add_dependency`/`note_order`)".into(),
                 ));
             }
         }

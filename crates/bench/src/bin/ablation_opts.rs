@@ -103,6 +103,11 @@ struct OrderedWriteback {
 struct BatchedWbRun {
     /// Batched eviction write-back enabled?
     batched: bool,
+    /// Posted write cache on the card? When true, completed writes park in
+    /// volatile card RAM and only the fsync's FLUSH barrier (plus the
+    /// intent log's FUA commit records) makes them durable — the barrier
+    /// cost the CI gate holds within 5% of the write-through run.
+    posted: bool,
     /// Bytes written (then fsync'd) to the FAT volume.
     bytes: u64,
     /// Modeled wall-clock of write + fsync + close, in ms.
@@ -135,6 +140,33 @@ struct GroupCommitRun {
     commit_flushes: u64,
     /// Modeled wall-clock of the burst (including the closing sync), in ms.
     ms: f64,
+}
+
+/// A burst of metadata operations (create + data write + unlink triples)
+/// on the root xv6fs ramdisk volume, with the write-ahead metadata journal
+/// on or off. Both arms durably commit every transaction (the unjournaled
+/// path falls back to a full cache flush per operation), so the delta is
+/// the pure journal tax: writing each touched sector to the log — payload,
+/// checksummed header, FUA header clear — before it drains home.
+#[derive(Debug, Clone, Serialize)]
+struct JournalRun {
+    /// Write-ahead metadata journal enabled?
+    journal: bool,
+    /// Journaled transactions the burst committed (0 with the journal off).
+    log_txns: u64,
+    /// Journal commit records written (0 with the journal off).
+    log_commits: u64,
+    /// Blocks drained home to the ramdisk by the cache during the burst.
+    /// The journal arm's extra writes (log payload, checksummed header,
+    /// FUA header clear) go straight to the device at commit time and are
+    /// deliberately not counted here — `log_commits` tracks them.
+    writebacks: u64,
+    /// Metadata operations in the burst.
+    meta_ops: u64,
+    /// Modeled wall-clock of the burst (including the closing sync), in ms.
+    ms: f64,
+    /// Metadata operations per second.
+    ops_per_s: f64,
 }
 
 /// Video-conversion ablation results (the §5.2 SIMD-vs-scalar gap).
@@ -172,9 +204,18 @@ struct BenchFs {
     /// Deep-queue batched write-back vs the submit-then-drain lockstep.
     batched_wb_on: BatchedWbRun,
     batched_wb_off: BatchedWbRun,
+    /// The batched write path on a posted-write-cache card: completed
+    /// writes park in volatile card RAM, and durability comes only from
+    /// the fsync's FLUSH barrier plus the intent log's FUA commit records.
+    /// The CI gate holds this within 5% of `batched_wb_on`.
+    posted_cache_barrier: BatchedWbRun,
     /// Group-committed intent log vs per-operation commits.
     group_commit_on: GroupCommitRun,
     group_commit_off: GroupCommitRun,
+    /// xv6fs metadata burst with the write-ahead journal on / off — the
+    /// price of making create/unlink/overwrite atomic under power cuts.
+    xv6fs_journal_on: JournalRun,
+    xv6fs_journal_off: JournalRun,
     /// The per-core block stack's N-cores × N-streams sweep: four concurrent
     /// stream readers (blocking demand I/O, core-affine shards, per-core
     /// reaping) at 1, 2 and 4 active cores.
@@ -191,6 +232,12 @@ struct BenchFs {
     dma_speedup: f64,
     /// batched_wb_on over batched_wb_off on sequential write+fsync.
     batched_wb_speedup: f64,
+    /// Throughput cost of the posted-cache FLUSH/FUA barriers, in percent
+    /// of `batched_wb_on` (negative = free). Acceptance bar: < 5%.
+    posted_barrier_overhead_pct: f64,
+    /// Wall-clock cost of the xv6fs journal on the metadata burst, in
+    /// percent — the double-write tax for crash-atomic metadata.
+    xv6fs_journal_overhead_pct: f64,
     /// Commit flushes saved by group commit on the 64-op metadata burst
     /// (off / on).
     group_commit_reduction: f64,
@@ -319,12 +366,13 @@ fn ordered_run(ordered: bool) -> OrderedRun {
     }
 }
 
-fn batched_run(batched: bool) -> BatchedWbRun {
+fn batched_run(batched: bool, posted: bool) -> BatchedWbRun {
     let mut options = SystemOptions::benchmark(Platform::Pi3);
     options.window_manager = false;
     options.small_assets = true;
     let mut sys = ProtoSystem::build(options).expect("system");
     sys.kernel.set_batched_writeback(batched);
+    sys.kernel.set_posted_write_cache(posted);
     let tid = sys.kernel.spawn_bench_task("writer").expect("task");
     let core = sys.kernel.task(tid).expect("task exists").core;
     let cache_before = sys.kernel.fat_cache_stats();
@@ -355,6 +403,7 @@ fn batched_run(batched: bool) -> BatchedWbRun {
     let queue_high_water = queue_occupancy.iter().rposition(|&c| c > 0).unwrap_or(0);
     BatchedWbRun {
         batched,
+        posted,
         bytes: data.len() as u64,
         ms,
         mb_s: if ms > 0.0 {
@@ -366,6 +415,52 @@ fn batched_run(batched: bool) -> BatchedWbRun {
         queue_full_stalls: cache.queue_full_stalls - cache_before.queue_full_stalls,
         queue_high_water,
         queue_occupancy,
+    }
+}
+
+fn xv6fs_journal_run(journal: bool) -> JournalRun {
+    let mut options = SystemOptions::benchmark(Platform::Pi3);
+    options.window_manager = false;
+    options.small_assets = true;
+    let mut sys = ProtoSystem::build(options).expect("system");
+    sys.kernel.set_xv6fs_journal(journal);
+    let tid = sys.kernel.spawn_bench_task("meta").expect("task");
+    let core = sys.kernel.task(tid).expect("task exists").core;
+    let stats_before = sys.kernel.root_cache_stats();
+    let before = sys.kernel.board.clock.cycles(core);
+    // 32 create + write + unlink triples on the root (xv6fs) ramdisk —
+    // exactly the operations the journal makes atomic. Each create and
+    // unlink is its own committed transaction; the data write rides the
+    // write-back cache in both arms.
+    const FILES: u32 = 32;
+    sys.kernel
+        .with_task_ctx(tid, |ctx| {
+            for i in 0..FILES {
+                let path = format!("/j{i}.bin");
+                let fd = ctx.open(&path, OpenFlags::wronly_create())?;
+                ctx.write(fd, &[0x5Au8; 2048])?;
+                ctx.close(fd)?;
+                ctx.unlink(&path)?;
+            }
+            Ok::<(), kernel::KernelError>(())
+        })
+        .expect("metadata burst");
+    sys.kernel.sync_all().expect("sync");
+    let ms = (sys.kernel.board.clock.cycles(core) - before) as f64 / 1e6;
+    let stats = sys.kernel.root_cache_stats();
+    let meta_ops = FILES as u64 * 3;
+    JournalRun {
+        journal,
+        log_txns: stats.log_txns - stats_before.log_txns,
+        log_commits: stats.log_commits - stats_before.log_commits,
+        writebacks: stats.writebacks - stats_before.writebacks,
+        meta_ops,
+        ms,
+        ops_per_s: if ms > 0.0 {
+            meta_ops as f64 / (ms / 1e3)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -519,8 +614,8 @@ fn main() {
 
     // 5. Deep-queue batched write-back: multi-extent eviction chains vs the
     // submit-then-drain lockstep, on sequential write+fsync.
-    let bw_on = batched_run(true);
-    let bw_off = batched_run(false);
+    let bw_on = batched_run(true, false);
+    let bw_off = batched_run(false, false);
     let batched_wb_speedup = bw_off.ms / bw_on.ms.max(0.01);
     println!(
         "batched write-back  : {:.2} MB/s batched ({} chains, depth {} peak, {} stalls) vs {:.2} MB/s lockstep ({} chains) = {batched_wb_speedup:.1}x",
@@ -534,6 +629,20 @@ fn main() {
     println!(
         "                      queue occupancy after submit: {:?}",
         bw_on.queue_occupancy
+    );
+
+    // 5b. The same batched write path on a posted-write-cache card: every
+    // fsync pays a real FLUSH barrier and every intent-log commit record a
+    // FUA program. Acceptance bar: within 5% of the write-through run.
+    let posted_barrier = batched_run(true, true);
+    let posted_barrier_overhead_pct = if bw_on.mb_s > 0.0 {
+        (bw_on.mb_s - posted_barrier.mb_s) / bw_on.mb_s * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "posted-cache barrier: {:.2} MB/s with FLUSH/FUA barriers vs {:.2} MB/s write-through ({posted_barrier_overhead_pct:+.2}% cost for durable barriers)",
+        posted_barrier.mb_s, bw_on.mb_s
     );
 
     // 6. The per-core block stack: four concurrent stream readers at 1, 2
@@ -569,6 +678,20 @@ fn main() {
         gc_on.commit_flushes, gc_on.meta_ops, gc_on.ms, gc_off.commit_flushes, gc_off.ms
     );
 
+    // 8. The xv6fs write-ahead journal: what crash-atomic metadata costs on
+    // a create/write/unlink burst against the ramdisk root volume.
+    let jr_on = xv6fs_journal_run(true);
+    let jr_off = xv6fs_journal_run(false);
+    let xv6fs_journal_overhead_pct = if jr_off.ms > 0.0 {
+        (jr_on.ms - jr_off.ms) / jr_off.ms * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "xv6fs journal       : {} metadata ops in {:.1} ms journaled ({} txns, {} commits, {} writebacks) vs {:.1} ms unjournaled ({} writebacks) = {xv6fs_journal_overhead_pct:+.1}% for crash-atomic metadata",
+        jr_on.meta_ops, jr_on.ms, jr_on.log_txns, jr_on.log_commits, jr_on.writebacks, jr_off.ms, jr_off.writebacks
+    );
+
     let bench_fs = BenchFs {
         workload: format!("sequential read of /d/doom.wad ({} bytes)", ranged.bytes),
         coalesced: ranged.clone(),
@@ -583,8 +706,11 @@ fn main() {
         ordered_writeback,
         batched_wb_on: bw_on.clone(),
         batched_wb_off: bw_off.clone(),
+        posted_cache_barrier: posted_barrier.clone(),
         group_commit_on: gc_on,
         group_commit_off: gc_off,
+        xv6fs_journal_on: jr_on.clone(),
+        xv6fs_journal_off: jr_off.clone(),
         multicore_scaling,
         video,
         speedup,
@@ -592,6 +718,8 @@ fn main() {
         pio_prefetch_gain,
         dma_speedup,
         batched_wb_speedup,
+        posted_barrier_overhead_pct,
+        xv6fs_journal_overhead_pct,
         group_commit_reduction,
     };
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -611,6 +739,9 @@ fn main() {
             ("fat_read_dma_no_prefetch_mb_s", dma_prefetch_off.mb_s),
             ("fat_write_batched_mb_s", bw_on.mb_s),
             ("fat_write_lockstep_mb_s", bw_off.mb_s),
+            ("fat_write_posted_barrier_mb_s", posted_barrier.mb_s),
+            ("xv6fs_journal_on_ms", jr_on.ms),
+            ("xv6fs_journal_off_ms", jr_off.ms),
         ],
     );
 }

@@ -107,12 +107,26 @@ pub trait BlockDevice {
         Ok(())
     }
 
-    /// Flushes device-side buffers. The default is a no-op: the memory disk
-    /// and the simulated SD host complete transfers synchronously. The
-    /// write-back buffer cache calls this at the end of its own flush so a
-    /// future device with posted writes has a barrier to hook.
+    /// Flushes device-side buffers: the FLUSH barrier. The default is a
+    /// no-op for devices that complete transfers synchronously; devices
+    /// with a posted write cache ([`MemDisk::set_posted_writes`], the SD
+    /// host's cache mode) override it to make every completed-but-volatile
+    /// write durable. The write-back buffer cache calls this at the end of
+    /// its own flush, and the transaction layer calls it at each commit
+    /// point — with a posted cache enabled, skipping the barrier is
+    /// demonstrably unsafe (see the crash suite's barrier-elision test).
     fn flush(&mut self) -> FsResult<()> {
         Ok(())
+    }
+
+    /// Writes one block with Force Unit Access semantics: the block is
+    /// durable when the call returns, regardless of any posted write cache.
+    /// The default composes `write_block` + `flush`; devices with a real
+    /// FUA command (the SD host) override it to persist just this block
+    /// without draining the whole cache.
+    fn write_block_fua(&mut self, lba: u64, data: &[u8]) -> FsResult<()> {
+        self.write_block(lba, data)?;
+        self.flush()
     }
 
     /// Returns accumulated I/O statistics.
@@ -181,6 +195,16 @@ pub struct MemDisk {
     /// Range commands that persisted only a prefix of their blocks before
     /// failing — the torn mid-CMD25 writes the crash tests model.
     torn_writes: u64,
+    /// Posted-write-cache mode: completed writes land in [`MemDisk::cache`]
+    /// (volatile) and become durable only at [`BlockDevice::flush`]; a power
+    /// cut drops the whole cache. Off by default — the instant-persist model
+    /// the rest of the suite pins.
+    posted: bool,
+    /// The volatile write cache (block → contents). BTreeMap so flush
+    /// persists in deterministic LBA order.
+    cache: std::collections::BTreeMap<u64, Vec<u8>>,
+    /// FLUSH barriers served (posted mode only).
+    flushes: u64,
 }
 
 impl MemDisk {
@@ -193,6 +217,9 @@ impl MemDisk {
             power_budget: None,
             power_lost: false,
             torn_writes: 0,
+            posted: false,
+            cache: std::collections::BTreeMap::new(),
+            flushes: 0,
         }
     }
 
@@ -209,11 +236,16 @@ impl MemDisk {
             power_budget: None,
             power_lost: false,
             torn_writes: 0,
+            posted: false,
+            cache: std::collections::BTreeMap::new(),
+            flushes: 0,
         }
     }
 
     /// The raw image bytes (what gets packed into the kernel image as the
-    /// opaque ramdisk dump).
+    /// opaque ramdisk dump). In posted-write-cache mode this is the
+    /// *durable* state only — exactly what a remount after a power cut
+    /// would see; volatile cached writes are not included.
     pub fn image(&self) -> &[u8] {
         &self.data
     }
@@ -258,6 +290,50 @@ impl MemDisk {
         self.torn_writes
     }
 
+    /// Enables or disables the modeled posted write cache. When on,
+    /// completed writes land volatile and become durable only at a
+    /// [`BlockDevice::flush`] (or FUA write); a power cut drops every
+    /// un-flushed block. Off by default: the instant-persist semantics the
+    /// rest of the suite was written against.
+    pub fn set_posted_writes(&mut self, on: bool) {
+        if !on && !self.cache.is_empty() {
+            // Leaving posted mode persists what the cache holds — the knob
+            // is a model switch, not a data-loss event.
+            let cached: Vec<(u64, Vec<u8>)> = std::mem::take(&mut self.cache).into_iter().collect();
+            for (lba, buf) in cached {
+                let s = (lba as usize).saturating_mul(BLOCK_SIZE);
+                self.data[s..s + BLOCK_SIZE].copy_from_slice(&buf);
+            }
+        }
+        self.posted = on;
+    }
+
+    /// Whether the posted write cache is enabled.
+    pub fn posted_writes(&self) -> bool {
+        self.posted
+    }
+
+    /// Blocks sitting in the volatile write cache (un-flushed).
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// FLUSH barriers the device has served in posted mode.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Cuts power *right now*: every un-flushed block in the posted write
+    /// cache is dropped and every later access fails until
+    /// [`MemDisk::power_restored`]. The immediate form of
+    /// [`MemDisk::power_cut_after`], for tests that cut at a chosen protocol
+    /// step rather than a counted write.
+    pub fn power_cut(&mut self) {
+        self.power_lost = true;
+        self.power_budget = Some(0);
+        self.cache.clear();
+    }
+
     fn check(&self, lba: u64, count: u64) -> FsResult<()> {
         if self.power_lost {
             return Err(FsError::Io("device lost power".into()));
@@ -290,6 +366,9 @@ impl MemDisk {
                 self.power_budget = Some(budget - allowed);
                 if allowed < count {
                     self.power_lost = true;
+                    // The posted write cache is volatile: it dies with the
+                    // power, un-flushed blocks and all.
+                    self.cache.clear();
                 }
                 allowed
             }
@@ -309,8 +388,12 @@ impl BlockDevice for MemDisk {
             ));
         }
         self.check(lba, 1)?;
-        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
-        out.copy_from_slice(&self.data[s..s + BLOCK_SIZE]);
+        if let Some(cached) = self.cache.get(&lba) {
+            out.copy_from_slice(cached);
+        } else {
+            let s = (lba as usize).saturating_mul(BLOCK_SIZE);
+            out.copy_from_slice(&self.data[s..s + BLOCK_SIZE]);
+        }
         self.stats.single_cmds += 1;
         self.stats.blocks += 1;
         Ok(())
@@ -328,8 +411,12 @@ impl BlockDevice for MemDisk {
                 "power cut before write of block {lba}"
             )));
         }
-        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
-        self.data[s..s + BLOCK_SIZE].copy_from_slice(data);
+        if self.posted {
+            self.cache.insert(lba, data.to_vec());
+        } else {
+            let s = (lba as usize).saturating_mul(BLOCK_SIZE);
+            self.data[s..s + BLOCK_SIZE].copy_from_slice(data);
+        }
         self.stats.single_cmds += 1;
         self.stats.blocks += 1;
         Ok(())
@@ -342,6 +429,12 @@ impl BlockDevice for MemDisk {
         self.check(lba, count)?;
         let s = (lba as usize).saturating_mul(BLOCK_SIZE);
         out.copy_from_slice(&self.data[s..s + count as usize * BLOCK_SIZE]);
+        if !self.cache.is_empty() {
+            for (&b, cached) in self.cache.range(lba..lba.saturating_add(count)) {
+                let o = ((b - lba) as usize).saturating_mul(BLOCK_SIZE);
+                out[o..o + BLOCK_SIZE].copy_from_slice(cached);
+            }
+        }
         self.stats.range_cmds += 1;
         self.stats.blocks += count;
         Ok(())
@@ -353,18 +446,48 @@ impl BlockDevice for MemDisk {
         }
         self.check(lba, count)?;
         let persist = self.power_allow(count);
-        let s = (lba as usize).saturating_mul(BLOCK_SIZE);
-        self.data[s..s + persist as usize * BLOCK_SIZE]
-            .copy_from_slice(&data[..persist as usize * BLOCK_SIZE]);
+        if self.posted {
+            // The whole transfer lands in the volatile cache; if the cut
+            // fired mid-command the cache was just dropped, so nothing of
+            // this command (or any earlier un-flushed one) survives — no
+            // durable tearing, just loss.
+            if persist == count {
+                for i in 0..count as usize {
+                    self.cache.insert(
+                        lba.saturating_add(i as u64),
+                        data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE].to_vec(),
+                    );
+                }
+            }
+        } else {
+            let s = (lba as usize).saturating_mul(BLOCK_SIZE);
+            self.data[s..s + persist as usize * BLOCK_SIZE]
+                .copy_from_slice(&data[..persist as usize * BLOCK_SIZE]);
+            if persist < count && persist > 0 {
+                self.torn_writes += 1;
+            }
+        }
         self.stats.range_cmds += 1;
         self.stats.blocks += persist;
         if persist < count {
-            if persist > 0 {
-                self.torn_writes += 1;
-            }
             return Err(FsError::Io(format!(
                 "power cut mid-range-write at block {lba}: {persist} of {count} blocks persisted"
             )));
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> FsResult<()> {
+        if self.power_lost {
+            return Err(FsError::Io("device lost power".into()));
+        }
+        if self.posted {
+            self.flushes += 1;
+            let cached: Vec<(u64, Vec<u8>)> = std::mem::take(&mut self.cache).into_iter().collect();
+            for (b, buf) in cached {
+                let s = (b as usize).saturating_mul(BLOCK_SIZE);
+                self.data[s..s + BLOCK_SIZE].copy_from_slice(&buf);
+            }
         }
         Ok(())
     }
@@ -528,6 +651,44 @@ impl BlockDevice for SdBlockDevice<'_> {
     fn write_range(&mut self, lba: u64, count: u64, data: &[u8]) -> FsResult<()> {
         self.sd
             .write_range(self.partition_start.saturating_add(lba), count, data)
+            .map_err(FsError::from)
+    }
+
+    /// The barrier: issues the card's cache FLUSH command, charging its
+    /// latency to the issuing core when the posted cache is live. Like real
+    /// hardware, a FLUSH covers writes the card has *completed* — the
+    /// buffer cache drains its in-flight command queue before calling this,
+    /// which is what makes the barrier cover everything it submitted.
+    fn flush(&mut self) -> FsResult<()> {
+        if self.sd.posted_writes() {
+            if let Some(ctx) = self.dma.as_mut() {
+                let now = ctx.clock.cycles(ctx.core);
+                ctx.clock
+                    .advance_to(ctx.core, now.saturating_add(ctx.cost.sd_flush_latency));
+            }
+        }
+        self.sd.flush_cache().map_err(FsError::from)
+    }
+
+    /// FUA write: a single block programmed straight to flash, bypassing
+    /// the posted cache — durable on return without paying a whole-cache
+    /// FLUSH. Priced as a command plus a forced program when the posted
+    /// cache is live; identical to a plain CMD24 otherwise.
+    fn write_block_fua(&mut self, lba: u64, data: &[u8]) -> FsResult<()> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        buf.copy_from_slice(data);
+        if self.sd.posted_writes() {
+            if let Some(ctx) = self.dma.as_mut() {
+                let now = ctx.clock.cycles(ctx.core);
+                let cost = ctx
+                    .cost
+                    .sd_cmd_latency
+                    .saturating_add(ctx.cost.sd_fua_block_transfer);
+                ctx.clock.advance_to(ctx.core, now.saturating_add(cost));
+            }
+        }
+        self.sd
+            .write_block_fua(self.partition_start.saturating_add(lba), &buf)
             .map_err(FsError::from)
     }
 

@@ -94,13 +94,19 @@
 //!     [`WB_CHAIN_BLOCKS`] blocks — and only its own.
 //!   - *Barriers*: [`BufCache::flush`] (fsync, unmount) and
 //!     [`BufCache::flush_data`] (the intent-log commit point) are
-//!     queue-drain barriers — they submit, then drain every write chain and
-//!     re-check for completion-time errors before returning, so "flush
-//!     returned Ok" still means "on the medium". [`BufCache::flush_some`]
-//!     (the `kbio` budgeted pass) deliberately does *not* drain: it reaps
-//!     whatever finished since the last pass, submits up to its budget, and
-//!     returns — write-back cost lands on the device timeline instead of
-//!     the flusher thread.
+//!     queue-drain barriers — they submit, then drain every write chain,
+//!     re-check for completion-time errors, and finish with the device's
+//!     own cache-FLUSH command ([`BlockDevice::flush`]), so "flush returned
+//!     Ok" still means "on the medium" even over a card whose posted write
+//!     cache parks completed writes in volatile RAM. Single sectors that
+//!     must be durable without a whole-cache FLUSH (the transaction
+//!     layer's commit-header clear) go down as Force Unit Access writes
+//!     ([`BlockDevice::write_block_fua`]). [`BufCache::flush_some`]
+//!     (the `kbio` budgeted pass) deliberately does *not* drain and never
+//!     issues the device barrier: it reaps whatever finished since the
+//!     last pass, submits up to its budget, and returns — write-back cost
+//!     lands on the device timeline instead of the flusher thread, and
+//!     durability points stay exactly where the barriers are.
 //!   - Extents carrying an in-flight chain are pinned against eviction
 //!     (they are the DMA target), and [`BufCache::dirty_blocks`] counts
 //!     in-flight write-backs as still-dirty, so "zero dirty" continues to
@@ -158,17 +164,36 @@
 //!   tests). The metadata-transaction recorder
 //!   ([`BufCache::begin_meta_txn`]) additionally pins and collects the
 //!   sectors of a multi-sector update so FAT32's intent log can commit them
-//!   atomically. The cache also hosts the intent log's **group-commit
+//!   atomically. The cache also hosts the write-ahead log's **group-commit
 //!   accumulator** (`group_*` methods): finished-but-uncommitted logged
 //!   transactions park their sectors here — pinned against eviction,
 //!   excluded from every incremental drain (even when their dependencies
 //!   are clean: draining half a pending rename early would expose it), and
 //!   with their freed allocation units reserved
 //!   ([`BufCache::note_pending_free`]) so no later transaction can reuse a
-//!   cluster the old tree still references — until FAT32 writes the group's
-//!   single commit record, capturing the payloads at commit time. The state
-//!   lives in the cache because the `Fat32` object itself is cloned per
-//!   kernel call.
+//!   cluster or block the old tree still references — until the
+//!   filesystem-agnostic transaction layer ([`crate::txn::TxnLog`], whose
+//!   clients are FAT32's intent log and the xv6fs metadata journal) writes
+//!   the group's single commit record, capturing the payloads at commit
+//!   time. The state lives in the cache because the filesystem objects
+//!   themselves are cloned per kernel call.
+//!
+//! * **Bounded write-retry budgets and read-only degradation.** A dirty
+//!   block whose write-back keeps faulting is retried with exponential
+//!   backoff (skipped flusher passes, not timers) up to a per-block budget
+//!   ([`BufCache::set_write_retry_budget`], default
+//!   [`DEFAULT_WRITE_RETRY_BUDGET`]). A block that exhausts the budget is
+//!   parked: it stays cached and readable, pinned against eviction, and is
+//!   excluded from every later drain — and the cache degrades to
+//!   *read-only* ([`BufCache::degraded`]): further writes fail fast
+//!   instead of silently accumulating state that can never reach the
+//!   medium, reads keep serving the surviving cached copy, and every
+//!   barrier reports the loss ([`BufCache::flush`] errs while a parked
+//!   block exists) instead of pretending durability.
+//!   [`BufCacheStats::write_retries`] / [`BufCacheStats::write_gave_up`]
+//!   count the retries and the casualties, [`BufCache::gave_up_blocks`]
+//!   names them, and [`BufCache::reset_degraded`] re-arms the parked
+//!   blocks for another budget once the operator clears the fault.
 //!
 //! # Sanitized invariants (`--features sanitize`)
 //!
@@ -244,6 +269,14 @@ pub const INITIAL_READAHEAD_BLOCKS: u64 = 64;
 /// [`INITIAL_READAHEAD_BLOCKS`] by doubling per sequential continuation, so
 /// an interleaved second stream cannot reset the first's depth.
 pub const MAX_READAHEAD_BLOCKS: u64 = 256;
+
+/// Default consecutive write-back failures tolerated per block before the
+/// cache parks the block ([`BufCacheStats::write_gave_up`]) and degrades to
+/// read-only. Deliberately generous: a transient fault (power dip, bus
+/// glitch) clears well within the budget, while a genuinely dead device
+/// stops burning bus time on hopeless retries after eight rounds instead of
+/// looping forever.
+pub const DEFAULT_WRITE_RETRY_BUDGET: u32 = 8;
 
 /// One aligned multi-block cache extent.
 #[derive(Debug, Clone)]
@@ -407,6 +440,15 @@ pub struct BufCacheStats {
     /// chains — the spin-mode cost that blocking-reader mode eliminates
     /// (a fully blocking configuration holds this at zero).
     pub demand_spin_reaps: u64,
+    /// Failed write-backs re-queued for a bounded retry: each block of a
+    /// failed chain (or failed polled run) counts once per failure while it
+    /// is still within its [`BufCache::set_write_retry_budget`] budget.
+    pub write_retries: u64,
+    /// Blocks that exhausted their write retry budget and were parked: their
+    /// data stays cached dirty but is never resubmitted, and the cache
+    /// degrades to read-only ([`BufCache::degraded`]) until
+    /// [`BufCache::reset_degraded`].
+    pub write_gave_up: u64,
 }
 
 #[derive(Debug, Default)]
@@ -602,6 +644,31 @@ pub struct BufCache {
     queue_full_yields: u64,
     demand_blocks: u64,
     demand_spin_reaps: u64,
+    /// Consecutive write-back failures per block, reset on a confirmed
+    /// write. When a block's count exceeds `write_retry_budget` it moves to
+    /// `gave_up` and the cache latches `degraded`.
+    write_fail_counts: HashMap<u64, u32>,
+    /// Blocks past their retry budget. They stay cached dirty (the data is
+    /// preserved for inspection / a repaired device) but every run
+    /// collector skips them, so they are never resubmitted; durability
+    /// barriers fail while this set is non-empty.
+    gave_up: std::collections::BTreeSet<u64>,
+    /// Exponential backoff for the *budgeted* drain: a block with `k`
+    /// consecutive failures sits out `2^k` [`BufCache::flush_some`] passes
+    /// before the background flusher retries it. Full barriers
+    /// ([`BufCache::flush`] and friends) ignore the backoff — an fsync
+    /// retries immediately because its caller is waiting on the answer.
+    write_backoff: HashMap<u64, u32>,
+    /// Consecutive per-block write failures tolerated before the block is
+    /// parked in `gave_up` (transient-fault budget; default
+    /// [`DEFAULT_WRITE_RETRY_BUDGET`]).
+    write_retry_budget: u32,
+    /// Latched once any block exhausts its retry budget: the cache refuses
+    /// new writes (`FsError::Io`) while still serving reads — the
+    /// read-only degraded mode a filesystem surfaces to its callers.
+    degraded: bool,
+    write_retries: u64,
+    write_gave_up: u64,
     /// Completions ever applied (any path). The kernel compares this across
     /// scheduler passes to wake tasks parked on the block-I/O channel even
     /// when a completion was reaped inside some other task's cache call
@@ -688,6 +755,13 @@ impl BufCache {
             queue_full_yields: 0,
             demand_blocks: 0,
             demand_spin_reaps: 0,
+            write_fail_counts: HashMap::new(),
+            gave_up: std::collections::BTreeSet::new(),
+            write_backoff: HashMap::new(),
+            write_retry_budget: DEFAULT_WRITE_RETRY_BUDGET,
+            degraded: false,
+            write_retries: 0,
+            write_gave_up: 0,
             completions_applied: 0,
             wb_occupancy: [0; 9],
             lookups: 0,
@@ -1064,6 +1138,8 @@ impl BufCache {
             queue_full_yields: self.queue_full_yields,
             demand_blocks: self.demand_blocks,
             demand_spin_reaps: self.demand_spin_reaps,
+            write_retries: self.write_retries,
+            write_gave_up: self.write_gave_up,
             ..Default::default()
         };
         for s in &self.shards {
@@ -1132,7 +1208,148 @@ impl BufCache {
         self.chain_owners.clear();
         self.blocking_reads.clear();
         self.demand_read_error = None;
+        // The retry ledger described cached dirty data that no longer
+        // exists; a fresh mount starts with a clean slate (and a full
+        // budget) against whatever device it finds.
+        self.reset_degraded();
         self.sanitize_check_always("invalidate_all");
+    }
+
+    // ---- transient-fault retry budgets and degraded mode --------------------------------
+    //
+    // A failed write-back re-dirties its blocks for retry, but retries are
+    // *budgeted*: `write_retry_budget` consecutive failures per block, with
+    // exponential pass-count backoff on the background drain in between.
+    // A block past its budget is parked in `gave_up` — its data stays
+    // cached (nothing is lost), every run collector skips it, durability
+    // barriers report `FsError::Io`, and the cache latches `degraded`:
+    // reads keep working, new writes are refused. This is the read-only
+    // degraded mode the filesystems surface; `reset_degraded` re-arms the
+    // cache once the device is repaired or replaced.
+
+    /// Sets the per-block consecutive-failure budget (see
+    /// [`DEFAULT_WRITE_RETRY_BUDGET`]). A budget of `n` means the `n+1`-th
+    /// consecutive failure parks the block.
+    pub fn set_write_retry_budget(&mut self, budget: u32) {
+        self.write_retry_budget = budget;
+    }
+
+    /// The per-block consecutive-failure budget currently in force.
+    pub fn write_retry_budget(&self) -> u32 {
+        self.write_retry_budget
+    }
+
+    /// Whether the cache has latched read-only degraded mode: some block
+    /// exhausted its write retry budget, so new writes return
+    /// [`FsError::Io`](crate::FsError::Io) while reads keep working.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Blocks currently parked past their retry budget (still cached dirty,
+    /// never resubmitted).
+    pub fn gave_up_blocks(&self) -> Vec<u64> {
+        self.gave_up.iter().copied().collect()
+    }
+
+    /// Re-arms a degraded cache after the device was repaired or replaced:
+    /// clears the give-up set, failure counts and backoff, and lifts the
+    /// write refusal. The parked blocks are still cached dirty, so the next
+    /// flush retries them with a full budget.
+    pub fn reset_degraded(&mut self) {
+        self.gave_up.clear();
+        self.write_fail_counts.clear();
+        self.write_backoff.clear();
+        self.degraded = false;
+    }
+
+    /// Records one write-back failure for block `b`: within budget the
+    /// block is re-queued (counted in [`BufCacheStats::write_retries`]) with
+    /// exponential backoff against the budgeted drain; past budget it is
+    /// parked and the cache degrades.
+    fn note_write_failure(&mut self, b: u64) {
+        let fails = self.write_fail_counts.entry(b).or_insert(0);
+        *fails += 1;
+        if *fails > self.write_retry_budget {
+            if self.gave_up.insert(b) {
+                self.write_gave_up += 1;
+            }
+            self.degraded = true;
+        } else {
+            self.write_retries += 1;
+            // Counters tick down at the start of each budgeted pass, so a
+            // value of 2^(k-1) means "sit out 2^(k-1) - 1 passes": the
+            // first failure retries on the very next pass, repeat offenders
+            // wait 1, 3, 7... passes (clamped so the shift cannot
+            // overflow).
+            let k = (*fails - 1).min(16);
+            self.write_backoff.insert(b, 1u32 << k);
+        }
+    }
+
+    /// Clears block `b`'s failure ledger after a confirmed write.
+    fn note_write_success(&mut self, b: u64) {
+        self.write_fail_counts.remove(&b);
+        self.write_backoff.remove(&b);
+    }
+
+    /// Ticks every backoff counter one budgeted pass and returns the blocks
+    /// still sitting out this pass. Only [`BufCache::flush_some`] calls
+    /// this — full barriers retry immediately.
+    fn backoff_tick(&mut self) -> std::collections::BTreeSet<u64> {
+        let mut deferred = std::collections::BTreeSet::new();
+        self.write_backoff.retain(|&b, left| {
+            *left -= 1;
+            if *left > 0 {
+                deferred.insert(b);
+                true
+            } else {
+                false
+            }
+        });
+        deferred
+    }
+
+    /// `runs` minus the blocks in `skip`, re-coalesced.
+    fn without_blocks(runs: Vec<Run>, skip: &std::collections::BTreeSet<u64>) -> Vec<Run> {
+        if skip.is_empty() {
+            return runs;
+        }
+        let mut out: Vec<Run> = Vec::new();
+        for r in runs {
+            for b in r.start..r.start + r.len {
+                if !skip.contains(&b) {
+                    push_block(&mut out, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any block of the extent at `base` is parked past its retry
+    /// budget — such extents hold unreplaceable dirty data and must never
+    /// be chosen as eviction victims.
+    fn extent_gave_up(&self, base: u64) -> bool {
+        !self.gave_up.is_empty()
+            && self
+                .gave_up
+                .range(base..base + EXTENT_BLOCKS as u64)
+                .next()
+                .is_some()
+    }
+
+    /// A durability barrier cannot succeed while parked blocks hold dirty
+    /// data that never reached the device; called after the device-level
+    /// flush so everything that *could* drain did.
+    fn gave_up_barrier_check(&self) -> FsResult<()> {
+        if self.gave_up.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::FsError::Io(format!(
+                "{} block(s) exhausted their write retry budget; cache is read-only",
+                self.gave_up.len()
+            )))
+        }
     }
 
     // ---- the runtime sanitizer (`--features sanitize`) ----------------------------------
@@ -1515,8 +1732,9 @@ impl BufCache {
             || self.group.iter().any(|&l| Self::extent_base(l) == base)
     }
 
-    /// All dirty blocks, split into (data runs, metadata runs), each sorted
-    /// by LBA and coalesced into contiguous same-class runs.
+    /// All dirty blocks — minus any parked past their retry budget — split
+    /// into (data runs, metadata runs), each sorted by LBA and coalesced
+    /// into contiguous same-class runs.
     fn classed_dirty_runs(&self) -> (Vec<Run>, Vec<Run>) {
         let mut data: Vec<u64> = Vec::new();
         let mut meta: Vec<u64> = Vec::new();
@@ -1524,7 +1742,7 @@ impl BufCache {
             for e in &s.extents {
                 for i in 0..EXTENT_BLOCKS as u64 {
                     let b = e.base + i;
-                    if e.dirty & Extent::bit(b) != 0 {
+                    if e.dirty & Extent::bit(b) != 0 && !self.gave_up.contains(&b) {
                         if e.meta & Extent::bit(b) != 0 {
                             meta.push(b);
                         } else {
@@ -1819,7 +2037,12 @@ impl BufCache {
                     .extents
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| e.pending == 0 && e.writing == 0)
+                    // An extent holding blocks past their retry budget is
+                    // never a victim: evicting it means writing it, and its
+                    // dirty data is the only copy left.
+                    .filter(|(_, e)| {
+                        e.pending == 0 && e.writing == 0 && !self.extent_gave_up(e.base)
+                    })
                     .filter(|(i, _)| !skip_pinned || !pinned[*i])
                     .min_by_key(|(_, e)| (!e.cold, e.tick))
                     .map(|(i, _)| i)
@@ -1831,6 +2054,11 @@ impl BufCache {
             // necessary) until one settles, then retry the selection.
             let reaped = dev.wait_some()?;
             if reaped.is_empty() {
+                if self.degraded {
+                    return Err(crate::FsError::Io(
+                        "cache shard pinned by blocks past their write retry budget".into(),
+                    ));
+                }
                 return Err(crate::FsError::Corrupt(
                     "full cache shard has no eviction victim".into(),
                 ));
@@ -2031,6 +2259,7 @@ impl BufCache {
                                 e.dirty & Extent::bit(b) != 0
                             };
                             self.shards[si].stats.writeback_blocks += 1;
+                            self.note_write_success(b);
                             // Durable now. A write-order dependency keyed on
                             // this block is settled unless a later cache
                             // write re-dirtied it.
@@ -2042,7 +2271,10 @@ impl BufCache {
                 }
                 Err(e) => {
                     // The chain failed (fault, torn power-cut write): every
-                    // unconfirmed block converts back to dirty for retry.
+                    // unconfirmed block converts back to dirty for retry —
+                    // a *budgeted* retry: a block that keeps failing is
+                    // parked and the cache degrades to read-only instead of
+                    // resubmitting the same doomed chain forever.
                     for run in runs {
                         for b in run.start..run.start + run.len {
                             let base = Self::extent_base(b);
@@ -2050,11 +2282,19 @@ impl BufCache {
                             let Some(ei) = self.shards[si].find(base) else {
                                 continue;
                             };
-                            let ext = &mut self.shards[si].extents[ei];
-                            if ext.writing & Extent::bit(b) != 0 {
-                                ext.writing &= !Extent::bit(b);
-                                ext.dirty |= Extent::bit(b);
+                            let failed = {
+                                let ext = &mut self.shards[si].extents[ei];
+                                if ext.writing & Extent::bit(b) != 0 {
+                                    ext.writing &= !Extent::bit(b);
+                                    ext.dirty |= Extent::bit(b);
+                                    true
+                                } else {
+                                    false
+                                }
+                            };
+                            if failed {
                                 self.async_write_errors += 1;
+                                self.note_write_failure(b);
                             }
                         }
                     }
@@ -2623,6 +2863,14 @@ impl BufCache {
                 "write_range buffer size mismatch".into(),
             ));
         }
+        // Read-only degraded mode: a block exhausted its write retry budget,
+        // so accepting more dirty data the device demonstrably cannot absorb
+        // would only grow the unflushable set. Reads keep working.
+        if self.degraded {
+            return Err(crate::FsError::Io(
+                "buffer cache is read-only: a block exhausted its write retry budget".into(),
+            ));
+        }
         // Scan resistance applies to writes too: a large streaming write
         // (asset install, file copy) installs cold extents, so it recycles
         // itself instead of pinning the whole cache hot and starving later
@@ -2658,8 +2906,9 @@ impl BufCache {
         self.write_range(dev, lba, 1, data)
     }
 
-    /// Collects every dirty LBA, globally sorted so cross-extent runs
-    /// coalesce, grouped into contiguous runs.
+    /// Collects every dirty LBA — minus any parked past its retry budget —
+    /// globally sorted so cross-extent runs coalesce, grouped into
+    /// contiguous runs.
     fn dirty_runs(&self) -> Vec<Run> {
         let mut dirty: Vec<u64> = self
             .shards
@@ -2670,6 +2919,7 @@ impl BufCache {
                     .filter(move |i| e.dirty & Extent::bit(e.base + i) != 0)
                     .map(move |i| e.base + i)
             })
+            .filter(|b| !self.gave_up.contains(b))
             .collect();
         dirty.sort_unstable();
         let mut runs: Vec<Run> = Vec::new();
@@ -2766,10 +3016,13 @@ impl BufCache {
             // Anything still dirty (group sectors aside) sits on a
             // dependency cycle (the filesystem layers are built not to
             // create one). A full flush must drain regardless; force the
-            // stragglers out and count them.
+            // stragglers out and count them. Degraded cache exception:
+            // metadata stuck behind a *parked* data block is not a cycle —
+            // forcing it out would put the metadata on the device ahead of
+            // data that never made it, and this flush is failing anyway.
             let (_, stuck) = self.classed_dirty_runs();
             let stuck = self.without_group_sectors(stuck);
-            if !stuck.is_empty() {
+            if !stuck.is_empty() && self.gave_up.is_empty() {
                 self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
                 for run in stuck {
                     self.write_out_run(dev, run)?;
@@ -2783,6 +3036,10 @@ impl BufCache {
         }
         self.flushes += 1;
         dev.flush()?;
+        // Parked blocks hold dirty data the device never absorbed: the
+        // barrier must fail (and pending frees stay pending) even though
+        // everything else drained.
+        self.gave_up_barrier_check()?;
         // A completed full flush made every pending free durable — unless a
         // pending group still holds the freed sectors back.
         if self.group.is_empty() {
@@ -2831,10 +3088,10 @@ impl BufCache {
         }
         // Anything still dirty (group sectors aside) sits on a dependency
         // cycle; a full flush must drain regardless (counted, like the
-        // synchronous path).
+        // synchronous path — including its degraded-cache exception).
         let (_, stuck) = self.classed_dirty_runs();
         let stuck = self.without_group_sectors(stuck);
-        if !stuck.is_empty() {
+        if !stuck.is_empty() && self.gave_up.is_empty() {
             self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
             self.submit_chains(dev, &stuck)?;
             self.drain_writes(dev)?;
@@ -2844,6 +3101,10 @@ impl BufCache {
         }
         self.flushes += 1;
         dev.flush()?;
+        // Parked blocks hold dirty data the device never absorbed: the
+        // barrier must fail (and pending frees stay pending) even though
+        // everything else drained.
+        self.gave_up_barrier_check()?;
         // A completed full flush made every pending free durable — unless a
         // pending group still holds the freed sectors back.
         if self.group.is_empty() {
@@ -2908,7 +3169,8 @@ impl BufCache {
                 }
             }
             self.sanitize_check("flush_ready");
-            return dev.flush();
+            dev.flush()?;
+            return self.gave_up_barrier_check();
         }
         loop {
             let mut progress = false;
@@ -2926,7 +3188,8 @@ impl BufCache {
             }
         }
         self.sanitize_check("flush_ready");
-        dev.flush()
+        dev.flush()?;
+        self.gave_up_barrier_check()
     }
 
     /// Drains every dirty *data*-class block (metadata stays cached dirty)
@@ -2945,13 +3208,15 @@ impl BufCache {
                 return Err(e);
             }
             self.sanitize_check("flush_data");
-            return dev.flush();
+            dev.flush()?;
+            return self.gave_up_barrier_check();
         }
         for run in data {
             self.write_out_run(dev, run)?;
         }
         self.sanitize_check("flush_data");
-        dev.flush()
+        dev.flush()?;
+        self.gave_up_barrier_check()
     }
 
     /// Writes back dirty blocks up to a budget of `max_blocks`, coalescing
@@ -2975,11 +3240,15 @@ impl BufCache {
         }
         let mut written = 0u64;
         let mut first_err: Option<crate::FsError> = None;
+        // Blocks in failure backoff sit this pass out (gave-up blocks are
+        // excluded by the run collectors themselves).
+        let deferred = self.backoff_tick();
         let data_runs = if self.ordered {
             self.classed_dirty_runs().0
         } else {
             self.dirty_runs()
         };
+        let data_runs = Self::without_blocks(data_runs, &deferred);
         for run in data_runs {
             if written >= max_blocks {
                 break;
@@ -2996,6 +3265,9 @@ impl BufCache {
                 // Only blocks that actually persisted consume budget.
                 Ok(()) => written += take,
                 Err(e) => {
+                    for b in run.start..run.start + take {
+                        self.note_write_failure(b);
+                    }
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
@@ -3005,7 +3277,7 @@ impl BufCache {
         if self.ordered && first_err.is_none() {
             // Metadata drains only once every data block is on the device.
             while written < max_blocks && !self.any_dirty_data() {
-                let ready = self.drainable_meta_runs();
+                let ready = Self::without_blocks(self.drainable_meta_runs(), &deferred);
                 if ready.is_empty() {
                     break;
                 }
@@ -3027,6 +3299,9 @@ impl BufCache {
                             progress = true;
                         }
                         Err(e) => {
+                            for b in run.start..run.start + take {
+                                self.note_write_failure(b);
+                            }
                             if first_err.is_none() {
                                 first_err = Some(e);
                             }
@@ -3039,13 +3314,17 @@ impl BufCache {
             }
             // Liveness backstop: metadata stuck on a dependency cycle (the
             // filesystem layers are built not to create one) must not pin
-            // the cache dirty forever — force it out, counted.
+            // the cache dirty forever — force it out, counted. Metadata
+            // waiting on a *parked* block is not a cycle; leave it to the
+            // failing barrier rather than writing it out of order.
             if written < max_blocks
                 && !self.any_dirty_data()
+                && self.gave_up.is_empty()
                 && self.drainable_meta_runs().is_empty()
             {
                 let (_, stuck) = self.classed_dirty_runs();
                 let stuck = self.without_group_sectors(stuck);
+                let stuck = Self::without_blocks(stuck, &deferred);
                 for run in stuck {
                     if written >= max_blocks || first_err.is_some() {
                         break;
@@ -3061,6 +3340,9 @@ impl BufCache {
                     ) {
                         Ok(()) => written += take,
                         Err(e) => {
+                            for b in run.start..run.start + take {
+                                self.note_write_failure(b);
+                            }
                             if first_err.is_none() {
                                 first_err = Some(e);
                             }
@@ -3123,23 +3405,32 @@ impl BufCache {
             }
             Ok(n)
         };
+        // Blocks in failure backoff sit this pass out (gave-up blocks are
+        // excluded by the run collectors themselves).
+        let deferred = self.backoff_tick();
         let data_runs = if self.ordered {
             self.classed_dirty_runs().0
         } else {
             self.dirty_runs()
         };
+        let data_runs = Self::without_blocks(data_runs, &deferred);
         let mut submitted = submit_each(self, clip(data_runs, max_blocks))?;
         if self.ordered && submitted < max_blocks && !self.any_dirty_data() {
             // Data is durable (previous passes' completions confirmed it):
             // metadata whose dependencies are clean — and not held by the
             // open commit group — may follow. The cycle backstop mirrors
-            // the synchronous path.
-            let ready = self.drainable_meta_runs();
+            // the synchronous path, degraded-cache exception included.
+            let ready = Self::without_blocks(self.drainable_meta_runs(), &deferred);
             if !ready.is_empty() {
                 submitted += submit_each(self, clip(ready, max_blocks - submitted))?;
-            } else if self.dirty_blocks() > 0 && self.inflight_writes.is_empty() {
+            } else if self.dirty_blocks() > 0
+                && self.inflight_writes.is_empty()
+                && self.gave_up.is_empty()
+                && self.drainable_meta_runs().is_empty()
+            {
                 let (_, stuck) = self.classed_dirty_runs();
                 let stuck = self.without_group_sectors(stuck);
+                let stuck = Self::without_blocks(stuck, &deferred);
                 let stuck = clip(stuck, max_blocks - submitted);
                 if !stuck.is_empty() {
                     self.forced_meta_writes += stuck.iter().map(|r| r.len).sum::<u64>();
@@ -3576,6 +3867,72 @@ mod tests {
         dev.clear_faults();
         assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 8);
         assert_eq!(bc.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn exhausted_write_retry_budget_parks_the_run_and_degrades_the_cache() {
+        let mut dev = MemDisk::new(64);
+        dev.inject_fault(4);
+        let mut bc = BufCache::default();
+        bc.set_write_retry_budget(2);
+        let data = vec![9u8; BLOCK_SIZE * 8];
+        bc.write_range(&mut dev, 0, 8, &data).unwrap();
+        // Keep flushing: retries (spaced by backoff passes) burn the budget
+        // until the faulty run's blocks are parked and the cache degrades.
+        let mut passes = 0;
+        while !bc.degraded() {
+            let _ = bc.flush_some(&mut dev, 64);
+            passes += 1;
+            assert!(passes < 32, "budget must exhaust within bounded passes");
+        }
+        let s = bc.stats();
+        assert!(s.write_retries >= 2, "retries were counted");
+        assert!(s.write_gave_up >= 1, "give-ups were counted");
+        assert!(bc.gave_up_blocks().contains(&4));
+        // Parked blocks: excluded from every drain, never evicted, still
+        // dirty, still readable from residency.
+        assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 0);
+        assert_eq!(bc.dirty_blocks(), 8);
+        let mut back = [0u8; BLOCK_SIZE];
+        bc.read(&mut dev, 4, &mut back).unwrap();
+        assert!(back.iter().all(|b| *b == 9));
+        // Durability barriers must fail — the device does not hold the data.
+        assert!(bc.flush(&mut dev).is_err());
+        // Degraded mode: new writes are refused (read-only), reads still OK.
+        assert!(matches!(
+            bc.write_range(&mut dev, 16, 1, &vec![1u8; BLOCK_SIZE]),
+            Err(crate::FsError::Io(_))
+        ));
+        bc.read(&mut dev, 20, &mut back).unwrap();
+        // Recovery: the card comes back, the operator resets the budget
+        // state, and the parked blocks drain normally.
+        dev.clear_faults();
+        bc.reset_degraded();
+        assert!(!bc.degraded());
+        bc.flush(&mut dev).unwrap();
+        assert_eq!(bc.dirty_blocks(), 0);
+        let mut out = vec![0u8; BLOCK_SIZE * 8];
+        dev.read_range(0, 8, &mut out).unwrap();
+        assert!(out.iter().all(|b| *b == 9), "parked data survived to disk");
+    }
+
+    #[test]
+    fn first_write_failure_retries_on_the_very_next_pass() {
+        // The backoff ramp starts at zero delay: a single transient fault
+        // must not make the block sit out the immediately following pass
+        // (cards hiccup; the common case is a clean retry).
+        let mut dev = MemDisk::new(64);
+        dev.inject_fault(2);
+        let mut bc = BufCache::default();
+        bc.write_range(&mut dev, 0, 4, &vec![7u8; BLOCK_SIZE * 4])
+            .unwrap();
+        assert!(bc.flush_some(&mut dev, 64).is_err());
+        assert!(bc.stats().write_retries >= 1);
+        dev.clear_faults();
+        assert_eq!(bc.flush_some(&mut dev, 64).unwrap(), 4);
+        assert_eq!(bc.dirty_blocks(), 0);
+        assert!(!bc.degraded());
+        assert_eq!(bc.stats().write_gave_up, 0);
     }
 
     #[test]

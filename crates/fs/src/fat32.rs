@@ -40,8 +40,13 @@
 //! (mkdir, [`Fat32::rename`], [`Fat32::remove`], overwriting an existing
 //! file, directory extension) instead commit through a tiny physical redo
 //! log in the reserved region ([`INTENT_LOG_START`]) that [`Fat32::mount`]
-//! replays. With the default group size of one, those operations are atomic
-//! *and durable* on return; with group commit enabled
+//! replays. The log machinery itself — record format, group commit, replay,
+//! the fallback for oversized transactions — is the filesystem-agnostic
+//! transaction layer in [`crate::txn`]; this module supplies only the
+//! placement (where the log lives on a FAT volume) and the choice of which
+//! operations run as transactions. The xv6fs metadata journal is the second
+//! client of the same layer. With the default group size of one, logged
+//! operations are atomic *and durable* on return; with group commit enabled
 //! ([`Fat32::set_group_commit_ops`]) they stay atomic at every cut but a
 //! burst of them shares one checksummed commit record — durability moves to
 //! the group's single commit flush, forced by any barrier.
@@ -49,6 +54,7 @@
 use crate::block::{BlockDevice, BLOCK_SIZE};
 use crate::bufcache::BufCache;
 use crate::path;
+use crate::txn::TxnLog;
 use crate::{FsError, FsResult};
 
 /// Sectors per cluster (4 KB clusters).
@@ -82,8 +88,11 @@ pub const INTENT_LOG_START: u64 = 1;
 pub const INTENT_LOG_SECTORS: u64 = 30;
 /// Maximum metadata sectors one logged transaction can carry.
 pub const INTENT_LOG_PAYLOAD: usize = (INTENT_LOG_SECTORS - 1) as usize;
-/// Magic bytes opening a committed intent-log header.
-const INTENT_MAGIC: &[u8; 8] = b"PROTOLOG";
+/// Magic bytes opening a committed intent-log header (the shared
+/// transaction layer's record magic; used by the mount tests that forge
+/// records).
+#[cfg(test)]
+const INTENT_MAGIC: &[u8; 8] = crate::txn::TXN_MAGIC;
 /// Initial read-ahead window for a newly detected sequential stream (32 KB).
 /// The window doubles per sequential continuation — the classic readahead
 /// ramp — up to [`MAX_PREFETCH_CLUSTERS`], and since the deep-queue PR the
@@ -130,34 +139,18 @@ pub struct Bpb {
 #[derive(Debug, Clone)]
 pub struct Fat32 {
     bpb: Bpb,
-    /// Whether multi-sector metadata updates (mkdir, rename, remove, file
-    /// overwrite) are made atomic through the on-volume intent log. On by
-    /// default when the reserved region has room for the log area.
-    intent_log: bool,
-    /// How many logged transactions one intent-log commit record may cover
-    /// (group commit). With the default of 1 every logged operation is
-    /// atomic *and durable* on return — the PR 3 contract. With a larger
-    /// group, consecutive transactions accumulate in the cache's commit
-    /// group ([`BufCache::group_entries`]) and pay a single checksummed
-    /// commit flush when the group closes (size reached, log area full, or
-    /// a barrier — fsync, sync, unmount — forces it); each transaction stays
-    /// atomic at every cut, but durability moves to the group's commit
-    /// point. The group state itself lives in the cache because `Fat32` is
-    /// cloned per kernel call.
-    group_commit_ops: u32,
+    /// This volume's handle on the shared transaction layer
+    /// ([`crate::txn::TxnLog`]): the intent-log geometry (the reserved
+    /// region at [`INTENT_LOG_START`]) plus the enabled / group-commit
+    /// knobs. The mutable transaction state itself (open recorder, commit
+    /// group, pins, pending frees) lives in the [`BufCache`] because
+    /// `Fat32` is cloned per kernel call. Logging is on by default when the
+    /// reserved region has room for the log area; with a group size above 1
+    /// ([`Fat32::set_group_commit_ops`]) consecutive transactions share one
+    /// checksummed commit record and durability moves to the group's single
+    /// commit flush, forced by any barrier.
+    txn: TxnLog,
 }
-
-/// FNV-1a over `data`, continuing from `h` (seed with [`FNV_OFFSET`]).
-fn fnv1a(data: &[u8], mut h: u32) -> u32 {
-    for &b in data {
-        h ^= b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
-/// FNV-1a offset basis.
-const FNV_OFFSET: u32 = 0x811C_9DC5;
 
 fn encode_83(name: &str) -> FsResult<[u8; 11]> {
     if !path::valid_name(name) {
@@ -264,8 +257,7 @@ impl Fat32 {
         }
         let fs = Fat32 {
             bpb,
-            intent_log: Self::log_fits(&bpb),
-            group_commit_ops: 1,
+            txn: Self::make_txn(&bpb),
         };
         // Reserve clusters 0 and 1, allocate the root directory cluster.
         fs.fat_set(dev, bc, 0, 0x0FFF_FFF8)?;
@@ -342,25 +334,36 @@ impl Fat32 {
         };
         let fs = Fat32 {
             bpb,
-            intent_log: Self::log_fits(&bpb),
-            group_commit_ops: 1,
+            txn: Self::make_txn(&bpb),
         };
-        if fs.intent_log {
-            fs.replay_intent_log(dev, bc)?;
+        if fs.txn.enabled() {
+            fs.txn.replay(dev, bc)?;
         }
         Ok(fs)
+    }
+
+    /// Builds this volume's transaction-layer handle: the intent-log
+    /// geometry over the reserved region, enabled when it fits.
+    fn make_txn(bpb: &Bpb) -> TxnLog {
+        let mut txn = TxnLog::new(
+            INTENT_LOG_START,
+            INTENT_LOG_SECTORS,
+            bpb.total_sectors as u64,
+        );
+        txn.set_enabled(Self::log_fits(bpb));
+        txn
     }
 
     /// Enables or disables the intent log for multi-sector metadata updates
     /// (the crash-consistency ablation switch; replay at mount always runs
     /// when a committed record exists).
     pub fn set_intent_log(&mut self, on: bool) {
-        self.intent_log = on && Self::log_fits(&self.bpb);
+        self.txn.set_enabled(on && Self::log_fits(&self.bpb));
     }
 
     /// Whether multi-sector metadata updates go through the intent log.
     pub fn intent_log_enabled(&self) -> bool {
-        self.intent_log
+        self.txn.enabled()
     }
 
     /// Sets how many logged transactions one commit record may cover (group
@@ -369,12 +372,12 @@ impl Fat32 {
     /// at their barriers — the kernel does so in `fsync`, `sync_all` and the
     /// flusher's timeout pass.
     pub fn set_group_commit_ops(&mut self, ops: u32) {
-        self.group_commit_ops = ops.max(1);
+        self.txn.set_group_ops(ops);
     }
 
     /// The configured group-commit size.
     pub fn group_commit_ops(&self) -> u32 {
-        self.group_commit_ops
+        self.txn.group_ops()
     }
 
     /// The parsed BPB.
@@ -384,239 +387,48 @@ impl Fat32 {
 
     // ---- the intent log ------------------------------------------------------------------------
     //
-    // A tiny physical redo log for multi-sector metadata updates (mkdir,
-    // rename, remove, file overwrite): the final contents of every metadata
-    // sector the operation touches are written to a reserved log area, a
-    // single-sector checksummed header commits the record atomically, and
-    // only then do the home sectors get written. A power cut before the
-    // commit leaves the old tree; a cut after it is repaired by replaying
-    // the record at mount. Data clusters the metadata references are flushed
-    // *before* the commit, so a replayed record never resurrects pointers to
-    // unwritten data.
-    //
-    // **Group commit.** With `group_commit_ops > 1`, consecutive logged
-    // transactions fold into one record: each transaction registers its
-    // sectors with the cache's commit-group accumulator and returns without
-    // touching the device; payloads are captured at *commit* time, after a
-    // ready-only drain makes everything they could reference durable — so a
-    // record can neither roll back an interleaved non-logged write to a
-    // shared sector nor replay a pointer at something unwritten. The group
-    // pays a single ready-drain + payload + header + home drain when it
-    // closes — size reached, the 30-sector log area about to
-    // overflow, a barrier (`fsync`/`sync_all`/unmount via
-    // `Fat32::commit_pending`), or the kernel flusher's
-    // `group_commit_timeout_ms` pass. Until then every transaction in the
-    // group stays *atomic* at any cut (its sectors are cache-only, held by
-    // their ordering edges, pinned against eviction, and clusters it freed
-    // are reserved against reallocation) but is *durable* only from the
-    // group's commit point — the classic group-commit trade, worth ~8x
-    // fewer commit flushes on a metadata burst. Replay is unchanged and
-    // idempotent: one record, applied in full or ignored.
+    // FAT32's intent log is now a client of the shared transaction layer
+    // ([`crate::txn`]): a tiny physical redo log for multi-sector metadata
+    // updates (mkdir, rename, remove, file overwrite) living in the
+    // reserved region at `INTENT_LOG_START`, with group commit folding a
+    // burst of transactions into one checksummed record. The mechanism —
+    // ready-drain before the commit record, single-sector header as the
+    // commit point, FLUSH barrier underneath, idempotent validated replay,
+    // pending-free reservation of freed clusters — is documented once, in
+    // `txn.rs`; what stays FAT-specific here is only the geometry (the
+    // reserved region) and which operations are transactions.
 
-    /// Builds the checksummed header sector for a committed record.
+    /// Builds the checksummed header sector for a committed record (the
+    /// shared layer's format; kept as a named helper for the mount tests
+    /// that hand-craft records).
+    #[cfg(test)]
     fn intent_header(targets: &[u64], payloads: &[Vec<u8>]) -> Vec<u8> {
-        let mut hdr = vec![0u8; BLOCK_SIZE];
-        hdr[0..8].copy_from_slice(INTENT_MAGIC);
-        hdr[8..12].copy_from_slice(&(targets.len() as u32).to_le_bytes());
-        for (i, t) in targets.iter().enumerate() {
-            let o = 16 + i * 8;
-            hdr[o..o + 8].copy_from_slice(&t.to_le_bytes());
-        }
-        let mut sum = fnv1a(&hdr[8..12], FNV_OFFSET);
-        sum = fnv1a(&hdr[16..16 + targets.len() * 8], sum);
-        for p in payloads {
-            sum = fnv1a(p, sum);
-        }
-        hdr[12..16].copy_from_slice(&sum.to_le_bytes());
-        hdr
+        TxnLog::header(targets, payloads)
     }
 
-    /// Replays a committed intent-log record onto its home sectors, then
-    /// clears the header. A record that fails validation (torn commit, stale
-    /// garbage) is ignored: the pre-transaction tree is the consistent one.
-    fn replay_intent_log(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<()> {
-        let mut hdr = vec![0u8; BLOCK_SIZE];
-        dev.read_block(INTENT_LOG_START, &mut hdr)?;
-        if &hdr[0..8] != INTENT_MAGIC {
-            return Ok(());
-        }
-        let count = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]) as usize;
-        if count == 0 || count > INTENT_LOG_PAYLOAD {
-            return Ok(());
-        }
-        let mut targets = Vec::with_capacity(count);
-        for i in 0..count {
-            let o = 16 + i * 8;
-            let t = u64::from_le_bytes([
-                hdr[o],
-                hdr[o + 1],
-                hdr[o + 2],
-                hdr[o + 3],
-                hdr[o + 4],
-                hdr[o + 5],
-                hdr[o + 6],
-                hdr[o + 7],
-            ]);
-            // A record naming the boot sector, the log itself, or space
-            // beyond the volume is not one we wrote.
-            if t < INTENT_LOG_START + INTENT_LOG_SECTORS || t >= self.bpb.total_sectors as u64 {
-                return Ok(());
-            }
-            targets.push(t);
-        }
-        let mut payloads = Vec::with_capacity(count);
-        for i in 0..count {
-            let mut p = vec![0u8; BLOCK_SIZE];
-            dev.read_block(INTENT_LOG_START + 1 + i as u64, &mut p)?;
-            payloads.push(p);
-        }
-        let mut sum = fnv1a(&hdr[8..12], FNV_OFFSET);
-        sum = fnv1a(&hdr[16..16 + count * 8], sum);
-        for p in &payloads {
-            sum = fnv1a(p, sum);
-        }
-        if sum != u32::from_le_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]) {
-            return Ok(());
-        }
-        // Redo the home-sector writes (idempotent: the payloads are final
-        // contents) through the cache so any cached copies stay coherent.
-        for (t, p) in targets.iter().zip(&payloads) {
-            bc.write(dev, *t, p)?;
-            bc.note_metadata(*t, 1);
-        }
-        bc.flush(dev)?;
-        let zero = vec![0u8; BLOCK_SIZE];
-        dev.write_block(INTENT_LOG_START, &zero)?;
-        dev.flush()
-    }
-
-    /// Folds one just-finished logged transaction into the open commit
-    /// group, committing when the group reaches
-    /// [`Fat32::group_commit_ops`] transactions or would overflow the log
-    /// area. With the default group size of 1 this degenerates to the PR 3
-    /// behaviour: every logged operation is atomic *and durable* on return.
-    /// With a larger group the transaction is atomic at every cut (its
-    /// sectors stay cached, held back by their deliberately cyclic ordering
-    /// edges and pinned against eviction) but becomes durable only at the
-    /// group's single commit flush. Payloads are snapshotted *now*, at
-    /// transaction end, so a later non-logged write to the same sector is
-    /// never resurrected by replay.
-    ///
-    /// Falls back to a plain synchronous flush when the log is disabled or
-    /// the transaction outgrows the log area (overwrite/remove of a file
-    /// past ~7 MB) — committing any pending group first so its record cannot
-    /// be reordered behind the fallback. The fallback loses torn-update
-    /// atomicity, and because such transactions carry intentionally cyclic
-    /// ordering edges (frees ≺ dirent ≺ new FAT on shared FAT sectors), a
-    /// cut during the flush's forced cycle-break can in the worst case
-    /// expose the old dirent with a partially freed chain.
-    fn intent_commit(
-        &self,
-        dev: &mut dyn BlockDevice,
-        bc: &mut BufCache,
-        touched: &[u64],
-    ) -> FsResult<()> {
-        if !self.intent_log || touched.is_empty() {
-            return bc.flush(dev);
-        }
-        if touched.len() > INTENT_LOG_PAYLOAD {
-            self.commit_pending(dev, bc)?;
-            return bc.flush(dev);
-        }
-        // Close the group first if this transaction would overflow the
-        // 30-sector log area. `commit_pending` drains only what the ordered
-        // contract already allows, so this transaction's own (cyclic,
-        // not-yet-logged) sectors stay cached and keep their atomicity.
-        let fresh = touched.iter().filter(|l| !bc.group_contains(**l)).count();
-        if bc.group_sectors().saturating_add(fresh) > INTENT_LOG_PAYLOAD {
-            self.commit_pending(dev, bc)?;
-        }
-        for &lba in touched {
-            bc.group_append(lba);
-        }
-        bc.group_note_txn();
-        if bc.group_txns() >= self.group_commit_ops as u64 {
-            self.commit_pending(dev, bc)?;
-        }
-        Ok(())
-    }
-
-    /// Writes the open commit group's single checksummed record and drains
-    /// it home: ready drain → payload capture → log payloads → header (the
-    /// commit point, one device flush for the whole group) → home drain →
-    /// header clear. Payloads are captured at *commit* time, so the record
-    /// reflects any non-logged write that shared a sector with the group —
-    /// replay can never roll one back — and the pre-commit
-    /// [`BufCache::flush_ready`] makes every non-group sector such content
-    /// might reference durable before a record points at it. Both drains
-    /// refuse to force dependency cycles, so a transaction still open for
-    /// the *next* group (the log-overflow path) keeps its sectors cached
-    /// and atomic. A failure before the commit point leaves the group
-    /// pending, so the next barrier retries it; past the commit point the
-    /// record repairs any torn home write at replay. A no-op when no group
-    /// is open. `fsync`, `sync_all` and the flusher's group-timeout pass
-    /// call this before their cache flush — a flush skips group-held
+    /// Forces the open commit group's record to the device: the barrier
+    /// entry point. `fsync`, `sync_all` and the flusher's group-timeout
+    /// pass call this before their cache flush — a flush skips group-held
     /// sectors, so skipping the commit would leave the burst cached instead
-    /// of durable.
+    /// of durable. A no-op when no group is open. See
+    /// [`crate::txn::TxnLog::commit_pending`] for the full commit sequence
+    /// and its crash-ordering argument.
     pub fn commit_pending(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<()> {
-        if bc.group_sectors() == 0 {
-            return Ok(());
-        }
-        let targets = bc.group_entries();
-        // Everything the group's commit-time payloads could reference —
-        // data clusters, and metadata sectors dirtied by interleaved
-        // non-logged writers — must be durable before the record.
-        bc.flush_ready(dev)?;
-        // Capture the final contents now: all sectors are cached (pinned
-        // since their transactions logged them), so these reads are hits.
-        let mut payloads = Vec::with_capacity(targets.len());
-        for &lba in &targets {
-            let mut p = vec![0u8; BLOCK_SIZE];
-            bc.read(dev, lba, &mut p)?;
-            payloads.push(p);
-        }
-        for (i, p) in payloads.iter().enumerate() {
-            dev.write_block(INTENT_LOG_START + 1 + i as u64, p)?;
-        }
-        let hdr = Self::intent_header(&targets, &payloads);
-        dev.write_block(INTENT_LOG_START, &hdr)?;
-        dev.flush()?; // commit point
-                      // Past the commit point the record repairs any torn home write, so
-                      // the logged sectors' (deliberately cyclic) ordering edges can go —
-                      // otherwise the home drain would trip the forced-cycle escape hatch
-                      // for updates that are in fact fully protected.
-                      // Drop the ordering edges while the group still pins their sectors,
-                      // *then* release the pins: the cache invariant is "a dependency
-                      // cycle exists only among pinned sectors", and the reverse order
-                      // would leave an unpinned cycle in the window between the calls.
-        bc.clear_dependencies(&targets);
-        bc.group_clear_committed();
-        bc.flush_ready(dev)?; // home sectors (ordered, cycles never forced)
-        let zero = vec![0u8; BLOCK_SIZE];
-        dev.write_block(INTENT_LOG_START, &zero)?;
-        dev.flush()
+        self.txn.commit_pending(dev, bc)
     }
 
-    /// Runs `f` as an intent-log transaction: opens the cache's metadata
-    /// recorder, commits the touched sectors through the log on success, and
-    /// always closes the recorder (releasing its eviction pins). Every
-    /// logged operation goes through here so no path can forget half of the
-    /// begin / commit / end protocol.
+    /// Runs `f` as an intent-log transaction through the shared layer
+    /// ([`crate::txn::TxnLog::with_txn`]). Every logged operation goes
+    /// through here so no path can forget half of the begin / commit / end
+    /// protocol.
     fn with_meta_txn<R>(
         &self,
         dev: &mut dyn BlockDevice,
         bc: &mut BufCache,
         f: impl FnOnce(&Self, &mut dyn BlockDevice, &mut BufCache) -> FsResult<R>,
     ) -> FsResult<R> {
-        bc.begin_meta_txn();
-        let result = f(self, dev, bc);
-        let touched = bc.meta_txn_touched();
-        let result = match result {
-            Ok(v) => self.intent_commit(dev, bc, &touched).map(|()| v),
-            Err(e) => Err(e),
-        };
-        bc.end_meta_txn();
-        result
+        let txn = self.txn;
+        txn.with_txn(dev, bc, |dev, bc| f(self, dev, bc))
     }
 
     // ---- FAT access ---------------------------------------------------------------------------
@@ -1313,8 +1125,8 @@ impl Fat32 {
     /// (`data ≺ new FAT ≺ dirent ≺ old-chain frees`) are registered as well,
     /// so even a transaction too large for the intent log keeps its safe
     /// order through the fallback flush (only torn-update atomicity is lost
-    /// there, plus the shared-FAT-sector cycle case the `intent_commit`
-    /// docs describe).
+    /// there, plus the shared-FAT-sector cycle case the
+    /// [`crate::txn::TxnLog::commit`] docs describe).
     fn rewrite_contents(
         &self,
         dev: &mut dyn BlockDevice,

@@ -20,6 +20,9 @@
 //! * [`xv6fs`] — the small inode-based filesystem with its 268 KB file limit.
 //! * [`fat32`] — a FAT32 implementation whose cluster I/O flows through the
 //!   cache's range API.
+//! * [`txn`] — the filesystem-agnostic transaction layer: physical redo
+//!   log + group commit over the cache's dependency/pinning machinery,
+//!   shared by FAT32's intent log and xv6fs's journal.
 //! * [`path`] — path normalisation shared by the kernel's VFS.
 
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ pub mod block;
 pub mod bufcache;
 pub mod fat32;
 pub mod path;
+pub mod txn;
 pub mod xv6fs;
 
 pub use block::{BlockDevice, MemDisk, BLOCK_SIZE};

@@ -9,21 +9,31 @@
 //! single-block buffer cache, one block at a time — the performance property
 //! that later motivates FAT32 for multi-megabyte game assets and videos.
 //!
-//! Proto drops xv6's journalling/log layer entirely: the paper excludes
-//! crash consistency as a non-goal (§5.4). This reproduction's extension
-//! instead tags metadata blocks (inodes, bitmap, indirect blocks, directory
-//! contents) for the cache's dependency-ordered write-back drain, with
-//! edges ordering an inode after the data and bitmap blocks it references —
-//! so a power cut never exposes an inode pointing at unwritten blocks. Two
-//! torn states remain possible by design (they would need the journal this
-//! filesystem deliberately lacks) and are tolerated instead: a dirent
-//! naming a still-free inode reads as a clean `NotFound`, and in-place
-//! overwrites may land partially. FAT32 — whose dirents embed the chain
-//! head — carries the full atomicity guarantee via its intent log.
+//! The original Proto drops xv6's journalling/log layer entirely: the paper
+//! excludes crash consistency as a non-goal (§5.4). This reproduction's
+//! extension keeps that shape as a *fallback* — metadata blocks (inodes,
+//! bitmap, indirect blocks, directory contents) are tagged for the cache's
+//! dependency-ordered write-back drain, with edges ordering an inode after
+//! the data and bitmap blocks it references — and then closes the gap the
+//! ordered drain cannot: `mkfs` reserves a small on-volume log region
+//! ([`XV6_LOG_BLOCKS`]) and the mutating path-level operations (`create`,
+//! `unlink`, `truncate`, `write_file`) run as transactions through the
+//! shared [`crate::txn::TxnLog`] layer. With the journal on (the default),
+//! the two torn states the PR-5 ordered drain had to tolerate become
+//! impossible: a dirent can no longer name a still-free inode (the dirent
+//! and the child inode commit atomically, cycle-safe under the
+//! transaction's pins even though they often share an on-disk block), and
+//! an in-place overwrite is old-contents XOR new-contents (truncate and
+//! rewrite are a single transaction). Freed blocks are reserved
+//! ([`BufCache::note_pending_free`]) until their free is durable, so a cut
+//! before the commit point keeps the intact old file. With the journal off
+//! (`set_journal(false)`, the ablation baseline), behaviour reverts to the
+//! ordered drain and its two documented torn states.
 
 use crate::block::{BlockDevice, BLOCK_SIZE as SECTOR_SIZE};
 use crate::bufcache::BufCache;
 use crate::path;
+use crate::txn::TxnLog;
 use crate::{FsError, FsResult};
 
 /// Filesystem block size (two 512-byte device sectors, as in modern xv6).
@@ -53,6 +63,11 @@ pub const XV6_READAHEAD_BLOCKS: usize = 32;
 
 /// Root directory inode number.
 pub const ROOT_INUM: u32 = 1;
+
+/// Filesystem blocks `mkfs` reserves for the transaction log (32 sectors:
+/// one header plus 31 payload sectors — comfortably above the handful of
+/// metadata sectors any single xv6fs operation touches).
+pub const XV6_LOG_BLOCKS: u32 = 16;
 
 /// On-disk inode types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +129,12 @@ pub struct SuperBlock {
     pub size: u32,
     /// Number of inodes.
     pub ninodes: u32,
+    /// First block of the transaction log region (0 when the volume
+    /// carries no log).
+    pub logstart: u32,
+    /// Blocks in the transaction log region (0 when the volume carries no
+    /// log — journalling is then permanently unavailable on this volume).
+    pub nlog: u32,
     /// First block of the inode area.
     pub inodestart: u32,
     /// First block of the free bitmap.
@@ -123,14 +144,16 @@ pub struct SuperBlock {
 }
 
 impl SuperBlock {
-    fn encode(&self) -> [u8; 24] {
-        let mut b = [0u8; 24];
+    fn encode(&self) -> [u8; 32] {
+        let mut b = [0u8; 32];
         b[0..4].copy_from_slice(&self.magic.to_le_bytes());
         b[4..8].copy_from_slice(&self.size.to_le_bytes());
         b[8..12].copy_from_slice(&self.ninodes.to_le_bytes());
-        b[12..16].copy_from_slice(&self.inodestart.to_le_bytes());
-        b[16..20].copy_from_slice(&self.bmapstart.to_le_bytes());
-        b[20..24].copy_from_slice(&self.datastart.to_le_bytes());
+        b[12..16].copy_from_slice(&self.logstart.to_le_bytes());
+        b[16..20].copy_from_slice(&self.nlog.to_le_bytes());
+        b[20..24].copy_from_slice(&self.inodestart.to_le_bytes());
+        b[24..28].copy_from_slice(&self.bmapstart.to_le_bytes());
+        b[28..32].copy_from_slice(&self.datastart.to_le_bytes());
         b
     }
     fn decode(b: &[u8]) -> FsResult<Self> {
@@ -139,9 +162,11 @@ impl SuperBlock {
             magic: rd(0),
             size: rd(4),
             ninodes: rd(8),
-            inodestart: rd(12),
-            bmapstart: rd(16),
-            datastart: rd(20),
+            logstart: rd(12),
+            nlog: rd(16),
+            inodestart: rd(20),
+            bmapstart: rd(24),
+            datastart: rd(28),
         };
         if sb.magic != FSMAGIC {
             return Err(FsError::Corrupt("bad xv6fs magic".into()));
@@ -202,6 +227,9 @@ impl DiskInode {
 #[derive(Debug, Clone)]
 pub struct Xv6Fs {
     sb: SuperBlock,
+    /// Handle on the shared transaction layer (geometry from the
+    /// superblock's log region; disabled when the volume carries none).
+    txn: TxnLog,
 }
 
 impl Xv6Fs {
@@ -286,7 +314,9 @@ impl Xv6Fs {
         }
         let ninodeblocks = ninodes.div_ceil(IPB as u32);
         let nbitmap = total_blocks.div_ceil((BSIZE * 8) as u32);
-        let inodestart = 1;
+        let logstart = 1;
+        let nlog = XV6_LOG_BLOCKS;
+        let inodestart = logstart + nlog;
         let bmapstart = inodestart + ninodeblocks;
         let datastart = bmapstart + nbitmap;
         if datastart >= total_blocks {
@@ -296,21 +326,27 @@ impl Xv6Fs {
             magic: FSMAGIC,
             size: total_blocks,
             ninodes,
+            logstart,
+            nlog,
             inodestart,
             bmapstart,
             datastart,
         };
-        // Zero metadata blocks.
+        // Zero metadata blocks (the log region included: a zero header is
+        // "no committed record").
         let zero = vec![0u8; BSIZE];
         for b in 0..datastart {
             Self::write_meta_fs_block(dev, bc, b, &zero)?;
         }
         // Write superblock.
         let mut sb_block = vec![0u8; BSIZE];
-        sb_block[..24].copy_from_slice(&sb.encode());
+        sb_block[..32].copy_from_slice(&sb.encode());
         Self::write_meta_fs_block(dev, bc, 0, &sb_block)?;
         // Mark metadata blocks as allocated in the bitmap.
-        let fs = Xv6Fs { sb };
+        let fs = Xv6Fs {
+            sb,
+            txn: Self::make_txn(&sb),
+        };
         for b in 0..datastart {
             fs.bitmap_set(dev, bc, b, true)?;
         }
@@ -328,7 +364,7 @@ impl Xv6Fs {
     /// or trigger absurd allocations.
     pub fn mount(dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<Xv6Fs> {
         let block = Self::read_fs_block(dev, bc, 0)?;
-        let sb = SuperBlock::decode(&block[..24])?;
+        let sb = SuperBlock::decode(&block[..32])?;
         let device_fs_blocks = (dev.num_blocks() as usize * SECTOR_SIZE / BSIZE) as u32;
         if sb.size == 0 || sb.size > device_fs_blocks {
             return Err(FsError::Corrupt(format!(
@@ -340,7 +376,21 @@ impl Xv6Fs {
             return Err(FsError::Corrupt("superblock has no inodes".into()));
         }
         let ninodeblocks = sb.ninodes.div_ceil(IPB as u32);
-        let valid_layout = sb.inodestart >= 1
+        let log_end = if sb.nlog == 0 {
+            // A log-less volume (nlog == 0): the inode area may start right
+            // after the superblock.
+            1
+        } else {
+            match sb.logstart.checked_add(sb.nlog) {
+                Some(end) if sb.logstart >= 1 => end,
+                _ => {
+                    return Err(FsError::Corrupt(
+                        "superblock log region overflows or starts at 0".into(),
+                    ))
+                }
+            }
+        };
+        let valid_layout = sb.inodestart >= log_end
             && sb
                 .inodestart
                 .checked_add(ninodeblocks)
@@ -352,7 +402,51 @@ impl Xv6Fs {
                 "superblock layout regions overlap or exceed the volume".into(),
             ));
         }
-        Ok(Xv6Fs { sb })
+        let fs = Xv6Fs {
+            sb,
+            txn: Self::make_txn(&sb),
+        };
+        // Repair a power cut that fell after a commit point: redo the
+        // committed record's home writes (idempotent), or ignore a torn /
+        // stale record. Runs even if the caller later disables the journal,
+        // so a committed record from an earlier life is never dropped.
+        if fs.txn.enabled() {
+            fs.txn.replay(dev, bc)?;
+        }
+        Ok(fs)
+    }
+
+    /// The [`TxnLog`] handle over the superblock's log region, in device
+    /// sectors (the transaction layer, like the cache, speaks 512-byte
+    /// sectors — not 1 KB filesystem blocks).
+    fn make_txn(sb: &SuperBlock) -> TxnLog {
+        let spb = (BSIZE / SECTOR_SIZE) as u64;
+        let mut txn = TxnLog::new(
+            sb.logstart as u64 * spb,
+            sb.nlog as u64 * spb,
+            sb.size as u64 * spb,
+        );
+        txn.set_enabled(sb.nlog > 0);
+        txn
+    }
+
+    /// Enables or disables journalled metadata transactions (the
+    /// crash-consistency ablation switch; `Xv6Baseline` turns it off). On a
+    /// volume formatted without a log region this is permanently off.
+    pub fn set_journal(&mut self, on: bool) {
+        self.txn.set_enabled(on && self.sb.nlog > 0);
+    }
+
+    /// Whether metadata operations commit through the transaction log.
+    pub fn journal_enabled(&self) -> bool {
+        self.txn.enabled()
+    }
+
+    /// Forces the open commit group's record to the device (a no-op when no
+    /// group is open). The kernel's barriers call this before flushing the
+    /// root cache, mirroring FAT32's `commit_pending`.
+    pub fn commit_pending(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<()> {
+        self.txn.commit_pending(dev, bc)
     }
 
     /// The superblock of the mounted filesystem.
@@ -397,7 +491,15 @@ impl Xv6Fs {
     }
 
     fn balloc(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache) -> FsResult<u32> {
+        let mut saw_pending_free = false;
         for b in self.sb.datastart..self.sb.size {
+            // Blocks freed by a not-yet-durable transaction must not be
+            // recycled: a crash after the reuse but before the free commits
+            // would leave the old file's metadata pointing at clobbered data.
+            if bc.is_pending_free(b) {
+                saw_pending_free = true;
+                continue;
+            }
             if !self.bitmap_get(dev, bc, b)? {
                 self.bitmap_set(dev, bc, b, true)?;
                 // Zero freshly allocated blocks, as xv6 does.
@@ -405,11 +507,34 @@ impl Xv6Fs {
                 return Ok(b);
             }
         }
+        if saw_pending_free {
+            // Out of space only because freed blocks are still fenced behind
+            // an undurable free. Commit the journal group (making the frees
+            // durable), drain any remaining ordered frees, and rescan.
+            self.txn.commit_pending(dev, bc)?;
+            if bc.has_pending_frees() {
+                bc.flush(dev)?;
+            }
+            for b in self.sb.datastart..self.sb.size {
+                if bc.is_pending_free(b) {
+                    continue;
+                }
+                if !self.bitmap_get(dev, bc, b)? {
+                    self.bitmap_set(dev, bc, b, true)?;
+                    Self::write_fs_block(dev, bc, b, &vec![0u8; BSIZE])?;
+                    return Ok(b);
+                }
+            }
+        }
         Err(FsError::NoSpace)
     }
 
     fn bfree(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, blockno: u32) -> FsResult<()> {
-        self.bitmap_set(dev, bc, blockno, false)
+        self.bitmap_set(dev, bc, blockno, false)?;
+        // Fence the block against reallocation until the free is durable
+        // (journal commit, or cache flush when the journal is off).
+        bc.note_pending_free(blockno);
+        Ok(())
     }
 
     /// Number of free data blocks remaining (used by `/proc` style reporting
@@ -786,15 +911,36 @@ impl Xv6Fs {
         let mut ent = [0u8; DIRENT_SIZE];
         ent[0..4].copy_from_slice(&child_inum.to_le_bytes());
         ent[4..4 + name.len()].copy_from_slice(name.as_bytes());
-        // No dirent → child-inode ordering edge is recorded here: the parent
-        // directory's inode shares its on-disk block with most child inodes
-        // (16 inodes per block), and the parent inode must follow the dirent
-        // content it sizes — a same-block cycle no drain order can satisfy.
-        // xv6fs therefore tolerates the one benign torn state a cut can
-        // leave: a dirent naming a still-free inode, which every reader
-        // reports as a clean `NotFound`. (FAT32, whose dirents carry the
-        // chain head directly, gets the full guarantee instead.)
         self.write(dev, bc, dir_inum, slot_offset, &ent)?;
+        // Journal off: no dirent → child-inode ordering edge is recorded.
+        // The parent directory's inode shares its on-disk block with most
+        // child inodes (16 inodes per block), and the parent inode must
+        // follow the dirent content it sizes — a same-block cycle no drain
+        // order can satisfy. Unjournaled xv6fs therefore tolerates the one
+        // benign torn state a cut can leave: a dirent naming a still-free
+        // inode, which every reader reports as a clean `NotFound`.
+        //
+        // Journal on: the whole op replays atomically from the log, so the
+        // cycle is harmless — `clear_dependencies` severs it at commit, and
+        // until then the transaction pin keeps both blocks cached. Recording
+        // the edge keeps a pre-commit writeback from publishing the dirent
+        // ahead of the child inode it names.
+        if self.txn.enabled() && bc.meta_txn_active() {
+            let mut dino = self.read_inode(dev, bc, dir_inum)?;
+            let slot_block = self.bmap(
+                dev,
+                bc,
+                &mut dino,
+                dir_inum,
+                slot_offset as usize / BSIZE,
+                false,
+            )?;
+            if slot_block != 0 {
+                let (slot_lba, slot_n) = Self::block_lbas(slot_block);
+                let (ino_lba, ino_n) = self.inode_lbas(child_inum);
+                TxnLog::note_order(bc, slot_lba, slot_n, ino_lba, ino_n);
+            }
+        }
         Ok(())
     }
 
@@ -867,19 +1013,21 @@ impl Xv6Fs {
         p: &str,
         itype: InodeType,
     ) -> FsResult<u32> {
-        let (parent, name) =
-            path::split_parent(p).ok_or_else(|| FsError::Invalid("cannot create root".into()))?;
-        let parent_inum = self.lookup(dev, bc, &parent)?;
-        let parent_ino = self.read_inode(dev, bc, parent_inum)?;
-        if parent_ino.itype != InodeType::Dir {
-            return Err(FsError::NotADirectory(parent));
-        }
-        if self.dir_lookup(dev, bc, parent_inum, &name).is_ok() {
-            return Err(FsError::AlreadyExists(p.to_string()));
-        }
-        let inum = self.ialloc(dev, bc, itype)?;
-        self.dir_add(dev, bc, parent_inum, &name, inum)?;
-        Ok(inum)
+        self.txn.with_txn(dev, bc, |dev, bc| {
+            let (parent, name) = path::split_parent(p)
+                .ok_or_else(|| FsError::Invalid("cannot create root".into()))?;
+            let parent_inum = self.lookup(dev, bc, &parent)?;
+            let parent_ino = self.read_inode(dev, bc, parent_inum)?;
+            if parent_ino.itype != InodeType::Dir {
+                return Err(FsError::NotADirectory(parent));
+            }
+            if self.dir_lookup(dev, bc, parent_inum, &name).is_ok() {
+                return Err(FsError::AlreadyExists(p.to_string()));
+            }
+            let inum = self.ialloc(dev, bc, itype)?;
+            self.dir_add(dev, bc, parent_inum, &name, inum)?;
+            Ok(inum)
+        })
     }
 
     /// Lists the entries of the directory at `p`.
@@ -896,51 +1044,56 @@ impl Xv6Fs {
     /// Removes the file at `p`, freeing its data blocks. Directories must be
     /// empty.
     pub fn unlink(&self, dev: &mut dyn BlockDevice, bc: &mut BufCache, p: &str) -> FsResult<()> {
-        let (parent, name) =
-            path::split_parent(p).ok_or_else(|| FsError::Invalid("cannot unlink root".into()))?;
-        let parent_inum = self.lookup(dev, bc, &parent)?;
-        let inum = self.dir_lookup(dev, bc, parent_inum, &name)?;
-        let mut ino = self.read_inode(dev, bc, inum)?;
-        if ino.itype == InodeType::Dir && !self.dir_entries(dev, bc, inum)?.is_empty() {
-            return Err(FsError::NotEmpty(p.to_string()));
-        }
-        let (_, slot_block) = self.dir_remove(dev, bc, parent_inum, &name)?;
-        // The tombstone must land before the frees: a cut mid-unlink may
-        // leak blocks, but must not leave a live dirent pointing at a freed
-        // inode or at blocks the bitmap already re-offers.
-        let order_after_tombstone = |bc: &mut BufCache, lba: u64, n: u64| {
-            if slot_block != 0 {
-                let (d_lba, d_n) = Self::block_lbas(slot_block);
-                bc.add_dependency(lba, n, d_lba, d_n);
+        self.txn.with_txn(dev, bc, |dev, bc| {
+            let (parent, name) = path::split_parent(p)
+                .ok_or_else(|| FsError::Invalid("cannot unlink root".into()))?;
+            let parent_inum = self.lookup(dev, bc, &parent)?;
+            let inum = self.dir_lookup(dev, bc, parent_inum, &name)?;
+            let mut ino = self.read_inode(dev, bc, inum)?;
+            if ino.itype == InodeType::Dir && !self.dir_entries(dev, bc, inum)?.is_empty() {
+                return Err(FsError::NotEmpty(p.to_string()));
             }
-        };
-        // Free data blocks.
-        for i in 0..NDIRECT {
-            if ino.addrs[i] != 0 {
-                self.bfree(dev, bc, ino.addrs[i])?;
-                let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[i]);
-                order_after_tombstone(bc, bm_lba, bm_n);
-            }
-        }
-        if ino.addrs[NDIRECT] != 0 {
-            let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
-            for chunk in ind.chunks_exact(4) {
-                let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                if ptr != 0 {
-                    self.bfree(dev, bc, ptr)?;
-                    let (bm_lba, bm_n) = self.bitmap_lbas(ptr);
+            let (_, slot_block) = self.dir_remove(dev, bc, parent_inum, &name)?;
+            // The tombstone must land before the frees: a cut mid-unlink may
+            // leak blocks, but must not leave a live dirent pointing at a
+            // freed inode or at blocks the bitmap already re-offers. (With
+            // the journal on these edges are belt-and-braces — replay makes
+            // the whole unlink atomic — but they keep the unjournaled
+            // fallback safe.)
+            let order_after_tombstone = |bc: &mut BufCache, lba: u64, n: u64| {
+                if slot_block != 0 {
+                    let (d_lba, d_n) = Self::block_lbas(slot_block);
+                    bc.add_dependency(lba, n, d_lba, d_n);
+                }
+            };
+            // Free data blocks.
+            for i in 0..NDIRECT {
+                if ino.addrs[i] != 0 {
+                    self.bfree(dev, bc, ino.addrs[i])?;
+                    let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[i]);
                     order_after_tombstone(bc, bm_lba, bm_n);
                 }
             }
-            self.bfree(dev, bc, ino.addrs[NDIRECT])?;
-            let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[NDIRECT]);
-            order_after_tombstone(bc, bm_lba, bm_n);
-        }
-        ino = DiskInode::empty();
-        self.write_inode(dev, bc, inum, &ino)?;
-        let (ino_lba, ino_n) = self.inode_lbas(inum);
-        order_after_tombstone(bc, ino_lba, ino_n);
-        Ok(())
+            if ino.addrs[NDIRECT] != 0 {
+                let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
+                for chunk in ind.chunks_exact(4) {
+                    let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    if ptr != 0 {
+                        self.bfree(dev, bc, ptr)?;
+                        let (bm_lba, bm_n) = self.bitmap_lbas(ptr);
+                        order_after_tombstone(bc, bm_lba, bm_n);
+                    }
+                }
+                self.bfree(dev, bc, ino.addrs[NDIRECT])?;
+                let (bm_lba, bm_n) = self.bitmap_lbas(ino.addrs[NDIRECT]);
+                order_after_tombstone(bc, bm_lba, bm_n);
+            }
+            ino = DiskInode::empty();
+            self.write_inode(dev, bc, inum, &ino)?;
+            let (ino_lba, ino_n) = self.inode_lbas(inum);
+            order_after_tombstone(bc, ino_lba, ino_n);
+            Ok(())
+        })
     }
 
     /// Frees every data block of inode `inum` and resets its size to zero
@@ -953,29 +1106,31 @@ impl Xv6Fs {
         bc: &mut BufCache,
         inum: u32,
     ) -> FsResult<()> {
-        let mut ino = self.read_inode(dev, bc, inum)?;
-        if ino.itype == InodeType::Free {
-            return Err(FsError::NotFound(format!("inode {inum} is free")));
-        }
-        for i in 0..NDIRECT {
-            if ino.addrs[i] != 0 {
-                self.bfree(dev, bc, ino.addrs[i])?;
-                ino.addrs[i] = 0;
+        self.txn.with_txn(dev, bc, |dev, bc| {
+            let mut ino = self.read_inode(dev, bc, inum)?;
+            if ino.itype == InodeType::Free {
+                return Err(FsError::NotFound(format!("inode {inum} is free")));
             }
-        }
-        if ino.addrs[NDIRECT] != 0 {
-            let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
-            for chunk in ind.chunks_exact(4) {
-                let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                if ptr != 0 {
-                    self.bfree(dev, bc, ptr)?;
+            for i in 0..NDIRECT {
+                if ino.addrs[i] != 0 {
+                    self.bfree(dev, bc, ino.addrs[i])?;
+                    ino.addrs[i] = 0;
                 }
             }
-            self.bfree(dev, bc, ino.addrs[NDIRECT])?;
-            ino.addrs[NDIRECT] = 0;
-        }
-        ino.size = 0;
-        self.write_inode(dev, bc, inum, &ino)
+            if ino.addrs[NDIRECT] != 0 {
+                let ind = Self::read_fs_block(dev, bc, ino.addrs[NDIRECT])?;
+                for chunk in ind.chunks_exact(4) {
+                    let ptr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    if ptr != 0 {
+                        self.bfree(dev, bc, ptr)?;
+                    }
+                }
+                self.bfree(dev, bc, ino.addrs[NDIRECT])?;
+                ino.addrs[NDIRECT] = 0;
+            }
+            ino.size = 0;
+            self.write_inode(dev, bc, inum, &ino)
+        })
     }
 
     /// Convenience: creates (or truncates) a file at `p` and writes `data`.
@@ -986,16 +1141,21 @@ impl Xv6Fs {
         p: &str,
         data: &[u8],
     ) -> FsResult<u32> {
-        let inum = match self.lookup(dev, bc, p) {
-            Ok(i) => {
-                self.truncate(dev, bc, i)?;
-                i
-            }
-            Err(FsError::NotFound(_)) => self.create(dev, bc, p, InodeType::File)?,
-            Err(e) => return Err(e),
-        };
-        self.write(dev, bc, inum, 0, data)?;
-        Ok(inum)
+        // One transaction end to end: the nested `truncate`/`create` calls
+        // join it (see [`TxnLog::with_txn`]), so a cut never exposes the
+        // truncated-but-not-rewritten middle state — the overwrite is atomic.
+        self.txn.with_txn(dev, bc, |dev, bc| {
+            let inum = match self.lookup(dev, bc, p) {
+                Ok(i) => {
+                    self.truncate(dev, bc, i)?;
+                    i
+                }
+                Err(FsError::NotFound(_)) => self.create(dev, bc, p, InodeType::File)?,
+                Err(e) => return Err(e),
+            };
+            self.write(dev, bc, inum, 0, data)?;
+            Ok(inum)
+        })
     }
 
     /// Convenience: reads the whole file at `p`.
@@ -1233,7 +1393,7 @@ mod tests {
         let mut sb = good;
         sb.bmapstart = sb.inodestart; // inode area squashed to nothing
         let mut block = vec![0u8; BSIZE];
-        block[..24].copy_from_slice(&sb.encode());
+        block[..32].copy_from_slice(&sb.encode());
         Xv6Fs::write_fs_block(&mut dev, &mut bc, 0, &block).unwrap();
         bc.flush(&mut dev).unwrap();
         let mut cold = BufCache::default();
@@ -1244,7 +1404,7 @@ mod tests {
         // Restore and corrupt a directory inode's size: traversal reports
         // Corrupt instead of attempting a 4 GB allocation.
         let mut block = vec![0u8; BSIZE];
-        block[..24].copy_from_slice(&good.encode());
+        block[..32].copy_from_slice(&good.encode());
         Xv6Fs::write_fs_block(&mut dev, &mut bc, 0, &block).unwrap();
         let mut root = fs.read_inode(&mut dev, &mut bc, ROOT_INUM).unwrap();
         root.size = u32::MAX;

@@ -159,6 +159,17 @@ pub struct CostModel {
     /// block in single-digit microseconds, which is what makes transfer
     /// overlap (read-ahead) visible at all.
     pub sd_dma_block_transfer: Cycles,
+    /// Latency of the card's cache FLUSH command: programming the posted
+    /// write cache's contents to flash and waiting for the busy line. The
+    /// barrier cost every fsync / commit record pays when the posted cache
+    /// is enabled; calibrated so a per-fsync barrier stays well under 5% of
+    /// a megabyte-scale batched write-back.
+    pub sd_flush_latency: Cycles,
+    /// Per-block cost of a Force Unit Access write: a single-block program
+    /// forced straight to flash, bypassing the posted cache. Costlier than
+    /// a cached CMD24 (the card cannot lazily coalesce it) but far cheaper
+    /// than flushing the whole cache for one sector.
+    pub sd_fua_block_transfer: Cycles,
     /// Cost of a buffer-cache lookup/insert.
     pub bufcache_op: Cycles,
     /// Per-byte cost of copying between the buffer cache and user memory.
@@ -263,6 +274,8 @@ impl CostModel {
             sd_block_poll_transfer: 1_250_000,
             sd_range_block_transfer: 470_000,
             sd_dma_block_transfer: 6_000,
+            sd_flush_latency: 180_000,
+            sd_fua_block_transfer: 700_000,
             bufcache_op: 800,
             bufcache_copy_per_byte_milli: 600,
             ramdisk_per_byte_milli: 400,
@@ -304,6 +317,8 @@ impl CostModel {
         m.sd_block_poll_transfer = 90_000;
         m.sd_range_block_transfer = 42_000;
         m.sd_dma_block_transfer = 2_000;
+        m.sd_flush_latency = 30_000;
+        m.sd_fua_block_transfer = 60_000;
         m.boot_firmware_load = 400_000_000;
         m.boot_usb_init = 120_000_000;
         m
@@ -323,6 +338,8 @@ impl CostModel {
         m.sd_block_poll_transfer = 100_000;
         m.sd_range_block_transfer = 46_000;
         m.sd_dma_block_transfer = 2_200;
+        m.sd_flush_latency = 34_000;
+        m.sd_fua_block_transfer = 66_000;
         m.boot_firmware_load = 420_000_000;
         m.boot_usb_init = 130_000_000;
         m

@@ -121,6 +121,19 @@ pub struct SdHost {
     /// CMD25 range writes that persisted only a prefix of their blocks
     /// before failing (mid-transfer power loss).
     torn_writes: u64,
+    /// Posted-write-cache mode: completed writes land in [`SdHost::cache`]
+    /// (the card's volatile RAM buffer) and persist only at
+    /// [`SdHost::flush_cache`] or a FUA write; a power cut drops the whole
+    /// cache. Off by default — the instant-persist model the existing torn
+    /// write tests pin.
+    posted: bool,
+    /// The volatile write cache (block → contents). BTreeMap so a flush
+    /// persists in deterministic LBA order.
+    cache: std::collections::BTreeMap<u64, Box<[u8]>>,
+    /// Statistics: cache FLUSH commands served.
+    flush_cmds: u64,
+    /// Statistics: FUA (forced-program) single-block writes served.
+    fua_cmds: u64,
     /// How the data phase moves (polled FIFO vs scatter-gather DMA).
     data_mode: SdDataMode,
     /// Commands waiting for the DMA channel.
@@ -162,6 +175,10 @@ impl SdHost {
             power_budget: None,
             power_lost: false,
             torn_writes: 0,
+            posted: false,
+            cache: std::collections::BTreeMap::new(),
+            flush_cmds: 0,
+            fua_cmds: 0,
             data_mode: SdDataMode::Pio,
             queue: VecDeque::new(),
             inflight: None,
@@ -238,6 +255,70 @@ impl SdHost {
         self.torn_writes
     }
 
+    /// Enables or disables the card's modeled posted write cache. When on,
+    /// completed writes sit in volatile card RAM until
+    /// [`SdHost::flush_cache`] (or a FUA write) programs them to flash; a
+    /// power cut drops every un-flushed block. Disabling the mode persists
+    /// whatever the cache holds (a model switch, not a data-loss event).
+    pub fn set_posted_writes(&mut self, on: bool) {
+        if !on && !self.cache.is_empty() {
+            let cached = std::mem::take(&mut self.cache);
+            for (lba, buf) in cached {
+                self.blocks.insert(lba, buf);
+            }
+        }
+        self.posted = on;
+    }
+
+    /// Whether the posted write cache is enabled.
+    pub fn posted_writes(&self) -> bool {
+        self.posted
+    }
+
+    /// Blocks sitting in the volatile write cache (un-flushed).
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache FLUSH commands served.
+    pub fn flush_cmds(&self) -> u64 {
+        self.flush_cmds
+    }
+
+    /// FUA (forced-program) writes served.
+    pub fn fua_cmds(&self) -> u64 {
+        self.fua_cmds
+    }
+
+    /// Cuts power *right now*: the volatile write cache is dropped and
+    /// every later command fails until [`SdHost::power_restored`]. The
+    /// immediate form of [`SdHost::power_cut_after`].
+    pub fn power_cut(&mut self) {
+        self.power_lost = true;
+        self.power_budget = Some(0);
+        self.cache.clear();
+    }
+
+    /// The cache FLUSH command: programs every block in the volatile write
+    /// cache to flash. The barrier `BlockDevice::flush` threads down to —
+    /// a no-op when the cache is off or empty.
+    pub fn flush_cache(&mut self) -> HalResult<()> {
+        if self.power_lost {
+            return Err(HalError::InvalidState("card lost power".into()));
+        }
+        if self.removed || !self.initialized {
+            return Err(HalError::InvalidState("no card present".into()));
+        }
+        if self.posted {
+            self.flush_cmds += 1;
+            let cached = std::mem::take(&mut self.cache);
+            for (lba, buf) in cached {
+                self.blocks.insert(lba, buf);
+            }
+        }
+        Ok(())
+    }
+
     /// Accounts `count` blocks about to persist against an armed power-cut
     /// budget; returns how many actually persist.
     fn power_allow(&mut self, count: u64) -> u64 {
@@ -248,6 +329,9 @@ impl SdHost {
                 self.power_budget = Some(budget - allowed);
                 if allowed < count {
                     self.power_lost = true;
+                    // The posted write cache is card RAM: it dies with the
+                    // power, un-flushed blocks and all.
+                    self.cache.clear();
                 }
                 allowed
             }
@@ -285,14 +369,18 @@ impl SdHost {
     }
 
     fn read_one(&self, lba: u64, out: &mut [u8]) {
-        match self.blocks.get(&lba) {
+        match self.cache.get(&lba).or_else(|| self.blocks.get(&lba)) {
             Some(b) => out.copy_from_slice(b),
             None => out.fill(0),
         }
     }
 
     fn write_one(&mut self, lba: u64, data: &[u8]) {
-        self.blocks.insert(lba, data.to_vec().into_boxed_slice());
+        if self.posted {
+            self.cache.insert(lba, data.to_vec().into_boxed_slice());
+        } else {
+            self.blocks.insert(lba, data.to_vec().into_boxed_slice());
+        }
     }
 
     /// Reads a single 512-byte block (CMD17).
@@ -315,6 +403,30 @@ impl SdHost {
         self.single_block_cmds += 1;
         self.blocks_transferred += 1;
         self.write_one(lba, data);
+        Ok(())
+    }
+
+    /// Writes a single block with Force Unit Access semantics: the block is
+    /// programmed to flash directly, bypassing the posted write cache, and
+    /// is durable when the command returns. (On a card without the cache
+    /// enabled this is just a CMD24.)
+    pub fn write_block_fua(&mut self, lba: u64, data: &[u8; BLOCK_SIZE]) -> HalResult<()> {
+        self.check_ready(lba, 1)?;
+        if self.power_allow(1) == 0 {
+            return Err(HalError::InvalidState(format!(
+                "power cut before FUA write of block {lba}"
+            )));
+        }
+        self.single_block_cmds += 1;
+        self.blocks_transferred += 1;
+        if self.posted {
+            self.fua_cmds += 1;
+            // A FUA write also supersedes any stale volatile copy of the
+            // same block — the cache must not later flush old contents over
+            // the forced program.
+            self.cache.remove(&lba);
+        }
+        self.blocks.insert(lba, data.to_vec().into_boxed_slice());
         Ok(())
     }
 
@@ -348,12 +460,18 @@ impl SdHost {
         let persist = self.power_allow(count);
         self.range_cmds += 1;
         self.blocks_transferred += persist;
-        for i in 0..persist {
-            let start = (i as usize) * BLOCK_SIZE;
-            self.write_one(lba.saturating_add(i), &data[start..start + BLOCK_SIZE]);
+        // With the posted cache on, a command the cut interrupts leaves
+        // nothing behind: the cut already dropped the volatile cache, so
+        // re-inserting the prefix would fake durability. No tearing either
+        // — loss, not a torn flash program.
+        if !self.posted || persist == count {
+            for i in 0..persist {
+                let start = (i as usize) * BLOCK_SIZE;
+                self.write_one(lba.saturating_add(i), &data[start..start + BLOCK_SIZE]);
+            }
         }
         if persist < count {
-            if persist > 0 {
+            if persist > 0 && !self.posted {
                 self.torn_writes += 1;
             }
             return Err(HalError::InvalidState(format!(
@@ -580,7 +698,7 @@ impl SdHost {
                         return Err(HalError::InjectedFault(format!("SD block {b}")));
                     }
                     if self.power_allow(1) == 0 {
-                        if persisted_in_cmd > 0 {
+                        if persisted_in_cmd > 0 && !self.posted {
                             self.torn_writes += 1;
                         }
                         return Err(HalError::InvalidState(format!(

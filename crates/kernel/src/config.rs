@@ -204,6 +204,19 @@ pub struct KernelConfig {
     /// "retry later", which the stock demo apps' read loops do not; benches
     /// and tests that opt in use `Kernel::set_blocking_io`.
     pub blocking_io: bool,
+    /// xv6fs metadata journaling: create/unlink/truncate/overwrite commit
+    /// through the root volume's on-disk write-ahead log (replayed at
+    /// mount), making each operation atomic across power cuts. Off in the
+    /// xv6 baseline, which tolerates the classic torn states (a dirent
+    /// naming a still-free inode, a half-applied overwrite).
+    pub xv6fs_journal: bool,
+    /// Posted write cache in the storage device: writes land in a volatile
+    /// device-side cache and only FLUSH CACHE (or a FUA write) makes them
+    /// durable. Models real SD/eMMC behaviour; off keeps the PR 9 model
+    /// where every accepted write is immediately durable. The consistency
+    /// layers are barrier-correct either way — this knob exists so the
+    /// crash sweeps and the barrier-overhead ablation can exercise both.
+    pub posted_write_cache: bool,
 }
 
 impl KernelConfig {
@@ -251,6 +264,8 @@ impl KernelConfig {
             shard_affinity: n >= 5,
             per_core_reap: n >= 5,
             blocking_io: false,
+            xv6fs_journal: true,
+            posted_write_cache: false,
         }
     }
 
@@ -275,6 +290,7 @@ impl KernelConfig {
         // drain in pure LBA order and metadata updates are not logged.
         c.ordered_writeback = false;
         c.fat_intent_log = false;
+        c.xv6fs_journal = false;
         // ...and its SD driver polls the FIFO — no DMA, no command queue,
         // no deep-queue write batching, no group-committed log.
         c.sd_dma = false;
@@ -384,6 +400,15 @@ mod tests {
         assert!(
             !p5.blocking_io && !b.blocking_io,
             "blocking demand I/O is opt-in via Kernel::set_blocking_io"
+        );
+        assert!(
+            p4.xv6fs_journal && p5.xv6fs_journal,
+            "xv6fs journaling is a correctness default wherever xv6fs exists"
+        );
+        assert!(!b.xv6fs_journal, "the baseline tolerates torn xv6fs states");
+        assert!(
+            !p5.posted_write_cache && !b.posted_write_cache,
+            "the posted device cache is opt-in for crash sweeps and ablations"
         );
     }
 

@@ -560,12 +560,13 @@ impl Kernel {
             let mut ramdisk = MemDisk::new(RAMDISK_BYTES / protofs::BLOCK_SIZE as u64);
             let mut bc = BufCache::default();
             bc.set_ordered_writeback(self.config.ordered_writeback);
-            let fs = Xv6Fs::mkfs(
+            let mut fs = Xv6Fs::mkfs(
                 &mut ramdisk,
                 &mut bc,
                 (RAMDISK_BYTES / protofs::xv6fs::BSIZE as u64) as u32,
                 512,
             )?;
+            fs.set_journal(self.config.xv6fs_journal);
             self.ramdisk = Some(ramdisk);
             self.root_bufcache = bc;
             self.rootfs = Some(fs);
@@ -636,10 +637,23 @@ impl Kernel {
             self.config.shard_affinity = false;
             self.config.per_core_reap = false;
             self.config.blocking_io = false;
+            self.config.xv6fs_journal = false;
             if let Some(f) = self.fatfs.as_mut() {
                 f.set_intent_log(false);
                 f.set_group_commit_ops(1);
             }
+            if let Some(f) = self.rootfs.as_mut() {
+                f.set_journal(false);
+            }
+        }
+        // Posted device write cache: writes park in volatile card/ramdisk RAM
+        // until a FLUSH/FUA barrier. The consistency layers above already
+        // emit the barriers; this knob makes cuts actually test them.
+        if self.config.posted_write_cache {
+            if let Some(rd) = self.ramdisk.as_mut() {
+                rd.set_posted_writes(true);
+            }
+            self.board.sdhost.set_posted_writes(true);
         }
         self.fat_bufcache.set_prefetch(self.config.prefetch);
         self.root_bufcache.set_prefetch(self.config.prefetch);
@@ -1946,6 +1960,29 @@ impl Kernel {
         self.config.group_commit_ops = ops.max(1);
         if let Some(f) = self.fatfs.as_mut() {
             f.set_group_commit_ops(ops);
+        }
+    }
+
+    /// Enables or disables the xv6fs metadata journal at runtime (the
+    /// journal-cost ablation switch). xv6fs commits every transaction at
+    /// its close, so there is never an open group to strand and the toggle
+    /// is immediate.
+    pub fn set_xv6fs_journal(&mut self, on: bool) {
+        self.config.xv6fs_journal = on;
+        if let Some(f) = self.rootfs.as_mut() {
+            f.set_journal(on);
+        }
+    }
+
+    /// Enables or disables the posted write cache on the SD card and the
+    /// root ramdisk at runtime (the barrier-cost ablation switch). Turning
+    /// the cache off persists whatever it held — a model switch, not a
+    /// data-loss event.
+    pub fn set_posted_write_cache(&mut self, on: bool) {
+        self.config.posted_write_cache = on;
+        self.board.sdhost.set_posted_writes(on);
+        if let Some(rd) = self.ramdisk.as_mut() {
+            rd.set_posted_writes(on);
         }
     }
 

@@ -572,11 +572,17 @@ impl Kernel {
 
     /// Flushes the root (xv6fs) buffer cache to the ramdisk, charging the
     /// memory-to-memory copy cost to `core` and attributing it to `task`.
+    /// Mirrors [`Self::flush_fat_cache`]: a pending journal commit group
+    /// must close before the barrier, or the flush would force the group's
+    /// deliberately cyclic ordering edges instead of committing atomically.
     pub(crate) fn flush_root_cache(&mut self, core: usize, task: TaskId) -> KResult<()> {
         let dev = match self.ramdisk.as_mut() {
             Some(d) => d,
             None => return Ok(()),
         };
+        if let Some(fs) = self.rootfs.as_ref() {
+            fs.commit_pending(dev, &mut self.root_bufcache)?;
+        }
         let before = self.root_bufcache.stats().writebacks;
         let result = self.root_bufcache.flush(dev);
         let blocks = self.root_bufcache.stats().writebacks - before;
